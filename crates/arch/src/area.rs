@@ -1,0 +1,115 @@
+//! Chip-area accounting per benchmark and design (Figure 10).
+//!
+//! Area follows directly from the mapping's array inventory: each
+//! partition contributes its matching arrays and local switch, global
+//! switches are 256×256 8T banks, and CAMA adds one 256×32 input
+//! encoder. CAMA's RCB partitions are *half tiles* (one CAM sub-array +
+//! one 128×128 switch); FCB and 32-bit partitions occupy whole tiles
+//! even when one CAM sub-array is power-gated — gating saves energy,
+//! not silicon.
+
+use crate::designs::DesignKind;
+use crate::mapping::Mapping;
+use crate::resources::inventory;
+use cama_mem::models::CircuitLibrary;
+use cama_mem::Area;
+
+/// Area decomposition for one deployment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaReport {
+    /// The design.
+    pub design: DesignKind,
+    /// State-matching memory.
+    pub state_match: Area,
+    /// Local switches.
+    pub local_switch: Area,
+    /// Global switches.
+    pub global_switch: Area,
+    /// Input encoder (CAMA only).
+    pub encoder: Area,
+}
+
+impl AreaReport {
+    /// Total silicon area.
+    pub fn total(&self) -> Area {
+        self.state_match + self.local_switch + self.global_switch + self.encoder
+    }
+}
+
+/// Computes the area of a mapped deployment.
+pub fn area_report(mapping: &Mapping, lib: &CircuitLibrary) -> AreaReport {
+    let inv = inventory(mapping, lib);
+    AreaReport {
+        design: mapping.design,
+        state_match: inv.state_match_area(),
+        local_switch: inv.local_switch_area(),
+        global_switch: inv.global_switch_area(),
+        encoder: inv.encoder_area(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::map_design;
+    use cama_core::{NfaBuilder, StartKind, SymbolClass};
+    use cama_encoding::EncodingPlan;
+
+    fn chain_nfa(n: usize) -> cama_core::Nfa {
+        let mut b = NfaBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_ste(SymbolClass::singleton((i % 200) as u8)))
+            .collect();
+        b.set_start(ids[0], StartKind::AllInput);
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cama_is_denser_than_ca_per_state() {
+        let nfa = chain_nfa(1024);
+        let lib = CircuitLibrary::tsmc28();
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let cama = area_report(&map_design(DesignKind::CamaE, &nfa, Some(&plan)), &lib);
+        let ca = area_report(&map_design(DesignKind::CacheAutomaton, &nfa, None), &lib);
+        let ratio = ca.total() / cama.total();
+        assert!(
+            ratio > 2.0 && ratio < 4.5,
+            "CA/CAMA area ratio {ratio} out of expected range"
+        );
+    }
+
+    #[test]
+    fn impala_state_match_is_two_small_banks() {
+        let nfa = chain_nfa(200);
+        let lib = CircuitLibrary::tsmc28();
+        let impala = area_report(&map_design(DesignKind::Impala2, &nfa, None), &lib);
+        // 200 singleton states = 200 rectangles → 1 bank pair.
+        assert_eq!(impala.state_match.value(), 3659.0 * 2.0);
+        assert_eq!(impala.encoder.value(), 0.0);
+    }
+
+    #[test]
+    fn eap_switch_is_smaller_than_ca() {
+        let nfa = chain_nfa(500);
+        let lib = CircuitLibrary::tsmc28();
+        let eap = area_report(&map_design(DesignKind::Eap, &nfa, None), &lib);
+        let ca = area_report(&map_design(DesignKind::CacheAutomaton, &nfa, None), &lib);
+        assert!(eap.local_switch.value() < ca.local_switch.value());
+        // eAP's 8T matching is larger than CA's 6T.
+        assert!(eap.state_match.value() > ca.state_match.value());
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let nfa = chain_nfa(300);
+        let lib = CircuitLibrary::tsmc28();
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let report = area_report(&map_design(DesignKind::CamaT, &nfa, Some(&plan)), &lib);
+        let sum = report.state_match + report.local_switch + report.global_switch + report.encoder;
+        assert!((report.total().value() - sum.value()).abs() < 1e-9);
+        assert!(report.encoder.value() > 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The evaluated designs and their per-partition resource shapes.
+//!
+//! A *partition* is the packing unit of each design's state-matching
+//! memory plus its local switch:
+//!
+//! | design | matching memory | local switch | capacity |
+//! |---|---|---|---|
+//! | CAMA (RCB mode) | one 16×256 CAM sub-array | 128×128 RRCB | 256 entries / switch |
+//! | CAMA (FCB/32-bit) | tile: two 16×256 CAMs | 2 × 128×128 | 256 entries / tile |
+//! | Cache Automaton | 256×256 6T | 256×256 8T FCB | 256 states |
+//! | 2-stride Impala | 2 × 16×256 6T | 256×256 8T FCB | 256 nibble pairs |
+//! | 4-stride Impala | 4 × 16×256 6T | 256×256 8T FCB | 256 nibble quads |
+//! | eAP | 256×256 8T | 96×96 8T RCB | 256 states |
+//! | 2-stride CAMA | 64×256 CAM | 256×256 8T FCB | 256 strided entries |
+
+use std::fmt;
+
+/// One of the evaluated architectures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DesignKind {
+    /// CAMA optimized for energy: non-pipelined, selective precharge.
+    CamaE,
+    /// CAMA optimized for throughput: pipelined matching/transition.
+    CamaT,
+    /// Cache Automaton (Subramaniyan et al., MICRO'17).
+    CacheAutomaton,
+    /// 2-stride Impala (Sadredini et al., HPCA'20): 4-bit symbols, one
+    /// byte per cycle.
+    Impala2,
+    /// 4-stride Impala: two bytes per cycle (Figure 13).
+    Impala4,
+    /// eAP (Sadredini et al., MICRO'19).
+    Eap,
+    /// The Micron Automata Processor (frequency-only model).
+    Ap,
+    /// 2-stride CAMA-E: two bytes per cycle (Figure 13).
+    Cama2E,
+    /// 2-stride CAMA-T.
+    Cama2T,
+}
+
+impl DesignKind {
+    /// The designs compared in the headline figures (10 and 11).
+    pub const HEADLINE: [DesignKind; 5] = [
+        DesignKind::CamaE,
+        DesignKind::CamaT,
+        DesignKind::Impala2,
+        DesignKind::Eap,
+        DesignKind::CacheAutomaton,
+    ];
+
+    /// Human-readable name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::CamaE => "CAMA-E",
+            DesignKind::CamaT => "CAMA-T",
+            DesignKind::CacheAutomaton => "CA",
+            DesignKind::Impala2 => "2-stride Impala",
+            DesignKind::Impala4 => "4-stride Impala",
+            DesignKind::Eap => "eAP",
+            DesignKind::Ap => "AP",
+            DesignKind::Cama2E => "2-stride CAMA-E",
+            DesignKind::Cama2T => "2-stride CAMA-T",
+        }
+    }
+
+    /// Input bytes consumed per clock cycle.
+    pub fn bytes_per_cycle(self) -> f64 {
+        match self {
+            DesignKind::Impala4 | DesignKind::Cama2E | DesignKind::Cama2T => 2.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Returns `true` for the CAM-based designs (which carry an encoding
+    /// plan and an input encoder).
+    pub fn is_cama(self) -> bool {
+        matches!(
+            self,
+            DesignKind::CamaE | DesignKind::CamaT | DesignKind::Cama2E | DesignKind::Cama2T
+        )
+    }
+
+    /// Returns `true` for designs with per-entry selective precharge
+    /// (the non-pipelined CAMA variants).
+    pub fn selective_precharge(self) -> bool {
+        matches!(self, DesignKind::CamaE | DesignKind::Cama2E)
+    }
+}
+
+impl fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_the_papers() {
+        assert_eq!(DesignKind::CamaE.to_string(), "CAMA-E");
+        assert_eq!(DesignKind::Impala2.to_string(), "2-stride Impala");
+        assert_eq!(DesignKind::Eap.name(), "eAP");
+    }
+
+    #[test]
+    fn strided_designs_consume_two_bytes() {
+        assert_eq!(DesignKind::CamaT.bytes_per_cycle(), 1.0);
+        assert_eq!(DesignKind::Impala4.bytes_per_cycle(), 2.0);
+        assert_eq!(DesignKind::Cama2E.bytes_per_cycle(), 2.0);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(DesignKind::CamaE.is_cama());
+        assert!(!DesignKind::CacheAutomaton.is_cama());
+        assert!(DesignKind::CamaE.selective_precharge());
+        assert!(!DesignKind::CamaT.selective_precharge());
+    }
+
+    #[test]
+    fn headline_has_five_designs() {
+        assert_eq!(DesignKind::HEADLINE.len(), 5);
+    }
+}

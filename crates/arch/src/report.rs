@@ -1,0 +1,237 @@
+//! Per-(benchmark, design) evaluation rollups — the quantities plotted
+//! in Figures 10–13 and tabulated in Tables IV/V.
+
+use crate::area::{area_report, AreaReport};
+use crate::designs::DesignKind;
+use crate::energy::{EnergyBreakdown, EnergyObserver};
+use crate::mapping::{map_design, map_strided, Mapping};
+use crate::timing::timing_report;
+use cama_core::stride::StridedNfa;
+use cama_core::{Nfa, StartKind};
+use cama_encoding::EncodingPlan;
+use cama_mem::models::CircuitLibrary;
+use cama_sim::{Simulator, StridedSimulator};
+
+/// Everything measured for one design on one workload.
+#[derive(Clone, Debug)]
+pub struct DesignReport {
+    /// The design.
+    pub design: DesignKind,
+    /// The mapping (switch/global counts for Table V).
+    pub mapping: Mapping,
+    /// Area decomposition (Figure 10).
+    pub area: AreaReport,
+    /// Energy decomposition over the simulated input (Figures 11b/12).
+    pub energy: EnergyBreakdown,
+    /// Operated frequency in GHz (Table IV).
+    pub frequency_ghz: f64,
+    /// Reports observed during simulation.
+    pub reports: usize,
+}
+
+impl DesignReport {
+    /// Throughput in Gbit/s: frequency × bits consumed per cycle.
+    pub fn throughput_gbps(&self) -> f64 {
+        self.frequency_ghz * 8.0 * self.design.bytes_per_cycle()
+    }
+
+    /// Compute density in Gbps/mm² (Figure 11a).
+    pub fn compute_density(&self) -> f64 {
+        self.throughput_gbps() / self.area.total().to_mm2()
+    }
+
+    /// Energy per input byte in nJ (Figure 11b).
+    pub fn energy_per_byte_nj(&self) -> f64 {
+        self.energy.per_byte(self.design).to_nanojoules()
+    }
+
+    /// Average power in watts (Figure 11c).
+    pub fn power_watts(&self) -> f64 {
+        self.energy.power_watts(self.frequency_ghz)
+    }
+}
+
+/// Evaluates a 1-stride design on a workload.
+///
+/// For CAM-based designs the encoding plan is computed (or pass one in
+/// with [`evaluate_with_plan`] to amortize across designs).
+pub fn evaluate(design: DesignKind, nfa: &Nfa, input: &[u8]) -> DesignReport {
+    let plan = design.is_cama().then(|| EncodingPlan::for_nfa(nfa));
+    evaluate_with_plan(design, nfa, input, plan.as_ref())
+}
+
+/// [`evaluate`] with a precomputed encoding plan.
+///
+/// # Panics
+///
+/// Panics if a CAMA design is evaluated without a plan.
+pub fn evaluate_with_plan(
+    design: DesignKind,
+    nfa: &Nfa,
+    input: &[u8],
+    plan: Option<&EncodingPlan>,
+) -> DesignReport {
+    let lib = CircuitLibrary::tsmc28();
+    let mapping = map_design(design, nfa, plan);
+    let area = area_report(&mapping, &lib);
+    let timing = timing_report(design, &lib);
+
+    let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
+    let result = Simulator::new(nfa).run_with(input, &mut observer);
+
+    DesignReport {
+        design,
+        area,
+        energy: observer.breakdown,
+        frequency_ghz: timing.operated_frequency_ghz,
+        reports: result.reports.len(),
+        mapping,
+    }
+}
+
+/// Evaluates a 2-stride design (Figure 13) on a strided workload.
+///
+/// `weights` are the per-strided-state slot counts (CAM entries for
+/// 2-stride CAMA, rectangle quads for 4-stride Impala).
+pub fn evaluate_strided(
+    design: DesignKind,
+    strided: &StridedNfa,
+    weights: Vec<u32>,
+    input: &[u8],
+) -> DesignReport {
+    let lib = CircuitLibrary::tsmc28();
+    let mapping = map_strided(design, strided, weights);
+    let area = area_report(&mapping, &lib);
+    let timing = timing_report(design, &lib);
+
+    let starts: Vec<bool> = strided
+        .states()
+        .iter()
+        .map(|s| s.start == StartKind::AllInput)
+        .collect();
+    let mut observer = EnergyObserver::new(design, &mapping, &lib, &starts);
+    let result = StridedSimulator::new(strided).run_with(input, &mut observer);
+
+    DesignReport {
+        design,
+        area,
+        energy: observer.breakdown,
+        frequency_ghz: timing.operated_frequency_ghz,
+        reports: result.reports.len(),
+        mapping,
+    }
+}
+
+/// Per-strided-state weights for the Figure 13 designs: the product of
+/// the two halves' CAM entry counts for CAMA (a 64-bit entry per
+/// first/second combination), the rectangle-pair product for Impala.
+pub fn strided_weights(design: DesignKind, strided: &StridedNfa) -> Vec<u32> {
+    strided
+        .states()
+        .iter()
+        .map(|state| {
+            let (a, b) = match design {
+                DesignKind::Impala4 => (
+                    cama_core::bitwidth::rectangles(&state.first).len(),
+                    cama_core::bitwidth::rectangles(&state.second).len(),
+                ),
+                _ => (
+                    entry_estimate(&state.first),
+                    entry_estimate(&state.second),
+                ),
+            };
+            (a.max(1) * b.max(1)).min(64) as u32
+        })
+        .collect()
+}
+
+/// Entry-count estimate for one half of a strided rectangle under the
+/// 2-stride CAM encoding (negation-optimized class size folded through
+/// suffix compression).
+fn entry_estimate(class: &cama_core::SymbolClass) -> usize {
+    let no = class.negation_optimized_len().max(1);
+    // Suffix compression packs ~one cluster (16 symbols) per entry.
+    no.div_ceil(16).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cama_workloads::Benchmark;
+
+    #[test]
+    fn headline_designs_evaluate_consistently() {
+        let bench = Benchmark::Bro217;
+        let nfa = bench.generate(0.2);
+        let input = bench.input(&nfa, 1024, 7);
+        let reports: Vec<DesignReport> = DesignKind::HEADLINE
+            .iter()
+            .map(|&d| evaluate(d, &nfa, &input))
+            .collect();
+        // Same workload, same functional outcome.
+        let first = reports[0].reports;
+        assert!(reports.iter().all(|r| r.reports == first));
+        // CAMA-T has the highest compute density.
+        let camat = reports
+            .iter()
+            .find(|r| r.design == DesignKind::CamaT)
+            .unwrap();
+        for other in &reports {
+            if other.design != DesignKind::CamaT {
+                assert!(
+                    camat.compute_density() >= other.compute_density(),
+                    "{} density {} > CAMA-T {}",
+                    other.design,
+                    other.compute_density(),
+                    camat.compute_density()
+                );
+            }
+        }
+        // CAMA-E has the lowest energy per byte.
+        let camae = reports
+            .iter()
+            .find(|r| r.design == DesignKind::CamaE)
+            .unwrap();
+        for other in &reports {
+            if other.design != DesignKind::CamaE {
+                assert!(camae.energy_per_byte_nj() <= other.energy_per_byte_nj());
+            }
+        }
+    }
+
+    #[test]
+    fn strided_evaluation_runs() {
+        let bench = Benchmark::Brill;
+        let nfa = bench.generate(0.01);
+        let input = bench.input(&nfa, 512, 3);
+        let strided = StridedNfa::from_nfa(&nfa);
+        for design in [DesignKind::Cama2E, DesignKind::Cama2T, DesignKind::Impala4] {
+            let weights = strided_weights(design, &strided);
+            let report = evaluate_strided(design, &strided, weights, &input);
+            assert_eq!(report.energy.cycles, 256, "{design}");
+            assert_eq!(report.design.bytes_per_cycle(), 2.0);
+            assert!(report.energy_per_byte_nj() > 0.0);
+        }
+    }
+
+    #[test]
+    fn four_stride_impala_costs_more_than_two_stride_cama() {
+        let bench = Benchmark::Tcp;
+        let nfa = bench.generate(0.02);
+        let input = bench.input(&nfa, 1024, 4);
+        let strided = StridedNfa::from_nfa(&nfa);
+        let cama = evaluate_strided(
+            DesignKind::Cama2E,
+            &strided,
+            strided_weights(DesignKind::Cama2E, &strided),
+            &input,
+        );
+        let impala = evaluate_strided(
+            DesignKind::Impala4,
+            &strided,
+            strided_weights(DesignKind::Impala4, &strided),
+            &input,
+        );
+        assert!(impala.energy_per_byte_nj() > cama.energy_per_byte_nj());
+    }
+}

@@ -1,0 +1,187 @@
+//! The physical array inventory of a mapped deployment.
+//!
+//! One place decides which memory macros a mapping instantiates; the
+//! area report (Figure 10) and the leakage term of the energy model both
+//! read from it, so they can never disagree.
+
+use crate::designs::DesignKind;
+use crate::mapping::{Mapping, PartitionMode};
+use cama_mem::models::{ArrayKind, ArrayModel, CircuitLibrary};
+use cama_mem::{Area, Delay, Energy};
+
+/// The arrays of one deployment, bucketed the way Figure 12 reports
+/// energy.
+#[derive(Clone, Debug)]
+pub struct Inventory {
+    /// State-matching arrays (model, count).
+    pub state_match: Vec<(ArrayModel, usize)>,
+    /// Local switches.
+    pub local_switch: Vec<(ArrayModel, usize)>,
+    /// Global switches.
+    pub global_switch: Vec<(ArrayModel, usize)>,
+    /// Input encoders (CAMA only).
+    pub encoder: Vec<(ArrayModel, usize)>,
+}
+
+impl Inventory {
+    /// Total area of one bucket.
+    fn bucket_area(bucket: &[(ArrayModel, usize)]) -> Area {
+        bucket
+            .iter()
+            .map(|(model, count)| model.area * *count as f64)
+            .sum()
+    }
+
+    /// Leakage energy of one bucket over one clock period.
+    fn bucket_leakage(bucket: &[(ArrayModel, usize)], period: Delay) -> Energy {
+        bucket
+            .iter()
+            .map(|(model, count)| model.leakage_energy(period) * *count as f64)
+            .sum()
+    }
+
+    /// State-matching area.
+    pub fn state_match_area(&self) -> Area {
+        Self::bucket_area(&self.state_match)
+    }
+
+    /// Local-switch area.
+    pub fn local_switch_area(&self) -> Area {
+        Self::bucket_area(&self.local_switch)
+    }
+
+    /// Global-switch area.
+    pub fn global_switch_area(&self) -> Area {
+        Self::bucket_area(&self.global_switch)
+    }
+
+    /// Encoder area.
+    pub fn encoder_area(&self) -> Area {
+        Self::bucket_area(&self.encoder)
+    }
+
+    /// Total area.
+    pub fn total_area(&self) -> Area {
+        self.state_match_area()
+            + self.local_switch_area()
+            + self.global_switch_area()
+            + self.encoder_area()
+    }
+
+    /// Per-cycle leakage energies `(match, switch+global, encoder)`.
+    pub fn leakage_per_cycle(&self, period: Delay) -> (Energy, Energy, Energy) {
+        (
+            Self::bucket_leakage(&self.state_match, period),
+            Self::bucket_leakage(&self.local_switch, period)
+                + Self::bucket_leakage(&self.global_switch, period),
+            Self::bucket_leakage(&self.encoder, period),
+        )
+    }
+}
+
+/// Builds the array inventory of a mapping.
+pub fn inventory(mapping: &Mapping, lib: &CircuitLibrary) -> Inventory {
+    let design = mapping.design;
+    let mut state_match = Vec::new();
+    let mut local_switch = Vec::new();
+
+    let rcb_half_tiles = mapping.count_mode(PartitionMode::Rcb);
+    let full_tiles =
+        mapping.count_mode(PartitionMode::Fcb) + mapping.count_mode(PartitionMode::Wide);
+    match design {
+        DesignKind::CamaE | DesignKind::CamaT => {
+            let tiles = rcb_half_tiles.div_ceil(2) + full_tiles;
+            state_match.push((lib.model(ArrayKind::Cam8T, 16, 256), tiles * 2));
+            local_switch.push((lib.model(ArrayKind::Sram8T, 128, 128), tiles * 2));
+        }
+        DesignKind::Cama2E | DesignKind::Cama2T => {
+            let n = mapping.partitions.len();
+            state_match.push((lib.model(ArrayKind::Cam8T, 64, 256), n));
+            local_switch.push((lib.model(ArrayKind::Sram8T, 256, 256), n));
+        }
+        DesignKind::CacheAutomaton | DesignKind::Ap => {
+            let n = mapping.partitions.len();
+            state_match.push((lib.model(ArrayKind::Sram6T, 256, 256), n));
+            local_switch.push((lib.model(ArrayKind::Sram8T, 256, 256), n));
+        }
+        DesignKind::Impala2 => {
+            let n = mapping.partitions.len();
+            state_match.push((lib.model(ArrayKind::Sram6T, 16, 256), n * 2));
+            local_switch.push((lib.model(ArrayKind::Sram8T, 256, 256), n));
+        }
+        DesignKind::Impala4 => {
+            let n = mapping.partitions.len();
+            state_match.push((lib.model(ArrayKind::Sram6T, 16, 256), n * 4));
+            local_switch.push((lib.model(ArrayKind::Sram8T, 256, 256), n));
+        }
+        DesignKind::Eap => {
+            let n = mapping.partitions.len();
+            state_match.push((lib.model(ArrayKind::Sram8T, 256, 256), n));
+            local_switch.push((lib.model(ArrayKind::Sram8T, 96, 96), n));
+        }
+    }
+
+    let global_switch = vec![(
+        lib.model(ArrayKind::Sram8T, 256, 256),
+        mapping.global_switches,
+    )];
+    let encoder = if design.is_cama() {
+        vec![(lib.model(ArrayKind::Sram6T, 256, 32), 1)]
+    } else {
+        Vec::new()
+    };
+
+    Inventory {
+        state_match,
+        local_switch,
+        global_switch,
+        encoder,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::map_design;
+    use cama_core::{NfaBuilder, StartKind, SymbolClass};
+    use cama_encoding::EncodingPlan;
+
+    fn chain_nfa(n: usize) -> cama_core::Nfa {
+        let mut b = NfaBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_ste(SymbolClass::singleton((i % 200) as u8)))
+            .collect();
+        b.set_start(ids[0], StartKind::AllInput);
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cama_tiles_have_two_arrays_each() {
+        let nfa = chain_nfa(600);
+        let lib = CircuitLibrary::tsmc28();
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let mapping = map_design(DesignKind::CamaE, &nfa, Some(&plan));
+        let inv = inventory(&mapping, &lib);
+        let cam_count = inv.state_match[0].1;
+        assert_eq!(cam_count % 2, 0);
+        assert_eq!(inv.local_switch[0].1, cam_count);
+        assert_eq!(inv.encoder.len(), 1);
+    }
+
+    #[test]
+    fn leakage_scales_with_period() {
+        let nfa = chain_nfa(300);
+        let lib = CircuitLibrary::tsmc28();
+        let mapping = map_design(DesignKind::CacheAutomaton, &nfa, None);
+        let inv = inventory(&mapping, &lib);
+        let (m1, s1, e1) = inv.leakage_per_cycle(Delay(500.0));
+        let (m2, s2, _) = inv.leakage_per_cycle(Delay(1000.0));
+        assert!((m2.value() - 2.0 * m1.value()).abs() < 1e-9);
+        assert!((s2.value() - 2.0 * s1.value()).abs() < 1e-9);
+        assert_eq!(e1.value(), 0.0);
+        assert!(m1.value() > 0.0 && s1.value() > 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Stage delays, frequencies, and the wire-delay model (Table IV).
+//!
+//! Every design's pipeline has three stages: state matching, local
+//! switch, global switch. The global stage adds a wire delay that scales
+//! with the footprint of the state-matching array — the paper calibrates
+//! 99 ps for CA's 256×256 6T bank and notes 26.1 / 48.69 / 121 ps for
+//! CAMA / 2-stride Impala / eAP, exactly proportional to their
+//! state-match areas. Pipelined designs run at `1 / max(stage)`;
+//! CAMA-E's feedback loop (match ← transition) makes its period
+//! `match + global` (the local switch is hidden behind the global one).
+//! All designs operate at 90 % of their maximum frequency.
+
+use crate::designs::DesignKind;
+use cama_mem::models::{ArrayKind, CircuitLibrary};
+use cama_mem::{Area, Delay};
+
+/// CA's global wire delay (ps), the calibration anchor.
+pub const CA_WIRE_DELAY_PS: f64 = 99.0;
+
+/// Frequency safety margin: designs operate at 90 % of maximum.
+pub const OPERATING_MARGIN: f64 = 0.9;
+
+/// The three pipeline stage delays plus the global wire component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageDelays {
+    /// State-matching access.
+    pub state_match: Delay,
+    /// Local-switch access.
+    pub local_switch: Delay,
+    /// Global switch: memory access + wire flight.
+    pub global_switch: Delay,
+    /// The wire component included in `global_switch`.
+    pub wire: Delay,
+}
+
+/// Timing summary for one design (one row of Table IV).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingReport {
+    /// The design.
+    pub design: DesignKind,
+    /// Stage delays.
+    pub stages: StageDelays,
+    /// Maximum frequency in GHz.
+    pub max_frequency_ghz: f64,
+    /// Operated frequency (90 % of max) in GHz.
+    pub operated_frequency_ghz: f64,
+}
+
+/// Computes the stage delays of a design from the circuit library.
+pub fn stage_delays(design: DesignKind, lib: &CircuitLibrary) -> StageDelays {
+    let global_mem = lib.model(ArrayKind::Sram8T, 256, 256).delay;
+    let ca_match_area = lib.model(ArrayKind::Sram6T, 256, 256).area;
+
+    let (state_match, local_switch, match_area) = match design {
+        DesignKind::CamaE | DesignKind::CamaT => (
+            lib.model(ArrayKind::Cam8T, 16, 256).delay,
+            lib.model(ArrayKind::Sram8T, 128, 128).delay,
+            lib.model(ArrayKind::Cam8T, 16, 256).area,
+        ),
+        DesignKind::Cama2E | DesignKind::Cama2T => (
+            lib.model(ArrayKind::Cam8T, 64, 256).delay,
+            lib.model(ArrayKind::Sram8T, 256, 256).delay,
+            lib.model(ArrayKind::Cam8T, 64, 256).area,
+        ),
+        DesignKind::Impala2 => (
+            lib.model(ArrayKind::Sram6T, 16, 256).delay,
+            lib.model(ArrayKind::Sram8T, 256, 256).delay,
+            // Two 16×256 banks side by side.
+            Area(lib.model(ArrayKind::Sram6T, 16, 256).area.value() * 2.0),
+        ),
+        DesignKind::Impala4 => (
+            lib.model(ArrayKind::Sram6T, 16, 256).delay,
+            lib.model(ArrayKind::Sram8T, 256, 256).delay,
+            Area(lib.model(ArrayKind::Sram6T, 16, 256).area.value() * 4.0),
+        ),
+        DesignKind::Eap => (
+            lib.model(ArrayKind::Sram8T, 256, 256).delay,
+            lib.model(ArrayKind::Sram8T, 256, 256).delay,
+            lib.model(ArrayKind::Sram8T, 256, 256).area,
+        ),
+        DesignKind::CacheAutomaton => (
+            lib.model(ArrayKind::Sram6T, 256, 256).delay,
+            lib.model(ArrayKind::Sram8T, 256, 256).delay,
+            lib.model(ArrayKind::Sram6T, 256, 256).area,
+        ),
+        DesignKind::Ap => {
+            // The AP is modeled by its published frequency only.
+            return StageDelays {
+                state_match: Delay(0.0),
+                local_switch: Delay(0.0),
+                global_switch: Delay(1000.0 / 0.133),
+                wire: Delay(0.0),
+            };
+        }
+    };
+
+    let wire = Delay(CA_WIRE_DELAY_PS * (match_area / ca_match_area));
+    StageDelays {
+        state_match,
+        local_switch,
+        global_switch: global_mem + wire,
+        wire,
+    }
+}
+
+/// Computes Table IV's row for a design.
+pub fn timing_report(design: DesignKind, lib: &CircuitLibrary) -> TimingReport {
+    let stages = stage_delays(design, lib);
+    let period = match design {
+        // Non-pipelined: the transition result feeds the prechargers, so
+        // matching and the global switch serialize; the local switch runs
+        // in parallel with the global one.
+        DesignKind::CamaE | DesignKind::Cama2E => stages.state_match + stages.global_switch,
+        DesignKind::Ap => stages.global_switch,
+        // Pipelined: the slowest stage (always the global switch here).
+        _ => stages
+            .state_match
+            .max(stages.local_switch)
+            .max(stages.global_switch),
+    };
+    let max_frequency_ghz = period.to_frequency_ghz();
+    TimingReport {
+        design,
+        stages,
+        max_frequency_ghz,
+        operated_frequency_ghz: if design == DesignKind::Ap {
+            max_frequency_ghz
+        } else {
+            max_frequency_ghz * OPERATING_MARGIN
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(design: DesignKind) -> TimingReport {
+        timing_report(design, &CircuitLibrary::tsmc28())
+    }
+
+    #[test]
+    fn table_iv_cama() {
+        let t = report(DesignKind::CamaT);
+        assert_eq!(t.stages.state_match.value(), 325.0);
+        assert_eq!(t.stages.local_switch.value(), 292.0);
+        assert!((t.stages.global_switch.value() - 420.1).abs() < 0.2);
+        assert!((t.max_frequency_ghz - 2.38).abs() < 0.01);
+        assert!((t.operated_frequency_ghz - 2.14).abs() < 0.01);
+
+        let e = report(DesignKind::CamaE);
+        assert!((e.max_frequency_ghz - 1.34).abs() < 0.01);
+        assert!((e.operated_frequency_ghz - 1.21).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_iv_impala() {
+        let t = report(DesignKind::Impala2);
+        assert_eq!(t.stages.state_match.value(), 317.0);
+        assert_eq!(t.stages.local_switch.value(), 394.0);
+        assert!((t.stages.global_switch.value() - 442.69).abs() < 0.3);
+        assert!((t.max_frequency_ghz - 2.26).abs() < 0.01);
+        assert!((t.operated_frequency_ghz - 2.03).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_iv_eap() {
+        let t = report(DesignKind::Eap);
+        assert_eq!(t.stages.state_match.value(), 394.0);
+        assert!((t.stages.global_switch.value() - 515.0).abs() < 1.0);
+        assert!((t.max_frequency_ghz - 1.94).abs() < 0.01);
+        assert!((t.operated_frequency_ghz - 1.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_iv_cache_automaton() {
+        let t = report(DesignKind::CacheAutomaton);
+        assert_eq!(t.stages.state_match.value(), 416.0);
+        assert!((t.stages.global_switch.value() - 493.0).abs() < 0.2);
+        assert!((t.max_frequency_ghz - 2.03).abs() < 0.01);
+        assert!((t.operated_frequency_ghz - 1.82).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_iv_ap() {
+        let t = report(DesignKind::Ap);
+        assert!((t.max_frequency_ghz - 0.133).abs() < 0.001);
+        assert_eq!(t.max_frequency_ghz, t.operated_frequency_ghz);
+    }
+
+    #[test]
+    fn two_stride_cama_is_slower_but_wider() {
+        let one = report(DesignKind::CamaT);
+        let two = report(DesignKind::Cama2T);
+        assert!(two.max_frequency_ghz < one.max_frequency_ghz);
+        assert!(two.stages.state_match.value() > one.stages.state_match.value());
+    }
+
+    #[test]
+    fn speedups_over_ap_match_the_text() {
+        // §VIII.A: CAMA-T ≈ 16.1× and CAMA-E ≈ 9.1× over the AP.
+        let ap = report(DesignKind::Ap).operated_frequency_ghz;
+        let t = report(DesignKind::CamaT).operated_frequency_ghz / ap;
+        let e = report(DesignKind::CamaE).operated_frequency_ghz / ap;
+        assert!((t - 16.1).abs() < 0.3, "CAMA-T speedup {t}");
+        assert!((e - 9.1).abs() < 0.3, "CAMA-E speedup {e}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the transition switches: full crossbar vs
+//! the diagonal reduced crossbar, and the mapping pipeline that decides
+//! between them.
+
+use cama_arch::designs::DesignKind;
+use cama_arch::mapping::map_design;
+use cama_core::bitset::BitSet;
+use cama_encoding::EncodingPlan;
+use cama_mem::{FullCrossbar, ReducedCrossbar, K_DIA};
+use cama_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn diagonal_edges() -> Vec<(usize, usize)> {
+    (0..255).map(|i| (i, i + 1)).collect()
+}
+
+fn bench_route(c: &mut Criterion) {
+    let edges = diagonal_edges();
+    let rcb = ReducedCrossbar::try_program(256, K_DIA, edges.iter().copied()).unwrap();
+    let mut fcb = FullCrossbar::new(256);
+    for &(f, t) in &edges {
+        fcb.connect(f, t);
+    }
+    let active = BitSet::from_indices(256, [3usize, 77, 130, 201]);
+    c.bench_function("rcb_route_4_active", |b| {
+        b.iter(|| black_box(rcb.route(black_box(&active))))
+    });
+    c.bench_function("fcb_route_4_active", |b| {
+        b.iter(|| black_box(fcb.route(black_box(&active))))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let nfa = Benchmark::Snort.generate(0.05);
+    let plan = EncodingPlan::for_nfa(&nfa);
+    c.bench_function("map_cama_snort_5pct", |b| {
+        b.iter(|| black_box(map_design(DesignKind::CamaE, black_box(&nfa), Some(&plan))))
+    });
+    c.bench_function("map_ca_snort_5pct", |b| {
+        b.iter(|| {
+            black_box(map_design(
+                DesignKind::CacheAutomaton,
+                black_box(&nfa),
+                None,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_route, bench_mapping);
+criterion_main!(benches);

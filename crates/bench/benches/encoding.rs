@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the encoding toolchain: scheme selection,
+//! clustering, and class compression over a realistic benchmark.
+
+use cama_core::SymbolClass;
+use cama_encoding::clustering::ClassUsage;
+use cama_encoding::codebook::Codebook;
+use cama_encoding::compress::compress_class;
+use cama_encoding::plan::EncodingPlan;
+use cama_encoding::scheme::{select, Scheme};
+use cama_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_plan(c: &mut Criterion) {
+    let nfa = Benchmark::Bro217.generate(0.5);
+    c.bench_function("encoding_plan_bro217_half", |b| {
+        b.iter(|| black_box(EncodingPlan::for_nfa(black_box(&nfa))))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    c.bench_function("scheme_selection_sweep", |b| {
+        b.iter(|| {
+            for alphabet in [2usize, 107, 114, 115, 256] {
+                for avg in [1.0f64, 1.28, 2.65, 4.0, 51.55] {
+                    black_box(select(black_box(alphabet), black_box(avg)));
+                }
+            }
+        })
+    });
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let domain: SymbolClass = (0..=255u8).collect();
+    let usage = ClassUsage::from_classes(&[domain]);
+    let book = Codebook::build(
+        Scheme::TwoZerosPrefix {
+            prefix: 10,
+            suffix: 6,
+        },
+        &domain,
+        &usage,
+    );
+    let class = SymbolClass::from_range(40, 79);
+    c.bench_function("compress_40_symbol_class", |b| {
+        b.iter(|| black_box(compress_class(black_box(&class), &book)))
+    });
+}
+
+criterion_group!(benches, bench_plan, bench_selection, bench_compress);
+criterion_main!(benches);

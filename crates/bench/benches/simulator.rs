@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the cycle engine: functional simulation
+//! throughput in input bytes per second, with and without the energy
+//! observer, plus the 2-stride engine.
+
+use cama_arch::designs::DesignKind;
+use cama_arch::energy::EnergyObserver;
+use cama_arch::mapping::map_design;
+use cama_core::stride::StridedNfa;
+use cama_encoding::EncodingPlan;
+use cama_mem::models::CircuitLibrary;
+use cama_sim::{Simulator, StridedSimulator};
+use cama_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const INPUT_LEN: usize = 4096;
+
+fn bench_functional(c: &mut Criterion) {
+    let nfa = Benchmark::Snort.generate(0.02);
+    let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Bytes(INPUT_LEN as u64));
+    group.bench_function("snort_functional", |b| {
+        let mut sim = Simulator::new(&nfa);
+        b.iter(|| black_box(sim.run(black_box(&input))))
+    });
+    group.finish();
+}
+
+fn bench_with_energy(c: &mut Criterion) {
+    let nfa = Benchmark::Snort.generate(0.02);
+    let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
+    let lib = CircuitLibrary::tsmc28();
+    let plan = EncodingPlan::for_nfa(&nfa);
+    let mapping = map_design(DesignKind::CamaE, &nfa, Some(&plan));
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Bytes(INPUT_LEN as u64));
+    group.bench_function("snort_with_energy_observer", |b| {
+        let mut sim = Simulator::new(&nfa);
+        b.iter(|| {
+            let mut observer = EnergyObserver::for_nfa(DesignKind::CamaE, &mapping, &lib, &nfa);
+            sim.run_with(black_box(&input), &mut observer);
+            black_box(observer.breakdown)
+        })
+    });
+    group.finish();
+}
+
+fn bench_strided(c: &mut Criterion) {
+    let nfa = Benchmark::Brill.generate(0.02);
+    let input = Benchmark::Brill.input(&nfa, INPUT_LEN, 1);
+    let strided = StridedNfa::from_nfa(&nfa);
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Bytes(INPUT_LEN as u64));
+    group.bench_function("brill_two_stride", |b| {
+        let mut sim = StridedSimulator::new(&strided);
+        b.iter(|| black_box(sim.run(black_box(&input))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional, bench_with_energy, bench_strided);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the state-matching CAM bank: search
+//! cost as a function of the number of selectively precharged entries
+//! (the lever behind CAMA-E's 2.67–16.78 pJ energy range).
+
+use cama_core::bitset::BitSet;
+use cama_encoding::{CamEntry, Code};
+use cama_mem::CamBank;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn full_bank() -> CamBank {
+    let mut bank = CamBank::new(16, 256);
+    for i in 0..256usize {
+        // Two zero positions derived from the entry index.
+        let zeros = (1u64 << (i % 16)) | (1u64 << ((i / 16) % 16));
+        bank.program(CamEntry::from_code(Code::new(zeros, 16)), i % 7 == 0)
+            .expect("capacity suffices");
+    }
+    bank
+}
+
+fn bench_search(c: &mut Criterion) {
+    let bank = full_bank();
+    let code = Some(Code::new(0b11u64, 16));
+    let mut group = c.benchmark_group("cam_search");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("all_entries", |b| {
+        b.iter(|| black_box(bank.search(black_box(code), None)))
+    });
+    for enabled_count in [1usize, 16, 64, 256] {
+        let enabled =
+            BitSet::from_indices(256, (0..enabled_count).map(|i| i * (256 / enabled_count)));
+        group.bench_with_input(
+            BenchmarkId::new("selective", enabled_count),
+            &enabled,
+            |b, enabled| b.iter(|| black_box(bank.search(black_box(code), Some(enabled)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_program(c: &mut Criterion) {
+    c.bench_function("cam_program_256", |b| b.iter(|| black_box(full_bank().len())));
+}
+
+criterion_group!(benches, bench_search, bench_program);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates every table and figure in sequence.
+fn main() {
+    let s = cama_bench::static_scale();
+    let sim = cama_bench::sim_scale();
+    let len = cama_bench::input_len();
+    println!("{}\n", cama_bench::tables::table1(s));
+    println!("{}\n", cama_bench::tables::table2(s));
+    println!("{}\n", cama_bench::tables::table3());
+    println!("{}\n", cama_bench::tables::table4());
+    println!("{}\n", cama_bench::tables::table5(s));
+    println!("{}\n", cama_bench::tables::fig10(s));
+    println!("{}\n", cama_bench::tables::fig11(sim, len));
+    println!("{}\n", cama_bench::tables::fig12(sim, len));
+    println!("{}\n", cama_bench::tables::fig13(sim, len));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (area comparison).
+fn main() {
+    println!("{}", cama_bench::tables::fig10(cama_bench::static_scale()));
+}

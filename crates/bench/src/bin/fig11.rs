@@ -1,0 +1,7 @@
+//! Regenerates Figure 11 (compute density, energy per byte, power).
+fn main() {
+    println!(
+        "{}",
+        cama_bench::tables::fig11(cama_bench::sim_scale(), cama_bench::input_len())
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 12 (CAMA energy breakdown).
+fn main() {
+    println!(
+        "{}",
+        cama_bench::tables::fig12(cama_bench::sim_scale(), cama_bench::input_len())
+    );
+}

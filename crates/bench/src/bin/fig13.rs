@@ -1,0 +1,7 @@
+//! Regenerates Figure 13 (multi-stride energy comparison).
+fn main() {
+    println!(
+        "{}",
+        cama_bench::tables::fig13(cama_bench::sim_scale(), cama_bench::input_len())
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (symbol classes and CAM entries).
+fn main() {
+    println!("{}", cama_bench::tables::table1(cama_bench::static_scale()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II (encoding-scheme comparison).
+fn main() {
+    println!("{}", cama_bench::tables::table2(cama_bench::static_scale()));
+}

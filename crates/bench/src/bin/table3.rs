@@ -1,0 +1,4 @@
+//! Regenerates Table III (28nm circuit models).
+fn main() {
+    println!("{}", cama_bench::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table IV (delays and frequencies).
+fn main() {
+    println!("{}", cama_bench::tables::table4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table V (switch mapping results).
+fn main() {
+    println!("{}", cama_bench::tables::table5(cama_bench::static_scale()));
+}

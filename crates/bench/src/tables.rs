@@ -1,0 +1,509 @@
+//! Implementations of every table and figure of the evaluation section.
+//!
+//! Each function renders one artifact as text; the `table*`/`fig*`
+//! binaries print them, and the integration tests exercise them at small
+//! scale. Paper reference values are printed alongside measured ones
+//! where the paper publishes them, so shape deviations are visible at a
+//! glance.
+
+use crate::{evaluate_prepared, geomean, prepare, ratio, PreparedBenchmark, TextTable};
+use cama_arch::designs::DesignKind;
+use cama_arch::mapping::{map_design, PartitionMode};
+use cama_arch::report::{evaluate_strided, strided_weights, DesignReport};
+use cama_arch::timing::timing_report;
+use cama_core::stats::class_stats;
+use cama_core::stride::StridedNfa;
+use cama_encoding::{EncodingPlan, Scheme};
+use cama_mem::models::CircuitLibrary;
+use cama_workloads::Benchmark;
+use std::fmt::Write as _;
+
+/// Table I: symbol-class and alphabet statistics, and CAM entries with
+/// raw vs negation-optimized classes.
+pub fn table1(scale: f64) -> String {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "ClassSize",
+        "ClassSize(NO)",
+        "Alphabet",
+        "Entries(raw)",
+        "Entries(NO)",
+        "paper raw",
+        "paper NO",
+    ]);
+    for bench in Benchmark::ALL {
+        let nfa = bench.generate(scale);
+        let stats = class_stats(&nfa);
+        let with_no = EncodingPlan::for_nfa(&nfa);
+        let raw = EncodingPlan::without_negation(&nfa);
+        let spec = bench.spec();
+        // The paper's entry columns are at full scale; scale them for
+        // the side-by-side comparison.
+        let paper_no = (spec.paper_entries_proposed as f64 * scale) as usize;
+        table.row([
+            bench.name().to_string(),
+            format!("{:.2}", stats.avg_class_size),
+            format!("{:.2}", stats.avg_class_size_no),
+            stats.alphabet_size.to_string(),
+            raw.total_entries().to_string(),
+            with_no.total_entries().to_string(),
+            "-".to_string(),
+            format!("~{paper_no}"),
+        ]);
+    }
+    format!(
+        "Table I — symbol classes and CAM entries (scale {scale})\n{}",
+        table.render()
+    )
+}
+
+/// Table II: encoding-scheme comparison (one-hot states, fixed 32-bit
+/// One-Zero-Prefix, proposed selection).
+pub fn table2(scale: f64) -> String {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "256b-OneZero",
+        "Fixed-32b",
+        "CodeLen",
+        "Proposed",
+        "paper len",
+        "paper states",
+    ]);
+    for bench in Benchmark::ALL {
+        let nfa = bench.generate(scale);
+        let fixed = EncodingPlan::with_scheme(
+            &nfa,
+            Scheme::OneZeroPrefix {
+                prefix: 16,
+                suffix: 16,
+            },
+            false,
+        );
+        let proposed = EncodingPlan::for_nfa(&nfa);
+        let spec = bench.spec();
+        table.row([
+            bench.name().to_string(),
+            nfa.len().to_string(),
+            fixed.total_entries().to_string(),
+            proposed.code_len().to_string(),
+            proposed.total_entries().to_string(),
+            spec.paper_code_len.to_string(),
+            format!("~{}", (spec.paper_entries_proposed as f64 * scale) as usize),
+        ]);
+    }
+    format!(
+        "Table II — encoding comparison (scale {scale})\n{}",
+        table.render()
+    )
+}
+
+/// Table III: the 28 nm circuit models.
+pub fn table3() -> String {
+    let lib = CircuitLibrary::tsmc28();
+    let mut table = TextTable::new([
+        "Type", "Size", "Energy(pJ)", "Delay(ps)", "Area(um2)", "Leakage(uA)",
+    ]);
+    for model in lib.table_iii() {
+        table.row([
+            format!("{:?}", model.kind),
+            format!("{}x{}", model.rows, model.cols),
+            format!("{:.2}", model.energy.value()),
+            format!("{:.0}", model.delay.value()),
+            format!("{:.0}", model.area.value()),
+            format!("{:.0}", model.leakage.value()),
+        ]);
+    }
+    // Derived geometries quoted in the text.
+    for (rows, cols) in [(64usize, 256usize)] {
+        let m = lib.model(cama_mem::models::ArrayKind::Cam8T, rows, cols);
+        table.row([
+            "Cam8T (derived)".to_string(),
+            format!("{rows}x{cols}"),
+            format!("{:.2}", m.energy.value()),
+            format!("{:.0}", m.delay.value()),
+            format!("{:.0}", m.area.value()),
+            format!("{:.0}", m.leakage.value()),
+        ]);
+    }
+    format!("Table III — circuit models in 28nm\n{}", table.render())
+}
+
+/// Table IV: delays and frequencies.
+pub fn table4() -> String {
+    let lib = CircuitLibrary::tsmc28();
+    let mut table = TextTable::new([
+        "Design",
+        "StateMatch",
+        "L-switch",
+        "G-switch",
+        "Freq.Max",
+        "Freq.Operated",
+    ]);
+    for design in [
+        DesignKind::CamaE,
+        DesignKind::CamaT,
+        DesignKind::Impala2,
+        DesignKind::Eap,
+        DesignKind::CacheAutomaton,
+        DesignKind::Ap,
+    ] {
+        let t = timing_report(design, &lib);
+        let fmt_ps = |d: cama_mem::Delay| {
+            if d.value() == 0.0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}ps", d.value())
+            }
+        };
+        table.row([
+            design.name().to_string(),
+            fmt_ps(t.stages.state_match),
+            fmt_ps(t.stages.local_switch),
+            fmt_ps(t.stages.global_switch),
+            format!("{:.2}GHz", t.max_frequency_ghz),
+            format!("{:.2}GHz", t.operated_frequency_ghz),
+        ]);
+    }
+    format!("Table IV — delays and frequency in 28nm\n{}", table.render())
+}
+
+/// Table V: switch mapping results for CA (baseline) and CAMA.
+pub fn table5(scale: f64) -> String {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "CA local",
+        "CA global",
+        "RCB mode",
+        "Global",
+        "FCB mode",
+    ]);
+    for bench in Benchmark::ALL {
+        let nfa = bench.generate(scale);
+        let ca = map_design(DesignKind::CacheAutomaton, &nfa, None);
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let cama = map_design(DesignKind::CamaE, &nfa, Some(&plan));
+        let fcb = cama.switch_count(PartitionMode::Fcb) + cama.switch_count(PartitionMode::Wide);
+        table.row([
+            bench.name().to_string(),
+            ca.partitions.len().to_string(),
+            ca.global_switches.to_string(),
+            cama.switch_count(PartitionMode::Rcb).to_string(),
+            cama.global_switches.to_string(),
+            fcb.to_string(),
+        ]);
+    }
+    format!(
+        "Table V — switch mapping results (scale {scale})\n{}",
+        table.render()
+    )
+}
+
+/// Figure 10: total chip area per benchmark and design.
+pub fn fig10(scale: f64) -> String {
+    let designs = [
+        DesignKind::CamaE,
+        DesignKind::Impala2,
+        DesignKind::Eap,
+        DesignKind::CacheAutomaton,
+    ];
+    let lib = CircuitLibrary::tsmc28();
+    let mut table = TextTable::new([
+        "Benchmark",
+        "CAMA(mm2)",
+        "Impala2(mm2)",
+        "eAP(mm2)",
+        "CA(mm2)",
+        "CA/CAMA",
+    ]);
+    let mut largest: Option<(String, [f64; 4])> = None;
+    let mut ratios = [Vec::new(), Vec::new(), Vec::new()];
+    for bench in Benchmark::ALL {
+        let nfa = bench.generate(scale);
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let areas: Vec<f64> = designs
+            .iter()
+            .map(|&d| {
+                let mapping = map_design(d, &nfa, d.is_cama().then_some(&plan));
+                cama_arch::area::area_report(&mapping, &lib).total().to_mm2()
+            })
+            .collect();
+        for (i, r) in ratios.iter_mut().enumerate() {
+            r.push(areas[i + 1] / areas[0]);
+        }
+        if largest
+            .as_ref()
+            .is_none_or(|(_, a)| areas[3] > a[3])
+        {
+            largest = Some((
+                bench.name().to_string(),
+                [areas[0], areas[1], areas[2], areas[3]],
+            ));
+        }
+        table.row([
+            bench.name().to_string(),
+            format!("{:.3}", areas[0]),
+            format!("{:.3}", areas[1]),
+            format!("{:.3}", areas[2]),
+            format!("{:.3}", areas[3]),
+            ratio(areas[3], areas[0]),
+        ]);
+    }
+    let mut out = format!("Figure 10 — area comparison (scale {scale})\n{}", table.render());
+    if let Some((name, areas)) = largest {
+        let _ = writeln!(
+            out,
+            "largest benchmark ({name}): Impala2 {}  eAP {}  CA {}   (paper: 1.91x 1.78x 2.48x)",
+            ratio(areas[1], areas[0]),
+            ratio(areas[2], areas[0]),
+            ratio(areas[3], areas[0]),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "geomean area vs CAMA: Impala2 {:.2}x  eAP {:.2}x  CA {:.2}x",
+        geomean(&ratios[0]),
+        geomean(&ratios[1]),
+        geomean(&ratios[2]),
+    );
+    out
+}
+
+fn headline_reports(prepared: &PreparedBenchmark) -> Vec<DesignReport> {
+    DesignKind::HEADLINE
+        .iter()
+        .map(|&d| evaluate_prepared(d, prepared))
+        .collect()
+}
+
+/// Figure 11: compute density (a), energy per byte (b), and power (c),
+/// normalized to CAMA-E with absolute CAMA-E values.
+pub fn fig11(scale: f64, input_len: usize) -> String {
+    let mut density = TextTable::new([
+        "Benchmark",
+        "CAMA-E(Gbps/mm2)",
+        "CAMA-T",
+        "Impala2",
+        "eAP",
+        "CA",
+    ]);
+    let mut energy = TextTable::new([
+        "Benchmark",
+        "CAMA-E(nJ/B)",
+        "CAMA-T",
+        "Impala2",
+        "eAP",
+        "CA",
+    ]);
+    let mut power = TextTable::new(["Benchmark", "CAMA-E(W)", "CAMA-T", "Impala2", "eAP", "CA"]);
+    let mut energy_ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut density_ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut power_ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+
+    for bench in Benchmark::ALL {
+        let prepared = prepare(bench, scale, input_len);
+        let reports = headline_reports(&prepared);
+        let base = &reports[0]; // CAMA-E
+        let bd = base.compute_density();
+        let be = base.energy_per_byte_nj();
+        let bp = base.power_watts();
+
+        let mut drow = vec![bench.name().to_string(), format!("{bd:.1}")];
+        let mut erow = vec![bench.name().to_string(), format!("{be:.4}")];
+        let mut prow = vec![bench.name().to_string(), format!("{bp:.3}")];
+        for (i, r) in reports.iter().skip(1).enumerate() {
+            drow.push(format!("{:.2}", r.compute_density() / bd));
+            erow.push(format!("{:.2}", r.energy_per_byte_nj() / be));
+            prow.push(format!("{:.2}", r.power_watts() / bp));
+            density_ratios[i].push(r.compute_density() / bd);
+            energy_ratios[i].push(r.energy_per_byte_nj() / be);
+            power_ratios[i].push(r.power_watts() / bp);
+        }
+        density.row(drow);
+        energy.row(erow);
+        power.row(prow);
+    }
+
+    let names = ["CAMA-T", "2-stride Impala", "eAP", "CA"];
+    let mut out = format!(
+        "Figure 11 — performance comparison (scale {scale}, {input_len} B input; \
+         columns after the first are normalized to CAMA-E)\n\n(a) compute density\n{}",
+        density.render()
+    );
+    let _ = writeln!(out, "\n(b) energy per byte\n{}", energy.render());
+    let _ = writeln!(out, "(c) power\n{}", power.render());
+    for (i, name) in names.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "geomean vs CAMA-E — {name}: density {:.2}x, energy {:.2}x, power {:.2}x",
+            geomean(&density_ratios[i]),
+            geomean(&energy_ratios[i]),
+            geomean(&power_ratios[i]),
+        );
+    }
+    out.push_str(
+        "paper: energy — CA 2.1x, Impala2 2.8x, eAP 2.04x, CAMA-T 2.04x over CAMA-E;\n\
+         density — CAMA-T 2.68x/3.87x/2.62x over Impala2/CA/eAP;\n\
+         power — CA 3.15x, Impala2 4.71x, eAP 2.94x, CAMA-T 3.63x of CAMA-E\n",
+    );
+    out
+}
+
+/// Figure 12: CAMA energy breakdown (encoder / switch+wire / state
+/// match) for CAMA-E and CAMA-T.
+pub fn fig12(scale: f64, input_len: usize) -> String {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "E:match%",
+        "E:switch%",
+        "E:encoder%",
+        "T:match%",
+        "T:switch%",
+        "T:encoder%",
+    ]);
+    let mut e_fracs = Vec::new();
+    let mut t_fracs = Vec::new();
+    for bench in Benchmark::ALL {
+        let prepared = prepare(bench, scale, input_len);
+        let e = evaluate_prepared(DesignKind::CamaE, &prepared);
+        let t = evaluate_prepared(DesignKind::CamaT, &prepared);
+        let (em, es, ee) = e.energy.fractions();
+        let (tm, ts, te) = t.energy.fractions();
+        e_fracs.push((em, es, ee));
+        t_fracs.push((tm, ts, te));
+        table.row([
+            bench.name().to_string(),
+            format!("{:.1}", em * 100.0),
+            format!("{:.1}", es * 100.0),
+            format!("{:.2}", ee * 100.0),
+            format!("{:.1}", tm * 100.0),
+            format!("{:.1}", ts * 100.0),
+            format!("{:.2}", te * 100.0),
+        ]);
+    }
+    let avg = |f: &[(f64, f64, f64)], pick: fn(&(f64, f64, f64)) -> f64| {
+        f.iter().map(pick).sum::<f64>() / f.len() as f64 * 100.0
+    };
+    let mut out = format!(
+        "Figure 12 — CAMA energy breakdown (scale {scale}, {input_len} B input)\n{}",
+        table.render()
+    );
+    let _ = writeln!(
+        out,
+        "average CAMA-E: match {:.1}%  switch+wire {:.1}%  encoder {:.2}%  \
+         (paper: 27% / 72.89% / 0.11%)",
+        avg(&e_fracs, |f| f.0),
+        avg(&e_fracs, |f| f.1),
+        avg(&e_fracs, |f| f.2),
+    );
+    let _ = writeln!(
+        out,
+        "average CAMA-T: match {:.1}%  switch+wire {:.1}%  encoder {:.2}%  \
+         (paper: 64.6% / 35.35% / 0.05%)",
+        avg(&t_fracs, |f| f.0),
+        avg(&t_fracs, |f| f.1),
+        avg(&t_fracs, |f| f.2),
+    );
+    out
+}
+
+/// Figure 13: 2-stride CAMA vs 4-stride Impala energy per byte.
+pub fn fig13(scale: f64, input_len: usize) -> String {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "2s-CAMA-E(nJ/B)",
+        "2s-CAMA-T",
+        "4s-Impala",
+    ]);
+    let mut impala_vs_e = Vec::new();
+    let mut impala_vs_t = Vec::new();
+    // The paper's Figure 13 omits the largest Dotstar variant.
+    for bench in Benchmark::ALL.iter().filter(|b| **b != Benchmark::Dotstar) {
+        let nfa = bench.generate(scale);
+        let input = bench.input(&nfa, input_len, crate::seed());
+        let strided = StridedNfa::from_nfa(&nfa);
+        let reports: Vec<DesignReport> =
+            [DesignKind::Cama2E, DesignKind::Cama2T, DesignKind::Impala4]
+                .iter()
+                .map(|&d| {
+                    let weights = strided_weights(d, &strided);
+                    evaluate_strided(d, &strided, weights, &input)
+                })
+                .collect();
+        let base = reports[0].energy_per_byte_nj();
+        impala_vs_e.push(reports[2].energy_per_byte_nj() / base);
+        impala_vs_t.push(reports[2].energy_per_byte_nj() / reports[1].energy_per_byte_nj());
+        table.row([
+            bench.name().to_string(),
+            format!("{base:.4}"),
+            format!("{:.2}", reports[1].energy_per_byte_nj() / base),
+            format!("{:.2}", reports[2].energy_per_byte_nj() / base),
+        ]);
+    }
+    let mut out = format!(
+        "Figure 13 — multi-stride energy (scale {scale}, {input_len} B input; \
+         normalized to 2-stride CAMA-E)\n{}",
+        table.render()
+    );
+    let _ = writeln!(
+        out,
+        "geomean 4-stride Impala vs 2-stride CAMA-E: {:.2}x (paper 3.77x); \
+         vs 2-stride CAMA-T: {:.2}x (paper 2.18x)",
+        geomean(&impala_vs_e),
+        geomean(&impala_vs_t),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.01;
+
+    #[test]
+    fn table3_and_table4_are_static() {
+        let t3 = table3();
+        assert!(t3.contains("16x256"));
+        assert!(t3.contains("16.78"));
+        let t4 = table4();
+        assert!(t4.contains("CAMA-E"));
+        assert!(t4.contains("2.38GHz"));
+        assert!(t4.contains("0.13GHz"));
+    }
+
+    #[test]
+    fn table1_runs_small() {
+        let t = table1(SCALE);
+        assert!(t.contains("Brill"));
+        assert!(t.lines().count() > 22);
+    }
+
+    #[test]
+    fn table2_runs_small() {
+        let t = table2(SCALE);
+        assert!(t.contains("ExactMath"));
+    }
+
+    #[test]
+    fn table5_runs_small() {
+        let t = table5(SCALE);
+        assert!(t.contains("EntityResolution"));
+    }
+
+    #[test]
+    fn fig10_reports_ratios() {
+        let f = fig10(SCALE);
+        assert!(f.contains("geomean"));
+        assert!(f.contains("largest benchmark"));
+    }
+
+    #[test]
+    fn fig11_through_13_run_small() {
+        let f = fig11(SCALE, 512);
+        assert!(f.contains("compute density"));
+        let f = fig12(SCALE, 512);
+        assert!(f.contains("encoder"));
+        let f = fig13(SCALE, 512);
+        assert!(f.contains("4-stride"));
+    }
+}

@@ -1,0 +1,354 @@
+//! A compact dynamic bit set used throughout the simulator and hardware
+//! models for active-state vectors, match vectors, and crossbar rows.
+//!
+//! The set is sized at construction time and never grows; every operation
+//! that combines two sets requires them to have the same length. This
+//! mirrors the fixed-width registers of the modeled hardware (match
+//! vectors, next vectors, crossbar rows) and catches size mismatches early.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A fixed-capacity set of bits backed by `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::bitset::BitSet;
+///
+/// let mut set = BitSet::new(128);
+/// set.insert(3);
+/// set.insert(77);
+/// assert!(set.contains(77));
+/// assert_eq!(set.count(), 2);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 77]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for `len` bits (indices `0..len`).
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(BITS)],
+        }
+    }
+
+    /// Creates a set of `len` bits with every bit set.
+    pub fn full(len: usize) -> Self {
+        let mut set = BitSet::new(len);
+        for (i, word) in set.words.iter_mut().enumerate() {
+            let lo = i * BITS;
+            let n = (len - lo).min(BITS);
+            *word = if n == BITS { !0 } else { (1u64 << n) - 1 };
+        }
+        set
+    }
+
+    /// Creates a set from an iterator of bit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut set = BitSet::new(len);
+        for i in indices {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Number of addressable bits (the capacity, not the population count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / BITS] |= 1u64 << (i % BITS);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / BITS] &= !(1u64 << (i % BITS));
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / BITS] >> (i % BITS) & 1 == 1
+    }
+
+    /// Clears every bit, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share any set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if every bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Copies the contents of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Access to the raw words, mostly for hashing or fast comparisons.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized to exactly fit the largest index.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let len = indices.iter().max().map_or(0, |&m| m + 1);
+        BitSet::from_indices(len, indices)
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over set bit indices, created by [`BitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let set = BitSet::new(100);
+        assert!(set.is_empty());
+        assert_eq!(set.count(), 0);
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = BitSet::new(130);
+        set.insert(0);
+        set.insert(64);
+        set.insert(129);
+        assert!(set.contains(0));
+        assert!(set.contains(64));
+        assert!(set.contains(129));
+        assert!(!set.contains(1));
+        set.remove(64);
+        assert!(!set.contains(64));
+        assert_eq!(set.count(), 2);
+    }
+
+    #[test]
+    fn full_has_all_bits() {
+        let set = BitSet::full(70);
+        assert_eq!(set.count(), 70);
+        assert!(set.contains(69));
+    }
+
+    #[test]
+    fn full_zero_len() {
+        let set = BitSet::full(0);
+        assert_eq!(set.count(), 0);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a0 = BitSet::from_indices(10, [1, 3, 5]);
+        let b = BitSet::from_indices(10, [3, 4]);
+
+        let mut a = a0.clone();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+
+        let mut a = a0.clone();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3]);
+
+        let mut a = a0.clone();
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let a = BitSet::from_indices(20, [2, 4]);
+        let b = BitSet::from_indices(20, [2, 4, 8]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        let c = BitSet::from_indices(20, [9]);
+        assert!(!a.intersects(&c));
+        assert!(BitSet::new(20).is_subset(&a));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let indices = vec![0, 63, 64, 127, 128];
+        let set = BitSet::from_indices(200, indices.iter().copied());
+        assert_eq!(set.iter().collect::<Vec<_>>(), indices);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let set: BitSet = [5usize, 9, 2].into_iter().collect();
+        assert_eq!(set.len(), 10);
+        assert_eq!(set.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut set = BitSet::new(8);
+        set.insert(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_length_mismatch_panics() {
+        let mut a = BitSet::new(8);
+        let b = BitSet::new(16);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn clear_and_copy_from() {
+        let mut a = BitSet::from_indices(12, [1, 2, 3]);
+        let b = BitSet::from_indices(12, [7]);
+        a.copy_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![7]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

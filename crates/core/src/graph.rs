@@ -1,0 +1,340 @@
+//! Graph analysis over the activation structure of an [`Nfa`]:
+//! connected components, BFS orderings, and degree statistics.
+//!
+//! The mapper relies on two facts the paper exploits (§III.C): real NFAs
+//! decompose into many small *connected components* (CCs) with no edges
+//! between them, and a breadth-first ordering of each CC places most
+//! transitions near the diagonal of the crossbar.
+
+use crate::nfa::{Nfa, SteId};
+use std::collections::VecDeque;
+
+/// One connected component of an automaton (undirected connectivity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnectedComponent {
+    /// Member states in BFS order from the component's start states
+    /// (falling back to the lowest id if the component has none).
+    pub states: Vec<SteId>,
+    /// Number of internal edges.
+    pub num_edges: usize,
+}
+
+impl ConnectedComponent {
+    /// Number of member states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` for a (degenerate) empty component.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Decomposes `nfa` into connected components.
+///
+/// Components are returned sorted by decreasing size, matching the
+/// first-fit-decreasing packing order used by the greedy mapper.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::{NfaBuilder, StartKind, SymbolClass, graph};
+///
+/// let mut b = NfaBuilder::new();
+/// let x = b.add_ste(SymbolClass::singleton(b'x'));
+/// let y = b.add_ste(SymbolClass::singleton(b'y'));
+/// let z = b.add_ste(SymbolClass::singleton(b'z'));
+/// b.set_start(x, StartKind::AllInput);
+/// b.set_start(z, StartKind::AllInput);
+/// b.add_edge(x, y);
+/// let nfa = b.build()?;
+/// let ccs = graph::connected_components(&nfa);
+/// assert_eq!(ccs.len(), 2);
+/// assert_eq!(ccs[0].len(), 2);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+pub fn connected_components(nfa: &Nfa) -> Vec<ConnectedComponent> {
+    let n = nfa.len();
+    let preds = nfa.predecessors();
+    let mut component = vec![usize::MAX; n];
+    let mut count = 0;
+
+    for seed in 0..n {
+        if component[seed] != usize::MAX {
+            continue;
+        }
+        let id = count;
+        count += 1;
+        let mut stack = vec![seed];
+        component[seed] = id;
+        while let Some(v) = stack.pop() {
+            for &next in nfa.successors(SteId(v as u32)) {
+                if component[next.index()] == usize::MAX {
+                    component[next.index()] = id;
+                    stack.push(next.index());
+                }
+            }
+            for &prev in &preds[v] {
+                if component[prev.index()] == usize::MAX {
+                    component[prev.index()] = id;
+                    stack.push(prev.index());
+                }
+            }
+        }
+    }
+
+    let mut members: Vec<Vec<SteId>> = vec![Vec::new(); count];
+    for (i, &c) in component.iter().enumerate() {
+        members[c].push(SteId(i as u32));
+    }
+
+    // Scratch shared across components: per-component allocation would
+    // make this quadratic on benchmarks with thousands of components.
+    let mut scratch = BfsScratch::new(nfa.len());
+    let mut ccs: Vec<ConnectedComponent> = members
+        .into_iter()
+        .map(|states| {
+            let ordered = bfs_order_with(nfa, &preds, &states, &mut scratch);
+            let num_edges = states
+                .iter()
+                .map(|&s| nfa.successors(s).len())
+                .sum::<usize>();
+            ConnectedComponent {
+                states: ordered,
+                num_edges,
+            }
+        })
+        .collect();
+    ccs.sort_by(|a, b| b.len().cmp(&a.len()).then(a.states.cmp(&b.states)));
+    ccs
+}
+
+/// Orders the given states breadth-first, seeding the queue with the
+/// component's start states (or its lowest id when it has none), exactly
+/// the ordering eAP and CAMA use to diagonalize the transition matrix.
+pub fn bfs_order(nfa: &Nfa, states: &[SteId]) -> Vec<SteId> {
+    let preds = nfa.predecessors();
+    bfs_order_with(nfa, &preds, states, &mut BfsScratch::new(nfa.len()))
+}
+
+struct BfsScratch {
+    in_scope: Vec<bool>,
+    seen: Vec<bool>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        BfsScratch {
+            in_scope: vec![false; n],
+            seen: vec![false; n],
+        }
+    }
+}
+
+fn bfs_order_with(
+    nfa: &Nfa,
+    preds: &[Vec<SteId>],
+    states: &[SteId],
+    scratch: &mut BfsScratch,
+) -> Vec<SteId> {
+    for &s in states {
+        scratch.in_scope[s.index()] = true;
+    }
+    let mut order = Vec::with_capacity(states.len());
+    let mut queue = VecDeque::new();
+
+    let mut seeds: Vec<SteId> = states
+        .iter()
+        .copied()
+        .filter(|&s| nfa.ste(s).start.is_start())
+        .collect();
+    if seeds.is_empty() {
+        seeds = states.iter().copied().take(1).collect();
+    }
+    seeds.sort_unstable();
+    for s in seeds {
+        if !scratch.seen[s.index()] {
+            scratch.seen[s.index()] = true;
+            queue.push_back(s);
+        }
+    }
+
+    // Undirected BFS so back-edges stay near the diagonal too.
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        let mut neighbors: Vec<SteId> = nfa
+            .successors(v)
+            .iter()
+            .copied()
+            .chain(preds[v.index()].iter().copied())
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        for next in neighbors {
+            if scratch.in_scope[next.index()] && !scratch.seen[next.index()] {
+                scratch.seen[next.index()] = true;
+                queue.push_back(next);
+            }
+        }
+        // Components can be disconnected in the directed sense only; any
+        // leftover states are appended from fresh BFS seeds.
+        if queue.is_empty() && order.len() < states.len() {
+            if let Some(&s) = states.iter().find(|s| !scratch.seen[s.index()]) {
+                scratch.seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    // Reset only the touched indices for the next component.
+    for &s in states {
+        scratch.in_scope[s.index()] = false;
+        scratch.seen[s.index()] = false;
+    }
+    order
+}
+
+/// Degree and connectivity statistics used by the mapping reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Maximum out-degree over all states.
+    pub max_out_degree: usize,
+    /// Maximum in-degree over all states.
+    pub max_in_degree: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Fraction of edges `(u, v)` with `|bfs(u) - bfs(v)| <= 43` under the
+    /// per-component BFS ordering — the paper's diagonality argument for
+    /// the reduced crossbar.
+    pub diagonal_fraction: f64,
+}
+
+/// Computes [`GraphStats`] for an automaton.
+pub fn stats(nfa: &Nfa) -> GraphStats {
+    let ccs = connected_components(nfa);
+    let preds = nfa.predecessors();
+    let max_out = (0..nfa.len())
+        .map(|i| nfa.successors(SteId(i as u32)).len())
+        .max()
+        .unwrap_or(0);
+    let max_in = preds.iter().map(Vec::len).max().unwrap_or(0);
+    let avg_out = if nfa.is_empty() {
+        0.0
+    } else {
+        nfa.num_edges() as f64 / nfa.len() as f64
+    };
+
+    let mut position = vec![0usize; nfa.len()];
+    for cc in &ccs {
+        for (pos, &s) in cc.states.iter().enumerate() {
+            position[s.index()] = pos;
+        }
+    }
+    let mut near = 0usize;
+    for (from, to) in nfa.edges() {
+        let d = position[from.index()].abs_diff(position[to.index()]);
+        if d <= 43 {
+            near += 1;
+        }
+    }
+    let diagonal_fraction = if nfa.num_edges() == 0 {
+        1.0
+    } else {
+        near as f64 / nfa.num_edges() as f64
+    };
+
+    GraphStats {
+        num_components: ccs.len(),
+        largest_component: ccs.first().map_or(0, ConnectedComponent::len),
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        avg_out_degree: avg_out,
+        diagonal_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::{NfaBuilder, StartKind};
+    use crate::symbol::SymbolClass;
+
+    fn two_chains() -> Nfa {
+        let mut b = NfaBuilder::new();
+        let ids: Vec<SteId> = (0..6)
+            .map(|i| b.add_ste(SymbolClass::singleton(b'a' + i)))
+            .collect();
+        b.set_start(ids[0], StartKind::AllInput);
+        b.set_start(ids[3], StartKind::AllInput);
+        b.add_edge(ids[0], ids[1]);
+        b.add_edge(ids[1], ids[2]);
+        b.add_edge(ids[3], ids[4]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn components_are_split_and_sorted() {
+        let ccs = connected_components(&two_chains());
+        assert_eq!(ccs.len(), 3);
+        assert_eq!(ccs[0].len(), 3);
+        assert_eq!(ccs[1].len(), 2);
+        assert_eq!(ccs[2].len(), 1);
+        assert_eq!(ccs[0].num_edges, 2);
+    }
+
+    #[test]
+    fn bfs_order_starts_at_start_states() {
+        let nfa = two_chains();
+        let ccs = connected_components(&nfa);
+        assert_eq!(ccs[0].states, vec![SteId(0), SteId(1), SteId(2)]);
+    }
+
+    #[test]
+    fn bfs_order_covers_all_states() {
+        let nfa = two_chains();
+        for cc in connected_components(&nfa) {
+            let mut sorted = cc.states.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cc.states.len());
+        }
+    }
+
+    #[test]
+    fn stats_on_chains() {
+        let s = stats(&two_chains());
+        assert_eq!(s.num_components, 3);
+        assert_eq!(s.largest_component, 3);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.avg_out_degree - 0.5).abs() < 1e-12);
+        assert_eq!(s.diagonal_fraction, 1.0);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let mut b = NfaBuilder::new();
+        let x = b.add_ste(SymbolClass::singleton(b'x'));
+        let y = b.add_ste(SymbolClass::singleton(b'y'));
+        b.set_start(x, StartKind::AllInput);
+        b.add_edge(x, y);
+        b.add_edge(y, x);
+        let nfa = b.build().unwrap();
+        let ccs = connected_components(&nfa);
+        assert_eq!(ccs.len(), 1);
+        assert_eq!(ccs[0].num_edges, 2);
+    }
+
+    #[test]
+    fn empty_nfa_stats() {
+        let nfa = NfaBuilder::new().build().unwrap();
+        let s = stats(&nfa);
+        assert_eq!(s.num_components, 0);
+        assert_eq!(s.largest_component, 0);
+        assert_eq!(s.diagonal_fraction, 1.0);
+    }
+}

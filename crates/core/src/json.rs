@@ -1,0 +1,412 @@
+//! A minimal JSON reader/writer, sufficient for the MNRL dialect.
+//!
+//! MNRL (the MNCaRT network representation language) stores automata as
+//! plain JSON objects. This module implements just enough of RFC 8259 to
+//! read and write those documents without extra dependencies.
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys are sorted for deterministic output.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Borrows the value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key on an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            JsonValue::String(s) => write_json_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(n)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error::MnrlSyntax`] with a byte offset on malformed input.
+pub fn parse(input: &str) -> Result<JsonValue> {
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.input.len() {
+        return Err(parser.error("trailing content after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error::MnrlSyntax {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b't') => self.keyword(b"true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword(b"false", JsonValue::Bool(false)),
+            Some(b'n') => self.keyword(b"null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn keyword(&mut self, word: &[u8], value: JsonValue) -> Result<JsonValue> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid keyword"))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii")
+            .parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .input
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.error("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("\\u escape out of range"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 code point.
+                    let rest = &self.input[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid utf-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-2.5e1").unwrap(), JsonValue::Number(-25.0));
+        assert_eq!(
+            parse(r#""a\nb""#).unwrap(),
+            JsonValue::String("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let v = parse(r#"{"a": [1, 2], "b": {"c": false}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn unicode_escape() {
+        assert_eq!(
+            parse(r#""Aé""#).unwrap(),
+            JsonValue::String("Aé".into())
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = r#"{"id":"q0","report":true,"vals":[1,2.5,null,"x\"y"]}"#;
+        let v = parse(text).unwrap();
+        let re = parse(&v.to_json()).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn number_formatting_integers() {
+        assert_eq!(JsonValue::Number(3.0).to_json(), "3");
+        assert_eq!(JsonValue::Number(3.5).to_json(), "3.5");
+    }
+}

@@ -1,0 +1,46 @@
+//! Core automata substrate for the CAMA reproduction (HPCA 2022).
+//!
+//! This crate provides everything upstream of the hardware models:
+//!
+//! * [`SymbolClass`] — 256-bit symbol sets with negation support;
+//! * [`Nfa`]/[`NfaBuilder`] — the homogeneous (ANML-style) NFA of STEs;
+//! * [`regex`] — a regex parser and Glushkov compiler to homogeneous NFAs;
+//! * [`anml`] and [`mnrl`] — readers/writers for the interchange formats
+//!   used by ANMLZoo and the automata-processing toolchains;
+//! * [`graph`] — connected components and BFS orderings for mapping;
+//! * [`stats`] — the per-benchmark statistics reported in Table I;
+//! * [`stride`] — the 2-stride (alphabet-squaring) transform;
+//! * [`bitwidth`] — the 8-bit → 4-bit transform Impala executes on;
+//! * [`bitset::BitSet`] — the dynamic bit set shared by the simulator and
+//!   the hardware models.
+//!
+//! # Examples
+//!
+//! Compile a regex and inspect the automaton:
+//!
+//! ```
+//! use cama_core::regex::compile;
+//!
+//! let nfa = compile("(a|b)e*cd+")?;
+//! assert_eq!(nfa.len(), 5);
+//! assert_eq!(nfa.start_states().count(), 2);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+
+pub mod anml;
+pub mod bitset;
+pub mod bitwidth;
+pub mod error;
+pub mod graph;
+pub mod json;
+pub mod mnrl;
+pub mod nfa;
+pub mod regex;
+pub mod stats;
+pub mod stride;
+pub mod symbol;
+pub mod xml;
+
+pub use error::{Error, Result};
+pub use nfa::{BuildOptions, Nfa, NfaBuilder, StartKind, Ste, SteId};
+pub use symbol::{SymbolClass, ALPHABET};

@@ -1,0 +1,252 @@
+//! Reader and writer for MNRL, the JSON-based automata interchange format
+//! from the MNCaRT ecosystem (used alongside ANML by VASim, Impala, eAP,
+//! and CAMA's own toolchain).
+//!
+//! Only homogeneous-state (`hState`) networks are supported, which is the
+//! node type every benchmark in ANMLZoo uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::{mnrl, regex};
+//!
+//! let nfa = regex::compile("ab|cd")?;
+//! let text = mnrl::to_string(&nfa);
+//! let again = mnrl::from_str(&text)?;
+//! assert_eq!(nfa.len(), again.len());
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+
+use crate::anml::parse_symbol_set;
+use crate::error::{Error, Result};
+use crate::json::{self, JsonValue};
+use crate::nfa::{Nfa, NfaBuilder, StartKind, SteId};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Parses an MNRL document into a homogeneous NFA.
+///
+/// # Errors
+///
+/// Returns [`Error::MnrlSyntax`] for malformed JSON and
+/// [`Error::InvalidAutomaton`] / [`Error::UnknownState`] for structural
+/// problems (non-`hState` nodes, dangling references, bad symbol sets).
+pub fn from_str(text: &str) -> Result<Nfa> {
+    let doc = json::parse(text)?;
+    let name = doc.get("id").and_then(JsonValue::as_str).unwrap_or("mnrl");
+    let nodes = doc
+        .get("nodes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| Error::InvalidAutomaton("MNRL document lacks a `nodes` array".into()))?;
+
+    let mut builder = NfaBuilder::with_name(name);
+    let mut ids: HashMap<String, SteId> = HashMap::new();
+
+    for node in nodes {
+        let node_id = node
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| Error::InvalidAutomaton("MNRL node without id".into()))?;
+        let node_type = node
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("hState");
+        if node_type != "hState" {
+            return Err(Error::InvalidAutomaton(format!(
+                "unsupported MNRL node type `{node_type}`"
+            )));
+        }
+        let symbol_set = node
+            .get("attributes")
+            .and_then(|a| a.get("symbolSet"))
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| {
+                Error::InvalidAutomaton(format!("node `{node_id}` lacks attributes.symbolSet"))
+            })?;
+        let class = parse_symbol_set(symbol_set)?;
+        let id = builder.add_ste(class);
+
+        match node.get("enable").and_then(JsonValue::as_str) {
+            Some("onActivateIn") | None => {}
+            Some("onStartAndActivateIn") => {
+                builder.set_start(id, StartKind::StartOfData);
+            }
+            Some("always") => {
+                builder.set_start(id, StartKind::AllInput);
+            }
+            Some(other) => {
+                return Err(Error::InvalidAutomaton(format!(
+                    "node `{node_id}` has unsupported enable `{other}`"
+                )))
+            }
+        }
+
+        if node.get("report").and_then(JsonValue::as_bool) == Some(true) {
+            let code = node
+                .get("attributes")
+                .and_then(|a| a.get("reportId"))
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0) as u32;
+            builder.set_report(id, code);
+        }
+
+        if ids.insert(node_id.to_string(), id).is_some() {
+            return Err(Error::InvalidAutomaton(format!(
+                "duplicate MNRL node id `{node_id}`"
+            )));
+        }
+    }
+
+    for node in nodes {
+        let node_id = node.get("id").and_then(JsonValue::as_str).expect("checked");
+        let from = ids[node_id];
+        let Some(connections) = node.get("outputConnections").and_then(JsonValue::as_array)
+        else {
+            continue;
+        };
+        for port in connections {
+            let Some(activate) = port.get("activate").and_then(JsonValue::as_array) else {
+                continue;
+            };
+            for target in activate {
+                let target_id = target
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| Error::InvalidAutomaton("activate entry without id".into()))?;
+                let to = *ids
+                    .get(target_id)
+                    .ok_or_else(|| Error::UnknownState(target_id.to_string()))?;
+                builder.add_edge(from, to);
+            }
+        }
+    }
+
+    builder.build()
+}
+
+/// Serializes an NFA as an MNRL document.
+pub fn to_string(nfa: &Nfa) -> String {
+    let nodes: Vec<JsonValue> = (0..nfa.len())
+        .map(|i| {
+            let id = SteId(i as u32);
+            let ste = nfa.ste(id);
+            let mut node = BTreeMap::new();
+            node.insert("id".to_string(), JsonValue::from(format!("ste{i}").as_str()));
+            node.insert("type".to_string(), JsonValue::from("hState"));
+            node.insert(
+                "enable".to_string(),
+                JsonValue::from(match ste.start {
+                    StartKind::None => "onActivateIn",
+                    StartKind::StartOfData => "onStartAndActivateIn",
+                    StartKind::AllInput => "always",
+                }),
+            );
+            node.insert("report".to_string(), JsonValue::from(ste.is_reporting()));
+
+            let mut attrs = BTreeMap::new();
+            attrs.insert(
+                "symbolSet".to_string(),
+                JsonValue::from(ste.class.to_string().as_str()),
+            );
+            if let Some(code) = ste.report {
+                attrs.insert("reportId".to_string(), JsonValue::from(code as f64));
+            }
+            node.insert("attributes".to_string(), JsonValue::Object(attrs));
+
+            let activate: Vec<JsonValue> = nfa
+                .successors(id)
+                .iter()
+                .map(|to| {
+                    let mut entry = BTreeMap::new();
+                    entry.insert(
+                        "id".to_string(),
+                        JsonValue::from(format!("ste{}", to.0).as_str()),
+                    );
+                    entry.insert("portId".to_string(), JsonValue::from("i"));
+                    JsonValue::Object(entry)
+                })
+                .collect();
+            let mut port = BTreeMap::new();
+            port.insert("id".to_string(), JsonValue::from("o"));
+            port.insert("activate".to_string(), JsonValue::Array(activate));
+            node.insert(
+                "outputConnections".to_string(),
+                JsonValue::Array(vec![JsonValue::Object(port)]),
+            );
+            JsonValue::Object(node)
+        })
+        .collect();
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "id".to_string(),
+        JsonValue::from(if nfa.name().is_empty() {
+            "mnrl"
+        } else {
+            nfa.name()
+        }),
+    );
+    doc.insert("nodes".to_string(), JsonValue::Array(nodes));
+    JsonValue::Object(doc).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolClass;
+
+    fn sample() -> Nfa {
+        let mut b = NfaBuilder::with_name("m");
+        let s0 = b.add_ste(SymbolClass::from_range(b'0', b'9'));
+        let s1 = b.add_ste(SymbolClass::singleton(b'!'));
+        b.set_start(s0, StartKind::AllInput);
+        b.set_report(s1, 11);
+        b.add_edge(s0, s1);
+        b.add_edge(s0, s0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let nfa = sample();
+        let text = to_string(&nfa);
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed.len(), nfa.len());
+        assert_eq!(parsed.num_edges(), nfa.num_edges());
+        for i in 0..nfa.len() {
+            let id = SteId(i as u32);
+            assert_eq!(parsed.ste(id), nfa.ste(id));
+            assert_eq!(parsed.successors(id), nfa.successors(id));
+        }
+        assert_eq!(parsed.name(), "m");
+    }
+
+    #[test]
+    fn rejects_non_hstate() {
+        let doc = r#"{"id":"x","nodes":[{"id":"a","type":"upCounter",
+            "attributes":{"symbolSet":"[a]"}}]}"#;
+        assert!(from_str(doc).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_edges() {
+        let doc = r#"{"id":"x","nodes":[{"id":"a","type":"hState","enable":"always",
+            "attributes":{"symbolSet":"[a]"},
+            "outputConnections":[{"id":"o","activate":[{"id":"nope"}]}]}]}"#;
+        assert!(matches!(from_str(doc), Err(Error::UnknownState(_))));
+    }
+
+    #[test]
+    fn missing_nodes_is_an_error() {
+        assert!(from_str(r#"{"id":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn default_enable_is_on_activate_in() {
+        let doc = r#"{"id":"x","nodes":[
+            {"id":"a","type":"hState","enable":"always","attributes":{"symbolSet":"[a]"}},
+            {"id":"b","type":"hState","attributes":{"symbolSet":"[b]"}}]}"#;
+        let nfa = from_str(doc).unwrap();
+        assert_eq!(nfa.ste(SteId(1)).start, StartKind::None);
+    }
+}

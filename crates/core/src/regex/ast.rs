@@ -1,0 +1,180 @@
+//! The regex abstract syntax tree.
+//!
+//! Counted repetitions are desugared by the parser, so the tree only
+//! carries the four Kleene-style combinators plus leaves; this keeps the
+//! Glushkov construction a direct structural recursion.
+
+use crate::symbol::SymbolClass;
+use std::fmt;
+
+/// A parsed regular expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single-position leaf: one symbol drawn from the class.
+    Class(SymbolClass),
+    /// Sequential composition. Invariant: two or more children.
+    Concat(Vec<Ast>),
+    /// Alternation. Invariant: two or more children.
+    Alternate(Vec<Ast>),
+    /// Zero or more repetitions (`*`).
+    Star(Box<Ast>),
+    /// One or more repetitions (`+`).
+    Plus(Box<Ast>),
+    /// Zero or one occurrence (`?`).
+    Optional(Box<Ast>),
+}
+
+impl Ast {
+    /// Number of leaf positions — the number of STEs the Glushkov
+    /// construction will create.
+    pub fn num_positions(&self) -> usize {
+        match self {
+            Ast::Empty => 0,
+            Ast::Class(_) => 1,
+            Ast::Concat(children) | Ast::Alternate(children) => {
+                children.iter().map(Ast::num_positions).sum()
+            }
+            Ast::Star(inner) | Ast::Plus(inner) | Ast::Optional(inner) => inner.num_positions(),
+        }
+    }
+
+    /// Returns `true` if the expression accepts the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::Star(_) | Ast::Optional(_) => true,
+            Ast::Class(_) => false,
+            Ast::Concat(children) => children.iter().all(Ast::is_nullable),
+            Ast::Alternate(children) => children.iter().any(Ast::is_nullable),
+            Ast::Plus(inner) => inner.is_nullable(),
+        }
+    }
+
+    /// Concatenates two expressions, flattening nested concatenations and
+    /// dropping `Empty` units.
+    pub fn concat(a: Ast, b: Ast) -> Ast {
+        let mut children = Vec::new();
+        for ast in [a, b] {
+            match ast {
+                Ast::Empty => {}
+                Ast::Concat(inner) => children.extend(inner),
+                other => children.push(other),
+            }
+        }
+        match children.len() {
+            0 => Ast::Empty,
+            1 => children.pop().expect("len checked"),
+            _ => Ast::Concat(children),
+        }
+    }
+
+    /// Alternates two expressions, flattening nested alternations.
+    pub fn alternate(a: Ast, b: Ast) -> Ast {
+        let mut children = Vec::new();
+        for ast in [a, b] {
+            match ast {
+                Ast::Alternate(inner) => children.extend(inner),
+                other => children.push(other),
+            }
+        }
+        match children.len() {
+            0 => Ast::Empty,
+            1 => children.pop().expect("len checked"),
+            _ => Ast::Alternate(children),
+        }
+    }
+}
+
+impl fmt::Display for Ast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Empty => Ok(()),
+            Ast::Class(class) => write!(f, "{class}"),
+            Ast::Concat(children) => {
+                for child in children {
+                    match child {
+                        Ast::Alternate(_) => write!(f, "({child})")?,
+                        _ => write!(f, "{child}")?,
+                    }
+                }
+                Ok(())
+            }
+            Ast::Alternate(children) => {
+                for (i, child) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{child}")?;
+                }
+                Ok(())
+            }
+            Ast::Star(inner) => write_quantified(f, inner, '*'),
+            Ast::Plus(inner) => write_quantified(f, inner, '+'),
+            Ast::Optional(inner) => write_quantified(f, inner, '?'),
+        }
+    }
+}
+
+fn write_quantified(f: &mut fmt::Formatter<'_>, inner: &Ast, op: char) -> fmt::Result {
+    match inner {
+        Ast::Class(_) => write!(f, "{inner}{op}"),
+        _ => write!(f, "({inner}){op}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(c: u8) -> Ast {
+        Ast::Class(SymbolClass::singleton(c))
+    }
+
+    #[test]
+    fn num_positions_counts_leaves() {
+        let ast = Ast::concat(lit(b'a'), Ast::Star(Box::new(lit(b'b'))));
+        assert_eq!(ast.num_positions(), 2);
+        assert_eq!(Ast::Empty.num_positions(), 0);
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(!lit(b'a').is_nullable());
+        assert!(Ast::Star(Box::new(lit(b'a'))).is_nullable());
+        assert!(!Ast::Plus(Box::new(lit(b'a'))).is_nullable());
+        assert!(Ast::Optional(Box::new(lit(b'a'))).is_nullable());
+        let alt = Ast::alternate(lit(b'a'), Ast::Empty);
+        assert!(alt.is_nullable());
+    }
+
+    #[test]
+    fn concat_flattens_and_drops_empty() {
+        let ast = Ast::concat(Ast::concat(lit(b'a'), lit(b'b')), Ast::Empty);
+        assert_eq!(ast, Ast::Concat(vec![lit(b'a'), lit(b'b')]));
+        assert_eq!(Ast::concat(Ast::Empty, Ast::Empty), Ast::Empty);
+        assert_eq!(Ast::concat(Ast::Empty, lit(b'x')), lit(b'x'));
+    }
+
+    #[test]
+    fn alternate_flattens() {
+        let ast = Ast::alternate(Ast::alternate(lit(b'a'), lit(b'b')), lit(b'c'));
+        assert_eq!(
+            ast,
+            Ast::Alternate(vec![lit(b'a'), lit(b'b'), lit(b'c')])
+        );
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let ast = Ast::concat(
+            Ast::alternate(lit(b'a'), lit(b'b')),
+            Ast::concat(
+                Ast::Star(Box::new(lit(b'e'))),
+                Ast::concat(lit(b'c'), Ast::Plus(Box::new(lit(b'd')))),
+            ),
+        );
+        assert_eq!(ast.to_string(), "([a]|[b])[e]*[c][d]+");
+    }
+}

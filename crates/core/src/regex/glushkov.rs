@@ -1,0 +1,253 @@
+//! The Glushkov (position automaton) construction.
+//!
+//! Every leaf of the AST becomes one STE; `first` positions become start
+//! states, `last` positions become reporting states, and the `follow`
+//! relation becomes the activation edges. The result is exactly the
+//! homogeneous ANML-NFA of Figure 1(a) in the paper.
+
+use super::ast::Ast;
+use crate::error::{Error, Result};
+use crate::nfa::{Nfa, NfaBuilder, StartKind, SteId};
+use crate::symbol::SymbolClass;
+
+/// Options controlling [`compile_ast`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// When `false` (default) the pattern scans unanchored: its first
+    /// positions are `all-input` start states and a match may begin at
+    /// any offset. When `true` the first positions are `start-of-data`
+    /// states, anchoring the match to offset zero.
+    pub anchored: bool,
+    /// Report code attached to the pattern's accepting STEs.
+    pub report_code: u32,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            anchored: false,
+            report_code: 0,
+        }
+    }
+}
+
+/// Compiles a parsed [`Ast`] into a homogeneous NFA.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidAutomaton`] when the expression is nullable
+/// (accepts the empty string): a homogeneous NFA signals matches through
+/// reporting STEs, which necessarily consume at least one symbol.
+pub fn compile_ast(ast: &Ast, options: CompileOptions) -> Result<Nfa> {
+    if ast.is_nullable() {
+        return Err(Error::InvalidAutomaton(
+            "pattern accepts the empty string; a homogeneous NFA cannot report it".into(),
+        ));
+    }
+
+    let mut classes = Vec::with_capacity(ast.num_positions());
+    collect_positions(ast, &mut classes);
+
+    let mut follow: Vec<Vec<u32>> = vec![Vec::new(); classes.len()];
+    let info = analyze(ast, &mut NextPosition(0), &mut follow);
+
+    let mut builder = NfaBuilder::with_name("regex");
+    let ids: Vec<SteId> = classes.into_iter().map(|c| builder.add_ste(c)).collect();
+    let start_kind = if options.anchored {
+        StartKind::StartOfData
+    } else {
+        StartKind::AllInput
+    };
+    for &p in &info.first {
+        builder.set_start(ids[p as usize], start_kind);
+    }
+    for &p in &info.last {
+        builder.set_report(ids[p as usize], options.report_code);
+    }
+    for (from, tos) in follow.iter().enumerate() {
+        for &to in tos {
+            builder.add_edge(ids[from], ids[to as usize]);
+        }
+    }
+    builder.build()
+}
+
+fn collect_positions(ast: &Ast, out: &mut Vec<SymbolClass>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Class(class) => out.push(*class),
+        Ast::Concat(children) | Ast::Alternate(children) => {
+            children.iter().for_each(|c| collect_positions(c, out));
+        }
+        Ast::Star(inner) | Ast::Plus(inner) | Ast::Optional(inner) => {
+            collect_positions(inner, out);
+        }
+    }
+}
+
+struct NextPosition(u32);
+
+#[derive(Clone, Default)]
+struct NodeInfo {
+    nullable: bool,
+    first: Vec<u32>,
+    last: Vec<u32>,
+}
+
+fn analyze(ast: &Ast, next: &mut NextPosition, follow: &mut [Vec<u32>]) -> NodeInfo {
+    match ast {
+        Ast::Empty => NodeInfo {
+            nullable: true,
+            ..NodeInfo::default()
+        },
+        Ast::Class(_) => {
+            let p = next.0;
+            next.0 += 1;
+            NodeInfo {
+                nullable: false,
+                first: vec![p],
+                last: vec![p],
+            }
+        }
+        Ast::Concat(children) => {
+            let mut acc = NodeInfo {
+                nullable: true,
+                ..NodeInfo::default()
+            };
+            for child in children {
+                let info = analyze(child, next, follow);
+                for &l in &acc.last {
+                    follow[l as usize].extend(info.first.iter().copied());
+                }
+                if acc.nullable {
+                    acc.first.extend(info.first.iter().copied());
+                }
+                if info.nullable {
+                    acc.last.extend(info.last.iter().copied());
+                } else {
+                    acc.last = info.last.clone();
+                }
+                acc.nullable &= info.nullable;
+            }
+            acc
+        }
+        Ast::Alternate(children) => {
+            let mut acc = NodeInfo::default();
+            for child in children {
+                let info = analyze(child, next, follow);
+                acc.nullable |= info.nullable;
+                acc.first.extend(info.first);
+                acc.last.extend(info.last);
+            }
+            acc
+        }
+        Ast::Star(inner) | Ast::Plus(inner) => {
+            let info = analyze(inner, next, follow);
+            for &l in &info.last {
+                follow[l as usize].extend(info.first.iter().copied());
+            }
+            NodeInfo {
+                nullable: matches!(ast, Ast::Star(_)) || info.nullable,
+                first: info.first,
+                last: info.last,
+            }
+        }
+        Ast::Optional(inner) => {
+            let info = analyze(inner, next, follow);
+            NodeInfo {
+                nullable: true,
+                first: info.first,
+                last: info.last,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn compile(pattern: &str) -> Nfa {
+        compile_ast(&parse(pattern).unwrap(), CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_has_five_stes() {
+        // Figure 1(a): (a|b)e*cd+ uses STEs {a,b}, e, c, d in ANML form —
+        // as a position automaton: a, b, e, c, d.
+        let nfa = compile("(a|b)e*cd+");
+        assert_eq!(nfa.len(), 5);
+        assert_eq!(nfa.start_states().count(), 2);
+        assert_eq!(nfa.reporting_states().count(), 1);
+        // d+ has a self loop.
+        let d = SteId(4);
+        assert!(nfa.successors(d).contains(&d));
+    }
+
+    #[test]
+    fn star_skips_and_loops() {
+        let nfa = compile("ae*c");
+        // a -> e, a -> c (skip), e -> e, e -> c
+        let a = SteId(0);
+        let e = SteId(1);
+        let c = SteId(2);
+        assert_eq!(nfa.successors(a), &[e, c]);
+        assert_eq!(nfa.successors(e), &[e, c]);
+        assert!(nfa.successors(c).is_empty());
+    }
+
+    #[test]
+    fn nullable_pattern_is_rejected() {
+        let err = compile_ast(&parse("a*").unwrap(), CompileOptions::default());
+        assert!(matches!(err, Err(Error::InvalidAutomaton(_))));
+    }
+
+    #[test]
+    fn anchored_uses_start_of_data() {
+        let nfa = compile_ast(
+            &parse("ab").unwrap(),
+            CompileOptions {
+                anchored: true,
+                report_code: 9,
+            },
+        )
+        .unwrap();
+        assert_eq!(nfa.ste(SteId(0)).start, StartKind::StartOfData);
+        assert_eq!(nfa.ste(SteId(1)).report, Some(9));
+    }
+
+    #[test]
+    fn alternation_reports_both_branches() {
+        let nfa = compile("ab|cd");
+        assert_eq!(nfa.reporting_states().count(), 2);
+        assert_eq!(nfa.start_states().count(), 2);
+    }
+
+    #[test]
+    fn optional_middle_connects_around() {
+        let nfa = compile("ab?c");
+        let a = SteId(0);
+        let b = SteId(1);
+        let c = SteId(2);
+        assert_eq!(nfa.successors(a), &[b, c]);
+        assert_eq!(nfa.successors(b), &[c]);
+    }
+
+    #[test]
+    fn nullable_concat_chain_first_set() {
+        // first(a?b) = {a, b}
+        let nfa = compile("a?b");
+        assert_eq!(nfa.start_states().count(), 2);
+    }
+
+    #[test]
+    fn plus_of_group_loops_to_group_start() {
+        let nfa = compile("(ab)+");
+        let a = SteId(0);
+        let b = SteId(1);
+        assert_eq!(nfa.successors(a), &[b]);
+        assert_eq!(nfa.successors(b), &[a]);
+        assert!(nfa.ste(b).is_reporting());
+    }
+}

@@ -1,0 +1,107 @@
+//! Regular-expression front end: parse POSIX-ish regex syntax and compile
+//! it into a homogeneous NFA via the Glushkov (position) construction.
+//!
+//! This is the path by which the Regex benchmark suites (Bro217, Dotstar,
+//! Ranges, ExactMatch, …) become ANML-style automata. The constructed NFA
+//! has exactly one STE per character position of the pattern — the same
+//! property Figure 1 of the paper shows for `(a|b)e*cd+`.
+//!
+//! # Supported syntax
+//!
+//! * literals, `.` (any byte), escapes `\n \r \t \0 \xHH \\` and
+//!   punctuation escapes;
+//! * character classes `[a-z0-9]`, negated classes `[^\x00]`, class
+//!   escapes `\d \D \w \W \s \S`;
+//! * grouping `(...)`, alternation `|`;
+//! * quantifiers `* + ?` and counted repetition `{m}`, `{m,}`, `{m,n}`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::regex::{compile, compile_set};
+//!
+//! let nfa = compile("(a|b)e*cd+")?;
+//! assert_eq!(nfa.len(), 5); // one STE per position
+//!
+//! let set = compile_set(&["abc", "[0-9]{3}"])?;
+//! assert_eq!(set.reporting_states().count(), 2);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+
+mod ast;
+mod glushkov;
+mod parser;
+pub mod reference;
+
+pub use ast::Ast;
+pub use glushkov::{compile_ast, CompileOptions};
+pub use parser::parse;
+
+use crate::error::Result;
+use crate::nfa::Nfa;
+
+/// Parses and compiles a single pattern with default options
+/// (unanchored start, report code 0).
+///
+/// # Errors
+///
+/// Returns a syntax error for malformed patterns, a budget error for
+/// patterns whose counted repetitions expand past the default state
+/// budget, and an invalid-automaton error for patterns that accept the
+/// empty string (a homogeneous NFA cannot report a zero-length match).
+pub fn compile(pattern: &str) -> Result<Nfa> {
+    compile_with(pattern, CompileOptions::default())
+}
+
+/// Parses and compiles a single pattern with explicit options.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with(pattern: &str, options: CompileOptions) -> Result<Nfa> {
+    let ast = parse(pattern)?;
+    compile_ast(&ast, options)
+}
+
+/// Compiles several patterns into one automaton; pattern `i` reports with
+/// code `i`. This is how multi-rule benchmarks (Snort-like rule sets) are
+/// assembled.
+///
+/// # Errors
+///
+/// See [`compile`]; the first failing pattern aborts the set.
+pub fn compile_set(patterns: &[&str]) -> Result<Nfa> {
+    compile_set_with(patterns, CompileOptions::default())
+}
+
+/// [`compile_set`] with explicit options; the per-pattern report code
+/// overrides `options.report_code`.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_set_with(patterns: &[&str], options: CompileOptions) -> Result<Nfa> {
+    let mut builder = crate::nfa::NfaBuilder::with_name("regex-set");
+    for (i, pattern) in patterns.iter().enumerate() {
+        let ast = parse(pattern)?;
+        let sub = compile_ast(
+            &ast,
+            CompileOptions {
+                report_code: i as u32,
+                ..options
+            },
+        )?;
+        let base = builder.len() as u32;
+        for ste in sub.stes() {
+            let id = builder.add_ste(ste.class);
+            builder.set_start(id, ste.start);
+            if let Some(code) = ste.report {
+                builder.set_report(id, code);
+            }
+        }
+        for (from, to) in sub.edges() {
+            builder.add_edge((from.0 + base).into(), (to.0 + base).into());
+        }
+    }
+    builder.build()
+}

@@ -1,0 +1,188 @@
+//! Per-automaton statistics, matching the columns of Table I.
+//!
+//! For each benchmark the paper reports the average symbol-class size
+//! (raw and after Negation Optimization) and the alphabet size; these
+//! drive the encoding-selection algorithm in `cama-encoding`.
+
+use crate::nfa::Nfa;
+use crate::symbol::{SymbolClass, ALPHABET};
+
+/// Symbol-class and alphabet statistics for one automaton.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassStats {
+    /// Number of STEs.
+    pub num_states: usize,
+    /// Mean symbol-class size over all STEs.
+    pub avg_class_size: f64,
+    /// Mean of `min(|C|, 256 - |C|)` — the class size once negation
+    /// optimization may store the complement.
+    pub avg_class_size_no: f64,
+    /// Largest raw class size.
+    pub max_class_size: usize,
+    /// Alphabet size: `|union of all classes|`.
+    pub alphabet_size: usize,
+    /// Number of states for which NO stores the complement.
+    pub negated_states: usize,
+    /// Total raw symbols summed over all classes (the CAM entry count a
+    /// naive BCAM/ASCII design would need).
+    pub total_symbols: usize,
+    /// Total symbols after NO.
+    pub total_symbols_no: usize,
+}
+
+/// Computes [`ClassStats`] for an automaton.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::{regex, stats};
+///
+/// let nfa = regex::compile("[a-d]x")?;
+/// let s = stats::class_stats(&nfa);
+/// assert_eq!(s.num_states, 2);
+/// assert_eq!(s.alphabet_size, 5);
+/// assert!((s.avg_class_size - 2.5).abs() < 1e-12);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+pub fn class_stats(nfa: &Nfa) -> ClassStats {
+    let mut alphabet = SymbolClass::EMPTY;
+    let mut total = 0usize;
+    let mut total_no = 0usize;
+    let mut max = 0usize;
+    let mut negated = 0usize;
+    for ste in nfa.stes() {
+        let len = ste.class.len();
+        alphabet = alphabet | ste.class;
+        total += len;
+        total_no += ste.class.negation_optimized_len();
+        max = max.max(len);
+        if ste.class.prefers_negation() {
+            negated += 1;
+        }
+    }
+    let n = nfa.len().max(1) as f64;
+    ClassStats {
+        num_states: nfa.len(),
+        avg_class_size: total as f64 / n,
+        avg_class_size_no: total_no as f64 / n,
+        max_class_size: max,
+        alphabet_size: alphabet.len(),
+        negated_states: negated,
+        total_symbols: total,
+        total_symbols_no: total_no,
+    }
+}
+
+/// Histogram of symbol-class sizes, bucketed like the paper's
+/// observation that "86% of states match at most eight symbols".
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClassSizeHistogram {
+    /// `buckets[k]` counts states whose class size (after NO) falls into
+    /// the k-th bucket: 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65–128.
+    pub buckets: [usize; 8],
+    /// Count of states accepting more than 128 symbols even after NO
+    /// (impossible for 8-bit alphabets, kept for robustness).
+    pub overflow: usize,
+}
+
+impl ClassSizeHistogram {
+    /// Fraction of states with NO-size at most eight symbols.
+    pub fn fraction_at_most_8(&self) -> f64 {
+        let total: usize = self.buckets.iter().sum::<usize>() + self.overflow;
+        if total == 0 {
+            return 0.0;
+        }
+        let small: usize = self.buckets[..4].iter().sum();
+        small as f64 / total as f64
+    }
+}
+
+/// Computes the class-size histogram (after NO) for an automaton.
+pub fn class_size_histogram(nfa: &Nfa) -> ClassSizeHistogram {
+    let mut histogram = ClassSizeHistogram::default();
+    for ste in nfa.stes() {
+        let size = ste.class.negation_optimized_len();
+        debug_assert!(size <= ALPHABET / 2);
+        let bucket = match size {
+            0..=1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            17..=32 => 5,
+            33..=64 => 6,
+            65..=128 => 7,
+            _ => {
+                histogram.overflow += 1;
+                continue;
+            }
+        };
+        histogram.buckets[bucket] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::{NfaBuilder, StartKind};
+
+    fn nfa_with_classes(classes: &[SymbolClass]) -> Nfa {
+        let mut b = NfaBuilder::new();
+        for &c in classes {
+            let id = b.add_ste(c);
+            b.set_start(id, StartKind::AllInput);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn averages_and_alphabet() {
+        let nfa = nfa_with_classes(&[
+            SymbolClass::singleton(b'a'),
+            SymbolClass::from_range(b'a', b'd'),
+        ]);
+        let s = class_stats(&nfa);
+        assert_eq!(s.num_states, 2);
+        assert!((s.avg_class_size - 2.5).abs() < 1e-12);
+        assert_eq!(s.alphabet_size, 4);
+        assert_eq!(s.max_class_size, 4);
+        assert_eq!(s.total_symbols, 5);
+    }
+
+    #[test]
+    fn negation_shrinks_no_average() {
+        let nfa = nfa_with_classes(&[!SymbolClass::singleton(b'x')]);
+        let s = class_stats(&nfa);
+        assert!((s.avg_class_size - 255.0).abs() < 1e-12);
+        assert!((s.avg_class_size_no - 1.0).abs() < 1e-12);
+        assert_eq!(s.negated_states, 1);
+        assert_eq!(s.total_symbols_no, 1);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let nfa = nfa_with_classes(&[
+            SymbolClass::singleton(b'a'),
+            SymbolClass::from_range(b'a', b'b'),
+            SymbolClass::from_range(b'a', b'h'),
+            SymbolClass::from_range(0, 99),
+        ]);
+        let h = class_size_histogram(&nfa);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[7], 1);
+        assert!((h.fraction_at_most_8() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_nfa_is_safe() {
+        let nfa = NfaBuilder::new().build().unwrap();
+        let s = class_stats(&nfa);
+        assert_eq!(s.num_states, 0);
+        assert_eq!(s.avg_class_size, 0.0);
+        let h = class_size_histogram(&nfa);
+        assert_eq!(h.fraction_at_most_8(), 0.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Multi-stride transformation: rewrite an NFA so that it consumes two
+//! symbols per cycle (alphabet squaring, after Becchi & Crowley).
+//!
+//! Strided execution doubles throughput at the cost of more states. For
+//! a homogeneous NFA the natural 2-stride unit is the *edge*: a strided
+//! state `e(u,v)` matches the pair `(a, b)` when `a ∈ class(u)`,
+//! `b ∈ class(v)` and `u -> v` is an edge — a *rectangle*
+//! `class(u) × class(v)` over the squared alphabet. Start states gain
+//! odd-phase entry states (a match may begin on the second symbol of a
+//! pair) and reporting states gain even-phase report states (a match may
+//! end on the first symbol of a pair).
+//!
+//! The paper evaluates 2-stride CAMA (64×256 match CAM, 256×256 local
+//! switch) against 4-stride Impala in Figure 13; this module provides
+//! the strided automaton both of those models execute.
+
+use crate::bitwidth::{rectangles, NibbleNfa};
+use crate::nfa::{Nfa, NfaBuilder, StartKind, SteId};
+use crate::symbol::SymbolClass;
+
+/// Which symbol of the pair a strided report corresponds to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReportPhase {
+    /// The original match ended on the first symbol of the pair
+    /// (original offset `2p`).
+    First,
+    /// The original match ended on the second symbol (offset `2p + 1`).
+    Second,
+}
+
+/// One state of a 2-strided automaton: a rectangle over symbol pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StridedSte {
+    /// Accept set for the first symbol of the pair.
+    pub first: SymbolClass,
+    /// Accept set for the second symbol of the pair.
+    pub second: SymbolClass,
+    /// Self-enabling behaviour, in pair cycles.
+    pub start: StartKind,
+    /// Report code and phase, if reporting.
+    pub report: Option<(u32, ReportPhase)>,
+}
+
+impl StridedSte {
+    /// Returns `true` if the state matches the pair `(a, b)`.
+    pub fn matches(&self, a: u8, b: u8) -> bool {
+        self.first.contains(a) && self.second.contains(b)
+    }
+}
+
+/// A homogeneous NFA over the squared alphabet (pairs of bytes).
+#[derive(Clone, Debug)]
+pub struct StridedNfa {
+    states: Vec<StridedSte>,
+    successors: Vec<Vec<u32>>,
+    name: String,
+}
+
+impl StridedNfa {
+    /// Number of strided states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the automaton has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// The automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Borrows a strided state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn state(&self, index: usize) -> &StridedSte {
+        &self.states[index]
+    }
+
+    /// All states in index order.
+    pub fn states(&self) -> &[StridedSte] {
+        &self.states
+    }
+
+    /// Successor indices of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn successors(&self, index: usize) -> &[u32] {
+        &self.successors[index]
+    }
+
+    /// Builds the 2-stride automaton for `nfa`.
+    ///
+    /// The construction creates:
+    ///
+    /// * one *edge state* `e(u,v)` per original edge;
+    /// * one *odd-entry state* per `all-input` start (a match beginning on
+    ///   the second symbol of a pair);
+    /// * one *even-report state* per reporting state (a match ending on
+    ///   the first symbol of a pair).
+    ///
+    /// Inputs of odd length are handled by the strided simulator padding
+    /// convention (see `cama-sim`).
+    pub fn from_nfa(nfa: &Nfa) -> StridedNfa {
+        Builder::new(nfa).build()
+    }
+
+    /// Converts the strided automaton into a nibble NFA with four
+    /// sub-steps per pair — the automaton 4-stride Impala executes
+    /// (two bytes, i.e. four nibbles, per cycle).
+    pub fn to_nibble_nfa(&self) -> NibbleNfa {
+        let mut builder = NfaBuilder::with_name(format!("{}-nibble", self.name));
+        // Per strided state: entry (first-high) STEs and exit (second-low) STEs.
+        let mut entries: Vec<Vec<SteId>> = Vec::with_capacity(self.len());
+        let mut exits: Vec<Vec<SteId>> = Vec::with_capacity(self.len());
+
+        for state in &self.states {
+            let first_rects = rectangles(&state.first);
+            let second_rects = rectangles(&state.second);
+            let mut my_entries = Vec::new();
+            let mut my_first_lows = Vec::new();
+            for (high, low) in &first_rects {
+                let h = builder.add_ste(*high);
+                let l = builder.add_ste(*low);
+                builder.set_start(h, state.start);
+                if let Some((code, ReportPhase::First)) = state.report {
+                    builder.set_report(l, code);
+                }
+                builder.add_edge(h, l);
+                my_entries.push(h);
+                my_first_lows.push(l);
+            }
+            let mut my_exits = Vec::new();
+            for (high, low) in &second_rects {
+                let h = builder.add_ste(*high);
+                let l = builder.add_ste(*low);
+                if let Some((code, ReportPhase::Second)) = state.report {
+                    builder.set_report(l, code);
+                }
+                builder.add_edge(h, l);
+                for &fl in &my_first_lows {
+                    builder.add_edge(fl, h);
+                }
+                my_exits.push(l);
+            }
+            entries.push(my_entries);
+            exits.push(my_exits);
+        }
+
+        for (from, successors) in self.successors.iter().enumerate() {
+            for &to in successors {
+                for &x in &exits[from] {
+                    for &e in &entries[to as usize] {
+                        builder.add_edge(x, e);
+                    }
+                }
+            }
+        }
+
+        NibbleNfa {
+            nfa: builder.build().expect("stride nibble transform is valid"),
+            chain: 4,
+        }
+    }
+}
+
+struct Builder<'a> {
+    nfa: &'a Nfa,
+    states: Vec<StridedSte>,
+    successors: Vec<Vec<u32>>,
+    /// Strided states with first-component `u`, per original state.
+    by_first: Vec<Vec<u32>>,
+    /// `edge_state[edge index]` — parallel to `nfa.edges()` iteration.
+    edge_states: Vec<(SteId, SteId, u32)>,
+    /// Even-phase report state per original reporting state.
+    report_states: Vec<(SteId, u32)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(nfa: &'a Nfa) -> Self {
+        Builder {
+            nfa,
+            states: Vec::new(),
+            successors: Vec::new(),
+            by_first: vec![Vec::new(); nfa.len()],
+            edge_states: Vec::new(),
+            report_states: Vec::new(),
+        }
+    }
+
+    fn add_state(&mut self, state: StridedSte) -> u32 {
+        let id = self.states.len() as u32;
+        self.states.push(state);
+        self.successors.push(Vec::new());
+        id
+    }
+
+    fn build(mut self) -> StridedNfa {
+        // Edge states e(u, v).
+        for (u, v) in self.nfa.edges() {
+            let v_ste = self.nfa.ste(v);
+            let state = StridedSte {
+                first: self.nfa.ste(u).class,
+                second: v_ste.class,
+                start: self.nfa.ste(u).start,
+                report: v_ste.report.map(|code| (code, ReportPhase::Second)),
+            };
+            let id = self.add_state(state);
+            self.by_first[u.index()].push(id);
+            self.edge_states.push((u, v, id));
+        }
+
+        // Even-phase report states r(w).
+        let reporting: Vec<SteId> = self.nfa.reporting_states().collect();
+        for w in reporting {
+            let ste = self.nfa.ste(w);
+            let code = ste.report.expect("reporting state has a code");
+            let id = self.add_state(StridedSte {
+                first: ste.class,
+                second: SymbolClass::FULL,
+                start: ste.start,
+                report: Some((code, ReportPhase::First)),
+            });
+            self.by_first[w.index()].push(id);
+            self.report_states.push((w, id));
+        }
+
+        // Odd-entry states s(u) for all-input starts: the match begins on
+        // the second symbol of a pair.
+        let starts: Vec<SteId> = self
+            .nfa
+            .start_states()
+            .filter(|&s| self.nfa.ste(s).start == StartKind::AllInput)
+            .collect();
+        let mut odd_entries = Vec::new();
+        for u in starts {
+            let ste = self.nfa.ste(u);
+            let id = self.add_state(StridedSte {
+                first: SymbolClass::FULL,
+                second: ste.class,
+                start: StartKind::AllInput,
+                report: ste.report.map(|code| (code, ReportPhase::Second)),
+            });
+            odd_entries.push((u, id));
+        }
+
+        // Transitions. A strided state whose pair ends with original state
+        // `v` active enables, for every `w ∈ succ(v)`, all strided states
+        // with first-component `w`.
+        let edges: Vec<(SteId, SteId, u32)> = self.edge_states.clone();
+        for (_, v, id) in edges {
+            self.connect_from_second(id, v);
+        }
+        for (u, id) in odd_entries {
+            self.connect_from_second(id, u);
+        }
+
+        for successors in &mut self.successors {
+            successors.sort_unstable();
+            successors.dedup();
+        }
+
+        StridedNfa {
+            states: self.states,
+            successors: self.successors,
+            name: format!("{}-2stride", self.nfa.name()),
+        }
+    }
+
+    /// Wires `id -> every strided state whose first component is a
+    /// successor of `v``.
+    fn connect_from_second(&mut self, id: u32, v: SteId) {
+        let mut targets = Vec::new();
+        for &w in self.nfa.successors(v) {
+            targets.extend(self.by_first[w.index()].iter().copied());
+        }
+        self.successors[id as usize].extend(targets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex;
+
+    #[test]
+    fn sizes_for_chain() {
+        // abc: edges a->b, b->c; reports on c; start on a.
+        let nfa = regex::compile("abc").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        // 2 edge states + 1 report state + 1 odd-entry state.
+        assert_eq!(strided.len(), 4);
+        assert!(!strided.is_empty());
+        assert_eq!(strided.name(), "regex-2stride");
+    }
+
+    #[test]
+    fn edge_state_rectangles() {
+        let nfa = regex::compile("ab").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let edge = strided
+            .states()
+            .iter()
+            .find(|s| s.report.map(|(_, p)| p) == Some(ReportPhase::Second) && !s.first.is_full())
+            .expect("edge state exists");
+        assert!(edge.matches(b'a', b'b'));
+        assert!(!edge.matches(b'a', b'c'));
+        assert!(!edge.matches(b'x', b'b'));
+    }
+
+    #[test]
+    fn report_phases_present() {
+        let nfa = regex::compile("ab").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let phases: Vec<ReportPhase> = strided
+            .states()
+            .iter()
+            .filter_map(|s| s.report.map(|(_, p)| p))
+            .collect();
+        assert!(phases.contains(&ReportPhase::First));
+        assert!(phases.contains(&ReportPhase::Second));
+    }
+
+    #[test]
+    fn self_loop_strides_to_self_loop() {
+        let nfa = regex::compile("ad+").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        // e(d,d) must be its own successor.
+        let (idx, _) = strided
+            .states()
+            .iter()
+            .enumerate()
+            .find(|(_, s)| {
+                s.first.contains(b'd') && s.second.contains(b'd') && !s.first.is_full()
+            })
+            .expect("d,d edge state");
+        assert!(strided.successors(idx).contains(&(idx as u32)));
+    }
+
+    #[test]
+    fn nibble_conversion_has_chain_4() {
+        let nfa = regex::compile("ab").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let nibble = strided.to_nibble_nfa();
+        assert_eq!(nibble.chain, 4);
+        assert!(nibble.nfa.len() >= strided.len() * 4 - 2);
+        assert!(nibble.nfa.reporting_states().count() >= 1);
+    }
+
+    #[test]
+    fn anchored_start_has_no_odd_entry() {
+        use crate::regex::{compile_ast, parse, CompileOptions};
+        let ast = parse("ab").unwrap();
+        let nfa = compile_ast(
+            &ast,
+            CompileOptions {
+                anchored: true,
+                report_code: 0,
+            },
+        )
+        .unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        // Edge state + report state only: anchored patterns cannot begin
+        // mid-pair.
+        assert_eq!(strided.len(), 2);
+        assert!(strided
+            .states()
+            .iter()
+            .all(|s| s.start != StartKind::AllInput));
+    }
+}

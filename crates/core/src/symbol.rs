@@ -1,0 +1,390 @@
+//! Symbols and symbol classes.
+//!
+//! A *symbol* is one 8-bit input character. A *symbol class* is the set of
+//! symbols accepted by a state-transition element (STE); the paper calls
+//! `|class|` the *symbol class size*. Classes are stored as 256-bit sets so
+//! that union/intersection/complement — the operations the encoding and
+//! negation-optimization pipelines live on — are a handful of word ops.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// The number of distinct 8-bit symbols.
+pub const ALPHABET: usize = 256;
+
+/// A set of 8-bit symbols, e.g. the accept set of one STE.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::SymbolClass;
+///
+/// let digits = SymbolClass::from_range(b'0', b'9');
+/// assert!(digits.contains(b'7'));
+/// assert_eq!(digits.len(), 10);
+/// let not_digits = !digits;
+/// assert!(!not_digits.contains(b'7'));
+/// assert_eq!(not_digits.len(), 246);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SymbolClass {
+    words: [u64; 4],
+}
+
+impl SymbolClass {
+    /// The empty class (matches nothing).
+    pub const EMPTY: SymbolClass = SymbolClass { words: [0; 4] };
+
+    /// The full class (matches every 8-bit symbol; ANML `*`).
+    pub const FULL: SymbolClass = SymbolClass { words: [!0; 4] };
+
+    /// Creates an empty class. Equivalent to [`SymbolClass::EMPTY`].
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a class containing a single symbol.
+    pub fn singleton(symbol: u8) -> Self {
+        let mut class = Self::EMPTY;
+        class.insert(symbol);
+        class
+    }
+
+    /// Creates a class containing the inclusive range `lo..=hi`.
+    ///
+    /// An inverted range (`lo > hi`) yields the empty class.
+    pub fn from_range(lo: u8, hi: u8) -> Self {
+        let mut class = Self::EMPTY;
+        if lo <= hi {
+            for s in lo..=hi {
+                class.insert(s);
+            }
+        }
+        class
+    }
+
+    /// Adds `symbol` to the class.
+    pub fn insert(&mut self, symbol: u8) {
+        self.words[symbol as usize / 64] |= 1u64 << (symbol % 64);
+    }
+
+    /// Removes `symbol` from the class.
+    pub fn remove(&mut self, symbol: u8) {
+        self.words[symbol as usize / 64] &= !(1u64 << (symbol % 64));
+    }
+
+    /// Tests membership of `symbol`.
+    pub fn contains(&self, symbol: u8) -> bool {
+        self.words[symbol as usize / 64] >> (symbol % 64) & 1 == 1
+    }
+
+    /// The symbol class size: how many symbols the class accepts.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the class accepts no symbol.
+    pub fn is_empty(&self) -> bool {
+        self.words == [0; 4]
+    }
+
+    /// Returns `true` if the class accepts every 8-bit symbol.
+    pub fn is_full(&self) -> bool {
+        self.words == [!0; 4]
+    }
+
+    /// The paper's negation-optimized size: `min(|C|, 256 - |C|)`.
+    ///
+    /// This is the number of CAM-resident symbols once Negation
+    /// Optimization (NO) may store the complement and invert the match.
+    pub fn negation_optimized_len(&self) -> usize {
+        self.len().min(ALPHABET - self.len())
+    }
+
+    /// Returns `true` if NO would store the complement of this class
+    /// (i.e. the complement is strictly smaller).
+    pub fn prefers_negation(&self) -> bool {
+        ALPHABET - self.len() < self.len()
+    }
+
+    /// Iterates the accepted symbols in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            class: self,
+            word_idx: 0,
+            current: self.words[0],
+        }
+    }
+
+    /// Returns `true` if `self` and `other` accept any common symbol.
+    pub fn intersects(&self, other: &SymbolClass) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if every symbol of `self` is accepted by `other`.
+    pub fn is_subset(&self, other: &SymbolClass) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// The lowest accepted symbol, if any.
+    pub fn min_symbol(&self) -> Option<u8> {
+        self.iter().next()
+    }
+
+    /// Raw 256-bit representation (four little-endian `u64` words).
+    pub fn as_words(&self) -> &[u64; 4] {
+        &self.words
+    }
+}
+
+impl BitOr for SymbolClass {
+    type Output = SymbolClass;
+
+    fn bitor(self, rhs: SymbolClass) -> SymbolClass {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(&rhs.words) {
+            *a |= b;
+        }
+        SymbolClass { words }
+    }
+}
+
+impl BitAnd for SymbolClass {
+    type Output = SymbolClass;
+
+    fn bitand(self, rhs: SymbolClass) -> SymbolClass {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(&rhs.words) {
+            *a &= b;
+        }
+        SymbolClass { words }
+    }
+}
+
+impl Not for SymbolClass {
+    type Output = SymbolClass;
+
+    fn not(self) -> SymbolClass {
+        let mut words = self.words;
+        for w in words.iter_mut() {
+            *w = !*w;
+        }
+        SymbolClass { words }
+    }
+}
+
+impl FromIterator<u8> for SymbolClass {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut class = SymbolClass::EMPTY;
+        for s in iter {
+            class.insert(s);
+        }
+        class
+    }
+}
+
+impl Extend<u8> for SymbolClass {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for s in iter {
+            self.insert(s);
+        }
+    }
+}
+
+impl From<u8> for SymbolClass {
+    fn from(symbol: u8) -> Self {
+        SymbolClass::singleton(symbol)
+    }
+}
+
+fn write_symbol(f: &mut fmt::Formatter<'_>, s: u8) -> fmt::Result {
+    match s {
+        b'\\' | b']' | b'[' | b'^' | b'-' => write!(f, "\\{}", s as char),
+        0x20..=0x7e => write!(f, "{}", s as char),
+        b'\n' => write!(f, "\\n"),
+        b'\r' => write!(f, "\\r"),
+        b'\t' => write!(f, "\\t"),
+        _ => write!(f, "\\x{s:02x}"),
+    }
+}
+
+impl fmt::Display for SymbolClass {
+    /// Formats the class in ANML/regex character-class syntax, negating
+    /// when the complement is smaller (e.g. `[^\x00]`), and collapsing
+    /// runs into ranges (e.g. `[a-z0-9]`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_full() {
+            return write!(f, "*");
+        }
+        let (class, negated) = if self.prefers_negation() {
+            (!*self, true)
+        } else {
+            (*self, false)
+        };
+        write!(f, "[")?;
+        if negated {
+            write!(f, "^")?;
+        }
+        let symbols: Vec<u8> = class.iter().collect();
+        let mut i = 0;
+        while i < symbols.len() {
+            let start = symbols[i];
+            let mut end = start;
+            while i + 1 < symbols.len() && Some(symbols[i + 1]) == end.checked_add(1) {
+                end = symbols[i + 1];
+                i += 1;
+            }
+            write_symbol(f, start)?;
+            if u16::from(end) > u16::from(start) + 1 {
+                write!(f, "-")?;
+                write_symbol(f, end)?;
+            } else if u16::from(end) == u16::from(start) + 1 {
+                write_symbol(f, end)?;
+            }
+            i += 1;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for SymbolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymbolClass({self})")
+    }
+}
+
+/// Iterator over accepted symbols, created by [`SymbolClass::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    class: &'a SymbolClass,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= 4 {
+                return None;
+            }
+            self.current = self.class.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some((self.word_idx * 64 + bit) as u8)
+    }
+}
+
+impl<'a> IntoIterator for &'a SymbolClass {
+    type Item = u8;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_contains() {
+        let class = SymbolClass::singleton(b'a');
+        assert!(class.contains(b'a'));
+        assert!(!class.contains(b'b'));
+        assert_eq!(class.len(), 1);
+    }
+
+    #[test]
+    fn range_membership() {
+        let class = SymbolClass::from_range(b'0', b'9');
+        assert_eq!(class.len(), 10);
+        assert!(class.contains(b'0'));
+        assert!(class.contains(b'9'));
+        assert!(!class.contains(b'a'));
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        assert!(SymbolClass::from_range(10, 5).is_empty());
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(SymbolClass::FULL.len(), 256);
+        assert!(SymbolClass::FULL.is_full());
+        assert!(SymbolClass::EMPTY.is_empty());
+        assert_eq!(SymbolClass::new(), SymbolClass::EMPTY);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let class = SymbolClass::from_range(0x20, 0x7e);
+        let complement = !class;
+        assert_eq!(complement.len(), 256 - class.len());
+        assert_eq!(!complement, class);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = SymbolClass::from_range(b'a', b'f');
+        let b = SymbolClass::from_range(b'd', b'k');
+        assert_eq!((a | b).len(), 11);
+        assert_eq!((a & b).len(), 3);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = SymbolClass::from_range(b'b', b'c');
+        let big = SymbolClass::from_range(b'a', b'z');
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+    }
+
+    #[test]
+    fn negation_optimized_len_picks_smaller_side() {
+        let small = SymbolClass::from_range(0, 3);
+        assert_eq!(small.negation_optimized_len(), 4);
+        assert!(!small.prefers_negation());
+        let big = !small;
+        assert_eq!(big.len(), 252);
+        assert_eq!(big.negation_optimized_len(), 4);
+        assert!(big.prefers_negation());
+    }
+
+    #[test]
+    fn display_formats_ranges() {
+        let class = SymbolClass::from_range(b'a', b'd');
+        assert_eq!(class.to_string(), "[a-d]");
+        let negated: SymbolClass = !SymbolClass::singleton(b'x');
+        assert_eq!(negated.to_string(), "[^x]");
+        assert_eq!(SymbolClass::FULL.to_string(), "*");
+    }
+
+    #[test]
+    fn display_escapes_specials() {
+        let class = SymbolClass::singleton(b']');
+        assert_eq!(class.to_string(), "[\\]]");
+        let class = SymbolClass::singleton(0x00);
+        assert_eq!(class.to_string(), "[\\x00]");
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut class = SymbolClass::new();
+        class.extend([200u8, 5, 63, 64, 128]);
+        assert_eq!(class.iter().collect::<Vec<_>>(), vec![5, 63, 64, 128, 200]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let class: SymbolClass = (b'a'..=b'e').collect();
+        assert_eq!(class.len(), 5);
+        assert_eq!(class.min_symbol(), Some(b'a'));
+    }
+}

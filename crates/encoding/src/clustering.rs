@@ -1,0 +1,197 @@
+//! Frequency-first symbol clustering (§V.B).
+//!
+//! For the prefix schemes, symbols that tend to appear in the same symbol
+//! class should share a prefix, so that suffix compression (always exact,
+//! one entry per prefix group) absorbs most classes. The paper's
+//! algorithm seeds each cluster with the most frequent unassigned symbol
+//! and greedily adds the symbol with the highest estimated probability of
+//! co-occurring with the cluster, until the cluster holds `suffix` many
+//! symbols.
+
+use cama_core::SymbolClass;
+
+/// Co-occurrence statistics over the stored symbol classes of an NFA.
+#[derive(Clone, Debug)]
+pub struct ClassUsage {
+    /// `freq[s]` — number of classes containing symbol `s`.
+    freq: Vec<u32>,
+    /// `cooc[s * 256 + t]` — number of classes containing both `s` and `t`.
+    cooc: Vec<u32>,
+}
+
+impl ClassUsage {
+    /// Accumulates statistics from an iterator of stored classes.
+    pub fn from_classes<'a, I: IntoIterator<Item = &'a SymbolClass>>(classes: I) -> Self {
+        let mut freq = vec![0u32; 256];
+        let mut cooc = vec![0u32; 256 * 256];
+        for class in classes {
+            let symbols: Vec<u8> = class.iter().collect();
+            for &s in &symbols {
+                freq[s as usize] += 1;
+            }
+            // Quadratic in the class size, but NO caps stored classes at
+            // 128 symbols and distinct classes are few in practice.
+            for &s in &symbols {
+                for &t in &symbols {
+                    if s != t {
+                        cooc[s as usize * 256 + t as usize] += 1;
+                    }
+                }
+            }
+        }
+        ClassUsage { freq, cooc }
+    }
+
+    /// Frequency of a symbol (number of classes it appears in).
+    pub fn frequency(&self, symbol: u8) -> u32 {
+        self.freq[symbol as usize]
+    }
+
+    /// Co-occurrence count of two symbols.
+    pub fn cooccurrence(&self, a: u8, b: u8) -> u32 {
+        self.cooc[a as usize * 256 + b as usize]
+    }
+
+    /// The paper's P(X·C) estimate: the summed co-occurrence of `symbol`
+    /// with the current cluster members.
+    pub fn affinity(&self, symbol: u8, cluster: &[u8]) -> u64 {
+        cluster
+            .iter()
+            .map(|&c| self.cooccurrence(symbol, c) as u64)
+            .sum()
+    }
+
+    /// Symbols of `domain` sorted by decreasing frequency (ties by symbol
+    /// value, for determinism).
+    pub fn by_frequency(&self, domain: &SymbolClass) -> Vec<u8> {
+        let mut symbols: Vec<u8> = domain.iter().collect();
+        symbols.sort_by_key(|&s| (std::cmp::Reverse(self.freq[s as usize]), s));
+        symbols
+    }
+}
+
+/// Partitions `domain` into clusters of at most `cluster_capacity`
+/// symbols using the frequency-first heuristic.
+///
+/// The returned clusters are non-empty, disjoint, and cover the domain.
+///
+/// # Panics
+///
+/// Panics if `cluster_capacity` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::SymbolClass;
+/// use cama_encoding::clustering::{cluster_symbols, ClassUsage};
+///
+/// // 'a' and 'b' always co-occur; they should share a cluster.
+/// let classes = vec![
+///     SymbolClass::from_range(b'a', b'b'),
+///     SymbolClass::from_range(b'a', b'b'),
+///     SymbolClass::singleton(b'z'),
+/// ];
+/// let usage = ClassUsage::from_classes(&classes);
+/// let domain: SymbolClass = [b'a', b'b', b'z'].into_iter().collect();
+/// let clusters = cluster_symbols(&domain, &usage, 2);
+/// assert_eq!(clusters[0], vec![b'a', b'b']);
+/// ```
+pub fn cluster_symbols(
+    domain: &SymbolClass,
+    usage: &ClassUsage,
+    cluster_capacity: usize,
+) -> Vec<Vec<u8>> {
+    assert!(cluster_capacity > 0, "cluster capacity must be positive");
+    let order = usage.by_frequency(domain);
+    let mut unassigned: Vec<u8> = order;
+    let mut clusters = Vec::new();
+
+    while !unassigned.is_empty() {
+        // Seed with the most frequent unassigned symbol.
+        let mut cluster = vec![unassigned.remove(0)];
+        while cluster.len() < cluster_capacity && !unassigned.is_empty() {
+            // Pick the unassigned symbol with the highest affinity;
+            // `unassigned` is frequency-sorted, so ties resolve to the
+            // most frequent.
+            let (best_idx, _) = unassigned
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i, usage.affinity(s, &cluster)))
+                .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+                .expect("unassigned is non-empty");
+            cluster.push(unassigned.remove(best_idx));
+        }
+        clusters.push(cluster);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes_from(sets: &[&[u8]]) -> Vec<SymbolClass> {
+        sets.iter()
+            .map(|s| s.iter().copied().collect())
+            .collect()
+    }
+
+    #[test]
+    fn frequency_counts() {
+        let classes = classes_from(&[b"ab", b"ac", b"a"]);
+        let usage = ClassUsage::from_classes(&classes);
+        assert_eq!(usage.frequency(b'a'), 3);
+        assert_eq!(usage.frequency(b'b'), 1);
+        assert_eq!(usage.frequency(b'z'), 0);
+        assert_eq!(usage.cooccurrence(b'a', b'b'), 1);
+        assert_eq!(usage.cooccurrence(b'b', b'c'), 0);
+    }
+
+    #[test]
+    fn by_frequency_is_deterministic() {
+        let classes = classes_from(&[b"ba", b"b"]);
+        let usage = ClassUsage::from_classes(&classes);
+        let domain: SymbolClass = b"ab".iter().copied().collect();
+        assert_eq!(usage.by_frequency(&domain), vec![b'b', b'a']);
+    }
+
+    #[test]
+    fn cooccurring_symbols_cluster_together() {
+        // {c,d} co-occur strongly; {a,b} co-occur strongly.
+        let classes = classes_from(&[b"cd", b"cd", b"cd", b"ab", b"ab", b"c"]);
+        let usage = ClassUsage::from_classes(&classes);
+        let domain: SymbolClass = b"abcd".iter().copied().collect();
+        let clusters = cluster_symbols(&domain, &usage, 2);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![b'c', b'd']);
+        assert_eq!(clusters[1], vec![b'a', b'b']);
+    }
+
+    #[test]
+    fn clusters_cover_domain_exactly() {
+        let classes = classes_from(&[b"hello", b"world"]);
+        let usage = ClassUsage::from_classes(&classes);
+        let domain: SymbolClass = b"dehlorw".iter().copied().collect();
+        let clusters = cluster_symbols(&domain, &usage, 3);
+        let mut all: Vec<u8> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, domain.iter().collect::<Vec<_>>());
+        for cluster in &clusters {
+            assert!(!cluster.is_empty() && cluster.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn affinity_sums_cooccurrence() {
+        let classes = classes_from(&[b"xy", b"xz", b"xyz"]);
+        let usage = ClassUsage::from_classes(&classes);
+        assert_eq!(usage.affinity(b'x', &[b'y', b'z']), 2 + 2);
+    }
+
+    #[test]
+    fn empty_domain_gives_no_clusters() {
+        let usage = ClassUsage::from_classes(&[]);
+        let clusters = cluster_symbols(&SymbolClass::EMPTY, &usage, 4);
+        assert!(clusters.is_empty());
+    }
+}

@@ -1,0 +1,418 @@
+//! Codes and CAM entries under the fixed-number-of-zeros discipline.
+//!
+//! A code of length `L` is stored as the bit mask of its *zero*
+//! positions. All symbol codes of a scheme have the same number of zeros
+//! (the pigeonhole argument of §IV.A); a CAM entry accumulates the zero
+//! masks of the symbols compressed into it. The 8T CAM matches an entry
+//! against an input code exactly when every stored `1` sees an input `1`,
+//! i.e. when
+//!
+//! ```text
+//! zeros(input code) ⊆ zeros(entry)
+//! ```
+//!
+//! (the physical search lines carry the complemented code; the inversion
+//! lives inside the input encoder, §IV.A).
+//!
+//! Codes are up to 256 bits wide so that the classic one-hot bit vector —
+//! `One-Zero` at the full alphabet length — is expressible in the same
+//! framework as CAMA's 16/32-bit codes (Table II's baseline column).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// Maximum supported code length in bits (the one-hot baseline).
+pub const MAX_CODE_LEN: usize = 256;
+
+/// A 256-bit position mask used for code zero-positions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mask {
+    words: [u64; 4],
+}
+
+impl Mask {
+    /// The empty mask.
+    pub const EMPTY: Mask = Mask { words: [0; 4] };
+
+    /// A mask with the single bit `i` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(i: usize) -> Mask {
+        assert!(i < MAX_CODE_LEN, "bit {i} out of range");
+        let mut words = [0u64; 4];
+        words[i / 64] = 1u64 << (i % 64);
+        Mask { words }
+    }
+
+    /// A mask with the low `len` bits set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 256`.
+    pub fn low(len: usize) -> Mask {
+        assert!(len <= MAX_CODE_LEN, "length {len} out of range");
+        let mut words = [0u64; 4];
+        for (i, word) in words.iter_mut().enumerate() {
+            let lo = i * 64;
+            if len > lo {
+                let n = (len - lo).min(64);
+                *word = if n == 64 { !0 } else { (1u64 << n) - 1 };
+            }
+        }
+        Mask { words }
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < MAX_CODE_LEN, "bit {i} out of range");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn test(&self, i: usize) -> bool {
+        assert!(i < MAX_CODE_LEN, "bit {i} out of range");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words == [0; 4]
+    }
+
+    /// Returns `true` if every set bit of `self` is set in `other`.
+    pub fn is_subset_of(&self, other: &Mask) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl BitOr for Mask {
+    type Output = Mask;
+
+    fn bitor(self, rhs: Mask) -> Mask {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(&rhs.words) {
+            *a |= b;
+        }
+        Mask { words }
+    }
+}
+
+impl BitAnd for Mask {
+    type Output = Mask;
+
+    fn bitand(self, rhs: Mask) -> Mask {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(&rhs.words) {
+            *a &= b;
+        }
+        Mask { words }
+    }
+}
+
+impl Not for Mask {
+    type Output = Mask;
+
+    fn not(self) -> Mask {
+        let mut words = self.words;
+        for w in words.iter_mut() {
+            *w = !*w;
+        }
+        Mask { words }
+    }
+}
+
+impl fmt::Debug for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mask[")?;
+        let mut first = true;
+        for i in 0..MAX_CODE_LEN {
+            if self.test(i) {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{i}")?;
+                first = false;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<u64> for Mask {
+    fn from(low: u64) -> Mask {
+        Mask {
+            words: [low, 0, 0, 0],
+        }
+    }
+}
+
+/// One symbol code: `len` bits with the positions in `zeros` set to `0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Code {
+    zeros: Mask,
+    len: u16,
+}
+
+impl Code {
+    /// Creates a code of `len` bits whose zero positions are the set bits
+    /// of `zeros`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`MAX_CODE_LEN`] or `zeros` has bits at or
+    /// above `len`.
+    pub fn new(zeros: impl Into<Mask>, len: usize) -> Self {
+        let zeros = zeros.into();
+        assert!(len <= MAX_CODE_LEN, "code length {len} exceeds {MAX_CODE_LEN}");
+        assert!(
+            zeros.is_subset_of(&Mask::low(len)),
+            "zero mask has bits beyond length {len}"
+        );
+        Code {
+            zeros,
+            len: len as u16,
+        }
+    }
+
+    /// The zero-position mask.
+    pub fn zeros(&self) -> Mask {
+        self.zeros
+    }
+
+    /// The one-position mask (what the search lines see, pre-inversion).
+    pub fn ones(&self) -> Mask {
+        !self.zeros & Mask::low(self.len as usize)
+    }
+
+    /// Code length in bits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` for the degenerate zero-length code.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of zeros in the code.
+    pub fn num_zeros(&self) -> usize {
+        self.zeros.count_ones()
+    }
+}
+
+impl fmt::Debug for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Code({self})")
+    }
+}
+
+impl fmt::Display for Code {
+    /// Prints the code MSB-first as the paper's figures do.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len as usize).rev() {
+            write!(f, "{}", if self.zeros.test(i) { '0' } else { '1' })?;
+        }
+        Ok(())
+    }
+}
+
+/// One CAM entry: the zero mask accumulated from compressed symbol codes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CamEntry {
+    zeros: Mask,
+    len: u16,
+}
+
+impl CamEntry {
+    /// An entry holding exactly one symbol code.
+    pub fn from_code(code: Code) -> Self {
+        CamEntry {
+            zeros: code.zeros(),
+            len: code.len() as u16,
+        }
+    }
+
+    /// The entry's zero (don't-care) mask.
+    pub fn zeros(&self) -> Mask {
+        self.zeros
+    }
+
+    /// Entry width in bits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` for the degenerate zero-width entry.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compresses another code into this entry (flips its zero positions
+    /// to don't-cares). The caller is responsible for the exactness check
+    /// (see [`compress`](crate::compress)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn absorb(&mut self, code: Code) {
+        assert_eq!(self.len as usize, code.len(), "entry/code width mismatch");
+        self.zeros = self.zeros | code.zeros();
+    }
+
+    /// Union of two entries (used when merging entries during
+    /// compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merged(&self, other: &CamEntry) -> CamEntry {
+        assert_eq!(self.len, other.len, "entry width mismatch");
+        CamEntry {
+            zeros: self.zeros | other.zeros,
+            len: self.len,
+        }
+    }
+
+    /// The raw CAM match: `true` when every stored `1` sees an input `1`.
+    ///
+    /// `None` models the reserved all-zero search code the encoder emits
+    /// for symbols outside the code domain; it matches only the
+    /// all-don't-care entry (which compression never produces for
+    /// non-negated classes, and the hardware additionally gates with the
+    /// encoder's valid bit).
+    pub fn matches(&self, code: Option<Code>) -> bool {
+        match code {
+            Some(code) => {
+                debug_assert_eq!(self.len as usize, code.len());
+                code.zeros().is_subset_of(&self.zeros)
+            }
+            None => self.zeros == Mask::low(self.len as usize),
+        }
+    }
+}
+
+impl fmt::Debug for CamEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CamEntry(")?;
+        for i in (0..self.len as usize).rev() {
+            write!(f, "{}", if self.zeros.test(i) { 'x' } else { '1' })?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_basics() {
+        let code = Code::new(0b0100u64, 4);
+        assert_eq!(code.len(), 4);
+        assert_eq!(code.num_zeros(), 1);
+        assert_eq!(code.ones(), Mask::from(0b1011u64));
+        assert_eq!(code.to_string(), "1011");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond length")]
+    fn code_rejects_out_of_range_zeros() {
+        Code::new(0b10000u64, 4);
+    }
+
+    #[test]
+    fn paper_figure_6_suffix_compression() {
+        // Two-Zeros prefix: 'a' = 001 01, 'b' = 001 10 → 'ab' = 001 00.
+        // MSB-first strings; bit 0 is the rightmost character.
+        let a = Code::new(0b11010u64, 5); // "00101": zeros at bits 4,3,1
+        let b = Code::new(0b11001u64, 5); // "00110": zeros at bits 4,3,0
+        assert_eq!(a.to_string(), "00101");
+        assert_eq!(b.to_string(), "00110");
+        let mut entry = CamEntry::from_code(a);
+        entry.absorb(b);
+        assert!(entry.matches(Some(a)));
+        assert!(entry.matches(Some(b)));
+        // A code with a different prefix must not match.
+        let c = Code::new(0b10110u64, 5); // "01001"
+        assert!(!entry.matches(Some(c)));
+    }
+
+    #[test]
+    fn entry_matches_iff_zero_superset() {
+        let entry = CamEntry::from_code(Code::new(0b0110u64, 4));
+        assert!(entry.matches(Some(Code::new(0b0010u64, 4))));
+        assert!(entry.matches(Some(Code::new(0b0110u64, 4))));
+        assert!(!entry.matches(Some(Code::new(0b1000u64, 4))));
+        assert!(!entry.matches(Some(Code::new(0b1010u64, 4))));
+    }
+
+    #[test]
+    fn reserved_code_matches_only_full_dont_care() {
+        let entry = CamEntry::from_code(Code::new(0b0110u64, 4));
+        assert!(!entry.matches(None));
+        let mut full = CamEntry::from_code(Code::new(0b1111u64, 4));
+        assert!(full.matches(None));
+        full.absorb(Code::new(0b0001u64, 4));
+        assert!(full.matches(None));
+    }
+
+    #[test]
+    fn merged_unions_zero_masks() {
+        let a = CamEntry::from_code(Code::new(0b0001u64, 4));
+        let b = CamEntry::from_code(Code::new(0b0100u64, 4));
+        assert_eq!(a.merged(&b).zeros(), Mask::from(0b0101u64));
+    }
+
+    #[test]
+    fn debug_formats() {
+        let entry = CamEntry::from_code(Code::new(0b01u64, 2));
+        assert_eq!(format!("{entry:?}"), "CamEntry(1x)");
+        assert_eq!(format!("{:?}", Code::new(0b01u64, 2)), "Code(10)");
+    }
+
+    #[test]
+    fn wide_codes_cross_word_boundaries() {
+        // The 256-bit one-hot baseline: zero at position 200.
+        let code = Code::new(Mask::bit(200), 256);
+        assert_eq!(code.num_zeros(), 1);
+        let mut entry = CamEntry::from_code(code);
+        entry.absorb(Code::new(Mask::bit(10), 256));
+        assert!(entry.matches(Some(Code::new(Mask::bit(200), 256))));
+        assert!(entry.matches(Some(Code::new(Mask::bit(10), 256))));
+        assert!(!entry.matches(Some(Code::new(Mask::bit(77), 256))));
+    }
+
+    #[test]
+    fn mask_operations() {
+        assert_eq!(Mask::low(256), !Mask::EMPTY);
+        assert_eq!(Mask::low(0), Mask::EMPTY);
+        assert_eq!(Mask::low(64).count_ones(), 64);
+        assert!(Mask::bit(3).is_subset_of(&Mask::low(4)));
+        assert!(!Mask::bit(4).is_subset_of(&Mask::low(4)));
+        let mut m = Mask::EMPTY;
+        m.set(130);
+        assert!(m.test(130));
+        assert!(!m.test(129));
+        assert_eq!((m | Mask::bit(0)).count_ones(), 2);
+        assert_eq!((m & Mask::bit(0)).count_ones(), 0);
+        assert!(Mask::EMPTY.is_empty());
+    }
+}

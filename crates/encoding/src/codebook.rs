@@ -1,0 +1,302 @@
+//! Symbol → code assignment for each scheme.
+//!
+//! The codebook doubles as the functional model of the paper's 256×32
+//! SRAM *input encoder*: every streaming symbol is looked up here and its
+//! (complemented) code driven onto the CAM search lines. Symbols outside
+//! the code domain map to the reserved all-zero search word, which
+//! matches nothing except fully-compressed negated entries — exactly the
+//! semantics an out-of-alphabet byte must have.
+
+use crate::clustering::{cluster_symbols, ClassUsage};
+use crate::code::{Code, Mask};
+use crate::scheme::{binomial, Scheme};
+use cama_core::SymbolClass;
+
+/// An immutable symbol → code table for one automaton.
+#[derive(Clone, Debug)]
+pub struct Codebook {
+    scheme: Scheme,
+    codes: Vec<Option<Code>>,
+}
+
+impl Codebook {
+    /// Builds a codebook with frequency-first clustering (the proposed
+    /// flow of §V.B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's capacity is smaller than the domain.
+    pub fn build(scheme: Scheme, domain: &SymbolClass, usage: &ClassUsage) -> Self {
+        assert!(
+            scheme.capacity() >= domain.len(),
+            "scheme {scheme} (capacity {}) cannot encode {} symbols",
+            scheme.capacity(),
+            domain.len()
+        );
+        let groups: Vec<Vec<u8>> = match scheme.suffix_len() {
+            Some(suffix) => cluster_symbols(domain, usage, suffix),
+            None => usage
+                .by_frequency(domain)
+                .into_iter()
+                .map(|s| vec![s])
+                .collect(),
+        };
+        Self::from_groups(scheme, &groups)
+    }
+
+    /// Builds a codebook in plain symbol order with no clustering — the
+    /// "fixed 32-bit One-Zero-Prefix without clustering" baseline of
+    /// Table II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's capacity is smaller than the domain.
+    pub fn build_unclustered(scheme: Scheme, domain: &SymbolClass) -> Self {
+        assert!(
+            scheme.capacity() >= domain.len(),
+            "scheme {scheme} (capacity {}) cannot encode {} symbols",
+            scheme.capacity(),
+            domain.len()
+        );
+        let symbols: Vec<u8> = domain.iter().collect();
+        let groups: Vec<Vec<u8>> = match scheme.suffix_len() {
+            Some(suffix) => symbols.chunks(suffix).map(<[u8]>::to_vec).collect(),
+            None => symbols.into_iter().map(|s| vec![s]).collect(),
+        };
+        Self::from_groups(scheme, &groups)
+    }
+
+    fn from_groups(scheme: Scheme, groups: &[Vec<u8>]) -> Self {
+        let mut codes: Vec<Option<Code>> = vec![None; 256];
+        match scheme {
+            Scheme::OneZero { len } => {
+                for (i, group) in groups.iter().enumerate() {
+                    let [symbol] = group[..] else {
+                        panic!("One-Zero assignment expects singleton groups");
+                    };
+                    codes[symbol as usize] = Some(Code::new(Mask::bit(i), len));
+                }
+            }
+            Scheme::MultiZeros { len } => {
+                for (i, group) in groups.iter().enumerate() {
+                    let [symbol] = group[..] else {
+                        panic!("Multi-Zeros assignment expects singleton groups");
+                    };
+                    codes[symbol as usize] = Some(Code::new(nth_combination(len, len / 2, i), len));
+                }
+            }
+            Scheme::TwoZerosPrefix { prefix, suffix } => {
+                for (g, group) in groups.iter().enumerate() {
+                    let prefix_mask = nth_pair_mask(prefix, g);
+                    for (k, &symbol) in group.iter().enumerate() {
+                        assert!(k < suffix, "cluster exceeds suffix capacity");
+                        let zeros = prefix_mask | Mask::bit(prefix + k);
+                        codes[symbol as usize] = Some(Code::new(zeros, prefix + suffix));
+                    }
+                }
+            }
+            Scheme::OneZeroPrefix { prefix, suffix } => {
+                for (g, group) in groups.iter().enumerate() {
+                    assert!(g < prefix, "more clusters than prefix coordinates");
+                    for (k, &symbol) in group.iter().enumerate() {
+                        assert!(k < suffix, "cluster exceeds suffix capacity");
+                        let zeros = Mask::bit(g) | Mask::bit(prefix + k);
+                        codes[symbol as usize] = Some(Code::new(zeros, prefix + suffix));
+                    }
+                }
+            }
+        }
+        Codebook { scheme, codes }
+    }
+
+    /// The scheme this codebook implements.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The encoder lookup: the code for `symbol`, or `None` for the
+    /// reserved out-of-domain word.
+    pub fn code(&self, symbol: u8) -> Option<Code> {
+        self.codes[symbol as usize]
+    }
+
+    /// The set of symbols holding codes.
+    pub fn domain(&self) -> SymbolClass {
+        (0u8..=255)
+            .filter(|&s| self.codes[s as usize].is_some())
+            .collect()
+    }
+
+    /// Iterates `(symbol, code)` over the assigned symbols.
+    pub fn assignments(&self) -> impl Iterator<Item = (u8, Code)> + '_ {
+        self.codes
+            .iter()
+            .enumerate()
+            .filter_map(|(s, c)| c.map(|code| (s as u8, code)))
+    }
+}
+
+/// The `index`-th `k`-subset of `0..n` in lexicographic order, as a mask.
+///
+/// # Panics
+///
+/// Panics if `index >= C(n, k)`.
+pub fn nth_combination(n: usize, k: usize, mut index: usize) -> Mask {
+    assert!(index < binomial(n, k), "combination index out of range");
+    let mut mask = Mask::EMPTY;
+    let mut chosen = 0;
+    for position in 0..n {
+        if chosen == k {
+            break;
+        }
+        // Combinations that pick `position` next: C(n - position - 1, k - chosen - 1).
+        let with_here = binomial(n - position - 1, k - chosen - 1);
+        if index < with_here {
+            mask.set(position);
+            chosen += 1;
+        } else {
+            index -= with_here;
+        }
+    }
+    mask
+}
+
+/// The `index`-th pair `{i, j}` (`i < j < n`) in lexicographic order, as
+/// a mask — the prefix coordinates of the Two-Zeros-Prefix scheme.
+///
+/// # Panics
+///
+/// Panics if `index >= C(n, 2)`.
+pub fn nth_pair_mask(n: usize, index: usize) -> Mask {
+    nth_combination(n, 2, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::ClassUsage;
+
+    fn usage_of(classes: &[SymbolClass]) -> ClassUsage {
+        ClassUsage::from_classes(classes)
+    }
+
+    #[test]
+    fn nth_combination_enumerates_lexicographically() {
+        // 4 choose 2: {0,1},{0,2},{0,3},{1,2},{1,3},{2,3}
+        let expected = [0b0011u64, 0b0101, 0b1001, 0b0110, 0b1010, 0b1100];
+        for (i, &mask) in expected.iter().enumerate() {
+            assert_eq!(nth_combination(4, 2, i), Mask::from(mask), "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nth_combination_bounds_checked() {
+        nth_combination(4, 2, 6);
+    }
+
+    #[test]
+    fn codes_have_fixed_zero_counts() {
+        let domain: SymbolClass = (0..=99u8).collect();
+        let usage = usage_of(&[domain]);
+        for scheme in [
+            Scheme::OneZero { len: 100 },
+            Scheme::MultiZeros { len: 10 },
+            Scheme::TwoZerosPrefix {
+                prefix: 7,
+                suffix: 5,
+            },
+            Scheme::OneZeroPrefix {
+                prefix: 10,
+                suffix: 10,
+            },
+        ] {
+            let book = Codebook::build(scheme, &domain, &usage);
+            for (_, code) in book.assignments() {
+                assert_eq!(code.num_zeros(), scheme.num_zeros(), "{scheme}");
+                assert_eq!(code.len(), scheme.code_len());
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        for scheme in [
+            Scheme::TwoZerosPrefix {
+                prefix: 10,
+                suffix: 6,
+            },
+            Scheme::OneZero { len: 256 },
+            Scheme::MultiZeros { len: 11 },
+            Scheme::OneZeroPrefix {
+                prefix: 16,
+                suffix: 16,
+            },
+        ] {
+            let domain: SymbolClass = (0..=255u8).collect();
+            let usage = usage_of(&[domain]);
+            let book = Codebook::build(scheme, &domain, &usage);
+            let mut seen = std::collections::HashSet::new();
+            for (_, code) in book.assignments() {
+                assert!(seen.insert(code.zeros()), "duplicate code {code}");
+            }
+            assert_eq!(seen.len(), 256, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn out_of_domain_symbols_have_no_code() {
+        let domain: SymbolClass = (b'a'..=b'c').collect();
+        let usage = usage_of(&[domain]);
+        let book = Codebook::build(Scheme::OneZero { len: 3 }, &domain, &usage);
+        assert!(book.code(b'a').is_some());
+        assert!(book.code(b'z').is_none());
+        assert_eq!(book.domain(), domain);
+    }
+
+    #[test]
+    fn clustered_symbols_share_prefixes() {
+        // 'a' and 'b' co-occur, so they land in the same cluster and get
+        // the same prefix coordinate.
+        let classes: Vec<SymbolClass> = vec![
+            (b'a'..=b'b').collect(),
+            (b'a'..=b'b').collect(),
+            SymbolClass::singleton(b'x'),
+            SymbolClass::singleton(b'y'),
+        ];
+        let usage = usage_of(&classes);
+        let domain: SymbolClass = [b'a', b'b', b'x', b'y'].into_iter().collect();
+        let scheme = Scheme::TwoZerosPrefix {
+            prefix: 4,
+            suffix: 2,
+        };
+        let book = Codebook::build(scheme, &domain, &usage);
+        let prefix_mask = |s: u8| book.code(s).unwrap().zeros() & Mask::low(4);
+        assert_eq!(prefix_mask(b'a'), prefix_mask(b'b'));
+        assert_ne!(prefix_mask(b'a'), prefix_mask(b'x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode")]
+    fn capacity_is_enforced() {
+        let domain: SymbolClass = (0..=200u8).collect();
+        let usage = usage_of(&[domain]);
+        let _ = Codebook::build(Scheme::OneZero { len: 10 }, &domain, &usage);
+    }
+
+    #[test]
+    fn unclustered_build_uses_symbol_order() {
+        let domain: SymbolClass = (0..=7u8).collect();
+        let scheme = Scheme::OneZeroPrefix {
+            prefix: 4,
+            suffix: 2,
+        };
+        let book = Codebook::build_unclustered(scheme, &domain);
+        // Symbols 0,1 share cluster 0; 2,3 share cluster 1; …
+        let prefix_zero = |s: u8| book.code(s).unwrap().zeros() & Mask::low(4);
+        assert_eq!(prefix_zero(0), Mask::from(0b0001u64));
+        assert_eq!(prefix_zero(1), Mask::from(0b0001u64));
+        assert_eq!(prefix_zero(2), Mask::from(0b0010u64));
+        assert_eq!(prefix_zero(7), Mask::from(0b1000u64));
+    }
+}

@@ -1,0 +1,252 @@
+//! Exact compression of a symbol class into CAM entries.
+//!
+//! Compression flips additional ones to zeros (don't-cares), widening the
+//! set of codes an entry matches. The safety condition is always the
+//! same: the set of *assigned* codes matched by the candidate entry must
+//! stay inside the class (unassigned codes never appear as inputs, so an
+//! entry may spuriously cover them). This one greedy algorithm with that
+//! check realizes the behaviour of all four schemes of Figure 6:
+//!
+//! * One-Zero: everything merges into a single entry;
+//! * Multi-Zeros: merges essentially never succeed (the figure's `ab`
+//!   counter-example is exactly a failed safety check);
+//! * the prefix schemes: suffix compression within a prefix group always
+//!   succeeds; prefix compression succeeds when the covered rectangle is
+//!   clean.
+
+use crate::code::{CamEntry, Mask};
+use crate::codebook::Codebook;
+use cama_core::SymbolClass;
+
+/// Compresses `class` into the minimal-ish set of exact CAM entries under
+/// `codebook`.
+///
+/// Exactness: the union of the returned entries matches code(s) for
+/// `s ∈ class` and no other assigned code.
+///
+/// # Panics
+///
+/// Panics if a symbol in `class` has no code in the codebook.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::SymbolClass;
+/// use cama_encoding::clustering::ClassUsage;
+/// use cama_encoding::codebook::Codebook;
+/// use cama_encoding::compress::compress_class;
+/// use cama_encoding::scheme::Scheme;
+///
+/// let domain: SymbolClass = (0..=255u8).collect();
+/// let usage = ClassUsage::from_classes(&[domain]);
+/// let book = Codebook::build(Scheme::OneZero { len: 256 }, &domain, &usage);
+/// // One-Zero compresses any class into a single entry.
+/// let class = SymbolClass::from_range(b'a', b'z');
+/// assert_eq!(compress_class(&class, &book).len(), 1);
+/// ```
+pub fn compress_class(class: &SymbolClass, codebook: &Codebook) -> Vec<CamEntry> {
+    let members: Vec<u8> = class.iter().collect();
+    if members.is_empty() {
+        return Vec::new();
+    }
+
+    // Group members by prefix coordinate when the scheme has one: suffix
+    // compression within a group is exact by construction, which gives the
+    // greedy a head start and keeps the safety scans short.
+    let prefix_width = codebook.scheme().code_len() - codebook.scheme().suffix_len().unwrap_or(0);
+    let prefix_mask = Mask::low(prefix_width);
+
+    let mut entries: Vec<CamEntry> = Vec::new();
+    let mut by_prefix: Vec<(Mask, CamEntry)> = Vec::new();
+    for &symbol in &members {
+        let code = codebook
+            .code(symbol)
+            .unwrap_or_else(|| panic!("symbol {symbol:#04x} has no code"));
+        let key = code.zeros() & prefix_mask;
+        match by_prefix.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, entry)) => entry.absorb(code),
+            None => by_prefix.push((key, CamEntry::from_code(code))),
+        }
+    }
+    entries.extend(by_prefix.into_iter().map(|(_, e)| e));
+
+    // For schemes without a prefix the grouping above is per-code (each
+    // key unique); either way, now greedily merge entries pairwise under
+    // the exactness check.
+    let assigned: Vec<(u8, Mask)> = codebook
+        .assignments()
+        .map(|(s, c)| (s, c.zeros()))
+        .collect();
+    let is_safe = |candidate: &CamEntry| -> bool {
+        assigned
+            .iter()
+            .all(|&(s, zeros)| !zeros.is_subset_of(&candidate.zeros()) || class.contains(s))
+    };
+
+    let mut merged = true;
+    while merged {
+        merged = false;
+        'outer: for i in 0..entries.len() {
+            for j in i + 1..entries.len() {
+                let candidate = entries[i].merged(&entries[j]);
+                if is_safe(&candidate) {
+                    entries[i] = candidate;
+                    entries.swap_remove(j);
+                    merged = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    entries
+}
+
+/// Counts the symbols an entry list matches (assigned codes only) — the
+/// exactness oracle used by tests and [`verify_entries`].
+pub fn matched_symbols(entries: &[CamEntry], codebook: &Codebook) -> SymbolClass {
+    let mut matched = SymbolClass::EMPTY;
+    for (symbol, code) in codebook.assignments() {
+        if entries.iter().any(|e| e.matches(Some(code))) {
+            matched.insert(symbol);
+        }
+    }
+    matched
+}
+
+/// Verifies that `entries` match exactly `class` over the codebook's
+/// domain, returning the offending class on failure.
+///
+/// # Errors
+///
+/// Returns `Err(actual_matched_set)` when the entries over- or
+/// under-match.
+pub fn verify_entries(
+    entries: &[CamEntry],
+    class: &SymbolClass,
+    codebook: &Codebook,
+) -> Result<(), SymbolClass> {
+    let matched = matched_symbols(entries, codebook);
+    let expected = *class & codebook.domain();
+    if matched == expected {
+        Ok(())
+    } else {
+        Err(matched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::ClassUsage;
+    use crate::scheme::Scheme;
+
+    fn full_domain_book(scheme: Scheme) -> Codebook {
+        let domain: SymbolClass = (0..=255u8).collect();
+        let usage = ClassUsage::from_classes(&[domain]);
+        Codebook::build(scheme, &domain, &usage)
+    }
+
+    #[test]
+    fn one_zero_always_single_entry() {
+        let book = full_domain_book(Scheme::OneZero { len: 256 });
+        for class in [
+            SymbolClass::singleton(7),
+            SymbolClass::from_range(10, 200),
+            (0..=255u8).collect(),
+        ] {
+            let entries = compress_class(&class, &book);
+            assert_eq!(entries.len(), 1);
+            verify_entries(&entries, &class, &book).unwrap();
+        }
+    }
+
+    #[test]
+    fn multi_zeros_rarely_compresses() {
+        let book = full_domain_book(Scheme::MultiZeros { len: 11 });
+        // Figure 6: merging two balanced codes usually creates false
+        // positives, so most multi-symbol classes need one entry each —
+        // and always stay exact.
+        let class = SymbolClass::from_range(0, 9);
+        let entries = compress_class(&class, &book);
+        verify_entries(&entries, &class, &book).unwrap();
+        assert!(entries.len() >= 2, "got {} entries", entries.len());
+    }
+
+    #[test]
+    fn two_zeros_prefix_suffix_compression() {
+        let scheme = Scheme::TwoZerosPrefix {
+            prefix: 10,
+            suffix: 6,
+        };
+        let domain: SymbolClass = (0..=255u8).collect();
+        // Make symbols 0..6 co-occur so they share one cluster.
+        let co: SymbolClass = (0..6u8).collect();
+        let usage = ClassUsage::from_classes(&[co, co, co]);
+        let book = Codebook::build(scheme, &domain, &usage);
+        let entries = compress_class(&co, &book);
+        assert_eq!(entries.len(), 1, "clustered class compresses to 1 entry");
+        verify_entries(&entries, &co, &book).unwrap();
+    }
+
+    #[test]
+    fn compression_is_exact_for_random_classes() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let schemes = [
+            Scheme::OneZero { len: 256 },
+            Scheme::MultiZeros { len: 11 },
+            Scheme::TwoZerosPrefix {
+                prefix: 10,
+                suffix: 6,
+            },
+            Scheme::OneZeroPrefix {
+                prefix: 16,
+                suffix: 16,
+            },
+        ];
+        for scheme in schemes {
+            let book = full_domain_book(scheme);
+            for _ in 0..30 {
+                let size = rng.random_range(1..=40);
+                let class: SymbolClass = (0..size).map(|_| rng.random::<u8>()).collect();
+                let entries = compress_class(&class, &book);
+                verify_entries(&entries, &class, &book)
+                    .unwrap_or_else(|got| panic!("{scheme}: expected {class}, got {got}"));
+                assert!(entries.len() <= class.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_class_has_no_entries() {
+        let book = full_domain_book(Scheme::OneZero { len: 256 });
+        assert!(compress_class(&SymbolClass::EMPTY, &book).is_empty());
+    }
+
+    #[test]
+    fn partial_domain_ignores_unassigned_codes() {
+        // Domain is only 0..=99; entries may cover unassigned code points
+        // freely without violating exactness.
+        let domain: SymbolClass = (0..=99u8).collect();
+        let usage = ClassUsage::from_classes(&[domain]);
+        let scheme = Scheme::OneZeroPrefix {
+            prefix: 10,
+            suffix: 10,
+        };
+        let book = Codebook::build(scheme, &domain, &usage);
+        let class: SymbolClass = (0..=19u8).collect();
+        let entries = compress_class(&class, &book);
+        verify_entries(&entries, &class, &book).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_overmatching() {
+        let book = full_domain_book(Scheme::OneZero { len: 256 });
+        let class = SymbolClass::from_range(0, 4);
+        let mut entries = compress_class(&class, &book);
+        // Manually widen the entry beyond the class.
+        entries[0].absorb(book.code(9).unwrap());
+        assert!(verify_entries(&entries, &class, &book).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Negation Optimization (NO, §IV.A).
+//!
+//! A symbol class defined by negation (e.g. `[^abcd]`, 252 symbols) would
+//! need many CAM entries; storing the *excluded* four symbols and adding
+//! a per-row output inverter needs far fewer. NO decides per state
+//! whether to store the class or its complement.
+//!
+//! The *code domain* — the set of symbols that receive codes — is the
+//! union of all stored sets. Symbols outside the domain are encoded as
+//! the reserved all-zero search word: they match no normal entry and
+//! every inverted entry, which is exactly the semantics of an
+//! out-of-alphabet byte (it cannot be in any stored class, and it is
+//! accepted by every negated class).
+
+use cama_core::{Nfa, SymbolClass, ALPHABET};
+
+/// The size threshold above which a class is stored negated: more than
+/// half the alphabet.
+pub const NEGATION_THRESHOLD: usize = ALPHABET / 2;
+
+/// The by-size NO decision: returns the stored set and whether the row
+/// output is inverted.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::SymbolClass;
+/// use cama_encoding::negation::stored_class;
+///
+/// let (stored, negated) = stored_class(&!SymbolClass::singleton(b'a'));
+/// assert!(negated);
+/// assert_eq!(stored, SymbolClass::singleton(b'a'));
+/// ```
+pub fn stored_class(class: &SymbolClass) -> (SymbolClass, bool) {
+    if class.len() > NEGATION_THRESHOLD {
+        (!*class, true)
+    } else {
+        (*class, false)
+    }
+}
+
+/// The code domain of an automaton: its alphabet plus the complements of
+/// negation-stored classes.
+///
+/// Note that whenever any state is stored negated, the domain is the full
+/// 256-symbol alphabet (the class and its complement together cover Σ),
+/// so no reserved-code corner cases arise for negated states.
+pub fn code_domain(nfa: &Nfa) -> SymbolClass {
+    let mut domain = SymbolClass::EMPTY;
+    for ste in nfa.stes() {
+        let (stored, _) = stored_class(&ste.class);
+        domain = domain | ste.class | stored;
+    }
+    domain
+}
+
+/// The stored classes of every state under the by-size rule — the input
+/// to co-occurrence clustering.
+pub fn stored_classes(nfa: &Nfa) -> Vec<SymbolClass> {
+    nfa.stes()
+        .iter()
+        .map(|ste| stored_class(&ste.class).0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cama_core::{NfaBuilder, StartKind};
+
+    #[test]
+    fn small_classes_stay_raw() {
+        let class = SymbolClass::from_range(0, 99);
+        let (stored, negated) = stored_class(&class);
+        assert!(!negated);
+        assert_eq!(stored, class);
+    }
+
+    #[test]
+    fn exactly_half_stays_raw() {
+        let class: SymbolClass = (0..=127u8).collect();
+        let (_, negated) = stored_class(&class);
+        assert!(!negated);
+    }
+
+    #[test]
+    fn large_classes_are_negated() {
+        let class: SymbolClass = (0..=128u8).collect();
+        let (stored, negated) = stored_class(&class);
+        assert!(negated);
+        assert_eq!(stored.len(), 127);
+    }
+
+    #[test]
+    fn domain_is_full_when_negation_present() {
+        let mut b = NfaBuilder::new();
+        let s = b.add_ste(!SymbolClass::singleton(b'q'));
+        b.set_start(s, StartKind::AllInput);
+        let nfa = b.build().unwrap();
+        assert_eq!(code_domain(&nfa).len(), 256);
+    }
+
+    #[test]
+    fn domain_is_alphabet_without_negation() {
+        let mut b = NfaBuilder::new();
+        let s = b.add_ste(SymbolClass::from_range(b'a', b'f'));
+        b.set_start(s, StartKind::AllInput);
+        let nfa = b.build().unwrap();
+        assert_eq!(code_domain(&nfa).len(), 6);
+    }
+
+    #[test]
+    fn stored_classes_follow_the_rule() {
+        let mut b = NfaBuilder::new();
+        let s0 = b.add_ste(SymbolClass::singleton(b'a'));
+        let s1 = b.add_ste(!SymbolClass::singleton(b'b'));
+        b.set_start(s0, StartKind::AllInput);
+        b.set_start(s1, StartKind::AllInput);
+        let nfa = b.build().unwrap();
+        let stored = stored_classes(&nfa);
+        assert_eq!(stored[0], SymbolClass::singleton(b'a'));
+        assert_eq!(stored[1], SymbolClass::singleton(b'b'));
+    }
+}

@@ -1,0 +1,376 @@
+//! The four encoding schemes of Figure 6 and the code-length selection
+//! equations of §V.B.
+//!
+//! The controlling trade-off: more zeros per code shortens the code but
+//! restricts which symbol sets can share a CAM entry. One-Zero (one `0`,
+//! length = alphabet) is the inverted form of the classic bit vector and
+//! compresses any set; Multi-Zeros (balanced) is the shortest but barely
+//! compresses; the two *prefix* schemes split the code into a prefix and
+//! a One-Zero suffix to interpolate.
+
+use std::fmt;
+
+/// An encoding scheme together with its code geometry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scheme {
+    /// One `0` in the whole code; length = alphabet size. Maximum
+    /// compression (any symbol set fits one entry), longest code.
+    OneZero {
+        /// Code length in bits.
+        len: usize,
+    },
+    /// `⌊len/2⌋` zeros; the shortest code that can address the alphabet,
+    /// with essentially no compression space. Selected when the average
+    /// symbol-class size is 1.
+    MultiZeros {
+        /// Code length in bits.
+        len: usize,
+    },
+    /// Prefix with exactly two zeros + One-Zero suffix (Eq. 2).
+    TwoZerosPrefix {
+        /// Prefix length in bits.
+        prefix: usize,
+        /// Suffix length in bits.
+        suffix: usize,
+    },
+    /// Prefix with exactly one zero + One-Zero suffix; shortest length is
+    /// `2·√A` by the AM–GM inequality. Used for large symbol classes
+    /// (RandomForest) in the 32-bit mode.
+    OneZeroPrefix {
+        /// Prefix length in bits.
+        prefix: usize,
+        /// Suffix length in bits.
+        suffix: usize,
+    },
+}
+
+impl Scheme {
+    /// Total code length in bits.
+    pub fn code_len(&self) -> usize {
+        match *self {
+            Scheme::OneZero { len } | Scheme::MultiZeros { len } => len,
+            Scheme::TwoZerosPrefix { prefix, suffix }
+            | Scheme::OneZeroPrefix { prefix, suffix } => prefix + suffix,
+        }
+    }
+
+    /// Number of zeros in every (uncompressed) symbol code.
+    pub fn num_zeros(&self) -> usize {
+        match *self {
+            Scheme::OneZero { .. } => 1,
+            Scheme::MultiZeros { len } => len / 2,
+            Scheme::TwoZerosPrefix { .. } => 3,
+            Scheme::OneZeroPrefix { .. } => 2,
+        }
+    }
+
+    /// How many distinct symbols the scheme can encode.
+    pub fn capacity(&self) -> usize {
+        match *self {
+            Scheme::OneZero { len } => len,
+            Scheme::MultiZeros { len } => binomial(len, len / 2),
+            Scheme::TwoZerosPrefix { prefix, suffix } => binomial(prefix, 2) * suffix,
+            Scheme::OneZeroPrefix { prefix, suffix } => prefix * suffix,
+        }
+    }
+
+    /// Suffix length (cluster capacity) for the prefix schemes, `None`
+    /// otherwise.
+    pub fn suffix_len(&self) -> Option<usize> {
+        match *self {
+            Scheme::TwoZerosPrefix { suffix, .. } | Scheme::OneZeroPrefix { suffix, .. } => {
+                Some(suffix)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Scheme::OneZero { len } => write!(f, "One-Zero({len}b)"),
+            Scheme::MultiZeros { len } => write!(f, "Multi-Zeros({len}b)"),
+            Scheme::TwoZerosPrefix { prefix, suffix } => {
+                write!(f, "Two-Zeros-Prefix({prefix}+{suffix}b)")
+            }
+            Scheme::OneZeroPrefix { prefix, suffix } => {
+                write!(f, "One-Zero-Prefix({prefix}+{suffix}b)")
+            }
+        }
+    }
+}
+
+/// `C(n, k)` with saturation (enough for code-length search ranges).
+pub fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul((n - i) as u128) / (i as u128 + 1);
+        if result > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    result as usize
+}
+
+/// Eq. 1: the minimal Multi-Zeros length with `C(L, ⌊L/2⌋) ≥ a`.
+pub fn multi_zeros_len(alphabet: usize) -> usize {
+    let mut len = 1;
+    while binomial(len, len / 2) < alphabet {
+        len += 1;
+    }
+    len
+}
+
+/// Eq. 2: sweeps the suffix length from `⌈s̄⌉` to `⌈√a⌉` and returns the
+/// Two-Zeros-Prefix geometry with minimal total length, or `None` when
+/// the sweep range is empty (average class size exceeds `√a`, as for
+/// RandomForest).
+pub fn two_zeros_prefix_geometry(alphabet: usize, avg_class_size: f64) -> Option<Scheme> {
+    let lo = (avg_class_size.ceil() as usize).max(2);
+    let hi = (alphabet as f64).sqrt().ceil() as usize;
+    if lo > hi {
+        return None;
+    }
+    let mut best: Option<(usize, Scheme)> = None;
+    for suffix in lo..=hi {
+        let needed = alphabet.div_ceil(suffix);
+        let mut prefix = 3;
+        while binomial(prefix, 2) < needed {
+            prefix += 1;
+        }
+        let total = prefix + suffix;
+        if best.as_ref().is_none_or(|(len, _)| total < *len) {
+            best = Some((total, Scheme::TwoZerosPrefix { prefix, suffix }));
+        }
+    }
+    best.map(|(_, scheme)| scheme)
+}
+
+/// The minimal One-Zero-Prefix geometry (`prefix × suffix ≥ a`,
+/// minimizing `prefix + suffix`, i.e. `≈ 2√a` by Cauchy/AM–GM).
+pub fn one_zero_prefix_geometry(alphabet: usize) -> Scheme {
+    let mut best = (usize::MAX, 1usize, alphabet);
+    let root = (alphabet as f64).sqrt().ceil() as usize;
+    for prefix in 1..=root.max(1) {
+        let suffix = alphabet.div_ceil(prefix);
+        let total = prefix + suffix;
+        if total < best.0 {
+            best = (total, prefix, suffix);
+        }
+        // Symmetric candidate.
+        let (p2, s2) = (suffix, prefix);
+        if p2 * s2 >= alphabet && p2 + s2 < best.0 {
+            best = (p2 + s2, p2, s2);
+        }
+    }
+    Scheme::OneZeroPrefix {
+        prefix: best.1,
+        suffix: best.2,
+    }
+}
+
+/// The scheme-selection outcome for an automaton.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Selection {
+    /// The chosen scheme.
+    pub scheme: Scheme,
+    /// `true` when the code exceeds 16 bits and the hardware must run in
+    /// the 32-bit mode (both CAM sub-arrays per entry).
+    pub wide: bool,
+}
+
+/// §V.B selection: choose the scheme with minimal code length given the
+/// code-domain size `alphabet` and the NO-average class size.
+///
+/// * average class size 1 → Multi-Zeros (no compression needed);
+/// * tiny alphabets (≤ 16) → plain One-Zero, every class is one entry;
+/// * otherwise the shorter of Two-Zeros-Prefix (Eq. 2) and
+///   One-Zero-Prefix (2√A); lengths beyond 16 bits select the 32-bit
+///   hardware mode.
+///
+/// # Examples
+///
+/// ```
+/// use cama_encoding::scheme::{select, Scheme};
+///
+/// // Brill: every class is a singleton → Multi-Zeros, 11 bits for a
+/// // 256-symbol alphabet (C(11,5) = 462 ≥ 256).
+/// let s = select(256, 1.0);
+/// assert_eq!(s.scheme, Scheme::MultiZeros { len: 11 });
+///
+/// // BlockRings: 2-symbol alphabet → One-Zero, 2 bits.
+/// assert_eq!(select(2, 1.0).scheme, Scheme::OneZero { len: 2 });
+///
+/// // RandomForest: huge classes → One-Zero-Prefix at 32 bits (wide).
+/// let s = select(256, 51.55);
+/// assert!(s.wide);
+/// assert_eq!(s.scheme.code_len(), 32);
+/// ```
+pub fn select(alphabet: usize, avg_class_size_no: f64) -> Selection {
+    let alphabet = alphabet.max(1);
+    if alphabet <= 16 {
+        return Selection {
+            scheme: Scheme::OneZero { len: alphabet },
+            wide: false,
+        };
+    }
+    if avg_class_size_no <= 1.0 {
+        return Selection {
+            scheme: Scheme::MultiZeros {
+                len: multi_zeros_len(alphabet),
+            },
+            wide: false,
+        };
+    }
+    let one_zero_prefix = one_zero_prefix_geometry(alphabet);
+    // A Two-Zeros-Prefix code longer than 16 bits would occupy both CAM
+    // sub-arrays anyway, so the 32-bit mode switches to One-Zero-Prefix
+    // for its larger compression space (§VI.A).
+    let scheme = match two_zeros_prefix_geometry(alphabet, avg_class_size_no) {
+        Some(two_zeros) if two_zeros.code_len() <= 16 => {
+            if one_zero_prefix.code_len() < two_zeros.code_len() {
+                one_zero_prefix
+            } else {
+                two_zeros
+            }
+        }
+        _ => one_zero_prefix,
+    };
+    Selection {
+        scheme,
+        wide: scheme.code_len() > 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(11, 5), 462);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn eq1_multi_zeros_matches_table_2() {
+        // Brill / Hamming / Levenshtein report 11-bit codes for A = 256.
+        assert_eq!(multi_zeros_len(256), 11);
+        assert_eq!(multi_zeros_len(2), 2);
+    }
+
+    #[test]
+    fn eq2_paper_example() {
+        // §V.B: S = 5, A = 256 → 16-bit Two-Zeros-Prefix.
+        let scheme = two_zeros_prefix_geometry(256, 5.0).unwrap();
+        assert_eq!(scheme.code_len(), 16);
+    }
+
+    #[test]
+    fn eq2_infeasible_for_huge_classes() {
+        // RandomForest: S̄ = 51.55 > √256 — the sweep range is empty.
+        assert!(two_zeros_prefix_geometry(256, 51.55).is_none());
+    }
+
+    #[test]
+    fn one_zero_prefix_is_2_sqrt_a() {
+        let scheme = one_zero_prefix_geometry(256);
+        assert_eq!(scheme.code_len(), 32);
+        assert!(scheme.capacity() >= 256);
+        let scheme = one_zero_prefix_geometry(100);
+        assert_eq!(scheme.code_len(), 20);
+    }
+
+    #[test]
+    fn capacities() {
+        assert_eq!(Scheme::OneZero { len: 7 }.capacity(), 7);
+        assert_eq!(Scheme::MultiZeros { len: 11 }.capacity(), 462);
+        assert_eq!(
+            Scheme::TwoZerosPrefix {
+                prefix: 10,
+                suffix: 6
+            }
+            .capacity(),
+            270
+        );
+        assert_eq!(
+            Scheme::OneZeroPrefix {
+                prefix: 16,
+                suffix: 16
+            }
+            .capacity(),
+            256
+        );
+    }
+
+    #[test]
+    fn zeros_per_scheme() {
+        assert_eq!(Scheme::OneZero { len: 8 }.num_zeros(), 1);
+        assert_eq!(Scheme::MultiZeros { len: 11 }.num_zeros(), 5);
+        assert_eq!(
+            Scheme::TwoZerosPrefix {
+                prefix: 10,
+                suffix: 6
+            }
+            .num_zeros(),
+            3
+        );
+        assert_eq!(
+            Scheme::OneZeroPrefix {
+                prefix: 4,
+                suffix: 4
+            }
+            .num_zeros(),
+            2
+        );
+    }
+
+    #[test]
+    fn selection_for_typical_benchmarks() {
+        // ClamAV-like: S slightly above 1 → Two-Zeros-Prefix, 16 bits.
+        let s = select(256, 1.006);
+        assert!(matches!(s.scheme, Scheme::TwoZerosPrefix { .. }));
+        assert_eq!(s.scheme.code_len(), 16);
+        assert!(!s.wide);
+        // Protomata-like.
+        let s = select(256, 2.65);
+        assert_eq!(s.scheme.code_len(), 16);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            Scheme::TwoZerosPrefix {
+                prefix: 10,
+                suffix: 6
+            }
+            .to_string(),
+            "Two-Zeros-Prefix(10+6b)"
+        );
+        assert_eq!(Scheme::OneZero { len: 2 }.to_string(), "One-Zero(2b)");
+    }
+
+    #[test]
+    fn selection_respects_suffix_vs_class_size() {
+        // Moderate class sizes push the suffix length up within 16 bits.
+        let s = select(256, 4.0);
+        if let Scheme::TwoZerosPrefix { suffix, .. } = s.scheme {
+            assert!(suffix >= 4);
+            assert_eq!(s.scheme.code_len(), 16);
+        } else {
+            panic!("expected Two-Zeros-Prefix, got {}", s.scheme);
+        }
+        // Once Eq. 2 exceeds 16 bits the 32-bit One-Zero-Prefix wins.
+        let s = select(256, 8.0);
+        assert!(matches!(s.scheme, Scheme::OneZeroPrefix { .. }));
+        assert!(s.wide);
+    }
+}

@@ -1,0 +1,242 @@
+//! The functional state-matching CAM bank (§IV.A).
+//!
+//! A bank is a `width × capacity` array of repurposed 8T SRAM cells:
+//! each of the `capacity` columns stores one CAM entry (one compressed
+//! symbol-class fragment of an STE), `width` bits tall. A search drives
+//! the encoded input symbol onto the search lines and reads one match bit
+//! per column. Three hardware features are modeled:
+//!
+//! * **selective precharge** — only *enabled* columns are precharged
+//!   (CAMA-E's energy lever; disabled columns report no match);
+//! * **NO inverters** — per-column output inversion for negation-stored
+//!   classes;
+//! * **bit masking** — search bits above the code length are turned off
+//!   (the bank mask of §IV.A), modeled here by entry width checks.
+
+use cama_core::bitset::BitSet;
+use cama_encoding::{CamEntry, Code};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when programming past a bank's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankFullError {
+    /// The bank's entry capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for BankFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cam bank is full ({} entries)", self.capacity)
+    }
+}
+
+impl Error for BankFullError {}
+
+/// One programmed column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgrammedEntry {
+    /// The stored zero/don't-care pattern.
+    pub entry: CamEntry,
+    /// Whether the column output is inverted (Negation Optimization).
+    pub inverted: bool,
+}
+
+/// A `width × capacity` state-matching CAM bank.
+///
+/// # Examples
+///
+/// ```
+/// use cama_encoding::{CamEntry, Code};
+/// use cama_mem::CamBank;
+///
+/// let mut bank = CamBank::new(4, 8);
+/// let code = Code::new(0b0001u64, 4);
+/// bank.program(CamEntry::from_code(code), false)?;
+/// let matches = bank.search(Some(code), None);
+/// assert!(matches.contains(0));
+/// # Ok::<(), cama_mem::cam_array::BankFullError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CamBank {
+    width: usize,
+    capacity: usize,
+    entries: Vec<ProgrammedEntry>,
+}
+
+impl CamBank {
+    /// Creates an empty bank of `width` bits × `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero width or capacity.
+    pub fn new(width: usize, capacity: usize) -> Self {
+        assert!(width > 0 && capacity > 0, "bank must have non-zero geometry");
+        CamBank {
+            width,
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Entry width in bits (the CAM word length; search bits beyond a
+    /// shorter code are masked off by the caller's encoding).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Column capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of programmed columns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is programmed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The programmed columns in index order.
+    pub fn entries(&self) -> &[ProgrammedEntry] {
+        &self.entries
+    }
+
+    /// Programs the next free column; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankFullError`] when the bank is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is wider than the bank (the mapper must split
+    /// wide codes across sub-arrays before programming).
+    pub fn program(&mut self, entry: CamEntry, inverted: bool) -> Result<usize, BankFullError> {
+        assert!(
+            entry.len() <= self.width,
+            "entry of {} bits exceeds bank width {}",
+            entry.len(),
+            self.width
+        );
+        if self.entries.len() == self.capacity {
+            return Err(BankFullError {
+                capacity: self.capacity,
+            });
+        }
+        self.entries.push(ProgrammedEntry { entry, inverted });
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Searches the bank. `enabled` selects the precharged columns
+    /// (`None` = all columns, the pipelined CAMA-T behaviour); the
+    /// returned set has one bit per programmed column.
+    ///
+    /// A disabled column never matches — its match line is not
+    /// precharged, which is precisely how CAMA-E fuses the transition
+    /// AND into the precharger.
+    pub fn search(&self, code: Option<Code>, enabled: Option<&BitSet>) -> BitSet {
+        let mut result = BitSet::new(self.entries.len());
+        for (i, column) in self.entries.iter().enumerate() {
+            if let Some(enabled) = enabled {
+                if !enabled.contains(i) {
+                    continue;
+                }
+            }
+            let raw = column.entry.matches(code);
+            if raw != column.inverted {
+                result.insert(i);
+            }
+        }
+        result
+    }
+
+    /// The number of precharged columns for a given enable vector — the
+    /// quantity CAMA-E's energy scales with.
+    pub fn enabled_count(&self, enabled: Option<&BitSet>) -> usize {
+        match enabled {
+            Some(set) => set.count().min(self.entries.len()),
+            None => self.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(zeros: u64) -> Code {
+        Code::new(zeros, 8)
+    }
+
+    fn bank_with(codes: &[u64]) -> CamBank {
+        let mut bank = CamBank::new(8, 16);
+        for &z in codes {
+            bank.program(CamEntry::from_code(code(z)), false).unwrap();
+        }
+        bank
+    }
+
+    #[test]
+    fn search_matches_programmed_entries() {
+        let bank = bank_with(&[0b01, 0b10, 0b11]);
+        let hits = bank.search(Some(code(0b01)), None);
+        // Entry 0b01 matches exactly; 0b11 is a superset (don't-cares).
+        assert!(hits.contains(0));
+        assert!(!hits.contains(1));
+        assert!(hits.contains(2));
+    }
+
+    #[test]
+    fn selective_precharge_disables_columns() {
+        let bank = bank_with(&[0b01, 0b01]);
+        let enabled = BitSet::from_indices(2, [1]);
+        let hits = bank.search(Some(code(0b01)), Some(&enabled));
+        assert!(!hits.contains(0));
+        assert!(hits.contains(1));
+        assert_eq!(bank.enabled_count(Some(&enabled)), 1);
+        assert_eq!(bank.enabled_count(None), 2);
+    }
+
+    #[test]
+    fn inverted_column_negates() {
+        let mut bank = CamBank::new(8, 4);
+        bank.program(CamEntry::from_code(code(0b01)), true).unwrap();
+        // The stored set is {code 0b01}; inverted, everything else hits.
+        assert!(!bank.search(Some(code(0b01)), None).contains(0));
+        assert!(bank.search(Some(code(0b10)), None).contains(0));
+        // Reserved code: raw match is false, inverted column fires.
+        assert!(bank.search(None, None).contains(0));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut bank = CamBank::new(4, 1);
+        bank.program(CamEntry::from_code(Code::new(0b1u64, 4)), false)
+            .unwrap();
+        let err = bank
+            .program(CamEntry::from_code(Code::new(0b1u64, 4)), false)
+            .unwrap_err();
+        assert_eq!(err.capacity, 1);
+        assert_eq!(err.to_string(), "cam bank is full (1 entries)");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bank width")]
+    fn wide_entries_rejected() {
+        let mut bank = CamBank::new(4, 4);
+        let _ = bank.program(CamEntry::from_code(code(0b1)), false);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let bank = CamBank::new(16, 256);
+        assert_eq!(bank.width(), 16);
+        assert_eq!(bank.capacity(), 256);
+        assert!(bank.is_empty());
+        assert_eq!(bank.len(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! 8T SRAM crossbars for state transition (§IV.B).
+//!
+//! An 8T crossbar drives the active states' word lines and wired-ORs the
+//! stored connectivity onto the read bit lines, producing the next enable
+//! vector in one access. Three variants are modeled:
+//!
+//! * [`FullCrossbar`] (FCB) — `n × n` connectivity, the CA/Impala local
+//!   switch;
+//! * [`ReducedCrossbar`] (RCB/RRCB) — the diagonal remap of Figure 4:
+//!   with BFS-ordered states, transitions cluster near the diagonal, so a
+//!   `2n`-state automaton fits an `n × n` array by stacking neighbor
+//!   groups of width [`K_DIA`] into shared columns. A transition
+//!   `u → v` is representable iff `v`'s group is `u`'s or the next one;
+//! * the RRCB's FCB mode — [`LocalSwitch::Full`] over the same physical
+//!   array, for NFAs too dense for the band structure.
+
+use cama_core::bitset::BitSet;
+use std::error::Error;
+use std::fmt;
+
+/// The diagonal group width of CAMA's 128×128 RRCB: six groups of 43
+/// cover 256 states with two groups stacked per physical column.
+pub const K_DIA: usize = 43;
+
+/// A programmable `n × n` full crossbar.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::bitset::BitSet;
+/// use cama_mem::FullCrossbar;
+///
+/// let mut switch = FullCrossbar::new(4);
+/// switch.connect(0, 2);
+/// switch.connect(0, 3);
+/// let next = switch.route(&BitSet::from_indices(4, [0]));
+/// assert_eq!(next.iter().collect::<Vec<_>>(), vec![2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FullCrossbar {
+    n: usize,
+    rows: Vec<BitSet>,
+    connections: usize,
+}
+
+impl FullCrossbar {
+    /// Creates an empty `n × n` crossbar.
+    pub fn new(n: usize) -> Self {
+        FullCrossbar {
+            n,
+            rows: vec![BitSet::new(n); n],
+            connections: 0,
+        }
+    }
+
+    /// Logical port count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for a zero-port switch.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Programs the cell `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn connect(&mut self, from: usize, to: usize) {
+        assert!(from < self.n && to < self.n, "port out of range");
+        if !self.rows[from].contains(to) {
+            self.rows[from].insert(to);
+            self.connections += 1;
+        }
+    }
+
+    /// One switch access: the OR of the rows selected by `active`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` has a different port count.
+    pub fn route(&self, active: &BitSet) -> BitSet {
+        let mut out = BitSet::new(self.n);
+        self.route_into(active, &mut out);
+        out
+    }
+
+    /// [`route`](Self::route) into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches.
+    pub fn route_into(&self, active: &BitSet, out: &mut BitSet) {
+        assert_eq!(active.len(), self.n, "active vector size mismatch");
+        out.clear();
+        for i in active.iter() {
+            out.union_with(&self.rows[i]);
+        }
+    }
+
+    /// Number of programmed cells.
+    pub fn num_connections(&self) -> usize {
+        self.connections
+    }
+
+    /// Programmed cells over total cells — the statistic behind eAP's
+    /// observation that FCB utilization averages 0.48 %.
+    pub fn utilization(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.connections as f64 / (self.n * self.n) as f64
+    }
+}
+
+/// Error describing a transition the reduced crossbar cannot store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcbViolation {
+    /// Source state (local index).
+    pub from: usize,
+    /// Target state (local index).
+    pub to: usize,
+    /// Group width in force.
+    pub k_dia: usize,
+}
+
+impl fmt::Display for RcbViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transition {} -> {} leaves the diagonal band (k_dia = {})",
+            self.from, self.to, self.k_dia
+        )
+    }
+}
+
+impl Error for RcbViolation {}
+
+/// The reduced (diagonally remapped) crossbar.
+///
+/// Logically `n × n`; physically `⌈n/2⌉ × ⌈n/2⌉` thanks to the group
+/// stacking of Figure 4(b) (two 43-wide groups share each column, three
+/// WL segments, split read bit lines).
+#[derive(Clone, Debug)]
+pub struct ReducedCrossbar {
+    inner: FullCrossbar,
+    k_dia: usize,
+}
+
+impl ReducedCrossbar {
+    /// Returns `true` when the band structure can store `from → to`:
+    /// the target's group equals the source's group or the one after.
+    pub fn supports(k_dia: usize, from: usize, to: usize) -> bool {
+        let gf = from / k_dia;
+        let gt = to / k_dia;
+        gt == gf || gt == gf + 1
+    }
+
+    /// Programs a reduced crossbar over `n` logical states with the given
+    /// group width, rejecting any out-of-band transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RcbViolation`] encountered.
+    pub fn try_program(
+        n: usize,
+        k_dia: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, RcbViolation> {
+        let mut inner = FullCrossbar::new(n);
+        for (from, to) in edges {
+            if !Self::supports(k_dia, from, to) {
+                return Err(RcbViolation { from, to, k_dia });
+            }
+            inner.connect(from, to);
+        }
+        Ok(ReducedCrossbar { inner, k_dia })
+    }
+
+    /// Logical port count.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` for a zero-port switch.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The group width.
+    pub fn k_dia(&self) -> usize {
+        self.k_dia
+    }
+
+    /// One switch access (same semantics as the FCB it remaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` has a different port count.
+    pub fn route(&self, active: &BitSet) -> BitSet {
+        self.inner.route(active)
+    }
+
+    /// [`route`](Self::route) into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches.
+    pub fn route_into(&self, active: &BitSet, out: &mut BitSet) {
+        self.inner.route_into(active, out)
+    }
+
+    /// Number of programmed cells.
+    pub fn num_connections(&self) -> usize {
+        self.inner.num_connections()
+    }
+
+    /// Physical array rows/columns after the 2:1 stacking remap.
+    pub fn physical_dim(&self) -> usize {
+        self.inner.len().div_ceil(2)
+    }
+}
+
+/// A tile's local switch in either operating mode.
+#[derive(Clone, Debug)]
+pub enum LocalSwitch {
+    /// RCB mode: the diagonal band (16-bit RCB mode of Figure 7).
+    Reduced(ReducedCrossbar),
+    /// FCB mode: full connectivity at halved state capacity (16-bit FCB
+    /// and 32-bit modes).
+    Full(FullCrossbar),
+}
+
+impl LocalSwitch {
+    /// Programs a reduced switch when the edges fit the band, otherwise a
+    /// full switch — the mode decision of §VI.A, per tile.
+    pub fn program_best(n: usize, k_dia: usize, edges: &[(usize, usize)]) -> Self {
+        match ReducedCrossbar::try_program(n, k_dia, edges.iter().copied()) {
+            Ok(reduced) => LocalSwitch::Reduced(reduced),
+            Err(_) => {
+                let mut full = FullCrossbar::new(n);
+                for &(from, to) in edges {
+                    full.connect(from, to);
+                }
+                LocalSwitch::Full(full)
+            }
+        }
+    }
+
+    /// One switch access.
+    pub fn route(&self, active: &BitSet) -> BitSet {
+        match self {
+            LocalSwitch::Reduced(s) => s.route(active),
+            LocalSwitch::Full(s) => s.route(active),
+        }
+    }
+
+    /// Returns `true` in RCB mode.
+    pub fn is_reduced(&self) -> bool {
+        matches!(self, LocalSwitch::Reduced(_))
+    }
+
+    /// Number of programmed cells.
+    pub fn num_connections(&self) -> usize {
+        match self {
+            LocalSwitch::Reduced(s) => s.num_connections(),
+            LocalSwitch::Full(s) => s.num_connections(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_crossbar_routes_unions() {
+        let mut switch = FullCrossbar::new(8);
+        switch.connect(0, 1);
+        switch.connect(2, 3);
+        switch.connect(2, 4);
+        let next = switch.route(&BitSet::from_indices(8, [0, 2]));
+        assert_eq!(next.iter().collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(switch.num_connections(), 3);
+    }
+
+    #[test]
+    fn duplicate_connections_count_once() {
+        let mut switch = FullCrossbar::new(4);
+        switch.connect(1, 2);
+        switch.connect(1, 2);
+        assert_eq!(switch.num_connections(), 1);
+        assert!((switch.utilization() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_membership() {
+        // Group 0 is 0..43, group 1 is 43..86.
+        assert!(ReducedCrossbar::supports(K_DIA, 0, 42));
+        assert!(ReducedCrossbar::supports(K_DIA, 0, 85));
+        assert!(!ReducedCrossbar::supports(K_DIA, 0, 86));
+        assert!(ReducedCrossbar::supports(K_DIA, 50, 43));
+        assert!(!ReducedCrossbar::supports(K_DIA, 86, 43));
+        // Back-edges within a group are fine (self-loops, d+).
+        assert!(ReducedCrossbar::supports(K_DIA, 44, 44));
+    }
+
+    #[test]
+    fn rcb_accepts_diagonal_chains() {
+        // A BFS-ordered chain has all transitions i -> i+1.
+        let edges: Vec<(usize, usize)> = (0..255).map(|i| (i, i + 1)).collect();
+        let rcb = ReducedCrossbar::try_program(256, K_DIA, edges).unwrap();
+        assert_eq!(rcb.physical_dim(), 128);
+        let next = rcb.route(&BitSet::from_indices(256, [10, 100]));
+        assert_eq!(next.iter().collect::<Vec<_>>(), vec![11, 101]);
+    }
+
+    #[test]
+    fn rcb_rejects_long_jumps() {
+        let err = ReducedCrossbar::try_program(256, K_DIA, [(0, 200)]).unwrap_err();
+        assert_eq!(err.from, 0);
+        assert_eq!(err.to, 200);
+        assert!(err.to_string().contains("k_dia = 43"));
+    }
+
+    #[test]
+    fn rcb_and_fcb_route_identically_on_band_edges() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut edges = Vec::new();
+        for _ in 0..300 {
+            let from = rng.random_range(0..256usize);
+            let group = from / K_DIA;
+            let to_lo = group * K_DIA;
+            let to_hi = ((group + 2) * K_DIA).min(256);
+            let to = rng.random_range(to_lo..to_hi);
+            edges.push((from, to));
+        }
+        let rcb = ReducedCrossbar::try_program(256, K_DIA, edges.iter().copied()).unwrap();
+        let mut fcb = FullCrossbar::new(256);
+        for &(f, t) in &edges {
+            fcb.connect(f, t);
+        }
+        for _ in 0..20 {
+            let active: BitSet =
+                BitSet::from_indices(256, (0..8).map(|_| rng.random_range(0..256usize)));
+            assert_eq!(rcb.route(&active), fcb.route(&active));
+        }
+    }
+
+    #[test]
+    fn local_switch_mode_decision() {
+        let diagonal: Vec<(usize, usize)> = (0..100).map(|i| (i, i + 1)).collect();
+        assert!(LocalSwitch::program_best(256, K_DIA, &diagonal).is_reduced());
+        let dense = vec![(0, 200), (200, 0)];
+        let switch = LocalSwitch::program_best(256, K_DIA, &dense);
+        assert!(!switch.is_reduced());
+        assert_eq!(switch.num_connections(), 2);
+        let next = switch.route(&BitSet::from_indices(256, [200]));
+        assert_eq!(next.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn empty_active_routes_nothing() {
+        let mut switch = FullCrossbar::new(16);
+        switch.connect(3, 4);
+        assert!(switch.route(&BitSet::new(16)).is_empty());
+    }
+}

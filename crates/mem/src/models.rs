@@ -1,0 +1,334 @@
+//! Table III circuit models and analytic scaling fits.
+//!
+//! The paper tabulates five SPICE-characterized arrays in TSMC 28 nm.
+//! This module reproduces those numbers exactly and fits a two-term
+//! model (column periphery + cell array) to each quantity, so that the
+//! other geometries the text relies on — the 64×256 2-stride CAM
+//! (≈22 pJ), four 16×256 banks (61.2 pJ), the 256×32 input encoder, the
+//! 96×96 eAP RCB — are derived from the same calibration.
+//!
+//! Fits are of the form `Q(rows, cols) = p·cols + q·rows·cols` for
+//! energy/leakage, `a·rows·cols + b·cols` for area, and
+//! `s + r·rows` for delay (bit-line RC grows with rows).
+
+use crate::units::{Area, Delay, Energy, Leakage};
+
+/// Supply voltage assumed for leakage-energy conversion (28 nm nominal).
+pub const VDD: f64 = 0.9;
+
+/// The kind of memory array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArrayKind {
+    /// 6-transistor SRAM (state matching in CA / Impala).
+    Sram6T,
+    /// 8-transistor SRAM (crossbars; eAP state matching).
+    Sram8T,
+    /// 8T SRAM repurposed as a CAM (CAMA state matching).
+    Cam8T,
+}
+
+/// Access energy, delay, area, and leakage of one array geometry.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ArrayModel {
+    /// Which circuit family.
+    pub kind: ArrayKind,
+    /// Word lines (bits per entry for the CAM).
+    pub rows: usize,
+    /// Bit lines (entries for the CAM).
+    pub cols: usize,
+    /// Full-array access energy per operation.
+    pub energy: Energy,
+    /// Read/search delay.
+    pub delay: Delay,
+    /// Macro area.
+    pub area: Area,
+    /// Static leakage current.
+    pub leakage: Leakage,
+}
+
+impl ArrayModel {
+    /// Static energy burned by this array over one clock period.
+    pub fn leakage_energy(&self, period: Delay) -> Energy {
+        self.leakage.energy_over(period, VDD)
+    }
+}
+
+/// Linear-fit coefficients for one array family.
+#[derive(Clone, Copy, Debug)]
+struct Fit {
+    energy_per_col: f64,
+    energy_per_cell: f64,
+    delay_base: f64,
+    delay_per_row: f64,
+    area_per_cell: f64,
+    area_per_col: f64,
+    leak_per_cell: f64,
+    leak_per_col: f64,
+}
+
+impl Fit {
+    fn model(&self, kind: ArrayKind, rows: usize, cols: usize) -> ArrayModel {
+        let cells = (rows * cols) as f64;
+        let c = cols as f64;
+        let r = rows as f64;
+        ArrayModel {
+            kind,
+            rows,
+            cols,
+            energy: Energy(self.energy_per_col * c + self.energy_per_cell * cells),
+            delay: Delay(self.delay_base + self.delay_per_row * r),
+            area: Area(self.area_per_cell * cells + self.area_per_col * c),
+            leakage: Leakage(self.leak_per_cell * cells + self.leak_per_col * c),
+        }
+    }
+}
+
+// Coefficients solved from the Table III pairs (see module docs):
+//   6T: (256×256, 16×256); 8T: (128×128, 256×256); CAM: 16×256 plus the
+//   paper's quoted 22 pJ for the 64×256 2-stride CAM.
+const FIT_6T: Fit = Fit {
+    energy_per_col: 0.058685,
+    energy_per_cell: 6.7546e-5,
+    delay_base: 310.4,
+    delay_per_row: 0.4125,
+    area_per_cell: 0.182584,
+    area_per_col: 11.3722,
+    leak_per_cell: 4.6387e-3,
+    leak_per_col: 0.890576,
+};
+
+const FIT_8T: Fit = Fit {
+    energy_per_col: 0.065547,
+    energy_per_cell: 1.7090e-5,
+    delay_base: 190.0,
+    delay_per_row: 0.796875,
+    area_per_cell: 0.208832,
+    area_per_col: 17.4492,
+    leak_per_cell: 2.9907e-3,
+    leak_per_col: 1.515625,
+};
+
+const FIT_CAM: Fit = Fit {
+    energy_per_col: 0.058752,
+    energy_per_cell: 4.2480e-4,
+    delay_base: 312.2,
+    delay_per_row: 0.8,
+    area_per_cell: 0.208832,
+    area_per_col: 11.9672,
+    leak_per_cell: 2.9907e-3,
+    leak_per_col: 1.120143,
+};
+
+/// Reference entries reproduced verbatim from Table III.
+const TABLE_III: [(ArrayKind, usize, usize, f64, f64, f64, f64); 5] = [
+    (ArrayKind::Sram6T, 256, 256, 19.45, 416.0, 14877.0, 532.0),
+    (ArrayKind::Sram6T, 16, 256, 15.3, 317.0, 3659.0, 247.0),
+    (ArrayKind::Sram8T, 128, 128, 8.67, 292.0, 5655.0, 243.0),
+    (ArrayKind::Sram8T, 256, 256, 17.9, 394.0, 18153.0, 584.0),
+    (ArrayKind::Cam8T, 16, 256, 16.78, 325.0, 3919.0, 299.0),
+];
+
+/// The 28 nm circuit library: Table III plus scaling.
+///
+/// # Examples
+///
+/// ```
+/// use cama_mem::models::{ArrayKind, CircuitLibrary};
+///
+/// let lib = CircuitLibrary::tsmc28();
+/// // Table III values are reproduced exactly.
+/// let ca_bank = lib.model(ArrayKind::Sram6T, 256, 256);
+/// assert_eq!(ca_bank.energy.value(), 19.45);
+/// // The 2-stride CAM's energy matches the 22 pJ quoted in §VIII.D.
+/// let wide_cam = lib.model(ArrayKind::Cam8T, 64, 256);
+/// assert!((wide_cam.energy.value() - 22.0).abs() < 0.5);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CircuitLibrary {
+    _private: (),
+}
+
+impl CircuitLibrary {
+    /// The TSMC 28 nm library of the paper.
+    pub fn tsmc28() -> Self {
+        CircuitLibrary { _private: () }
+    }
+
+    /// The model for an array geometry: exact Table III values when
+    /// tabulated, the calibrated fit otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized geometries.
+    pub fn model(&self, kind: ArrayKind, rows: usize, cols: usize) -> ArrayModel {
+        assert!(rows > 0 && cols > 0, "array must have non-zero geometry");
+        for &(k, r, c, energy, delay, area, leakage) in &TABLE_III {
+            if k == kind && r == rows && c == cols {
+                return ArrayModel {
+                    kind,
+                    rows,
+                    cols,
+                    energy: Energy(energy),
+                    delay: Delay(delay),
+                    area: Area(area),
+                    leakage: Leakage(leakage),
+                };
+            }
+        }
+        let fit = match kind {
+            ArrayKind::Sram6T => FIT_6T,
+            ArrayKind::Sram8T => FIT_8T,
+            ArrayKind::Cam8T => FIT_CAM,
+        };
+        fit.model(kind, rows, cols)
+    }
+
+    /// Every Table III row (for the `table3` report binary).
+    pub fn table_iii(&self) -> Vec<ArrayModel> {
+        TABLE_III
+            .iter()
+            .map(|&(kind, rows, cols, ..)| self.model(kind, rows, cols))
+            .collect()
+    }
+
+    /// The minimum CAM search energy with selective precharge: §VIII.C
+    /// quotes 2.67 pJ for the 16×256 CAM with (almost) no entries
+    /// enabled. Scales with the search-line length (rows).
+    pub fn cam_min_energy(&self, rows: usize, cols: usize) -> Energy {
+        let full = self.model(ArrayKind::Cam8T, rows, cols).energy;
+        // 2.67 / 16.78 of the full energy is periphery + SL drive.
+        full * (2.67 / 16.78)
+    }
+
+    /// CAM search energy with `enabled` of `cols` entries precharged —
+    /// linear between the floor and the full-array energy (CAMA-E's
+    /// selective enabling).
+    pub fn cam_energy(&self, rows: usize, cols: usize, enabled: usize) -> Energy {
+        let full = self.model(ArrayKind::Cam8T, rows, cols).energy;
+        let min = self.cam_min_energy(rows, cols);
+        min + (full - min) * (enabled.min(cols) as f64 / cols as f64)
+    }
+
+    /// Access energy of an 8T crossbar charged for `active` of `rows`
+    /// word lines. Periphery (precharge + readout, ≥ 80 % of access
+    /// energy per §III.A) is paid once; the cell term scales with the
+    /// number of driven rows.
+    pub fn crossbar_energy(&self, rows: usize, cols: usize, active: usize) -> Energy {
+        let full = self.model(ArrayKind::Sram8T, rows, cols).energy;
+        if active == 0 {
+            return Energy::ZERO;
+        }
+        full * (0.8 + 0.2 * active.min(rows) as f64 / rows as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_is_exact() {
+        let lib = CircuitLibrary::tsmc28();
+        let m = lib.model(ArrayKind::Sram6T, 256, 256);
+        assert_eq!(m.energy.value(), 19.45);
+        assert_eq!(m.delay.value(), 416.0);
+        assert_eq!(m.area.value(), 14877.0);
+        assert_eq!(m.leakage.value(), 532.0);
+        let m = lib.model(ArrayKind::Cam8T, 16, 256);
+        assert_eq!(m.energy.value(), 16.78);
+        assert_eq!(m.delay.value(), 325.0);
+        assert_eq!(lib.table_iii().len(), 5);
+    }
+
+    #[test]
+    fn fits_interpolate_the_table() {
+        // The fit evaluated at tabulated geometries lands within 3 % —
+        // the lookup path returns the exact number anyway.
+        let lib = CircuitLibrary::tsmc28();
+        for reference in lib.table_iii() {
+            let fit = match reference.kind {
+                ArrayKind::Sram6T => FIT_6T,
+                ArrayKind::Sram8T => FIT_8T,
+                ArrayKind::Cam8T => FIT_CAM,
+            };
+            let predicted = fit.model(reference.kind, reference.rows, reference.cols);
+            for (got, want) in [
+                (predicted.energy.value(), reference.energy.value()),
+                (predicted.area.value(), reference.area.value()),
+                (predicted.delay.value(), reference.delay.value()),
+                (predicted.leakage.value(), reference.leakage.value()),
+            ] {
+                assert!(
+                    (got - want).abs() / want < 0.03,
+                    "{:?} {}x{}: predicted {got}, table {want}",
+                    reference.kind,
+                    reference.rows,
+                    reference.cols
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_stride_cam_matches_quoted_22pj() {
+        let lib = CircuitLibrary::tsmc28();
+        let e = lib.model(ArrayKind::Cam8T, 64, 256).energy.value();
+        assert!((e - 22.0).abs() < 0.5, "got {e}");
+    }
+
+    #[test]
+    fn four_impala_banks_match_quoted_61pj() {
+        let lib = CircuitLibrary::tsmc28();
+        let four = lib.model(ArrayKind::Sram6T, 16, 256).energy.value() * 4.0;
+        assert!((four - 61.2).abs() < 0.01, "got {four}");
+    }
+
+    #[test]
+    fn cam_energy_scales_with_enabled_entries() {
+        let lib = CircuitLibrary::tsmc28();
+        let min = lib.cam_energy(16, 256, 0).value();
+        let full = lib.cam_energy(16, 256, 256).value();
+        assert!((min - 2.67).abs() < 0.01, "floor {min}");
+        assert!((full - 16.78).abs() < 0.01, "ceiling {full}");
+        let half = lib.cam_energy(16, 256, 128).value();
+        assert!(min < half && half < full);
+        // Clamped beyond capacity.
+        assert_eq!(lib.cam_energy(16, 256, 999), lib.cam_energy(16, 256, 256));
+    }
+
+    #[test]
+    fn crossbar_energy_is_periphery_dominated() {
+        let lib = CircuitLibrary::tsmc28();
+        let idle = lib.crossbar_energy(128, 128, 0);
+        assert_eq!(idle, Energy::ZERO);
+        let one = lib.crossbar_energy(128, 128, 1).value();
+        let all = lib.crossbar_energy(128, 128, 128).value();
+        assert!(one >= 0.8 * all && one < all);
+        assert!((all - 8.67).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_energy_conversion() {
+        let lib = CircuitLibrary::tsmc28();
+        let m = lib.model(ArrayKind::Sram6T, 256, 256);
+        // 532 µA × 0.9 V × 500 ps ≈ 0.24 pJ per cycle.
+        let e = m.leakage_energy(Delay(500.0)).value();
+        assert!((e - 532.0 * 0.9 * 500.0 * 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encoder_array_is_cheap() {
+        // The 256×32 input encoder: a small 6T SRAM; its access energy
+        // must be a tiny fraction of a state-matching access (the paper
+        // reports ≈0.1 % of total energy).
+        let lib = CircuitLibrary::tsmc28();
+        let encoder = lib.model(ArrayKind::Sram6T, 256, 32).energy.value();
+        assert!(encoder < 4.0, "encoder energy {encoder}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero geometry")]
+    fn zero_geometry_rejected() {
+        CircuitLibrary::tsmc28().model(ArrayKind::Sram6T, 0, 4);
+    }
+}

@@ -1,0 +1,213 @@
+//! Strongly-typed physical quantities for the circuit models.
+//!
+//! Newtypes keep picojoules, picoseconds, square microns, and microamps
+//! from being mixed up in the energy/area/timing pipelines (C-NEWTYPE).
+//! Arithmetic is provided where it is physically meaningful.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// The raw magnitude in the canonical unit.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Elementwise maximum.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4}{}", self.0, $unit)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match f.precision() {
+                    Some(p) => write!(f, "{:.*}{}", p, self.0, $unit),
+                    None => write!(f, "{:.2}{}", self.0, $unit),
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Energy in picojoules.
+    Energy,
+    "pJ"
+);
+quantity!(
+    /// Delay in picoseconds.
+    Delay,
+    "ps"
+);
+quantity!(
+    /// Area in square microns.
+    Area,
+    "µm²"
+);
+quantity!(
+    /// Leakage current in microamps.
+    Leakage,
+    "µA"
+);
+
+impl Delay {
+    /// The frequency whose period equals this delay, in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive delay.
+    pub fn to_frequency_ghz(self) -> f64 {
+        assert!(self.0 > 0.0, "cannot invert a non-positive delay");
+        1000.0 / self.0
+    }
+}
+
+impl Energy {
+    /// Converts to nanojoules.
+    pub fn to_nanojoules(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl Area {
+    /// Converts to square millimeters.
+    pub fn to_mm2(self) -> f64 {
+        self.0 / 1.0e6
+    }
+}
+
+impl Leakage {
+    /// Static energy drawn over `time` picoseconds at `vdd` volts:
+    /// `I·V·t` (µA · V · ps = 10⁻¹⁸ J = 10⁻⁶ pJ).
+    pub fn energy_over(self, time: Delay, vdd: f64) -> Energy {
+        Energy(self.0 * vdd * time.0 * 1.0e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let e = Energy(2.0) + Energy(3.0);
+        assert_eq!(e, Energy(5.0));
+        assert_eq!(e * 2.0, Energy(10.0));
+        assert_eq!(2.0 * e, Energy(10.0));
+        assert_eq!(e - Energy(1.0), Energy(4.0));
+        assert_eq!(e / 2.0, Energy(2.5));
+        assert!((Energy(10.0) / Energy(4.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_max() {
+        let total: Delay = [Delay(1.0), Delay(2.0)].into_iter().sum();
+        assert_eq!(total, Delay(3.0));
+        assert_eq!(Delay(1.0).max(Delay(2.0)), Delay(2.0));
+    }
+
+    #[test]
+    fn frequency_conversion_matches_table_4() {
+        // CAMA-T: 1 / 420.1 ps = 2.38 GHz.
+        let freq = Delay(420.1).to_frequency_ghz();
+        assert!((freq - 2.38).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Energy(16.78).to_string(), "16.78pJ");
+        assert_eq!(format!("{:.1}", Area(14877.0)), "14877.0µm²");
+        assert_eq!(format!("{:?}", Delay(325.0)), "325.0000ps");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((Energy(1500.0).to_nanojoules() - 1.5).abs() < 1e-12);
+        assert!((Area(2.0e6).to_mm2() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_energy() {
+        // 1000 µA at 1 V over 1000 ps = 1 fJ·10³ = 0.001 pJ·10³ = 1 pJ.
+        let e = Leakage(1000.0).energy_over(Delay(1000.0), 1.0);
+        assert!((e.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive delay")]
+    fn zero_delay_has_no_frequency() {
+        let _ = Delay(0.0).to_frequency_ghz();
+    }
+}

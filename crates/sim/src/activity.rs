@@ -1,0 +1,124 @@
+//! Per-cycle observation hooks and aggregate activity statistics.
+//!
+//! The energy models in `cama-arch` need, for every cycle, which states
+//! were dynamically enabled (last cycle's Next Vector) and which were
+//! active (enabled ∧ matched). Rather than materializing gigabyte-scale
+//! traces, the simulator exposes a [`CycleView`] to an [`Observer`]
+//! callback and keeps only the running sums of [`ActivitySummary`].
+
+use cama_core::bitset::BitSet;
+
+/// A read-only view of one simulation cycle, valid only during the
+/// [`Observer::on_cycle`] call.
+#[derive(Debug)]
+pub struct CycleView<'a> {
+    /// Zero-based cycle index (one cycle per consumed symbol).
+    pub cycle: usize,
+    /// The symbol consumed this cycle.
+    pub symbol: u8,
+    /// States enabled by last cycle's transitions (excludes the statically
+    /// always-enabled `all-input` start states, which the hardware models
+    /// account for separately since they never toggle).
+    pub dynamic_enabled: &'a BitSet,
+    /// States that matched the symbol *and* were enabled — the states
+    /// that access the transition switches this cycle.
+    pub active: &'a BitSet,
+    /// Number of reports emitted this cycle.
+    pub reports: usize,
+}
+
+/// Receives every simulation cycle; implemented by the architecture
+/// energy models.
+pub trait Observer {
+    /// Called once per cycle after matching and transition resolution.
+    fn on_cycle(&mut self, view: &CycleView<'_>);
+}
+
+/// A no-op observer for plain functional runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_cycle(&mut self, _view: &CycleView<'_>) {}
+}
+
+/// Aggregate statistics collected by every run.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ActivitySummary {
+    /// Number of cycles executed.
+    pub cycles: usize,
+    /// Sum over cycles of active-state counts.
+    pub total_active: usize,
+    /// Peak active-state count in a single cycle.
+    pub max_active: usize,
+    /// Sum over cycles of dynamically-enabled-state counts.
+    pub total_dynamic_enabled: usize,
+    /// Total reports emitted.
+    pub total_reports: usize,
+}
+
+impl ActivitySummary {
+    /// Mean number of active states per cycle.
+    pub fn avg_active(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_active as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean number of dynamically enabled states per cycle.
+    pub fn avg_dynamic_enabled(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_dynamic_enabled as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean reports per cycle — the statistic (from Wadden et al.) that
+    /// sizes the 64-entry output buffer in §VI.B.
+    pub fn reports_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_reports as f64 / self.cycles as f64
+        }
+    }
+
+    /// Folds one cycle into the summary.
+    pub fn record(&mut self, active: usize, dynamic_enabled: usize, reports: usize) {
+        self.cycles += 1;
+        self.total_active += active;
+        self.max_active = self.max_active.max(active);
+        self.total_dynamic_enabled += dynamic_enabled;
+        self.total_reports += reports;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut summary = ActivitySummary::default();
+        summary.record(2, 5, 1);
+        summary.record(4, 1, 0);
+        assert_eq!(summary.cycles, 2);
+        assert_eq!(summary.total_active, 6);
+        assert_eq!(summary.max_active, 4);
+        assert_eq!(summary.total_dynamic_enabled, 6);
+        assert_eq!(summary.total_reports, 1);
+        assert!((summary.avg_active() - 3.0).abs() < 1e-12);
+        assert!((summary.avg_dynamic_enabled() - 3.0).abs() < 1e-12);
+        assert!((summary.reports_per_cycle() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_yields_zero_rates() {
+        let summary = ActivitySummary::default();
+        assert_eq!(summary.avg_active(), 0.0);
+        assert_eq!(summary.reports_per_cycle(), 0.0);
+    }
+}

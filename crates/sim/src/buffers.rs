@@ -1,0 +1,103 @@
+//! Input/output buffer interruption model (§VI.B of the paper).
+//!
+//! CAMA stores incoming symbols in a 128-entry input buffer and report
+//! records in a 64-entry output buffer. Each time the input buffer
+//! drains, or the output buffer fills, the accelerator interrupts the
+//! host CPU. The paper sizes the output buffer so that, at the reporting
+//! rates characterized by Wadden et al. (≤ 0.5 reports/cycle for 10 of 12
+//! ANMLZoo benchmarks), output interrupts hide behind input interrupts.
+
+/// Capacity of the input symbol buffer.
+pub const INPUT_BUFFER_ENTRIES: usize = 128;
+/// Capacity of the output report buffer.
+pub const OUTPUT_BUFFER_ENTRIES: usize = 64;
+
+/// Interruption counts for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Input-refill interrupts: one per drained 128-symbol block.
+    pub input_interrupts: usize,
+    /// Output-full interrupts: one per 64 accumulated reports.
+    pub output_interrupts: usize,
+    /// Reports still in the buffer at the end of the run (flushed by the
+    /// final input interrupt).
+    pub residual_reports: usize,
+}
+
+impl BufferStats {
+    /// Returns `true` when output interrupts never exceed input
+    /// interrupts — the design goal of the 64-entry buffer.
+    pub fn output_hidden_behind_input(&self) -> bool {
+        self.output_interrupts <= self.input_interrupts
+    }
+}
+
+/// Replays a run's report stream against the buffer model.
+///
+/// `report_offsets` are the cycles at which reports fired (duplicates
+/// allowed: one entry per report record); `input_len` is the total number
+/// of consumed symbols.
+///
+/// # Examples
+///
+/// ```
+/// use cama_sim::buffers::{simulate_buffers, INPUT_BUFFER_ENTRIES};
+///
+/// let stats = simulate_buffers(1024, &[]);
+/// assert_eq!(stats.input_interrupts, 1024 / INPUT_BUFFER_ENTRIES);
+/// assert_eq!(stats.output_interrupts, 0);
+/// ```
+pub fn simulate_buffers(input_len: usize, report_offsets: &[usize]) -> BufferStats {
+    let input_interrupts = input_len.div_ceil(INPUT_BUFFER_ENTRIES);
+    let mut pending = 0usize;
+    let mut output_interrupts = 0usize;
+    for _ in report_offsets {
+        pending += 1;
+        if pending == OUTPUT_BUFFER_ENTRIES {
+            output_interrupts += 1;
+            pending = 0;
+        }
+    }
+    BufferStats {
+        input_interrupts,
+        output_interrupts,
+        residual_reports: pending,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_interrupts_round_up() {
+        assert_eq!(simulate_buffers(0, &[]).input_interrupts, 0);
+        assert_eq!(simulate_buffers(1, &[]).input_interrupts, 1);
+        assert_eq!(simulate_buffers(128, &[]).input_interrupts, 1);
+        assert_eq!(simulate_buffers(129, &[]).input_interrupts, 2);
+    }
+
+    #[test]
+    fn output_interrupts_every_64_reports() {
+        let reports: Vec<usize> = (0..130).collect();
+        let stats = simulate_buffers(1000, &reports);
+        assert_eq!(stats.output_interrupts, 2);
+        assert_eq!(stats.residual_reports, 2);
+    }
+
+    #[test]
+    fn low_report_rates_hide_output_interrupts() {
+        // 0.4 reports per cycle over 1280 cycles: 512 reports = 8 output
+        // interrupts vs 10 input interrupts.
+        let reports: Vec<usize> = (0..512).collect();
+        let stats = simulate_buffers(1280, &reports);
+        assert!(stats.output_hidden_behind_input());
+    }
+
+    #[test]
+    fn high_report_rates_do_not_hide() {
+        let reports: Vec<usize> = (0..6400).collect();
+        let stats = simulate_buffers(1280, &reports);
+        assert!(!stats.output_hidden_behind_input());
+    }
+}

@@ -1,0 +1,395 @@
+//! The core cycle engine.
+//!
+//! Per cycle (one input symbol), exactly the two steps of Figure 1:
+//!
+//! 1. **State matching** — the set of STEs whose class contains the
+//!    symbol;
+//! 2. **State transition** — active = matched ∧ enabled; report active
+//!    reporting STEs; the next enable vector is the union of the active
+//!    states' successors (plus the always-enabled start states).
+//!
+//! For performance the engine splits the enable vector into a *static*
+//! part (`all-input` start states, which never toggle — the hardware
+//! wires them on) and a *dynamic* part (last cycle's Next Vector). The
+//! static part is matched through a precomputed 256-entry symbol →
+//! match-vector table, so per-cycle cost scales with the small dynamic
+//! set rather than with the total number of start states.
+
+use crate::activity::{ActivitySummary, CycleView, NullObserver, Observer};
+use cama_core::bitset::BitSet;
+use cama_core::{Nfa, StartKind, SteId};
+
+/// One report record: a reporting STE was active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The reporting STE.
+    pub ste: SteId,
+    /// Its report code.
+    pub code: u32,
+    /// Offset of the input symbol (cycle index) that triggered the report.
+    pub offset: usize,
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunResult {
+    /// All reports in (offset, ste) order.
+    pub reports: Vec<Report>,
+    /// Aggregate per-cycle statistics.
+    pub activity: ActivitySummary,
+}
+
+impl RunResult {
+    /// The distinct offsets at which at least one report fired.
+    pub fn report_offsets(&self) -> Vec<usize> {
+        let mut offsets: Vec<usize> = self.reports.iter().map(|r| r.offset).collect();
+        offsets.dedup();
+        offsets
+    }
+}
+
+/// A resettable cycle-by-cycle simulator borrowing an [`Nfa`].
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::regex;
+/// use cama_sim::Simulator;
+///
+/// let nfa = regex::compile("ab+")?;
+/// let mut sim = Simulator::new(&nfa);
+/// let result = sim.run(b"zabbz");
+/// assert_eq!(result.report_offsets(), vec![2, 3]);
+/// // The simulator resets between runs.
+/// let again = sim.run(b"ab");
+/// assert_eq!(again.report_offsets(), vec![1]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nfa: &'a Nfa,
+    /// Per-symbol match vector over the `all-input` start states.
+    start_match: Vec<BitSet>,
+    /// `start-of-data` start states.
+    sod_starts: Vec<SteId>,
+    /// Dynamic enable vector (last cycle's Next Vector).
+    dynamic: BitSet,
+    /// Scratch: next cycle's dynamic enable vector.
+    next: BitSet,
+    /// Scratch: this cycle's active set.
+    active: BitSet,
+    cycle: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator (precomputes the start-state match table).
+    pub fn new(nfa: &'a Nfa) -> Self {
+        let n = nfa.len();
+        let mut start_match = vec![BitSet::new(n); 256];
+        for (i, ste) in nfa.stes().iter().enumerate() {
+            if ste.start == StartKind::AllInput {
+                for symbol in ste.class.iter() {
+                    start_match[symbol as usize].insert(i);
+                }
+            }
+        }
+        let sod_starts = nfa
+            .stes()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.start == StartKind::StartOfData)
+            .map(|(i, _)| SteId(i as u32))
+            .collect();
+        Simulator {
+            nfa,
+            start_match,
+            sod_starts,
+            dynamic: BitSet::new(n),
+            next: BitSet::new(n),
+            active: BitSet::new(n),
+            cycle: 0,
+        }
+    }
+
+    /// The automaton being simulated.
+    pub fn nfa(&self) -> &'a Nfa {
+        self.nfa
+    }
+
+    /// Restores the power-on state (cycle 0, empty enable vector).
+    pub fn reset(&mut self) {
+        self.dynamic.clear();
+        self.cycle = 0;
+    }
+
+    /// Runs over `input` from a fresh state and returns reports plus
+    /// activity statistics.
+    pub fn run(&mut self, input: &[u8]) -> RunResult {
+        self.run_with(input, &mut NullObserver)
+    }
+
+    /// [`run`](Self::run) with a per-cycle observer (used by the energy
+    /// models).
+    pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
+        self.reset();
+        let mut result = RunResult::default();
+        for &symbol in input {
+            self.step(symbol, 1, &mut result, observer);
+        }
+        result
+    }
+
+    /// Runs a sub-symbol (multi-step) automaton: start states are
+    /// injected only on sub-steps that begin a `chain`-long group, which
+    /// is how a bit-width-transformed automaton consumes one original
+    /// symbol per `chain` sub-symbols.
+    ///
+    /// `input` is the expanded sub-symbol stream (e.g. a nibble stream);
+    /// report offsets are sub-step indices (divide by `chain` and floor
+    /// to recover original symbol offsets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn run_multistep(&mut self, input: &[u8], chain: usize) -> RunResult {
+        self.run_multistep_with(input, chain, &mut NullObserver)
+    }
+
+    /// [`run_multistep`](Self::run_multistep) with an observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn run_multistep_with(
+        &mut self,
+        input: &[u8],
+        chain: usize,
+        observer: &mut impl Observer,
+    ) -> RunResult {
+        assert!(chain > 0, "chain must be positive");
+        self.reset();
+        let mut result = RunResult::default();
+        for (i, &symbol) in input.iter().enumerate() {
+            let inject = i % chain == 0;
+            self.step(symbol, usize::from(inject), &mut result, observer);
+        }
+        result
+    }
+
+    /// Executes one cycle. `inject_starts` is 1 when all-input starts are
+    /// enabled this cycle (always, for byte automata; on group boundaries
+    /// for multi-step automata). Start-of-data states fire at cycle 0
+    /// regardless.
+    fn step(
+        &mut self,
+        symbol: u8,
+        inject_starts: usize,
+        result: &mut RunResult,
+        observer: &mut impl Observer,
+    ) {
+        // State matching over the enable vector.
+        self.active.clear();
+        if inject_starts != 0 {
+            self.active.union_with(&self.start_match[symbol as usize]);
+        }
+        for i in self.dynamic.iter() {
+            if self.nfa.ste(SteId(i as u32)).class.contains(symbol) {
+                self.active.insert(i);
+            }
+        }
+        if self.cycle == 0 {
+            for &id in &self.sod_starts {
+                if self.nfa.ste(id).class.contains(symbol) {
+                    self.active.insert(id.index());
+                }
+            }
+        }
+
+        // Reports and the next enable vector.
+        let mut reports_this_cycle = 0;
+        self.next.clear();
+        for i in self.active.iter() {
+            let id = SteId(i as u32);
+            if let Some(code) = self.nfa.ste(id).report {
+                result.reports.push(Report {
+                    ste: id,
+                    code,
+                    offset: self.cycle,
+                });
+                reports_this_cycle += 1;
+            }
+            for &succ in self.nfa.successors(id) {
+                self.next.insert(succ.index());
+            }
+        }
+
+        let num_active = self.active.count();
+        result
+            .activity
+            .record(num_active, self.dynamic.count(), reports_this_cycle);
+        observer.on_cycle(&CycleView {
+            cycle: self.cycle,
+            symbol,
+            dynamic_enabled: &self.dynamic,
+            active: &self.active,
+            reports: reports_this_cycle,
+        });
+
+        std::mem::swap(&mut self.dynamic, &mut self.next);
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cama_core::bitwidth::{to_nibble_nfa, to_nibble_stream};
+    use cama_core::regex::{self, reference};
+    use cama_core::{NfaBuilder, SymbolClass};
+
+    fn offsets(nfa: &Nfa, input: &[u8]) -> Vec<usize> {
+        Simulator::new(nfa).run(input).report_offsets()
+    }
+
+    #[test]
+    fn paper_example_matches_figure_1() {
+        let nfa = regex::compile("(a|b)e*cd+").unwrap();
+        assert_eq!(offsets(&nfa, b"beecdd"), vec![4, 5]);
+        assert_eq!(offsets(&nfa, b"acd"), vec![2]);
+        assert!(offsets(&nfa, b"aed").is_empty());
+    }
+
+    #[test]
+    fn agrees_with_reference_matcher() {
+        let patterns = [
+            "abc",
+            "a(b|c)d",
+            "x[0-9]+y",
+            "(ab)+",
+            "a?b?c",
+            "[^z]z",
+            "he(llo)*",
+            "a.c",
+        ];
+        let inputs: Vec<&[u8]> = vec![
+            b"abcabc",
+            b"abdacdxx",
+            b"x123yx9y",
+            b"ababab",
+            b"cabcbc",
+            b"azbz",
+            b"hellollo",
+            b"abcaxc",
+        ];
+        for pattern in patterns {
+            let ast = regex::parse(pattern).unwrap();
+            let nfa = regex::compile(pattern).unwrap();
+            for input in &inputs {
+                assert_eq!(
+                    offsets(&nfa, input),
+                    reference::scan_report_offsets(&ast, input),
+                    "pattern {pattern} on {:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_pattern_only_matches_at_start() {
+        use cama_core::regex::{compile_ast, parse, CompileOptions};
+        let nfa = compile_ast(
+            &parse("ab").unwrap(),
+            CompileOptions {
+                anchored: true,
+                report_code: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(offsets(&nfa, b"abab"), vec![1]);
+        assert!(offsets(&nfa, b"zab").is_empty());
+    }
+
+    #[test]
+    fn report_codes_flow_through() {
+        let nfa = regex::compile_set(&["aa", "bb"]).unwrap();
+        let result = Simulator::new(&nfa).run(b"aabb");
+        let codes: Vec<u32> = result.reports.iter().map(|r| r.code).collect();
+        assert_eq!(codes, vec![0, 1]);
+    }
+
+    #[test]
+    fn activity_counts_are_sane() {
+        let nfa = regex::compile("ab").unwrap();
+        let result = Simulator::new(&nfa).run(b"abab");
+        assert_eq!(result.activity.cycles, 4);
+        // 'a' matches at cycles 0 and 2; 'b' at 1 and 3.
+        assert_eq!(result.activity.total_active, 4);
+        assert_eq!(result.activity.total_reports, 2);
+        assert!(result.activity.avg_active() > 0.0);
+    }
+
+    #[test]
+    fn multistep_nibble_equivalence() {
+        for pattern in ["abc", "a[0-9]+z", "(ab|cd)e", "a.{2}b"] {
+            let nfa = regex::compile(pattern).unwrap();
+            let nibble = to_nibble_nfa(&nfa);
+            let inputs: Vec<&[u8]> = vec![b"abcabc", b"a12z9", b"cdeab e", b"axxb"];
+            for input in &inputs {
+                let base = offsets(&nfa, input);
+                let stream = to_nibble_stream(input);
+                let raw = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+                let mut mapped: Vec<usize> =
+                    raw.reports.iter().map(|r| r.offset / nibble.chain).collect();
+                mapped.dedup();
+                assert_eq!(mapped, base, "pattern {pattern} on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multistep_start_gating_prevents_misaligned_matches() {
+        // Nibble automaton for "ab": the nibble pair of 'a' must not be
+        // recognized when it straddles two bytes. 'a' = 0x61; craft bytes
+        // 0x?6 0x1? so the nibble stream contains 6,1 misaligned.
+        let nfa = regex::compile("a").unwrap();
+        let nibble = to_nibble_nfa(&nfa);
+        let input = [0x06u8, 0x10];
+        let stream = to_nibble_stream(&input);
+        let raw = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+        assert!(raw.reports.is_empty());
+    }
+
+    #[test]
+    fn start_of_data_nibble_alignment() {
+        let mut b = NfaBuilder::new();
+        let s = b.add_ste(SymbolClass::singleton(b'q'));
+        b.set_start(s, cama_core::StartKind::StartOfData);
+        b.set_report(s, 0);
+        let nfa = b.build().unwrap();
+        let nibble = to_nibble_nfa(&nfa);
+        let stream = to_nibble_stream(b"qq");
+        let raw = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+        let mapped: Vec<usize> = raw.reports.iter().map(|r| r.offset / 2).collect();
+        assert_eq!(mapped, vec![0]);
+    }
+
+    #[test]
+    fn reset_between_runs() {
+        let nfa = regex::compile("ab").unwrap();
+        let mut sim = Simulator::new(&nfa);
+        let first = sim.run(b"a");
+        assert!(first.reports.is_empty());
+        // Without the reset this 'b' would complete the previous 'a'.
+        let second = sim.run(b"b");
+        assert!(second.reports.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let nfa = regex::compile("a").unwrap();
+        let result = Simulator::new(&nfa).run(b"");
+        assert_eq!(result.activity.cycles, 0);
+        assert!(result.reports.is_empty());
+    }
+}

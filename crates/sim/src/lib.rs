@@ -1,0 +1,42 @@
+//! Cycle-accurate functional simulation of homogeneous NFAs — the
+//! reproduction's stand-in for VASim.
+//!
+//! Every in-memory automata accelerator in the paper executes the same
+//! two-phase loop per input symbol: *state matching* (which STEs accept
+//! the symbol) followed by *state transition* (AND with the enable vector,
+//! report, and compute the next enable vector). This crate implements that
+//! loop exactly, once, so that the architecture models in `cama-arch` can
+//! attach energy/activity observers to a single trusted engine.
+//!
+//! * [`Simulator`] — byte-per-cycle execution of an
+//!   [`Nfa`](cama_core::Nfa);
+//! * [`Simulator::run_multistep`] — sub-symbol execution for bit-width
+//!   transformed automata (Impala's nibble NFAs);
+//! * [`strided::StridedSimulator`] — two-bytes-per-cycle execution of a
+//!   [`StridedNfa`](cama_core::stride::StridedNfa);
+//! * [`activity`] — the per-cycle observer interface and summary
+//!   statistics the energy models consume;
+//! * [`buffers`] — the 128-entry input / 64-entry output buffer
+//!   interruption model of §VI.B.
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::regex;
+//! use cama_sim::Simulator;
+//!
+//! let nfa = regex::compile("(a|b)e*cd+")?;
+//! let result = Simulator::new(&nfa).run(b"xbeecddy");
+//! let offsets: Vec<usize> = result.reports.iter().map(|r| r.offset).collect();
+//! assert_eq!(offsets, vec![5, 6]);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+
+pub mod activity;
+pub mod buffers;
+pub mod engine;
+pub mod strided;
+
+pub use activity::{ActivitySummary, CycleView, Observer};
+pub use engine::{Report, RunResult, Simulator};
+pub use strided::StridedSimulator;

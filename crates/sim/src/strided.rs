@@ -1,0 +1,284 @@
+//! Execution of 2-strided automata: two input bytes per cycle.
+//!
+//! Report offsets are translated back to original byte offsets using the
+//! [`ReportPhase`] carried by each strided state, so a strided run is
+//! directly comparable with (and tested equivalent to) the 1-stride run
+//! of the original automaton.
+
+use crate::activity::{ActivitySummary, CycleView, NullObserver, Observer};
+use crate::engine::{Report, RunResult};
+use cama_core::bitset::BitSet;
+use cama_core::stride::{ReportPhase, StridedNfa};
+use cama_core::{StartKind, SteId};
+
+/// A cycle-by-cycle simulator for a [`StridedNfa`].
+///
+/// Odd-length inputs are padded with one zero byte; reports whose mapped
+/// offset would fall on the pad are suppressed, so the report stream is
+/// identical to the unpadded 1-stride stream.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::regex;
+/// use cama_core::stride::StridedNfa;
+/// use cama_sim::StridedSimulator;
+///
+/// let nfa = regex::compile("ab+")?;
+/// let strided = StridedNfa::from_nfa(&nfa);
+/// let result = StridedSimulator::new(&strided).run(b"zabbz");
+/// assert_eq!(result.report_offsets(), vec![2, 3]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct StridedSimulator<'a> {
+    nfa: &'a StridedNfa,
+    /// Pair-symbol match table for always-enabled states would need 64 Ki
+    /// entries; instead starts are few, so they are scanned directly.
+    all_input_starts: Vec<u32>,
+    sod_starts: Vec<u32>,
+    dynamic: BitSet,
+    next: BitSet,
+    active: BitSet,
+    cycle: usize,
+}
+
+impl<'a> StridedSimulator<'a> {
+    /// Prepares a simulator for a strided automaton.
+    pub fn new(nfa: &'a StridedNfa) -> Self {
+        let n = nfa.len();
+        let all_input_starts = (0..n)
+            .filter(|&i| nfa.state(i).start == StartKind::AllInput)
+            .map(|i| i as u32)
+            .collect();
+        let sod_starts = (0..n)
+            .filter(|&i| nfa.state(i).start == StartKind::StartOfData)
+            .map(|i| i as u32)
+            .collect();
+        StridedSimulator {
+            nfa,
+            all_input_starts,
+            sod_starts,
+            dynamic: BitSet::new(n),
+            next: BitSet::new(n),
+            active: BitSet::new(n),
+            cycle: 0,
+        }
+    }
+
+    /// The strided automaton being simulated.
+    pub fn nfa(&self) -> &'a StridedNfa {
+        self.nfa
+    }
+
+    /// Restores the power-on state.
+    pub fn reset(&mut self) {
+        self.dynamic.clear();
+        self.cycle = 0;
+    }
+
+    /// Runs over `input` (any length; odd lengths are padded internally)
+    /// and returns reports with *original byte offsets*.
+    pub fn run(&mut self, input: &[u8]) -> RunResult {
+        self.run_with(input, &mut NullObserver)
+    }
+
+    /// [`run`](Self::run) with a per-cycle observer.
+    pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
+        self.reset();
+        let mut result = RunResult {
+            reports: Vec::new(),
+            activity: ActivitySummary::default(),
+        };
+        let mut pairs = input.chunks_exact(2);
+        for pair in pairs.by_ref() {
+            self.step(pair[0], pair[1], input.len(), &mut result, observer);
+        }
+        if let [last] = *pairs.remainder() {
+            self.step(last, 0, input.len(), &mut result, observer);
+        }
+        result.reports.sort_by_key(|r| (r.offset, r.ste));
+        result
+    }
+
+    fn step(
+        &mut self,
+        a: u8,
+        b: u8,
+        input_len: usize,
+        result: &mut RunResult,
+        observer: &mut impl Observer,
+    ) {
+        self.active.clear();
+        for &i in &self.all_input_starts {
+            if self.nfa.state(i as usize).matches(a, b) {
+                self.active.insert(i as usize);
+            }
+        }
+        if self.cycle == 0 {
+            for &i in &self.sod_starts {
+                if self.nfa.state(i as usize).matches(a, b) {
+                    self.active.insert(i as usize);
+                }
+            }
+        }
+        for i in self.dynamic.iter() {
+            if self.nfa.state(i).matches(a, b) {
+                self.active.insert(i);
+            }
+        }
+
+        let mut reports_this_cycle = 0;
+        self.next.clear();
+        for i in self.active.iter() {
+            let state = self.nfa.state(i);
+            if let Some((code, phase)) = state.report {
+                let offset = match phase {
+                    ReportPhase::First => self.cycle * 2,
+                    ReportPhase::Second => self.cycle * 2 + 1,
+                };
+                // Suppress reports that land on the pad byte.
+                if offset < input_len {
+                    result.reports.push(Report {
+                        ste: SteId(i as u32),
+                        code,
+                        offset,
+                    });
+                    reports_this_cycle += 1;
+                }
+            }
+            for &succ in self.nfa.successors(i) {
+                self.next.insert(succ as usize);
+            }
+        }
+
+        result
+            .activity
+            .record(self.active.count(), self.dynamic.count(), reports_this_cycle);
+        observer.on_cycle(&CycleView {
+            cycle: self.cycle,
+            symbol: a,
+            dynamic_enabled: &self.dynamic,
+            active: &self.active,
+            reports: reports_this_cycle,
+        });
+
+        std::mem::swap(&mut self.dynamic, &mut self.next);
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use cama_core::regex;
+    use cama_core::stride::StridedNfa;
+
+    fn check_equivalence(pattern: &str, inputs: &[&[u8]]) {
+        let nfa = regex::compile(pattern).unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        for input in inputs {
+            let base = Simulator::new(&nfa).run(input).report_offsets();
+            let strided_offsets = StridedSimulator::new(&strided).run(input).report_offsets();
+            assert_eq!(
+                strided_offsets,
+                base,
+                "pattern {pattern} on {:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_on_even_inputs() {
+        check_equivalence("abc", &[b"abcabc", b"aabbcc", b"abacbc"]);
+        check_equivalence("(a|b)e*cd+", &[b"beecdd", b"acdd", b"bcdacd"]);
+    }
+
+    #[test]
+    fn equivalence_on_odd_inputs() {
+        check_equivalence("abc", &[b"abc", b"zabca", b"a"]);
+        check_equivalence("ab+", &[b"zabbb", b"ab"]);
+    }
+
+    #[test]
+    fn odd_offset_matches_are_found() {
+        // Match ending at offset 1 (phase Second) and offset 2 (First).
+        check_equivalence("ab", &[b"abab", b"zababz"]);
+        check_equivalence("a", &[b"za", b"az", b"aa"]);
+    }
+
+    #[test]
+    fn pad_byte_cannot_fake_a_report() {
+        // Pattern matching \x00 at the end: the pad is \x00 but must not
+        // produce a report beyond the input.
+        let nfa = regex::compile(r"q\x00").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let result = StridedSimulator::new(&strided).run(b"zzq");
+        assert!(result.reports.is_empty());
+    }
+
+    #[test]
+    fn anchored_strided_equivalence() {
+        use cama_core::regex::{compile_ast, parse, CompileOptions};
+        let nfa = compile_ast(
+            &parse("ab+c").unwrap(),
+            CompileOptions {
+                anchored: true,
+                report_code: 0,
+            },
+        )
+        .unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        for input in [&b"abbc"[..], b"abc", b"zabc", b"abbbbc"] {
+            let base = Simulator::new(&nfa).run(input).report_offsets();
+            let s = StridedSimulator::new(&strided).run(input).report_offsets();
+            assert_eq!(s, base, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_halved() {
+        let nfa = regex::compile("ab").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let result = StridedSimulator::new(&strided).run(b"abababab");
+        assert_eq!(result.activity.cycles, 4);
+    }
+
+    #[test]
+    fn four_stride_nibble_equivalence() {
+        use cama_core::bitwidth::to_nibble_stream;
+        for pattern in ["abc", "a[xy]+b"] {
+            let nfa = regex::compile(pattern).unwrap();
+            let strided = StridedNfa::from_nfa(&nfa);
+            let nibble = strided.to_nibble_nfa();
+            for input in [&b"abcabc"[..], b"axyb", b"aabcxyb "] {
+                let base = Simulator::new(&nfa).run(input).report_offsets();
+                // Pad to even length as the strided construction expects.
+                let mut padded = input.to_vec();
+                if padded.len() % 2 == 1 {
+                    padded.push(0);
+                }
+                let stream = to_nibble_stream(&padded);
+                let raw = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+                let mut mapped: Vec<usize> = raw
+                    .reports
+                    .iter()
+                    .map(|r| {
+                        let pair = r.offset / 4;
+                        match r.offset % 4 {
+                            1 => pair * 2,
+                            3 => pair * 2 + 1,
+                            other => panic!("report at sub-step phase {other}"),
+                        }
+                    })
+                    .filter(|&o| o < input.len())
+                    .collect();
+                mapped.sort_unstable();
+                mapped.dedup();
+                assert_eq!(mapped, base, "pattern {pattern} on {input:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Symbol-class samplers that hit a benchmark's published size profile.
+//!
+//! Each benchmark's Table I row pins two moments of its class-size
+//! distribution — the raw mean and the negation-optimized mean — plus
+//! the alphabet. A [`ClassRecipe`] realizes them as a mixture of small
+//! contiguous classes and negated small classes (the two shapes real
+//! rulesets produce): solving
+//!
+//! ```text
+//! raw  = (1 - p)·r + p·(256 - k)
+//! no   = (1 - p)·r + p·k
+//! ```
+//!
+//! for the negated fraction `p` and the small-class mean `r` given an
+//! excluded-set size `k` reproduces both means exactly in expectation.
+
+use cama_core::SymbolClass;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A sampler for symbol classes with prescribed statistics.
+#[derive(Clone, Debug)]
+pub struct ClassRecipe {
+    /// The symbols the benchmark draws from (alphabet).
+    alphabet: Vec<u8>,
+    /// Mean size of non-negated classes (`r` above, ≥ 1).
+    small_mean: f64,
+    /// Probability that a class is stored-negated in spirit: the raw
+    /// class is the complement of a small excluded set.
+    negated_fraction: f64,
+    /// Excluded-set size for negated classes (`k` above).
+    negated_excluded: usize,
+    /// Pre-built distinct small classes; real rulesets reuse a small set
+    /// of character classes, which is what makes symbol clustering (and
+    /// hence suffix compression) effective.
+    pool_small: Vec<SymbolClass>,
+    /// Pre-built distinct negated classes.
+    pool_negated: Vec<SymbolClass>,
+}
+
+impl ClassRecipe {
+    /// Solves the mixture for a Table I row.
+    ///
+    /// `alphabet_size` symbols are taken as `0..alphabet_size` mapped
+    /// onto a deterministic spread of byte values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets are inconsistent (`no > raw`, means < 1).
+    pub fn for_targets(alphabet_size: usize, raw_mean: f64, no_mean: f64) -> Self {
+        assert!(raw_mean >= 1.0 && no_mean >= 1.0, "means must be >= 1");
+        assert!(no_mean <= raw_mean + 1e-9, "NO mean cannot exceed raw");
+        let alphabet: Vec<u8> = spread_symbols(alphabet_size);
+
+        // Negated classes only make sense over the full byte alphabet.
+        if alphabet_size < 200 || raw_mean - no_mean < 1e-6 {
+            return ClassRecipe {
+                alphabet,
+                small_mean: raw_mean,
+                negated_fraction: 0.0,
+                negated_excluded: 1,
+                pool_small: Vec::new(),
+                pool_negated: Vec::new(),
+            };
+        }
+
+        // Pick k: for benchmarks with tiny NO means the excluded sets are
+        // near-singletons; for Fermi-like rows use k = no_mean.
+        let k = if no_mean < 2.0 {
+            2usize
+        } else {
+            no_mean.round() as usize
+        };
+        // raw - no = p (256 - 2k)  →  p
+        let p = (raw_mean - no_mean) / (256.0 - 2.0 * k as f64);
+        // no = (1-p) r + p k  →  r
+        let r = ((no_mean - p * k as f64) / (1.0 - p)).max(1.0);
+        ClassRecipe {
+            alphabet,
+            small_mean: r,
+            negated_fraction: p,
+            negated_excluded: k,
+            pool_small: Vec::new(),
+            pool_negated: Vec::new(),
+        }
+    }
+
+    /// Builds the distinct-class pools; subsequent [`sample`] calls draw
+    /// from them.
+    ///
+    /// Small classes are runs of `⌊r⌋` and `⌈r⌉` symbols *tiling* the
+    /// alphabet (so the generated automaton's alphabet matches the
+    /// spec), in a ratio preserving the mean; negated classes exclude
+    /// contiguous quantized runs (`[^a-z]`-style), the shape real rule
+    /// sets use and the shape negation optimization is designed for.
+    pub fn with_pool(mut self) -> Self {
+        let floor = (self.small_mean.floor() as usize).clamp(1, 128);
+        let frac = (self.small_mean - floor as f64).clamp(0.0, 0.999);
+        let n = self.alphabet.len();
+
+        let run = |start: usize, len: usize| -> SymbolClass {
+            (0..len).map(|i| self.alphabet[(start + i) % n]).collect()
+        };
+        // Floor-length runs tile the whole alphabet.
+        let n_floor = n.div_ceil(floor);
+        let mut small: Vec<SymbolClass> =
+            (0..n_floor).map(|i| run(i * floor, floor)).collect();
+        // Ceil-length runs in the mean-preserving proportion.
+        if frac > 0.0 {
+            let n_ceil = ((n_floor as f64 * frac / (1.0 - frac)).round() as usize)
+                .clamp(1, 4 * n_floor);
+            let ceil = floor + 1;
+            small.extend((0..n_ceil).map(|i| {
+                let slots = (n / ceil).max(1);
+                run((i % slots) * ceil, ceil)
+            }));
+        }
+        small.dedup();
+        self.pool_small = small;
+
+        if self.negated_fraction > 0.0 {
+            let k = self.negated_excluded.max(1);
+            let slots = (n / k).max(1);
+            self.pool_negated = (0..slots).map(|i| !run(i * k, k)).collect();
+        }
+        self
+    }
+
+    /// The symbols this recipe draws from.
+    pub fn alphabet(&self) -> &[u8] {
+        &self.alphabet
+    }
+
+    /// Samples one symbol class (from the pools when built).
+    pub fn sample(&self, rng: &mut StdRng) -> SymbolClass {
+        if self.pool_small.is_empty() {
+            return self.sample_fresh(rng);
+        }
+        if !self.pool_negated.is_empty() && rng.random_bool(self.negated_fraction) {
+            return self.pool_negated[rng.random_range(0..self.pool_negated.len())];
+        }
+        self.pool_small[rng.random_range(0..self.pool_small.len())]
+    }
+
+    fn sample_fresh(&self, rng: &mut StdRng) -> SymbolClass {
+        if self.negated_fraction > 0.0 && rng.random_bool(self.negated_fraction) {
+            // Complement of a small excluded set: the `[^…]` shape.
+            let mut excluded = SymbolClass::EMPTY;
+            while excluded.len() < self.negated_excluded {
+                excluded.insert(self.pick_symbol(rng));
+            }
+            return !excluded;
+        }
+        let size = sample_size_around(self.small_mean, rng);
+        // Contiguous runs from the alphabet, as ranges `[a-f]` would
+        // produce.
+        let start = rng.random_range(0..self.alphabet.len());
+        let mut class = SymbolClass::EMPTY;
+        for i in 0..size {
+            class.insert(self.alphabet[(start + i) % self.alphabet.len()]);
+        }
+        class
+    }
+
+    fn pick_symbol(&self, rng: &mut StdRng) -> u8 {
+        self.alphabet[rng.random_range(0..self.alphabet.len())]
+    }
+}
+
+/// Draws an integer size with mean `mean ≥ 1`: `⌊mean⌋` or `⌈mean⌉`
+/// chosen to preserve the expectation.
+fn sample_size_around(mean: f64, rng: &mut StdRng) -> usize {
+    let floor = mean.floor().max(1.0);
+    let frac = (mean - floor).clamp(0.0, 1.0);
+    let size = floor as usize + usize::from(frac > 0.0 && rng.random_bool(frac));
+    size.min(128)
+}
+
+/// `n` distinct byte values spread across 0..=255 deterministically.
+fn spread_symbols(n: usize) -> Vec<u8> {
+    assert!((1..=256).contains(&n), "alphabet size out of range");
+    (0..n).map(|i| ((i * 256) / n) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_sizes(recipe: &ClassRecipe, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut raw = 0usize;
+        let mut no = 0usize;
+        for _ in 0..n {
+            let class = recipe.sample(&mut rng);
+            raw += class.len();
+            no += class.negation_optimized_len();
+        }
+        (raw as f64 / n as f64, no as f64 / n as f64)
+    }
+
+    #[test]
+    fn singleton_recipe() {
+        let recipe = ClassRecipe::for_targets(256, 1.0, 1.0);
+        let (raw, no) = mean_sizes(&recipe, 2000, 1);
+        assert!((raw - 1.0).abs() < 0.01, "raw {raw}");
+        assert!((no - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tcp_like_recipe_hits_both_means() {
+        // TCP: raw 9.26, NO 1.28.
+        let recipe = ClassRecipe::for_targets(256, 9.26, 1.28);
+        let (raw, no) = mean_sizes(&recipe, 20000, 2);
+        assert!((raw - 9.26).abs() < 1.0, "raw {raw}");
+        assert!((no - 1.28).abs() < 0.2, "no {no}");
+    }
+
+    #[test]
+    fn fermi_like_recipe() {
+        let recipe = ClassRecipe::for_targets(256, 7.18, 4.0);
+        let (raw, no) = mean_sizes(&recipe, 20000, 3);
+        assert!((raw - 7.18).abs() < 0.8, "raw {raw}");
+        assert!((no - 4.0).abs() < 0.4, "no {no}");
+    }
+
+    #[test]
+    fn spm_like_recipe_with_heavy_negation() {
+        let recipe = ClassRecipe::for_targets(256, 89.4, 1.5);
+        let (raw, no) = mean_sizes(&recipe, 20000, 4);
+        assert!((raw - 89.4).abs() < 8.0, "raw {raw}");
+        assert!((no - 1.5).abs() < 0.3, "no {no}");
+    }
+
+    #[test]
+    fn small_alphabet_stays_inside() {
+        let recipe = ClassRecipe::for_targets(114, 1.002, 1.002);
+        let mut rng = StdRng::seed_from_u64(5);
+        let allowed: SymbolClass = recipe.alphabet().iter().copied().collect();
+        assert_eq!(allowed.len(), 114);
+        for _ in 0..500 {
+            let class = recipe.sample(&mut rng);
+            assert!(class.is_subset(&allowed));
+        }
+    }
+
+    #[test]
+    fn spread_is_distinct_and_sorted() {
+        let symbols = spread_symbols(107);
+        let mut dedup = symbols.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 107);
+        assert!(symbols.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(spread_symbols(256).len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "NO mean cannot exceed raw")]
+    fn inconsistent_targets_rejected() {
+        let _ = ClassRecipe::for_targets(256, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Published per-benchmark statistics (Tables I and II of the paper).
+//!
+//! These numbers parameterize the synthetic generators and let the
+//! harness print paper-vs-reproduced columns. `states` is the STE count
+//! (the "256-bit One-Zero states" column of Table II); the class sizes
+//! and alphabet are from Table I.
+
+/// The structural family a benchmark's automaton belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// Regex-like chains grouped into many small connected components
+    /// (Brill, ClamAV, Snort, the Dotstar and Ranges suites, …).
+    Chains,
+    /// Mismatch-tolerant grids (Hamming, Levenshtein).
+    Grid,
+    /// Fixed-length rings (BlockRings).
+    Rings,
+    /// Wide shallow decision trees with large range classes
+    /// (RandomForest).
+    Trees,
+    /// High-fanout scrambled components that defeat diagonal mapping
+    /// (EntityResolution).
+    DenseMesh,
+}
+
+/// Published statistics for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchmarkSpec {
+    /// Canonical benchmark name as the paper spells it.
+    pub name: &'static str,
+    /// STE count (Table II, one-hot column).
+    pub states: usize,
+    /// Average symbol-class size (Table I).
+    pub avg_class_size: f64,
+    /// Average symbol-class size with negation optimization (Table I).
+    pub avg_class_size_no: f64,
+    /// Alphabet size (Table I).
+    pub alphabet_size: usize,
+    /// Proposed-encoding CAM entries (Table II) — the shape target for
+    /// the encoding harness.
+    pub paper_entries_proposed: usize,
+    /// Proposed-encoding code length in bits (Table II).
+    pub paper_code_len: usize,
+    /// Structural family driving the generator.
+    pub family: Family,
+    /// Fraction of input symbols drawn to hit start-state classes (tunes
+    /// simulated activity to the low-activity regime of ANMLZoo).
+    pub input_hit_rate: f64,
+}
+
+/// All 21 benchmark specifications, in the paper's table order.
+pub const SPECS: [BenchmarkSpec; 21] = [
+    BenchmarkSpec {
+        name: "Brill",
+        states: 42658,
+        avg_class_size: 1.0,
+        avg_class_size_no: 1.0,
+        alphabet_size: 256,
+        paper_entries_proposed: 42658,
+        paper_code_len: 11,
+        family: Family::Chains,
+        input_hit_rate: 0.20,
+    },
+    BenchmarkSpec {
+        name: "ClamAV",
+        states: 49538,
+        avg_class_size: 1.006,
+        avg_class_size_no: 1.006,
+        alphabet_size: 256,
+        paper_entries_proposed: 49593,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.05,
+    },
+    BenchmarkSpec {
+        name: "Dotstar",
+        states: 96438,
+        avg_class_size: 1.56,
+        avg_class_size_no: 1.56,
+        alphabet_size: 256,
+        paper_entries_proposed: 103280,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.10,
+    },
+    BenchmarkSpec {
+        name: "Fermi",
+        states: 40783,
+        avg_class_size: 7.18,
+        avg_class_size_no: 4.0,
+        alphabet_size: 256,
+        paper_entries_proposed: 61066,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.30,
+    },
+    BenchmarkSpec {
+        name: "TCP",
+        states: 19704,
+        avg_class_size: 9.26,
+        avg_class_size_no: 1.28,
+        alphabet_size: 256,
+        paper_entries_proposed: 20156,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.10,
+    },
+    BenchmarkSpec {
+        name: "Protomata",
+        states: 42011,
+        avg_class_size: 4.41,
+        avg_class_size_no: 2.65,
+        alphabet_size: 256,
+        paper_entries_proposed: 69715,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.25,
+    },
+    BenchmarkSpec {
+        name: "Snort",
+        states: 69029,
+        avg_class_size: 4.41,
+        avg_class_size_no: 2.02,
+        alphabet_size: 256,
+        paper_entries_proposed: 72884,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.08,
+    },
+    BenchmarkSpec {
+        name: "Hamming",
+        states: 11346,
+        avg_class_size: 1.0,
+        avg_class_size_no: 1.0,
+        alphabet_size: 256,
+        paper_entries_proposed: 11346,
+        paper_code_len: 11,
+        family: Family::Grid,
+        input_hit_rate: 0.25,
+    },
+    BenchmarkSpec {
+        name: "PowerEN",
+        states: 40513,
+        avg_class_size: 1.95,
+        avg_class_size_no: 1.09,
+        alphabet_size: 256,
+        paper_entries_proposed: 41080,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.10,
+    },
+    BenchmarkSpec {
+        name: "Levenshtein",
+        states: 2784,
+        avg_class_size: 1.0,
+        avg_class_size_no: 1.0,
+        alphabet_size: 256,
+        paper_entries_proposed: 2784,
+        paper_code_len: 11,
+        family: Family::Grid,
+        input_hit_rate: 0.30,
+    },
+    BenchmarkSpec {
+        name: "RandomForest",
+        states: 33220,
+        avg_class_size: 179.05,
+        avg_class_size_no: 51.55,
+        alphabet_size: 256,
+        paper_entries_proposed: 75936,
+        paper_code_len: 32,
+        family: Family::Trees,
+        input_hit_rate: 0.50,
+    },
+    BenchmarkSpec {
+        name: "EntityResolution",
+        states: 95136,
+        avg_class_size: 38.14,
+        avg_class_size_no: 1.41,
+        alphabet_size: 256,
+        paper_entries_proposed: 95550,
+        paper_code_len: 16,
+        family: Family::DenseMesh,
+        input_hit_rate: 0.15,
+    },
+    BenchmarkSpec {
+        name: "Bro217",
+        states: 2312,
+        avg_class_size: 1.55,
+        avg_class_size_no: 1.55,
+        alphabet_size: 256,
+        paper_entries_proposed: 2352,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.10,
+    },
+    BenchmarkSpec {
+        name: "Dotstar03",
+        states: 12144,
+        avg_class_size: 1.92,
+        avg_class_size_no: 1.3,
+        alphabet_size: 256,
+        paper_entries_proposed: 12445,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.10,
+    },
+    BenchmarkSpec {
+        name: "Dotstar06",
+        states: 12640,
+        avg_class_size: 2.48,
+        avg_class_size_no: 1.28,
+        alphabet_size: 256,
+        paper_entries_proposed: 13116,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.10,
+    },
+    BenchmarkSpec {
+        name: "Dotstar09",
+        states: 12431,
+        avg_class_size: 3.1,
+        avg_class_size_no: 1.29,
+        alphabet_size: 256,
+        paper_entries_proposed: 12723,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.10,
+    },
+    BenchmarkSpec {
+        name: "Ranges1",
+        states: 12464,
+        avg_class_size: 1.29,
+        avg_class_size_no: 1.29,
+        alphabet_size: 115,
+        paper_entries_proposed: 12947,
+        paper_code_len: 13,
+        family: Family::Chains,
+        input_hit_rate: 0.15,
+    },
+    BenchmarkSpec {
+        name: "Ranges05",
+        states: 12439,
+        avg_class_size: 1.21,
+        avg_class_size_no: 1.21,
+        alphabet_size: 107,
+        paper_entries_proposed: 12990,
+        paper_code_len: 12,
+        family: Family::Chains,
+        input_hit_rate: 0.15,
+    },
+    BenchmarkSpec {
+        name: "SPM",
+        states: 100500,
+        avg_class_size: 89.4,
+        avg_class_size_no: 1.5,
+        alphabet_size: 256,
+        paper_entries_proposed: 100500,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.30,
+    },
+    BenchmarkSpec {
+        name: "BlockRings",
+        states: 44352,
+        avg_class_size: 1.0,
+        avg_class_size_no: 1.0,
+        alphabet_size: 2,
+        paper_entries_proposed: 44352,
+        paper_code_len: 2,
+        family: Family::Rings,
+        input_hit_rate: 0.50,
+    },
+    BenchmarkSpec {
+        name: "ExactMath",
+        states: 12439,
+        avg_class_size: 1.002,
+        avg_class_size_no: 1.002,
+        alphabet_size: 114,
+        paper_entries_proposed: 12439,
+        paper_code_len: 16,
+        family: Family::Chains,
+        input_hit_rate: 0.15,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_21_benchmarks() {
+        assert_eq!(SPECS.len(), 21);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn no_sizes_never_exceed_raw() {
+        for spec in &SPECS {
+            assert!(
+                spec.avg_class_size_no <= spec.avg_class_size + 1e-9,
+                "{}",
+                spec.name
+            );
+            assert!(spec.states > 0);
+            assert!(spec.alphabet_size >= 2 && spec.alphabet_size <= 256);
+        }
+    }
+}

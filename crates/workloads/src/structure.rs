@@ -1,0 +1,291 @@
+//! Graph-shape builders for the synthetic benchmarks.
+//!
+//! Each builder produces the connectivity signature of its ANMLZoo
+//! family: regex rule sets are many small chain-like connected
+//! components; Hamming/Levenshtein are mismatch grids; BlockRings are
+//! fixed-period rings; RandomForest is wide shallow trees;
+//! EntityResolution is scrambled dense meshes that defeat diagonal
+//! (reduced-crossbar) mapping.
+
+use crate::classgen::ClassRecipe;
+use cama_core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Builds chain-style components until `target_states` is reached.
+///
+/// Components are chains of 4–24 states with occasional 2–4 state
+/// branches merging back — the shape regex compilation produces.
+pub fn build_chains(
+    name: &str,
+    target_states: usize,
+    recipe: &ClassRecipe,
+    rng: &mut StdRng,
+) -> Nfa {
+    let mut builder = NfaBuilder::with_name(name);
+    let mut report_code = 0;
+    while builder.len() < target_states {
+        let remaining = target_states - builder.len();
+        let len = rng.random_range(4..=24usize).min(remaining.max(2));
+        let head = builder.add_ste(recipe.sample(rng));
+        builder.set_start(head, StartKind::AllInput);
+        let mut prev = head;
+        let mut built = 1;
+        while built < len {
+            let next = builder.add_ste(recipe.sample(rng));
+            builder.add_edge(prev, next);
+            built += 1;
+            // Occasional branch: a short alternative that rejoins.
+            if built + 2 < len && rng.random_bool(0.15) {
+                let alt_len = rng.random_range(1..=2usize);
+                let mut alt_prev = prev;
+                for _ in 0..alt_len {
+                    let alt = builder.add_ste(recipe.sample(rng));
+                    builder.add_edge(alt_prev, alt);
+                    alt_prev = alt;
+                    built += 1;
+                }
+                builder.add_edge(alt_prev, next);
+            }
+            // Occasional self-loop: the `e*` / `d+` shape.
+            if rng.random_bool(0.08) {
+                builder.add_edge(next, next);
+            }
+            prev = next;
+        }
+        builder.set_report(prev, report_code);
+        report_code += 1;
+    }
+    builder.build().expect("chain workload is valid")
+}
+
+/// Builds `(distance + 1) × length` mismatch grids (Hamming-style
+/// automata; with `insertions` also the Levenshtein shape).
+pub fn build_grid(
+    name: &str,
+    target_states: usize,
+    distance: usize,
+    length: usize,
+    insertions: bool,
+    recipe: &ClassRecipe,
+    rng: &mut StdRng,
+) -> Nfa {
+    let mut builder = NfaBuilder::with_name(name);
+    let rows = distance + 1;
+    let per_component = rows * length;
+    let mut report_code = 0;
+    while builder.len() + per_component <= target_states.max(per_component) {
+        // One pattern per component; class (r, j) matches pattern[j].
+        let pattern: Vec<SymbolClass> = (0..length).map(|_| recipe.sample(rng)).collect();
+        let mut grid = vec![vec![SteId(0); length]; rows];
+        for (r, row) in grid.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = builder.add_ste(pattern[j]);
+                if j == 0 && r == 0 {
+                    builder.set_start(*cell, StartKind::AllInput);
+                }
+                if j == length - 1 {
+                    builder.set_report(*cell, report_code);
+                }
+            }
+        }
+        for r in 0..rows {
+            for j in 0..length - 1 {
+                // Match: advance along the row.
+                builder.add_edge(grid[r][j], grid[r][j + 1]);
+                if r + 1 < rows {
+                    // Substitution: consume one symbol, burn one budget.
+                    builder.add_edge(grid[r][j], grid[r + 1][j + 1]);
+                    if insertions {
+                        // Insertion: stay at the same pattern position.
+                        builder.add_edge(grid[r][j], grid[r + 1][j]);
+                    }
+                }
+            }
+        }
+        report_code += 1;
+        if builder.len() + per_component > target_states {
+            break;
+        }
+    }
+    builder.build().expect("grid workload is valid")
+}
+
+/// Builds fixed-length rings over a two-symbol alphabet (BlockRings).
+pub fn build_rings(name: &str, target_states: usize, ring_len: usize, rng: &mut StdRng) -> Nfa {
+    let mut builder = NfaBuilder::with_name(name);
+    let mut report_code = 0;
+    while builder.len() + ring_len <= target_states.max(ring_len) {
+        let states: Vec<SteId> = (0..ring_len)
+            .map(|_| builder.add_ste(SymbolClass::singleton(u8::from(rng.random_bool(0.5)))))
+            .collect();
+        builder.set_start(states[0], StartKind::AllInput);
+        builder.set_report(states[ring_len - 1], report_code);
+        for i in 0..ring_len {
+            builder.add_edge(states[i], states[(i + 1) % ring_len]);
+        }
+        report_code += 1;
+        if builder.len() + ring_len > target_states {
+            break;
+        }
+    }
+    builder.build().expect("ring workload is valid")
+}
+
+/// Builds wide shallow decision trees with large range classes
+/// (RandomForest).
+pub fn build_trees(
+    name: &str,
+    target_states: usize,
+    branching: usize,
+    depth: usize,
+    recipe: &ClassRecipe,
+    rng: &mut StdRng,
+) -> Nfa {
+    let mut builder = NfaBuilder::with_name(name);
+    let mut report_code = 0;
+    loop {
+        let before = builder.len();
+        let root = builder.add_ste(recipe.sample(rng));
+        builder.set_start(root, StartKind::AllInput);
+        let mut frontier = vec![root];
+        for level in 0..depth {
+            let mut next_frontier = Vec::new();
+            for &node in &frontier {
+                for _ in 0..branching {
+                    let child = builder.add_ste(recipe.sample(rng));
+                    builder.add_edge(node, child);
+                    if level == depth - 1 {
+                        builder.set_report(child, report_code);
+                    }
+                    next_frontier.push(child);
+                }
+            }
+            frontier = next_frontier;
+        }
+        report_code += 1;
+        let tree_size = builder.len() - before;
+        if builder.len() + tree_size > target_states {
+            break;
+        }
+    }
+    builder.build().expect("tree workload is valid")
+}
+
+/// Builds dense scrambled components (EntityResolution): random long
+/// edges inside each component defeat the diagonal band of the RCB.
+pub fn build_dense_mesh(
+    name: &str,
+    target_states: usize,
+    component_size: usize,
+    recipe: &ClassRecipe,
+    rng: &mut StdRng,
+) -> Nfa {
+    let mut builder = NfaBuilder::with_name(name);
+    let mut report_code = 0;
+    while builder.len() + component_size <= target_states.max(component_size) {
+        let states: Vec<SteId> = (0..component_size)
+            .map(|_| builder.add_ste(recipe.sample(rng)))
+            .collect();
+        for _ in 0..3 {
+            let s = states[rng.random_range(0..states.len())];
+            builder.set_start(s, StartKind::AllInput);
+        }
+        builder.set_report(states[component_size - 1], report_code);
+        // A connected backbone plus long random edges.
+        for pair in states.windows(2) {
+            builder.add_edge(pair[0], pair[1]);
+        }
+        for _ in 0..component_size * 2 {
+            let from = states[rng.random_range(0..states.len())];
+            let to = states[rng.random_range(0..states.len())];
+            builder.add_edge(from, to);
+        }
+        report_code += 1;
+        if builder.len() + component_size > target_states {
+            break;
+        }
+    }
+    builder.build().expect("mesh workload is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cama_core::graph;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn recipe() -> ClassRecipe {
+        ClassRecipe::for_targets(256, 2.0, 1.5)
+    }
+
+    #[test]
+    fn chains_hit_target_and_are_multi_component() {
+        let nfa = build_chains("t", 500, &recipe(), &mut rng());
+        assert!(nfa.len() >= 500 && nfa.len() < 560, "got {}", nfa.len());
+        let ccs = graph::connected_components(&nfa);
+        assert!(ccs.len() > 15);
+        assert!(nfa.start_states().count() >= ccs.len());
+        assert!(nfa.reporting_states().count() >= ccs.len());
+    }
+
+    #[test]
+    fn chains_are_mostly_diagonal() {
+        let nfa = build_chains("t", 2000, &recipe(), &mut rng());
+        let stats = graph::stats(&nfa);
+        assert!(stats.diagonal_fraction > 0.99, "{stats:?}");
+    }
+
+    #[test]
+    fn grid_shape() {
+        let nfa = build_grid("h", 600, 2, 20, false, &recipe(), &mut rng());
+        assert_eq!(nfa.len() % 60, 0);
+        let ccs = graph::connected_components(&nfa);
+        assert_eq!(ccs[0].len(), 60);
+        // Levenshtein variant has more edges (insertions).
+        let lev = build_grid("l", 600, 2, 20, true, &recipe(), &mut rng());
+        assert!(lev.num_edges() > nfa.num_edges());
+    }
+
+    #[test]
+    fn rings_cycle() {
+        let nfa = build_rings("r", 200, 33, &mut rng());
+        assert_eq!(nfa.len() % 33, 0);
+        // Every state has out-degree exactly 1.
+        for i in 0..nfa.len() {
+            assert_eq!(nfa.successors(SteId(i as u32)).len(), 1);
+        }
+        assert!(nfa.alphabet().len() <= 2);
+    }
+
+    #[test]
+    fn trees_fan_out() {
+        let nfa = build_trees("f", 3000, 4, 5, &recipe(), &mut rng());
+        let stats = graph::stats(&nfa);
+        assert_eq!(stats.max_out_degree, 4);
+        // 1 + 4 + 16 + 64 + 256 + 1024 per tree.
+        assert_eq!(nfa.len() % 1365, 0);
+    }
+
+    #[test]
+    fn dense_mesh_defeats_diagonality() {
+        let nfa = build_dense_mesh("e", 600, 190, &recipe(), &mut rng());
+        let stats = graph::stats(&nfa);
+        assert!(
+            stats.diagonal_fraction < 0.75,
+            "diagonal fraction {}",
+            stats.diagonal_fraction
+        );
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = build_chains("t", 300, &recipe(), &mut StdRng::seed_from_u64(5));
+        let b = build_chains("t", 300, &recipe(), &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

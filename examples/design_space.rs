@@ -1,0 +1,70 @@
+//! Design-space exploration: how the encoding scheme choice trades code
+//! length against CAM entries (the §V trade-off), shown on one workload
+//! with every scheme forced in turn — the experiment behind Table II's
+//! "one scheme does not fit all" argument.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use cama::core::stats::class_stats;
+use cama::encoding::scheme::{
+    multi_zeros_len, one_zero_prefix_geometry, two_zeros_prefix_geometry,
+};
+use cama::encoding::{EncodingPlan, Scheme};
+use cama::workloads::Benchmark;
+
+fn main() {
+    let bench = Benchmark::Protomata;
+    let nfa = bench.generate(0.1);
+    let stats = class_stats(&nfa);
+    println!(
+        "{}: {} states, avg class {:.2} (NO {:.2}), alphabet {}",
+        bench.name(),
+        stats.num_states,
+        stats.avg_class_size,
+        stats.avg_class_size_no,
+        stats.alphabet_size
+    );
+
+    let alphabet = 256;
+    let candidates: Vec<(&str, Scheme)> = vec![
+        ("One-Zero (bit vector)", Scheme::OneZero { len: alphabet }),
+        (
+            "Multi-Zeros",
+            Scheme::MultiZeros {
+                len: multi_zeros_len(alphabet),
+            },
+        ),
+        (
+            "Two-Zeros-Prefix",
+            two_zeros_prefix_geometry(alphabet, stats.avg_class_size_no)
+                .expect("feasible for this class profile"),
+        ),
+        ("One-Zero-Prefix", one_zero_prefix_geometry(alphabet)),
+    ];
+
+    println!("\nscheme                     len   entries   memory bits   vs one-hot");
+    let one_hot_bits = alphabet * nfa.len();
+    for (name, scheme) in candidates {
+        let plan = EncodingPlan::with_scheme(&nfa, scheme, true);
+        plan.verify_exact(&nfa).expect("every scheme stays exact");
+        println!(
+            "{:<25} {:>4}  {:>8}  {:>12}  {:>9.2}x",
+            name,
+            plan.code_len(),
+            plan.total_entries(),
+            plan.memory_bits(),
+            one_hot_bits as f64 / plan.memory_bits() as f64,
+        );
+    }
+
+    let selected = EncodingPlan::for_nfa(&nfa);
+    println!(
+        "\nselection algorithm picks: {} ({} entries, {}b, {} negated rows)",
+        selected.scheme(),
+        selected.total_entries(),
+        selected.code_len(),
+        selected.negated_states(),
+    );
+}

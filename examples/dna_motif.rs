@@ -1,0 +1,128 @@
+//! Bioinformatics motif search with mismatch tolerance: a Hamming-
+//! distance automaton (the ANMLZoo "Hamming" shape) scans a synthetic
+//! DNA sequence for a motif allowing up to `d` substitutions — the kind
+//! of workload Roy & Aluru ran on the Micron AP.
+//!
+//! ```sh
+//! cargo run --release --example dna_motif
+//! ```
+
+use cama::core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
+use cama::encoding::EncodingPlan;
+use cama::sim::Simulator;
+
+/// Builds a Hamming(d) automaton for `motif`.
+///
+/// Row `r` means "r mismatches spent". Each grid cell has two STEs: a
+/// *match* state accepting the motif base and (for rows ≥ 1) a
+/// *mismatch* state accepting any other base; stepping diagonally into a
+/// mismatch state spends one unit of budget.
+fn hamming_automaton(motif: &[u8], distance: usize) -> Nfa {
+    let mut builder = NfaBuilder::with_name("hamming-motif");
+    let rows = distance + 1;
+    let length = motif.len();
+    let match_class = |j: usize| SymbolClass::singleton(motif[j]);
+    let mismatch_class = |j: usize| {
+        let mut class: SymbolClass = b"ACGT".iter().copied().collect();
+        class.remove(motif[j]);
+        class
+    };
+
+    let mut matches = vec![vec![SteId(0); length]; rows];
+    let mut mismatches = vec![vec![None::<SteId>; length]; rows];
+    for r in 0..rows {
+        for j in 0..length {
+            matches[r][j] = builder.add_ste(match_class(j));
+            if r >= 1 {
+                mismatches[r][j] = Some(builder.add_ste(mismatch_class(j)));
+            }
+        }
+    }
+    builder.set_start(matches[0][0], StartKind::AllInput);
+    if let Some(x) = mismatches[1][0] {
+        builder.set_start(x, StartKind::AllInput);
+    }
+    for r in 0..rows {
+        for j in 0..length {
+            let here: Vec<SteId> = [Some(matches[r][j]), mismatches[r][j]]
+                .into_iter()
+                .flatten()
+                .collect();
+            for &state in &here {
+                if j + 1 < length {
+                    // Exact continuation.
+                    builder.add_edge(state, matches[r][j + 1]);
+                    // Spend one mismatch.
+                    if r + 1 < rows {
+                        if let Some(x) = mismatches[r + 1][j + 1] {
+                            builder.add_edge(state, x);
+                        }
+                    }
+                } else {
+                    builder.set_report(state, r as u32);
+                }
+            }
+        }
+    }
+    builder.build().expect("hamming automaton is valid")
+}
+
+fn synthetic_genome(len: usize, motif: &[u8]) -> Vec<u8> {
+    let bases = b"ACGT";
+    let mut seed = 0x2545F4914F6CDD1Du64;
+    let mut genome: Vec<u8> = (0..len)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            bases[(seed % 4) as usize]
+        })
+        .collect();
+    // Plant the motif exactly, and once with a substitution.
+    let exact_at = len / 3;
+    genome[exact_at..exact_at + motif.len()].copy_from_slice(motif);
+    let fuzzy_at = 2 * len / 3;
+    genome[fuzzy_at..fuzzy_at + motif.len()].copy_from_slice(motif);
+    let mid = fuzzy_at + motif.len() / 2;
+    genome[mid] = if genome[mid] == b'A' { b'C' } else { b'A' };
+    genome
+}
+
+fn main() {
+    let motif = b"GATTACACAT";
+    let distance = 1;
+    let nfa = hamming_automaton(motif, distance);
+    println!(
+        "motif {:?} with <= {distance} substitutions: {} STEs / {} edges",
+        String::from_utf8_lossy(motif),
+        nfa.len(),
+        nfa.num_edges()
+    );
+
+    let genome = synthetic_genome(64 * 1024, motif);
+    let result = Simulator::new(&nfa).run(&genome);
+    println!(
+        "scanned {} bases, {} motif hits:",
+        genome.len(),
+        result.reports.len()
+    );
+    for report in result.reports.iter().take(10) {
+        let start = report.offset + 1 - motif.len();
+        println!(
+            "  offset {:>6}: {:?} ({} mismatches)",
+            start,
+            String::from_utf8_lossy(&genome[start..=report.offset]),
+            report.code
+        );
+    }
+
+    // The 4-symbol alphabet gets a very short code.
+    let plan = EncodingPlan::for_nfa(&nfa);
+    println!(
+        "\nencoding: {} ({} bits instead of 256 one-hot rows), {} CAM entries",
+        plan.scheme(),
+        plan.code_len(),
+        plan.total_entries()
+    );
+    plan.verify_exact(&nfa).expect("exact encoding");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: compile a regex to a homogeneous NFA, run it on an input
+//! stream, encode it for the CAM, and print what the hardware would cost.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cama::arch::designs::DesignKind;
+use cama::arch::report::evaluate;
+use cama::core::regex;
+use cama::sim::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (Figure 1).
+    let pattern = "(a|b)e*cd+";
+    let nfa = regex::compile(pattern)?;
+    println!("pattern       : {pattern}");
+    println!("STEs          : {}", nfa.len());
+    println!("edges         : {}", nfa.num_edges());
+
+    // Functional simulation.
+    let input = b"xxbeecddyyacdzz";
+    let result = Simulator::new(&nfa).run(input);
+    println!(
+        "input         : {:?}",
+        String::from_utf8_lossy(input)
+    );
+    for report in &result.reports {
+        println!(
+            "  report at offset {:>2} (…{:?}) from {}",
+            report.offset,
+            String::from_utf8_lossy(&input[report.offset.saturating_sub(3)..=report.offset]),
+            report.ste,
+        );
+    }
+
+    // The encoding the CAMA toolchain selects.
+    let plan = cama::encoding::EncodingPlan::for_nfa(&nfa);
+    println!("scheme        : {}", plan.scheme());
+    println!("CAM entries   : {}", plan.total_entries());
+    plan.verify_exact(&nfa).expect("encoded matching is exact");
+
+    // What would running this cost on each architecture?
+    println!("\ndesign          energy/byte     area       throughput");
+    for design in DesignKind::HEADLINE {
+        let report = evaluate(design, &nfa, input);
+        println!(
+            "{:<15} {:>8.4} nJ   {:>7.4} mm2   {:>6.2} Gbps",
+            design.name(),
+            report.energy_per_byte_nj(),
+            report.area.total().to_mm2(),
+            report.throughput_gbps(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) over the core invariants of
+//! DESIGN.md §6: regex/Glushkov correctness, encoding exactness, stride
+//! equivalence, and crossbar-remap fidelity — all with randomly generated
+//! structures.
+
+use cama::core::bitset::BitSet;
+use cama::core::regex::{self, reference};
+use cama::core::stride::StridedNfa;
+use cama::core::{Nfa, NfaBuilder, StartKind, SymbolClass};
+use cama::encoding::EncodingPlan;
+use cama::mem::{FullCrossbar, ReducedCrossbar, K_DIA};
+use cama::sim::{Simulator, StridedSimulator};
+use proptest::prelude::*;
+
+/// A small pattern grammar guaranteed non-nullable and parser-safe.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        "[a-e]".prop_map(|s| s),
+        Just("x".to_string()),
+        Just("[^a]".to_string()),
+        Just(".".to_string()),
+        Just("[b-d]".to_string()),
+    ];
+    let unit = (atom, prop_oneof![Just(""), Just("+"), Just("?")])
+        .prop_map(|(a, q)| format!("{a}{q}"));
+    proptest::collection::vec(unit, 1..5).prop_map(|units| units.join(""))
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x'), Just(b'z')],
+        0..24,
+    )
+}
+
+fn arb_nfa() -> impl Strategy<Value = Nfa> {
+    let classes = proptest::collection::vec(
+        (
+            proptest::collection::vec(any::<u8>(), 1..6),
+            any::<bool>(),
+        ),
+        2..12,
+    );
+    let edges = proptest::collection::vec((0usize..12, 0usize..12), 0..20);
+    (classes, edges).prop_map(|(classes, edges)| {
+        let n = classes.len();
+        let mut builder = NfaBuilder::new();
+        for (i, (symbols, negate)) in classes.into_iter().enumerate() {
+            let class: SymbolClass = symbols.into_iter().collect();
+            let class = if negate { !class } else { class };
+            let id = builder.add_ste(class);
+            if i % 3 == 0 {
+                builder.set_start(id, StartKind::AllInput);
+            }
+            if i % 4 == 1 {
+                builder.set_report(id, i as u32);
+            }
+        }
+        // Always at least one start and one reporting state.
+        builder.set_start(cama::core::SteId(0), StartKind::AllInput);
+        builder.set_report(cama::core::SteId((n - 1) as u32), 99);
+        for (from, to) in edges {
+            if from < n && to < n {
+                builder.add_edge(
+                    cama::core::SteId(from as u32),
+                    cama::core::SteId(to as u32),
+                );
+            }
+        }
+        builder.build().expect("non-empty classes")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn glushkov_agrees_with_reference(pattern in arb_pattern(), input in arb_input()) {
+        let ast = regex::parse(&pattern).unwrap();
+        prop_assume!(!ast.is_nullable());
+        let nfa = regex::compile(&pattern).unwrap();
+        let simulated = Simulator::new(&nfa).run(&input).report_offsets();
+        let expected = reference::scan_report_offsets(&ast, &input);
+        prop_assert_eq!(simulated, expected, "pattern {}", pattern);
+    }
+
+    #[test]
+    fn encoding_is_exact_on_random_nfas(nfa in arb_nfa()) {
+        let plan = EncodingPlan::for_nfa(&nfa);
+        prop_assert!(plan.verify_exact(&nfa).is_ok());
+        // Entries are never fewer than states that need at least one.
+        prop_assert!(plan.total_entries() >= nfa.len());
+    }
+
+    #[test]
+    fn stride_equivalence_on_random_nfas(nfa in arb_nfa(), input in arb_input()) {
+        let baseline = Simulator::new(&nfa).run(&input).report_offsets();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let strided_offsets = StridedSimulator::new(&strided).run(&input).report_offsets();
+        prop_assert_eq!(baseline, strided_offsets);
+    }
+
+    #[test]
+    fn rcb_equals_fcb_on_band_edges(
+        seeds in proptest::collection::vec((0usize..256, 0usize..86), 1..40),
+        active in proptest::collection::vec(0usize..256, 1..8),
+    ) {
+        // Build edges guaranteed inside the band: target in the source's
+        // group or the next.
+        let edges: Vec<(usize, usize)> = seeds
+            .into_iter()
+            .map(|(from, jump)| {
+                let lo = (from / K_DIA) * K_DIA;
+                let to = (lo + jump).min(255);
+                (from, to)
+            })
+            .filter(|&(f, t)| ReducedCrossbar::supports(K_DIA, f, t))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let rcb = ReducedCrossbar::try_program(256, K_DIA, edges.iter().copied()).unwrap();
+        let mut fcb = FullCrossbar::new(256);
+        for &(f, t) in &edges {
+            fcb.connect(f, t);
+        }
+        let active = BitSet::from_indices(256, active);
+        prop_assert_eq!(rcb.route(&active), fcb.route(&active));
+    }
+
+    #[test]
+    fn anml_roundtrip_on_random_nfas(nfa in arb_nfa()) {
+        let text = cama::core::anml::to_string(&nfa);
+        let parsed = cama::core::anml::from_str(&text).unwrap();
+        prop_assert_eq!(parsed.len(), nfa.len());
+        prop_assert_eq!(parsed.num_edges(), nfa.num_edges());
+        for i in 0..nfa.len() {
+            let id = cama::core::SteId(i as u32);
+            prop_assert_eq!(parsed.ste(id).class, nfa.ste(id).class);
+            prop_assert_eq!(parsed.ste(id).start, nfa.ste(id).start);
+        }
+    }
+
+    #[test]
+    fn mnrl_roundtrip_on_random_nfas(nfa in arb_nfa()) {
+        let text = cama::core::mnrl::to_string(&nfa);
+        let parsed = cama::core::mnrl::from_str(&text).unwrap();
+        prop_assert_eq!(parsed.len(), nfa.len());
+        prop_assert_eq!(parsed.num_edges(), nfa.num_edges());
+    }
+
+    #[test]
+    fn symbol_class_set_algebra(a in proptest::collection::vec(any::<u8>(), 0..40),
+                                b in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let ca: SymbolClass = a.iter().copied().collect();
+        let cb: SymbolClass = b.iter().copied().collect();
+        // De Morgan.
+        prop_assert_eq!(!(ca | cb), !ca & !cb);
+        // Union/intersection sizes.
+        prop_assert_eq!((ca | cb).len() + (ca & cb).len(), ca.len() + cb.len());
+        // Display → parse roundtrip through the symbol-set grammar.
+        if !ca.is_empty() {
+            let parsed = cama::core::anml::parse_symbol_set(&ca.to_string()).unwrap();
+            prop_assert_eq!(parsed, ca);
+        }
+    }
+}
