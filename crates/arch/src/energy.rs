@@ -144,8 +144,7 @@ impl<'a> EnergyObserver<'a> {
         let mut static_entries = vec![0u32; num_partitions];
         for (state, &is_start) in starts_all_input.iter().enumerate() {
             if is_start {
-                static_entries[mapping.partition_of[state] as usize] +=
-                    mapping.weight_of[state];
+                static_entries[mapping.partition_of[state] as usize] += mapping.weight_of[state];
             }
         }
 
@@ -282,10 +281,7 @@ impl<'a> EnergyObserver<'a> {
 /// partition.
 fn switch_factor(design: DesignKind, partition: &crate::mapping::Partition) -> f64 {
     match (design, partition.mode) {
-        (
-            DesignKind::CamaE | DesignKind::CamaT,
-            PartitionMode::Fcb | PartitionMode::Wide,
-        ) => 2.0,
+        (DesignKind::CamaE | DesignKind::CamaT, PartitionMode::Fcb | PartitionMode::Wide) => 2.0,
         _ => 1.0,
     }
 }
@@ -318,9 +314,9 @@ impl Observer for EnergyObserver<'_> {
                 if self.static_entries[p] > 0 {
                     match_energy += self.match_slope * f64::from(entries) * factor;
                 } else {
-                    match_energy +=
-                        (self.match_floor + self.match_slope * f64::from(entries.min(256)))
-                            * factor;
+                    match_energy += (self.match_floor
+                        + self.match_slope * f64::from(entries.min(256)))
+                        * factor;
                 }
             } else if self.static_entries[p] == 0 {
                 // Full-array designs: a newly enabled partition costs one
@@ -330,9 +326,8 @@ impl Observer for EnergyObserver<'_> {
             // The partition's local switch precharges whenever the
             // partition is processing (static ones precomputed above).
             if self.static_entries[p] == 0 {
-                switch_energy += self.local_full
-                    * 0.8
-                    * switch_factor(self.design, &self.mapping.partitions[p]);
+                switch_energy +=
+                    self.local_full * 0.8 * switch_factor(self.design, &self.mapping.partitions[p]);
             }
         }
         for &p in &self.touched {

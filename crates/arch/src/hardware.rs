@@ -108,9 +108,7 @@ impl<'a> CamaHardware<'a> {
                 let (base, width) = slots[si];
                 match nfa.ste(SteId(state)).start {
                     StartKind::AllInput => (base..base + width).for_each(|c| static_cols.insert(c)),
-                    StartKind::StartOfData => {
-                        (base..base + width).for_each(|c| sod_cols.insert(c))
-                    }
+                    StartKind::StartOfData => (base..base + width).for_each(|c| sod_cols.insert(c)),
                     StartKind::None => {}
                 }
             }
@@ -325,8 +323,7 @@ impl<'a> BankHardware<'a> {
         for (pi, partition) in mapping.partitions.iter().enumerate() {
             let capacity = partition.capacity;
             assert!(partition.used <= capacity, "partition overflows capacity");
-            let slots: Vec<(usize, usize)> =
-                (0..partition.states.len()).map(|i| (i, 1)).collect();
+            let slots: Vec<(usize, usize)> = (0..partition.states.len()).map(|i| (i, 1)).collect();
             for (si, &state) in partition.states.iter().enumerate() {
                 locus[state as usize] = (pi as u32, si as u32);
             }
@@ -465,7 +462,11 @@ mod bank_tests {
 
     #[test]
     fn ca_mapping_is_report_equivalent() {
-        for bench in [Benchmark::Brill, Benchmark::EntityResolution, Benchmark::Fermi] {
+        for bench in [
+            Benchmark::Brill,
+            Benchmark::EntityResolution,
+            Benchmark::Fermi,
+        ] {
             check(DesignKind::CacheAutomaton, bench);
         }
     }

@@ -343,16 +343,15 @@ fn pack(design: DesignKind, input: MapInput, config: PackerConfig) -> Mapping {
     let mut open: Vec<OpenPartition> = Vec::new();
     let mut partition_of = vec![u32::MAX; input.n];
 
-    let place =
-        |p: &mut OpenPartition, cc: &[u32], offset: usize, input: &MapInput| {
-            let mut pos = offset;
-            for &s in cc {
-                p.positions.push((s, pos));
-                pos += input.weights[s as usize] as usize;
-                p.states.push(s);
-            }
-            p.used = pos;
-        };
+    let place = |p: &mut OpenPartition, cc: &[u32], offset: usize, input: &MapInput| {
+        let mut pos = offset;
+        for &s in cc {
+            p.positions.push((s, pos));
+            pos += input.weights[s as usize] as usize;
+            p.states.push(s);
+        }
+        p.used = pos;
+    };
 
     for cc in &input.ccs {
         let weight = input.cc_weight(cc);
@@ -379,9 +378,7 @@ fn pack(design: DesignKind, input: MapInput, config: PackerConfig) -> Mapping {
                 .iter_mut()
                 .filter(|p| p.mode == config.band_mode)
             {
-                if let Some(offset) =
-                    fit_offset(p, chunk, chunk_weight, config.band, &input)
-                {
+                if let Some(offset) = fit_offset(p, chunk, chunk_weight, config.band, &input) {
                     place(p, chunk, offset, &input);
                     placed = true;
                     break;

@@ -122,6 +122,76 @@ pub fn evaluate_strided(
     }
 }
 
+/// Aggregate evaluation of one design serving a *batch* of independent
+/// input streams over one shared compiled plan — the multi-stream
+/// serving scenario the batched engine exists for.
+#[derive(Clone, Debug)]
+pub struct ServingReport {
+    /// The single-design rollup, with energy accumulated across every
+    /// stream in the batch.
+    pub design_report: DesignReport,
+    /// Reports per stream, in stream order.
+    pub reports_per_stream: Vec<usize>,
+    /// Total input bytes across the batch.
+    pub total_bytes: usize,
+}
+
+impl ServingReport {
+    /// Total reports across the batch.
+    pub fn total_reports(&self) -> usize {
+        self.reports_per_stream.iter().sum()
+    }
+
+    /// Mean energy per input byte across the batch, in nJ.
+    pub fn energy_per_byte_nj(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.design_report.energy.total().to_nanojoules() / self.total_bytes as f64
+        }
+    }
+}
+
+/// Evaluates a design serving many streams: compiles the automaton
+/// once, runs every stream through
+/// [`BatchSimulator`](cama_sim::BatchSimulator) with a single energy
+/// observer accumulating over the whole batch.
+///
+/// # Panics
+///
+/// Panics if a CAMA design is evaluated without a plan.
+pub fn evaluate_serving(
+    design: DesignKind,
+    nfa: &Nfa,
+    streams: &[&[u8]],
+    plan: Option<&EncodingPlan>,
+) -> ServingReport {
+    let lib = CircuitLibrary::tsmc28();
+    let mapping = map_design(design, nfa, plan);
+    let area = area_report(&mapping, &lib);
+    let timing = timing_report(design, &lib);
+
+    let compiled = cama_core::compiled::CompiledAutomaton::compile(nfa);
+    let batch = cama_sim::BatchSimulator::new(&compiled);
+    let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
+    let results = batch.run_all_with(streams.iter().copied(), &mut observer);
+
+    let reports_per_stream: Vec<usize> = results.iter().map(|r| r.reports.len()).collect();
+    let total_reports = reports_per_stream.iter().sum();
+    ServingReport {
+        design_report: DesignReport {
+            design,
+            area,
+            energy: observer.breakdown,
+            frequency_ghz: timing.operated_frequency_ghz,
+            reports: total_reports,
+            mapping,
+        },
+        reports_per_stream,
+        total_bytes: streams.iter().map(|s| s.len()).sum(),
+    }
+}
+
 /// Per-strided-state weights for the Figure 13 designs: the product of
 /// the two halves' CAM entry counts for CAMA (a 64-bit entry per
 /// first/second combination), the rectangle-pair product for Impala.
@@ -135,10 +205,7 @@ pub fn strided_weights(design: DesignKind, strided: &StridedNfa) -> Vec<u32> {
                     cama_core::bitwidth::rectangles(&state.first).len(),
                     cama_core::bitwidth::rectangles(&state.second).len(),
                 ),
-                _ => (
-                    entry_estimate(&state.first),
-                    entry_estimate(&state.second),
-                ),
+                _ => (entry_estimate(&state.first), entry_estimate(&state.second)),
             };
             (a.max(1) * b.max(1)).min(64) as u32
         })
@@ -197,6 +264,25 @@ mod tests {
                 assert!(camae.energy_per_byte_nj() <= other.energy_per_byte_nj());
             }
         }
+    }
+
+    #[test]
+    fn serving_batch_matches_per_stream_evaluation() {
+        let bench = Benchmark::Bro217;
+        let nfa = bench.generate(0.1);
+        let streams: Vec<Vec<u8>> = (0..6).map(|seed| bench.input(&nfa, 256, seed)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let serving = evaluate_serving(DesignKind::CamaE, &nfa, &refs, Some(&plan));
+        assert_eq!(serving.reports_per_stream.len(), 6);
+        assert_eq!(serving.total_bytes, 6 * 256);
+        // Per-stream report counts match independent single-stream runs.
+        for (stream, &count) in refs.iter().zip(&serving.reports_per_stream) {
+            let single = evaluate_with_plan(DesignKind::CamaE, &nfa, stream, Some(&plan));
+            assert_eq!(single.reports, count);
+        }
+        assert_eq!(serving.total_reports(), serving.design_report.reports);
+        assert!(serving.energy_per_byte_nj() > 0.0);
     }
 
     #[test]

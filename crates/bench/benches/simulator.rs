@@ -1,29 +1,77 @@
-//! Criterion benchmarks for the cycle engine: functional simulation
-//! throughput in input bytes per second, with and without the energy
-//! observer, plus the 2-stride engine.
+//! Criterion benchmarks for the cycle engine: interpreted vs compiled
+//! single-stream throughput on a Snort-like workload, batched
+//! multi-stream scaling (sequential and threaded), the energy-observer
+//! overhead, and the 2-stride engine.
 
 use cama_arch::designs::DesignKind;
 use cama_arch::energy::EnergyObserver;
 use cama_arch::mapping::map_design;
+use cama_core::compiled::CompiledAutomaton;
 use cama_core::stride::StridedNfa;
 use cama_encoding::EncodingPlan;
 use cama_mem::models::CircuitLibrary;
-use cama_sim::{Simulator, StridedSimulator};
+use cama_sim::{BatchSimulator, InterpSimulator, Simulator, StridedSimulator};
 use cama_workloads::Benchmark;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 const INPUT_LEN: usize = 4096;
 
-fn bench_functional(c: &mut Criterion) {
+/// Interpreted (structure-at-a-time) vs compiled (plan-based) execution
+/// of the same Snort-like workload over the same input.
+fn bench_interpreted_vs_compiled(c: &mut Criterion) {
     let nfa = Benchmark::Snort.generate(0.02);
     let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
     let mut group = c.benchmark_group("simulator");
     group.throughput(Throughput::Bytes(INPUT_LEN as u64));
-    group.bench_function("snort_functional", |b| {
+    group.bench_function("snort_interpreted", |b| {
+        let mut sim = InterpSimulator::new(&nfa);
+        b.iter(|| black_box(sim.run(black_box(&input))))
+    });
+    group.bench_function("snort_compiled", |b| {
         let mut sim = Simulator::new(&nfa);
         b.iter(|| black_box(sim.run(black_box(&input))))
     });
+    group.finish();
+}
+
+/// Batched multi-stream execution over one shared compiled plan:
+/// sequential scaling with stream count, and the threaded path.
+fn bench_batched(c: &mut Criterion) {
+    let nfa = Benchmark::Snort.generate(0.02);
+    let plan = CompiledAutomaton::compile(&nfa);
+    let batch = BatchSimulator::new(&plan);
+    let mut group = c.benchmark_group("batch");
+    for num_streams in [1usize, 4, 16] {
+        let streams: Vec<Vec<u8>> = (0..num_streams)
+            .map(|i| Benchmark::Snort.input(&nfa, INPUT_LEN, i as u64 + 1))
+            .collect();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        group.throughput(Throughput::Bytes((INPUT_LEN * num_streams) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sequential", num_streams),
+            &refs,
+            |b, refs| b.iter(|| black_box(batch.run_all(refs.iter().copied()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threads4", num_streams),
+            &refs,
+            |b, refs| b.iter(|| black_box(batch.run_parallel(refs, 4))),
+        );
+        // The naive serving loop: construct (and recompile) a Simulator
+        // per stream instead of sharing one plan.
+        group.bench_with_input(
+            BenchmarkId::new("per_stream_compile", num_streams),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    for stream in refs.iter() {
+                        black_box(Simulator::new(&nfa).run(stream));
+                    }
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -59,5 +107,11 @@ fn bench_strided(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_functional, bench_with_energy, bench_strided);
+criterion_group!(
+    benches,
+    bench_interpreted_vs_compiled,
+    bench_batched,
+    bench_with_energy,
+    bench_strided
+);
 criterion_main!(benches);

@@ -40,7 +40,9 @@ fn bench_search(c: &mut Criterion) {
 }
 
 fn bench_program(c: &mut Criterion) {
-    c.bench_function("cam_program_256", |b| b.iter(|| black_box(full_bank().len())));
+    c.bench_function("cam_program_256", |b| {
+        b.iter(|| black_box(full_bank().len()))
+    });
 }
 
 criterion_group!(benches, bench_search, bench_program);

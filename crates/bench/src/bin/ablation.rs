@@ -35,7 +35,10 @@ fn main() {
             format!("{:.1}%", 100.0 * (1.0 - no as f64 / raw as f64)),
         ]);
     }
-    println!("Ablation 1 — negation optimization (scale {scale})\n{}", no_table.render());
+    println!(
+        "Ablation 1 — negation optimization (scale {scale})\n{}",
+        no_table.render()
+    );
 
     // Ablation 2: frequency-first clustering vs naive symbol order.
     let mut cl_table = TextTable::new(["Benchmark", "clustered", "unclustered", "penalty"]);
@@ -85,14 +88,17 @@ fn main() {
                     }
                     cc.states.iter().all(|&s| {
                         nfa.successors(s).iter().all(|t| {
-                            position.get(t).is_none_or(|&pt| {
-                                ReducedCrossbar::supports(k, position[&s], pt)
-                            })
+                            position
+                                .get(t)
+                                .is_none_or(|&pt| ReducedCrossbar::supports(k, position[&s], pt))
                         })
                     })
                 })
                 .count();
-            row.push(format!("{:.1}%", 100.0 * fit as f64 / ccs.len().max(1) as f64));
+            row.push(format!(
+                "{:.1}%",
+                100.0 * fit as f64 / ccs.len().max(1) as f64
+            ));
         }
         k_table.row(row);
     }

@@ -101,7 +101,12 @@ pub fn table2(scale: f64) -> String {
 pub fn table3() -> String {
     let lib = CircuitLibrary::tsmc28();
     let mut table = TextTable::new([
-        "Type", "Size", "Energy(pJ)", "Delay(ps)", "Area(um2)", "Leakage(uA)",
+        "Type",
+        "Size",
+        "Energy(pJ)",
+        "Delay(ps)",
+        "Area(um2)",
+        "Leakage(uA)",
     ]);
     for model in lib.table_iii() {
         table.row([
@@ -114,7 +119,8 @@ pub fn table3() -> String {
         ]);
     }
     // Derived geometries quoted in the text.
-    for (rows, cols) in [(64usize, 256usize)] {
+    {
+        let (rows, cols) = (64usize, 256usize);
         let m = lib.model(cama_mem::models::ArrayKind::Cam8T, rows, cols);
         table.row([
             "Cam8T (derived)".to_string(),
@@ -164,7 +170,10 @@ pub fn table4() -> String {
             format!("{:.2}GHz", t.operated_frequency_ghz),
         ]);
     }
-    format!("Table IV — delays and frequency in 28nm\n{}", table.render())
+    format!(
+        "Table IV — delays and frequency in 28nm\n{}",
+        table.render()
+    )
 }
 
 /// Table V: switch mapping results for CA (baseline) and CAMA.
@@ -224,16 +233,15 @@ pub fn fig10(scale: f64) -> String {
             .iter()
             .map(|&d| {
                 let mapping = map_design(d, &nfa, d.is_cama().then_some(&plan));
-                cama_arch::area::area_report(&mapping, &lib).total().to_mm2()
+                cama_arch::area::area_report(&mapping, &lib)
+                    .total()
+                    .to_mm2()
             })
             .collect();
         for (i, r) in ratios.iter_mut().enumerate() {
             r.push(areas[i + 1] / areas[0]);
         }
-        if largest
-            .as_ref()
-            .is_none_or(|(_, a)| areas[3] > a[3])
-        {
+        if largest.as_ref().is_none_or(|(_, a)| areas[3] > a[3]) {
             largest = Some((
                 bench.name().to_string(),
                 [areas[0], areas[1], areas[2], areas[3]],
@@ -248,7 +256,10 @@ pub fn fig10(scale: f64) -> String {
             ratio(areas[3], areas[0]),
         ]);
     }
-    let mut out = format!("Figure 10 — area comparison (scale {scale})\n{}", table.render());
+    let mut out = format!(
+        "Figure 10 — area comparison (scale {scale})\n{}",
+        table.render()
+    );
     if let Some((name, areas)) = largest {
         let _ = writeln!(
             out,
@@ -408,12 +419,7 @@ pub fn fig12(scale: f64, input_len: usize) -> String {
 
 /// Figure 13: 2-stride CAMA vs 4-stride Impala energy per byte.
 pub fn fig13(scale: f64, input_len: usize) -> String {
-    let mut table = TextTable::new([
-        "Benchmark",
-        "2s-CAMA-E(nJ/B)",
-        "2s-CAMA-T",
-        "4s-Impala",
-    ]);
+    let mut table = TextTable::new(["Benchmark", "2s-CAMA-E(nJ/B)", "2s-CAMA-T", "4s-Impala"]);
     let mut impala_vs_e = Vec::new();
     let mut impala_vs_t = Vec::new();
     // The paper's Figure 13 omits the largest Dotstar variant.

@@ -67,9 +67,7 @@ pub fn from_str(text: &str) -> Result<Nfa> {
         .to_string();
     let mut builder = NfaBuilder::with_name(name);
     let mut ids: HashMap<&str, SteId> = HashMap::new();
-    let elements: Vec<&XmlElement> = network
-        .children_named("state-transition-element")
-        .collect();
+    let elements: Vec<&XmlElement> = network.children_named("state-transition-element").collect();
 
     for element in &elements {
         let text_id = element
@@ -117,9 +115,9 @@ pub fn from_str(text: &str) -> Result<Nfa> {
         let text_id = element.attr("id").expect("validated above");
         let from = ids[text_id];
         for activation in element.children_named("activate-on-match") {
-            let target = activation
-                .attr("element")
-                .ok_or_else(|| Error::InvalidAutomaton("activate-on-match without element".into()))?;
+            let target = activation.attr("element").ok_or_else(|| {
+                Error::InvalidAutomaton("activate-on-match without element".into())
+            })?;
             // References may be qualified as `network.id:port`; keep the
             // final id segment.
             let target = target.rsplit([':', '.']).next().unwrap_or(target);
@@ -161,7 +159,11 @@ pub fn to_string(nfa: &Nfa) -> String {
     let _ = writeln!(
         out,
         "  <automata-network id=\"{}\">",
-        xml::escape(if nfa.name().is_empty() { "anml" } else { nfa.name() })
+        xml::escape(if nfa.name().is_empty() {
+            "anml"
+        } else {
+            nfa.name()
+        })
     );
     for (i, ste) in nfa.stes().iter().enumerate() {
         let id = SteId(i as u32);
@@ -185,11 +187,7 @@ pub fn to_string(nfa: &Nfa) -> String {
             let _ = writeln!(out, "      <report-on-match reportcode=\"{code}\"/>");
         }
         for to in successors {
-            let _ = writeln!(
-                out,
-                "      <activate-on-match element=\"ste{}\"/>",
-                to.0
-            );
+            let _ = writeln!(out, "      <activate-on-match element=\"ste{}\"/>", to.0);
         }
         out.push_str("    </state-transition-element>\n");
     }
@@ -279,10 +277,7 @@ mod tests {
     #[test]
     fn parse_symbol_set_variants() {
         assert_eq!(parse_symbol_set("*").unwrap(), SymbolClass::FULL);
-        assert_eq!(
-            parse_symbol_set("x").unwrap(),
-            SymbolClass::singleton(b'x')
-        );
+        assert_eq!(parse_symbol_set("x").unwrap(), SymbolClass::singleton(b'x'));
         assert_eq!(parse_symbol_set("[0-9]").unwrap().len(), 10);
         assert!(parse_symbol_set("ab").is_err());
     }

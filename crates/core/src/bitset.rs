@@ -166,7 +166,43 @@ impl BitSet {
     /// Panics if the sets have different capacities.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset length mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Word-level intersection into a destination: `out = self & other`,
+    /// 64 bits per operation. `out`'s previous contents are overwritten.
+    ///
+    /// This is the building-block form of the compiled engine's
+    /// matching step (`active = match_vector & enabled`); the engine
+    /// itself fuses the same computation with its popcounts and scans
+    /// in `cama-sim`, while plan consumers that want the intersection
+    /// materialized use this combinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn and_into(&self, other: &BitSet, out: &mut BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        assert_eq!(self.len, out.len, "bitset length mismatch");
+        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a & b;
+        }
+    }
+
+    /// Word-level union into a destination: `out = self | other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn or_into(&self, other: &BitSet, out: &mut BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        assert_eq!(self.len, out.len, "bitset length mismatch");
+        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a | b;
+        }
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -191,6 +227,36 @@ impl BitSet {
     /// Access to the raw words, mostly for hashing or fast comparisons.
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Mutable access to the raw words, for fused word-level kernels
+    /// (the compiled engine computes `active = match & enabled`, its
+    /// popcounts, and the report scan in one pass over these words).
+    ///
+    /// Callers must keep bits at positions `>= len()` zero; every other
+    /// operation relies on that invariant.
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Iterates over the indices of `self & mask` without materializing
+    /// the intersection — e.g. picking the reporting states out of an
+    /// active vector by masking with a report mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn iter_and<'a>(&'a self, mask: &'a BitSet) -> IterAnd<'a> {
+        assert_eq!(self.len, mask.len, "bitset length mismatch");
+        IterAnd {
+            a: &self.words,
+            b: &mask.words,
+            word_idx: 0,
+            current: match (self.words.first(), mask.words.first()) {
+                (Some(&x), Some(&y)) => x & y,
+                _ => 0,
+            },
+        }
     }
 }
 
@@ -235,6 +301,33 @@ impl Iterator for Iter<'_> {
                 return None;
             }
             self.current = self.set.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * BITS + bit)
+    }
+}
+
+/// Iterator over the set bits of an intersection, created by
+/// [`BitSet::iter_and`].
+#[derive(Debug)]
+pub struct IterAnd<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterAnd<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.a.len() {
+                return None;
+            }
+            self.current = self.a[self.word_idx] & self.b[self.word_idx];
         }
         let bit = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1;
@@ -340,6 +433,45 @@ mod tests {
         let mut a = BitSet::new(8);
         let b = BitSet::new(16);
         a.union_with(&b);
+    }
+
+    #[test]
+    fn and_or_into_destinations() {
+        let a = BitSet::from_indices(130, [0, 63, 64, 100, 129]);
+        let b = BitSet::from_indices(130, [63, 64, 99, 129]);
+        let mut out = BitSet::full(130);
+        a.and_into(&b, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![63, 64, 129]);
+        a.or_into(&b, &mut out);
+        assert_eq!(
+            out.iter().collect::<Vec<_>>(),
+            vec![0, 63, 64, 99, 100, 129]
+        );
+    }
+
+    #[test]
+    fn iter_and_matches_materialized_intersection() {
+        let a = BitSet::from_indices(200, [1, 64, 65, 127, 128, 199]);
+        let b = BitSet::from_indices(200, [1, 65, 128, 130, 199]);
+        let mut materialized = a.clone();
+        materialized.intersect_with(&b);
+        assert_eq!(
+            a.iter_and(&b).collect::<Vec<_>>(),
+            materialized.iter().collect::<Vec<_>>()
+        );
+        let empty = BitSet::new(200);
+        assert_eq!(a.iter_and(&empty).count(), 0);
+        let zero = BitSet::new(0);
+        assert_eq!(zero.iter_and(&zero).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_into_length_mismatch_panics() {
+        let a = BitSet::new(8);
+        let b = BitSet::new(8);
+        let mut out = BitSet::new(16);
+        a.and_into(&b, &mut out);
     }
 
     #[test]

@@ -93,7 +93,10 @@ pub fn to_nibble_nfa(nfa: &Nfa) -> NibbleNfa {
 
     for ste in nfa.stes() {
         let rects = rectangles(&ste.class);
-        assert!(!rects.is_empty(), "empty symbol class in bitwidth transform");
+        assert!(
+            !rects.is_empty(),
+            "empty symbol class in bitwidth transform"
+        );
         let mut my_highs = Vec::with_capacity(rects.len());
         let mut my_lows = Vec::with_capacity(rects.len());
         for (high_class, low_class) in rects {
@@ -120,7 +123,9 @@ pub fn to_nibble_nfa(nfa: &Nfa) -> NibbleNfa {
     }
 
     NibbleNfa {
-        nfa: builder.build().expect("nibble transform preserves validity"),
+        nfa: builder
+            .build()
+            .expect("nibble transform preserves validity"),
         chain: 2,
     }
 }

@@ -1,0 +1,643 @@
+//! Compiled execution plans: the CAM-friendly dense layout of an
+//! automaton that the simulator executes.
+//!
+//! The paper's premise is that automata processing gets fast and
+//! energy-efficient when the NFA is *compiled down* to dense match and
+//! routing structures instead of interpreted pointer-chasing structure:
+//! a CAM array answers "which states accept this symbol" in one search,
+//! and a local switch answers "which states do the active ones enable"
+//! in one route. [`CompiledAutomaton`] is the software analogue:
+//!
+//! * a full 256-entry symbol → match-[`BitSet`] table covering **all**
+//!   STEs (the CAM search result for every possible input symbol);
+//! * a CSR adjacency — one offsets array plus one flat successor
+//!   array — replacing per-state `Vec` chasing (the switch fabric);
+//! * packed report metadata: a report mask plus rank-indexed codes;
+//! * precomputed start masks for both start kinds.
+//!
+//! With this plan the per-cycle step is word-level:
+//! `active = match_table[symbol] & enabled`, 64 states at a time, which
+//! is what `cama-sim`'s engines execute. [`CompiledStridedAutomaton`]
+//! is the same layout for 2-stride automata, where the pair match
+//! vector is the AND of two per-byte tables
+//! (`first_table[a] & second_table[b]`) — the software form of the
+//! paper's two-segment match CAM.
+
+use crate::bitset::BitSet;
+use crate::nfa::{Nfa, StartKind};
+use crate::stride::{ReportPhase, StridedNfa};
+use crate::symbol::ALPHABET;
+
+/// Packed report metadata shared by both compiled flavours: a mask of
+/// reporting states plus their codes stored rank-indexed (one entry per
+/// reporting state, not per state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ReportTable {
+    /// Bit `i` set iff state `i` reports.
+    mask: BitSet,
+    /// Number of reporting states in words `0..w` of `mask`, per word.
+    word_rank: Vec<u32>,
+    /// Report codes of reporting states, in state order.
+    codes: Vec<u32>,
+}
+
+impl ReportTable {
+    fn build(len: usize, reports: impl Iterator<Item = (usize, u32)>) -> ReportTable {
+        let mut mask = BitSet::new(len);
+        let mut codes = Vec::new();
+        for (state, code) in reports {
+            mask.insert(state);
+            codes.push(code);
+        }
+        let mut word_rank = Vec::with_capacity(mask.as_words().len());
+        let mut rank = 0u32;
+        for &word in mask.as_words() {
+            word_rank.push(rank);
+            rank += word.count_ones();
+        }
+        ReportTable {
+            mask,
+            word_rank,
+            codes,
+        }
+    }
+
+    /// The mask of reporting states.
+    fn mask(&self) -> &BitSet {
+        &self.mask
+    }
+
+    /// The rank of a reporting `state`: its index into the packed
+    /// per-reporting-state arrays (`codes`, and the strided `phases`).
+    fn rank(&self, state: usize) -> usize {
+        let word = state / 64;
+        let below = self.mask.as_words()[word] & ((1u64 << (state % 64)) - 1);
+        self.word_rank[word] as usize + below.count_ones() as usize
+    }
+
+    /// The report code of `state`, which must be reporting.
+    fn code(&self, state: usize) -> u32 {
+        self.codes[self.rank(state)]
+    }
+
+    fn code_checked(&self, state: usize) -> Option<u32> {
+        if state < self.mask.len() && self.mask.contains(state) {
+            Some(self.code(state))
+        } else {
+            None
+        }
+    }
+}
+
+/// The dense, immutable execution plan compiled from an [`Nfa`].
+///
+/// A plan is self-contained (it does not borrow the source automaton),
+/// `Sync`, and intended to be shared: one compiled plan can drive any
+/// number of concurrent stream simulations.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::compiled::CompiledAutomaton;
+/// use cama_core::regex;
+///
+/// let nfa = regex::compile("(a|b)e*cd+")?;
+/// let plan = CompiledAutomaton::compile(&nfa);
+/// assert_eq!(plan.len(), nfa.len());
+/// // Every state whose class contains b'c' is in the match vector.
+/// let matched = plan.match_vector(b'c');
+/// assert_eq!(
+///     matched.iter().count(),
+///     nfa.stes().iter().filter(|s| s.class.contains(b'c')).count()
+/// );
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledAutomaton {
+    len: usize,
+    name: String,
+    /// `match_table[sym]`: all states whose class accepts `sym`.
+    match_table: Vec<BitSet>,
+    /// Two-level hierarchy over `match_table`: bit `j` of
+    /// `match_any[sym]` is set iff word `j` of `match_table[sym]` is
+    /// nonzero. The engine uses these the way CAMA uses selective
+    /// precharge: 64-state words that cannot match a symbol are never
+    /// visited.
+    match_any: Vec<Vec<u64>>,
+    /// `start_match[sym] = match_table[sym] & all_input`: the statically
+    /// enabled states that accept `sym`, precompiled so the per-cycle
+    /// start injection touches only the (typically very few) words where
+    /// a start state actually matches.
+    start_match: Vec<BitSet>,
+    /// Summary hierarchy over `start_match`.
+    start_match_any: Vec<Vec<u64>>,
+    /// CSR adjacency: successors of state `i` are
+    /// `successors[succ_offsets[i]..succ_offsets[i + 1]]`.
+    succ_offsets: Vec<u32>,
+    successors: Vec<u32>,
+    /// States enabled statically on every symbol (`all-input` starts).
+    all_input: BitSet,
+    /// Summary of `all_input`, one bit per 64-state word.
+    all_input_any: Vec<u64>,
+    /// States enabled only at cycle 0 (`start-of-data` starts).
+    start_of_data: BitSet,
+    /// Summary of `start_of_data`, one bit per 64-state word.
+    start_of_data_any: Vec<u64>,
+    reports: ReportTable,
+}
+
+/// Builds the one-bit-per-word nonzero summary of a bit set.
+fn word_summary(set: &BitSet) -> Vec<u64> {
+    let words = set.as_words();
+    let mut summary = vec![0u64; words.len().div_ceil(64)];
+    for (j, &word) in words.iter().enumerate() {
+        if word != 0 {
+            summary[j / 64] |= 1u64 << (j % 64);
+        }
+    }
+    summary
+}
+
+impl CompiledAutomaton {
+    /// Compiles `nfa` into its dense execution plan.
+    pub fn compile(nfa: &Nfa) -> CompiledAutomaton {
+        let n = nfa.len();
+        let mut match_table = vec![BitSet::new(n); ALPHABET];
+        let mut all_input = BitSet::new(n);
+        let mut start_of_data = BitSet::new(n);
+        for (i, ste) in nfa.stes().iter().enumerate() {
+            for symbol in ste.class.iter() {
+                match_table[symbol as usize].insert(i);
+            }
+            match ste.start {
+                StartKind::AllInput => all_input.insert(i),
+                StartKind::StartOfData => start_of_data.insert(i),
+                StartKind::None => {}
+            }
+        }
+
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        let mut successors = Vec::with_capacity(nfa.num_edges());
+        succ_offsets.push(0);
+        for i in 0..n {
+            successors.extend(
+                nfa.successors(crate::nfa::SteId(i as u32))
+                    .iter()
+                    .map(|s| s.0),
+            );
+            succ_offsets.push(successors.len() as u32);
+        }
+
+        let reports = ReportTable::build(
+            n,
+            nfa.stes()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.report.map(|code| (i, code))),
+        );
+
+        let match_any = match_table.iter().map(word_summary).collect();
+        let start_match: Vec<BitSet> = match_table
+            .iter()
+            .map(|row| {
+                let mut statically_matched = row.clone();
+                statically_matched.intersect_with(&all_input);
+                statically_matched
+            })
+            .collect();
+        let start_match_any = start_match.iter().map(word_summary).collect();
+        let all_input_any = word_summary(&all_input);
+        let start_of_data_any = word_summary(&start_of_data);
+
+        CompiledAutomaton {
+            len: n,
+            name: nfa.name().to_string(),
+            match_table,
+            match_any,
+            start_match,
+            start_match_any,
+            succ_offsets,
+            successors,
+            all_input,
+            all_input_any,
+            start_of_data,
+            start_of_data_any,
+            reports,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan has no states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The compiled automaton's name (inherited from the NFA).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of activation edges.
+    pub fn num_edges(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// The match vector of `symbol`: every state accepting it.
+    pub fn match_vector(&self, symbol: u8) -> &BitSet {
+        &self.match_table[symbol as usize]
+    }
+
+    /// The word-level summary of [`match_vector`](Self::match_vector):
+    /// bit `j` set iff word `j` of the match vector is nonzero.
+    pub fn match_any(&self, symbol: u8) -> &[u64] {
+        &self.match_any[symbol as usize]
+    }
+
+    /// The statically matched start states for `symbol`:
+    /// `match_vector(symbol) & all_input_mask()`.
+    pub fn start_match(&self, symbol: u8) -> &BitSet {
+        &self.start_match[symbol as usize]
+    }
+
+    /// The word-level summary of [`start_match`](Self::start_match).
+    pub fn start_match_any(&self, symbol: u8) -> &[u64] {
+        &self.start_match_any[symbol as usize]
+    }
+
+    /// The word-level summary of [`all_input_mask`](Self::all_input_mask).
+    pub fn all_input_any(&self) -> &[u64] {
+        &self.all_input_any
+    }
+
+    /// The word-level summary of
+    /// [`start_of_data_mask`](Self::start_of_data_mask).
+    pub fn start_of_data_any(&self) -> &[u64] {
+        &self.start_of_data_any
+    }
+
+    /// CSR successor slice of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn successors(&self, state: usize) -> &[u32] {
+        &self.successors[self.succ_offsets[state] as usize..self.succ_offsets[state + 1] as usize]
+    }
+
+    /// States statically enabled on every cycle (`all-input` starts).
+    pub fn all_input_mask(&self) -> &BitSet {
+        &self.all_input
+    }
+
+    /// States enabled only on the first cycle (`start-of-data` starts).
+    pub fn start_of_data_mask(&self) -> &BitSet {
+        &self.start_of_data
+    }
+
+    /// The mask of reporting states.
+    pub fn report_mask(&self) -> &BitSet {
+        self.reports.mask()
+    }
+
+    /// The report code of `state`, or `None` if it does not report.
+    pub fn report_code(&self, state: usize) -> Option<u32> {
+        self.reports.code_checked(state)
+    }
+
+    /// The report code of a state known to report (the fast path used
+    /// inside the cycle loop, O(1) via the packed rank directory).
+    ///
+    /// # Panics
+    ///
+    /// May panic or return an arbitrary code if `state` is not
+    /// reporting; callers must consult [`report_mask`](Self::report_mask)
+    /// first.
+    pub fn report_code_unchecked(&self, state: usize) -> u32 {
+        self.reports.code(state)
+    }
+
+    /// Computes one cycle's enable vector into `out`:
+    /// `dynamic ∪ all-input starts (if injecting) ∪ start-of-data starts
+    /// (if first cycle)` — all word-level. This is the materialized form
+    /// of the enable set for plan consumers; the engines in `cama-sim`
+    /// fuse the same union into their per-word visit loop instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ from [`len`](Self::len).
+    pub fn enabled_into(
+        &self,
+        dynamic: &BitSet,
+        inject_starts: bool,
+        first_cycle: bool,
+        out: &mut BitSet,
+    ) {
+        out.copy_from(dynamic);
+        if inject_starts {
+            out.union_with(&self.all_input);
+        }
+        if first_cycle {
+            out.union_with(&self.start_of_data);
+        }
+    }
+}
+
+/// The dense execution plan compiled from a [`StridedNfa`].
+///
+/// A 2-stride state accepts the pair `(a, b)` when its first class
+/// contains `a` and its second class contains `b`, so the pair match
+/// vector factors into two 256-entry tables combined with one AND:
+/// `first_table[a] & second_table[b]`. This avoids the 64 Ki-entry
+/// squared-alphabet table while keeping the step word-level.
+#[derive(Clone, Debug)]
+pub struct CompiledStridedAutomaton {
+    len: usize,
+    name: String,
+    first_table: Vec<BitSet>,
+    second_table: Vec<BitSet>,
+    succ_offsets: Vec<u32>,
+    successors: Vec<u32>,
+    all_input: BitSet,
+    start_of_data: BitSet,
+    reports: ReportTable,
+    /// Phase of each reporting state, rank-indexed like the codes.
+    phases: Vec<ReportPhase>,
+}
+
+impl CompiledStridedAutomaton {
+    /// Compiles a strided automaton into its dense execution plan.
+    pub fn compile(nfa: &StridedNfa) -> CompiledStridedAutomaton {
+        let n = nfa.len();
+        let mut first_table = vec![BitSet::new(n); ALPHABET];
+        let mut second_table = vec![BitSet::new(n); ALPHABET];
+        let mut all_input = BitSet::new(n);
+        let mut start_of_data = BitSet::new(n);
+        let mut phases = Vec::new();
+        for (i, state) in nfa.states().iter().enumerate() {
+            for symbol in state.first.iter() {
+                first_table[symbol as usize].insert(i);
+            }
+            for symbol in state.second.iter() {
+                second_table[symbol as usize].insert(i);
+            }
+            match state.start {
+                StartKind::AllInput => all_input.insert(i),
+                StartKind::StartOfData => start_of_data.insert(i),
+                StartKind::None => {}
+            }
+            if let Some((_, phase)) = state.report {
+                phases.push(phase);
+            }
+        }
+
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        let mut successors = Vec::with_capacity(nfa.num_edges());
+        succ_offsets.push(0);
+        for i in 0..n {
+            successors.extend_from_slice(nfa.successors(i));
+            succ_offsets.push(successors.len() as u32);
+        }
+
+        let reports = ReportTable::build(
+            n,
+            nfa.states()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.report.map(|(code, _)| (i, code))),
+        );
+
+        CompiledStridedAutomaton {
+            len: n,
+            name: nfa.name().to_string(),
+            first_table,
+            second_table,
+            succ_offsets,
+            successors,
+            all_input,
+            start_of_data,
+            reports,
+            phases,
+        }
+    }
+
+    /// Number of strided states.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan has no states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The compiled automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of activation edges.
+    pub fn num_edges(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// The first-symbol match vector: states whose first class accepts
+    /// `symbol`.
+    pub fn first_table(&self, symbol: u8) -> &BitSet {
+        &self.first_table[symbol as usize]
+    }
+
+    /// The second-symbol match vector: states whose second class accepts
+    /// `symbol`.
+    pub fn second_table(&self, symbol: u8) -> &BitSet {
+        &self.second_table[symbol as usize]
+    }
+
+    /// Computes the pair match vector `first_table[a] & second_table[b]`
+    /// into `out` — the materialized form for plan consumers; the
+    /// strided engine fuses the same AND into its per-word step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s capacity differs from [`len`](Self::len).
+    pub fn match_pair_into(&self, a: u8, b: u8, out: &mut BitSet) {
+        self.first_table[a as usize].and_into(&self.second_table[b as usize], out);
+    }
+
+    /// CSR successor slice of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn successors(&self, state: usize) -> &[u32] {
+        &self.successors[self.succ_offsets[state] as usize..self.succ_offsets[state + 1] as usize]
+    }
+
+    /// Strided states statically enabled on every pair cycle.
+    pub fn all_input_mask(&self) -> &BitSet {
+        &self.all_input
+    }
+
+    /// Strided states enabled only on the first pair cycle.
+    pub fn start_of_data_mask(&self) -> &BitSet {
+        &self.start_of_data
+    }
+
+    /// The mask of reporting states.
+    pub fn report_mask(&self) -> &BitSet {
+        self.reports.mask()
+    }
+
+    /// The `(code, phase)` of a reporting state (O(1), packed).
+    ///
+    /// # Panics
+    ///
+    /// May panic or return arbitrary data if `state` is not reporting.
+    pub fn report_unchecked(&self, state: usize) -> (u32, ReportPhase) {
+        let rank = self.reports.rank(state);
+        (self.reports.codes[rank], self.phases[rank])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex;
+    use crate::symbol::SymbolClass;
+    use crate::{NfaBuilder, SteId};
+
+    #[test]
+    fn match_table_covers_all_states() {
+        let nfa = regex::compile("(a|b)e*cd+").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        for symbol in 0..=255u8 {
+            let expected: Vec<usize> = nfa
+                .stes()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.class.contains(symbol))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(
+                plan.match_vector(symbol).iter().collect::<Vec<_>>(),
+                expected,
+                "symbol {symbol}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_matches_nfa_successors() {
+        let nfa = regex::compile("x[0-9]+y").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        assert_eq!(plan.num_edges(), nfa.num_edges());
+        for i in 0..nfa.len() {
+            let expected: Vec<u32> = nfa
+                .successors(SteId(i as u32))
+                .iter()
+                .map(|s| s.0)
+                .collect();
+            assert_eq!(plan.successors(i), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn start_masks_partition_start_kinds() {
+        let mut b = NfaBuilder::new();
+        let all = b.add_ste(SymbolClass::singleton(b'a'));
+        let sod = b.add_ste(SymbolClass::singleton(b'b'));
+        let plain = b.add_ste(SymbolClass::singleton(b'c'));
+        b.set_start(all, StartKind::AllInput);
+        b.set_start(sod, StartKind::StartOfData);
+        b.add_edge(all, plain);
+        let nfa = b.build().unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        assert_eq!(plan.all_input_mask().iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            plan.start_of_data_mask().iter().collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn packed_report_codes_are_recovered() {
+        let mut b = NfaBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..200u32 {
+            let id = b.add_ste(SymbolClass::singleton(b'a'));
+            b.set_start(id, StartKind::AllInput);
+            if i % 3 == 0 {
+                b.set_report(id, i * 10 + 1);
+            }
+            ids.push(id);
+        }
+        let nfa = b.build().unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        for i in 0..200usize {
+            let expected = nfa.ste(SteId(i as u32)).report;
+            assert_eq!(plan.report_code(i), expected, "state {i}");
+            if let Some(code) = expected {
+                assert!(plan.report_mask().contains(i));
+                assert_eq!(plan.report_code_unchecked(i), code);
+            }
+        }
+    }
+
+    #[test]
+    fn enabled_into_combines_sources() {
+        let nfa = regex::compile("ab").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut dynamic = BitSet::new(plan.len());
+        dynamic.insert(1);
+        let mut out = BitSet::new(plan.len());
+        plan.enabled_into(&dynamic, false, false, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1]);
+        plan.enabled_into(&dynamic, true, false, &mut out);
+        assert!(out.contains(0), "all-input start joins when injecting");
+    }
+
+    #[test]
+    fn strided_pair_match_factorizes() {
+        let nfa = regex::compile("ab+c").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let plan = CompiledStridedAutomaton::compile(&strided);
+        let mut out = BitSet::new(plan.len());
+        for &(a, b) in &[(b'a', b'b'), (b'b', b'c'), (b'z', b'z'), (b'a', b'a')] {
+            plan.match_pair_into(a, b, &mut out);
+            let expected: Vec<usize> = strided
+                .states()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.matches(a, b))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(out.iter().collect::<Vec<_>>(), expected, "pair {a},{b}");
+        }
+    }
+
+    #[test]
+    fn strided_reports_pack_code_and_phase() {
+        let nfa = regex::compile("ab").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let plan = CompiledStridedAutomaton::compile(&strided);
+        for (i, state) in strided.states().iter().enumerate() {
+            if let Some((code, phase)) = state.report {
+                assert!(plan.report_mask().contains(i));
+                assert_eq!(plan.report_unchecked(i), (code, phase));
+            } else {
+                assert!(!plan.report_mask().contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_automaton_compiles() {
+        let nfa = NfaBuilder::new().build().unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        assert!(plan.is_empty());
+        assert_eq!(plan.num_edges(), 0);
+    }
+}

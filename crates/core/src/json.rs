@@ -374,10 +374,7 @@ mod tests {
 
     #[test]
     fn unicode_escape() {
-        assert_eq!(
-            parse(r#""Aé""#).unwrap(),
-            JsonValue::String("Aé".into())
-        );
+        assert_eq!(parse(r#""Aé""#).unwrap(), JsonValue::String("Aé".into()));
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //!
 //! * [`SymbolClass`] — 256-bit symbol sets with negation support;
 //! * [`Nfa`]/[`NfaBuilder`] — the homogeneous (ANML-style) NFA of STEs;
+//! * [`compiled`] — dense CAM-friendly execution plans (full symbol →
+//!   match-vector tables, CSR adjacency, packed report metadata) that
+//!   the simulator engines run on;
 //! * [`regex`] — a regex parser and Glushkov compiler to homogeneous NFAs;
 //! * [`anml`] and [`mnrl`] — readers/writers for the interchange formats
 //!   used by ANMLZoo and the automata-processing toolchains;
@@ -30,6 +33,7 @@
 pub mod anml;
 pub mod bitset;
 pub mod bitwidth;
+pub mod compiled;
 pub mod error;
 pub mod graph;
 pub mod json;
@@ -41,6 +45,7 @@ pub mod stride;
 pub mod symbol;
 pub mod xml;
 
+pub use compiled::{CompiledAutomaton, CompiledStridedAutomaton};
 pub use error::{Error, Result};
 pub use nfa::{BuildOptions, Nfa, NfaBuilder, StartKind, Ste, SteId};
 pub use symbol::{SymbolClass, ALPHABET};

@@ -100,8 +100,7 @@ pub fn from_str(text: &str) -> Result<Nfa> {
     for node in nodes {
         let node_id = node.get("id").and_then(JsonValue::as_str).expect("checked");
         let from = ids[node_id];
-        let Some(connections) = node.get("outputConnections").and_then(JsonValue::as_array)
-        else {
+        let Some(connections) = node.get("outputConnections").and_then(JsonValue::as_array) else {
             continue;
         };
         for port in connections {
@@ -131,7 +130,10 @@ pub fn to_string(nfa: &Nfa) -> String {
             let id = SteId(i as u32);
             let ste = nfa.ste(id);
             let mut node = BTreeMap::new();
-            node.insert("id".to_string(), JsonValue::from(format!("ste{i}").as_str()));
+            node.insert(
+                "id".to_string(),
+                JsonValue::from(format!("ste{i}").as_str()),
+            );
             node.insert("type".to_string(), JsonValue::from("hState"));
             node.insert(
                 "enable".to_string(),

@@ -444,10 +444,7 @@ mod tests {
         let mut builder = NfaBuilder::new();
         let a = builder.add_ste(SymbolClass::EMPTY);
         builder.set_start(a, StartKind::AllInput);
-        assert!(matches!(
-            builder.build(),
-            Err(Error::InvalidAutomaton(_))
-        ));
+        assert!(matches!(builder.build(), Err(Error::InvalidAutomaton(_))));
     }
 
     #[test]

@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn alternate_flattens() {
         let ast = Ast::alternate(Ast::alternate(lit(b'a'), lit(b'b')), lit(b'c'));
-        assert_eq!(
-            ast,
-            Ast::Alternate(vec![lit(b'a'), lit(b'b'), lit(b'c')])
-        );
+        assert_eq!(ast, Ast::Alternate(vec![lit(b'a'), lit(b'b'), lit(b'c')]));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::nfa::{Nfa, NfaBuilder, StartKind, SteId};
 use crate::symbol::SymbolClass;
 
 /// Options controlling [`compile_ast`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CompileOptions {
     /// When `false` (default) the pattern scans unanchored: its first
     /// positions are `all-input` start states and a match may begin at
@@ -20,15 +20,6 @@ pub struct CompileOptions {
     pub anchored: bool,
     /// Report code attached to the pattern's accepting STEs.
     pub report_code: u32,
-}
-
-impl Default for CompileOptions {
-    fn default() -> Self {
-        CompileOptions {
-            anchored: false,
-            report_code: 0,
-        }
-    }
 }
 
 /// Compiles a parsed [`Ast`] into a homogeneous NFA.

@@ -308,7 +308,9 @@ fn class_word() -> SymbolClass {
 }
 
 fn class_space() -> SymbolClass {
-    [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c].into_iter().collect()
+    [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c]
+        .into_iter()
+        .collect()
 }
 
 fn desugar_repeat(ast: Ast, min: u32, max: Option<u32>, offset: usize) -> Result<Ast> {
@@ -372,7 +374,10 @@ mod tests {
 
     #[test]
     fn literals_and_concat() {
-        assert_eq!(parse("ab").unwrap(), Ast::Concat(vec![lit(b'a'), lit(b'b')]));
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![lit(b'a'), lit(b'b')])
+        );
         assert_eq!(parse("a").unwrap(), lit(b'a'));
     }
 

@@ -341,9 +341,7 @@ mod tests {
             .states()
             .iter()
             .enumerate()
-            .find(|(_, s)| {
-                s.first.contains(b'd') && s.second.contains(b'd') && !s.first.is_full()
-            })
+            .find(|(_, s)| s.first.contains(b'd') && s.second.contains(b'd') && !s.first.is_full())
             .expect("d,d edge state");
         assert!(strided.successors(idx).contains(&(idx as u32)));
     }

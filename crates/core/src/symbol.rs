@@ -123,7 +123,10 @@ impl SymbolClass {
 
     /// Returns `true` if every symbol of `self` is accepted by `other`.
     pub fn is_subset(&self, other: &SymbolClass) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// The lowest accepted symbol, if any.

@@ -111,7 +111,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn line(&self) -> usize {
-        1 + self.input[..self.pos].iter().filter(|&&b| b == b'\n').count()
+        1 + self.input[..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
     }
 
     fn error(&self, message: &str) -> Error {

@@ -181,7 +181,10 @@ impl Code {
     /// above `len`.
     pub fn new(zeros: impl Into<Mask>, len: usize) -> Self {
         let zeros = zeros.into();
-        assert!(len <= MAX_CODE_LEN, "code length {len} exceeds {MAX_CODE_LEN}");
+        assert!(
+            len <= MAX_CODE_LEN,
+            "code length {len} exceeds {MAX_CODE_LEN}"
+        );
         assert!(
             zeros.is_subset_of(&Mask::low(len)),
             "zero mask has bits beyond length {len}"

@@ -110,12 +110,7 @@ impl EncodingPlan {
         Self::encode_states(nfa, selection, codebook, false)
     }
 
-    fn encode_states(
-        nfa: &Nfa,
-        selection: Selection,
-        codebook: Codebook,
-        negation: bool,
-    ) -> Self {
+    fn encode_states(nfa: &Nfa, selection: Selection, codebook: Codebook, negation: bool) -> Self {
         let domain = codebook.domain();
         let full_domain = domain.len() == ALPHABET;
         // Compression is deterministic per (class, negated) pair; real
@@ -330,10 +325,7 @@ mod tests {
     fn memory_bits_accounting() {
         let nfa = regex::compile("ab").unwrap();
         let plan = EncodingPlan::for_nfa(&nfa);
-        assert_eq!(
-            plan.memory_bits(),
-            plan.code_len() * plan.total_entries()
-        );
+        assert_eq!(plan.memory_bits(), plan.code_len() * plan.total_entries());
     }
 
     #[test]

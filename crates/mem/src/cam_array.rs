@@ -71,7 +71,10 @@ impl CamBank {
     ///
     /// Panics on zero width or capacity.
     pub fn new(width: usize, capacity: usize) -> Self {
-        assert!(width > 0 && capacity > 0, "bank must have non-zero geometry");
+        assert!(
+            width > 0 && capacity > 0,
+            "bank must have non-zero geometry"
+        );
         CamBank {
             width,
             capacity,

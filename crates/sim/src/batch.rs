@@ -1,0 +1,244 @@
+//! Batched multi-stream simulation over one shared compiled plan — the
+//! serving scenario: one compiled ruleset, many independent inputs.
+//!
+//! A [`CompiledAutomaton`] is immutable and `Sync`, so a single plan
+//! can drive any number of streams with only per-stream enable vectors
+//! as mutable state. [`BatchSimulator`] exposes:
+//!
+//! * [`results`](BatchSimulator::results) — a lazy sequential iterator
+//!   reusing one scratch state across streams (no per-stream
+//!   allocation beyond the report vectors);
+//! * [`run_all`](BatchSimulator::run_all) — eager collection;
+//! * [`run_parallel`](BatchSimulator::run_parallel) — a scoped-thread
+//!   fan-out splitting the streams over OS threads. (The environment
+//!   this repo builds in has no registry access, so the data-parallel
+//!   path uses `std::thread::scope` rather than an external `rayon`
+//!   dependency; the chunking shape is the same.)
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::compiled::CompiledAutomaton;
+//! use cama_core::regex;
+//! use cama_sim::BatchSimulator;
+//!
+//! let nfa = regex::compile("ab+")?;
+//! let plan = CompiledAutomaton::compile(&nfa);
+//! let batch = BatchSimulator::new(&plan);
+//! let streams: Vec<&[u8]> = vec![b"zabbz", b"ab", b"none"];
+//! let results = batch.run_all(streams.iter().copied());
+//! assert_eq!(results[0].report_offsets(), vec![2, 3]);
+//! assert_eq!(results[1].report_offsets(), vec![1]);
+//! assert!(results[2].reports.is_empty());
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+
+use crate::activity::NullObserver;
+use crate::engine::CycleState;
+use crate::result::RunResult;
+use cama_core::compiled::CompiledAutomaton;
+
+/// Runs many independent input streams over one shared
+/// [`CompiledAutomaton`].
+#[derive(Clone, Debug)]
+pub struct BatchSimulator<'p> {
+    plan: &'p CompiledAutomaton,
+    /// Sub-symbols per original symbol (1 for byte automata; e.g. 2 for
+    /// nibble streams).
+    chain: usize,
+}
+
+impl<'p> BatchSimulator<'p> {
+    /// Creates a batch runner over a shared compiled plan.
+    pub fn new(plan: &'p CompiledAutomaton) -> Self {
+        BatchSimulator { plan, chain: 1 }
+    }
+
+    /// Uses multi-step execution with the given chain length (for
+    /// bit-width-transformed automata consuming sub-symbol streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn with_chain(plan: &'p CompiledAutomaton, chain: usize) -> Self {
+        assert!(chain > 0, "chain must be positive");
+        BatchSimulator { plan, chain }
+    }
+
+    /// The shared compiled plan.
+    pub fn plan(&self) -> &'p CompiledAutomaton {
+        self.plan
+    }
+
+    /// Runs a single stream from a fresh state.
+    pub fn run_stream(&self, input: &[u8]) -> RunResult {
+        let mut state = CycleState::new(self.plan.len());
+        state.run_stream(self.plan, input, self.chain, &mut NullObserver)
+    }
+
+    /// Lazily yields one [`RunResult`] per stream, in order, reusing a
+    /// single scratch state across the whole batch.
+    pub fn results<'s, I>(&self, streams: I) -> impl Iterator<Item = RunResult> + use<'p, 's, I>
+    where
+        I: IntoIterator<Item = &'s [u8]>,
+    {
+        let mut state = CycleState::new(self.plan.len());
+        let plan = self.plan;
+        let chain = self.chain;
+        streams
+            .into_iter()
+            .map(move |input| state.run_stream(plan, input, chain, &mut NullObserver))
+    }
+
+    /// Runs every stream sequentially and collects the results.
+    pub fn run_all<'s, I>(&self, streams: I) -> Vec<RunResult>
+    where
+        I: IntoIterator<Item = &'s [u8]>,
+    {
+        self.results(streams).collect()
+    }
+
+    /// [`run_all`](Self::run_all) with a per-cycle observer shared
+    /// across the whole batch — the architecture models use this to
+    /// accumulate one energy breakdown over a serving batch.
+    pub fn run_all_with<'s, I>(
+        &self,
+        streams: I,
+        observer: &mut impl crate::activity::Observer,
+    ) -> Vec<RunResult>
+    where
+        I: IntoIterator<Item = &'s [u8]>,
+    {
+        let mut state = CycleState::new(self.plan.len());
+        streams
+            .into_iter()
+            .map(|input| state.run_stream(self.plan, input, self.chain, observer))
+            .collect()
+    }
+
+    /// Runs the streams across `threads` OS threads (scoped), returning
+    /// results in stream order. `threads` is clamped to the number of
+    /// streams; `0` selects [`std::thread::available_parallelism`].
+    pub fn run_parallel(&self, streams: &[&[u8]], threads: usize) -> Vec<RunResult> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let threads = threads.min(streams.len()).max(1);
+        if threads <= 1 {
+            return self.run_all(streams.iter().copied());
+        }
+
+        // Contiguous chunks, sized so every thread gets within one
+        // stream of the same count.
+        let chunk = streams.len().div_ceil(threads);
+        let mut results: Vec<Vec<RunResult>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut state = CycleState::new(self.plan.len());
+                        part.iter()
+                            .map(|input| {
+                                state.run_stream(self.plan, input, self.chain, &mut NullObserver)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use cama_core::bitwidth::{to_nibble_nfa, to_nibble_stream};
+    use cama_core::regex;
+
+    fn streams() -> Vec<Vec<u8>> {
+        (0..37)
+            .map(|i| {
+                (0..(i * 7 % 50))
+                    .map(|j| b"abcxz"[(i + j) % 5])
+                    .collect::<Vec<u8>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_single_stream_engine() {
+        let nfa = regex::compile("a(b|c)+x").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let batch = BatchSimulator::new(&plan);
+        let inputs = streams();
+        let results = batch.run_all(inputs.iter().map(Vec::as_slice));
+        assert_eq!(results.len(), inputs.len());
+        let mut single = Simulator::new(&nfa);
+        for (input, got) in inputs.iter().zip(&results) {
+            assert_eq!(&single.run(input), got);
+        }
+    }
+
+    #[test]
+    fn lazy_iterator_is_in_order_and_resets() {
+        let nfa = regex::compile("ab").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let batch = BatchSimulator::new(&plan);
+        // First stream ends in 'a': without a reset the following 'b'
+        // stream would complete the match.
+        let inputs: Vec<&[u8]> = vec![b"xa", b"b", b"ab"];
+        let offsets: Vec<Vec<usize>> = batch
+            .results(inputs.iter().copied())
+            .map(|r| r.report_offsets())
+            .collect();
+        assert_eq!(offsets, vec![vec![], vec![], vec![1]]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let nfa = regex::compile("(a|b)c+x").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let batch = BatchSimulator::new(&plan);
+        let inputs = streams();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let sequential = batch.run_all(refs.iter().copied());
+        for threads in [0, 1, 2, 3, 8, 64] {
+            assert_eq!(
+                batch.run_parallel(&refs, threads),
+                sequential,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_on_empty_batch() {
+        let nfa = regex::compile("a").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let batch = BatchSimulator::new(&plan);
+        assert!(batch.run_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn chained_batch_runs_nibble_streams() {
+        let nfa = regex::compile("ab+c").unwrap();
+        let nibble = to_nibble_nfa(&nfa);
+        let plan = CompiledAutomaton::compile(&nibble.nfa);
+        let batch = BatchSimulator::with_chain(&plan, nibble.chain);
+        let inputs: Vec<&[u8]> = vec![b"zabbc", b"abc", b"bbcc"];
+        let nibble_streams: Vec<Vec<u8>> = inputs.iter().map(|i| to_nibble_stream(i)).collect();
+        let mut single = Simulator::new(&nibble.nfa);
+        for (stream, result) in nibble_streams
+            .iter()
+            .zip(batch.run_all(nibble_streams.iter().map(Vec::as_slice)))
+        {
+            assert_eq!(single.run_multistep(stream, nibble.chain), result);
+        }
+    }
+}

@@ -1,54 +1,258 @@
-//! The core cycle engine.
+//! The core cycle engine, running on a compiled execution plan.
 //!
 //! Per cycle (one input symbol), exactly the two steps of Figure 1:
 //!
 //! 1. **State matching** — the set of STEs whose class contains the
-//!    symbol;
-//! 2. **State transition** — active = matched ∧ enabled; report active
-//!    reporting STEs; the next enable vector is the union of the active
-//!    states' successors (plus the always-enabled start states).
+//!    symbol. The compiled plan precomputes a full 256-entry symbol →
+//!    match-vector table, so this is one table lookup.
+//! 2. **State transition** — `active = matched ∧ enabled`, word-level
+//!    (64 states per operation); report active reporting STEs through
+//!    the packed report table; the next enable vector is the union of
+//!    the active states' CSR successors (plus the always-enabled start
+//!    states).
 //!
-//! For performance the engine splits the enable vector into a *static*
-//! part (`all-input` start states, which never toggle — the hardware
-//! wires them on) and a *dynamic* part (last cycle's Next Vector). The
-//! static part is matched through a precomputed 256-entry symbol →
-//! match-vector table, so per-cycle cost scales with the small dynamic
-//! set rather than with the total number of start states.
+//! The engine state is split the way the hardware splits it: a *static*
+//! enable part (`all-input` start states, which never toggle — the
+//! hardware wires them on) kept as a mask in the plan, and a *dynamic*
+//! part (last cycle's Next Vector) kept per stream. One immutable
+//! [`CompiledAutomaton`] can therefore drive any number of concurrent
+//! streams — see [`BatchSimulator`](crate::BatchSimulator).
 
-use crate::activity::{ActivitySummary, CycleView, NullObserver, Observer};
+use crate::activity::{CycleView, NullObserver, Observer};
 use cama_core::bitset::BitSet;
-use cama_core::{Nfa, StartKind, SteId};
+use cama_core::compiled::CompiledAutomaton;
+use cama_core::{Nfa, SteId};
 
-/// One report record: a reporting STE was active.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Report {
-    /// The reporting STE.
-    pub ste: SteId,
-    /// Its report code.
-    pub code: u32,
-    /// Offset of the input symbol (cycle index) that triggered the report.
-    pub offset: usize,
+pub use crate::result::{Report, RunResult};
+
+/// The per-stream mutable half of a simulation: enable/active vectors
+/// and the cycle counter. All automaton structure lives in the shared
+/// [`CompiledAutomaton`].
+#[derive(Clone, Debug)]
+pub(crate) struct CycleState {
+    /// Dynamic enable vector (last cycle's Next Vector).
+    dynamic: BitSet,
+    /// Scratch: next cycle's dynamic enable vector.
+    next: BitSet,
+    /// Scratch: this cycle's active set.
+    active: BitSet,
+    /// One-bit-per-word nonzero summaries of the three vectors, kept in
+    /// lockstep so clears and scans only touch dirty 64-state words.
+    dynamic_any: Vec<u64>,
+    next_any: Vec<u64>,
+    active_any: Vec<u64>,
+    cycle: usize,
 }
 
-/// The outcome of a simulation run.
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct RunResult {
-    /// All reports in (offset, ste) order.
-    pub reports: Vec<Report>,
-    /// Aggregate per-cycle statistics.
-    pub activity: ActivitySummary,
-}
+impl CycleState {
+    pub(crate) fn new(len: usize) -> CycleState {
+        let summary_words = len.div_ceil(64).div_ceil(64);
+        CycleState {
+            dynamic: BitSet::new(len),
+            next: BitSet::new(len),
+            active: BitSet::new(len),
+            dynamic_any: vec![0; summary_words],
+            next_any: vec![0; summary_words],
+            active_any: vec![0; summary_words],
+            cycle: 0,
+        }
+    }
 
-impl RunResult {
-    /// The distinct offsets at which at least one report fired.
-    pub fn report_offsets(&self) -> Vec<usize> {
-        let mut offsets: Vec<usize> = self.reports.iter().map(|r| r.offset).collect();
-        offsets.dedup();
-        offsets
+    pub(crate) fn reset(&mut self) {
+        self.dynamic.clear();
+        self.next.clear();
+        self.active.clear();
+        self.dynamic_any.iter_mut().for_each(|w| *w = 0);
+        self.next_any.iter_mut().for_each(|w| *w = 0);
+        self.active_any.iter_mut().for_each(|w| *w = 0);
+        self.cycle = 0;
+    }
+
+    /// Executes one cycle against `plan`. `inject_starts` is `true` when
+    /// all-input starts are enabled this cycle (always, for byte
+    /// automata; on group boundaries for multi-step automata).
+    /// Start-of-data states fire at cycle 0 regardless.
+    ///
+    /// The cycle visits only the 64-state words that can possibly be
+    /// active — the intersection of the plan's per-symbol match summary
+    /// with the enable-source summaries (the software form of CAMA's
+    /// selective precharge). Within a visited word,
+    /// `active = match_table[symbol] & (dynamic ∪ starts)`, and the
+    /// popcounts, report scan, and successor expansion all run while the
+    /// word is hot.
+    pub(crate) fn step(
+        &mut self,
+        plan: &CompiledAutomaton,
+        symbol: u8,
+        inject_starts: bool,
+        result: &mut RunResult,
+        observer: &mut impl Observer,
+    ) {
+        let first_cycle = self.cycle == 0;
+        let match_words = plan.match_vector(symbol).as_words();
+        let match_any = plan.match_any(symbol);
+        let sod_words = plan.start_of_data_mask().as_words();
+        let sod_any = plan.start_of_data_any();
+        let report_words = plan.report_mask().as_words();
+
+        // Sparse-clear the previous cycle's active words.
+        let active_words = self.active.as_words_mut();
+        for (j, any) in self.active_any.iter_mut().enumerate() {
+            let mut dirty = *any;
+            while dirty != 0 {
+                active_words[j * 64 + dirty.trailing_zeros() as usize] = 0;
+                dirty &= dirty - 1;
+            }
+            *any = 0;
+        }
+
+        // Phase 1: build the active vector from its three sources,
+        // visiting only words their summaries mark.
+        if inject_starts {
+            // Statically enabled starts that match: precompiled rows.
+            let start_words = plan.start_match(symbol).as_words();
+            for (j, &any) in plan.start_match_any(symbol).iter().enumerate() {
+                let mut dirty = any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    active_words[w] |= start_words[w];
+                    self.active_any[j] |= 1u64 << (w % 64);
+                }
+            }
+        }
+        let dynamic_words = self.dynamic.as_words();
+        let mut num_dynamic = 0usize;
+        for (j, &dynamic_any) in self.dynamic_any.iter().enumerate() {
+            let mut dirty = match_any[j] & dynamic_any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let active = match_words[w] & dynamic_words[w];
+                if active != 0 {
+                    active_words[w] |= active;
+                    self.active_any[j] |= 1u64 << (w % 64);
+                }
+            }
+            // Count dynamically enabled states from dirty words only.
+            let mut dirty = dynamic_any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                num_dynamic += dynamic_words[w].count_ones() as usize;
+                dirty &= dirty - 1;
+            }
+        }
+        if first_cycle {
+            for (j, &any) in sod_any.iter().enumerate() {
+                let mut dirty = match_any[j] & any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    let active = match_words[w] & sod_words[w];
+                    if active != 0 {
+                        active_words[w] |= active;
+                        self.active_any[j] |= 1u64 << (w % 64);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: one ordered pass over the active words — popcounts,
+        // the report scan, and the successor expansion while each word
+        // is hot.
+        let next_words = self.next.as_words_mut();
+        let mut num_active = 0usize;
+        let mut reports_this_cycle = 0usize;
+        for (j, &active_any) in self.active_any.iter().enumerate() {
+            let mut dirty = active_any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let active = active_words[w];
+                num_active += active.count_ones() as usize;
+
+                let mut reporting = active & report_words[w];
+                while reporting != 0 {
+                    let state = w * 64 + reporting.trailing_zeros() as usize;
+                    result.reports.push(Report {
+                        ste: SteId(state as u32),
+                        code: plan.report_code_unchecked(state),
+                        offset: self.cycle,
+                    });
+                    reports_this_cycle += 1;
+                    reporting &= reporting - 1;
+                }
+
+                let mut remaining = active;
+                while remaining != 0 {
+                    let state = w * 64 + remaining.trailing_zeros() as usize;
+                    for &succ in plan.successors(state) {
+                        let succ = succ as usize;
+                        next_words[succ / 64] |= 1u64 << (succ % 64);
+                        self.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
+                    }
+                    remaining &= remaining - 1;
+                }
+            }
+        }
+
+        result
+            .activity
+            .record(num_active, num_dynamic, reports_this_cycle);
+        observer.on_cycle(&CycleView {
+            cycle: self.cycle,
+            symbol,
+            dynamic_enabled: &self.dynamic,
+            active: &self.active,
+            reports: reports_this_cycle,
+        });
+
+        // The next vector becomes the dynamic vector; the old dynamic
+        // storage is sparse-cleared and reused as next cycle's scratch.
+        std::mem::swap(&mut self.dynamic, &mut self.next);
+        std::mem::swap(&mut self.dynamic_any, &mut self.next_any);
+        let next_words = self.next.as_words_mut();
+        for (j, any) in self.next_any.iter_mut().enumerate() {
+            let mut dirty = *any;
+            while dirty != 0 {
+                next_words[j * 64 + dirty.trailing_zeros() as usize] = 0;
+                dirty &= dirty - 1;
+            }
+            *any = 0;
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs a whole stream from a fresh state.
+    pub(crate) fn run_stream(
+        &mut self,
+        plan: &CompiledAutomaton,
+        input: &[u8],
+        chain: usize,
+        observer: &mut impl Observer,
+    ) -> RunResult {
+        assert!(chain > 0, "chain must be positive");
+        self.reset();
+        let mut result = RunResult::default();
+        if chain == 1 {
+            for &symbol in input {
+                self.step(plan, symbol, true, &mut result, observer);
+            }
+        } else {
+            for (i, &symbol) in input.iter().enumerate() {
+                self.step(plan, symbol, i % chain == 0, &mut result, observer);
+            }
+        }
+        result
     }
 }
 
-/// A resettable cycle-by-cycle simulator borrowing an [`Nfa`].
+/// A resettable cycle-by-cycle simulator: compiles an [`Nfa`] into a
+/// [`CompiledAutomaton`] and executes streams on it.
+///
+/// For running *many* streams over one automaton, compile the plan once
+/// and use [`BatchSimulator`](crate::BatchSimulator) instead of
+/// constructing a `Simulator` per stream.
 ///
 /// # Examples
 ///
@@ -68,47 +272,16 @@ impl RunResult {
 #[derive(Debug)]
 pub struct Simulator<'a> {
     nfa: &'a Nfa,
-    /// Per-symbol match vector over the `all-input` start states.
-    start_match: Vec<BitSet>,
-    /// `start-of-data` start states.
-    sod_starts: Vec<SteId>,
-    /// Dynamic enable vector (last cycle's Next Vector).
-    dynamic: BitSet,
-    /// Scratch: next cycle's dynamic enable vector.
-    next: BitSet,
-    /// Scratch: this cycle's active set.
-    active: BitSet,
-    cycle: usize,
+    plan: CompiledAutomaton,
+    state: CycleState,
 }
 
 impl<'a> Simulator<'a> {
-    /// Prepares a simulator (precomputes the start-state match table).
+    /// Compiles the automaton and prepares a simulator.
     pub fn new(nfa: &'a Nfa) -> Self {
-        let n = nfa.len();
-        let mut start_match = vec![BitSet::new(n); 256];
-        for (i, ste) in nfa.stes().iter().enumerate() {
-            if ste.start == StartKind::AllInput {
-                for symbol in ste.class.iter() {
-                    start_match[symbol as usize].insert(i);
-                }
-            }
-        }
-        let sod_starts = nfa
-            .stes()
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.start == StartKind::StartOfData)
-            .map(|(i, _)| SteId(i as u32))
-            .collect();
-        Simulator {
-            nfa,
-            start_match,
-            sod_starts,
-            dynamic: BitSet::new(n),
-            next: BitSet::new(n),
-            active: BitSet::new(n),
-            cycle: 0,
-        }
+        let plan = CompiledAutomaton::compile(nfa);
+        let state = CycleState::new(plan.len());
+        Simulator { nfa, plan, state }
     }
 
     /// The automaton being simulated.
@@ -116,10 +289,14 @@ impl<'a> Simulator<'a> {
         self.nfa
     }
 
+    /// The compiled execution plan the simulator runs on.
+    pub fn plan(&self) -> &CompiledAutomaton {
+        &self.plan
+    }
+
     /// Restores the power-on state (cycle 0, empty enable vector).
     pub fn reset(&mut self) {
-        self.dynamic.clear();
-        self.cycle = 0;
+        self.state.reset();
     }
 
     /// Runs over `input` from a fresh state and returns reports plus
@@ -131,12 +308,7 @@ impl<'a> Simulator<'a> {
     /// [`run`](Self::run) with a per-cycle observer (used by the energy
     /// models).
     pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
-        self.reset();
-        let mut result = RunResult::default();
-        for &symbol in input {
-            self.step(symbol, 1, &mut result, observer);
-        }
-        result
+        self.state.run_stream(&self.plan, input, 1, observer)
     }
 
     /// Runs a sub-symbol (multi-step) automaton: start states are
@@ -166,83 +338,14 @@ impl<'a> Simulator<'a> {
         chain: usize,
         observer: &mut impl Observer,
     ) -> RunResult {
-        assert!(chain > 0, "chain must be positive");
-        self.reset();
-        let mut result = RunResult::default();
-        for (i, &symbol) in input.iter().enumerate() {
-            let inject = i % chain == 0;
-            self.step(symbol, usize::from(inject), &mut result, observer);
-        }
-        result
-    }
-
-    /// Executes one cycle. `inject_starts` is 1 when all-input starts are
-    /// enabled this cycle (always, for byte automata; on group boundaries
-    /// for multi-step automata). Start-of-data states fire at cycle 0
-    /// regardless.
-    fn step(
-        &mut self,
-        symbol: u8,
-        inject_starts: usize,
-        result: &mut RunResult,
-        observer: &mut impl Observer,
-    ) {
-        // State matching over the enable vector.
-        self.active.clear();
-        if inject_starts != 0 {
-            self.active.union_with(&self.start_match[symbol as usize]);
-        }
-        for i in self.dynamic.iter() {
-            if self.nfa.ste(SteId(i as u32)).class.contains(symbol) {
-                self.active.insert(i);
-            }
-        }
-        if self.cycle == 0 {
-            for &id in &self.sod_starts {
-                if self.nfa.ste(id).class.contains(symbol) {
-                    self.active.insert(id.index());
-                }
-            }
-        }
-
-        // Reports and the next enable vector.
-        let mut reports_this_cycle = 0;
-        self.next.clear();
-        for i in self.active.iter() {
-            let id = SteId(i as u32);
-            if let Some(code) = self.nfa.ste(id).report {
-                result.reports.push(Report {
-                    ste: id,
-                    code,
-                    offset: self.cycle,
-                });
-                reports_this_cycle += 1;
-            }
-            for &succ in self.nfa.successors(id) {
-                self.next.insert(succ.index());
-            }
-        }
-
-        let num_active = self.active.count();
-        result
-            .activity
-            .record(num_active, self.dynamic.count(), reports_this_cycle);
-        observer.on_cycle(&CycleView {
-            cycle: self.cycle,
-            symbol,
-            dynamic_enabled: &self.dynamic,
-            active: &self.active,
-            reports: reports_this_cycle,
-        });
-
-        std::mem::swap(&mut self.dynamic, &mut self.next);
-        self.cycle += 1;
+        self.state.run_stream(&self.plan, input, chain, observer)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interp::InterpSimulator;
     use cama_core::bitwidth::{to_nibble_nfa, to_nibble_stream};
     use cama_core::regex::{self, reference};
     use cama_core::{NfaBuilder, SymbolClass};
@@ -262,14 +365,7 @@ mod tests {
     #[test]
     fn agrees_with_reference_matcher() {
         let patterns = [
-            "abc",
-            "a(b|c)d",
-            "x[0-9]+y",
-            "(ab)+",
-            "a?b?c",
-            "[^z]z",
-            "he(llo)*",
-            "a.c",
+            "abc", "a(b|c)d", "x[0-9]+y", "(ab)+", "a?b?c", "[^z]z", "he(llo)*", "a.c",
         ];
         let inputs: Vec<&[u8]> = vec![
             b"abcabc",
@@ -291,6 +387,18 @@ mod tests {
                     "pattern {pattern} on {:?}",
                     String::from_utf8_lossy(input)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_interpreted_engine() {
+        for pattern in ["abc", "a(b|c)d", "x[0-9]+y", "(ab)+", "[^z]z", "a.c"] {
+            let nfa = regex::compile(pattern).unwrap();
+            for input in [&b"abcabc"[..], b"x123yx9y", b"azbz", b"aaa...c"] {
+                let compiled = Simulator::new(&nfa).run(input);
+                let interpreted = InterpSimulator::new(&nfa).run(input);
+                assert_eq!(compiled, interpreted, "pattern {pattern} on {input:?}");
             }
         }
     }
@@ -339,8 +447,11 @@ mod tests {
                 let base = offsets(&nfa, input);
                 let stream = to_nibble_stream(input);
                 let raw = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
-                let mut mapped: Vec<usize> =
-                    raw.reports.iter().map(|r| r.offset / nibble.chain).collect();
+                let mut mapped: Vec<usize> = raw
+                    .reports
+                    .iter()
+                    .map(|r| r.offset / nibble.chain)
+                    .collect();
                 mapped.dedup();
                 assert_eq!(mapped, base, "pattern {pattern} on {input:?}");
             }

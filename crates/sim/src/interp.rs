@@ -1,0 +1,198 @@
+//! The interpreted reference engine: structure-at-a-time execution
+//! straight off the [`Nfa`], kept as the semantic baseline.
+//!
+//! This is the engine the simulator shipped with before the compiled
+//! execution layer existed: per cycle it walks
+//! `nfa.ste(id).class.contains(symbol)` over the dynamic enable set and
+//! `nfa.successors(id)` through borrowed adjacency. It is deliberately
+//! unoptimized — the property tests assert the compiled engine produces
+//! bit-identical results, and the benchmarks quantify the speedup of
+//! compiling instead of interpreting.
+
+use crate::activity::{CycleView, NullObserver, Observer};
+use crate::result::{Report, RunResult};
+use cama_core::bitset::BitSet;
+use cama_core::{Nfa, StartKind, SteId};
+
+/// The pre-compilation simulator: interprets the NFA structure per
+/// cycle. Same API shape and same results as
+/// [`Simulator`](crate::Simulator), at interpretation speed.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::regex;
+/// use cama_sim::interp::InterpSimulator;
+///
+/// let nfa = regex::compile("ab+")?;
+/// let result = InterpSimulator::new(&nfa).run(b"zabbz");
+/// assert_eq!(result.report_offsets(), vec![2, 3]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct InterpSimulator<'a> {
+    nfa: &'a Nfa,
+    /// Per-symbol match vector over the `all-input` start states only
+    /// (the original engine's one precomputed table).
+    start_match: Vec<BitSet>,
+    /// `start-of-data` start states.
+    sod_starts: Vec<SteId>,
+    dynamic: BitSet,
+    next: BitSet,
+    active: BitSet,
+    cycle: usize,
+}
+
+impl<'a> InterpSimulator<'a> {
+    /// Prepares an interpreted simulator.
+    pub fn new(nfa: &'a Nfa) -> Self {
+        let n = nfa.len();
+        let mut start_match = vec![BitSet::new(n); 256];
+        for (i, ste) in nfa.stes().iter().enumerate() {
+            if ste.start == StartKind::AllInput {
+                for symbol in ste.class.iter() {
+                    start_match[symbol as usize].insert(i);
+                }
+            }
+        }
+        let sod_starts = nfa
+            .stes()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.start == StartKind::StartOfData)
+            .map(|(i, _)| SteId(i as u32))
+            .collect();
+        InterpSimulator {
+            nfa,
+            start_match,
+            sod_starts,
+            dynamic: BitSet::new(n),
+            next: BitSet::new(n),
+            active: BitSet::new(n),
+            cycle: 0,
+        }
+    }
+
+    /// The automaton being simulated.
+    pub fn nfa(&self) -> &'a Nfa {
+        self.nfa
+    }
+
+    /// Restores the power-on state.
+    pub fn reset(&mut self) {
+        self.dynamic.clear();
+        self.cycle = 0;
+    }
+
+    /// Runs over `input` from a fresh state.
+    pub fn run(&mut self, input: &[u8]) -> RunResult {
+        self.run_with(input, &mut NullObserver)
+    }
+
+    /// [`run`](Self::run) with a per-cycle observer.
+    pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
+        self.reset();
+        let mut result = RunResult::default();
+        for &symbol in input {
+            self.step(symbol, true, &mut result, observer);
+        }
+        result
+    }
+
+    /// Multi-step (sub-symbol) execution; see
+    /// [`Simulator::run_multistep`](crate::Simulator::run_multistep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn run_multistep(&mut self, input: &[u8], chain: usize) -> RunResult {
+        assert!(chain > 0, "chain must be positive");
+        self.reset();
+        let mut result = RunResult::default();
+        for (i, &symbol) in input.iter().enumerate() {
+            self.step(symbol, i % chain == 0, &mut result, &mut NullObserver);
+        }
+        result
+    }
+
+    fn step(
+        &mut self,
+        symbol: u8,
+        inject_starts: bool,
+        result: &mut RunResult,
+        observer: &mut impl Observer,
+    ) {
+        // State matching over the enable vector, one state at a time.
+        self.active.clear();
+        if inject_starts {
+            self.active.union_with(&self.start_match[symbol as usize]);
+        }
+        for i in self.dynamic.iter() {
+            if self.nfa.ste(SteId(i as u32)).class.contains(symbol) {
+                self.active.insert(i);
+            }
+        }
+        if self.cycle == 0 {
+            for &id in &self.sod_starts {
+                if self.nfa.ste(id).class.contains(symbol) {
+                    self.active.insert(id.index());
+                }
+            }
+        }
+
+        // Reports and the next enable vector via borrowed adjacency.
+        let mut reports_this_cycle = 0;
+        self.next.clear();
+        for i in self.active.iter() {
+            let id = SteId(i as u32);
+            if let Some(code) = self.nfa.ste(id).report {
+                result.reports.push(Report {
+                    ste: id,
+                    code,
+                    offset: self.cycle,
+                });
+                reports_this_cycle += 1;
+            }
+            for &succ in self.nfa.successors(id) {
+                self.next.insert(succ.index());
+            }
+        }
+
+        result.activity.record(
+            self.active.count(),
+            self.dynamic.count(),
+            reports_this_cycle,
+        );
+        observer.on_cycle(&CycleView {
+            cycle: self.cycle,
+            symbol,
+            dynamic_enabled: &self.dynamic,
+            active: &self.active,
+            reports: reports_this_cycle,
+        });
+
+        std::mem::swap(&mut self.dynamic, &mut self.next);
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cama_core::regex;
+
+    #[test]
+    fn basic_scan() {
+        let nfa = regex::compile("(a|b)e*cd+").unwrap();
+        let result = InterpSimulator::new(&nfa).run(b"beecdd");
+        assert_eq!(result.report_offsets(), vec![4, 5]);
+    }
+
+    #[test]
+    fn reset_between_runs() {
+        let nfa = regex::compile("ab").unwrap();
+        let mut sim = InterpSimulator::new(&nfa);
+        assert!(sim.run(b"a").reports.is_empty());
+        assert!(sim.run(b"b").reports.is_empty());
+    }
+}

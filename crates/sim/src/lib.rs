@@ -1,19 +1,26 @@
 //! Cycle-accurate functional simulation of homogeneous NFAs — the
-//! reproduction's stand-in for VASim.
+//! reproduction's stand-in for VASim, built on compiled execution plans.
 //!
 //! Every in-memory automata accelerator in the paper executes the same
 //! two-phase loop per input symbol: *state matching* (which STEs accept
 //! the symbol) followed by *state transition* (AND with the enable vector,
 //! report, and compute the next enable vector). This crate implements that
-//! loop exactly, once, so that the architecture models in `cama-arch` can
-//! attach energy/activity observers to a single trusted engine.
+//! loop exactly, once, over the dense
+//! [`CompiledAutomaton`](cama_core::compiled::CompiledAutomaton) layout,
+//! so that the architecture models in `cama-arch` can attach
+//! energy/activity observers to a single trusted engine.
 //!
 //! * [`Simulator`] — byte-per-cycle execution of an
-//!   [`Nfa`](cama_core::Nfa);
+//!   [`Nfa`](cama_core::Nfa) (compiles a plan internally);
 //! * [`Simulator::run_multistep`] — sub-symbol execution for bit-width
 //!   transformed automata (Impala's nibble NFAs);
+//! * [`BatchSimulator`] — many independent input streams over one
+//!   shared compiled plan, sequentially or across threads;
+//! * [`interp::InterpSimulator`] — the pre-compilation
+//!   structure-at-a-time engine, kept as the semantic baseline;
 //! * [`strided::StridedSimulator`] — two-bytes-per-cycle execution of a
-//!   [`StridedNfa`](cama_core::stride::StridedNfa);
+//!   [`StridedNfa`](cama_core::stride::StridedNfa) on a factored
+//!   pair-match plan;
 //! * [`activity`] — the per-cycle observer interface and summary
 //!   statistics the energy models consume;
 //! * [`buffers`] — the 128-entry input / 64-entry output buffer
@@ -31,12 +38,34 @@
 //! assert_eq!(offsets, vec![5, 6]);
 //! # Ok::<(), cama_core::Error>(())
 //! ```
+//!
+//! Batched serving over a shared plan:
+//!
+//! ```
+//! use cama_core::compiled::CompiledAutomaton;
+//! use cama_core::regex;
+//! use cama_sim::BatchSimulator;
+//!
+//! let nfa = regex::compile("ab+")?;
+//! let plan = CompiledAutomaton::compile(&nfa);
+//! let batch = BatchSimulator::new(&plan);
+//! let streams: Vec<&[u8]> = vec![b"zabbz", b"ab"];
+//! let per_stream = batch.run_parallel(&streams, 2);
+//! assert_eq!(per_stream[0].report_offsets(), vec![2, 3]);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
 
 pub mod activity;
+pub mod batch;
 pub mod buffers;
 pub mod engine;
+pub mod interp;
+pub mod result;
 pub mod strided;
 
 pub use activity::{ActivitySummary, CycleView, Observer};
-pub use engine::{Report, RunResult, Simulator};
+pub use batch::BatchSimulator;
+pub use engine::Simulator;
+pub use interp::InterpSimulator;
+pub use result::{Report, RunResult};
 pub use strided::StridedSimulator;

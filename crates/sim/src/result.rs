@@ -1,0 +1,63 @@
+//! Report records and run outcomes shared by every engine flavour.
+
+use crate::activity::ActivitySummary;
+use cama_core::SteId;
+
+/// One report record: a reporting STE was active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The reporting STE.
+    pub ste: SteId,
+    /// Its report code.
+    pub code: u32,
+    /// Offset of the input symbol (cycle index) that triggered the report.
+    pub offset: usize,
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunResult {
+    /// All reports in (offset, ste) order.
+    pub reports: Vec<Report>,
+    /// Aggregate per-cycle statistics.
+    pub activity: ActivitySummary,
+}
+
+impl RunResult {
+    /// The distinct offsets at which at least one report fired.
+    pub fn report_offsets(&self) -> Vec<usize> {
+        let mut offsets: Vec<usize> = self.reports.iter().map(|r| r.offset).collect();
+        offsets.dedup();
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_offsets_dedup_consecutive() {
+        let result = RunResult {
+            reports: vec![
+                Report {
+                    ste: SteId(0),
+                    code: 0,
+                    offset: 2,
+                },
+                Report {
+                    ste: SteId(1),
+                    code: 1,
+                    offset: 2,
+                },
+                Report {
+                    ste: SteId(0),
+                    code: 0,
+                    offset: 5,
+                },
+            ],
+            activity: ActivitySummary::default(),
+        };
+        assert_eq!(result.report_offsets(), vec![2, 5]);
+    }
+}

@@ -1,15 +1,20 @@
-//! Execution of 2-strided automata: two input bytes per cycle.
+//! Execution of 2-strided automata: two input bytes per cycle, on a
+//! compiled strided plan.
 //!
-//! Report offsets are translated back to original byte offsets using the
-//! [`ReportPhase`] carried by each strided state, so a strided run is
-//! directly comparable with (and tested equivalent to) the 1-stride run
-//! of the original automaton.
+//! The pair match vector is computed word-level from the plan's two
+//! factored tables (`first_table[a] & second_table[b]` — the software
+//! form of a two-segment match CAM), so per-cycle cost no longer scans
+//! states one at a time. Report offsets are translated back to original
+//! byte offsets using the [`ReportPhase`] carried by each strided
+//! state, so a strided run is directly comparable with (and tested
+//! equivalent to) the 1-stride run of the original automaton.
 
 use crate::activity::{ActivitySummary, CycleView, NullObserver, Observer};
-use crate::engine::{Report, RunResult};
+use crate::result::{Report, RunResult};
 use cama_core::bitset::BitSet;
+use cama_core::compiled::CompiledStridedAutomaton;
 use cama_core::stride::{ReportPhase, StridedNfa};
-use cama_core::{StartKind, SteId};
+use cama_core::SteId;
 
 /// A cycle-by-cycle simulator for a [`StridedNfa`].
 ///
@@ -33,10 +38,7 @@ use cama_core::{StartKind, SteId};
 #[derive(Debug)]
 pub struct StridedSimulator<'a> {
     nfa: &'a StridedNfa,
-    /// Pair-symbol match table for always-enabled states would need 64 Ki
-    /// entries; instead starts are few, so they are scanned directly.
-    all_input_starts: Vec<u32>,
-    sod_starts: Vec<u32>,
+    plan: CompiledStridedAutomaton,
     dynamic: BitSet,
     next: BitSet,
     active: BitSet,
@@ -44,21 +46,13 @@ pub struct StridedSimulator<'a> {
 }
 
 impl<'a> StridedSimulator<'a> {
-    /// Prepares a simulator for a strided automaton.
+    /// Compiles the strided automaton and prepares a simulator.
     pub fn new(nfa: &'a StridedNfa) -> Self {
-        let n = nfa.len();
-        let all_input_starts = (0..n)
-            .filter(|&i| nfa.state(i).start == StartKind::AllInput)
-            .map(|i| i as u32)
-            .collect();
-        let sod_starts = (0..n)
-            .filter(|&i| nfa.state(i).start == StartKind::StartOfData)
-            .map(|i| i as u32)
-            .collect();
+        let plan = CompiledStridedAutomaton::compile(nfa);
+        let n = plan.len();
         StridedSimulator {
             nfa,
-            all_input_starts,
-            sod_starts,
+            plan,
             dynamic: BitSet::new(n),
             next: BitSet::new(n),
             active: BitSet::new(n),
@@ -69,6 +63,11 @@ impl<'a> StridedSimulator<'a> {
     /// The strided automaton being simulated.
     pub fn nfa(&self) -> &'a StridedNfa {
         self.nfa
+    }
+
+    /// The compiled strided plan the simulator runs on.
+    pub fn plan(&self) -> &CompiledStridedAutomaton {
+        &self.plan
     }
 
     /// Restores the power-on state.
@@ -109,30 +108,38 @@ impl<'a> StridedSimulator<'a> {
         result: &mut RunResult,
         observer: &mut impl Observer,
     ) {
-        self.active.clear();
-        for &i in &self.all_input_starts {
-            if self.nfa.state(i as usize).matches(a, b) {
-                self.active.insert(i as usize);
-            }
-        }
-        if self.cycle == 0 {
-            for &i in &self.sod_starts {
-                if self.nfa.state(i as usize).matches(a, b) {
-                    self.active.insert(i as usize);
-                }
-            }
-        }
-        for i in self.dynamic.iter() {
-            if self.nfa.state(i).matches(a, b) {
-                self.active.insert(i);
-            }
-        }
+        // One fused pass: active = first[a] & second[b] & (dynamic ∪
+        // injected starts), with popcounts, the phase-mapped report
+        // scan, and the successor expansion per 64-state word.
+        let first_cycle = self.cycle == 0;
+        let first_words = self.plan.first_table(a).as_words();
+        let second_words = self.plan.second_table(b).as_words();
+        let all_input_words = self.plan.all_input_mask().as_words();
+        let sod_words = self.plan.start_of_data_mask().as_words();
+        let report_words = self.plan.report_mask().as_words();
 
-        let mut reports_this_cycle = 0;
         self.next.clear();
-        for i in self.active.iter() {
-            let state = self.nfa.state(i);
-            if let Some((code, phase)) = state.report {
+        let mut num_active = 0usize;
+        let mut num_dynamic = 0usize;
+        let mut reports_this_cycle = 0usize;
+        let active_words = self.active.as_words_mut();
+        for (w, &dynamic_word) in self.dynamic.as_words().iter().enumerate() {
+            num_dynamic += dynamic_word.count_ones() as usize;
+            let mut enabled = dynamic_word | all_input_words[w];
+            if first_cycle {
+                enabled |= sod_words[w];
+            }
+            let active = first_words[w] & second_words[w] & enabled;
+            active_words[w] = active;
+            if active == 0 {
+                continue;
+            }
+            num_active += active.count_ones() as usize;
+
+            let mut reporting = active & report_words[w];
+            while reporting != 0 {
+                let state = w * 64 + reporting.trailing_zeros() as usize;
+                let (code, phase) = self.plan.report_unchecked(state);
                 let offset = match phase {
                     ReportPhase::First => self.cycle * 2,
                     ReportPhase::Second => self.cycle * 2 + 1,
@@ -140,21 +147,28 @@ impl<'a> StridedSimulator<'a> {
                 // Suppress reports that land on the pad byte.
                 if offset < input_len {
                     result.reports.push(Report {
-                        ste: SteId(i as u32),
+                        ste: SteId(state as u32),
                         code,
                         offset,
                     });
                     reports_this_cycle += 1;
                 }
+                reporting &= reporting - 1;
             }
-            for &succ in self.nfa.successors(i) {
-                self.next.insert(succ as usize);
+
+            let mut remaining = active;
+            while remaining != 0 {
+                let state = w * 64 + remaining.trailing_zeros() as usize;
+                for &succ in self.plan.successors(state) {
+                    self.next.insert(succ as usize);
+                }
+                remaining &= remaining - 1;
             }
         }
 
         result
             .activity
-            .record(self.active.count(), self.dynamic.count(), reports_this_cycle);
+            .record(num_active, num_dynamic, reports_this_cycle);
         observer.on_cycle(&CycleView {
             cycle: self.cycle,
             symbol: a,

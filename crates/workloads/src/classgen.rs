@@ -103,12 +103,11 @@ impl ClassRecipe {
         };
         // Floor-length runs tile the whole alphabet.
         let n_floor = n.div_ceil(floor);
-        let mut small: Vec<SymbolClass> =
-            (0..n_floor).map(|i| run(i * floor, floor)).collect();
+        let mut small: Vec<SymbolClass> = (0..n_floor).map(|i| run(i * floor, floor)).collect();
         // Ceil-length runs in the mean-preserving proportion.
         if frac > 0.0 {
-            let n_ceil = ((n_floor as f64 * frac / (1.0 - frac)).round() as usize)
-                .clamp(1, 4 * n_floor);
+            let n_ceil =
+                ((n_floor as f64 * frac / (1.0 - frac)).round() as usize).clamp(1, 4 * n_floor);
             let ceil = floor + 1;
             small.extend((0..n_ceil).map(|i| {
                 let slots = (n / ceil).max(1);

@@ -132,7 +132,7 @@ impl Benchmark {
         assert!(scale > 0.0, "scale must be positive");
         let spec = self.spec();
         let target = ((spec.states as f64 * scale) as usize).max(64);
-        let mut rng = StdRng::seed_from_u64(0xCA_CA_0000 + self.index() as u64);
+        let mut rng = StdRng::seed_from_u64(0xCACA_0000 + self.index() as u64);
         // Real rule sets reuse a limited set of distinct classes that
         // tile the alphabet; the pool reproduces that.
         let recipe = ClassRecipe::for_targets(
@@ -225,8 +225,8 @@ mod tests {
             let spec = bench.spec();
             let nfa = bench.generate(0.2);
             let stats = class_stats(&nfa);
-            let raw_err = (stats.avg_class_size - spec.avg_class_size).abs()
-                / spec.avg_class_size.max(1.0);
+            let raw_err =
+                (stats.avg_class_size - spec.avg_class_size).abs() / spec.avg_class_size.max(1.0);
             let no_err = (stats.avg_class_size_no - spec.avg_class_size_no).abs()
                 / spec.avg_class_size_no.max(1.0);
             assert!(

@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let trace = synthetic_trace(32 * 1024);
     let result = Simulator::new(&nfa).run(&trace);
-    println!("scanned {} bytes, {} alerts:", trace.len(), result.reports.len());
+    println!(
+        "scanned {} bytes, {} alerts:",
+        trace.len(),
+        result.reports.len()
+    );
     let mut per_rule = vec![0usize; RULES.len()];
     for report in &result.reports {
         per_rule[report.code as usize] += 1;

@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Functional simulation.
     let input = b"xxbeecddyyacdzz";
     let result = Simulator::new(&nfa).run(input);
-    println!(
-        "input         : {:?}",
-        String::from_utf8_lossy(input)
-    );
+    println!("input         : {:?}", String::from_utf8_lossy(input));
     for report in &result.reports {
         println!(
             "  report at offset {:>2} (…{:?}) from {}",

@@ -114,7 +114,10 @@ fn area_ratios_match_figure_10s_shape() {
         .area
         .total()
         .value();
-    let impala = by_design(&reports, DesignKind::Impala2).area.total().value();
+    let impala = by_design(&reports, DesignKind::Impala2)
+        .area
+        .total()
+        .value();
     let eap = by_design(&reports, DesignKind::Eap).area.total().value();
     // Paper (largest benchmark): CA 2.48x, Impala2 1.91x, eAP 1.78x.
     assert!((1.5..4.5).contains(&(ca / cama)), "CA/CAMA {}", ca / cama);
@@ -123,7 +126,11 @@ fn area_ratios_match_figure_10s_shape() {
         "Impala/CAMA {}",
         impala / cama
     );
-    assert!((1.2..3.5).contains(&(eap / cama)), "eAP/CAMA {}", eap / cama);
+    assert!(
+        (1.2..3.5).contains(&(eap / cama)),
+        "eAP/CAMA {}",
+        eap / cama
+    );
 }
 
 #[test]
@@ -198,8 +205,5 @@ fn encoding_entry_overhead_is_small() {
         total_entries += plan.total_entries();
     }
     let overhead = total_entries as f64 / total_states as f64;
-    assert!(
-        (1.0..1.35).contains(&overhead),
-        "entry overhead {overhead}"
-    );
+    assert!((1.0..1.35).contains(&overhead), "entry overhead {overhead}");
 }

@@ -1,165 +1,330 @@
-//! Property-based tests (proptest) over the core invariants of
-//! DESIGN.md §6: regex/Glushkov correctness, encoding exactness, stride
-//! equivalence, and crossbar-remap fidelity — all with randomly generated
-//! structures.
+//! Randomized property tests over the core invariants of DESIGN.md §6:
+//! regex/Glushkov correctness, engine agreement (compiled ≡ interpreted
+//! ≡ reference, single-stream ≡ batched), encoding exactness, stride
+//! equivalence, and crossbar-remap fidelity — all with randomly
+//! generated structures.
+//!
+//! The harness is self-contained: cases are drawn from the workspace's
+//! deterministic `StdRng` (this repo builds without registry access, so
+//! there is no `proptest` dependency). Every case prints its seed in
+//! the assertion message, so a failure is reproducible by construction.
 
 use cama::core::bitset::BitSet;
+use cama::core::bitwidth::{to_nibble_nfa, to_nibble_stream};
+use cama::core::compiled::CompiledAutomaton;
 use cama::core::regex::{self, reference};
 use cama::core::stride::StridedNfa;
-use cama::core::{Nfa, NfaBuilder, StartKind, SymbolClass};
+use cama::core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
 use cama::encoding::EncodingPlan;
 use cama::mem::{FullCrossbar, ReducedCrossbar, K_DIA};
-use cama::sim::{Simulator, StridedSimulator};
-use proptest::prelude::*;
+use cama::sim::{BatchSimulator, InterpSimulator, Simulator, StridedSimulator};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-/// A small pattern grammar guaranteed non-nullable and parser-safe.
-fn arb_pattern() -> impl Strategy<Value = String> {
-    let atom = prop_oneof![
-        "[a-e]".prop_map(|s| s),
-        Just("x".to_string()),
-        Just("[^a]".to_string()),
-        Just(".".to_string()),
-        Just("[b-d]".to_string()),
-    ];
-    let unit = (atom, prop_oneof![Just(""), Just("+"), Just("?")])
-        .prop_map(|(a, q)| format!("{a}{q}"));
-    proptest::collection::vec(unit, 1..5).prop_map(|units| units.join(""))
+const CASES: u64 = 64;
+
+/// A small pattern grammar guaranteed parser-safe: a sequence of atoms
+/// from a fixed pool, each optionally quantified.
+fn random_pattern(rng: &mut StdRng) -> String {
+    const ATOMS: [&str; 5] = ["[a-e]", "x", "[^a]", ".", "[b-d]"];
+    const QUANTIFIERS: [&str; 3] = ["", "+", "?"];
+    let units = rng.random_range(1..5usize);
+    let mut pattern = String::new();
+    for _ in 0..units {
+        pattern.push_str(ATOMS[rng.random_range(0..ATOMS.len())]);
+        pattern.push_str(QUANTIFIERS[rng.random_range(0..QUANTIFIERS.len())]);
+    }
+    pattern
 }
 
-fn arb_input() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(
-        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x'), Just(b'z')],
-        0..24,
-    )
+fn random_input(rng: &mut StdRng) -> Vec<u8> {
+    const SYMBOLS: [u8; 5] = [b'a', b'b', b'c', b'x', b'z'];
+    let len = rng.random_range(0..24usize);
+    (0..len)
+        .map(|_| SYMBOLS[rng.random_range(0..SYMBOLS.len())])
+        .collect()
 }
 
-fn arb_nfa() -> impl Strategy<Value = Nfa> {
-    let classes = proptest::collection::vec(
-        (
-            proptest::collection::vec(any::<u8>(), 1..6),
-            any::<bool>(),
-        ),
-        2..12,
-    );
-    let edges = proptest::collection::vec((0usize..12, 0usize..12), 0..20);
-    (classes, edges).prop_map(|(classes, edges)| {
-        let n = classes.len();
-        let mut builder = NfaBuilder::new();
-        for (i, (symbols, negate)) in classes.into_iter().enumerate() {
-            let class: SymbolClass = symbols.into_iter().collect();
-            let class = if negate { !class } else { class };
-            let id = builder.add_ste(class);
-            if i % 3 == 0 {
-                builder.set_start(id, StartKind::AllInput);
-            }
-            if i % 4 == 1 {
-                builder.set_report(id, i as u32);
-            }
+/// A random homogeneous NFA: 2–12 states with random (possibly negated)
+/// classes, random edges, at least one start and one reporting state.
+fn random_nfa(rng: &mut StdRng) -> Nfa {
+    let n = rng.random_range(2..12usize);
+    let mut builder = NfaBuilder::new();
+    for i in 0..n {
+        let mut class = SymbolClass::EMPTY;
+        for _ in 0..rng.random_range(1..6usize) {
+            class.insert(rng.random());
         }
-        // Always at least one start and one reporting state.
-        builder.set_start(cama::core::SteId(0), StartKind::AllInput);
-        builder.set_report(cama::core::SteId((n - 1) as u32), 99);
-        for (from, to) in edges {
-            if from < n && to < n {
-                builder.add_edge(
-                    cama::core::SteId(from as u32),
-                    cama::core::SteId(to as u32),
-                );
-            }
+        let class = if rng.random_bool(0.5) { !class } else { class };
+        let id = builder.add_ste(class);
+        if i % 3 == 0 {
+            builder.set_start(id, StartKind::AllInput);
         }
-        builder.build().expect("non-empty classes")
-    })
+        if i % 4 == 1 {
+            builder.set_report(id, i as u32);
+        }
+    }
+    // Always at least one start and one reporting state.
+    builder.set_start(SteId(0), StartKind::AllInput);
+    builder.set_report(SteId((n - 1) as u32), 99);
+    for _ in 0..rng.random_range(0..20usize) {
+        let from = SteId(rng.random_range(0..n) as u32);
+        let to = SteId(rng.random_range(0..n) as u32);
+        builder.add_edge(from, to);
+    }
+    builder.build().expect("non-empty classes")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn glushkov_agrees_with_reference(pattern in arb_pattern(), input in arb_input()) {
+#[test]
+fn glushkov_agrees_with_reference() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6100 + seed);
+        let pattern = random_pattern(&mut rng);
         let ast = regex::parse(&pattern).unwrap();
-        prop_assume!(!ast.is_nullable());
+        if ast.is_nullable() {
+            continue;
+        }
         let nfa = regex::compile(&pattern).unwrap();
+        let input = random_input(&mut rng);
         let simulated = Simulator::new(&nfa).run(&input).report_offsets();
         let expected = reference::scan_report_offsets(&ast, &input);
-        prop_assert_eq!(simulated, expected, "pattern {}", pattern);
+        assert_eq!(simulated, expected, "seed {seed}, pattern {pattern}");
     }
+}
 
-    #[test]
-    fn encoding_is_exact_on_random_nfas(nfa in arb_nfa()) {
+/// The tentpole invariant: the compiled engine, the interpreted
+/// reference engine, and the batched runner agree bit-for-bit (reports
+/// and offsets) with each other — and with `regex::reference` where a
+/// pattern semantics oracle exists — on random patterns × inputs.
+#[test]
+fn compiled_interpreted_and_reference_agree() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0_0000 + seed);
+        let pattern = random_pattern(&mut rng);
+        let ast = regex::parse(&pattern).unwrap();
+        if ast.is_nullable() {
+            continue;
+        }
+        let nfa = regex::compile(&pattern).unwrap();
+        let input = random_input(&mut rng);
+
+        let compiled = Simulator::new(&nfa).run(&input);
+        let interpreted = InterpSimulator::new(&nfa).run(&input);
+        assert_eq!(
+            compiled, interpreted,
+            "seed {seed}: compiled vs interpreted, pattern {pattern}"
+        );
+
+        let plan = CompiledAutomaton::compile(&nfa);
+        let batched = &BatchSimulator::new(&plan).run_all([input.as_slice()])[0];
+        assert_eq!(
+            &compiled, batched,
+            "seed {seed}: single vs batched, pattern {pattern}"
+        );
+
+        let oracle = reference::scan_report_offsets(&ast, &input);
+        assert_eq!(
+            compiled.report_offsets(),
+            oracle,
+            "seed {seed}: engine vs reference, pattern {pattern}"
+        );
+    }
+}
+
+/// Engine agreement on arbitrary (non-regex) NFAs, where start kinds,
+/// report codes, and edge structure are unconstrained.
+#[test]
+fn compiled_agrees_with_interpreted_on_random_nfas() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD0_0000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let compiled = Simulator::new(&nfa).run(&input);
+        let interpreted = InterpSimulator::new(&nfa).run(&input);
+        assert_eq!(compiled, interpreted, "seed {seed}");
+    }
+}
+
+/// Multi-step agreement: compiled and interpreted engines produce
+/// identical results on nibble streams, and both map back to the
+/// byte-automaton offsets.
+#[test]
+fn multistep_nibble_agreement() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x41B_000 + seed);
+        let pattern = random_pattern(&mut rng);
+        let ast = regex::parse(&pattern).unwrap();
+        if ast.is_nullable() {
+            continue;
+        }
+        let nfa = regex::compile(&pattern).unwrap();
+        let input = random_input(&mut rng);
+        let base = Simulator::new(&nfa).run(&input).report_offsets();
+
+        let nibble = to_nibble_nfa(&nfa);
+        let stream = to_nibble_stream(&input);
+
+        let compiled = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+        let interpreted = InterpSimulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+        assert_eq!(
+            compiled, interpreted,
+            "seed {seed}: nibble compiled vs interpreted, pattern {pattern}"
+        );
+
+        let plan = CompiledAutomaton::compile(&nibble.nfa);
+        let batched =
+            &BatchSimulator::with_chain(&plan, nibble.chain).run_all([stream.as_slice()])[0];
+        assert_eq!(
+            &compiled, batched,
+            "seed {seed}: nibble single vs batched, pattern {pattern}"
+        );
+
+        let mut mapped: Vec<usize> = compiled
+            .reports
+            .iter()
+            .map(|r| r.offset / nibble.chain)
+            .collect();
+        mapped.dedup();
+        assert_eq!(
+            mapped, base,
+            "seed {seed}: nibble offsets, pattern {pattern}"
+        );
+    }
+}
+
+/// The threaded batch path returns exactly what the sequential path
+/// returns, in stream order.
+#[test]
+fn parallel_batch_agrees_with_sequential() {
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(0xBA7C4 + seed);
+        let nfa = random_nfa(&mut rng);
+        let streams: Vec<Vec<u8>> = (0..17).map(|_| random_input(&mut rng)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let batch = BatchSimulator::new(&plan);
+        let sequential = batch.run_all(refs.iter().copied());
+        for threads in [2, 3, 5] {
+            assert_eq!(
+                batch.run_parallel(&refs, threads),
+                sequential,
+                "seed {seed}, threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn encoding_is_exact_on_random_nfas() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE2C_000 + seed);
+        let nfa = random_nfa(&mut rng);
         let plan = EncodingPlan::for_nfa(&nfa);
-        prop_assert!(plan.verify_exact(&nfa).is_ok());
+        assert!(plan.verify_exact(&nfa).is_ok(), "seed {seed}");
         // Entries are never fewer than states that need at least one.
-        prop_assert!(plan.total_entries() >= nfa.len());
+        assert!(plan.total_entries() >= nfa.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn stride_equivalence_on_random_nfas(nfa in arb_nfa(), input in arb_input()) {
+#[test]
+fn stride_equivalence_on_random_nfas() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57_1D00 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
         let baseline = Simulator::new(&nfa).run(&input).report_offsets();
         let strided = StridedNfa::from_nfa(&nfa);
         let strided_offsets = StridedSimulator::new(&strided).run(&input).report_offsets();
-        prop_assert_eq!(baseline, strided_offsets);
+        assert_eq!(baseline, strided_offsets, "seed {seed}");
     }
+}
 
-    #[test]
-    fn rcb_equals_fcb_on_band_edges(
-        seeds in proptest::collection::vec((0usize..256, 0usize..86), 1..40),
-        active in proptest::collection::vec(0usize..256, 1..8),
-    ) {
+#[test]
+fn rcb_equals_fcb_on_band_edges() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2CB_000 + seed);
         // Build edges guaranteed inside the band: target in the source's
         // group or the next.
-        let edges: Vec<(usize, usize)> = seeds
-            .into_iter()
-            .map(|(from, jump)| {
+        let edges: Vec<(usize, usize)> = (0..rng.random_range(1..40usize))
+            .map(|_| {
+                let from = rng.random_range(0..256usize);
+                let jump = rng.random_range(0..86usize);
                 let lo = (from / K_DIA) * K_DIA;
                 let to = (lo + jump).min(255);
                 (from, to)
             })
             .filter(|&(f, t)| ReducedCrossbar::supports(K_DIA, f, t))
             .collect();
-        prop_assume!(!edges.is_empty());
+        if edges.is_empty() {
+            continue;
+        }
         let rcb = ReducedCrossbar::try_program(256, K_DIA, edges.iter().copied()).unwrap();
         let mut fcb = FullCrossbar::new(256);
         for &(f, t) in &edges {
             fcb.connect(f, t);
         }
-        let active = BitSet::from_indices(256, active);
-        prop_assert_eq!(rcb.route(&active), fcb.route(&active));
+        let active = BitSet::from_indices(
+            256,
+            (0..rng.random_range(1..8usize)).map(|_| rng.random_range(0..256usize)),
+        );
+        assert_eq!(rcb.route(&active), fcb.route(&active), "seed {seed}");
     }
+}
 
-    #[test]
-    fn anml_roundtrip_on_random_nfas(nfa in arb_nfa()) {
+#[test]
+fn anml_roundtrip_on_random_nfas() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA2_3100 + seed);
+        let nfa = random_nfa(&mut rng);
         let text = cama::core::anml::to_string(&nfa);
         let parsed = cama::core::anml::from_str(&text).unwrap();
-        prop_assert_eq!(parsed.len(), nfa.len());
-        prop_assert_eq!(parsed.num_edges(), nfa.num_edges());
+        assert_eq!(parsed.len(), nfa.len(), "seed {seed}");
+        assert_eq!(parsed.num_edges(), nfa.num_edges(), "seed {seed}");
         for i in 0..nfa.len() {
-            let id = cama::core::SteId(i as u32);
-            prop_assert_eq!(parsed.ste(id).class, nfa.ste(id).class);
-            prop_assert_eq!(parsed.ste(id).start, nfa.ste(id).start);
+            let id = SteId(i as u32);
+            assert_eq!(parsed.ste(id).class, nfa.ste(id).class, "seed {seed}");
+            assert_eq!(parsed.ste(id).start, nfa.ste(id).start, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn mnrl_roundtrip_on_random_nfas(nfa in arb_nfa()) {
+#[test]
+fn mnrl_roundtrip_on_random_nfas() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x313_1200 + seed);
+        let nfa = random_nfa(&mut rng);
         let text = cama::core::mnrl::to_string(&nfa);
         let parsed = cama::core::mnrl::from_str(&text).unwrap();
-        prop_assert_eq!(parsed.len(), nfa.len());
-        prop_assert_eq!(parsed.num_edges(), nfa.num_edges());
+        assert_eq!(parsed.len(), nfa.len(), "seed {seed}");
+        assert_eq!(parsed.num_edges(), nfa.num_edges(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn symbol_class_set_algebra(a in proptest::collection::vec(any::<u8>(), 0..40),
-                                b in proptest::collection::vec(any::<u8>(), 0..40)) {
-        let ca: SymbolClass = a.iter().copied().collect();
-        let cb: SymbolClass = b.iter().copied().collect();
+#[test]
+fn symbol_class_set_algebra() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E7_000 + seed);
+        let draw = |rng: &mut StdRng| {
+            let mut class = SymbolClass::EMPTY;
+            for _ in 0..rng.random_range(0..40usize) {
+                class.insert(rng.random());
+            }
+            class
+        };
+        let ca = draw(&mut rng);
+        let cb = draw(&mut rng);
         // De Morgan.
-        prop_assert_eq!(!(ca | cb), !ca & !cb);
+        assert_eq!(!(ca | cb), !ca & !cb, "seed {seed}");
         // Union/intersection sizes.
-        prop_assert_eq!((ca | cb).len() + (ca & cb).len(), ca.len() + cb.len());
+        assert_eq!(
+            (ca | cb).len() + (ca & cb).len(),
+            ca.len() + cb.len(),
+            "seed {seed}"
+        );
         // Display → parse roundtrip through the symbol-set grammar.
         if !ca.is_empty() {
             let parsed = cama::core::anml::parse_symbol_set(&ca.to_string()).unwrap();
-            prop_assert_eq!(parsed, ca);
+            assert_eq!(parsed, ca, "seed {seed}");
         }
     }
 }
