@@ -153,9 +153,11 @@ impl ServingReport {
 }
 
 /// Evaluates a design serving many streams: compiles the automaton
-/// once, runs every stream through
-/// [`BatchSimulator`](cama_sim::BatchSimulator) with a single energy
-/// observer accumulating over the whole batch.
+/// once, feeds every stream through one
+/// [`BatchSimulator`](cama_sim::BatchSimulator) stream table with a
+/// single energy observer accumulating over the whole batch. Each
+/// stream is an open→feed→close session, so the same rollup applies to
+/// incrementally arriving flows.
 ///
 /// # Panics
 ///
@@ -172,9 +174,18 @@ pub fn evaluate_serving(
     let timing = timing_report(design, &lib);
 
     let compiled = cama_core::compiled::CompiledAutomaton::compile(nfa);
-    let batch = cama_sim::BatchSimulator::new(&compiled);
+    let mut batch = cama_sim::BatchSimulator::new(&compiled);
     let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
-    let results = batch.run_all_with(streams.iter().copied(), &mut observer);
+    let results: Vec<cama_sim::RunResult> = streams
+        .iter()
+        .enumerate()
+        .map(|(id, stream)| {
+            let id = id as cama_sim::StreamId;
+            batch.open(id);
+            batch.feed_with(id, stream, &mut observer);
+            batch.close(id)
+        })
+        .collect();
 
     let reports_per_stream: Vec<usize> = results.iter().map(|r| r.reports.len()).collect();
     let total_reports = reports_per_stream.iter().sum();

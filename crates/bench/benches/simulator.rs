@@ -1,7 +1,8 @@
 //! Criterion benchmarks for the cycle engine: interpreted vs compiled
-//! single-stream throughput on a Snort-like workload, batched
-//! multi-stream scaling (sequential and threaded), the energy-observer
-//! overhead, and the 2-stride engine.
+//! single-stream throughput on a Snort-like workload, streaming-session
+//! `feed` vs one-shot `run`, batched multi-stream scaling (sequential
+//! and threaded), framed-wire ingestion, the energy-observer overhead,
+//! and the 2-stride engine.
 
 use cama_arch::designs::DesignKind;
 use cama_arch::energy::EnergyObserver;
@@ -10,7 +11,11 @@ use cama_core::compiled::CompiledAutomaton;
 use cama_core::stride::StridedNfa;
 use cama_encoding::EncodingPlan;
 use cama_mem::models::CircuitLibrary;
-use cama_sim::{BatchSimulator, InterpSimulator, Simulator, StridedSimulator};
+use cama_sim::frame::{encode_close, encode_frame};
+use cama_sim::{
+    AutomataEngine, BatchSimulator, FrameDecoder, InterpSimulator, Session, Simulator, StreamId,
+    StridedSimulator,
+};
 use cama_workloads::Benchmark;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -31,6 +36,79 @@ fn bench_interpreted_vs_compiled(c: &mut Criterion) {
     group.bench_function("snort_compiled", |b| {
         let mut sim = Simulator::new(&nfa);
         b.iter(|| black_box(sim.run(black_box(&input))))
+    });
+    group.finish();
+}
+
+/// Streaming sessions vs the one-shot wrapper on the same workload: the
+/// acceptance bar is `feed`-in-chunks throughput within 10% of one-shot
+/// `run` (both drive the identical stepping loop; the session adds only
+/// the chunk-loop bookkeeping).
+fn bench_session_vs_one_shot(c: &mut Criterion) {
+    let nfa = Benchmark::Snort.generate(0.02);
+    let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
+    let sim = Simulator::new(&nfa);
+    let mut group = c.benchmark_group("streaming");
+    group.throughput(Throughput::Bytes(INPUT_LEN as u64));
+    group.bench_function("snort_one_shot_run", |b| {
+        let mut sim = Simulator::new(&nfa);
+        b.iter(|| black_box(sim.run(black_box(&input))))
+    });
+    for chunk in [64usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("snort_session_feed", chunk),
+            &chunk,
+            |b, &chunk| {
+                // One long-lived session; finish() resets it in place, so
+                // the serving loop reuses all scratch capacity.
+                let mut session = sim.start();
+                b.iter(|| {
+                    for piece in input.chunks(chunk) {
+                        session.feed(black_box(piece));
+                    }
+                    black_box(session.finish())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Framed-wire ingestion: 8 interleaved Snort-like flows demuxed out of
+/// one wire buffer through the stream table, vs running the same flows
+/// back-to-back from materialized inputs.
+fn bench_framed_ingest(c: &mut Criterion) {
+    const FLOWS: usize = 8;
+    const FRAME: usize = 256;
+    let nfa = Benchmark::Snort.generate(0.02);
+    let plan = CompiledAutomaton::compile(&nfa);
+    let flows: Vec<Vec<u8>> = (0..FLOWS)
+        .map(|i| Benchmark::Snort.input(&nfa, INPUT_LEN, i as u64 + 1))
+        .collect();
+
+    let mut wire = Vec::new();
+    for pos in (0..INPUT_LEN).step_by(FRAME) {
+        for (id, flow) in flows.iter().enumerate() {
+            encode_frame(id as StreamId, &flow[pos..pos + FRAME], &mut wire);
+        }
+    }
+    for id in 0..FLOWS {
+        encode_close(id as StreamId, &mut wire);
+    }
+
+    let mut group = c.benchmark_group("streaming");
+    group.throughput(Throughput::Bytes((INPUT_LEN * FLOWS) as u64));
+    group.bench_function("snort_framed_ingest_8_flows", |b| {
+        let mut batch = BatchSimulator::new(&plan);
+        b.iter(|| {
+            let mut decoder = FrameDecoder::new();
+            black_box(batch.ingest(&mut decoder, black_box(&wire)))
+        })
+    });
+    group.bench_function("snort_materialized_8_flows", |b| {
+        let batch = BatchSimulator::new(&plan);
+        let refs: Vec<&[u8]> = flows.iter().map(Vec::as_slice).collect();
+        b.iter(|| black_box(batch.run_all(refs.iter().copied())))
     });
     group.finish();
 }
@@ -110,6 +188,8 @@ fn bench_strided(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_interpreted_vs_compiled,
+    bench_session_vs_one_shot,
+    bench_framed_ingest,
     bench_batched,
     bench_with_energy,
     bench_strided

@@ -131,7 +131,7 @@ pub fn from_str(text: &str) -> Result<Nfa> {
     builder.build()
 }
 
-/// Parses an ANML `symbol-set` expression into a [`SymbolClass`].
+/// Parses an ANML `symbol-set` expression into a [`SymbolClass`](crate::SymbolClass).
 ///
 /// Accepts `*` (match everything), a bracketed character class, or a
 /// bare single symbol / escape.

@@ -35,7 +35,7 @@ pub mod reference;
 
 pub use ast::Ast;
 pub use glushkov::{compile_ast, CompileOptions};
-pub use parser::parse;
+pub use parser::{parse, DEFAULT_REPEAT_BUDGET};
 
 use crate::error::Result;
 use crate::nfa::Nfa;

@@ -18,7 +18,7 @@
 //! 4. [`codebook`] — symbol → code assignment;
 //! 5. [`compress`] — exact greedy compression of a symbol class into CAM
 //!    entries (never a false positive or negative);
-//! 6. [`plan`] — the end-to-end [`EncodingPlan`](plan::EncodingPlan) that
+//! 6. [`plan`] — the end-to-end [`EncodingPlan`] that
 //!    selects a scheme for an NFA and encodes every state.
 //!
 //! # Examples

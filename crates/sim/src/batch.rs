@@ -2,20 +2,50 @@
 //! serving scenario: one compiled ruleset, many independent inputs.
 //!
 //! A [`CompiledAutomaton`] is immutable and `Sync`, so a single plan
-//! can drive any number of streams with only per-stream enable vectors
-//! as mutable state. [`BatchSimulator`] exposes:
+//! can drive any number of streams with only per-stream
+//! [`ByteSession`]s as mutable state. [`BatchSimulator`] is a *stream
+//! table*: flows are opened, fed incrementally (in any interleaving),
+//! and closed for their [`RunResult`]s — plus the materialized-input
+//! conveniences built on the same sessions:
 //!
+//! * [`open`](BatchSimulator::open) / [`feed`](BatchSimulator::feed) /
+//!   [`close`](BatchSimulator::close) — the incremental stream table,
+//!   with closed sessions recycled through a pool so steady-state
+//!   serving does not allocate;
+//! * [`ingest`](BatchSimulator::ingest) — drives the table from a
+//!   length-prefixed wire buffer via [`FrameDecoder`];
 //! * [`results`](BatchSimulator::results) — a lazy sequential iterator
-//!   reusing one scratch state across streams (no per-stream
-//!   allocation beyond the report vectors);
+//!   reusing one session across streams;
 //! * [`run_all`](BatchSimulator::run_all) — eager collection;
 //! * [`run_parallel`](BatchSimulator::run_parallel) — a scoped-thread
-//!   fan-out splitting the streams over OS threads. (The environment
-//!   this repo builds in has no registry access, so the data-parallel
-//!   path uses `std::thread::scope` rather than an external `rayon`
-//!   dependency; the chunking shape is the same.)
+//!   fan-out splitting the streams over OS threads, one session per
+//!   thread. (The environment this repo builds in has no registry
+//!   access, so the data-parallel path uses `std::thread::scope` rather
+//!   than an external `rayon` dependency; the chunking shape is the
+//!   same.)
 //!
 //! # Examples
+//!
+//! Interleaved incremental serving:
+//!
+//! ```
+//! use cama_core::compiled::CompiledAutomaton;
+//! use cama_core::regex;
+//! use cama_sim::BatchSimulator;
+//!
+//! let nfa = regex::compile("ab+")?;
+//! let plan = CompiledAutomaton::compile(&nfa);
+//! let mut batch = BatchSimulator::new(&plan);
+//! batch.feed(0, b"za");
+//! batch.feed(1, b"a");    // another flow, interleaved
+//! batch.feed(0, b"bbz");  // chunk boundary mid-match
+//! batch.feed(1, b"b");
+//! assert_eq!(batch.close(0).report_offsets(), vec![2, 3]);
+//! assert_eq!(batch.close(1).report_offsets(), vec![1]);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+//!
+//! Materialized batches:
 //!
 //! ```
 //! use cama_core::compiled::CompiledAutomaton;
@@ -33,25 +63,33 @@
 //! # Ok::<(), cama_core::Error>(())
 //! ```
 
-use crate::activity::NullObserver;
-use crate::engine::CycleState;
+use std::collections::HashMap;
+
+use crate::activity::Observer;
+use crate::engine::ByteSession;
+use crate::frame::{FrameDecoder, FrameEvent, StreamId};
 use crate::result::RunResult;
+use crate::session::Session;
 use cama_core::compiled::CompiledAutomaton;
 
-/// Runs many independent input streams over one shared
-/// [`CompiledAutomaton`].
+/// A stream table running many independent input streams over one
+/// shared [`CompiledAutomaton`].
 #[derive(Clone, Debug)]
 pub struct BatchSimulator<'p> {
     plan: &'p CompiledAutomaton,
     /// Sub-symbols per original symbol (1 for byte automata; e.g. 2 for
     /// nibble streams).
     chain: usize,
+    /// Open flows: one resumable session per stream id.
+    table: HashMap<StreamId, ByteSession<'p>>,
+    /// Closed sessions kept for reuse, scratch capacity intact.
+    pool: Vec<ByteSession<'p>>,
 }
 
 impl<'p> BatchSimulator<'p> {
     /// Creates a batch runner over a shared compiled plan.
     pub fn new(plan: &'p CompiledAutomaton) -> Self {
-        BatchSimulator { plan, chain: 1 }
+        Self::with_chain(plan, 1)
     }
 
     /// Uses multi-step execution with the given chain length (for
@@ -62,7 +100,12 @@ impl<'p> BatchSimulator<'p> {
     /// Panics if `chain` is zero.
     pub fn with_chain(plan: &'p CompiledAutomaton, chain: usize) -> Self {
         assert!(chain > 0, "chain must be positive");
-        BatchSimulator { plan, chain }
+        BatchSimulator {
+            plan,
+            chain,
+            table: HashMap::new(),
+            pool: Vec::new(),
+        }
     }
 
     /// The shared compiled plan.
@@ -70,24 +113,108 @@ impl<'p> BatchSimulator<'p> {
         self.plan
     }
 
+    /// A fresh standalone session over the shared plan (not entered in
+    /// the stream table).
+    pub fn session(&self) -> ByteSession<'p> {
+        ByteSession::with_chain(self.plan, self.chain)
+    }
+
+    /// Opens a flow in the stream table, recycling a pooled session if
+    /// one is available. Opening is optional — [`feed`](Self::feed)
+    /// opens unknown ids implicitly — but useful to register a flow
+    /// before its first payload arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is already open.
+    pub fn open(&mut self, stream: StreamId) {
+        let session = self.pool.pop().unwrap_or_else(|| self.session());
+        let prev = self.table.insert(stream, session);
+        assert!(prev.is_none(), "stream {stream} is already open");
+    }
+
+    /// `true` if `stream` is currently open.
+    pub fn is_open(&self, stream: StreamId) -> bool {
+        self.table.contains_key(&stream)
+    }
+
+    /// Number of currently open flows.
+    pub fn open_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Feeds one chunk to a flow, opening it implicitly if unknown.
+    /// Chunks of one flow may interleave arbitrarily with other flows'.
+    pub fn feed(&mut self, stream: StreamId, chunk: &[u8]) {
+        self.session_mut(stream).feed(chunk);
+    }
+
+    /// [`feed`](Self::feed) with a per-cycle observer (shared energy
+    /// accounting across the whole table).
+    pub fn feed_with(&mut self, stream: StreamId, chunk: &[u8], observer: &mut impl Observer) {
+        self.session_mut(stream).feed_with(chunk, observer);
+    }
+
+    /// Closes a flow and returns its accumulated result; the session
+    /// returns to the pool for reuse. Closing a flow that was never fed
+    /// (or never opened) yields the empty result, matching a zero-length
+    /// stream.
+    pub fn close(&mut self, stream: StreamId) -> RunResult {
+        match self.table.remove(&stream) {
+            Some(mut session) => {
+                let result = session.finish();
+                self.pool.push(session);
+                result
+            }
+            None => RunResult::default(),
+        }
+    }
+
+    /// Drives the stream table from one length-prefixed wire chunk (see
+    /// [`frame`](crate::frame) for the format): data frames feed their
+    /// flow, close frames close it. Returns `(stream, result)` for every
+    /// flow closed by this chunk, in wire order. The decoder carries
+    /// partial frames across calls, so the wire may be split anywhere.
+    pub fn ingest(
+        &mut self,
+        decoder: &mut FrameDecoder,
+        wire: &[u8],
+    ) -> Vec<(StreamId, RunResult)> {
+        let mut closed = Vec::new();
+        decoder.feed(wire, |event| match event {
+            FrameEvent::Data { stream, chunk } => self.feed(stream, chunk),
+            FrameEvent::Close { stream } => closed.push((stream, self.close(stream))),
+        });
+        closed
+    }
+
+    fn session_mut(&mut self, stream: StreamId) -> &mut ByteSession<'p> {
+        // Single hash lookup on the per-chunk hot path.
+        let (plan, chain, pool) = (self.plan, self.chain, &mut self.pool);
+        self.table.entry(stream).or_insert_with(|| {
+            pool.pop()
+                .unwrap_or_else(|| ByteSession::with_chain(plan, chain))
+        })
+    }
+
     /// Runs a single stream from a fresh state.
     pub fn run_stream(&self, input: &[u8]) -> RunResult {
-        let mut state = CycleState::new(self.plan.len());
-        state.run_stream(self.plan, input, self.chain, &mut NullObserver)
+        let mut session = self.session();
+        session.feed(input);
+        session.finish()
     }
 
     /// Lazily yields one [`RunResult`] per stream, in order, reusing a
-    /// single scratch state across the whole batch.
+    /// single session across the whole batch.
     pub fn results<'s, I>(&self, streams: I) -> impl Iterator<Item = RunResult> + use<'p, 's, I>
     where
         I: IntoIterator<Item = &'s [u8]>,
     {
-        let mut state = CycleState::new(self.plan.len());
-        let plan = self.plan;
-        let chain = self.chain;
-        streams
-            .into_iter()
-            .map(move |input| state.run_stream(plan, input, chain, &mut NullObserver))
+        let mut session = self.session();
+        streams.into_iter().map(move |input| {
+            session.feed(input);
+            session.finish()
+        })
     }
 
     /// Runs every stream sequentially and collects the results.
@@ -101,18 +228,17 @@ impl<'p> BatchSimulator<'p> {
     /// [`run_all`](Self::run_all) with a per-cycle observer shared
     /// across the whole batch — the architecture models use this to
     /// accumulate one energy breakdown over a serving batch.
-    pub fn run_all_with<'s, I>(
-        &self,
-        streams: I,
-        observer: &mut impl crate::activity::Observer,
-    ) -> Vec<RunResult>
+    pub fn run_all_with<'s, I>(&self, streams: I, observer: &mut impl Observer) -> Vec<RunResult>
     where
         I: IntoIterator<Item = &'s [u8]>,
     {
-        let mut state = CycleState::new(self.plan.len());
+        let mut session = self.session();
         streams
             .into_iter()
-            .map(|input| state.run_stream(self.plan, input, self.chain, observer))
+            .map(|input| {
+                session.feed_with(input, observer);
+                session.finish_with(observer)
+            })
             .collect()
     }
 
@@ -139,10 +265,11 @@ impl<'p> BatchSimulator<'p> {
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move || {
-                        let mut state = CycleState::new(self.plan.len());
+                        let mut session = self.session();
                         part.iter()
                             .map(|input| {
-                                state.run_stream(self.plan, input, self.chain, &mut NullObserver)
+                                session.feed(input);
+                                session.finish()
                             })
                             .collect::<Vec<_>>()
                     })
@@ -157,6 +284,7 @@ impl<'p> BatchSimulator<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::{encode_close, encode_frame};
     use crate::Simulator;
     use cama_core::bitwidth::{to_nibble_nfa, to_nibble_stream};
     use cama_core::regex;
@@ -201,6 +329,94 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_table_matches_one_shot_runs() {
+        let nfa = regex::compile("a(b|c)+x").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        let inputs = streams();
+        // Feed all streams one byte at a time, round-robin.
+        let longest = inputs.iter().map(Vec::len).max().unwrap();
+        for pos in 0..longest {
+            for (id, input) in inputs.iter().enumerate() {
+                if let Some(&byte) = input.get(pos) {
+                    batch.feed(id as StreamId, std::slice::from_ref(&byte));
+                }
+            }
+        }
+        let mut single = Simulator::new(&nfa);
+        for (id, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                batch.close(id as StreamId),
+                single.run(input),
+                "stream {id}"
+            );
+        }
+        assert_eq!(batch.open_count(), 0);
+    }
+
+    #[test]
+    fn pool_recycles_sessions_across_flows() {
+        let nfa = regex::compile("ab").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        for generation in 0..3 {
+            batch.feed(generation, b"a");
+            // A recycled session must not leak the previous flow's 'a'.
+            let result = batch.close(generation);
+            assert!(result.reports.is_empty(), "generation {generation}");
+            assert_eq!(result.activity.cycles, 1);
+        }
+    }
+
+    #[test]
+    fn close_of_unknown_stream_is_the_empty_result() {
+        let nfa = regex::compile("a").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        assert_eq!(batch.close(42), RunResult::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "already open")]
+    fn double_open_panics() {
+        let nfa = regex::compile("a").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        batch.open(1);
+        batch.open(1);
+    }
+
+    #[test]
+    fn framed_ingest_demuxes_interleaved_flows() {
+        let nfa = regex::compile("ab+c").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+
+        let mut wire = Vec::new();
+        encode_frame(10, b"zab", &mut wire);
+        encode_frame(11, b"abc", &mut wire);
+        encode_frame(10, b"bcz", &mut wire);
+        encode_close(11, &mut wire);
+        encode_close(10, &mut wire);
+
+        let mut decoder = FrameDecoder::new();
+        // Split the wire mid-header and mid-payload.
+        let mut closed = Vec::new();
+        for piece in [&wire[..5], &wire[5..17], &wire[17..]] {
+            closed.extend(batch.ingest(&mut decoder, piece));
+        }
+        assert!(decoder.is_idle());
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].0, 11);
+        assert_eq!(closed[0].1.report_offsets(), vec![2]);
+        assert_eq!(closed[1].0, 10);
+        assert_eq!(closed[1].1.report_offsets(), vec![4]);
+
+        let mut single = Simulator::new(&nfa);
+        assert_eq!(closed[1].1, single.run(b"zabbcz"));
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let nfa = regex::compile("(a|b)c+x").unwrap();
         let plan = CompiledAutomaton::compile(&nfa);
@@ -230,7 +446,7 @@ mod tests {
         let nfa = regex::compile("ab+c").unwrap();
         let nibble = to_nibble_nfa(&nfa);
         let plan = CompiledAutomaton::compile(&nibble.nfa);
-        let batch = BatchSimulator::with_chain(&plan, nibble.chain);
+        let mut batch = BatchSimulator::with_chain(&plan, nibble.chain);
         let inputs: Vec<&[u8]> = vec![b"zabbc", b"abc", b"bbcc"];
         let nibble_streams: Vec<Vec<u8>> = inputs.iter().map(|i| to_nibble_stream(i)).collect();
         let mut single = Simulator::new(&nibble.nfa);
@@ -239,6 +455,17 @@ mod tests {
             .zip(batch.run_all(nibble_streams.iter().map(Vec::as_slice)))
         {
             assert_eq!(single.run_multistep(stream, nibble.chain), result);
+        }
+        // The incremental path gates starts identically even when a feed
+        // boundary splits a chain group.
+        for (id, stream) in nibble_streams.iter().enumerate() {
+            for chunk in stream.chunks(3) {
+                batch.feed(id as StreamId, chunk);
+            }
+            assert_eq!(
+                batch.close(id as StreamId),
+                single.run_multistep(stream, nibble.chain)
+            );
         }
     }
 }

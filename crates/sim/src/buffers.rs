@@ -7,6 +7,8 @@
 //! rates characterized by Wadden et al. (≤ 0.5 reports/cycle for 10 of 12
 //! ANMLZoo benchmarks), output interrupts hide behind input interrupts.
 
+use crate::result::RunResult;
+
 /// Capacity of the input symbol buffer.
 pub const INPUT_BUFFER_ENTRIES: usize = 128;
 /// Capacity of the output report buffer.
@@ -48,20 +50,39 @@ impl BufferStats {
 /// assert_eq!(stats.output_interrupts, 0);
 /// ```
 pub fn simulate_buffers(input_len: usize, report_offsets: &[usize]) -> BufferStats {
-    let input_interrupts = input_len.div_ceil(INPUT_BUFFER_ENTRIES);
-    let mut pending = 0usize;
-    let mut output_interrupts = 0usize;
-    for _ in report_offsets {
-        pending += 1;
-        if pending == OUTPUT_BUFFER_ENTRIES {
-            output_interrupts += 1;
-            pending = 0;
-        }
-    }
+    stats_for_counts(input_len, report_offsets.len())
+}
+
+/// [`BufferStats`] straight off the report records a run (or a
+/// still-open [`Session`](crate::Session)) accumulated — no caller-side
+/// offset collection required. `input_len` is the number of consumed
+/// symbols; sessions track it as [`bytes_fed`](crate::Session::bytes_fed).
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::regex;
+/// use cama_sim::buffers::stats_for_run;
+/// use cama_sim::Simulator;
+///
+/// let nfa = regex::compile("a")?;
+/// let input = vec![b'a'; 200];
+/// let result = Simulator::new(&nfa).run(&input);
+/// let stats = stats_for_run(input.len(), &result);
+/// assert_eq!(stats.input_interrupts, 2);
+/// assert_eq!(stats.output_interrupts, 3);
+/// assert_eq!(stats.residual_reports, 8);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+pub fn stats_for_run(input_len: usize, result: &RunResult) -> BufferStats {
+    stats_for_counts(input_len, result.reports.len())
+}
+
+fn stats_for_counts(input_len: usize, reports: usize) -> BufferStats {
     BufferStats {
-        input_interrupts,
-        output_interrupts,
-        residual_reports: pending,
+        input_interrupts: input_len.div_ceil(INPUT_BUFFER_ENTRIES),
+        output_interrupts: reports / OUTPUT_BUFFER_ENTRIES,
+        residual_reports: reports % OUTPUT_BUFFER_ENTRIES,
     }
 }
 

@@ -19,6 +19,7 @@
 //! streams — see [`BatchSimulator`](crate::BatchSimulator).
 
 use crate::activity::{CycleView, NullObserver, Observer};
+use crate::session::{AutomataEngine, Session};
 use cama_core::bitset::BitSet;
 use cama_core::compiled::CompiledAutomaton;
 use cama_core::{Nfa, SteId};
@@ -223,36 +224,132 @@ impl CycleState {
         self.cycle += 1;
     }
 
-    /// Runs a whole stream from a fresh state.
-    pub(crate) fn run_stream(
-        &mut self,
-        plan: &CompiledAutomaton,
-        input: &[u8],
-        chain: usize,
-        observer: &mut impl Observer,
-    ) -> RunResult {
-        assert!(chain > 0, "chain must be positive");
-        self.reset();
-        let mut result = RunResult::default();
-        if chain == 1 {
-            for &symbol in input {
-                self.step(plan, symbol, true, &mut result, observer);
-            }
-        } else {
-            for (i, &symbol) in input.iter().enumerate() {
-                self.step(plan, symbol, i % chain == 0, &mut result, observer);
-            }
-        }
-        result
+    pub(crate) fn cycle(&self) -> usize {
+        self.cycle
     }
 }
 
-/// A resettable cycle-by-cycle simulator: compiles an [`Nfa`] into a
+/// A streaming session over a [`CompiledAutomaton`]: the byte engine's
+/// [`Session`] implementation.
+///
+/// The session owns the dynamic/next/active vectors, the cycle offset,
+/// and the report accumulation; the immutable plan is shared, so one
+/// plan can drive any number of concurrent sessions. A multi-step
+/// session ([`with_chain`](ByteSession::with_chain)) carries its group
+/// phase in the cycle offset, so chunks may split a `chain`-long group
+/// anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::compiled::CompiledAutomaton;
+/// use cama_core::regex;
+/// use cama_sim::{ByteSession, Session};
+///
+/// let nfa = regex::compile("ab")?;
+/// let plan = CompiledAutomaton::compile(&nfa);
+/// let mut session = ByteSession::new(&plan);
+/// session.feed(b"a"); // chunk boundary mid-match
+/// session.feed(b"b");
+/// assert_eq!(session.finish().report_offsets(), vec![1]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ByteSession<'p> {
+    plan: &'p CompiledAutomaton,
+    /// Sub-symbols per original symbol; starts are injected on cycles
+    /// that are multiples of this.
+    chain: usize,
+    state: CycleState,
+    result: RunResult,
+    fed: usize,
+}
+
+impl<'p> ByteSession<'p> {
+    /// Starts a byte-per-cycle session over a shared plan.
+    pub fn new(plan: &'p CompiledAutomaton) -> Self {
+        Self::with_chain(plan, 1)
+    }
+
+    /// Starts a multi-step (sub-symbol) session: start states are
+    /// injected only on sub-steps that begin a `chain`-long group. The
+    /// group phase survives chunk boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn with_chain(plan: &'p CompiledAutomaton, chain: usize) -> Self {
+        assert!(chain > 0, "chain must be positive");
+        ByteSession {
+            plan,
+            chain,
+            state: CycleState::new(plan.len()),
+            result: RunResult::default(),
+            fed: 0,
+        }
+    }
+
+    /// The shared compiled plan this session executes.
+    pub fn plan(&self) -> &'p CompiledAutomaton {
+        self.plan
+    }
+
+    /// Sub-symbols per original symbol (1 for byte sessions).
+    pub fn chain(&self) -> usize {
+        self.chain
+    }
+}
+
+impl Session for ByteSession<'_> {
+    fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
+        if self.chain == 1 {
+            for &symbol in chunk {
+                self.state
+                    .step(self.plan, symbol, true, &mut self.result, observer);
+            }
+        } else {
+            for &symbol in chunk {
+                let inject = self.state.cycle().is_multiple_of(self.chain);
+                self.state
+                    .step(self.plan, symbol, inject, &mut self.result, observer);
+            }
+        }
+        self.fed += chunk.len();
+    }
+
+    fn finish_with(&mut self, _observer: &mut impl Observer) -> RunResult {
+        let result = std::mem::take(&mut self.result);
+        self.state.reset();
+        self.fed = 0;
+        result
+    }
+
+    fn reset(&mut self) {
+        self.state.reset();
+        self.fed = 0;
+        self.result.reports.clear();
+        self.result.activity = Default::default();
+    }
+
+    fn bytes_fed(&self) -> usize {
+        self.fed
+    }
+
+    fn pending(&self) -> &RunResult {
+        &self.result
+    }
+}
+
+/// A cycle-by-cycle simulator: compiles an [`Nfa`] into a
 /// [`CompiledAutomaton`] and executes streams on it.
 ///
-/// For running *many* streams over one automaton, compile the plan once
-/// and use [`BatchSimulator`](crate::BatchSimulator) instead of
-/// constructing a `Simulator` per stream.
+/// Each `run` is a complete [`ByteSession`] (start, feed, finish), so
+/// one-shot and chunked execution share the same stepping loop; use
+/// [`start`](AutomataEngine::start) directly to feed a stream
+/// incrementally. For running *many* streams over one automaton,
+/// compile the plan once and use
+/// [`BatchSimulator`](crate::BatchSimulator) instead of constructing a
+/// `Simulator` per stream.
 ///
 /// # Examples
 ///
@@ -264,7 +361,7 @@ impl CycleState {
 /// let mut sim = Simulator::new(&nfa);
 /// let result = sim.run(b"zabbz");
 /// assert_eq!(result.report_offsets(), vec![2, 3]);
-/// // The simulator resets between runs.
+/// // Every run is a fresh session.
 /// let again = sim.run(b"ab");
 /// assert_eq!(again.report_offsets(), vec![1]);
 /// # Ok::<(), cama_core::Error>(())
@@ -273,15 +370,13 @@ impl CycleState {
 pub struct Simulator<'a> {
     nfa: &'a Nfa,
     plan: CompiledAutomaton,
-    state: CycleState,
 }
 
 impl<'a> Simulator<'a> {
     /// Compiles the automaton and prepares a simulator.
     pub fn new(nfa: &'a Nfa) -> Self {
         let plan = CompiledAutomaton::compile(nfa);
-        let state = CycleState::new(plan.len());
-        Simulator { nfa, plan, state }
+        Simulator { nfa, plan }
     }
 
     /// The automaton being simulated.
@@ -294,9 +389,16 @@ impl<'a> Simulator<'a> {
         &self.plan
     }
 
-    /// Restores the power-on state (cycle 0, empty enable vector).
-    pub fn reset(&mut self) {
-        self.state.reset();
+    /// Starts a multi-step (sub-symbol) streaming session; see
+    /// [`run_multistep`](Self::run_multistep) for the group semantics
+    /// and [`start`](AutomataEngine::start) for the byte-per-cycle
+    /// equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn start_multistep(&self, chain: usize) -> ByteSession<'_> {
+        ByteSession::with_chain(&self.plan, chain)
     }
 
     /// Runs over `input` from a fresh state and returns reports plus
@@ -308,7 +410,9 @@ impl<'a> Simulator<'a> {
     /// [`run`](Self::run) with a per-cycle observer (used by the energy
     /// models).
     pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
-        self.state.run_stream(&self.plan, input, 1, observer)
+        let mut session = self.start();
+        session.feed_with(input, observer);
+        session.finish_with(observer)
     }
 
     /// Runs a sub-symbol (multi-step) automaton: start states are
@@ -338,7 +442,20 @@ impl<'a> Simulator<'a> {
         chain: usize,
         observer: &mut impl Observer,
     ) -> RunResult {
-        self.state.run_stream(&self.plan, input, chain, observer)
+        let mut session = self.start_multistep(chain);
+        session.feed_with(input, observer);
+        session.finish_with(observer)
+    }
+}
+
+impl<'a> AutomataEngine for Simulator<'a> {
+    type Session<'e>
+        = ByteSession<'e>
+    where
+        Self: 'e;
+
+    fn start(&self) -> ByteSession<'_> {
+        ByteSession::new(&self.plan)
     }
 }
 

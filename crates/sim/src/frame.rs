@@ -1,0 +1,242 @@
+//! Length-prefixed wire framing for interleaved multi-stream ingestion.
+//!
+//! A serving front-end receives one wire buffer carrying fragments of
+//! many flows. The frame format is deliberately minimal: an 8-byte
+//! little-endian header — `stream_id: u32`, `payload_len: u32` —
+//! followed by `payload_len` bytes of that stream's data. A
+//! `payload_len` of zero is the *close marker* for the stream. Frames
+//! from different streams interleave freely.
+//!
+//! [`FrameDecoder`] is fully incremental: the wire itself may be split
+//! at arbitrary byte boundaries (even mid-header), and payload bytes
+//! are handed to the sink as soon as they arrive — a flow is never
+//! buffered whole, which is the point of the streaming-session API (see
+//! the ROADMAP's async-ingestion item and the §VI.B input-buffer
+//! model).
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_sim::frame::{encode_close, encode_frame, FrameDecoder, FrameEvent};
+//!
+//! let mut wire = Vec::new();
+//! encode_frame(7, b"he", &mut wire);
+//! encode_frame(9, b"xyz", &mut wire);
+//! encode_frame(7, b"llo", &mut wire);
+//! encode_close(7, &mut wire);
+//!
+//! let mut decoder = FrameDecoder::new();
+//! let mut stream7 = Vec::new();
+//! let mut closed = Vec::new();
+//! // Feed the wire one byte at a time: events are identical to feeding
+//! // it whole.
+//! for byte in &wire {
+//!     decoder.feed(std::slice::from_ref(byte), |event| match event {
+//!         FrameEvent::Data { stream: 7, chunk } => stream7.extend_from_slice(chunk),
+//!         FrameEvent::Data { .. } => {}
+//!         FrameEvent::Close { stream } => closed.push(stream),
+//!     });
+//! }
+//! assert_eq!(stream7, b"hello");
+//! assert_eq!(closed, vec![7]);
+//! assert!(decoder.is_idle());
+//! ```
+
+/// Identifies one flow within a framed wire buffer (and one open
+/// session in a [`BatchSimulator`](crate::BatchSimulator) stream
+/// table).
+pub type StreamId = u32;
+
+/// Size of the `(stream_id, payload_len)` frame header in bytes.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// One demuxed event from the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameEvent<'a> {
+    /// Payload bytes for a stream. A single frame may surface as several
+    /// `Data` events when the wire is split mid-payload; the
+    /// concatenation is invariant under wire chunking.
+    Data {
+        /// The flow these bytes belong to.
+        stream: StreamId,
+        /// The payload fragment, borrowed from the fed wire chunk.
+        chunk: &'a [u8],
+    },
+    /// End-of-stream marker (a zero-length frame).
+    Close {
+        /// The flow being closed.
+        stream: StreamId,
+    },
+}
+
+/// Incremental decoder for the length-prefixed frame format.
+///
+/// Holds at most one partial header (≤ 8 bytes) between calls; payload
+/// bytes are never copied.
+#[derive(Clone, Debug, Default)]
+pub struct FrameDecoder {
+    header: [u8; FRAME_HEADER_BYTES],
+    header_len: usize,
+    stream: StreamId,
+    /// Payload bytes of the current frame not yet seen.
+    remaining: u32,
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Consumes one wire chunk, invoking `sink` for every event it
+    /// completes. Chunk boundaries are arbitrary; state for partial
+    /// headers and partial payloads carries over to the next call.
+    pub fn feed<'a>(&mut self, mut wire: &'a [u8], mut sink: impl FnMut(FrameEvent<'a>)) {
+        while !wire.is_empty() {
+            if self.remaining > 0 {
+                let take = (self.remaining as usize).min(wire.len());
+                let (chunk, rest) = wire.split_at(take);
+                self.remaining -= take as u32;
+                sink(FrameEvent::Data {
+                    stream: self.stream,
+                    chunk,
+                });
+                wire = rest;
+            } else {
+                let take = (FRAME_HEADER_BYTES - self.header_len).min(wire.len());
+                self.header[self.header_len..self.header_len + take].copy_from_slice(&wire[..take]);
+                self.header_len += take;
+                wire = &wire[take..];
+                if self.header_len == FRAME_HEADER_BYTES {
+                    self.header_len = 0;
+                    let stream = u32::from_le_bytes(self.header[..4].try_into().unwrap());
+                    let len = u32::from_le_bytes(self.header[4..].try_into().unwrap());
+                    if len == 0 {
+                        sink(FrameEvent::Close { stream });
+                    } else {
+                        self.stream = stream;
+                        self.remaining = len;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` when the decoder sits exactly on a frame boundary (no
+    /// partial header or payload pending) — the well-formed end-of-wire
+    /// condition.
+    pub fn is_idle(&self) -> bool {
+        self.header_len == 0 && self.remaining == 0
+    }
+}
+
+/// Appends one data frame carrying `payload` to `wire`.
+///
+/// Payloads longer than `u32::MAX` are split across several frames (the
+/// decoder's `Data` events concatenate transparently). An empty payload
+/// appends nothing: a zero-length frame is the close marker, which
+/// [`encode_close`] writes.
+pub fn encode_frame(stream: StreamId, payload: &[u8], wire: &mut Vec<u8>) {
+    for part in payload.chunks(u32::MAX as usize) {
+        wire.extend_from_slice(&stream.to_le_bytes());
+        wire.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        wire.extend_from_slice(part);
+    }
+}
+
+/// Appends the close marker for `stream` to `wire`.
+pub fn encode_close(stream: StreamId, wire: &mut Vec<u8>) {
+    wire.extend_from_slice(&stream.to_le_bytes());
+    wire.extend_from_slice(&0u32.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_events(wire: &[u8], split_at: &[usize]) -> Vec<(StreamId, Vec<u8>, bool)> {
+        // Returns (stream, bytes, closed) tuples: Data events appended
+        // per stream in arrival order, Close recorded as a marker.
+        let mut decoder = FrameDecoder::new();
+        let mut events = Vec::new();
+        let mut pieces: Vec<&[u8]> = Vec::new();
+        let mut prev = 0;
+        for &cut in split_at {
+            pieces.push(&wire[prev..cut]);
+            prev = cut;
+        }
+        pieces.push(&wire[prev..]);
+        for piece in pieces {
+            decoder.feed(piece, |event| match event {
+                FrameEvent::Data { stream, chunk } => events.push((stream, chunk.to_vec(), false)),
+                FrameEvent::Close { stream } => events.push((stream, Vec::new(), true)),
+            });
+        }
+        assert!(decoder.is_idle());
+        events
+    }
+
+    fn payload_of(events: &[(StreamId, Vec<u8>, bool)], stream: StreamId) -> Vec<u8> {
+        events
+            .iter()
+            .filter(|(s, _, closed)| *s == stream && !closed)
+            .flat_map(|(_, bytes, _)| bytes.iter().copied())
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_frames_demux_per_stream() {
+        let mut wire = Vec::new();
+        encode_frame(1, b"abc", &mut wire);
+        encode_frame(2, b"XY", &mut wire);
+        encode_frame(1, b"def", &mut wire);
+        encode_close(2, &mut wire);
+        encode_close(1, &mut wire);
+
+        let events = collect_events(&wire, &[]);
+        assert_eq!(payload_of(&events, 1), b"abcdef");
+        assert_eq!(payload_of(&events, 2), b"XY");
+        let closes: Vec<StreamId> = events
+            .iter()
+            .filter(|(_, _, closed)| *closed)
+            .map(|(s, _, _)| *s)
+            .collect();
+        assert_eq!(closes, vec![2, 1]);
+    }
+
+    #[test]
+    fn wire_chunking_is_invisible() {
+        let mut wire = Vec::new();
+        encode_frame(5, b"hello world", &mut wire);
+        encode_frame(6, &[0u8; 3], &mut wire);
+        encode_close(5, &mut wire);
+
+        let whole = collect_events(&wire, &[]);
+        // Split inside the first header, inside a payload, and inside
+        // the close header.
+        let split = collect_events(&wire, &[3, 10, wire.len() - 2]);
+        assert_eq!(payload_of(&whole, 5), payload_of(&split, 5));
+        assert_eq!(payload_of(&whole, 6), payload_of(&split, 6));
+        // One-byte-at-a-time chunking.
+        let trickle = collect_events(&wire, &(1..wire.len()).collect::<Vec<_>>());
+        assert_eq!(payload_of(&whole, 5), payload_of(&trickle, 5));
+    }
+
+    #[test]
+    fn empty_payload_encodes_nothing() {
+        let mut wire = Vec::new();
+        encode_frame(3, b"", &mut wire);
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn partial_frame_leaves_decoder_busy() {
+        let mut wire = Vec::new();
+        encode_frame(1, b"abcd", &mut wire);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire[..wire.len() - 1], |_| {});
+        assert!(!decoder.is_idle());
+        decoder.feed(&wire[wire.len() - 1..], |_| {});
+        assert!(decoder.is_idle());
+    }
+}

@@ -7,10 +7,14 @@
 //! `nfa.successors(id)` through borrowed adjacency. It is deliberately
 //! unoptimized — the property tests assert the compiled engine produces
 //! bit-identical results, and the benchmarks quantify the speedup of
-//! compiling instead of interpreting.
+//! compiling instead of interpreting. Like the compiled engines it
+//! implements [`AutomataEngine`], so the differential harness can feed
+//! all three engine flavours through the same streaming [`Session`]
+//! interface.
 
 use crate::activity::{CycleView, NullObserver, Observer};
 use crate::result::{Report, RunResult};
+use crate::session::{AutomataEngine, Session};
 use cama_core::bitset::BitSet;
 use cama_core::{Nfa, StartKind, SteId};
 
@@ -37,10 +41,6 @@ pub struct InterpSimulator<'a> {
     start_match: Vec<BitSet>,
     /// `start-of-data` start states.
     sod_starts: Vec<SteId>,
-    dynamic: BitSet,
-    next: BitSet,
-    active: BitSet,
-    cycle: usize,
 }
 
 impl<'a> InterpSimulator<'a> {
@@ -66,10 +66,6 @@ impl<'a> InterpSimulator<'a> {
             nfa,
             start_match,
             sod_starts,
-            dynamic: BitSet::new(n),
-            next: BitSet::new(n),
-            active: BitSet::new(n),
-            cycle: 0,
         }
     }
 
@@ -78,10 +74,18 @@ impl<'a> InterpSimulator<'a> {
         self.nfa
     }
 
-    /// Restores the power-on state.
-    pub fn reset(&mut self) {
-        self.dynamic.clear();
-        self.cycle = 0;
+    /// Starts a multi-step (sub-symbol) streaming session; see
+    /// [`Simulator::run_multistep`](crate::Simulator::run_multistep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn start_multistep(&self, chain: usize) -> InterpSession<'_> {
+        assert!(chain > 0, "chain must be positive");
+        InterpSession {
+            chain,
+            ..self.start()
+        }
     }
 
     /// Runs over `input` from a fresh state.
@@ -91,12 +95,9 @@ impl<'a> InterpSimulator<'a> {
 
     /// [`run`](Self::run) with a per-cycle observer.
     pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
-        self.reset();
-        let mut result = RunResult::default();
-        for &symbol in input {
-            self.step(symbol, true, &mut result, observer);
-        }
-        result
+        let mut session = self.start();
+        session.feed_with(input, observer);
+        session.finish_with(observer)
     }
 
     /// Multi-step (sub-symbol) execution; see
@@ -106,22 +107,55 @@ impl<'a> InterpSimulator<'a> {
     ///
     /// Panics if `chain` is zero.
     pub fn run_multistep(&mut self, input: &[u8], chain: usize) -> RunResult {
-        assert!(chain > 0, "chain must be positive");
-        self.reset();
-        let mut result = RunResult::default();
-        for (i, &symbol) in input.iter().enumerate() {
-            self.step(symbol, i % chain == 0, &mut result, &mut NullObserver);
-        }
-        result
+        let mut session = self.start_multistep(chain);
+        session.feed(input);
+        session.finish()
     }
+}
 
-    fn step(
-        &mut self,
-        symbol: u8,
-        inject_starts: bool,
-        result: &mut RunResult,
-        observer: &mut impl Observer,
-    ) {
+impl<'a> AutomataEngine for InterpSimulator<'a> {
+    type Session<'e>
+        = InterpSession<'e>
+    where
+        Self: 'e;
+
+    fn start(&self) -> InterpSession<'_> {
+        let n = self.nfa.len();
+        InterpSession {
+            nfa: self.nfa,
+            start_match: &self.start_match,
+            sod_starts: &self.sod_starts,
+            chain: 1,
+            dynamic: BitSet::new(n),
+            next: BitSet::new(n),
+            active: BitSet::new(n),
+            cycle: 0,
+            fed: 0,
+            result: RunResult::default(),
+        }
+    }
+}
+
+/// A streaming session over the interpreted engine: the
+/// structure-at-a-time counterpart of
+/// [`ByteSession`](crate::ByteSession), borrowing the parent
+/// [`InterpSimulator`]'s precomputed start tables.
+#[derive(Clone, Debug)]
+pub struct InterpSession<'e> {
+    nfa: &'e Nfa,
+    start_match: &'e [BitSet],
+    sod_starts: &'e [SteId],
+    chain: usize,
+    dynamic: BitSet,
+    next: BitSet,
+    active: BitSet,
+    cycle: usize,
+    fed: usize,
+    result: RunResult,
+}
+
+impl InterpSession<'_> {
+    fn step(&mut self, symbol: u8, inject_starts: bool, observer: &mut impl Observer) {
         // State matching over the enable vector, one state at a time.
         self.active.clear();
         if inject_starts {
@@ -133,7 +167,7 @@ impl<'a> InterpSimulator<'a> {
             }
         }
         if self.cycle == 0 {
-            for &id in &self.sod_starts {
+            for &id in self.sod_starts {
                 if self.nfa.ste(id).class.contains(symbol) {
                     self.active.insert(id.index());
                 }
@@ -146,7 +180,7 @@ impl<'a> InterpSimulator<'a> {
         for i in self.active.iter() {
             let id = SteId(i as u32);
             if let Some(code) = self.nfa.ste(id).report {
-                result.reports.push(Report {
+                self.result.reports.push(Report {
                     ste: id,
                     code,
                     offset: self.cycle,
@@ -158,7 +192,7 @@ impl<'a> InterpSimulator<'a> {
             }
         }
 
-        result.activity.record(
+        self.result.activity.record(
             self.active.count(),
             self.dynamic.count(),
             reports_this_cycle,
@@ -173,6 +207,46 @@ impl<'a> InterpSimulator<'a> {
 
         std::mem::swap(&mut self.dynamic, &mut self.next);
         self.cycle += 1;
+    }
+}
+
+impl Session for InterpSession<'_> {
+    fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
+        if self.chain == 1 {
+            for &symbol in chunk {
+                self.step(symbol, true, observer);
+            }
+        } else {
+            for &symbol in chunk {
+                let inject = self.cycle.is_multiple_of(self.chain);
+                self.step(symbol, inject, observer);
+            }
+        }
+        self.fed += chunk.len();
+    }
+
+    fn finish_with(&mut self, _observer: &mut impl Observer) -> RunResult {
+        let result = std::mem::take(&mut self.result);
+        self.reset();
+        result
+    }
+
+    fn reset(&mut self) {
+        self.dynamic.clear();
+        self.next.clear();
+        self.active.clear();
+        self.cycle = 0;
+        self.fed = 0;
+        self.result.reports.clear();
+        self.result.activity = Default::default();
+    }
+
+    fn bytes_fed(&self) -> usize {
+        self.fed
+    }
+
+    fn pending(&self) -> &RunResult {
+        &self.result
     }
 }
 
@@ -194,5 +268,18 @@ mod tests {
         let mut sim = InterpSimulator::new(&nfa);
         assert!(sim.run(b"a").reports.is_empty());
         assert!(sim.run(b"b").reports.is_empty());
+    }
+
+    #[test]
+    fn chunked_session_equals_one_shot() {
+        let nfa = regex::compile("a[bc]+d").unwrap();
+        let mut sim = InterpSimulator::new(&nfa);
+        let input = b"zabccbda abcd";
+        let one_shot = sim.run(input);
+        let mut session = sim.start();
+        for chunk in input.chunks(3) {
+            session.feed(chunk);
+        }
+        assert_eq!(session.finish(), one_shot);
     }
 }

@@ -14,8 +14,14 @@
 //!   [`Nfa`](cama_core::Nfa) (compiles a plan internally);
 //! * [`Simulator::run_multistep`] — sub-symbol execution for bit-width
 //!   transformed automata (Impala's nibble NFAs);
-//! * [`BatchSimulator`] — many independent input streams over one
-//!   shared compiled plan, sequentially or across threads;
+//! * [`session`] — the streaming-session layer: every engine implements
+//!   [`AutomataEngine`], whose [`Session`]s accept input in arbitrary
+//!   chunks (`feed`) with results identical to one-shot runs;
+//! * [`BatchSimulator`] — the multi-stream stream table: open/feed/close
+//!   interleaved flows over one shared compiled plan, plus sequential
+//!   and threaded whole-batch runs;
+//! * [`frame`] — length-prefixed wire framing ([`FrameDecoder`]) for
+//!   demuxing interleaved flows out of one buffer;
 //! * [`interp::InterpSimulator`] — the pre-compilation
 //!   structure-at-a-time engine, kept as the semantic baseline;
 //! * [`strided::StridedSimulator`] — two-bytes-per-cycle execution of a
@@ -24,7 +30,7 @@
 //! * [`activity`] — the per-cycle observer interface and summary
 //!   statistics the energy models consume;
 //! * [`buffers`] — the 128-entry input / 64-entry output buffer
-//!   interruption model of §VI.B.
+//!   interruption model of §VI.B, fed directly from run results.
 //!
 //! # Examples
 //!
@@ -36,6 +42,22 @@
 //! let result = Simulator::new(&nfa).run(b"xbeecddy");
 //! let offsets: Vec<usize> = result.reports.iter().map(|r| r.offset).collect();
 //! assert_eq!(offsets, vec![5, 6]);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+//!
+//! Streaming the same input in arbitrary chunks:
+//!
+//! ```
+//! use cama_core::regex;
+//! use cama_sim::{AutomataEngine, Session, Simulator};
+//!
+//! let nfa = regex::compile("(a|b)e*cd+")?;
+//! let sim = Simulator::new(&nfa);
+//! let mut session = sim.start();
+//! for chunk in [&b"xbe"[..], b"e", b"cddy"] {
+//!     session.feed(chunk);
+//! }
+//! assert_eq!(session.finish().report_offsets(), vec![5, 6]);
 //! # Ok::<(), cama_core::Error>(())
 //! ```
 //!
@@ -59,13 +81,18 @@ pub mod activity;
 pub mod batch;
 pub mod buffers;
 pub mod engine;
+pub mod frame;
 pub mod interp;
 pub mod result;
+pub mod session;
 pub mod strided;
 
 pub use activity::{ActivitySummary, CycleView, Observer};
 pub use batch::BatchSimulator;
-pub use engine::Simulator;
-pub use interp::InterpSimulator;
+pub use buffers::BufferStats;
+pub use engine::{ByteSession, Simulator};
+pub use frame::{FrameDecoder, FrameEvent, StreamId};
+pub use interp::{InterpSession, InterpSimulator};
 pub use result::{Report, RunResult};
-pub use strided::StridedSimulator;
+pub use session::{AutomataEngine, Session};
+pub use strided::{StridedSession, StridedSimulator};

@@ -30,6 +30,12 @@ impl RunResult {
         offsets.dedup();
         offsets
     }
+
+    /// The §VI.B buffer-interruption counts implied by this run's
+    /// report records, for a stream of `input_len` consumed symbols.
+    pub fn buffer_stats(&self, input_len: usize) -> crate::buffers::BufferStats {
+        crate::buffers::stats_for_run(input_len, self)
+    }
 }
 
 #[cfg(test)]

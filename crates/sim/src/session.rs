@@ -1,0 +1,116 @@
+//! The streaming-session abstraction: incremental `feed()` across all
+//! engines.
+//!
+//! Every engine in this crate executes the same shape of loop — consume
+//! symbols, update an enable vector, accumulate reports — but serving
+//! workloads rarely hand the engine a fully materialized input. Packets
+//! arrive incrementally (the §VI.B input-buffer model drains 128 symbols
+//! at a time), and a multi-stream scheduler needs to suspend one flow
+//! mid-input and resume another. A [`Session`] is the resumable
+//! per-stream half of an engine: it owns the active/next vectors, the
+//! report accumulation, the cycle offset, and (for the strided engine)
+//! the carry byte that keeps matches at correct absolute offsets across
+//! arbitrary chunk boundaries.
+//!
+//! [`AutomataEngine`] is the common entry point: every engine can
+//! [`start`](AutomataEngine::start) a session, and the one-shot `run`
+//! methods are thin wrappers over exactly that path, so chunked and
+//! one-shot execution share a single stepping loop per engine and are
+//! bit-for-bit identical (asserted by the seeded differential harness in
+//! `tests/property.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::regex;
+//! use cama_sim::{AutomataEngine, Session, Simulator};
+//!
+//! let nfa = regex::compile("ab+")?;
+//! let sim = Simulator::new(&nfa);
+//! let mut session = sim.start();
+//! // Chunk boundaries are arbitrary — even mid-match.
+//! session.feed(b"za");
+//! session.feed(b"b");
+//! session.feed(b"bz");
+//! let result = session.finish();
+//! assert_eq!(result.report_offsets(), vec![2, 3]);
+//! // The session is reset by `finish` and immediately reusable.
+//! session.feed(b"ab");
+//! assert_eq!(session.finish().report_offsets(), vec![1]);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+
+use crate::activity::{NullObserver, Observer};
+use crate::buffers::{stats_for_run, BufferStats};
+use crate::result::RunResult;
+
+/// A resumable per-stream execution: feed input in arbitrary chunks,
+/// then [`finish`](Session::finish) to collect the [`RunResult`].
+///
+/// Implementations guarantee *chunk-boundary equivalence*: splitting an
+/// input into any sequence of `feed` calls (including 1-byte chunks, or
+/// chunks splitting a stride pair or a multi-step group) yields a result
+/// identical to feeding it whole — same reports, same offsets, same
+/// per-cycle activity statistics.
+///
+/// Sessions reuse their scratch vectors (the enable/active bitsets and
+/// summaries) across `feed` calls and across streams — the accumulated
+/// report list, which [`finish`](Session::finish) hands out by value,
+/// is the only buffer that grows. [`reset`](Session::reset) restores
+/// the power-on state while keeping all capacity, so long-lived serving
+/// loops don't churn the allocator.
+pub trait Session {
+    /// Consumes one chunk of input, observing every cycle.
+    fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer);
+
+    /// Consumes one chunk of input.
+    fn feed(&mut self, chunk: &[u8]) {
+        self.feed_with(chunk, &mut NullObserver);
+    }
+
+    /// Flushes any pending partial state (the strided engine's carry
+    /// byte), observing flush cycles, and returns the accumulated
+    /// result. The session is reset and immediately reusable.
+    fn finish_with(&mut self, observer: &mut impl Observer) -> RunResult;
+
+    /// [`finish_with`](Session::finish_with) without an observer.
+    fn finish(&mut self) -> RunResult {
+        self.finish_with(&mut NullObserver)
+    }
+
+    /// Discards all accumulated state and reports, restoring the
+    /// power-on state while reusing allocated capacity.
+    fn reset(&mut self);
+
+    /// Total input bytes consumed since the last reset. (For sub-symbol
+    /// sessions this counts sub-symbols, i.e. stream positions.)
+    fn bytes_fed(&self) -> usize;
+
+    /// The result accumulated so far, without finishing. Reports from a
+    /// pending partial stride pair are not yet included, and the strided
+    /// engine's reports are only sorted by [`finish`](Session::finish).
+    fn pending(&self) -> &RunResult;
+
+    /// The §VI.B buffer-interruption counts implied by the traffic this
+    /// session has consumed and the reports it has accumulated so far.
+    fn buffer_stats(&self) -> BufferStats {
+        stats_for_run(self.bytes_fed(), self.pending())
+    }
+}
+
+/// An automata engine that can start resumable streaming sessions.
+///
+/// Implemented by [`Simulator`](crate::Simulator) (compiled byte
+/// engine), [`StridedSimulator`](crate::StridedSimulator) (two bytes
+/// per cycle), and [`InterpSimulator`](crate::InterpSimulator) (the
+/// structure-at-a-time baseline), so differential harnesses and serving
+/// loops can be written once against the trait.
+pub trait AutomataEngine {
+    /// The session type; borrows the engine's immutable compiled plan.
+    type Session<'e>: Session
+    where
+        Self: 'e;
+
+    /// Starts a fresh session at cycle 0 with an empty enable vector.
+    fn start(&self) -> Self::Session<'_>;
+}

@@ -8,106 +8,87 @@
 //! byte offsets using the [`ReportPhase`] carried by each strided
 //! state, so a strided run is directly comparable with (and tested
 //! equivalent to) the 1-stride run of the original automaton.
+//!
+//! The stepping loop lives in [`StridedSession`]; a chunk that ends
+//! mid-pair leaves its odd byte in the session's carry slot, so feeding
+//! a stream in arbitrary chunks (including 1-byte chunks) produces the
+//! same pairs — and the same absolute report offsets — as a one-shot
+//! run.
 
-use crate::activity::{ActivitySummary, CycleView, NullObserver, Observer};
+use crate::activity::{CycleView, NullObserver, Observer};
 use crate::result::{Report, RunResult};
+use crate::session::{AutomataEngine, Session};
 use cama_core::bitset::BitSet;
 use cama_core::compiled::CompiledStridedAutomaton;
 use cama_core::stride::{ReportPhase, StridedNfa};
 use cama_core::SteId;
 
-/// A cycle-by-cycle simulator for a [`StridedNfa`].
+/// A streaming session over a [`CompiledStridedAutomaton`].
 ///
-/// Odd-length inputs are padded with one zero byte; reports whose mapped
-/// offset would fall on the pad are suppressed, so the report stream is
-/// identical to the unpadded 1-stride stream.
+/// The session owns the enable vectors, the pair-cycle offset, the
+/// report accumulation, and the *carry byte*: when a chunk ends on an
+/// odd boundary the dangling byte is held until the next chunk's first
+/// byte completes the pair. [`finish`](Session::finish) flushes a
+/// still-pending carry byte as a zero-padded final pair; reports that
+/// would land on the pad are suppressed, exactly like the one-shot
+/// engine's odd-length padding.
 ///
 /// # Examples
 ///
 /// ```
 /// use cama_core::regex;
 /// use cama_core::stride::StridedNfa;
-/// use cama_sim::StridedSimulator;
+/// use cama_sim::{AutomataEngine, Session, StridedSimulator};
 ///
 /// let nfa = regex::compile("ab+")?;
 /// let strided = StridedNfa::from_nfa(&nfa);
-/// let result = StridedSimulator::new(&strided).run(b"zabbz");
-/// assert_eq!(result.report_offsets(), vec![2, 3]);
+/// let sim = StridedSimulator::new(&strided);
+/// let mut session = sim.start();
+/// session.feed(b"zab"); // odd chunk: 'b' is carried
+/// session.feed(b"bz");
+/// assert_eq!(session.finish().report_offsets(), vec![2, 3]);
 /// # Ok::<(), cama_core::Error>(())
 /// ```
-#[derive(Debug)]
-pub struct StridedSimulator<'a> {
-    nfa: &'a StridedNfa,
-    plan: CompiledStridedAutomaton,
+#[derive(Clone, Debug)]
+pub struct StridedSession<'p> {
+    plan: &'p CompiledStridedAutomaton,
     dynamic: BitSet,
     next: BitSet,
     active: BitSet,
     cycle: usize,
+    /// First byte of a pair whose second byte has not arrived yet.
+    carry: Option<u8>,
+    fed: usize,
+    result: RunResult,
 }
 
-impl<'a> StridedSimulator<'a> {
-    /// Compiles the strided automaton and prepares a simulator.
-    pub fn new(nfa: &'a StridedNfa) -> Self {
-        let plan = CompiledStridedAutomaton::compile(nfa);
+impl<'p> StridedSession<'p> {
+    /// Starts a session over a shared strided plan.
+    pub fn new(plan: &'p CompiledStridedAutomaton) -> Self {
         let n = plan.len();
-        StridedSimulator {
-            nfa,
+        StridedSession {
             plan,
             dynamic: BitSet::new(n),
             next: BitSet::new(n),
             active: BitSet::new(n),
             cycle: 0,
+            carry: None,
+            fed: 0,
+            result: RunResult::default(),
         }
     }
 
-    /// The strided automaton being simulated.
-    pub fn nfa(&self) -> &'a StridedNfa {
-        self.nfa
+    /// The shared compiled plan this session executes.
+    pub fn plan(&self) -> &'p CompiledStridedAutomaton {
+        self.plan
     }
 
-    /// The compiled strided plan the simulator runs on.
-    pub fn plan(&self) -> &CompiledStridedAutomaton {
-        &self.plan
-    }
-
-    /// Restores the power-on state.
-    pub fn reset(&mut self) {
-        self.dynamic.clear();
-        self.cycle = 0;
-    }
-
-    /// Runs over `input` (any length; odd lengths are padded internally)
-    /// and returns reports with *original byte offsets*.
-    pub fn run(&mut self, input: &[u8]) -> RunResult {
-        self.run_with(input, &mut NullObserver)
-    }
-
-    /// [`run`](Self::run) with a per-cycle observer.
-    pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
-        self.reset();
-        let mut result = RunResult {
-            reports: Vec::new(),
-            activity: ActivitySummary::default(),
-        };
-        let mut pairs = input.chunks_exact(2);
-        for pair in pairs.by_ref() {
-            self.step(pair[0], pair[1], input.len(), &mut result, observer);
-        }
-        if let [last] = *pairs.remainder() {
-            self.step(last, 0, input.len(), &mut result, observer);
-        }
-        result.reports.sort_by_key(|r| (r.offset, r.ste));
-        result
-    }
-
-    fn step(
-        &mut self,
-        a: u8,
-        b: u8,
-        input_len: usize,
-        result: &mut RunResult,
-        observer: &mut impl Observer,
-    ) {
+    /// Executes one pair cycle. Reports map to absolute byte offsets
+    /// through the pair-cycle counter; `limit` suppresses reports at or
+    /// past it (only the final zero-padded flush pair passes a finite
+    /// limit — every mid-stream pair's offsets are below the bytes
+    /// already fed).
+    fn step(&mut self, a: u8, b: u8, limit: usize, observer: &mut impl Observer) {
         // One fused pass: active = first[a] & second[b] & (dynamic ∪
         // injected starts), with popcounts, the phase-mapped report
         // scan, and the successor expansion per 64-state word.
@@ -145,8 +126,8 @@ impl<'a> StridedSimulator<'a> {
                     ReportPhase::Second => self.cycle * 2 + 1,
                 };
                 // Suppress reports that land on the pad byte.
-                if offset < input_len {
-                    result.reports.push(Report {
+                if offset < limit {
+                    self.result.reports.push(Report {
                         ste: SteId(state as u32),
                         code,
                         offset,
@@ -166,7 +147,7 @@ impl<'a> StridedSimulator<'a> {
             }
         }
 
-        result
+        self.result
             .activity
             .record(num_active, num_dynamic, reports_this_cycle);
         observer.on_cycle(&CycleView {
@@ -179,6 +160,126 @@ impl<'a> StridedSimulator<'a> {
 
         std::mem::swap(&mut self.dynamic, &mut self.next);
         self.cycle += 1;
+    }
+}
+
+impl Session for StridedSession<'_> {
+    fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
+        self.fed += chunk.len();
+        let mut chunk = chunk;
+        if let Some(a) = self.carry {
+            let Some((&b, rest)) = chunk.split_first() else {
+                return;
+            };
+            self.carry = None;
+            self.step(a, b, usize::MAX, observer);
+            chunk = rest;
+        }
+        let mut pairs = chunk.chunks_exact(2);
+        for pair in pairs.by_ref() {
+            self.step(pair[0], pair[1], usize::MAX, observer);
+        }
+        if let [last] = *pairs.remainder() {
+            self.carry = Some(last);
+        }
+    }
+
+    fn finish_with(&mut self, observer: &mut impl Observer) -> RunResult {
+        if let Some(a) = self.carry.take() {
+            self.step(a, 0, self.fed, observer);
+        }
+        let mut result = std::mem::take(&mut self.result);
+        result.reports.sort_by_key(|r| (r.offset, r.ste));
+        self.reset();
+        result
+    }
+
+    fn reset(&mut self) {
+        self.dynamic.clear();
+        self.next.clear();
+        self.active.clear();
+        self.cycle = 0;
+        self.carry = None;
+        self.fed = 0;
+        self.result.reports.clear();
+        self.result.activity = Default::default();
+    }
+
+    fn bytes_fed(&self) -> usize {
+        self.fed
+    }
+
+    fn pending(&self) -> &RunResult {
+        &self.result
+    }
+}
+
+/// A cycle-by-cycle simulator for a [`StridedNfa`].
+///
+/// Odd-length inputs are padded with one zero byte; reports whose mapped
+/// offset would fall on the pad are suppressed, so the report stream is
+/// identical to the unpadded 1-stride stream. Each `run` is a complete
+/// [`StridedSession`]; use [`start`](AutomataEngine::start) to feed a
+/// stream in chunks instead.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::regex;
+/// use cama_core::stride::StridedNfa;
+/// use cama_sim::StridedSimulator;
+///
+/// let nfa = regex::compile("ab+")?;
+/// let strided = StridedNfa::from_nfa(&nfa);
+/// let result = StridedSimulator::new(&strided).run(b"zabbz");
+/// assert_eq!(result.report_offsets(), vec![2, 3]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct StridedSimulator<'a> {
+    nfa: &'a StridedNfa,
+    plan: CompiledStridedAutomaton,
+}
+
+impl<'a> StridedSimulator<'a> {
+    /// Compiles the strided automaton and prepares a simulator.
+    pub fn new(nfa: &'a StridedNfa) -> Self {
+        let plan = CompiledStridedAutomaton::compile(nfa);
+        StridedSimulator { nfa, plan }
+    }
+
+    /// The strided automaton being simulated.
+    pub fn nfa(&self) -> &'a StridedNfa {
+        self.nfa
+    }
+
+    /// The compiled strided plan the simulator runs on.
+    pub fn plan(&self) -> &CompiledStridedAutomaton {
+        &self.plan
+    }
+
+    /// Runs over `input` (any length; odd lengths are padded internally)
+    /// and returns reports with *original byte offsets*.
+    pub fn run(&mut self, input: &[u8]) -> RunResult {
+        self.run_with(input, &mut NullObserver)
+    }
+
+    /// [`run`](Self::run) with a per-cycle observer.
+    pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
+        let mut session = self.start();
+        session.feed_with(input, observer);
+        session.finish_with(observer)
+    }
+}
+
+impl<'a> AutomataEngine for StridedSimulator<'a> {
+    type Session<'e>
+        = StridedSession<'e>
+    where
+        Self: 'e;
+
+    fn start(&self) -> StridedSession<'_> {
+        StridedSession::new(&self.plan)
     }
 }
 
@@ -231,6 +332,42 @@ mod tests {
         let strided = StridedNfa::from_nfa(&nfa);
         let result = StridedSimulator::new(&strided).run(b"zzq");
         assert!(result.reports.is_empty());
+    }
+
+    #[test]
+    fn carry_byte_survives_chunk_boundaries() {
+        let nfa = regex::compile("abcd").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let sim = StridedSimulator::new(&strided);
+        let one_shot = sim.start().feed_all(b"zabcdz");
+        // Split the input so every chunk straddles a pair boundary.
+        let mut session = sim.start();
+        session.feed(b"z");
+        session.feed(b"abc");
+        session.feed(b"");
+        session.feed(b"dz");
+        assert_eq!(session.finish(), one_shot);
+    }
+
+    #[test]
+    fn finish_flushes_pending_carry() {
+        // A match whose last byte is the carried odd byte must still be
+        // reported by finish(), while pad-offset reports stay hidden.
+        let nfa = regex::compile("za").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let sim = StridedSimulator::new(&strided);
+        let mut session = sim.start();
+        session.feed(b"zz");
+        session.feed(b"a");
+        let result = session.finish();
+        assert_eq!(result.report_offsets(), vec![2]);
+    }
+
+    impl<'p> StridedSession<'p> {
+        fn feed_all(mut self, input: &[u8]) -> RunResult {
+            self.feed(input);
+            self.finish()
+        }
     }
 
     #[test]

@@ -85,7 +85,7 @@ impl ClassRecipe {
         }
     }
 
-    /// Builds the distinct-class pools; subsequent [`sample`] calls draw
+    /// Builds the distinct-class pools; subsequent [`sample`](Self::sample) calls draw
     /// from them.
     ///
     /// Small classes are runs of `⌊r⌋` and `⌈r⌉` symbols *tiling* the

@@ -11,7 +11,6 @@ use cama::arch::designs::DesignKind;
 use cama::arch::report::evaluate_with_plan;
 use cama::core::regex;
 use cama::encoding::EncodingPlan;
-use cama::sim::buffers::simulate_buffers;
 use cama::sim::Simulator;
 
 const RULES: &[(&str, &str)] = &[
@@ -74,7 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let buffers = simulate_buffers(trace.len(), &result.report_offsets());
+    // One buffer entry per report record, straight off the run.
+    let buffers = result.buffer_stats(trace.len());
     println!(
         "output buffer: {} interrupts vs {} input refills (hidden: {})",
         buffers.output_interrupts,

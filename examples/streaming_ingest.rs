@@ -1,0 +1,79 @@
+//! Streaming ingestion: incremental `feed()` sessions, an interleaved
+//! stream table, and a length-prefixed wire demuxed by `FrameDecoder`.
+//!
+//! ```console
+//! $ cargo run --release --example streaming_ingest
+//! ```
+
+use cama::core::compiled::CompiledAutomaton;
+use cama::core::regex;
+use cama::sim::frame::{encode_close, encode_frame};
+use cama::sim::{AutomataEngine, BatchSimulator, FrameDecoder, Session, Simulator, StreamId};
+
+fn main() -> Result<(), cama::core::Error> {
+    // An IDS-flavoured rule set, compiled once.
+    let patterns = ["evil", "worm[0-9]+", "GET /admin"];
+    let nfa = regex::compile_set(&patterns)?;
+
+    // --- 1. A single resumable session: packets arrive one at a time. ---
+    let sim = Simulator::new(&nfa);
+    let mut session = sim.start();
+    for packet in [&b"GET /ad"[..], b"min", b" ... ev", b"il"] {
+        session.feed(packet);
+    }
+    // §VI.B buffer model, straight off the session's accumulated state.
+    let buffers = session.buffer_stats();
+    let result = session.finish();
+    println!(
+        "single flow: {} reports at offsets {:?} ({} input interrupts, {} residual reports)",
+        result.reports.len(),
+        result.report_offsets(),
+        buffers.input_interrupts,
+        buffers.residual_reports,
+    );
+
+    // --- 2. A framed wire: fragments of many flows in one buffer. ---
+    let flows: [&[u8]; 3] = [
+        b"GET /admin HTTP/1.1",
+        b"nothing suspicious here",
+        b"payload worm2024 detected",
+    ];
+    let mut wire = Vec::new();
+    // Interleave 5-byte frames round-robin, then close every flow.
+    let longest = flows.iter().map(|f| f.len()).max().unwrap();
+    for pos in (0..longest).step_by(5) {
+        for (id, flow) in flows.iter().enumerate() {
+            if pos < flow.len() {
+                let end = (pos + 5).min(flow.len());
+                encode_frame(id as StreamId, &flow[pos..end], &mut wire);
+            }
+        }
+    }
+    for id in 0..flows.len() {
+        encode_close(id as StreamId, &mut wire);
+    }
+    println!(
+        "\nwire: {} bytes carrying {} interleaved flows",
+        wire.len(),
+        flows.len()
+    );
+
+    // --- 3. Demux the wire through the stream table. ---
+    let plan = CompiledAutomaton::compile(&nfa);
+    let mut batch = BatchSimulator::new(&plan);
+    let mut decoder = FrameDecoder::new();
+    // The wire itself may be split anywhere — even mid-header.
+    let (first, second) = wire.split_at(wire.len() / 2);
+    for piece in [first, second] {
+        for (stream, result) in batch.ingest(&mut decoder, piece) {
+            println!(
+                "  flow {stream} closed: {} report(s) {:?}",
+                result.reports.len(),
+                result.report_offsets()
+            );
+        }
+    }
+    assert!(decoder.is_idle() && batch.open_count() == 0);
+
+    Ok(())
+}

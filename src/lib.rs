@@ -4,16 +4,17 @@
 //! Processing in Content-Addressable Memories* (HPCA 2022). This facade
 //! crate re-exports the whole workspace:
 //!
-//! * [`core`](cama_core) — homogeneous NFAs, regex compilation, ANML/MNRL
+//! * [`core`] — homogeneous NFAs, regex compilation, ANML/MNRL
 //!   I/O, stride and bit-width transforms;
-//! * [`encoding`](cama_encoding) — the paper's data-encoding schemes,
+//! * [`encoding`] — the paper's data-encoding schemes,
 //!   selection algorithm, symbol clustering, and CAM compression;
-//! * [`mem`](cama_mem) — 28 nm circuit models and functional CAM /
+//! * [`mem`] — 28 nm circuit models and functional CAM /
 //!   crossbar arrays;
-//! * [`sim`](cama_sim) — the cycle-accurate functional simulator;
-//! * [`arch`](cama_arch) — full designs (CAMA-E/T, CA, Impala, eAP, AP),
+//! * [`sim`] — the cycle-accurate functional simulator, including the
+//!   streaming-session layer and the multi-stream stream table;
+//! * [`arch`] — full designs (CAMA-E/T, CA, Impala, eAP, AP),
 //!   the mapping toolchain, and the timing/area/energy models;
-//! * [`workloads`](cama_workloads) — the 21-benchmark synthetic suite.
+//! * [`workloads`] — the 21-benchmark synthetic suite.
 //!
 //! # Quickstart
 //!

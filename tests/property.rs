@@ -17,7 +17,11 @@ use cama::core::stride::StridedNfa;
 use cama::core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
 use cama::encoding::EncodingPlan;
 use cama::mem::{FullCrossbar, ReducedCrossbar, K_DIA};
-use cama::sim::{BatchSimulator, InterpSimulator, Simulator, StridedSimulator};
+use cama::sim::frame::{encode_close, encode_frame};
+use cama::sim::{
+    AutomataEngine, BatchSimulator, ByteSession, FrameDecoder, InterpSimulator, RunResult, Session,
+    Simulator, StreamId, StridedSimulator,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -209,6 +213,230 @@ fn parallel_batch_agrees_with_sequential() {
                 batch.run_parallel(&refs, threads),
                 sequential,
                 "seed {seed}, threads {threads}"
+            );
+        }
+    }
+}
+
+/// Splits `input` into random chunks (including empty and 1-byte ones),
+/// preserving order and concatenation.
+fn random_chunks<'a>(rng: &mut StdRng, input: &'a [u8]) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    let mut rest = input;
+    while !rest.is_empty() {
+        let cut = rng.random_range(0..=rest.len().min(5));
+        let (chunk, tail) = rest.split_at(cut);
+        chunks.push(chunk);
+        rest = tail;
+    }
+    chunks.push(rest);
+    chunks
+}
+
+/// Feeds `chunks` through a fresh session of `engine` and finishes.
+fn via_session<E: AutomataEngine>(engine: &E, chunks: &[&[u8]]) -> RunResult {
+    let mut session = engine.start();
+    for chunk in chunks {
+        session.feed(chunk);
+    }
+    session.finish()
+}
+
+/// Chunk-boundary equivalence, the streaming-session invariant: feeding
+/// an input in arbitrary chunks (down to single bytes) through any
+/// engine's session produces a result identical to the one-shot run of
+/// that engine — and the engines agree with each other.
+#[test]
+fn chunked_feed_equals_one_shot_across_engines() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E55_0000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let chunks = random_chunks(&mut rng, &input);
+        let bytes: Vec<&[u8]> = input.chunks(1).collect();
+
+        let mut compiled_engine = Simulator::new(&nfa);
+        let one_shot = compiled_engine.run(&input);
+        assert_eq!(
+            via_session(&compiled_engine, &chunks),
+            one_shot,
+            "seed {seed}: byte session, chunks {chunks:?}"
+        );
+        assert_eq!(
+            via_session(&compiled_engine, &bytes),
+            one_shot,
+            "seed {seed}: byte session, 1-byte chunks"
+        );
+
+        let mut interp_engine = InterpSimulator::new(&nfa);
+        assert_eq!(
+            via_session(&interp_engine, &chunks),
+            interp_engine.run(&input),
+            "seed {seed}: interp session"
+        );
+        assert_eq!(
+            via_session(&interp_engine, &chunks),
+            one_shot,
+            "seed {seed}: interp vs compiled"
+        );
+
+        // Strided: odd-length chunks split stride pairs; the carry byte
+        // must keep absolute offsets intact.
+        let strided = StridedNfa::from_nfa(&nfa);
+        let mut strided_engine = StridedSimulator::new(&strided);
+        let strided_one_shot = strided_engine.run(&input);
+        assert_eq!(
+            via_session(&strided_engine, &chunks),
+            strided_one_shot,
+            "seed {seed}: strided session, chunks {chunks:?}"
+        );
+        assert_eq!(
+            via_session(&strided_engine, &bytes),
+            strided_one_shot,
+            "seed {seed}: strided session, 1-byte chunks"
+        );
+        assert_eq!(
+            strided_one_shot.report_offsets(),
+            one_shot.report_offsets(),
+            "seed {seed}: strided vs byte offsets"
+        );
+    }
+}
+
+/// Multi-step chunk-boundary equivalence: chunks that split a
+/// `chain`-long sub-symbol group must not perturb start-gating.
+#[test]
+fn chunked_multistep_feed_equals_one_shot() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E55_1000 + seed);
+        let pattern = random_pattern(&mut rng);
+        let ast = regex::parse(&pattern).unwrap();
+        if ast.is_nullable() {
+            continue;
+        }
+        let nfa = regex::compile(&pattern).unwrap();
+        let nibble = to_nibble_nfa(&nfa);
+        let input = random_input(&mut rng);
+        let stream = to_nibble_stream(&input);
+        let chunks = random_chunks(&mut rng, &stream);
+
+        let one_shot = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+        let plan = CompiledAutomaton::compile(&nibble.nfa);
+        let mut session = ByteSession::with_chain(&plan, nibble.chain);
+        for chunk in &chunks {
+            session.feed(chunk);
+        }
+        assert_eq!(
+            session.finish(),
+            one_shot,
+            "seed {seed}: multistep session, pattern {pattern}, chunks {chunks:?}"
+        );
+
+        let interp_engine = InterpSimulator::new(&nibble.nfa);
+        let mut interp_session = interp_engine.start_multistep(nibble.chain);
+        for chunk in &chunks {
+            interp_session.feed(chunk);
+        }
+        assert_eq!(
+            interp_session.finish(),
+            one_shot,
+            "seed {seed}: interp multistep session, pattern {pattern}"
+        );
+    }
+}
+
+/// The one-shot wrappers are thin shells over sessions: their results
+/// are byte-identical to explicit session runs (no silent behavior
+/// change for existing benches).
+#[test]
+fn one_shot_wrappers_identical_to_sessions() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E55_2000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+
+        let mut sim = Simulator::new(&nfa);
+        let via_session = {
+            let mut session = sim.start();
+            session.feed(&input);
+            session.finish()
+        };
+        assert_eq!(sim.run(&input), via_session, "seed {seed}: Simulator::run");
+
+        let strided = StridedNfa::from_nfa(&nfa);
+        let mut ssim = StridedSimulator::new(&strided);
+        let via_session = {
+            let mut session = ssim.start();
+            session.feed(&input);
+            session.finish()
+        };
+        assert_eq!(
+            ssim.run(&input),
+            via_session,
+            "seed {seed}: StridedSimulator::run"
+        );
+
+        let mut isim = InterpSimulator::new(&nfa);
+        let via_session = {
+            let mut session = isim.start();
+            session.feed(&input);
+            session.finish()
+        };
+        assert_eq!(
+            isim.run(&input),
+            via_session,
+            "seed {seed}: InterpSimulator::run"
+        );
+    }
+}
+
+/// Framed wire ingestion: random flows, random frame fragmentation,
+/// random wire chunking — per-stream results equal one-shot runs.
+#[test]
+fn framed_ingest_equals_one_shot_runs() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E55_3000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let flows: Vec<Vec<u8>> = (0..rng.random_range(1..6usize))
+            .map(|_| random_input(&mut rng))
+            .collect();
+
+        // Encode each flow as randomly sized frames, interleaved
+        // round-robin, with close markers at the end.
+        let mut wire = Vec::new();
+        let mut remaining: Vec<&[u8]> = flows.iter().map(Vec::as_slice).collect();
+        while remaining.iter().any(|r| !r.is_empty()) {
+            for (id, rest) in remaining.iter_mut().enumerate() {
+                if rest.is_empty() {
+                    continue;
+                }
+                let take = rng.random_range(1..=rest.len().min(7));
+                let (frame, tail) = rest.split_at(take);
+                encode_frame(id as StreamId, frame, &mut wire);
+                *rest = tail;
+            }
+        }
+        for id in 0..flows.len() {
+            encode_close(id as StreamId, &mut wire);
+        }
+
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        let mut decoder = FrameDecoder::new();
+        let mut closed: Vec<(StreamId, RunResult)> = Vec::new();
+        for piece in random_chunks(&mut rng, &wire) {
+            closed.extend(batch.ingest(&mut decoder, piece));
+        }
+        assert!(decoder.is_idle(), "seed {seed}");
+        assert_eq!(closed.len(), flows.len(), "seed {seed}");
+        assert_eq!(batch.open_count(), 0, "seed {seed}");
+
+        let mut single = Simulator::new(&nfa);
+        for (stream, result) in closed {
+            assert_eq!(
+                result,
+                single.run(&flows[stream as usize]),
+                "seed {seed}, stream {stream}"
             );
         }
     }
