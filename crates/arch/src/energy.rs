@@ -21,7 +21,7 @@ use crate::timing::timing_report;
 use cama_core::{Nfa, StartKind};
 use cama_mem::models::{ArrayKind, CircuitLibrary};
 use cama_mem::{Delay, Energy};
-use cama_sim::{CycleView, Observer};
+use cama_sim::{CycleView, Observer, ShardCycleSummary, ShardCycleView, ShardObserver};
 
 /// Wire energy per global-switch hop for CA, scaled to other designs by
 /// their state-match area exactly as the wire delay is (§VIII.A). A
@@ -115,10 +115,14 @@ pub struct EnergyObserver<'a> {
     static_switch_energy: Energy,
     cross_source: Vec<bool>,
 
-    // Scratch, reused across cycles.
+    // Scratch accumulated within a cycle (from a flat [`CycleView`] or
+    // from per-shard [`ShardCycleView`]s) and consumed by
+    // `account_cycle`.
     dyn_entries: Vec<u32>,
     active_entries: Vec<u32>,
-    touched: Vec<u32>,
+    touched_dynamic: Vec<u32>,
+    touched_active: Vec<u32>,
+    pending_hops: usize,
 
     /// Accumulated result.
     pub breakdown: EnergyBreakdown,
@@ -251,7 +255,9 @@ impl<'a> EnergyObserver<'a> {
             cross_source: mapping.cross_sources(),
             dyn_entries: vec![0; num_partitions],
             active_entries: vec![0; num_partitions],
-            touched: Vec::new(),
+            touched_dynamic: Vec::new(),
+            touched_active: Vec::new(),
+            pending_hops: 0,
             breakdown: EnergyBreakdown::default(),
         }
     }
@@ -274,33 +280,39 @@ impl<'a> EnergyObserver<'a> {
     fn partition_is_wide(&self, p: usize) -> bool {
         self.mapping.partitions[p].mode == PartitionMode::Wide
     }
-}
 
-/// Physical local switches accessed per partition: CAMA's FCB/Wide tiles
-/// drive both 128×128 arrays; everything else has one switch per
-/// partition.
-fn switch_factor(design: DesignKind, partition: &crate::mapping::Partition) -> f64 {
-    match (design, partition.mode) {
-        (DesignKind::CamaE | DesignKind::CamaT, PartitionMode::Fcb | PartitionMode::Wide) => 2.0,
-        _ => 1.0,
+    /// Folds one dynamically enabled state into the cycle scratch.
+    #[inline]
+    fn add_dynamic(&mut self, state: usize, partition: usize) {
+        if self.dyn_entries[partition] == 0 {
+            self.touched_dynamic.push(partition as u32);
+        }
+        self.dyn_entries[partition] += self.mapping.weight_of[state];
     }
-}
 
-impl Observer for EnergyObserver<'_> {
-    fn on_cycle(&mut self, view: &CycleView<'_>) {
+    /// Folds one active state into the cycle scratch.
+    #[inline]
+    fn add_active(&mut self, state: usize, partition: usize) {
+        if self.active_entries[partition] == 0 {
+            self.touched_active.push(partition as u32);
+        }
+        self.active_entries[partition] += self.mapping.weight_of[state];
+        if self.cross_source[state] {
+            self.pending_hops += 1;
+        }
+    }
+
+    /// Converts the accumulated cycle scratch into energy and clears it
+    /// — shared by the flat [`Observer`] path (which fills the scratch
+    /// from one global enable vector) and the [`ShardObserver`] path
+    /// (which fills it from each visited shard's local activity).
+    fn account_cycle(&mut self) {
         let selective = self.design.selective_precharge();
         let mut match_energy = self.static_match_energy;
         let mut switch_energy = self.static_switch_energy;
 
         // Dynamic enable contributions to state matching.
-        for state in view.dynamic_enabled.iter() {
-            let p = self.mapping.partition_of[state] as usize;
-            if self.dyn_entries[p] == 0 {
-                self.touched.push(p as u32);
-            }
-            self.dyn_entries[p] += self.mapping.weight_of[state];
-        }
-        for &p in &self.touched {
+        for &p in &self.touched_dynamic {
             let p = p as usize;
             let entries = self.dyn_entries[p];
             let factor = if self.partition_is_wide(p) {
@@ -329,26 +341,13 @@ impl Observer for EnergyObserver<'_> {
                 switch_energy +=
                     self.local_full * 0.8 * switch_factor(self.design, &self.mapping.partitions[p]);
             }
+            self.dyn_entries[p] = 0;
         }
-        for &p in &self.touched {
-            self.dyn_entries[p as usize] = 0;
-        }
-        self.touched.clear();
+        self.touched_dynamic.clear();
 
         // Local switches: active states additionally drive word lines
         // (the 20 % cell term of §VIII.C scales with active rows).
-        let mut global_hops = 0usize;
-        for state in view.active.iter() {
-            let p = self.mapping.partition_of[state] as usize;
-            if self.active_entries[p] == 0 {
-                self.touched.push(p as u32);
-            }
-            self.active_entries[p] += self.mapping.weight_of[state];
-            if self.cross_source[state] {
-                global_hops += 1;
-            }
-        }
-        for &p in &self.touched {
+        for &p in &self.touched_active {
             let p = p as usize;
             let rows = self.active_entries[p] as usize;
             let fraction = 0.2 * (rows.min(self.local_rows) as f64 / self.local_rows as f64);
@@ -357,9 +356,11 @@ impl Observer for EnergyObserver<'_> {
                 * switch_factor(self.design, &self.mapping.partitions[p]);
             self.active_entries[p] = 0;
         }
-        self.touched.clear();
+        self.touched_active.clear();
 
         // Global switches and wires.
+        let global_hops = self.pending_hops;
+        self.pending_hops = 0;
         if global_hops > 0 {
             let accesses = global_hops.div_ceil(256);
             let fraction = 0.8 + 0.2 * (global_hops.min(256) as f64 / 256.0);
@@ -372,6 +373,63 @@ impl Observer for EnergyObserver<'_> {
         self.breakdown.encoder += self.encoder_access + self.leak_encoder;
         self.breakdown.cycles += 1;
         let _ = self.symbols_per_cycle;
+    }
+}
+
+/// Physical local switches accessed per partition: CAMA's FCB/Wide tiles
+/// drive both 128×128 arrays; everything else has one switch per
+/// partition.
+fn switch_factor(design: DesignKind, partition: &crate::mapping::Partition) -> f64 {
+    match (design, partition.mode) {
+        (DesignKind::CamaE | DesignKind::CamaT, PartitionMode::Fcb | PartitionMode::Wide) => 2.0,
+        _ => 1.0,
+    }
+}
+
+impl Observer for EnergyObserver<'_> {
+    fn on_cycle(&mut self, view: &CycleView<'_>) {
+        for state in view.dynamic_enabled.iter() {
+            let p = self.mapping.partition_of[state] as usize;
+            self.add_dynamic(state, p);
+        }
+        for state in view.active.iter() {
+            let p = self.mapping.partition_of[state] as usize;
+            self.add_active(state, p);
+        }
+        self.account_cycle();
+    }
+}
+
+/// The per-shard observation path: when the sharded engine's shards
+/// were built from this observer's mapping
+/// (`ShardedAutomaton::compile_with_assignment(nfa,
+/// &mapping.partition_of)`), shard indices *are* partition indices, so
+/// each visited shard's activity is charged to its partition directly —
+/// no flat enable vector is scanned, and skipped (powered-down) shards
+/// cost exactly their precomputed static/leakage terms.
+///
+/// The shard ↔ partition correspondence is the caller's contract
+/// (`evaluate_serving` constructs it); it is debug-asserted per state.
+impl ShardObserver for EnergyObserver<'_> {
+    fn on_shard_cycle(&mut self, view: &ShardCycleView<'_>) {
+        let p = view.shard;
+        debug_assert!(
+            p < self.mapping.partitions.len(),
+            "shard {p} has no matching partition (shards must come from this mapping)"
+        );
+        for local in view.dynamic_enabled.iter() {
+            let state = view.global_states[local] as usize;
+            debug_assert_eq!(self.mapping.partition_of[state] as usize, p);
+            self.add_dynamic(state, p);
+        }
+        for local in view.active.iter() {
+            let state = view.global_states[local] as usize;
+            self.add_active(state, p);
+        }
+    }
+
+    fn on_cycle_end(&mut self, _summary: &ShardCycleSummary) {
+        self.account_cycle();
     }
 }
 
@@ -391,6 +449,56 @@ mod tests {
         let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
         Simulator::new(nfa).run_with(input, &mut observer);
         observer.breakdown
+    }
+
+    /// The per-shard observation path must charge exactly what the flat
+    /// path charges: same cycles, same breakdown (up to floating-point
+    /// summation order) — idle-shard skipping may change *when* terms
+    /// are accumulated, never *what* is accumulated.
+    #[test]
+    fn shard_observer_matches_flat_observer() {
+        use cama_core::compiled::ShardedAutomaton;
+        use cama_sim::{Session, ShardedSession};
+        let nfa = Benchmark::Snort.generate(0.02);
+        let input = Benchmark::Snort.input(&nfa, 1024, 5);
+        let lib = CircuitLibrary::tsmc28();
+        for design in [
+            DesignKind::CamaE,
+            DesignKind::CamaT,
+            DesignKind::CacheAutomaton,
+            DesignKind::Eap,
+        ] {
+            let plan = design.is_cama().then(|| EncodingPlan::for_nfa(&nfa));
+            let mapping = map_design(design, &nfa, plan.as_ref());
+
+            let mut flat = EnergyObserver::for_nfa(design, &mapping, &lib, &nfa);
+            let flat_result = Simulator::new(&nfa).run_with(&input, &mut flat);
+
+            let sharded = ShardedAutomaton::compile_with_assignment(&nfa, &mapping.partition_of);
+            let mut shard = EnergyObserver::for_nfa(design, &mapping, &lib, &nfa);
+            let mut session = ShardedSession::new(&sharded);
+            session.feed_sharded_with(&input, &mut shard);
+            let shard_result = session.finish();
+
+            assert_eq!(flat_result, shard_result, "{design}");
+            assert_eq!(flat.breakdown.cycles, shard.breakdown.cycles, "{design}");
+            let close = |a: Energy, b: Energy| {
+                (a.value() - b.value()).abs() <= 1e-9 * a.value().abs().max(1.0)
+            };
+            assert!(
+                close(flat.breakdown.state_match, shard.breakdown.state_match),
+                "{design}: {:?} vs {:?}",
+                flat.breakdown,
+                shard.breakdown
+            );
+            assert!(
+                close(flat.breakdown.switch_wire, shard.breakdown.switch_wire),
+                "{design}: {:?} vs {:?}",
+                flat.breakdown,
+                shard.breakdown
+            );
+            assert_eq!(flat.breakdown.encoder, shard.breakdown.encoder, "{design}");
+        }
     }
 
     #[test]

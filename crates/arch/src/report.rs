@@ -153,11 +153,16 @@ impl ServingReport {
 }
 
 /// Evaluates a design serving many streams: compiles the automaton
-/// once, feeds every stream through one
-/// [`BatchSimulator`](cama_sim::BatchSimulator) stream table with a
-/// single energy observer accumulating over the whole batch. Each
-/// stream is an open→feed→close session, so the same rollup applies to
-/// incrementally arriving flows.
+/// into a [`ShardedAutomaton`](cama_core::compiled::ShardedAutomaton)
+/// whose shards *are* the mapping's partitions (one simulated CAM array
+/// per partition), then feeds every stream through one
+/// [`ShardedBatch`](cama_sim::ShardedBatch) stream table with a single
+/// energy observer accumulating over the whole batch. The observer
+/// consumes each shard's activity directly
+/// ([`ShardObserver`](cama_sim::ShardObserver)): partitions whose
+/// arrays stayed idle are never scanned, and each stream is an
+/// open→feed→close session, so the same rollup applies to incrementally
+/// arriving flows.
 ///
 /// # Panics
 ///
@@ -173,8 +178,9 @@ pub fn evaluate_serving(
     let area = area_report(&mapping, &lib);
     let timing = timing_report(design, &lib);
 
-    let compiled = cama_core::compiled::CompiledAutomaton::compile(nfa);
-    let mut batch = cama_sim::BatchSimulator::new(&compiled);
+    let compiled =
+        cama_core::compiled::ShardedAutomaton::compile_with_assignment(nfa, &mapping.partition_of);
+    let mut batch = cama_sim::ShardedBatch::new(&compiled);
     let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
     let results: Vec<cama_sim::RunResult> = streams
         .iter()
@@ -182,7 +188,7 @@ pub fn evaluate_serving(
         .map(|(id, stream)| {
             let id = id as cama_sim::StreamId;
             batch.open(id);
-            batch.feed_with(id, stream, &mut observer);
+            batch.feed_sharded_with(id, stream, &mut observer);
             batch.close(id)
         })
         .collect();

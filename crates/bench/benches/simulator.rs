@@ -7,14 +7,15 @@
 use cama_arch::designs::DesignKind;
 use cama_arch::energy::EnergyObserver;
 use cama_arch::mapping::map_design;
-use cama_core::compiled::CompiledAutomaton;
+use cama_core::compiled::{CompiledAutomaton, ShardedAutomaton};
+use cama_core::graph;
 use cama_core::stride::StridedNfa;
 use cama_encoding::EncodingPlan;
 use cama_mem::models::CircuitLibrary;
 use cama_sim::frame::{encode_close, encode_frame};
 use cama_sim::{
-    AutomataEngine, BatchSimulator, FrameDecoder, InterpSimulator, Session, Simulator, StreamId,
-    StridedSimulator,
+    AutomataEngine, BatchSimulator, FrameDecoder, InterpSimulator, Session, ShardedSession,
+    Simulator, StreamId, StridedSimulator,
 };
 use cama_workloads::Benchmark;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -102,7 +103,11 @@ fn bench_framed_ingest(c: &mut Criterion) {
         let mut batch = BatchSimulator::new(&plan);
         b.iter(|| {
             let mut decoder = FrameDecoder::new();
-            black_box(batch.ingest(&mut decoder, black_box(&wire)))
+            let mut closed = Vec::new();
+            batch
+                .ingest(&mut decoder, black_box(&wire), &mut closed)
+                .unwrap();
+            black_box(closed)
         })
     });
     group.bench_function("snort_materialized_8_flows", |b| {
@@ -153,6 +158,80 @@ fn bench_batched(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sharded execution on the multi-component Snort-like workload: flat
+/// vs sharded with every array powered (`no_skip`) vs sharded with
+/// idle-shard skipping, sweeping shard count. After the timed runs, one
+/// instrumented pass per configuration prints per-shard visit counts
+/// and the visited-word reduction idle-skipping buys.
+fn bench_sharding(c: &mut Criterion) {
+    let nfa = Benchmark::Snort.generate(0.02);
+    let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
+    let components = graph::connected_components(&nfa).len();
+    let shard_counts = [4usize, 16, components];
+
+    let mut group = c.benchmark_group("sharding");
+    group.throughput(Throughput::Bytes(INPUT_LEN as u64));
+    group.bench_function("snort_flat", |b| {
+        let mut sim = Simulator::new(&nfa);
+        b.iter(|| black_box(sim.run(black_box(&input))))
+    });
+    for &shards in &shard_counts {
+        let plan = ShardedAutomaton::compile(&nfa, shards);
+        group.bench_with_input(
+            BenchmarkId::new("sharded_no_skip", shards),
+            &plan,
+            |b, plan| {
+                let mut session = ShardedSession::new(plan);
+                session.set_skip_idle(false);
+                b.iter(|| {
+                    session.feed(black_box(&input));
+                    black_box(session.finish())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded_skip_idle", shards),
+            &plan,
+            |b, plan| {
+                let mut session = ShardedSession::new(plan);
+                b.iter(|| {
+                    session.feed(black_box(&input));
+                    black_box(session.finish())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    println!(
+        "sharding visit counts (snort: {} states, {} components, {}-byte input)",
+        nfa.len(),
+        components,
+        input.len()
+    );
+    for &shards in &shard_counts {
+        let plan = ShardedAutomaton::compile(&nfa, shards);
+        for (label, skip) in [("no_skip  ", false), ("skip_idle", true)] {
+            let mut session = ShardedSession::new(&plan);
+            session.set_skip_idle(skip);
+            session.feed(&input);
+            session.finish();
+            let stats = session.take_stats();
+            let min = stats.shard_cycles.iter().min().copied().unwrap_or(0);
+            let max = stats.shard_cycles.iter().max().copied().unwrap_or(0);
+            println!(
+                "  {:>4} shards {label}: {:>8} words visited, {:>7} shard-cycles run \
+                 ({} skipped), per-shard visits {min}..{max}, {} cross activations",
+                plan.num_shards(),
+                stats.words_visited,
+                stats.visited_shard_cycles(),
+                stats.skipped_shard_cycles,
+                stats.cross_activations,
+            );
+        }
+    }
+}
+
 fn bench_with_energy(c: &mut Criterion) {
     let nfa = Benchmark::Snort.generate(0.02);
     let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
@@ -191,6 +270,7 @@ criterion_group!(
     bench_session_vs_one_shot,
     bench_framed_ingest,
     bench_batched,
+    bench_sharding,
     bench_with_energy,
     bench_strided
 );

@@ -70,7 +70,7 @@ impl BitSet {
 
     /// Returns `true` if no bit is set.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.first_set().is_none()
     }
 
     /// Number of set bits.
@@ -157,6 +157,23 @@ impl BitSet {
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset length mismatch");
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if `self` and `other` share no set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        !self.intersects(other)
+    }
+
+    /// The index of the lowest set bit, or `None` if the set is empty.
+    pub fn first_set(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| i * BITS + self.words[i].trailing_zeros() as usize)
     }
 
     /// Returns `true` if every bit of `self` is also set in `other`.
@@ -404,6 +421,28 @@ mod tests {
         let c = BitSet::from_indices(20, [9]);
         assert!(!a.intersects(&c));
         assert!(BitSet::new(20).is_subset(&a));
+    }
+
+    #[test]
+    fn disjoint_is_the_negation_of_intersects() {
+        let a = BitSet::from_indices(200, [2, 70, 199]);
+        let b = BitSet::from_indices(200, [3, 71, 198]);
+        assert!(a.is_disjoint(&b));
+        assert!(b.is_disjoint(&a));
+        let c = BitSet::from_indices(200, [70]);
+        assert!(!a.is_disjoint(&c));
+        assert!(BitSet::new(200).is_disjoint(&a));
+        assert!(BitSet::new(0).is_disjoint(&BitSet::new(0)));
+    }
+
+    #[test]
+    fn first_set_finds_lowest_bit() {
+        assert_eq!(BitSet::new(100).first_set(), None);
+        assert_eq!(BitSet::new(0).first_set(), None);
+        let set = BitSet::from_indices(200, [130, 67, 199]);
+        assert_eq!(set.first_set(), Some(67));
+        assert_eq!(BitSet::from_indices(65, [0]).first_set(), Some(0));
+        assert_eq!(BitSet::from_indices(65, [64]).first_set(), Some(64));
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //! paper's two-segment match CAM.
 
 use crate::bitset::BitSet;
-use crate::nfa::{Nfa, StartKind};
+use crate::graph::connected_components;
+use crate::nfa::{BuildOptions, Nfa, NfaBuilder, StartKind};
 use crate::stride::{ReportPhase, StridedNfa};
 use crate::symbol::ALPHABET;
 
@@ -502,6 +503,346 @@ impl CompiledStridedAutomaton {
     }
 }
 
+/// One end of a cross-shard activation edge: the receiving state,
+/// addressed shard-locally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrossTarget {
+    /// Index of the shard holding the target state.
+    pub shard: u32,
+    /// The target's local index within that shard.
+    pub local: u32,
+}
+
+/// One partition of a [`ShardedAutomaton`]: a self-contained
+/// [`CompiledAutomaton`] over a renumbered local state space, plus the
+/// shard's share of the cross-shard edge table.
+///
+/// A shard is the software analogue of one CAM sub-array with its local
+/// switch: everything in its local plan resolves without leaving the
+/// array, and only [`cross_successors`](Shard::cross_successors) traffic
+/// touches the (simulated) global switch.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    plan: CompiledAutomaton,
+    /// Local index → global state id.
+    global_states: Vec<u32>,
+    /// CSR over local states: cross-shard successors of local state `i`
+    /// are `cross_targets[cross_offsets[i]..cross_offsets[i + 1]]`.
+    cross_offsets: Vec<u32>,
+    cross_targets: Vec<CrossTarget>,
+    /// Bit `sym` set iff `plan.start_match(sym)` is non-empty — the O(1)
+    /// "could a statically enabled state fire here" probe the engine's
+    /// idle-shard skip uses.
+    start_match_possible: [u64; 4],
+    has_start_of_data: bool,
+}
+
+impl Shard {
+    /// The shard's local execution plan (states renumbered `0..len`).
+    pub fn plan(&self) -> &CompiledAutomaton {
+        &self.plan
+    }
+
+    /// Number of states placed in this shard.
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Returns `true` for a shard holding no states.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Local index → global state id, for all local states.
+    pub fn global_states(&self) -> &[u32] {
+        &self.global_states
+    }
+
+    /// Cross-shard successors of the local state `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn cross_successors(&self, local: usize) -> &[CrossTarget] {
+        &self.cross_targets
+            [self.cross_offsets[local] as usize..self.cross_offsets[local + 1] as usize]
+    }
+
+    /// Total cross-shard edges leaving this shard.
+    pub fn num_cross_edges(&self) -> usize {
+        self.cross_targets.len()
+    }
+
+    /// `true` if any statically enabled (`all-input`) state of this shard
+    /// matches `symbol` — i.e. injecting starts this cycle could activate
+    /// something even with an empty dynamic vector.
+    pub fn start_match_possible(&self, symbol: u8) -> bool {
+        self.start_match_possible[symbol as usize / 64] >> (symbol % 64) & 1 == 1
+    }
+
+    /// `true` if the shard holds any `start-of-data` state (which fires
+    /// only on cycle 0).
+    pub fn has_start_of_data(&self) -> bool {
+        self.has_start_of_data
+    }
+}
+
+/// A compiled plan partitioned across simulated CAM arrays: per-shard
+/// [`CompiledAutomaton`]s plus an explicit cross-shard edge table.
+///
+/// The flat [`CompiledAutomaton`] treats the automaton as one state
+/// space, so the engine sweeps one set of match/enable vectors sized to
+/// the whole design. The hardware does not: states live in many small
+/// CAM sub-arrays, activations resolve inside an array's local switch,
+/// and only cross-array activations ride the global switch. A
+/// `ShardedAutomaton` mirrors that decomposition so the functional
+/// engine can keep per-array state, skip arrays with nothing enabled
+/// (the software form of powering idle arrays down), and expose
+/// per-shard activity to the energy model directly.
+///
+/// Shard assignment strategies:
+///
+/// * [`compile`](ShardedAutomaton::compile) — balance connected
+///   components over `num_shards` shards (largest-first greedy, the same
+///   decreasing order the mapper packs in);
+/// * [`compile_per_component`](ShardedAutomaton::compile_per_component)
+///   — one shard per connected component;
+/// * [`compile_with_assignment`](ShardedAutomaton::compile_with_assignment)
+///   — an explicit per-state shard id, e.g. `Mapping::partition_of`
+///   from `cama_arch::mapping::map_design`, so functional shards
+///   coincide with the energy model's partitions.
+///
+/// Execution over any strategy is bit-identical to the flat plan
+/// (asserted differentially in `tests/property.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::compiled::ShardedAutomaton;
+/// use cama_core::regex;
+///
+/// // Two independent patterns → two components.
+/// let nfa = regex::compile_set(&["abc", "xyz"])?;
+/// let sharded = ShardedAutomaton::compile_per_component(&nfa);
+/// assert_eq!(sharded.num_shards(), 2);
+/// assert_eq!(sharded.len(), nfa.len());
+/// // Independent components have no cross-shard edges.
+/// assert_eq!(sharded.num_cross_edges(), 0);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedAutomaton {
+    len: usize,
+    name: String,
+    shards: Vec<Shard>,
+    /// Global state id → owning shard.
+    shard_of: Vec<u32>,
+    /// Global state id → local index within its shard.
+    local_of: Vec<u32>,
+    num_cross_edges: usize,
+}
+
+impl ShardedAutomaton {
+    /// Compiles `nfa` into at most `num_shards` shards by balancing
+    /// connected components (largest first, onto the least-loaded shard).
+    ///
+    /// `num_shards` is clamped to `1..=components` — a component is
+    /// never split across shards, so asking for more shards than
+    /// components yields one shard per component.
+    pub fn compile(nfa: &Nfa, num_shards: usize) -> ShardedAutomaton {
+        let ccs = connected_components(nfa);
+        let num_shards = num_shards.clamp(1, ccs.len().max(1));
+        let mut loads = vec![0usize; num_shards];
+        let mut order: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        for cc in &ccs {
+            let lightest = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &load)| load)
+                .map(|(i, _)| i)
+                .unwrap();
+            loads[lightest] += cc.len();
+            order[lightest].extend(cc.states.iter().map(|s| s.0));
+        }
+        Self::build(nfa, order)
+    }
+
+    /// One shard per connected component (the finest sharding that keeps
+    /// every activation edge array-local): the shard assignment *is* the
+    /// per-state component id.
+    pub fn compile_per_component(nfa: &Nfa) -> ShardedAutomaton {
+        let (ids, _) = crate::graph::component_ids(nfa);
+        Self::compile_with_assignment(nfa, &ids)
+    }
+
+    /// Compiles with an explicit per-state shard id (shard count is
+    /// `max(assignment) + 1`). Pass `Mapping::partition_of` from the
+    /// architecture mapper to make functional shards coincide with the
+    /// energy model's partitions. Cross-shard edges may point in any
+    /// direction; shard ids may be sparse (unused ids become empty
+    /// shards, which the engine skips unconditionally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != nfa.len()`.
+    pub fn compile_with_assignment(nfa: &Nfa, assignment: &[u32]) -> ShardedAutomaton {
+        assert_eq!(
+            assignment.len(),
+            nfa.len(),
+            "shard assignment must cover every state"
+        );
+        let num_shards = assignment
+            .iter()
+            .max()
+            .map_or(0, |&m| m as usize + 1)
+            .max(1);
+        let mut order: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        for (state, &shard) in assignment.iter().enumerate() {
+            order[shard as usize].push(state as u32);
+        }
+        Self::build(nfa, order)
+    }
+
+    /// Builds the sharded plan from per-shard state lists (each list is
+    /// the shard's local order; together they cover every state once).
+    fn build(nfa: &Nfa, order: Vec<Vec<u32>>) -> ShardedAutomaton {
+        let n = nfa.len();
+        let mut shard_of = vec![u32::MAX; n];
+        let mut local_of = vec![u32::MAX; n];
+        for (shard, states) in order.iter().enumerate() {
+            for (local, &g) in states.iter().enumerate() {
+                debug_assert_eq!(shard_of[g as usize], u32::MAX, "state placed twice");
+                shard_of[g as usize] = shard as u32;
+                local_of[g as usize] = local as u32;
+            }
+        }
+        debug_assert!(shard_of.iter().all(|&s| s != u32::MAX), "state unplaced");
+
+        let mut num_cross_edges = 0;
+        let shards: Vec<Shard> = order
+            .iter()
+            .enumerate()
+            .map(|(shard, states)| {
+                let mut builder = NfaBuilder::with_name(format!("{}/shard{shard}", nfa.name()));
+                for &g in states {
+                    let ste = nfa.ste(crate::nfa::SteId(g));
+                    let id = builder.add_ste(ste.class);
+                    builder.set_start(id, ste.start);
+                    if let Some(code) = ste.report {
+                        builder.set_report(id, code);
+                    }
+                }
+                let mut cross_offsets = Vec::with_capacity(states.len() + 1);
+                let mut cross_targets = Vec::new();
+                cross_offsets.push(0);
+                for (local, &g) in states.iter().enumerate() {
+                    for &succ in nfa.successors(crate::nfa::SteId(g)) {
+                        let t = succ.index();
+                        if shard_of[t] as usize == shard {
+                            builder.add_edge(
+                                crate::nfa::SteId(local as u32),
+                                crate::nfa::SteId(local_of[t]),
+                            );
+                        } else {
+                            cross_targets.push(CrossTarget {
+                                shard: shard_of[t],
+                                local: local_of[t],
+                            });
+                        }
+                    }
+                    cross_offsets.push(cross_targets.len() as u32);
+                }
+                num_cross_edges += cross_targets.len();
+                let local_nfa = builder
+                    .build_with_options(BuildOptions {
+                        reject_empty_classes: false,
+                        reject_unreachable: false,
+                    })
+                    .expect("lenient build cannot fail");
+                let plan = CompiledAutomaton::compile(&local_nfa);
+                let mut start_match_possible = [0u64; 4];
+                for sym in 0..ALPHABET {
+                    if plan.start_match(sym as u8).first_set().is_some() {
+                        start_match_possible[sym / 64] |= 1u64 << (sym % 64);
+                    }
+                }
+                let has_start_of_data = !plan.start_of_data_mask().is_empty();
+                Shard {
+                    plan,
+                    global_states: states.clone(),
+                    cross_offsets,
+                    cross_targets,
+                    start_match_possible,
+                    has_start_of_data,
+                }
+            })
+            .collect();
+
+        ShardedAutomaton {
+            len: n,
+            name: nfa.name().to_string(),
+            shards,
+            shard_of,
+            local_of,
+            num_cross_edges,
+        }
+    }
+
+    /// Number of global states.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan has no states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The automaton's name (inherited from the NFA).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shards (including empty ones for sparse assignments).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shards, in shard-id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &Shard {
+        &self.shards[shard]
+    }
+
+    /// The `(shard, local)` placement of a global state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn placement_of(&self, state: usize) -> (u32, u32) {
+        (self.shard_of[state], self.local_of[state])
+    }
+
+    /// Total activation edges whose endpoints live in different shards
+    /// (the traffic the simulated global switch carries).
+    pub fn num_cross_edges(&self) -> usize {
+        self.num_cross_edges
+    }
+
+    /// Total activation edges resolved inside shards.
+    pub fn num_local_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.plan.num_edges()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,5 +980,114 @@ mod tests {
         let plan = CompiledAutomaton::compile(&nfa);
         assert!(plan.is_empty());
         assert_eq!(plan.num_edges(), 0);
+    }
+
+    #[test]
+    fn sharded_covers_every_state_exactly_once() {
+        let nfa = regex::compile_set(&["abc", "x[0-9]+y", "(ab)+z"]).unwrap();
+        for shards in [1, 2, 3, 7] {
+            let sharded = ShardedAutomaton::compile(&nfa, shards);
+            assert_eq!(sharded.len(), nfa.len());
+            let mut seen = vec![false; nfa.len()];
+            for (si, shard) in sharded.shards().iter().enumerate() {
+                for (local, &g) in shard.global_states().iter().enumerate() {
+                    assert!(!seen[g as usize], "state {g} placed twice");
+                    seen[g as usize] = true;
+                    assert_eq!(sharded.placement_of(g as usize), (si as u32, local as u32));
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{shards} shards");
+            // Edge conservation: local + cross == total.
+            assert_eq!(
+                sharded.num_local_edges() + sharded.num_cross_edges(),
+                nfa.num_edges(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn per_component_sharding_has_no_cross_edges() {
+        let nfa = regex::compile_set(&["abc", "x[0-9]+y", "(ab)+z"]).unwrap();
+        let sharded = ShardedAutomaton::compile_per_component(&nfa);
+        assert_eq!(sharded.num_cross_edges(), 0);
+        assert!(sharded.num_shards() >= 3);
+        // Requesting more shards than components clamps.
+        let more = ShardedAutomaton::compile(&nfa, 1000);
+        assert_eq!(more.num_shards(), sharded.num_shards());
+    }
+
+    #[test]
+    fn explicit_assignment_splits_components_with_cross_edges() {
+        // A 4-state chain split down the middle: 1 cross edge.
+        let nfa = regex::compile("abcd").unwrap();
+        let assignment = vec![0, 0, 1, 1];
+        let sharded = ShardedAutomaton::compile_with_assignment(&nfa, &assignment);
+        assert_eq!(sharded.num_shards(), 2);
+        assert_eq!(sharded.num_cross_edges(), 1);
+        let (s0, l1) = sharded.placement_of(1);
+        let cross = sharded.shard(s0 as usize).cross_successors(l1 as usize);
+        assert_eq!(cross.len(), 1);
+        assert_eq!(cross[0].shard, sharded.placement_of(2).0);
+        assert_eq!(cross[0].local, sharded.placement_of(2).1);
+    }
+
+    #[test]
+    fn sparse_assignment_yields_empty_shards() {
+        let nfa = regex::compile("ab").unwrap();
+        let sharded = ShardedAutomaton::compile_with_assignment(&nfa, &[0, 3]);
+        assert_eq!(sharded.num_shards(), 4);
+        assert!(sharded.shard(1).is_empty());
+        assert!(sharded.shard(2).is_empty());
+        assert_eq!(sharded.shard(0).len(), 1);
+        assert_eq!(sharded.shard(3).len(), 1);
+    }
+
+    #[test]
+    fn shard_local_plans_preserve_classes_starts_and_reports() {
+        let nfa = regex::compile_set(&["a[bc]+d", "xy"]).unwrap();
+        let sharded = ShardedAutomaton::compile(&nfa, 2);
+        for shard in sharded.shards() {
+            let plan = shard.plan();
+            for (local, &g) in shard.global_states().iter().enumerate() {
+                let ste = nfa.ste(SteId(g));
+                for sym in 0..=255u8 {
+                    assert_eq!(
+                        plan.match_vector(sym).contains(local),
+                        ste.class.contains(sym),
+                        "state {g} symbol {sym}"
+                    );
+                }
+                assert_eq!(plan.report_code(local), ste.report, "state {g}");
+                assert_eq!(
+                    plan.all_input_mask().contains(local),
+                    ste.start == StartKind::AllInput
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn start_match_possible_probe_matches_plan() {
+        let nfa = regex::compile_set(&["ab", "cd"]).unwrap();
+        let sharded = ShardedAutomaton::compile_per_component(&nfa);
+        for shard in sharded.shards() {
+            for sym in 0..=255u8 {
+                assert_eq!(
+                    shard.start_match_possible(sym),
+                    !shard.plan().start_match(sym).is_empty(),
+                    "symbol {sym}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_automaton_shards() {
+        let nfa = NfaBuilder::new().build().unwrap();
+        let sharded = ShardedAutomaton::compile(&nfa, 4);
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.num_shards(), 1);
+        assert!(sharded.shard(0).is_empty());
     }
 }

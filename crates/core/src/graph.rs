@@ -110,6 +110,44 @@ pub fn connected_components(nfa: &Nfa) -> Vec<ConnectedComponent> {
     ccs
 }
 
+/// The per-state component index for `nfa`, plus the component count.
+///
+/// Components are numbered in [`connected_components`] order (largest
+/// first), so an assignment derived from these ids agrees with the
+/// first-fit-decreasing packing order of the mapper and with the
+/// component-balanced shard strategy of
+/// [`ShardedAutomaton`](crate::compiled::ShardedAutomaton).
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::{NfaBuilder, StartKind, SymbolClass, graph};
+///
+/// let mut b = NfaBuilder::new();
+/// let x = b.add_ste(SymbolClass::singleton(b'x'));
+/// let y = b.add_ste(SymbolClass::singleton(b'y'));
+/// let z = b.add_ste(SymbolClass::singleton(b'z'));
+/// b.set_start(x, StartKind::AllInput);
+/// b.set_start(z, StartKind::AllInput);
+/// b.add_edge(x, y);
+/// let nfa = b.build()?;
+/// let (ids, count) = graph::component_ids(&nfa);
+/// assert_eq!(count, 2);
+/// assert_eq!(ids[x.index()], ids[y.index()]);
+/// assert_ne!(ids[x.index()], ids[z.index()]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+pub fn component_ids(nfa: &Nfa) -> (Vec<u32>, usize) {
+    let ccs = connected_components(nfa);
+    let mut ids = vec![0u32; nfa.len()];
+    for (c, cc) in ccs.iter().enumerate() {
+        for &s in &cc.states {
+            ids[s.index()] = c as u32;
+        }
+    }
+    (ids, ccs.len())
+}
+
 /// Orders the given states breadth-first, seeding the queue with the
 /// component's start states (or its lowest id when it has none), exactly
 /// the ordering eAP and CAMA use to diagonalize the transition matrix.
@@ -302,6 +340,21 @@ mod tests {
             sorted.dedup();
             assert_eq!(sorted.len(), cc.states.len());
         }
+    }
+
+    #[test]
+    fn component_ids_invert_connected_components() {
+        let nfa = two_chains();
+        let (ids, count) = component_ids(&nfa);
+        assert_eq!(count, 3);
+        let ccs = connected_components(&nfa);
+        for (c, cc) in ccs.iter().enumerate() {
+            for &s in &cc.states {
+                assert_eq!(ids[s.index()], c as u32);
+            }
+        }
+        let empty = NfaBuilder::new().build().unwrap();
+        assert_eq!(component_ids(&empty), (Vec::new(), 0));
     }
 
     #[test]

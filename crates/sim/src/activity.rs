@@ -42,6 +42,73 @@ impl Observer for NullObserver {
     fn on_cycle(&mut self, _view: &CycleView<'_>) {}
 }
 
+/// A read-only view of one *visited shard's* cycle, valid only during
+/// the [`ShardObserver::on_shard_cycle`] call.
+///
+/// Bit sets are in the shard's **local** state space; translate a local
+/// index through [`global_states`](ShardCycleView::global_states) to
+/// recover the global state id. Shards the engine skipped (nothing
+/// enabled — the powered-down arrays) produce no view at all, which is
+/// exactly what makes per-shard observation cheaper than scanning a
+/// flat enable vector.
+#[derive(Debug)]
+pub struct ShardCycleView<'a> {
+    /// Zero-based cycle index.
+    pub cycle: usize,
+    /// The symbol consumed this cycle.
+    pub symbol: u8,
+    /// Index of the shard this view describes.
+    pub shard: usize,
+    /// Local index → global state id for the shard.
+    pub global_states: &'a [u32],
+    /// Dynamically enabled local states (last cycle's Next Vector).
+    pub dynamic_enabled: &'a BitSet,
+    /// Local states that matched *and* were enabled this cycle.
+    pub active: &'a BitSet,
+    /// Reports emitted by this shard this cycle.
+    pub reports: usize,
+}
+
+/// End-of-cycle rollup across all shards, delivered once per cycle
+/// after every visited shard's [`ShardCycleView`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardCycleSummary {
+    /// Zero-based cycle index.
+    pub cycle: usize,
+    /// The symbol consumed this cycle.
+    pub symbol: u8,
+    /// Shards that executed this cycle.
+    pub shards_visited: usize,
+    /// Shards skipped (nothing enabled, or empty).
+    pub shards_skipped: usize,
+    /// Total reports emitted this cycle.
+    pub reports: usize,
+}
+
+/// Receives per-shard activity from the sharded engine — the
+/// array-granular counterpart of [`Observer`], used by the energy
+/// models to charge exactly the arrays that were powered.
+///
+/// Per cycle the engine calls
+/// [`on_shard_cycle`](ShardObserver::on_shard_cycle) once per *visited*
+/// shard, then [`on_cycle_end`](ShardObserver::on_cycle_end) once
+/// (every cycle, even when all shards were skipped), so per-cycle
+/// constants (leakage, encoder access) accrue exactly once.
+pub trait ShardObserver {
+    /// Called for each visited shard after its matching and transition
+    /// resolution.
+    fn on_shard_cycle(&mut self, view: &ShardCycleView<'_>);
+
+    /// Called once per cycle after all shards (and the cross-shard
+    /// exchange) completed.
+    fn on_cycle_end(&mut self, summary: &ShardCycleSummary);
+}
+
+impl ShardObserver for NullObserver {
+    fn on_shard_cycle(&mut self, _view: &ShardCycleView<'_>) {}
+    fn on_cycle_end(&mut self, _summary: &ShardCycleSummary) {}
+}
+
 /// Aggregate statistics collected by every run.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct ActivitySummary {

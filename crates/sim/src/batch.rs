@@ -1,12 +1,14 @@
 //! Batched multi-stream simulation over one shared compiled plan — the
 //! serving scenario: one compiled ruleset, many independent inputs.
 //!
-//! A [`CompiledAutomaton`] is immutable and `Sync`, so a single plan
-//! can drive any number of streams with only per-stream
-//! [`ByteSession`]s as mutable state. [`BatchSimulator`] is a *stream
-//! table*: flows are opened, fed incrementally (in any interleaving),
-//! and closed for their [`RunResult`]s — plus the materialized-input
-//! conveniences built on the same sessions:
+//! A compiled plan is immutable and `Sync`, so a single plan can drive
+//! any number of streams with only per-stream sessions as mutable
+//! state. [`BatchSimulator`] is a *stream table* generic over the plan
+//! flavour (the flat [`CompiledAutomaton`] by default, or a
+//! [`ShardedAutomaton`] — see [`ShardedBatch`]): flows are opened, fed
+//! incrementally (in any interleaving), and closed for their
+//! [`RunResult`]s — plus the materialized-input conveniences built on
+//! the same sessions:
 //!
 //! * [`open`](BatchSimulator::open) / [`feed`](BatchSimulator::feed) /
 //!   [`close`](BatchSimulator::close) — the incremental stream table,
@@ -23,6 +25,22 @@
 //!   access, so the data-parallel path uses `std::thread::scope` rather
 //!   than an external `rayon` dependency; the chunking shape is the
 //!   same.)
+//!
+//! # Scheduling: capped residency and parked flows
+//!
+//! A live session owns dense scratch sized to the whole automaton, so a
+//! table serving hundreds of thousands of flows cannot keep one session
+//! per flow. [`max_resident`](BatchSimulator::max_resident) caps the
+//! number of *resident* sessions: when a flow needs a session and the
+//! cap is reached, the scheduler parks a victim — idle flows (no
+//! dynamic activity, the streams whose arrays are powered down) first,
+//! then the least recently fed — by suspending it to a sparse
+//! [`SuspendedFlow`] and handing its session
+//! over. Parked flows resume transparently on their next feed;
+//! results are bit-identical to an uncapped table. With a sharded plan,
+//! [`shard_load`](BatchSimulator::shard_load) reports how many resident
+//! flows have activity on each shard — the observed-activity placement
+//! signal.
 //!
 //! # Examples
 //!
@@ -45,50 +63,125 @@
 //! # Ok::<(), cama_core::Error>(())
 //! ```
 //!
-//! Materialized batches:
+//! A sharded table with two resident sessions serving five flows:
 //!
 //! ```
-//! use cama_core::compiled::CompiledAutomaton;
+//! use cama_core::compiled::ShardedAutomaton;
 //! use cama_core::regex;
 //! use cama_sim::BatchSimulator;
 //!
 //! let nfa = regex::compile("ab+")?;
-//! let plan = CompiledAutomaton::compile(&nfa);
-//! let batch = BatchSimulator::new(&plan);
-//! let streams: Vec<&[u8]> = vec![b"zabbz", b"ab", b"none"];
-//! let results = batch.run_all(streams.iter().copied());
-//! assert_eq!(results[0].report_offsets(), vec![2, 3]);
-//! assert_eq!(results[1].report_offsets(), vec![1]);
-//! assert!(results[2].reports.is_empty());
+//! let plan = ShardedAutomaton::compile(&nfa, 1);
+//! let mut batch = BatchSimulator::new(&plan).max_resident(2);
+//! for id in 0..5u32 {
+//!     batch.feed(id, b"za");
+//! }
+//! assert_eq!(batch.resident_count(), 2);
+//! assert_eq!(batch.open_count(), 5);
+//! for id in 0..5u32 {
+//!     batch.feed(id, b"bb"); // parked flows resume transparently
+//!     assert_eq!(batch.close(id).report_offsets(), vec![2, 3]);
+//! }
 //! # Ok::<(), cama_core::Error>(())
 //! ```
 
 use std::collections::HashMap;
+use std::fmt;
 
-use crate::activity::Observer;
+use crate::activity::{Observer, ShardObserver};
 use crate::engine::ByteSession;
-use crate::frame::{FrameDecoder, FrameEvent, StreamId};
+use crate::frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 use crate::result::RunResult;
-use crate::session::Session;
-use cama_core::compiled::CompiledAutomaton;
+use crate::session::{FlowSession, Session, SuspendedFlow};
+use crate::sharded::ShardedSession;
+use cama_core::compiled::{CompiledAutomaton, ShardedAutomaton};
+
+/// A compiled plan the stream table can serve: hands out sessions and
+/// tells the scheduler its shard structure.
+///
+/// Implemented by [`CompiledAutomaton`] (flat
+/// [`ByteSession`]s, a single logical shard) and [`ShardedAutomaton`]
+/// ([`ShardedSession`]s, one shard per simulated CAM array).
+pub trait StreamPlan: Sync {
+    /// The session type opened for each flow.
+    type Session<'p>: FlowSession + Clone + fmt::Debug
+    where
+        Self: 'p;
+
+    /// Starts a fresh session over this plan with the given multi-step
+    /// chain length (1 for byte automata).
+    fn open_session(&self, chain: usize) -> Self::Session<'_>;
+
+    /// Number of shards the engine distinguishes (1 for flat plans).
+    fn num_shards(&self) -> usize {
+        1
+    }
+}
+
+impl StreamPlan for CompiledAutomaton {
+    type Session<'p> = ByteSession<'p>;
+
+    fn open_session(&self, chain: usize) -> ByteSession<'_> {
+        ByteSession::with_chain(self, chain)
+    }
+}
+
+impl StreamPlan for ShardedAutomaton {
+    type Session<'p> = ShardedSession<'p>;
+
+    fn open_session(&self, chain: usize) -> ShardedSession<'_> {
+        ShardedSession::with_chain(self, chain)
+    }
+
+    fn num_shards(&self) -> usize {
+        ShardedAutomaton::num_shards(self)
+    }
+}
+
+/// One flow in the table: either holding a resident session or parked
+/// as a sparse snapshot.
+#[derive(Clone, Debug)]
+enum Flow<S> {
+    Resident {
+        session: S,
+        /// Scheduler clock value of the last feed (victim ordering).
+        last_touch: u64,
+    },
+    Parked(SuspendedFlow),
+}
 
 /// A stream table running many independent input streams over one
-/// shared [`CompiledAutomaton`].
+/// shared compiled plan (flat by default; see [`ShardedBatch`] for the
+/// per-CAM-array flavour).
 #[derive(Clone, Debug)]
-pub struct BatchSimulator<'p> {
-    plan: &'p CompiledAutomaton,
+pub struct BatchSimulator<'p, P: StreamPlan = CompiledAutomaton> {
+    plan: &'p P,
     /// Sub-symbols per original symbol (1 for byte automata; e.g. 2 for
     /// nibble streams).
     chain: usize,
-    /// Open flows: one resumable session per stream id.
-    table: HashMap<StreamId, ByteSession<'p>>,
+    /// Open flows: resident sessions or parked snapshots.
+    table: HashMap<StreamId, Flow<P::Session<'p>>>,
     /// Closed sessions kept for reuse, scratch capacity intact.
-    pool: Vec<ByteSession<'p>>,
+    pool: Vec<P::Session<'p>>,
+    /// Cap on concurrently resident sessions (`None` = unlimited).
+    max_resident: Option<usize>,
+    /// Currently resident sessions in `table`.
+    resident: usize,
+    /// Ids of resident flows, maintained only for capped tables so
+    /// victim selection scans O(cap) entries, never O(open flows).
+    resident_ids: Vec<StreamId>,
+    /// Monotone feed clock driving least-recently-fed victim choice.
+    touch_clock: u64,
 }
 
-impl<'p> BatchSimulator<'p> {
+/// A [`BatchSimulator`] over a [`ShardedAutomaton`]: the stream table
+/// whose sessions execute per-CAM-array and whose scheduler sees
+/// per-shard activity.
+pub type ShardedBatch<'p> = BatchSimulator<'p, ShardedAutomaton>;
+
+impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
     /// Creates a batch runner over a shared compiled plan.
-    pub fn new(plan: &'p CompiledAutomaton) -> Self {
+    pub fn new(plan: &'p P) -> Self {
         Self::with_chain(plan, 1)
     }
 
@@ -98,25 +191,48 @@ impl<'p> BatchSimulator<'p> {
     /// # Panics
     ///
     /// Panics if `chain` is zero.
-    pub fn with_chain(plan: &'p CompiledAutomaton, chain: usize) -> Self {
+    pub fn with_chain(plan: &'p P, chain: usize) -> Self {
         assert!(chain > 0, "chain must be positive");
         BatchSimulator {
             plan,
             chain,
             table: HashMap::new(),
             pool: Vec::new(),
+            max_resident: None,
+            resident: 0,
+            resident_ids: Vec::new(),
+            touch_clock: 0,
         }
     }
 
+    /// Caps the number of concurrently *resident* sessions. Flows
+    /// beyond the cap stay open but parked (sparse snapshots); feeding
+    /// a parked flow resumes it, parking a victim if needed. Results
+    /// are identical to an uncapped table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero, or if flows are already open (set the
+    /// cap at construction, before the table is used).
+    pub fn max_resident(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "resident cap must be positive");
+        assert!(
+            self.table.is_empty(),
+            "set the residency cap before opening flows"
+        );
+        self.max_resident = Some(cap);
+        self
+    }
+
     /// The shared compiled plan.
-    pub fn plan(&self) -> &'p CompiledAutomaton {
+    pub fn plan(&self) -> &'p P {
         self.plan
     }
 
     /// A fresh standalone session over the shared plan (not entered in
     /// the stream table).
-    pub fn session(&self) -> ByteSession<'p> {
-        ByteSession::with_chain(self.plan, self.chain)
+    pub fn session(&self) -> P::Session<'p> {
+        self.plan.open_session(self.chain)
     }
 
     /// Opens a flow in the stream table, recycling a pooled session if
@@ -128,19 +244,56 @@ impl<'p> BatchSimulator<'p> {
     ///
     /// Panics if the stream is already open.
     pub fn open(&mut self, stream: StreamId) {
-        let session = self.pool.pop().unwrap_or_else(|| self.session());
-        let prev = self.table.insert(stream, session);
-        assert!(prev.is_none(), "stream {stream} is already open");
+        assert!(
+            !self.table.contains_key(&stream),
+            "stream {stream} is already open"
+        );
+        let _ = self.session_mut(stream);
     }
 
-    /// `true` if `stream` is currently open.
+    /// `true` if `stream` is currently open (resident or parked).
     pub fn is_open(&self, stream: StreamId) -> bool {
         self.table.contains_key(&stream)
     }
 
-    /// Number of currently open flows.
+    /// Number of currently open flows (resident plus parked).
     pub fn open_count(&self) -> usize {
         self.table.len()
+    }
+
+    /// Number of flows currently holding a resident session.
+    pub fn resident_count(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of open flows currently parked as sparse snapshots.
+    pub fn parked_count(&self) -> usize {
+        self.table.len() - self.resident
+    }
+
+    /// For each shard of the plan, how many resident flows currently
+    /// have dynamic activity on it — the observed-activity signal the
+    /// scheduler's placement policy reads (always a single entry for
+    /// flat plans).
+    pub fn shard_load(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.plan.num_shards()];
+        let mut count = |flow: &Flow<P::Session<'p>>| {
+            if let Flow::Resident { session, .. } = flow {
+                session.for_each_active_shard(|shard| load[shard] += 1);
+            }
+        };
+        if self.max_resident.is_some() {
+            // Capped table: walk the O(cap) resident index, not the
+            // (possibly huge) table of parked flows.
+            for id in &self.resident_ids {
+                count(&self.table[id]);
+            }
+        } else {
+            for flow in self.table.values() {
+                count(flow);
+            }
+        }
+        load
     }
 
     /// Feeds one chunk to a flow, opening it implicitly if unknown.
@@ -155,46 +308,164 @@ impl<'p> BatchSimulator<'p> {
         self.session_mut(stream).feed_with(chunk, observer);
     }
 
-    /// Closes a flow and returns its accumulated result; the session
-    /// returns to the pool for reuse. Closing a flow that was never fed
-    /// (or never opened) yields the empty result, matching a zero-length
-    /// stream.
+    /// Closes a flow and returns its accumulated result; a resident
+    /// session returns to the pool for reuse (a parked flow needs no
+    /// session at all). Closing a flow that was never fed (or never
+    /// opened) yields the empty result, matching a zero-length stream.
     pub fn close(&mut self, stream: StreamId) -> RunResult {
         match self.table.remove(&stream) {
-            Some(mut session) => {
+            Some(Flow::Resident { mut session, .. }) => {
+                self.note_unresident(stream);
                 let result = session.finish();
                 self.pool.push(session);
                 result
             }
+            Some(Flow::Parked(flow)) => flow.into_result(),
             None => RunResult::default(),
         }
     }
 
     /// Drives the stream table from one length-prefixed wire chunk (see
     /// [`frame`](crate::frame) for the format): data frames feed their
-    /// flow, close frames close it. Returns `(stream, result)` for every
-    /// flow closed by this chunk, in wire order. The decoder carries
-    /// partial frames across calls, so the wire may be split anywhere.
+    /// flow, close frames close it. Appends `(stream, result)` to
+    /// `closed` for every flow closed by this chunk, in wire order. The
+    /// decoder carries partial frames across calls, so the wire may be
+    /// split anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the decoder's [`FrameError`] on a malformed header.
+    /// Frames demuxed earlier in the chunk have already been applied,
+    /// and flows they closed are already in `closed` — which is why
+    /// `closed` is an out-parameter: a close result delivered just
+    /// before the malformed header is not recoverable any other way.
     pub fn ingest(
         &mut self,
         decoder: &mut FrameDecoder,
         wire: &[u8],
-    ) -> Vec<(StreamId, RunResult)> {
-        let mut closed = Vec::new();
+        closed: &mut Vec<(StreamId, RunResult)>,
+    ) -> Result<(), FrameError> {
         decoder.feed(wire, |event| match event {
             FrameEvent::Data { stream, chunk } => self.feed(stream, chunk),
             FrameEvent::Close { stream } => closed.push((stream, self.close(stream))),
-        });
-        closed
+        })
     }
 
-    fn session_mut(&mut self, stream: StreamId) -> &mut ByteSession<'p> {
-        // Single hash lookup on the per-chunk hot path.
-        let (plan, chain, pool) = (self.plan, self.chain, &mut self.pool);
-        self.table.entry(stream).or_insert_with(|| {
-            pool.pop()
-                .unwrap_or_else(|| ByteSession::with_chain(plan, chain))
-        })
+    /// Makes `stream` resident (resuming it if parked, creating it if
+    /// unknown), parking a victim first when the cap is reached.
+    ///
+    /// Only called on the capped slow path or on a table miss; the
+    /// resident fast path stays inside [`session_mut`](Self::session_mut).
+    fn make_resident(&mut self, stream: StreamId, clock: u64) {
+        if let Some(cap) = self.max_resident {
+            if self.resident >= cap {
+                self.park_victim();
+            }
+        }
+        let mut session = self
+            .pool
+            .pop()
+            .unwrap_or_else(|| self.plan.open_session(self.chain));
+        if let Some(Flow::Parked(flow)) = self.table.remove(&stream) {
+            session.resume(flow);
+        }
+        self.table.insert(
+            stream,
+            Flow::Resident {
+                session,
+                last_touch: clock,
+            },
+        );
+        self.note_resident(stream);
+    }
+
+    fn note_resident(&mut self, stream: StreamId) {
+        self.resident += 1;
+        // The resident index exists only for capped tables: park_victim
+        // must scan residents in O(cap), not O(open flows). Uncapped
+        // tables never park, so they skip the bookkeeping entirely.
+        if self.max_resident.is_some() {
+            self.resident_ids.push(stream);
+        }
+    }
+
+    fn note_unresident(&mut self, stream: StreamId) {
+        self.resident -= 1;
+        if self.max_resident.is_some() {
+            let i = self
+                .resident_ids
+                .iter()
+                .position(|&id| id == stream)
+                .expect("resident flow missing from index");
+            self.resident_ids.swap_remove(i);
+        }
+    }
+
+    /// Parks one resident flow: idle flows first (their arrays are
+    /// powered down and their snapshots are near-empty — and parking
+    /// them keeps the flows actually loading shards resident), then the
+    /// least recently fed. Scans only the resident index, so the cost
+    /// is O(cap) regardless of how many flows are open.
+    fn park_victim(&mut self) {
+        let victim = self
+            .resident_ids
+            .iter()
+            .map(|&id| match &self.table[&id] {
+                Flow::Resident {
+                    session,
+                    last_touch,
+                } => (id, session.is_idle(), *last_touch),
+                Flow::Parked(_) => unreachable!("parked flow in resident index"),
+            })
+            .min_by_key(|&(_, idle, touch)| (!idle, touch))
+            .map(|(id, ..)| id);
+        let Some(id) = victim else { return };
+        if let Some(Flow::Resident { mut session, .. }) = self.table.remove(&id) {
+            let parked = session.suspend();
+            self.pool.push(session);
+            self.note_unresident(id);
+            self.table.insert(id, Flow::Parked(parked));
+        }
+    }
+
+    fn session_mut(&mut self, stream: StreamId) -> &mut P::Session<'p> {
+        self.touch_clock += 1;
+        let clock = self.touch_clock;
+        if self.max_resident.is_none() {
+            // Uncapped tables never park, so every open flow is
+            // resident: single hash lookup on the per-chunk hot path.
+            let (plan, chain, pool, resident) =
+                (self.plan, self.chain, &mut self.pool, &mut self.resident);
+            let flow = self.table.entry(stream).or_insert_with(|| {
+                *resident += 1;
+                Flow::Resident {
+                    session: pool.pop().unwrap_or_else(|| plan.open_session(chain)),
+                    last_touch: 0,
+                }
+            });
+            let Flow::Resident {
+                session,
+                last_touch,
+            } = flow
+            else {
+                unreachable!("uncapped tables never park")
+            };
+            *last_touch = clock;
+            return session;
+        }
+        if !matches!(self.table.get(&stream), Some(Flow::Resident { .. })) {
+            self.make_resident(stream, clock);
+        }
+        match self.table.get_mut(&stream) {
+            Some(Flow::Resident {
+                session,
+                last_touch,
+            }) => {
+                *last_touch = clock;
+                session
+            }
+            _ => unreachable!("make_resident left the flow parked"),
+        }
     }
 
     /// Runs a single stream from a fresh state.
@@ -206,7 +477,7 @@ impl<'p> BatchSimulator<'p> {
 
     /// Lazily yields one [`RunResult`] per stream, in order, reusing a
     /// single session across the whole batch.
-    pub fn results<'s, I>(&self, streams: I) -> impl Iterator<Item = RunResult> + use<'p, 's, I>
+    pub fn results<'s, I>(&self, streams: I) -> impl Iterator<Item = RunResult> + use<'p, 's, I, P>
     where
         I: IntoIterator<Item = &'s [u8]>,
     {
@@ -259,13 +530,14 @@ impl<'p> BatchSimulator<'p> {
         // Contiguous chunks, sized so every thread gets within one
         // stream of the same count.
         let chunk = streams.len().div_ceil(threads);
+        let (plan, chain) = (self.plan, self.chain);
         let mut results: Vec<Vec<RunResult>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = streams
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move || {
-                        let mut session = self.session();
+                        let mut session = plan.open_session(chain);
                         part.iter()
                             .map(|input| {
                                 session.feed(input);
@@ -278,6 +550,21 @@ impl<'p> BatchSimulator<'p> {
             results = handles.into_iter().map(|h| h.join().unwrap()).collect();
         });
         results.into_iter().flatten().collect()
+    }
+}
+
+impl<'p> BatchSimulator<'p, ShardedAutomaton> {
+    /// [`feed`](Self::feed) delivering per-shard activity to a
+    /// [`ShardObserver`] — the native observation path of the sharded
+    /// engine, used by the energy models to charge exactly the arrays
+    /// each flow powered.
+    pub fn feed_sharded_with(
+        &mut self,
+        stream: StreamId,
+        chunk: &[u8],
+        observer: &mut impl ShardObserver,
+    ) {
+        self.session_mut(stream).feed_sharded_with(chunk, observer);
     }
 }
 
@@ -355,6 +642,80 @@ mod tests {
     }
 
     #[test]
+    fn capped_residency_matches_unlimited_table() {
+        let nfa = regex::compile("a(b|c)+x").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let inputs = streams();
+        let mut unlimited = BatchSimulator::new(&plan);
+        for cap in [1usize, 2, 5] {
+            let mut capped = BatchSimulator::new(&plan).max_resident(cap);
+            let longest = inputs.iter().map(Vec::len).max().unwrap();
+            for pos in (0..longest).step_by(3) {
+                for (id, input) in inputs.iter().enumerate() {
+                    let chunk = &input[pos.min(input.len())..(pos + 3).min(input.len())];
+                    if !chunk.is_empty() {
+                        capped.feed(id as StreamId, chunk);
+                        unlimited.feed(id as StreamId, chunk);
+                        assert!(capped.resident_count() <= cap, "cap {cap}");
+                    }
+                }
+            }
+            for id in 0..inputs.len() {
+                assert_eq!(
+                    capped.close(id as StreamId),
+                    unlimited.close(id as StreamId),
+                    "cap {cap}, stream {id}"
+                );
+            }
+            assert_eq!(capped.open_count(), 0);
+        }
+    }
+
+    #[test]
+    fn parked_flows_count_as_open_and_close_without_a_session() {
+        let nfa = regex::compile("ab").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan).max_resident(1);
+        batch.feed(0, b"a");
+        batch.feed(1, b"ab"); // parks flow 0
+        assert_eq!(batch.open_count(), 2);
+        assert_eq!(batch.resident_count(), 1);
+        assert_eq!(batch.parked_count(), 1);
+        assert!(batch.is_open(0));
+        // Closing the parked flow needs no session swap.
+        batch.feed(0, b"b");
+        assert_eq!(batch.close(0).report_offsets(), vec![1]);
+        assert_eq!(batch.close(1).report_offsets(), vec![1]);
+    }
+
+    #[test]
+    fn idle_flows_are_parked_before_active_ones() {
+        let nfa = regex::compile("ab+x").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan).max_resident(2);
+        batch.feed(0, b"ab"); // active: mid-match
+        batch.feed(1, b"zz"); // idle: nothing enabled
+        batch.feed(2, b"b"); // needs a slot -> flow 1 is the victim
+        assert!(matches!(batch.table.get(&1), Some(Flow::Parked(_))));
+        assert!(matches!(batch.table.get(&0), Some(Flow::Resident { .. })));
+        batch.feed(0, b"bx");
+        assert_eq!(batch.close(0).report_offsets(), vec![3]);
+    }
+
+    #[test]
+    fn shard_load_reports_resident_activity() {
+        let nfa = regex::compile_set(&["ab+c", "xy+z"]).unwrap();
+        let plan = ShardedAutomaton::compile_per_component(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        batch.feed(0, b"ab"); // activity on the ab+c shard
+        batch.feed(1, b"xy"); // activity on the xy+z shard
+        batch.feed(2, b"qq"); // no activity anywhere
+        let load = batch.shard_load();
+        assert_eq!(load.iter().sum::<usize>(), 2);
+        assert_eq!(load.iter().filter(|&&l| l == 1).count(), 2);
+    }
+
+    #[test]
     fn pool_recycles_sessions_across_flows() {
         let nfa = regex::compile("ab").unwrap();
         let plan = CompiledAutomaton::compile(&nfa);
@@ -403,7 +764,7 @@ mod tests {
         // Split the wire mid-header and mid-payload.
         let mut closed = Vec::new();
         for piece in [&wire[..5], &wire[5..17], &wire[17..]] {
-            closed.extend(batch.ingest(&mut decoder, piece));
+            batch.ingest(&mut decoder, piece, &mut closed).unwrap();
         }
         assert!(decoder.is_idle());
         assert_eq!(closed.len(), 2);
@@ -414,6 +775,51 @@ mod tests {
 
         let mut single = Simulator::new(&nfa);
         assert_eq!(closed[1].1, single.run(b"zabbcz"));
+    }
+
+    #[test]
+    fn oversized_frame_surfaces_through_ingest() {
+        let nfa = regex::compile("a").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        let mut wire = Vec::new();
+        encode_frame(1, b"aa", &mut wire);
+        encode_frame(2, &[b'a'; 64], &mut wire);
+        let mut decoder = FrameDecoder::with_max_payload(16);
+        let mut closed = Vec::new();
+        let err = batch.ingest(&mut decoder, &wire, &mut closed).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::OversizedPayload { stream: 2, .. }
+        ));
+        // The well-formed frame before the bad header was applied.
+        assert!(closed.is_empty());
+        assert_eq!(batch.close(1).report_offsets(), vec![0, 1]);
+    }
+
+    #[test]
+    fn close_results_before_a_malformed_header_are_not_lost() {
+        // Flow 1 is fed AND closed before the oversized header in the
+        // same wire chunk: its result must land in `closed` even though
+        // ingest returns an error for the chunk.
+        let nfa = regex::compile("aa").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        let mut wire = Vec::new();
+        encode_frame(1, b"aaa", &mut wire);
+        encode_close(1, &mut wire);
+        encode_frame(2, &[b'a'; 64], &mut wire);
+        let mut decoder = FrameDecoder::with_max_payload(16);
+        let mut closed = Vec::new();
+        let err = batch.ingest(&mut decoder, &wire, &mut closed).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::OversizedPayload { stream: 2, .. }
+        ));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].0, 1);
+        assert_eq!(closed[0].1.report_offsets(), vec![1, 2]);
+        assert!(!batch.is_open(1), "flow 1 was closed by the wire");
     }
 
     #[test]
@@ -439,6 +845,25 @@ mod tests {
         let plan = CompiledAutomaton::compile(&nfa);
         let batch = BatchSimulator::new(&plan);
         assert!(batch.run_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn sharded_batch_matches_flat_batch() {
+        let nfa = regex::compile_set(&["a(b|c)+x", "zz"]).unwrap();
+        let flat_plan = CompiledAutomaton::compile(&nfa);
+        let sharded_plan = ShardedAutomaton::compile(&nfa, 2);
+        let flat = BatchSimulator::new(&flat_plan);
+        let sharded: ShardedBatch<'_> = BatchSimulator::new(&sharded_plan);
+        let inputs = streams();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            flat.run_all(refs.iter().copied()),
+            sharded.run_all(refs.iter().copied())
+        );
+        assert_eq!(
+            sharded.run_parallel(&refs, 3),
+            flat.run_all(refs.iter().copied())
+        );
     }
 
     #[test]

@@ -19,12 +19,26 @@
 //! streams — see [`BatchSimulator`](crate::BatchSimulator).
 
 use crate::activity::{CycleView, NullObserver, Observer};
-use crate::session::{AutomataEngine, Session};
+use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
 use cama_core::compiled::CompiledAutomaton;
 use cama_core::{Nfa, SteId};
 
 pub use crate::result::{Report, RunResult};
+
+/// Zeroes exactly the words the one-bit-per-word `summary` marks dirty,
+/// then zeroes the summary — the sparse clear shared by every engine's
+/// vector/summary pairs.
+pub(crate) fn sparse_clear(words: &mut [u64], summary: &mut [u64]) {
+    for (j, any) in summary.iter_mut().enumerate() {
+        let mut dirty = *any;
+        while dirty != 0 {
+            words[j * 64 + dirty.trailing_zeros() as usize] = 0;
+            dirty &= dirty - 1;
+        }
+        *any = 0;
+    }
+}
 
 /// The per-stream mutable half of a simulation: enable/active vectors
 /// and the cycle counter. All automaton structure lives in the shared
@@ -97,15 +111,8 @@ impl CycleState {
         let report_words = plan.report_mask().as_words();
 
         // Sparse-clear the previous cycle's active words.
+        sparse_clear(self.active.as_words_mut(), &mut self.active_any);
         let active_words = self.active.as_words_mut();
-        for (j, any) in self.active_any.iter_mut().enumerate() {
-            let mut dirty = *any;
-            while dirty != 0 {
-                active_words[j * 64 + dirty.trailing_zeros() as usize] = 0;
-                dirty &= dirty - 1;
-            }
-            *any = 0;
-        }
 
         // Phase 1: build the active vector from its three sources,
         // visiting only words their summaries mark.
@@ -212,20 +219,34 @@ impl CycleState {
         // storage is sparse-cleared and reused as next cycle's scratch.
         std::mem::swap(&mut self.dynamic, &mut self.next);
         std::mem::swap(&mut self.dynamic_any, &mut self.next_any);
-        let next_words = self.next.as_words_mut();
-        for (j, any) in self.next_any.iter_mut().enumerate() {
-            let mut dirty = *any;
-            while dirty != 0 {
-                next_words[j * 64 + dirty.trailing_zeros() as usize] = 0;
-                dirty &= dirty - 1;
-            }
-            *any = 0;
-        }
+        sparse_clear(self.next.as_words_mut(), &mut self.next_any);
         self.cycle += 1;
     }
 
     pub(crate) fn cycle(&self) -> usize {
         self.cycle
+    }
+
+    /// `true` when no state is dynamically enabled.
+    pub(crate) fn dynamic_is_empty(&self) -> bool {
+        self.dynamic_any.iter().all(|&w| w == 0)
+    }
+
+    /// Appends the indices of the dynamically enabled states to `out`.
+    pub(crate) fn snapshot_dynamic(&self, out: &mut Vec<u32>) {
+        out.extend(self.dynamic.iter().map(|i| i as u32));
+    }
+
+    /// Restores a suspended stream into this (fresh) state: the cycle
+    /// offset plus the sparse dynamic set.
+    pub(crate) fn restore(&mut self, cycle: usize, dynamic: &[u32]) {
+        debug_assert!(self.cycle == 0 && self.dynamic_is_empty());
+        self.cycle = cycle;
+        for &state in dynamic {
+            let state = state as usize;
+            self.dynamic.insert(state);
+            self.dynamic_any[state / 4096] |= 1u64 << ((state / 64) % 64);
+        }
     }
 }
 
@@ -337,6 +358,38 @@ impl Session for ByteSession<'_> {
 
     fn pending(&self) -> &RunResult {
         &self.result
+    }
+}
+
+impl FlowSession for ByteSession<'_> {
+    fn suspend(&mut self) -> SuspendedFlow {
+        let mut dynamic = Vec::new();
+        self.state.snapshot_dynamic(&mut dynamic);
+        let flow = SuspendedFlow {
+            cycle: self.state.cycle(),
+            fed: self.fed,
+            dynamic,
+            result: std::mem::take(&mut self.result),
+        };
+        self.state.reset();
+        self.fed = 0;
+        flow
+    }
+
+    fn resume(&mut self, flow: SuspendedFlow) {
+        self.state.restore(flow.cycle, &flow.dynamic);
+        self.fed = flow.fed;
+        self.result = flow.result;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.state.dynamic_is_empty()
+    }
+
+    fn for_each_active_shard(&self, mut f: impl FnMut(usize)) {
+        if !self.is_idle() {
+            f(0);
+        }
     }
 }
 

@@ -14,6 +14,12 @@
 //! the ROADMAP's async-ingestion item and the §VI.B input-buffer
 //! model).
 //!
+//! Wire lengths are **not** trusted unconditionally: a decoder built
+//! with [`FrameDecoder::with_max_payload`] rejects any header declaring
+//! a larger payload with [`FrameError::OversizedPayload`] before
+//! consuming a single payload byte, so a corrupt or hostile length
+//! field cannot commit the serving loop to gigabytes of phantom input.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,11 +41,12 @@
 //!         FrameEvent::Data { stream: 7, chunk } => stream7.extend_from_slice(chunk),
 //!         FrameEvent::Data { .. } => {}
 //!         FrameEvent::Close { stream } => closed.push(stream),
-//!     });
+//!     })?;
 //! }
 //! assert_eq!(stream7, b"hello");
 //! assert_eq!(closed, vec![7]);
 //! assert!(decoder.is_idle());
+//! # Ok::<(), cama_sim::frame::FrameError>(())
 //! ```
 
 /// Identifies one flow within a framed wire buffer (and one open
@@ -69,29 +76,107 @@ pub enum FrameEvent<'a> {
     },
 }
 
+/// A malformed frame on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// A header declared a payload larger than the decoder's configured
+    /// [`max_payload`](FrameDecoder::with_max_payload) guard. No payload
+    /// byte of the offending frame was consumed.
+    OversizedPayload {
+        /// The stream the oversized frame addressed.
+        stream: StreamId,
+        /// The declared payload length.
+        len: u32,
+        /// The configured limit it exceeded.
+        max_payload: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FrameError::OversizedPayload {
+                stream,
+                len,
+                max_payload,
+            } => write!(
+                f,
+                "frame for stream {stream} declares a {len}-byte payload \
+                 (max_payload is {max_payload})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 /// Incremental decoder for the length-prefixed frame format.
 ///
 /// Holds at most one partial header (≤ 8 bytes) between calls; payload
-/// bytes are never copied.
-#[derive(Clone, Debug, Default)]
+/// bytes are never copied. A decoder that has reported a [`FrameError`]
+/// is *poisoned* — further [`feed`](FrameDecoder::feed) calls return
+/// the same error and consume nothing — until [`reset`](FrameDecoder::reset),
+/// since a wire with a corrupt header has no trustworthy resynchronization
+/// point.
+#[derive(Clone, Debug)]
 pub struct FrameDecoder {
     header: [u8; FRAME_HEADER_BYTES],
     header_len: usize,
     stream: StreamId,
     /// Payload bytes of the current frame not yet seen.
     remaining: u32,
+    /// Largest acceptable `payload_len`.
+    max_payload: u32,
+    /// Set once a malformed header was seen; sticky until `reset`.
+    poisoned: Option<FrameError>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::with_max_payload(u32::MAX)
+    }
 }
 
 impl FrameDecoder {
-    /// A decoder at a frame boundary.
+    /// A decoder at a frame boundary, accepting any payload length the
+    /// header field can express.
     pub fn new() -> Self {
         FrameDecoder::default()
+    }
+
+    /// A decoder rejecting frames whose declared payload exceeds
+    /// `max_payload` bytes — the guard every ingress that does not trust
+    /// its peers should set (a sane bound is the receive-buffer size).
+    pub fn with_max_payload(max_payload: u32) -> Self {
+        FrameDecoder {
+            header: [0; FRAME_HEADER_BYTES],
+            header_len: 0,
+            stream: 0,
+            remaining: 0,
+            max_payload,
+            poisoned: None,
+        }
     }
 
     /// Consumes one wire chunk, invoking `sink` for every event it
     /// completes. Chunk boundaries are arbitrary; state for partial
     /// headers and partial payloads carries over to the next call.
-    pub fn feed<'a>(&mut self, mut wire: &'a [u8], mut sink: impl FnMut(FrameEvent<'a>)) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::OversizedPayload`] when a header declares a
+    /// payload beyond the configured guard; events completed earlier in
+    /// the same chunk have already been delivered, the offending frame's
+    /// payload is not consumed, and the decoder stays poisoned until
+    /// [`reset`](FrameDecoder::reset).
+    pub fn feed<'a>(
+        &mut self,
+        mut wire: &'a [u8],
+        mut sink: impl FnMut(FrameEvent<'a>),
+    ) -> Result<(), FrameError> {
+        if let Some(error) = self.poisoned {
+            return Err(error);
+        }
         while !wire.is_empty() {
             if self.remaining > 0 {
                 let take = (self.remaining as usize).min(wire.len());
@@ -111,6 +196,15 @@ impl FrameDecoder {
                     self.header_len = 0;
                     let stream = u32::from_le_bytes(self.header[..4].try_into().unwrap());
                     let len = u32::from_le_bytes(self.header[4..].try_into().unwrap());
+                    if len > self.max_payload {
+                        let error = FrameError::OversizedPayload {
+                            stream,
+                            len,
+                            max_payload: self.max_payload,
+                        };
+                        self.poisoned = Some(error);
+                        return Err(error);
+                    }
                     if len == 0 {
                         sink(FrameEvent::Close { stream });
                     } else {
@@ -120,13 +214,22 @@ impl FrameDecoder {
                 }
             }
         }
+        Ok(())
     }
 
     /// `true` when the decoder sits exactly on a frame boundary (no
-    /// partial header or payload pending) — the well-formed end-of-wire
-    /// condition.
+    /// partial header or payload pending, not poisoned) — the
+    /// well-formed end-of-wire condition.
     pub fn is_idle(&self) -> bool {
-        self.header_len == 0 && self.remaining == 0
+        self.header_len == 0 && self.remaining == 0 && self.poisoned.is_none()
+    }
+
+    /// Discards all partial-frame state (and any poison), returning the
+    /// decoder to a frame boundary. Use after a malformed wire was
+    /// abandoned and a fresh, trusted one begins.
+    pub fn reset(&mut self) {
+        let max_payload = self.max_payload;
+        *self = FrameDecoder::with_max_payload(max_payload);
     }
 }
 
@@ -167,10 +270,14 @@ mod tests {
         }
         pieces.push(&wire[prev..]);
         for piece in pieces {
-            decoder.feed(piece, |event| match event {
-                FrameEvent::Data { stream, chunk } => events.push((stream, chunk.to_vec(), false)),
-                FrameEvent::Close { stream } => events.push((stream, Vec::new(), true)),
-            });
+            decoder
+                .feed(piece, |event| match event {
+                    FrameEvent::Data { stream, chunk } => {
+                        events.push((stream, chunk.to_vec(), false))
+                    }
+                    FrameEvent::Close { stream } => events.push((stream, Vec::new(), true)),
+                })
+                .unwrap();
         }
         assert!(decoder.is_idle());
         events
@@ -234,9 +341,91 @@ mod tests {
         let mut wire = Vec::new();
         encode_frame(1, b"abcd", &mut wire);
         let mut decoder = FrameDecoder::new();
-        decoder.feed(&wire[..wire.len() - 1], |_| {});
+        decoder.feed(&wire[..wire.len() - 1], |_| {}).unwrap();
         assert!(!decoder.is_idle());
-        decoder.feed(&wire[wire.len() - 1..], |_| {});
+        decoder.feed(&wire[wire.len() - 1..], |_| {}).unwrap();
         assert!(decoder.is_idle());
+    }
+
+    #[test]
+    fn payloads_within_the_guard_pass() {
+        let mut wire = Vec::new();
+        encode_frame(4, b"eightby!", &mut wire);
+        encode_close(4, &mut wire);
+        let mut decoder = FrameDecoder::with_max_payload(8);
+        let mut bytes = Vec::new();
+        decoder
+            .feed(&wire, |event| {
+                if let FrameEvent::Data { chunk, .. } = event {
+                    bytes.extend_from_slice(chunk);
+                }
+            })
+            .unwrap();
+        assert_eq!(bytes, b"eightby!");
+        assert!(decoder.is_idle());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_its_payload() {
+        let mut wire = Vec::new();
+        encode_frame(2, b"ok", &mut wire); // a good frame first
+        encode_frame(9, &[0u8; 16], &mut wire); // 16 > the 8-byte guard
+        let mut decoder = FrameDecoder::with_max_payload(8);
+        let mut good = Vec::new();
+        let err = decoder
+            .feed(&wire, |event| {
+                if let FrameEvent::Data { stream, chunk } = event {
+                    good.push((stream, chunk.to_vec()));
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::OversizedPayload {
+                stream: 9,
+                len: 16,
+                max_payload: 8
+            }
+        );
+        // Events before the malformed header were delivered; nothing of
+        // the oversized payload was.
+        assert_eq!(good, vec![(2, b"ok".to_vec())]);
+        assert!(!decoder.is_idle());
+        assert!(err.to_string().contains("stream 9"));
+    }
+
+    #[test]
+    fn poisoned_decoder_stays_poisoned_until_reset() {
+        let mut wire = Vec::new();
+        encode_frame(1, &[0u8; 100], &mut wire);
+        let mut decoder = FrameDecoder::with_max_payload(10);
+        assert!(decoder.feed(&wire, |_| {}).is_err());
+        // Even a perfectly valid wire is refused until reset.
+        let mut good = Vec::new();
+        encode_close(1, &mut good);
+        let mut events = 0;
+        assert!(decoder.feed(&good, |_| events += 1).is_err());
+        assert_eq!(events, 0);
+        decoder.reset();
+        decoder.feed(&good, |_| events += 1).unwrap();
+        assert_eq!(events, 1);
+        assert!(decoder.is_idle());
+    }
+
+    #[test]
+    fn oversized_header_split_across_chunks_is_still_caught() {
+        let mut wire = Vec::new();
+        encode_frame(3, &[0u8; 50], &mut wire);
+        let mut decoder = FrameDecoder::with_max_payload(49);
+        // Feed the header one byte at a time; the error fires exactly
+        // when the 8th header byte lands.
+        for (i, byte) in wire.iter().enumerate().take(FRAME_HEADER_BYTES) {
+            let result = decoder.feed(std::slice::from_ref(byte), |_| {});
+            if i < FRAME_HEADER_BYTES - 1 {
+                assert!(result.is_ok(), "byte {i}");
+            } else {
+                assert!(result.is_err(), "byte {i}");
+            }
+        }
     }
 }

@@ -85,14 +85,18 @@ pub mod frame;
 pub mod interp;
 pub mod result;
 pub mod session;
+pub mod sharded;
 pub mod strided;
 
-pub use activity::{ActivitySummary, CycleView, Observer};
-pub use batch::BatchSimulator;
+pub use activity::{
+    ActivitySummary, CycleView, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,
+};
+pub use batch::{BatchSimulator, ShardedBatch, StreamPlan};
 pub use buffers::BufferStats;
 pub use engine::{ByteSession, Simulator};
-pub use frame::{FrameDecoder, FrameEvent, StreamId};
+pub use frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 pub use interp::{InterpSession, InterpSimulator};
 pub use result::{Report, RunResult};
-pub use session::{AutomataEngine, Session};
+pub use session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
+pub use sharded::{ShardStats, ShardedSession, ShardedSimulator};
 pub use strided::{StridedSession, StridedSimulator};

@@ -98,6 +98,77 @@ pub trait Session {
     }
 }
 
+/// The compact snapshot of a suspended stream: everything needed to
+/// continue it later, with no dense per-state vectors.
+///
+/// A live session owns scratch sized to the whole automaton
+/// (enable/active vectors); a suspended flow stores only the *set*
+/// dynamic bits — typically a handful — plus the cycle offset and the
+/// accumulated result. This is what lets the batch scheduler keep far
+/// more flows open than it keeps sessions resident (the software
+/// analogue of parking an idle stream out of the hardware stream
+/// table).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SuspendedFlow {
+    pub(crate) cycle: usize,
+    pub(crate) fed: usize,
+    /// Global ids of dynamically enabled states at suspension.
+    pub(crate) dynamic: Vec<u32>,
+    pub(crate) result: RunResult,
+}
+
+impl SuspendedFlow {
+    /// Input positions consumed before suspension.
+    pub fn bytes_fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Global ids of the dynamically enabled states captured at
+    /// suspension.
+    pub fn dynamic_states(&self) -> &[u32] {
+        &self.dynamic
+    }
+
+    /// The result accumulated before suspension.
+    pub fn pending(&self) -> &RunResult {
+        &self.result
+    }
+
+    /// Consumes the flow, yielding its accumulated result (closing a
+    /// parked flow needs no session at all).
+    pub fn into_result(self) -> RunResult {
+        self.result
+    }
+}
+
+/// A [`Session`] the batch scheduler can park and resume: its stream
+/// state round-trips through a sparse [`SuspendedFlow`] so the dense
+/// session scratch can be handed to another flow.
+///
+/// `resume(suspend())` is an identity on observable behavior — feeding
+/// the remaining input afterwards yields exactly the result of an
+/// uninterrupted run (asserted differentially in `tests/property.rs`).
+pub trait FlowSession: Session {
+    /// Captures the stream sparsely and resets the session in place
+    /// (scratch capacity kept) so it can serve another flow.
+    fn suspend(&mut self) -> SuspendedFlow;
+
+    /// Restores a parked flow into this session.
+    ///
+    /// The session must be fresh (just started, finished, or reset);
+    /// implementations may debug-assert that.
+    fn resume(&mut self, flow: SuspendedFlow);
+
+    /// `true` when the stream currently has no dynamic activity —
+    /// the cheapest flows to park, and the scheduler's first choice of
+    /// spill victim.
+    fn is_idle(&self) -> bool;
+
+    /// Calls `f` with each shard index where the stream currently has
+    /// dynamic activity (flat engines report shard 0 when non-idle).
+    fn for_each_active_shard(&self, f: impl FnMut(usize));
+}
+
 /// An automata engine that can start resumable streaming sessions.
 ///
 /// Implemented by [`Simulator`](crate::Simulator) (compiled byte

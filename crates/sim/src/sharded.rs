@@ -1,0 +1,845 @@
+//! The sharded cycle engine: executing a
+//! [`ShardedAutomaton`] one simulated CAM array at a time.
+//!
+//! The flat engine ([`Simulator`](crate::Simulator)) sweeps one enable
+//! vector sized to the whole design every cycle. The hardware does not:
+//! states live in many 256×128 CAM sub-arrays, each array resolves its
+//! own activations through its local switch, and only cross-array
+//! activations ride the global switch. [`ShardedSession`] is the
+//! software form of that decomposition:
+//!
+//! * **per-shard enable vectors** — each shard keeps its own
+//!   dynamic/next/active bit sets over its local state space;
+//! * **idle-shard skipping** — a shard with nothing enabled (empty
+//!   dynamic vector, no start state matching this symbol, no
+//!   start-of-data state on cycle 0) is skipped without touching a
+//!   single word, the analogue of powering an idle array down;
+//! * **one cross-shard exchange per cycle** — activations crossing
+//!   shards are staged while shards execute and applied to the target
+//!   shards' next vectors in a single pass, making global-switch
+//!   traffic an explicit, countable event
+//!   ([`ShardStats::cross_activations`]).
+//!
+//! Results are bit-identical to the flat engine — same reports in the
+//! same order, same activity statistics — for every shard count and
+//! assignment (asserted differentially in `tests/property.rs`).
+//! Per-shard activity is surfaced to
+//! [`ShardObserver`]s, which is how the
+//! `cama-arch` energy model charges exactly the arrays that powered up.
+
+use crate::activity::{
+    CycleView, NullObserver, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,
+};
+use crate::engine::sparse_clear;
+use crate::result::{Report, RunResult};
+use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
+use cama_core::bitset::BitSet;
+use cama_core::compiled::ShardedAutomaton;
+use cama_core::{Nfa, SteId};
+
+/// One shard's mutable half of a stream: local enable/active vectors
+/// plus their one-bit-per-word summaries (kept in lockstep so clears
+/// and scans only touch dirty words).
+#[derive(Clone, Debug)]
+struct ShardLane {
+    dynamic: BitSet,
+    next: BitSet,
+    active: BitSet,
+    dynamic_any: Vec<u64>,
+    next_any: Vec<u64>,
+    active_any: Vec<u64>,
+}
+
+impl ShardLane {
+    fn new(len: usize) -> ShardLane {
+        let summary_words = len.div_ceil(64).div_ceil(64);
+        ShardLane {
+            dynamic: BitSet::new(len),
+            next: BitSet::new(len),
+            active: BitSet::new(len),
+            dynamic_any: vec![0; summary_words],
+            next_any: vec![0; summary_words],
+            active_any: vec![0; summary_words],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.dynamic.clear();
+        self.next.clear();
+        self.active.clear();
+        self.dynamic_any.iter_mut().for_each(|w| *w = 0);
+        self.next_any.iter_mut().for_each(|w| *w = 0);
+        self.active_any.iter_mut().for_each(|w| *w = 0);
+    }
+
+    fn dynamic_is_empty(&self) -> bool {
+        self.dynamic_any.iter().all(|&w| w == 0)
+    }
+}
+
+/// Cumulative execution counters of a [`ShardedSession`] — the numbers
+/// behind the idle-array power argument.
+///
+/// Stats are monotone across `finish`/`reset` (they describe the
+/// session's lifetime, which may span many pooled streams); use
+/// [`ShardedSession::take_stats`] to read and clear.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Cycles each shard actually executed.
+    pub shard_cycles: Vec<u64>,
+    /// Shard-cycles skipped (nothing enabled, or the shard is empty).
+    pub skipped_shard_cycles: u64,
+    /// Total 64-state words swept by executed shard-cycles — the
+    /// sharded counterpart of `cycles × words` for the flat engine.
+    pub words_visited: u64,
+    /// Activations carried across shards (simulated global-switch
+    /// traffic).
+    pub cross_activations: u64,
+}
+
+impl ShardStats {
+    fn new(num_shards: usize) -> ShardStats {
+        ShardStats {
+            shard_cycles: vec![0; num_shards],
+            ..ShardStats::default()
+        }
+    }
+
+    /// Total executed shard-cycles across all shards.
+    pub fn visited_shard_cycles(&self) -> u64 {
+        self.shard_cycles.iter().sum()
+    }
+}
+
+/// A streaming session over a [`ShardedAutomaton`]: the sharded
+/// engine's [`Session`] implementation.
+///
+/// One immutable sharded plan can drive any number of concurrent
+/// sessions; the session owns only the per-shard lanes, the staging
+/// buffers, and the accumulated result. Multi-step (sub-symbol)
+/// execution is supported through `chain`, exactly as in
+/// [`ByteSession`](crate::ByteSession).
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::compiled::ShardedAutomaton;
+/// use cama_core::regex;
+/// use cama_sim::{Session, ShardedSession};
+///
+/// let nfa = regex::compile_set(&["ab", "xy"])?;
+/// let plan = ShardedAutomaton::compile_per_component(&nfa);
+/// let mut session = ShardedSession::new(&plan);
+/// session.feed(b"za");
+/// session.feed(b"bxy"); // chunk boundary mid-match
+/// assert_eq!(session.finish().report_offsets(), vec![2, 4]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedSession<'p> {
+    plan: &'p ShardedAutomaton,
+    chain: usize,
+    skip_idle: bool,
+    lanes: Vec<ShardLane>,
+    /// Cross-shard activations staged during the per-shard pass,
+    /// exchanged once per cycle (packed `shard << 32 | local`).
+    exchange: Vec<u64>,
+    /// This cycle's reports, sorted by global state before appending so
+    /// report order matches the flat engine exactly.
+    staged_reports: Vec<Report>,
+    cycle: usize,
+    result: RunResult,
+    fed: usize,
+    stats: ShardStats,
+    /// Cached scatter scratch for the flat-[`Observer`] compatibility
+    /// path ([`Session::feed_with`]); `None` until first used.
+    flat_scratch: Option<Box<FlatViewScratch>>,
+}
+
+impl<'p> ShardedSession<'p> {
+    /// Starts a byte-per-cycle session over a shared sharded plan.
+    pub fn new(plan: &'p ShardedAutomaton) -> Self {
+        Self::with_chain(plan, 1)
+    }
+
+    /// Starts a multi-step (sub-symbol) session: start states are
+    /// injected only on sub-steps beginning a `chain`-long group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn with_chain(plan: &'p ShardedAutomaton, chain: usize) -> Self {
+        assert!(chain > 0, "chain must be positive");
+        ShardedSession {
+            plan,
+            chain,
+            skip_idle: true,
+            lanes: plan
+                .shards()
+                .iter()
+                .map(|s| ShardLane::new(s.len()))
+                .collect(),
+            exchange: Vec::new(),
+            staged_reports: Vec::new(),
+            cycle: 0,
+            result: RunResult::default(),
+            fed: 0,
+            stats: ShardStats::new(plan.num_shards()),
+            flat_scratch: None,
+        }
+    }
+
+    /// The shared sharded plan this session executes.
+    pub fn plan(&self) -> &'p ShardedAutomaton {
+        self.plan
+    }
+
+    /// Sub-symbols per original symbol (1 for byte sessions).
+    pub fn chain(&self) -> usize {
+        self.chain
+    }
+
+    /// Enables or disables idle-shard skipping (on by default). With
+    /// skipping off every non-empty shard executes every cycle — the
+    /// "all arrays always powered" baseline the benchmarks compare
+    /// against. Results are identical either way.
+    pub fn set_skip_idle(&mut self, on: bool) {
+        self.skip_idle = on;
+    }
+
+    /// The session's cumulative execution counters.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// Takes the counters, resetting them to zero.
+    pub fn take_stats(&mut self) -> ShardStats {
+        std::mem::replace(&mut self.stats, ShardStats::new(self.plan.num_shards()))
+    }
+
+    /// Consumes one chunk, delivering per-shard activity to `observer`
+    /// — the native observation path of this engine (the [`Session`]
+    /// `feed_with` materializes flat [`CycleView`]s for compatibility
+    /// instead).
+    pub fn feed_sharded_with(&mut self, chunk: &[u8], observer: &mut impl ShardObserver) {
+        if self.chain == 1 {
+            for &symbol in chunk {
+                self.step(symbol, true, observer);
+            }
+        } else {
+            for &symbol in chunk {
+                let inject = self.cycle.is_multiple_of(self.chain);
+                self.step(symbol, inject, observer);
+            }
+        }
+        self.fed += chunk.len();
+    }
+
+    /// Executes one cycle: per-shard match/transition over the visited
+    /// shards, then the cross-shard exchange, then the global advance.
+    fn step(&mut self, symbol: u8, inject_starts: bool, observer: &mut impl ShardObserver) {
+        let first_cycle = self.cycle == 0;
+        let mut num_active = 0usize;
+        let mut num_dynamic = 0usize;
+        let mut cycle_reports = 0usize;
+        let mut visited = 0usize;
+        let mut skipped = 0usize;
+
+        let ShardedSession {
+            plan,
+            skip_idle,
+            lanes,
+            exchange,
+            staged_reports,
+            cycle,
+            result,
+            stats,
+            ..
+        } = self;
+
+        for (si, (shard, lane)) in plan.shards().iter().zip(lanes.iter_mut()).enumerate() {
+            let dynamic_empty = lane.dynamic_is_empty();
+            let starts_matter = inject_starts && shard.start_match_possible(symbol);
+            // Cycle 0 only: a shard whose start-of-data states share no
+            // bit with this symbol's match vector has nothing to fire.
+            let sod_matters = first_cycle
+                && shard.has_start_of_data()
+                && !shard
+                    .plan()
+                    .start_of_data_mask()
+                    .is_disjoint(shard.plan().match_vector(symbol));
+            if shard.is_empty() || (*skip_idle && dynamic_empty && !starts_matter && !sod_matters) {
+                skipped += 1;
+                stats.skipped_shard_cycles += 1;
+                continue;
+            }
+            visited += 1;
+            stats.shard_cycles[si] += 1;
+            let splan = shard.plan();
+            stats.words_visited += splan.len().div_ceil(64) as u64;
+
+            let match_words = splan.match_vector(symbol).as_words();
+            let match_any = splan.match_any(symbol);
+            let sod_words = splan.start_of_data_mask().as_words();
+            let sod_any = splan.start_of_data_any();
+            let report_words = splan.report_mask().as_words();
+            let globals = shard.global_states();
+
+            // Sparse-clear the previous cycle's active words.
+            sparse_clear(lane.active.as_words_mut(), &mut lane.active_any);
+            let active_words = lane.active.as_words_mut();
+
+            // Phase 1: build the active vector from its enable sources,
+            // visiting only words their summaries mark.
+            if inject_starts {
+                let start_words = splan.start_match(symbol).as_words();
+                for (j, &any) in splan.start_match_any(symbol).iter().enumerate() {
+                    let mut dirty = any;
+                    while dirty != 0 {
+                        let w = j * 64 + dirty.trailing_zeros() as usize;
+                        dirty &= dirty - 1;
+                        active_words[w] |= start_words[w];
+                        lane.active_any[j] |= 1u64 << (w % 64);
+                    }
+                }
+            }
+            let dynamic_words = lane.dynamic.as_words();
+            for (j, &dynamic_any) in lane.dynamic_any.iter().enumerate() {
+                let mut dirty = match_any[j] & dynamic_any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    let active = match_words[w] & dynamic_words[w];
+                    if active != 0 {
+                        active_words[w] |= active;
+                        lane.active_any[j] |= 1u64 << (w % 64);
+                    }
+                }
+                let mut dirty = dynamic_any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    num_dynamic += dynamic_words[w].count_ones() as usize;
+                    dirty &= dirty - 1;
+                }
+            }
+            if first_cycle {
+                for (j, &any) in sod_any.iter().enumerate() {
+                    let mut dirty = match_any[j] & any;
+                    while dirty != 0 {
+                        let w = j * 64 + dirty.trailing_zeros() as usize;
+                        dirty &= dirty - 1;
+                        let active = match_words[w] & sod_words[w];
+                        if active != 0 {
+                            active_words[w] |= active;
+                            lane.active_any[j] |= 1u64 << (w % 64);
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: one pass over the active words — popcounts,
+            // reports (emitted with global ids), local successor
+            // expansion, and staging of cross-shard activations.
+            let next_words = lane.next.as_words_mut();
+            let mut shard_reports = 0usize;
+            for (j, &active_any) in lane.active_any.iter().enumerate() {
+                let mut dirty = active_any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    let active = active_words[w];
+                    num_active += active.count_ones() as usize;
+
+                    let mut reporting = active & report_words[w];
+                    while reporting != 0 {
+                        let local = w * 64 + reporting.trailing_zeros() as usize;
+                        staged_reports.push(Report {
+                            ste: SteId(globals[local]),
+                            code: splan.report_code_unchecked(local),
+                            offset: *cycle,
+                        });
+                        shard_reports += 1;
+                        reporting &= reporting - 1;
+                    }
+
+                    let mut remaining = active;
+                    while remaining != 0 {
+                        let local = w * 64 + remaining.trailing_zeros() as usize;
+                        for &succ in splan.successors(local) {
+                            let succ = succ as usize;
+                            next_words[succ / 64] |= 1u64 << (succ % 64);
+                            lane.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
+                        }
+                        for t in shard.cross_successors(local) {
+                            exchange.push(u64::from(t.shard) << 32 | u64::from(t.local));
+                        }
+                        remaining &= remaining - 1;
+                    }
+                }
+            }
+            cycle_reports += shard_reports;
+
+            observer.on_shard_cycle(&ShardCycleView {
+                cycle: *cycle,
+                symbol,
+                shard: si,
+                global_states: globals,
+                dynamic_enabled: &lane.dynamic,
+                active: &lane.active,
+                reports: shard_reports,
+            });
+        }
+
+        // The once-per-cycle cross-shard exchange: apply staged
+        // activations to the target shards' next vectors.
+        stats.cross_activations += exchange.len() as u64;
+        for &packed in exchange.iter() {
+            let lane = &mut lanes[(packed >> 32) as usize];
+            let local = (packed & u64::from(u32::MAX)) as usize;
+            lane.next.as_words_mut()[local / 64] |= 1u64 << (local % 64);
+            lane.next_any[local / 4096] |= 1u64 << ((local / 64) % 64);
+        }
+        exchange.clear();
+
+        // Advance every lane: next becomes dynamic; the old dynamic
+        // storage is sparse-cleared and becomes next cycle's scratch.
+        for lane in lanes.iter_mut() {
+            std::mem::swap(&mut lane.dynamic, &mut lane.next);
+            std::mem::swap(&mut lane.dynamic_any, &mut lane.next_any);
+            sparse_clear(lane.next.as_words_mut(), &mut lane.next_any);
+        }
+
+        // Emit this cycle's reports in ascending global-state order,
+        // matching the flat engine's within-cycle order exactly.
+        staged_reports.sort_unstable_by_key(|r| r.ste);
+        result.reports.append(staged_reports);
+        result
+            .activity
+            .record(num_active, num_dynamic, cycle_reports);
+        observer.on_cycle_end(&ShardCycleSummary {
+            cycle: *cycle,
+            symbol,
+            shards_visited: visited,
+            shards_skipped: skipped,
+            reports: cycle_reports,
+        });
+        *cycle += 1;
+    }
+
+    /// Restores power-on state (stats excepted), keeping capacity.
+    fn reset_state(&mut self) {
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
+        self.exchange.clear();
+        self.staged_reports.clear();
+        self.cycle = 0;
+        self.fed = 0;
+    }
+}
+
+impl Session for ShardedSession<'_> {
+    fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
+        // The global-sized scatter scratch is cached on the session so
+        // per-chunk cost stays O(activity), not O(states) of fresh
+        // zeroed allocations.
+        let mut scratch = self
+            .flat_scratch
+            .take()
+            .unwrap_or_else(|| Box::new(FlatViewScratch::new(self.plan.len())));
+        let mut adapter = GlobalViewAdapter {
+            observer,
+            scratch: &mut scratch,
+        };
+        self.feed_sharded_with(chunk, &mut adapter);
+        self.flat_scratch = Some(scratch);
+    }
+
+    fn feed(&mut self, chunk: &[u8]) {
+        // Override the default (which would build a flat-view adapter):
+        // the unobserved path never materializes global vectors.
+        self.feed_sharded_with(chunk, &mut NullObserver);
+    }
+
+    fn finish_with(&mut self, _observer: &mut impl Observer) -> RunResult {
+        let result = std::mem::take(&mut self.result);
+        self.reset_state();
+        result
+    }
+
+    fn reset(&mut self) {
+        self.reset_state();
+        self.result.reports.clear();
+        self.result.activity = Default::default();
+    }
+
+    fn bytes_fed(&self) -> usize {
+        self.fed
+    }
+
+    fn pending(&self) -> &RunResult {
+        &self.result
+    }
+}
+
+impl FlowSession for ShardedSession<'_> {
+    fn suspend(&mut self) -> SuspendedFlow {
+        let mut dynamic = Vec::new();
+        for (shard, lane) in self.plan.shards().iter().zip(&self.lanes) {
+            for local in lane.dynamic.iter() {
+                dynamic.push(shard.global_states()[local]);
+            }
+        }
+        let flow = SuspendedFlow {
+            cycle: self.cycle,
+            fed: self.fed,
+            dynamic,
+            result: std::mem::take(&mut self.result),
+        };
+        self.reset_state();
+        flow
+    }
+
+    fn resume(&mut self, flow: SuspendedFlow) {
+        debug_assert!(self.cycle == 0 && self.is_idle());
+        self.cycle = flow.cycle;
+        self.fed = flow.fed;
+        self.result = flow.result;
+        for &global in &flow.dynamic {
+            let (shard, local) = self.plan.placement_of(global as usize);
+            let lane = &mut self.lanes[shard as usize];
+            let local = local as usize;
+            lane.dynamic.insert(local);
+            lane.dynamic_any[local / 4096] |= 1u64 << ((local / 64) % 64);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.lanes.iter().all(ShardLane::dynamic_is_empty)
+    }
+
+    fn for_each_active_shard(&self, mut f: impl FnMut(usize)) {
+        for (si, lane) in self.lanes.iter().enumerate() {
+            if !lane.dynamic_is_empty() {
+                f(si);
+            }
+        }
+    }
+}
+
+/// The reusable global-sized scatter vectors behind the flat-observer
+/// compatibility path, cached on the session between `feed_with` calls.
+#[derive(Clone, Debug)]
+struct FlatViewScratch {
+    dynamic: BitSet,
+    active: BitSet,
+    touched_dynamic: Vec<u32>,
+    touched_active: Vec<u32>,
+}
+
+impl FlatViewScratch {
+    fn new(len: usize) -> Self {
+        FlatViewScratch {
+            dynamic: BitSet::new(len),
+            active: BitSet::new(len),
+            touched_dynamic: Vec::new(),
+            touched_active: Vec::new(),
+        }
+    }
+}
+
+/// Adapts a flat [`Observer`] to the sharded engine by scattering each
+/// visited shard's local activity into global-sized vectors and
+/// emitting one classic [`CycleView`] per cycle.
+struct GlobalViewAdapter<'o, O: Observer> {
+    observer: &'o mut O,
+    scratch: &'o mut FlatViewScratch,
+}
+
+impl<O: Observer> ShardObserver for GlobalViewAdapter<'_, O> {
+    fn on_shard_cycle(&mut self, view: &ShardCycleView<'_>) {
+        for local in view.dynamic_enabled.iter() {
+            let global = view.global_states[local];
+            self.scratch.dynamic.insert(global as usize);
+            self.scratch.touched_dynamic.push(global);
+        }
+        for local in view.active.iter() {
+            let global = view.global_states[local];
+            self.scratch.active.insert(global as usize);
+            self.scratch.touched_active.push(global);
+        }
+    }
+
+    fn on_cycle_end(&mut self, summary: &ShardCycleSummary) {
+        self.observer.on_cycle(&CycleView {
+            cycle: summary.cycle,
+            symbol: summary.symbol,
+            dynamic_enabled: &self.scratch.dynamic,
+            active: &self.scratch.active,
+            reports: summary.reports,
+        });
+        for &global in &self.scratch.touched_dynamic {
+            self.scratch.dynamic.remove(global as usize);
+        }
+        for &global in &self.scratch.touched_active {
+            self.scratch.active.remove(global as usize);
+        }
+        self.scratch.touched_dynamic.clear();
+        self.scratch.touched_active.clear();
+    }
+}
+
+/// The sharded counterpart of [`Simulator`](crate::Simulator): compiles
+/// an [`Nfa`] into a [`ShardedAutomaton`] and executes streams on it,
+/// one simulated CAM array per shard.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::regex;
+/// use cama_sim::ShardedSimulator;
+///
+/// let nfa = regex::compile_set(&["ab+", "xy"])?;
+/// let mut sim = ShardedSimulator::per_component(&nfa);
+/// let result = sim.run(b"zabbxy");
+/// assert_eq!(result.report_offsets(), vec![2, 3, 5]);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedSimulator<'a> {
+    nfa: &'a Nfa,
+    plan: ShardedAutomaton,
+    skip_idle: bool,
+}
+
+impl<'a> ShardedSimulator<'a> {
+    /// Compiles `nfa` into at most `num_shards` component-balanced
+    /// shards and prepares a simulator.
+    pub fn new(nfa: &'a Nfa, num_shards: usize) -> Self {
+        Self::from_plan(nfa, ShardedAutomaton::compile(nfa, num_shards))
+    }
+
+    /// One shard per connected component.
+    pub fn per_component(nfa: &'a Nfa) -> Self {
+        Self::from_plan(nfa, ShardedAutomaton::compile_per_component(nfa))
+    }
+
+    /// An explicit per-state shard assignment (e.g. the architecture
+    /// mapper's `partition_of`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != nfa.len()`.
+    pub fn with_assignment(nfa: &'a Nfa, assignment: &[u32]) -> Self {
+        Self::from_plan(
+            nfa,
+            ShardedAutomaton::compile_with_assignment(nfa, assignment),
+        )
+    }
+
+    fn from_plan(nfa: &'a Nfa, plan: ShardedAutomaton) -> Self {
+        ShardedSimulator {
+            nfa,
+            plan,
+            skip_idle: true,
+        }
+    }
+
+    /// Sets whether sessions skip idle shards (on by default); see
+    /// [`ShardedSession::set_skip_idle`].
+    pub fn skip_idle(mut self, on: bool) -> Self {
+        self.skip_idle = on;
+        self
+    }
+
+    /// The automaton being simulated.
+    pub fn nfa(&self) -> &'a Nfa {
+        self.nfa
+    }
+
+    /// The sharded execution plan.
+    pub fn plan(&self) -> &ShardedAutomaton {
+        &self.plan
+    }
+
+    /// Runs over `input` from a fresh state.
+    pub fn run(&mut self, input: &[u8]) -> RunResult {
+        let mut session = self.start();
+        session.feed(input);
+        session.finish()
+    }
+
+    /// [`run`](Self::run) with a flat per-cycle observer (compatibility
+    /// path; global views are materialized from shard activity).
+    pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
+        let mut session = self.start();
+        session.feed_with(input, observer);
+        session.finish_with(observer)
+    }
+
+    /// [`run`](Self::run) with a per-shard observer — the native
+    /// observation path (used by the energy models).
+    pub fn run_sharded_with(
+        &mut self,
+        input: &[u8],
+        observer: &mut impl ShardObserver,
+    ) -> RunResult {
+        let mut session = self.start();
+        session.feed_sharded_with(input, observer);
+        session.finish()
+    }
+
+    /// Starts a multi-step (sub-symbol) streaming session; see
+    /// [`Simulator::run_multistep`](crate::Simulator::run_multistep)
+    /// for the group semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is zero.
+    pub fn start_multistep(&self, chain: usize) -> ShardedSession<'_> {
+        let mut session = ShardedSession::with_chain(&self.plan, chain);
+        session.set_skip_idle(self.skip_idle);
+        session
+    }
+}
+
+impl<'a> AutomataEngine for ShardedSimulator<'a> {
+    type Session<'e>
+        = ShardedSession<'e>
+    where
+        Self: 'e;
+
+    fn start(&self) -> ShardedSession<'_> {
+        self.start_multistep(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use cama_core::regex;
+
+    #[test]
+    fn sharded_matches_flat_on_multi_component_set() {
+        let nfa = regex::compile_set(&["ab+c", "x[0-9]+y", "q"]).unwrap();
+        let input = b"zab bcx12y qabcx9y";
+        let flat = Simulator::new(&nfa).run(input);
+        for shards in [1, 2, 3, usize::MAX] {
+            let sharded = ShardedSimulator::new(&nfa, shards).run(input);
+            assert_eq!(sharded, flat, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn split_component_exchanges_cross_activations() {
+        // A chain split across two shards forces global-switch traffic.
+        let nfa = regex::compile("abcd").unwrap();
+        let sim = ShardedSimulator::with_assignment(&nfa, &[0, 0, 1, 1]);
+        let flat = Simulator::new(&nfa).run(b"zabcdabcd");
+        let mut session = sim.start();
+        session.feed(b"zabcdabcd");
+        let result = session.finish();
+        assert_eq!(result, flat);
+        assert!(session.stats().cross_activations > 0);
+    }
+
+    #[test]
+    fn idle_shards_are_skipped_without_changing_results() {
+        let nfa = regex::compile_set(&["abc", "xyz"]).unwrap();
+        let input = b"abcabcabc"; // never touches the xyz component
+        let sim = ShardedSimulator::per_component(&nfa);
+        let mut session = sim.start();
+        session.feed(input);
+        let skipping = session.finish();
+        let stats = session.take_stats();
+        assert!(stats.skipped_shard_cycles > 0, "{stats:?}");
+        // The xyz shard should never have executed: no start matches.
+        assert!(stats.shard_cycles.contains(&0), "{stats:?}");
+
+        let no_skip = ShardedSimulator::per_component(&nfa).skip_idle(false);
+        let mut session = no_skip.start();
+        session.feed(input);
+        assert_eq!(session.finish(), skipping);
+        let stats_no_skip = session.take_stats();
+        assert!(stats_no_skip.words_visited > stats.words_visited);
+        assert_eq!(stats_no_skip.skipped_shard_cycles, 0);
+    }
+
+    #[test]
+    fn report_order_matches_flat_engine_within_a_cycle() {
+        // Two patterns reporting at the same offset; per-component
+        // sharding reverses shard visit order relative to state ids
+        // unless the engine re-sorts per cycle.
+        let nfa = regex::compile_set(&["ab", "zb"]).unwrap();
+        let input = b"azbab";
+        let flat = Simulator::new(&nfa).run(input);
+        let sharded = ShardedSimulator::per_component(&nfa).run(input);
+        assert_eq!(sharded.reports, flat.reports);
+    }
+
+    #[test]
+    fn suspend_resume_is_transparent() {
+        let nfa = regex::compile("ab+c").unwrap();
+        let plan = ShardedAutomaton::compile(&nfa, 2);
+        let mut session = ShardedSession::new(&plan);
+        session.feed(b"zab");
+        let suspended = session.suspend();
+        assert!(session.is_idle());
+        // The session can serve another flow in between.
+        session.feed(b"abc");
+        assert_eq!(session.finish().report_offsets(), vec![2]);
+        session.resume(suspended);
+        session.feed(b"bc");
+        let result = session.finish();
+        assert_eq!(result, Simulator::new(&nfa).run(b"zabbc"));
+    }
+
+    #[test]
+    fn flat_observer_compatibility_views_match() {
+        use crate::activity::CycleView;
+        struct Capture(Vec<(usize, Vec<usize>, Vec<usize>)>);
+        impl Observer for Capture {
+            fn on_cycle(&mut self, view: &CycleView<'_>) {
+                self.0.push((
+                    view.cycle,
+                    view.dynamic_enabled.iter().collect(),
+                    view.active.iter().collect(),
+                ));
+            }
+        }
+        let nfa = regex::compile_set(&["ab+c", "xy"]).unwrap();
+        let input = b"abxybbcxy";
+        let mut flat_cap = Capture(Vec::new());
+        Simulator::new(&nfa).run_with(input, &mut flat_cap);
+        let mut sharded_cap = Capture(Vec::new());
+        ShardedSimulator::per_component(&nfa).run_with(input, &mut sharded_cap);
+        assert_eq!(flat_cap.0, sharded_cap.0);
+    }
+
+    #[test]
+    fn multistep_chain_gates_starts() {
+        use cama_core::bitwidth::{to_nibble_nfa, to_nibble_stream};
+        let nfa = regex::compile_set(&["ab", "cd"]).unwrap();
+        let nibble = to_nibble_nfa(&nfa);
+        let stream = to_nibble_stream(b"abcdab");
+        let flat = Simulator::new(&nibble.nfa).run_multistep(&stream, nibble.chain);
+        let plan = ShardedAutomaton::compile(&nibble.nfa, 2);
+        let mut session = ShardedSession::with_chain(&plan, nibble.chain);
+        for chunk in stream.chunks(3) {
+            session.feed(chunk);
+        }
+        assert_eq!(session.finish(), flat);
+    }
+
+    #[test]
+    fn empty_plan_session_is_a_noop() {
+        let nfa = cama_core::NfaBuilder::new().build().unwrap();
+        let plan = ShardedAutomaton::compile(&nfa, 4);
+        let mut session = ShardedSession::new(&plan);
+        session.feed(b"abc");
+        let result = session.finish();
+        assert!(result.reports.is_empty());
+        assert_eq!(result.activity.cycles, 3);
+    }
+}

@@ -60,12 +60,19 @@ fn main() -> Result<(), cama::core::Error> {
 
     // --- 3. Demux the wire through the stream table. ---
     let plan = CompiledAutomaton::compile(&nfa);
-    let mut batch = BatchSimulator::new(&plan);
-    let mut decoder = FrameDecoder::new();
+    // Cap resident sessions at 2: the third flow is parked (sparse
+    // snapshot) whenever both sessions are busy, and resumes
+    // transparently. A 64 KiB payload guard rejects corrupt headers.
+    let mut batch = BatchSimulator::new(&plan).max_resident(2);
+    let mut decoder = FrameDecoder::with_max_payload(64 * 1024);
     // The wire itself may be split anywhere — even mid-header.
     let (first, second) = wire.split_at(wire.len() / 2);
     for piece in [first, second] {
-        for (stream, result) in batch.ingest(&mut decoder, piece) {
+        let mut closed = Vec::new();
+        batch
+            .ingest(&mut decoder, piece, &mut closed)
+            .expect("well-formed wire");
+        for (stream, result) in closed {
             println!(
                 "  flow {stream} closed: {} report(s) {:?}",
                 result.reports.len(),

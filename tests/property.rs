@@ -11,7 +11,7 @@
 
 use cama::core::bitset::BitSet;
 use cama::core::bitwidth::{to_nibble_nfa, to_nibble_stream};
-use cama::core::compiled::CompiledAutomaton;
+use cama::core::compiled::{CompiledAutomaton, ShardedAutomaton};
 use cama::core::regex::{self, reference};
 use cama::core::stride::StridedNfa;
 use cama::core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
@@ -19,8 +19,8 @@ use cama::encoding::EncodingPlan;
 use cama::mem::{FullCrossbar, ReducedCrossbar, K_DIA};
 use cama::sim::frame::{encode_close, encode_frame};
 use cama::sim::{
-    AutomataEngine, BatchSimulator, ByteSession, FrameDecoder, InterpSimulator, RunResult, Session,
-    Simulator, StreamId, StridedSimulator,
+    AutomataEngine, BatchSimulator, ByteSession, FlowSession, FrameDecoder, InterpSimulator,
+    RunResult, Session, ShardedSimulator, Simulator, StreamId, StridedSimulator,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -425,7 +425,7 @@ fn framed_ingest_equals_one_shot_runs() {
         let mut decoder = FrameDecoder::new();
         let mut closed: Vec<(StreamId, RunResult)> = Vec::new();
         for piece in random_chunks(&mut rng, &wire) {
-            closed.extend(batch.ingest(&mut decoder, piece));
+            batch.ingest(&mut decoder, piece, &mut closed).unwrap();
         }
         assert!(decoder.is_idle(), "seed {seed}");
         assert_eq!(closed.len(), flows.len(), "seed {seed}");
@@ -439,6 +439,176 @@ fn framed_ingest_equals_one_shot_runs() {
                 "seed {seed}, stream {stream}"
             );
         }
+    }
+}
+
+/// The shard counts every sharding assertion sweeps: one shard (the
+/// degenerate flat case), two, and one shard per connected component.
+fn shard_counts() -> [usize; 3] {
+    [1, 2, usize::MAX]
+}
+
+/// The sharding tentpole invariant, one-shot path: for every shard
+/// count the sharded engine's `RunResult` — reports, order, activity,
+/// and the derived buffer stats — is bit-identical to the flat engine.
+#[test]
+fn sharded_one_shot_equals_flat() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x54A2_0000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let flat = Simulator::new(&nfa).run(&input);
+        for shards in shard_counts() {
+            let sharded = ShardedSimulator::new(&nfa, shards).run(&input);
+            assert_eq!(sharded, flat, "seed {seed}, {shards} shards");
+            assert_eq!(
+                sharded.buffer_stats(input.len()),
+                flat.buffer_stats(input.len()),
+                "seed {seed}, {shards} shards"
+            );
+        }
+        // Idle-shard skipping off: same results, more visited words.
+        let mut no_skip = ShardedSimulator::per_component(&nfa).skip_idle(false);
+        assert_eq!(no_skip.run(&input), flat, "seed {seed}: skip_idle off");
+    }
+}
+
+/// Chunked-session path: feeding the sharded engine in arbitrary
+/// chunks (down to single bytes) equals the flat one-shot run, and the
+/// session's live buffer stats agree with the flat session's.
+#[test]
+fn sharded_chunked_feed_equals_flat() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x54A2_1000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let chunks = random_chunks(&mut rng, &input);
+        let flat_engine = Simulator::new(&nfa);
+        let flat = via_session(&flat_engine, &chunks);
+        for shards in shard_counts() {
+            let engine = ShardedSimulator::new(&nfa, shards);
+            assert_eq!(
+                via_session(&engine, &chunks),
+                flat,
+                "seed {seed}, {shards} shards, chunks {chunks:?}"
+            );
+            let bytes: Vec<&[u8]> = input.chunks(1).collect();
+            assert_eq!(
+                via_session(&engine, &bytes),
+                flat,
+                "seed {seed}, {shards} shards, 1-byte chunks"
+            );
+        }
+        // Buffer stats mid-stream agree between flat and sharded
+        // sessions fed identically.
+        let mut flat_session = flat_engine.start();
+        let engine = ShardedSimulator::new(&nfa, 2);
+        let mut sharded_session = engine.start();
+        for chunk in &chunks {
+            flat_session.feed(chunk);
+            sharded_session.feed(chunk);
+            assert_eq!(
+                flat_session.buffer_stats(),
+                sharded_session.buffer_stats(),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+/// Framed-ingest path: demuxing random interleaved flows through a
+/// sharded stream table (with and without a resident-session cap)
+/// yields per-flow results identical to flat one-shot runs.
+#[test]
+fn sharded_framed_ingest_equals_flat() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x54A2_2000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let flows: Vec<Vec<u8>> = (0..rng.random_range(1..6usize))
+            .map(|_| random_input(&mut rng))
+            .collect();
+
+        let mut wire = Vec::new();
+        let mut remaining: Vec<&[u8]> = flows.iter().map(Vec::as_slice).collect();
+        while remaining.iter().any(|r| !r.is_empty()) {
+            for (id, rest) in remaining.iter_mut().enumerate() {
+                if rest.is_empty() {
+                    continue;
+                }
+                let take = rng.random_range(1..=rest.len().min(7));
+                let (frame, tail) = rest.split_at(take);
+                encode_frame(id as StreamId, frame, &mut wire);
+                *rest = tail;
+            }
+        }
+        for id in 0..flows.len() {
+            encode_close(id as StreamId, &mut wire);
+        }
+
+        let mut single = Simulator::new(&nfa);
+        let expected: Vec<RunResult> = flows.iter().map(|f| single.run(f)).collect();
+
+        for shards in shard_counts() {
+            let plan = ShardedAutomaton::compile(&nfa, shards);
+            for cap in [None, Some(1), Some(2)] {
+                let mut batch = BatchSimulator::new(&plan);
+                if let Some(cap) = cap {
+                    batch = batch.max_resident(cap);
+                }
+                let mut decoder = FrameDecoder::new();
+                let mut closed: Vec<(StreamId, RunResult)> = Vec::new();
+                for piece in random_chunks(&mut rng, &wire) {
+                    batch.ingest(&mut decoder, piece, &mut closed).unwrap();
+                }
+                assert!(decoder.is_idle(), "seed {seed}");
+                assert_eq!(closed.len(), flows.len(), "seed {seed}");
+                assert_eq!(batch.open_count(), 0, "seed {seed}");
+                for (stream, result) in closed {
+                    assert_eq!(
+                        result, expected[stream as usize],
+                        "seed {seed}, {shards} shards, cap {cap:?}, stream {stream}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Suspend/resume transparency: parking a session mid-stream (at a
+/// random boundary) and resuming — even into a *different* pooled
+/// session — never perturbs the result.
+#[test]
+fn suspend_resume_is_transparent_mid_stream() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x54A2_3000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let cut = rng.random_range(0..=input.len());
+        let flat = Simulator::new(&nfa).run(&input);
+
+        // Flat engine sessions.
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut a = ByteSession::new(&plan);
+        a.feed(&input[..cut]);
+        let parked = a.suspend();
+        a.feed(b"interloper traffic");
+        a.reset();
+        let mut b = ByteSession::new(&plan);
+        b.resume(parked);
+        b.feed(&input[cut..]);
+        assert_eq!(b.finish(), flat, "seed {seed}: flat, cut {cut}");
+
+        // Sharded engine sessions.
+        let sharded_plan = ShardedAutomaton::compile(&nfa, 2);
+        let mut a = cama::sim::ShardedSession::new(&sharded_plan);
+        a.feed(&input[..cut]);
+        let parked = a.suspend();
+        a.feed(b"interloper traffic");
+        a.reset();
+        let mut b = cama::sim::ShardedSession::new(&sharded_plan);
+        b.resume(parked);
+        b.feed(&input[cut..]);
+        assert_eq!(b.finish(), flat, "seed {seed}: sharded, cut {cut}");
     }
 }
 
