@@ -87,6 +87,13 @@ impl EnergyBreakdown {
 pub struct EnergyObserver<'a> {
     design: DesignKind,
     mapping: &'a Mapping,
+    /// Slots (CAM entries / rectangles / states) charged per enabled
+    /// state. Defaults to the mapping's weights; the encoded-engine path
+    /// supplies the entry counts of the *executed*
+    /// [`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton)
+    /// instead, so the activity being charged and the activity being
+    /// simulated come from the same CAM image.
+    weight_of: Vec<u32>,
     /// Symbols consumed per observed cycle (2 for strided designs).
     symbols_per_cycle: f64,
 
@@ -139,16 +146,48 @@ impl<'a> EnergyObserver<'a> {
         lib: &CircuitLibrary,
         starts_all_input: &[bool],
     ) -> Self {
+        Self::with_weights(
+            design,
+            mapping,
+            lib,
+            starts_all_input,
+            mapping.weight_of.clone(),
+        )
+    }
+
+    /// [`new`](Self::new) with explicit per-state slot weights replacing
+    /// the mapping's. The encoded-engine path passes
+    /// `CompiledEncodedAutomaton::entry_weights()` (or the sharded
+    /// equivalent) so enabled-entry counts are taken from the actual
+    /// encoded match rows being executed, not re-derived from the
+    /// encoding toolchain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_of` or `starts_all_input` do not cover every
+    /// mapped state.
+    pub fn with_weights(
+        design: DesignKind,
+        mapping: &'a Mapping,
+        lib: &CircuitLibrary,
+        starts_all_input: &[bool],
+        weight_of: Vec<u32>,
+    ) -> Self {
         assert_eq!(
             starts_all_input.len(),
             mapping.partition_of.len(),
             "start flags must cover every state"
         );
+        assert_eq!(
+            weight_of.len(),
+            mapping.partition_of.len(),
+            "entry weights must cover every state"
+        );
         let num_partitions = mapping.partitions.len();
         let mut static_entries = vec![0u32; num_partitions];
         for (state, &is_start) in starts_all_input.iter().enumerate() {
             if is_start {
-                static_entries[mapping.partition_of[state] as usize] += mapping.weight_of[state];
+                static_entries[mapping.partition_of[state] as usize] += weight_of[state];
             }
         }
 
@@ -232,6 +271,7 @@ impl<'a> EnergyObserver<'a> {
         EnergyObserver {
             design,
             mapping,
+            weight_of,
             symbols_per_cycle,
             match_floor,
             match_slope,
@@ -277,6 +317,29 @@ impl<'a> EnergyObserver<'a> {
         Self::new(design, mapping, lib, &starts)
     }
 
+    /// Convenience constructor for the encoded-engine path: start flags
+    /// from the [`Nfa`], slot weights from the executed encoded plan
+    /// (`entry_weights()` of the flat or sharded
+    /// [`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_weights` does not cover every mapped state.
+    pub fn for_encoded(
+        design: DesignKind,
+        mapping: &'a Mapping,
+        lib: &CircuitLibrary,
+        nfa: &Nfa,
+        entry_weights: Vec<u32>,
+    ) -> Self {
+        let starts: Vec<bool> = nfa
+            .stes()
+            .iter()
+            .map(|s| s.start == StartKind::AllInput)
+            .collect();
+        Self::with_weights(design, mapping, lib, &starts, entry_weights)
+    }
+
     fn partition_is_wide(&self, p: usize) -> bool {
         self.mapping.partitions[p].mode == PartitionMode::Wide
     }
@@ -287,7 +350,7 @@ impl<'a> EnergyObserver<'a> {
         if self.dyn_entries[partition] == 0 {
             self.touched_dynamic.push(partition as u32);
         }
-        self.dyn_entries[partition] += self.mapping.weight_of[state];
+        self.dyn_entries[partition] += self.weight_of[state];
     }
 
     /// Folds one active state into the cycle scratch.
@@ -296,7 +359,7 @@ impl<'a> EnergyObserver<'a> {
         if self.active_entries[partition] == 0 {
             self.touched_active.push(partition as u32);
         }
-        self.active_entries[partition] += self.mapping.weight_of[state];
+        self.active_entries[partition] += self.weight_of[state];
         if self.cross_source[state] {
             self.pending_hops += 1;
         }
@@ -498,6 +561,39 @@ mod tests {
                 shard.breakdown
             );
             assert_eq!(flat.breakdown.encoder, shard.breakdown.encoder, "{design}");
+        }
+    }
+
+    /// The flat encoded engine (codebook lookup + encoded match rows,
+    /// entry weights read off the compiled encoded plan) must charge
+    /// exactly what the byte engine charges: same activity, same
+    /// breakdown.
+    #[test]
+    fn encoded_engine_observer_matches_byte_engine_observer() {
+        use cama_sim::{EncodedSession, Session};
+        let nfa = Benchmark::Snort.generate(0.02);
+        let input = Benchmark::Snort.input(&nfa, 1024, 9);
+        let lib = CircuitLibrary::tsmc28();
+        for design in [DesignKind::CamaE, DesignKind::CamaT] {
+            let plan = EncodingPlan::for_nfa(&nfa);
+            let mapping = map_design(design, &nfa, Some(&plan));
+
+            let mut byte = EnergyObserver::for_nfa(design, &mapping, &lib, &nfa);
+            let byte_result = Simulator::new(&nfa).run_with(&input, &mut byte);
+
+            let compiled = plan.compile(&nfa);
+            // The executed image's entry weights equal the mapping's
+            // (both come from the same CAM image — one directly, one
+            // through the toolchain).
+            assert_eq!(compiled.entry_weights(), mapping.weight_of, "{design}");
+            let mut encoded =
+                EnergyObserver::for_encoded(design, &mapping, &lib, &nfa, compiled.entry_weights());
+            let mut session = EncodedSession::new(&compiled);
+            session.feed_with(&input, &mut encoded);
+            let encoded_result = session.finish_with(&mut encoded);
+
+            assert_eq!(byte_result, encoded_result, "{design}");
+            assert_eq!(byte.breakdown, encoded.breakdown, "{design}");
         }
     }
 

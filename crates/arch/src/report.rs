@@ -10,7 +10,7 @@ use cama_core::stride::StridedNfa;
 use cama_core::{Nfa, StartKind};
 use cama_encoding::EncodingPlan;
 use cama_mem::models::CircuitLibrary;
-use cama_sim::{Simulator, StridedSimulator};
+use cama_sim::{EncodedSession, Session, Simulator, StridedSimulator};
 
 /// Everything measured for one design on one workload.
 #[derive(Clone, Debug)]
@@ -62,6 +62,13 @@ pub fn evaluate(design: DesignKind, nfa: &Nfa, input: &[u8]) -> DesignReport {
 
 /// [`evaluate`] with a precomputed encoding plan.
 ///
+/// CAMA designs execute on the *encoded* engine: the functional run
+/// streams through the plan's codebook and matches the states' actual
+/// CAM entry masks — the same image the energy model charges — with the
+/// observer's per-state entry weights taken from that compiled encoded
+/// plan. Non-CAM designs (which match raw bit vectors in hardware too)
+/// run the byte engine. Results are bit-identical either way.
+///
 /// # Panics
 ///
 /// Panics if a CAMA design is evaluated without a plan.
@@ -76,8 +83,24 @@ pub fn evaluate_with_plan(
     let area = area_report(&mapping, &lib);
     let timing = timing_report(design, &lib);
 
-    let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
-    let result = Simulator::new(nfa).run_with(input, &mut observer);
+    let encoded = design.is_cama().then(|| {
+        plan.expect("CAMA evaluation requires an encoding plan")
+            .compile(nfa)
+    });
+    let mut observer = match &encoded {
+        Some(compiled) => {
+            EnergyObserver::for_encoded(design, &mapping, &lib, nfa, compiled.entry_weights())
+        }
+        None => EnergyObserver::for_nfa(design, &mapping, &lib, nfa),
+    };
+    let result = match &encoded {
+        Some(compiled) => {
+            let mut session = EncodedSession::new(compiled);
+            session.feed_with(input, &mut observer);
+            session.finish_with(&mut observer)
+        }
+        None => Simulator::new(nfa).run_with(input, &mut observer),
+    };
 
     DesignReport {
         design,
@@ -156,13 +179,23 @@ impl ServingReport {
 /// into a [`ShardedAutomaton`](cama_core::compiled::ShardedAutomaton)
 /// whose shards *are* the mapping's partitions (one simulated CAM array
 /// per partition), then feeds every stream through one
-/// [`ShardedBatch`](cama_sim::ShardedBatch) stream table with a single
-/// energy observer accumulating over the whole batch. The observer
-/// consumes each shard's activity directly
+/// [`BatchSimulator`](cama_sim::BatchSimulator) stream table with a
+/// single energy observer accumulating over the whole batch. The
+/// observer consumes each shard's activity directly
 /// ([`ShardObserver`](cama_sim::ShardObserver)): partitions whose
 /// arrays stayed idle are never scanned, and each stream is an
 /// open→feed→close session, so the same rollup applies to incrementally
 /// arriving flows.
+///
+/// For CAMA designs the per-shard plans are
+/// [`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton)s
+/// compiled from the encoding plan's codebook
+/// ([`EncodingPlan::compile_sharded`]): the activity stream being
+/// charged comes from the encoded engine, with entry-visit weights read
+/// off the executed encoded match rows. The energy breakdown is
+/// unchanged (to floating-point summation order) relative to the byte
+/// engine, because execution is bit-identical — asserted to 1e-9 in
+/// this module's tests.
 ///
 /// # Panics
 ///
@@ -178,20 +211,46 @@ pub fn evaluate_serving(
     let area = area_report(&mapping, &lib);
     let timing = timing_report(design, &lib);
 
-    let compiled =
-        cama_core::compiled::ShardedAutomaton::compile_with_assignment(nfa, &mapping.partition_of);
-    let mut batch = cama_sim::ShardedBatch::new(&compiled);
-    let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
-    let results: Vec<cama_sim::RunResult> = streams
-        .iter()
-        .enumerate()
-        .map(|(id, stream)| {
-            let id = id as cama_sim::StreamId;
-            batch.open(id);
-            batch.feed_sharded_with(id, stream, &mut observer);
-            batch.close(id)
-        })
-        .collect();
+    /// Streams every flow through the table as an open→feed→close
+    /// session, energy accumulating across the whole batch.
+    fn serve<P>(
+        batch: &mut cama_sim::BatchSimulator<'_, cama_core::compiled::ShardedAutomaton<P>>,
+        streams: &[&[u8]],
+        observer: &mut EnergyObserver,
+    ) -> Vec<cama_sim::RunResult>
+    where
+        P: cama_core::compiled::ExecutionPlan + Clone + std::fmt::Debug,
+    {
+        streams
+            .iter()
+            .enumerate()
+            .map(|(id, stream)| {
+                let id = id as cama_sim::StreamId;
+                batch.open(id);
+                batch.feed_sharded_with(id, stream, observer);
+                batch.close(id)
+            })
+            .collect()
+    }
+
+    let (results, energy) = if design.is_cama() {
+        let encoding = plan.expect("CAMA serving requires an encoding plan");
+        let compiled = encoding.compile_sharded(nfa, &mapping.partition_of);
+        let mut observer =
+            EnergyObserver::for_encoded(design, &mapping, &lib, nfa, compiled.entry_weights());
+        let mut batch = cama_sim::BatchSimulator::new(&compiled);
+        let results = serve(&mut batch, streams, &mut observer);
+        (results, observer.breakdown)
+    } else {
+        let compiled = cama_core::compiled::ShardedAutomaton::compile_with_assignment(
+            nfa,
+            &mapping.partition_of,
+        );
+        let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, nfa);
+        let mut batch = cama_sim::ShardedBatch::new(&compiled);
+        let results = serve(&mut batch, streams, &mut observer);
+        (results, observer.breakdown)
+    };
 
     let reports_per_stream: Vec<usize> = results.iter().map(|r| r.reports.len()).collect();
     let total_reports = reports_per_stream.iter().sum();
@@ -199,7 +258,7 @@ pub fn evaluate_serving(
         design_report: DesignReport {
             design,
             area,
-            energy: observer.breakdown,
+            energy,
             frequency_ghz: timing.operated_frequency_ghz,
             reports: total_reports,
             mapping,
@@ -300,6 +359,76 @@ mod tests {
         }
         assert_eq!(serving.total_reports(), serving.design_report.reports);
         assert!(serving.energy_per_byte_nj() > 0.0);
+    }
+
+    /// The acceptance bar of the encoded rethreading: `evaluate_serving`
+    /// breakdowns driven by encoded-engine activity must agree with the
+    /// previous byte-engine path to 1e-9 on the four reference designs
+    /// (CAMA designs switch engines; non-CAM designs are unchanged).
+    #[test]
+    fn encoded_serving_energy_matches_byte_serving_energy() {
+        use crate::mapping::map_design;
+        use cama_sim::{ShardedBatch, StreamId};
+        let bench = Benchmark::Bro217;
+        let nfa = bench.generate(0.1);
+        let streams: Vec<Vec<u8>> = (0..4).map(|seed| bench.input(&nfa, 384, seed)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let plan = EncodingPlan::for_nfa(&nfa);
+        for design in [
+            DesignKind::CamaE,
+            DesignKind::CamaT,
+            DesignKind::CacheAutomaton,
+            DesignKind::Eap,
+        ] {
+            let plan_opt = design.is_cama().then_some(&plan);
+            let serving = evaluate_serving(design, &nfa, &refs, plan_opt);
+
+            // The previous path: byte sharded engine + mapping weights.
+            let lib = CircuitLibrary::tsmc28();
+            let mapping = map_design(design, &nfa, plan_opt);
+            let compiled = cama_core::compiled::ShardedAutomaton::compile_with_assignment(
+                &nfa,
+                &mapping.partition_of,
+            );
+            let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, &nfa);
+            let mut batch = ShardedBatch::new(&compiled);
+            let byte_results: Vec<cama_sim::RunResult> = refs
+                .iter()
+                .enumerate()
+                .map(|(id, stream)| {
+                    let id = id as StreamId;
+                    batch.open(id);
+                    batch.feed_sharded_with(id, stream, &mut observer);
+                    batch.close(id)
+                })
+                .collect();
+
+            // Identical functional results...
+            assert_eq!(
+                serving.reports_per_stream,
+                byte_results
+                    .iter()
+                    .map(|r| r.reports.len())
+                    .collect::<Vec<_>>(),
+                "{design}"
+            );
+            // ...and energy equal to 1e-9 relative.
+            let got = serving.design_report.energy;
+            let want = observer.breakdown;
+            assert_eq!(got.cycles, want.cycles, "{design}");
+            let close = |a: cama_mem::Energy, b: cama_mem::Energy| {
+                (a.value() - b.value()).abs() <= 1e-9 * a.value().abs().max(1.0)
+            };
+            assert!(
+                close(got.state_match, want.state_match),
+                "{design}: {got:?} vs {want:?}"
+            );
+            assert!(
+                close(got.switch_wire, want.switch_wire),
+                "{design}: {got:?} vs {want:?}"
+            );
+            assert!(close(got.encoder, want.encoder), "{design}");
+        }
     }
 
     #[test]

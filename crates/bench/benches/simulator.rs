@@ -1,8 +1,9 @@
 //! Criterion benchmarks for the cycle engine: interpreted vs compiled
 //! single-stream throughput on a Snort-like workload, streaming-session
 //! `feed` vs one-shot `run`, batched multi-stream scaling (sequential
-//! and threaded), framed-wire ingestion, the energy-observer overhead,
-//! and the 2-stride engine.
+//! and threaded), framed-wire ingestion, byte-plan vs encoded-plan
+//! execution per encoding scheme, the energy-observer overhead, and the
+//! 2-stride engine.
 
 use cama_arch::designs::DesignKind;
 use cama_arch::energy::EnergyObserver;
@@ -10,12 +11,12 @@ use cama_arch::mapping::map_design;
 use cama_core::compiled::{CompiledAutomaton, ShardedAutomaton};
 use cama_core::graph;
 use cama_core::stride::StridedNfa;
-use cama_encoding::EncodingPlan;
+use cama_encoding::{EncodingPlan, Scheme};
 use cama_mem::models::CircuitLibrary;
 use cama_sim::frame::{encode_close, encode_frame};
 use cama_sim::{
-    AutomataEngine, BatchSimulator, FrameDecoder, InterpSimulator, Session, ShardedSession,
-    Simulator, StreamId, StridedSimulator,
+    AutomataEngine, BatchSimulator, EncodedSession, FrameDecoder, InterpSimulator, Session,
+    ShardedSession, Simulator, StreamId, StridedSimulator,
 };
 use cama_workloads::Benchmark;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -232,6 +233,84 @@ fn bench_sharding(c: &mut Criterion) {
     }
 }
 
+/// Byte plan vs encoded plans, one per encoding scheme: the encoded
+/// engine adds one input-encoder lookup per cycle (symbol → code row)
+/// and then runs the identical word-level loop, so throughput should be
+/// within noise of the byte plan regardless of code length.
+fn bench_encoded(c: &mut Criterion) {
+    let nfa = Benchmark::Snort.generate(0.02);
+    let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
+    let mut group = c.benchmark_group("encoded");
+    group.throughput(Throughput::Bytes(INPUT_LEN as u64));
+    group.bench_function("snort_byte_plan", |b| {
+        let mut sim = Simulator::new(&nfa);
+        b.iter(|| black_box(sim.run(black_box(&input))))
+    });
+
+    let schemes: [(&str, EncodingPlan); 5] = [
+        ("proposed", EncodingPlan::for_nfa(&nfa)),
+        (
+            "one_zero_256",
+            EncodingPlan::with_scheme(&nfa, Scheme::OneZero { len: 256 }, true),
+        ),
+        (
+            "multi_zeros_11",
+            EncodingPlan::with_scheme(&nfa, Scheme::MultiZeros { len: 11 }, true),
+        ),
+        (
+            "two_zeros_prefix_32",
+            EncodingPlan::with_scheme(
+                &nfa,
+                Scheme::TwoZerosPrefix {
+                    prefix: 16,
+                    suffix: 16,
+                },
+                true,
+            ),
+        ),
+        (
+            "one_zero_prefix_32",
+            EncodingPlan::with_scheme(
+                &nfa,
+                Scheme::OneZeroPrefix {
+                    prefix: 16,
+                    suffix: 16,
+                },
+                false,
+            ),
+        ),
+    ];
+    let plans: Vec<(&str, _)> = schemes
+        .iter()
+        .map(|(label, encoding)| (*label, encoding.compile(&nfa)))
+        .collect();
+    for (label, plan) in &plans {
+        group.bench_with_input(BenchmarkId::new("snort_encoded", label), plan, |b, plan| {
+            let mut session = EncodedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&input));
+                black_box(session.finish())
+            })
+        });
+    }
+    group.finish();
+
+    println!(
+        "encoded plans (snort: {} states, {}-byte input)",
+        nfa.len(),
+        input.len()
+    );
+    for (label, plan) in &plans {
+        println!(
+            "  {label:<20}: {:>2}-bit codes, {:>5} rows, {:>6} entries, {:>4} negated states",
+            plan.code_len(),
+            plan.num_codes() + 1,
+            plan.total_entries(),
+            plan.negated_states(),
+        );
+    }
+}
+
 fn bench_with_energy(c: &mut Criterion) {
     let nfa = Benchmark::Snort.generate(0.02);
     let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
@@ -271,6 +350,7 @@ criterion_group!(
     bench_framed_ingest,
     bench_batched,
     bench_sharding,
+    bench_encoded,
     bench_with_energy,
     bench_strided
 );

@@ -9,8 +9,51 @@
 //! a throughput was declared, bytes or elements per second. Swap the
 //! `[workspace.dependencies]` entry for the real `criterion` for
 //! statistically rigorous runs.
+//!
+//! Two CLI flags shrink the sampling for CI (`cargo bench -- <flag>`,
+//! mirroring real criterion's behavior closely enough for smoke jobs):
+//!
+//! * `--test` — run every benchmark exactly once, with no warm-up or
+//!   measurement window (a correctness smoke pass);
+//! * `--quick` — short warm-up and window, so a full sweep still
+//!   produces a comparable timing table in seconds rather than minutes.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// How aggressively the harness samples, selected by CLI flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Default: 300 ms warm-up, 1 s measurement window.
+    Full,
+    /// `--quick`: 30 ms warm-up, 150 ms window.
+    Quick,
+    /// `--test`: one iteration, no timing windows.
+    Test,
+}
+
+fn mode() -> Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        let mut mode = Mode::Full;
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--quick" => mode = Mode::Quick,
+                _ => {}
+            }
+        }
+        mode
+    })
+}
+
+fn windows() -> (Duration, Duration) {
+    match mode() {
+        Mode::Full => (WARMUP, MEASURE),
+        Mode::Quick => (Duration::from_millis(30), Duration::from_millis(150)),
+        Mode::Test => (Duration::ZERO, Duration::ZERO),
+    }
+}
 
 /// Declared work per iteration, for throughput reporting.
 #[derive(Clone, Copy, Debug)]
@@ -44,14 +87,17 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly: a short warm-up, then a measured window.
+    /// Runs `f` repeatedly: a short warm-up, then a measured window
+    /// (both shrink under `--quick`, and collapse to a single call
+    /// under `--test`).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let warmup_deadline = Instant::now() + WARMUP;
+        let (warmup, measure) = windows();
+        let warmup_deadline = Instant::now() + warmup;
         while Instant::now() < warmup_deadline {
             std::hint::black_box(f());
         }
         let start = Instant::now();
-        let deadline = start + MEASURE;
+        let deadline = start + measure;
         let mut iterations = 0u64;
         while Instant::now() < deadline || iterations == 0 {
             std::hint::black_box(f());

@@ -22,6 +22,18 @@
 //! vector is the AND of two per-byte tables
 //! (`first_table[a] & second_table[b]`) — the software form of the
 //! paper's two-segment match CAM.
+//!
+//! [`CompiledEncodedAutomaton`] is the *encoding-aware* flavour: its
+//! match rows are not indexed by raw 8-bit symbols but by the codes of
+//! an encoding codebook (CAMA's remapped input alphabet), and each row
+//! is derived by evaluating every state's stored CAM entries — including
+//! negated entries — against that code. The per-cycle step first runs
+//! the input-encoder lookup (symbol → code row) and then executes the
+//! identical word-level loop, so the functional engine exercises exactly
+//! the entry layout the energy model charges for. The
+//! [`ExecutionPlan`] trait abstracts the per-symbol row interface both
+//! flavours share, which is also what lets either act as the per-shard
+//! plan of a [`ShardedAutomaton`].
 
 use crate::bitset::BitSet;
 use crate::graph::connected_components;
@@ -159,70 +171,175 @@ fn word_summary(set: &BitSet) -> Vec<u64> {
     summary
 }
 
+/// Builds the CSR adjacency (offsets + flat successor array) of `nfa`.
+fn build_csr(nfa: &Nfa) -> (Vec<u32>, Vec<u32>) {
+    let n = nfa.len();
+    let mut succ_offsets = Vec::with_capacity(n + 1);
+    let mut successors = Vec::with_capacity(nfa.num_edges());
+    succ_offsets.push(0);
+    for i in 0..n {
+        successors.extend(
+            nfa.successors(crate::nfa::SteId(i as u32))
+                .iter()
+                .map(|s| s.0),
+        );
+        succ_offsets.push(successors.len() as u32);
+    }
+    (succ_offsets, successors)
+}
+
+/// Builds the packed report table of `nfa`.
+fn build_reports(nfa: &Nfa) -> ReportTable {
+    ReportTable::build(
+        nfa.len(),
+        nfa.stes()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.report.map(|code| (i, code))),
+    )
+}
+
+/// The precompiled start-match rows and one-bit-per-word summaries
+/// derived from a match table and the start masks — the selective-
+/// precharge acceleration structures shared by the byte and encoded
+/// plan layouts.
+struct DerivedRows {
+    match_any: Vec<Vec<u64>>,
+    start_match: Vec<BitSet>,
+    start_match_any: Vec<Vec<u64>>,
+    all_input_any: Vec<u64>,
+    start_of_data_any: Vec<u64>,
+}
+
+/// Derives [`DerivedRows`] from a match table (one row per symbol or
+/// per code) and the start masks.
+fn derive_rows(match_table: &[BitSet], all_input: &BitSet, start_of_data: &BitSet) -> DerivedRows {
+    let match_any = match_table.iter().map(word_summary).collect();
+    let start_match: Vec<BitSet> = match_table
+        .iter()
+        .map(|row| {
+            let mut statically_matched = row.clone();
+            statically_matched.intersect_with(all_input);
+            statically_matched
+        })
+        .collect();
+    let start_match_any = start_match.iter().map(word_summary).collect();
+    DerivedRows {
+        match_any,
+        start_match,
+        start_match_any,
+        all_input_any: word_summary(all_input),
+        start_of_data_any: word_summary(start_of_data),
+    }
+}
+
+/// Builds the two start masks (`all-input`, `start-of-data`) of `nfa`.
+fn build_start_masks(nfa: &Nfa) -> (BitSet, BitSet) {
+    let mut all_input = BitSet::new(nfa.len());
+    let mut start_of_data = BitSet::new(nfa.len());
+    for (i, ste) in nfa.stes().iter().enumerate() {
+        match ste.start {
+            StartKind::AllInput => all_input.insert(i),
+            StartKind::StartOfData => start_of_data.insert(i),
+            StartKind::None => {}
+        }
+    }
+    (all_input, start_of_data)
+}
+
+/// The per-cycle row interface a byte-stream execution plan exposes to
+/// the engines: per-symbol match and start-match rows with their
+/// one-bit-per-word summaries, start masks, packed report metadata, and
+/// the CSR successor adjacency.
+///
+/// Implemented by [`CompiledAutomaton`] (rows indexed directly by the
+/// raw 8-bit symbol) and [`CompiledEncodedAutomaton`] (rows indexed by
+/// the encoded code the input encoder produces for the symbol), so a
+/// single stepping loop in `cama-sim` — and a single [`ShardedAutomaton`]
+/// shell — drives both layouts.
+pub trait ExecutionPlan: Sync {
+    /// Number of states.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the plan has no states.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of activation edges.
+    fn num_edges(&self) -> usize;
+
+    /// The match vector of `symbol`: every state accepting it.
+    fn match_vector(&self, symbol: u8) -> &BitSet;
+
+    /// The word-level summary of [`match_vector`](Self::match_vector).
+    fn match_any(&self, symbol: u8) -> &[u64];
+
+    /// The statically matched start states for `symbol`:
+    /// `match_vector(symbol) & all_input_mask()`.
+    fn start_match(&self, symbol: u8) -> &BitSet;
+
+    /// The word-level summary of [`start_match`](Self::start_match).
+    fn start_match_any(&self, symbol: u8) -> &[u64];
+
+    /// States statically enabled on every cycle (`all-input` starts).
+    fn all_input_mask(&self) -> &BitSet;
+
+    /// States enabled only on the first cycle (`start-of-data` starts).
+    fn start_of_data_mask(&self) -> &BitSet;
+
+    /// The word-level summary of
+    /// [`start_of_data_mask`](Self::start_of_data_mask).
+    fn start_of_data_any(&self) -> &[u64];
+
+    /// The mask of reporting states.
+    fn report_mask(&self) -> &BitSet;
+
+    /// The report code of a state known to report (O(1), packed).
+    ///
+    /// # Panics
+    ///
+    /// May panic or return an arbitrary code if `state` is not
+    /// reporting; callers must consult [`report_mask`](Self::report_mask)
+    /// first.
+    fn report_code_unchecked(&self, state: usize) -> u32;
+
+    /// CSR successor slice of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    fn successors(&self, state: usize) -> &[u32];
+}
+
 impl CompiledAutomaton {
     /// Compiles `nfa` into its dense execution plan.
     pub fn compile(nfa: &Nfa) -> CompiledAutomaton {
         let n = nfa.len();
         let mut match_table = vec![BitSet::new(n); ALPHABET];
-        let mut all_input = BitSet::new(n);
-        let mut start_of_data = BitSet::new(n);
         for (i, ste) in nfa.stes().iter().enumerate() {
             for symbol in ste.class.iter() {
                 match_table[symbol as usize].insert(i);
             }
-            match ste.start {
-                StartKind::AllInput => all_input.insert(i),
-                StartKind::StartOfData => start_of_data.insert(i),
-                StartKind::None => {}
-            }
         }
-
-        let mut succ_offsets = Vec::with_capacity(n + 1);
-        let mut successors = Vec::with_capacity(nfa.num_edges());
-        succ_offsets.push(0);
-        for i in 0..n {
-            successors.extend(
-                nfa.successors(crate::nfa::SteId(i as u32))
-                    .iter()
-                    .map(|s| s.0),
-            );
-            succ_offsets.push(successors.len() as u32);
-        }
-
-        let reports = ReportTable::build(
-            n,
-            nfa.stes()
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.report.map(|code| (i, code))),
-        );
-
-        let match_any = match_table.iter().map(word_summary).collect();
-        let start_match: Vec<BitSet> = match_table
-            .iter()
-            .map(|row| {
-                let mut statically_matched = row.clone();
-                statically_matched.intersect_with(&all_input);
-                statically_matched
-            })
-            .collect();
-        let start_match_any = start_match.iter().map(word_summary).collect();
-        let all_input_any = word_summary(&all_input);
-        let start_of_data_any = word_summary(&start_of_data);
+        let (all_input, start_of_data) = build_start_masks(nfa);
+        let (succ_offsets, successors) = build_csr(nfa);
+        let reports = build_reports(nfa);
+        let derived = derive_rows(&match_table, &all_input, &start_of_data);
 
         CompiledAutomaton {
             len: n,
             name: nfa.name().to_string(),
             match_table,
-            match_any,
-            start_match,
-            start_match_any,
+            match_any: derived.match_any,
+            start_match: derived.start_match,
+            start_match_any: derived.start_match_any,
             succ_offsets,
             successors,
             all_input,
-            all_input_any,
+            all_input_any: derived.all_input_any,
             start_of_data,
-            start_of_data_any,
+            start_of_data_any: derived.start_of_data_any,
             reports,
         }
     }
@@ -344,6 +461,419 @@ impl CompiledAutomaton {
         if first_cycle {
             out.union_with(&self.start_of_data);
         }
+    }
+}
+
+impl ExecutionPlan for CompiledAutomaton {
+    fn len(&self) -> usize {
+        CompiledAutomaton::len(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CompiledAutomaton::num_edges(self)
+    }
+
+    fn match_vector(&self, symbol: u8) -> &BitSet {
+        CompiledAutomaton::match_vector(self, symbol)
+    }
+
+    fn match_any(&self, symbol: u8) -> &[u64] {
+        CompiledAutomaton::match_any(self, symbol)
+    }
+
+    fn start_match(&self, symbol: u8) -> &BitSet {
+        CompiledAutomaton::start_match(self, symbol)
+    }
+
+    fn start_match_any(&self, symbol: u8) -> &[u64] {
+        CompiledAutomaton::start_match_any(self, symbol)
+    }
+
+    fn all_input_mask(&self) -> &BitSet {
+        CompiledAutomaton::all_input_mask(self)
+    }
+
+    fn start_of_data_mask(&self) -> &BitSet {
+        CompiledAutomaton::start_of_data_mask(self)
+    }
+
+    fn start_of_data_any(&self) -> &[u64] {
+        CompiledAutomaton::start_of_data_any(self)
+    }
+
+    fn report_mask(&self) -> &BitSet {
+        CompiledAutomaton::report_mask(self)
+    }
+
+    fn report_code_unchecked(&self, state: usize) -> u32 {
+        CompiledAutomaton::report_code_unchecked(self, state)
+    }
+
+    fn successors(&self, state: usize) -> &[u32] {
+        CompiledAutomaton::successors(self, state)
+    }
+}
+
+/// The encoding-aware execution plan: match rows built from an encoding
+/// codebook instead of raw 8-bit symbols.
+///
+/// CAMA's datapath never matches raw bytes: the 256-entry input encoder
+/// maps each streaming symbol to a learned code, and the CAM arrays
+/// store per-state *entries* (possibly negated) matched against that
+/// code. This plan is the software form of exactly that datapath:
+///
+/// * `encoder` is the 256-entry symbol → code-row lookup (the input
+///   encoder image). Symbols outside the codebook domain map to the
+///   reserved out-of-domain row.
+/// * each match row is derived by evaluating every state's stored CAM
+///   entries — including the Negation Optimization inverter — against
+///   one code, at compile time (the CAM search result for that code);
+/// * everything else (CSR adjacency, packed report metadata,
+///   `start_match` rows, two-level word summaries, start masks) has the
+///   same shape as [`CompiledAutomaton`], so the identical word-level
+///   stepping loop executes it.
+///
+/// Construction is decoupled from any concrete encoding toolchain:
+/// [`compile_with`](CompiledEncodedAutomaton::compile_with) takes the
+/// codebook as closures. `cama_encoding::EncodingPlan::compile` is the
+/// canonical caller, handing in its codebook lookup and per-state
+/// [`EncodedState`] matchers; execution is then bit-identical to the
+/// byte plan exactly when the encoding is exact (`verify_exact`) —
+/// which is what the differential harnesses in `tests/property.rs`
+/// assert for every scheme.
+///
+/// [`EncodedState`]: https://docs.rs/cama_encoding
+#[derive(Clone, Debug)]
+pub struct CompiledEncodedAutomaton {
+    len: usize,
+    name: String,
+    /// Code length in bits (the width of the simulated search word).
+    code_len: usize,
+    /// Number of in-domain code rows; row `num_codes` is the reserved
+    /// out-of-domain row.
+    num_codes: usize,
+    /// Symbol → row index (the input-encoder image).
+    encoder: Vec<u16>,
+    /// `match_table[row]`: all states whose CAM image matches the row's
+    /// code (rows `0..num_codes`), or the reserved word (last row).
+    match_table: Vec<BitSet>,
+    match_any: Vec<Vec<u64>>,
+    /// `start_match[row] = match_table[row] & all_input`.
+    start_match: Vec<BitSet>,
+    start_match_any: Vec<Vec<u64>>,
+    succ_offsets: Vec<u32>,
+    successors: Vec<u32>,
+    all_input: BitSet,
+    all_input_any: Vec<u64>,
+    start_of_data: BitSet,
+    start_of_data_any: Vec<u64>,
+    reports: ReportTable,
+    /// CAM entries stored per state (the quantity the energy model
+    /// charges for enabled states).
+    entries_of: Vec<u32>,
+    /// States whose row output is inverted (Negation Optimization).
+    negated: BitSet,
+}
+
+impl CompiledEncodedAutomaton {
+    /// Compiles `nfa` against a codebook described by closures:
+    ///
+    /// * `encode(symbol)` — the input-encoder lookup: the code row of a
+    ///   symbol (`0..num_codes`), or `None` for the reserved
+    ///   out-of-domain word;
+    /// * `matches(state, row)` — the CAM search outcome: whether the
+    ///   state's stored entries (inverter included) match the code of
+    ///   `row`, where `None` is the reserved word;
+    /// * `entries(state)` — CAM entries the state stores;
+    /// * `negated(state)` — whether the state's row output is inverted.
+    ///
+    /// `code_len` is the code width in bits (recorded for reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encode` returns a row at or beyond `num_codes`, or if
+    /// `num_codes` exceeds `u16::MAX`.
+    pub fn compile_with(
+        nfa: &Nfa,
+        code_len: usize,
+        num_codes: usize,
+        encode: impl Fn(u8) -> Option<u16>,
+        matches: impl Fn(usize, Option<u16>) -> bool,
+        entries: impl Fn(usize) -> u32,
+        negated: impl Fn(usize) -> bool,
+    ) -> CompiledEncodedAutomaton {
+        assert!(num_codes < u16::MAX as usize, "too many codes");
+        let n = nfa.len();
+        let reserved = num_codes as u16;
+        let encoder: Vec<u16> = (0..ALPHABET)
+            .map(|symbol| match encode(symbol as u8) {
+                Some(row) => {
+                    assert!(
+                        (row as usize) < num_codes,
+                        "code row {row} out of range (num_codes {num_codes})"
+                    );
+                    row
+                }
+                None => reserved,
+            })
+            .collect();
+
+        let mut match_table = vec![BitSet::new(n); num_codes + 1];
+        let mut entries_of = Vec::with_capacity(n);
+        let mut negated_mask = BitSet::new(n);
+        for state in 0..n {
+            for (row, vector) in match_table.iter_mut().enumerate() {
+                let code = (row < num_codes).then_some(row as u16);
+                if matches(state, code) {
+                    vector.insert(state);
+                }
+            }
+            entries_of.push(entries(state));
+            if negated(state) {
+                negated_mask.insert(state);
+            }
+        }
+
+        let (all_input, start_of_data) = build_start_masks(nfa);
+        let (succ_offsets, successors) = build_csr(nfa);
+        let reports = build_reports(nfa);
+        let derived = derive_rows(&match_table, &all_input, &start_of_data);
+
+        CompiledEncodedAutomaton {
+            len: n,
+            name: nfa.name().to_string(),
+            code_len,
+            num_codes,
+            encoder,
+            match_table,
+            match_any: derived.match_any,
+            start_match: derived.start_match,
+            start_match_any: derived.start_match_any,
+            succ_offsets,
+            successors,
+            all_input,
+            all_input_any: derived.all_input_any,
+            start_of_data,
+            start_of_data_any: derived.start_of_data_any,
+            reports,
+            entries_of,
+            negated: negated_mask,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan has no states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The compiled automaton's name (inherited from the NFA).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The code length in bits.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// Number of distinct in-domain code rows (the reserved
+    /// out-of-domain row is extra).
+    pub fn num_codes(&self) -> usize {
+        self.num_codes
+    }
+
+    /// The input-encoder lookup: the code row `symbol` drives, or `None`
+    /// when the symbol is outside the codebook domain. Such symbols
+    /// select the reserved row, which holds exactly the states whose
+    /// inverted (negated) output accepts the no-entry-matches search
+    /// word; the encoding toolchain gives any automaton with negated
+    /// states a full 256-symbol domain, so there the reserved row is
+    /// only ever selected when it is empty (the symbol matches nothing).
+    pub fn encode(&self, symbol: u8) -> Option<u16> {
+        let row = self.encoder[symbol as usize];
+        ((row as usize) < self.num_codes).then_some(row)
+    }
+
+    /// The match row index `symbol` selects (the reserved row for
+    /// out-of-domain symbols) — the per-cycle encoder access.
+    pub fn row_of(&self, symbol: u8) -> usize {
+        self.encoder[symbol as usize] as usize
+    }
+
+    /// The match vector of one code row (`num_codes` selects the
+    /// reserved out-of-domain row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_match_vector(&self, row: usize) -> &BitSet {
+        &self.match_table[row]
+    }
+
+    /// CAM entries stored by `state` — taken from the actual encoded
+    /// image, which is what the energy model charges per enabled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn entries_of(&self, state: usize) -> u32 {
+        self.entries_of[state]
+    }
+
+    /// Per-state slot weights for the architecture mapper/energy model:
+    /// the stored entry count, at least 1 (an empty image still occupies
+    /// a row).
+    pub fn entry_weights(&self) -> Vec<u32> {
+        self.entries_of.iter().map(|&e| e.max(1)).collect()
+    }
+
+    /// Total CAM entries across all states.
+    pub fn total_entries(&self) -> usize {
+        self.entries_of.iter().map(|&e| e as usize).sum()
+    }
+
+    /// Whether `state`'s row output is inverted (Negation Optimization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn is_negated(&self, state: usize) -> bool {
+        self.negated.contains(state)
+    }
+
+    /// Number of states using the NO inverter.
+    pub fn negated_states(&self) -> usize {
+        self.negated.iter().count()
+    }
+
+    /// Total number of activation edges.
+    pub fn num_edges(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// The match vector of `symbol`, through the encoder lookup.
+    pub fn match_vector(&self, symbol: u8) -> &BitSet {
+        &self.match_table[self.encoder[symbol as usize] as usize]
+    }
+
+    /// The word-level summary of [`match_vector`](Self::match_vector).
+    pub fn match_any(&self, symbol: u8) -> &[u64] {
+        &self.match_any[self.encoder[symbol as usize] as usize]
+    }
+
+    /// The statically matched start states for `symbol`.
+    pub fn start_match(&self, symbol: u8) -> &BitSet {
+        &self.start_match[self.encoder[symbol as usize] as usize]
+    }
+
+    /// The word-level summary of [`start_match`](Self::start_match).
+    pub fn start_match_any(&self, symbol: u8) -> &[u64] {
+        &self.start_match_any[self.encoder[symbol as usize] as usize]
+    }
+
+    /// States statically enabled on every cycle (`all-input` starts).
+    pub fn all_input_mask(&self) -> &BitSet {
+        &self.all_input
+    }
+
+    /// The word-level summary of [`all_input_mask`](Self::all_input_mask).
+    pub fn all_input_any(&self) -> &[u64] {
+        &self.all_input_any
+    }
+
+    /// States enabled only on the first cycle (`start-of-data` starts).
+    pub fn start_of_data_mask(&self) -> &BitSet {
+        &self.start_of_data
+    }
+
+    /// The word-level summary of
+    /// [`start_of_data_mask`](Self::start_of_data_mask).
+    pub fn start_of_data_any(&self) -> &[u64] {
+        &self.start_of_data_any
+    }
+
+    /// The mask of reporting states.
+    pub fn report_mask(&self) -> &BitSet {
+        self.reports.mask()
+    }
+
+    /// The report code of `state`, or `None` if it does not report.
+    pub fn report_code(&self, state: usize) -> Option<u32> {
+        self.reports.code_checked(state)
+    }
+
+    /// The report code of a state known to report (O(1), packed).
+    ///
+    /// # Panics
+    ///
+    /// May panic or return an arbitrary code if `state` is not
+    /// reporting.
+    pub fn report_code_unchecked(&self, state: usize) -> u32 {
+        self.reports.code(state)
+    }
+
+    /// CSR successor slice of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn successors(&self, state: usize) -> &[u32] {
+        &self.successors[self.succ_offsets[state] as usize..self.succ_offsets[state + 1] as usize]
+    }
+}
+
+impl ExecutionPlan for CompiledEncodedAutomaton {
+    fn len(&self) -> usize {
+        CompiledEncodedAutomaton::len(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CompiledEncodedAutomaton::num_edges(self)
+    }
+
+    fn match_vector(&self, symbol: u8) -> &BitSet {
+        CompiledEncodedAutomaton::match_vector(self, symbol)
+    }
+
+    fn match_any(&self, symbol: u8) -> &[u64] {
+        CompiledEncodedAutomaton::match_any(self, symbol)
+    }
+
+    fn start_match(&self, symbol: u8) -> &BitSet {
+        CompiledEncodedAutomaton::start_match(self, symbol)
+    }
+
+    fn start_match_any(&self, symbol: u8) -> &[u64] {
+        CompiledEncodedAutomaton::start_match_any(self, symbol)
+    }
+
+    fn all_input_mask(&self) -> &BitSet {
+        CompiledEncodedAutomaton::all_input_mask(self)
+    }
+
+    fn start_of_data_mask(&self) -> &BitSet {
+        CompiledEncodedAutomaton::start_of_data_mask(self)
+    }
+
+    fn start_of_data_any(&self) -> &[u64] {
+        CompiledEncodedAutomaton::start_of_data_any(self)
+    }
+
+    fn report_mask(&self) -> &BitSet {
+        CompiledEncodedAutomaton::report_mask(self)
+    }
+
+    fn report_code_unchecked(&self, state: usize) -> u32 {
+        CompiledEncodedAutomaton::report_code_unchecked(self, state)
+    }
+
+    fn successors(&self, state: usize) -> &[u32] {
+        CompiledEncodedAutomaton::successors(self, state)
     }
 }
 
@@ -513,17 +1043,19 @@ pub struct CrossTarget {
     pub local: u32,
 }
 
-/// One partition of a [`ShardedAutomaton`]: a self-contained
-/// [`CompiledAutomaton`] over a renumbered local state space, plus the
-/// shard's share of the cross-shard edge table.
+/// One partition of a [`ShardedAutomaton`]: a self-contained local
+/// execution plan over a renumbered local state space, plus the shard's
+/// share of the cross-shard edge table.
 ///
 /// A shard is the software analogue of one CAM sub-array with its local
 /// switch: everything in its local plan resolves without leaving the
 /// array, and only [`cross_successors`](Shard::cross_successors) traffic
-/// touches the (simulated) global switch.
+/// touches the (simulated) global switch. The local plan is a
+/// [`CompiledAutomaton`] by default, or a [`CompiledEncodedAutomaton`]
+/// for encoding-aware sharded execution — any [`ExecutionPlan`] works.
 #[derive(Clone, Debug)]
-pub struct Shard {
-    plan: CompiledAutomaton,
+pub struct Shard<P = CompiledAutomaton> {
+    plan: P,
     /// Local index → global state id.
     global_states: Vec<u32>,
     /// CSR over local states: cross-shard successors of local state `i`
@@ -537,9 +1069,9 @@ pub struct Shard {
     has_start_of_data: bool,
 }
 
-impl Shard {
+impl<P: ExecutionPlan> Shard<P> {
     /// The shard's local execution plan (states renumbered `0..len`).
-    pub fn plan(&self) -> &CompiledAutomaton {
+    pub fn plan(&self) -> &P {
         &self.plan
     }
 
@@ -631,16 +1163,21 @@ impl Shard {
 /// # Ok::<(), cama_core::Error>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct ShardedAutomaton {
+pub struct ShardedAutomaton<P = CompiledAutomaton> {
     len: usize,
     name: String,
-    shards: Vec<Shard>,
+    shards: Vec<Shard<P>>,
     /// Global state id → owning shard.
     shard_of: Vec<u32>,
     /// Global state id → local index within its shard.
     local_of: Vec<u32>,
     num_cross_edges: usize,
 }
+
+/// A [`ShardedAutomaton`] whose per-shard plans execute on an encoding
+/// codebook — the encoding-aware counterpart of the byte sharded plan,
+/// built with `cama_encoding::EncodingPlan::compile_sharded`.
+pub type ShardedEncodedAutomaton = ShardedAutomaton<CompiledEncodedAutomaton>;
 
 impl ShardedAutomaton {
     /// Compiles `nfa` into at most `num_shards` shards by balancing
@@ -664,7 +1201,7 @@ impl ShardedAutomaton {
             loads[lightest] += cc.len();
             order[lightest].extend(cc.states.iter().map(|s| s.0));
         }
-        Self::build(nfa, order)
+        Self::build(nfa, order, |local, _| CompiledAutomaton::compile(local))
     }
 
     /// One shard per connected component (the finest sharding that keeps
@@ -686,6 +1223,43 @@ impl ShardedAutomaton {
     ///
     /// Panics if `assignment.len() != nfa.len()`.
     pub fn compile_with_assignment(nfa: &Nfa, assignment: &[u32]) -> ShardedAutomaton {
+        Self::compile_shards_with(nfa, assignment, |local, _| {
+            CompiledAutomaton::compile(local)
+        })
+    }
+}
+
+impl ShardedAutomaton<CompiledEncodedAutomaton> {
+    /// Per-state slot weights taken from the actual encoded shard plans
+    /// (`entries_of`, at least 1 per state), indexed by *global* state
+    /// id — what the energy model charges per enabled state.
+    pub fn entry_weights(&self) -> Vec<u32> {
+        let mut weights = vec![1u32; self.len];
+        for shard in &self.shards {
+            for (local, &global) in shard.global_states().iter().enumerate() {
+                weights[global as usize] = shard.plan().entries_of(local).max(1);
+            }
+        }
+        weights
+    }
+}
+
+impl<P: ExecutionPlan> ShardedAutomaton<P> {
+    /// Compiles with an explicit per-state shard id and a custom
+    /// per-shard plan compiler. `compile_shard` receives each shard's
+    /// renumbered local NFA together with its local-index → global-id
+    /// table — which is how the encoding toolchain reuses one shared
+    /// codebook across every shard
+    /// (`cama_encoding::EncodingPlan::compile_sharded`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != nfa.len()`.
+    pub fn compile_shards_with(
+        nfa: &Nfa,
+        assignment: &[u32],
+        compile_shard: impl Fn(&Nfa, &[u32]) -> P,
+    ) -> ShardedAutomaton<P> {
         assert_eq!(
             assignment.len(),
             nfa.len(),
@@ -700,12 +1274,16 @@ impl ShardedAutomaton {
         for (state, &shard) in assignment.iter().enumerate() {
             order[shard as usize].push(state as u32);
         }
-        Self::build(nfa, order)
+        Self::build(nfa, order, compile_shard)
     }
 
     /// Builds the sharded plan from per-shard state lists (each list is
     /// the shard's local order; together they cover every state once).
-    fn build(nfa: &Nfa, order: Vec<Vec<u32>>) -> ShardedAutomaton {
+    fn build(
+        nfa: &Nfa,
+        order: Vec<Vec<u32>>,
+        compile_shard: impl Fn(&Nfa, &[u32]) -> P,
+    ) -> ShardedAutomaton<P> {
         let n = nfa.len();
         let mut shard_of = vec![u32::MAX; n];
         let mut local_of = vec![u32::MAX; n];
@@ -719,7 +1297,7 @@ impl ShardedAutomaton {
         debug_assert!(shard_of.iter().all(|&s| s != u32::MAX), "state unplaced");
 
         let mut num_cross_edges = 0;
-        let shards: Vec<Shard> = order
+        let shards: Vec<Shard<P>> = order
             .iter()
             .enumerate()
             .map(|(shard, states)| {
@@ -759,7 +1337,7 @@ impl ShardedAutomaton {
                         reject_unreachable: false,
                     })
                     .expect("lenient build cannot fail");
-                let plan = CompiledAutomaton::compile(&local_nfa);
+                let plan = compile_shard(&local_nfa, states);
                 let mut start_match_possible = [0u64; 4];
                 for sym in 0..ALPHABET {
                     if plan.start_match(sym as u8).first_set().is_some() {
@@ -809,7 +1387,7 @@ impl ShardedAutomaton {
     }
 
     /// All shards, in shard-id order.
-    pub fn shards(&self) -> &[Shard] {
+    pub fn shards(&self) -> &[Shard<P>] {
         &self.shards
     }
 
@@ -818,7 +1396,7 @@ impl ShardedAutomaton {
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
-    pub fn shard(&self, shard: usize) -> &Shard {
+    pub fn shard(&self, shard: usize) -> &Shard<P> {
         &self.shards[shard]
     }
 
@@ -1089,5 +1667,141 @@ mod tests {
         assert!(sharded.is_empty());
         assert_eq!(sharded.num_shards(), 1);
         assert!(sharded.shard(0).is_empty());
+    }
+
+    /// A toy identity codebook over an explicit symbol domain: code row
+    /// `i` stands for `domain[i]`, and a state matches a row iff its
+    /// class contains that symbol — the smallest exact encoding.
+    fn identity_encoded(nfa: &Nfa, domain: &[u8]) -> CompiledEncodedAutomaton {
+        let row_of = |symbol: u8| {
+            domain
+                .iter()
+                .position(|&d| d == symbol)
+                .map(|row| row as u16)
+        };
+        CompiledEncodedAutomaton::compile_with(
+            nfa,
+            domain.len(),
+            domain.len(),
+            row_of,
+            |state, row| {
+                row.is_some_and(|row| {
+                    nfa.ste(SteId(state as u32))
+                        .class
+                        .contains(domain[row as usize])
+                })
+            },
+            |_| 1,
+            |_| false,
+        )
+    }
+
+    #[test]
+    fn encoded_rows_match_byte_rows_over_the_domain() {
+        let nfa = regex::compile("(a|b)e*cd+").unwrap();
+        let domain = [b'a', b'b', b'c', b'd', b'e'];
+        let byte = CompiledAutomaton::compile(&nfa);
+        let encoded = identity_encoded(&nfa, &domain);
+        assert_eq!(encoded.len(), byte.len());
+        assert_eq!(encoded.num_edges(), byte.num_edges());
+        assert_eq!(encoded.num_codes(), domain.len());
+        for &symbol in &domain {
+            assert_eq!(
+                encoded.match_vector(symbol).iter().collect::<Vec<_>>(),
+                byte.match_vector(symbol).iter().collect::<Vec<_>>(),
+                "symbol {symbol}"
+            );
+            assert_eq!(
+                encoded.start_match(symbol).iter().collect::<Vec<_>>(),
+                byte.start_match(symbol).iter().collect::<Vec<_>>(),
+                "symbol {symbol}"
+            );
+            assert!(encoded.encode(symbol).is_some());
+        }
+        for i in 0..nfa.len() {
+            assert_eq!(encoded.report_code(i), byte.report_code(i));
+            assert_eq!(encoded.successors(i), byte.successors(i));
+        }
+    }
+
+    #[test]
+    fn encoded_out_of_domain_symbol_selects_the_empty_reserved_row() {
+        let nfa = regex::compile("ab").unwrap();
+        let encoded = identity_encoded(&nfa, b"ab");
+        assert_eq!(encoded.encode(b'z'), None);
+        assert_eq!(encoded.row_of(b'z'), encoded.num_codes());
+        assert!(encoded.match_vector(b'z').is_empty());
+        assert!(encoded.start_match(b'z').is_empty());
+        // The reserved row is shared by every out-of-domain symbol.
+        assert_eq!(encoded.row_of(b'z'), encoded.row_of(b'q'));
+    }
+
+    #[test]
+    fn encoded_entry_accounting() {
+        let nfa = regex::compile("ab").unwrap();
+        let encoded = CompiledEncodedAutomaton::compile_with(
+            &nfa,
+            16,
+            2,
+            |s| (s == b'a').then_some(0).or((s == b'b').then_some(1)),
+            |state, row| row == Some(state as u16),
+            |state| state as u32, // state 0 stores 0 entries, state 1 one
+            |state| state == 0,
+        );
+        assert_eq!(encoded.code_len(), 16);
+        assert_eq!(encoded.entries_of(0), 0);
+        assert_eq!(encoded.entries_of(1), 1);
+        assert_eq!(encoded.entry_weights(), vec![1, 1]);
+        assert_eq!(encoded.total_entries(), 1);
+        assert!(encoded.is_negated(0));
+        assert!(!encoded.is_negated(1));
+        assert_eq!(encoded.negated_states(), 1);
+    }
+
+    #[test]
+    fn sharded_plan_accepts_encoded_shards() {
+        let nfa = regex::compile_set(&["ab", "cd"]).unwrap();
+        let domain = [b'a', b'b', b'c', b'd'];
+        let assignment: Vec<u32> = (0..nfa.len() as u32).map(|i| i % 2).collect();
+        let sharded: ShardedEncodedAutomaton =
+            ShardedAutomaton::compile_shards_with(&nfa, &assignment, |local, globals| {
+                // Reuse the global classes through the handed-in table.
+                let row_of = |symbol: u8| {
+                    domain
+                        .iter()
+                        .position(|&d| d == symbol)
+                        .map(|row| row as u16)
+                };
+                CompiledEncodedAutomaton::compile_with(
+                    local,
+                    domain.len(),
+                    domain.len(),
+                    row_of,
+                    |state, row| {
+                        row.is_some_and(|row| {
+                            nfa.ste(SteId(globals[state]))
+                                .class
+                                .contains(domain[row as usize])
+                        })
+                    },
+                    |_| 1,
+                    |_| false,
+                )
+            });
+        assert_eq!(sharded.num_shards(), 2);
+        assert_eq!(sharded.len(), nfa.len());
+        assert_eq!(sharded.entry_weights(), vec![1; nfa.len()]);
+        // Each local plan's rows reflect the global classes.
+        for shard in sharded.shards() {
+            for (local, &global) in shard.global_states().iter().enumerate() {
+                for &symbol in &domain {
+                    assert_eq!(
+                        shard.plan().match_vector(symbol).contains(local),
+                        nfa.ste(SteId(global)).class.contains(symbol),
+                        "state {global} symbol {symbol}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -19,7 +19,11 @@
 //! 5. [`compress`] — exact greedy compression of a symbol class into CAM
 //!    entries (never a false positive or negative);
 //! 6. [`plan`] — the end-to-end [`EncodingPlan`] that
-//!    selects a scheme for an NFA and encodes every state.
+//!    selects a scheme for an NFA and encodes every state;
+//! 7. [`compile`] — lowering a plan into an executable
+//!    [`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton)
+//!    (flat or sharded), so the functional engines run on the same CAM
+//!    image the energy model charges for.
 //!
 //! # Examples
 //!
@@ -39,6 +43,7 @@
 pub mod clustering;
 pub mod code;
 pub mod codebook;
+pub mod compile;
 pub mod compress;
 pub mod negation;
 pub mod plan;

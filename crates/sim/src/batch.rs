@@ -94,13 +94,17 @@ use crate::frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 use crate::result::RunResult;
 use crate::session::{FlowSession, Session, SuspendedFlow};
 use crate::sharded::ShardedSession;
-use cama_core::compiled::{CompiledAutomaton, ShardedAutomaton};
+use cama_core::compiled::{
+    CompiledAutomaton, CompiledEncodedAutomaton, ExecutionPlan, ShardedAutomaton,
+};
 
 /// A compiled plan the stream table can serve: hands out sessions and
 /// tells the scheduler its shard structure.
 ///
-/// Implemented by [`CompiledAutomaton`] (flat
-/// [`ByteSession`]s, a single logical shard) and [`ShardedAutomaton`]
+/// Implemented by [`CompiledAutomaton`] (flat [`ByteSession`]s, a
+/// single logical shard), [`CompiledEncodedAutomaton`] (flat
+/// [`EncodedSession`](crate::EncodedSession)s executing on the encoding
+/// codebook), and [`ShardedAutomaton`] over either flavour
 /// ([`ShardedSession`]s, one shard per simulated CAM array).
 pub trait StreamPlan: Sync {
     /// The session type opened for each flow.
@@ -126,10 +130,21 @@ impl StreamPlan for CompiledAutomaton {
     }
 }
 
-impl StreamPlan for ShardedAutomaton {
-    type Session<'p> = ShardedSession<'p>;
+impl StreamPlan for CompiledEncodedAutomaton {
+    type Session<'p> = ByteSession<'p, CompiledEncodedAutomaton>;
 
-    fn open_session(&self, chain: usize) -> ShardedSession<'_> {
+    fn open_session(&self, chain: usize) -> ByteSession<'_, CompiledEncodedAutomaton> {
+        ByteSession::with_chain(self, chain)
+    }
+}
+
+impl<P: ExecutionPlan + Clone + fmt::Debug> StreamPlan for ShardedAutomaton<P> {
+    type Session<'p>
+        = ShardedSession<'p, P>
+    where
+        Self: 'p;
+
+    fn open_session(&self, chain: usize) -> ShardedSession<'_, P> {
         ShardedSession::with_chain(self, chain)
     }
 
@@ -553,7 +568,7 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
     }
 }
 
-impl<'p> BatchSimulator<'p, ShardedAutomaton> {
+impl<'p, P: ExecutionPlan + Clone + fmt::Debug> BatchSimulator<'p, ShardedAutomaton<P>> {
     /// [`feed`](Self::feed) delivering per-shard activity to a
     /// [`ShardObserver`] — the native observation path of the sharded
     /// engine, used by the energy models to charge exactly the arrays

@@ -21,7 +21,7 @@
 use crate::activity::{CycleView, NullObserver, Observer};
 use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
-use cama_core::compiled::CompiledAutomaton;
+use cama_core::compiled::{CompiledAutomaton, ExecutionPlan};
 use cama_core::{Nfa, SteId};
 
 pub use crate::result::{Report, RunResult};
@@ -97,7 +97,7 @@ impl CycleState {
     /// word is hot.
     pub(crate) fn step(
         &mut self,
-        plan: &CompiledAutomaton,
+        plan: &impl ExecutionPlan,
         symbol: u8,
         inject_starts: bool,
         result: &mut RunResult,
@@ -250,8 +250,12 @@ impl CycleState {
     }
 }
 
-/// A streaming session over a [`CompiledAutomaton`]: the byte engine's
-/// [`Session`] implementation.
+/// A streaming session over a symbol-per-cycle execution plan: the
+/// [`Session`] implementation shared by the byte engine
+/// ([`CompiledAutomaton`], the default) and the encoded engine
+/// ([`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton),
+/// via the [`EncodedSession`](crate::EncodedSession) alias) — one
+/// stepping loop, two plan layouts.
 ///
 /// The session owns the dynamic/next/active vectors, the cycle offset,
 /// and the report accumulation; the immutable plan is shared, so one
@@ -276,8 +280,8 @@ impl CycleState {
 /// # Ok::<(), cama_core::Error>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct ByteSession<'p> {
-    plan: &'p CompiledAutomaton,
+pub struct ByteSession<'p, P: ExecutionPlan = CompiledAutomaton> {
+    plan: &'p P,
     /// Sub-symbols per original symbol; starts are injected on cycles
     /// that are multiples of this.
     chain: usize,
@@ -286,9 +290,9 @@ pub struct ByteSession<'p> {
     fed: usize,
 }
 
-impl<'p> ByteSession<'p> {
-    /// Starts a byte-per-cycle session over a shared plan.
-    pub fn new(plan: &'p CompiledAutomaton) -> Self {
+impl<'p, P: ExecutionPlan> ByteSession<'p, P> {
+    /// Starts a symbol-per-cycle session over a shared plan.
+    pub fn new(plan: &'p P) -> Self {
         Self::with_chain(plan, 1)
     }
 
@@ -299,7 +303,7 @@ impl<'p> ByteSession<'p> {
     /// # Panics
     ///
     /// Panics if `chain` is zero.
-    pub fn with_chain(plan: &'p CompiledAutomaton, chain: usize) -> Self {
+    pub fn with_chain(plan: &'p P, chain: usize) -> Self {
         assert!(chain > 0, "chain must be positive");
         ByteSession {
             plan,
@@ -311,7 +315,7 @@ impl<'p> ByteSession<'p> {
     }
 
     /// The shared compiled plan this session executes.
-    pub fn plan(&self) -> &'p CompiledAutomaton {
+    pub fn plan(&self) -> &'p P {
         self.plan
     }
 
@@ -321,7 +325,7 @@ impl<'p> ByteSession<'p> {
     }
 }
 
-impl Session for ByteSession<'_> {
+impl<P: ExecutionPlan> Session for ByteSession<'_, P> {
     fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
         if self.chain == 1 {
             for &symbol in chunk {
@@ -361,7 +365,7 @@ impl Session for ByteSession<'_> {
     }
 }
 
-impl FlowSession for ByteSession<'_> {
+impl<P: ExecutionPlan> FlowSession for ByteSession<'_, P> {
     fn suspend(&mut self) -> SuspendedFlow {
         let mut dynamic = Vec::new();
         self.state.snapshot_dynamic(&mut dynamic);

@@ -12,6 +12,11 @@
 //!
 //! * [`Simulator`] — byte-per-cycle execution of an
 //!   [`Nfa`](cama_core::Nfa) (compiles a plan internally);
+//! * [`encoded::EncodedSimulator`] — the same loop executing on a
+//!   [`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton):
+//!   every symbol passes through the encoding codebook and matches the
+//!   states' actual CAM entry masks (the layout the energy model
+//!   charges), bit-identical to the byte engine for exact encodings;
 //! * [`Simulator::run_multistep`] — sub-symbol execution for bit-width
 //!   transformed automata (Impala's nibble NFAs);
 //! * [`session`] — the streaming-session layer: every engine implements
@@ -80,6 +85,7 @@
 pub mod activity;
 pub mod batch;
 pub mod buffers;
+pub mod encoded;
 pub mod engine;
 pub mod frame;
 pub mod interp;
@@ -93,6 +99,7 @@ pub use activity::{
 };
 pub use batch::{BatchSimulator, ShardedBatch, StreamPlan};
 pub use buffers::BufferStats;
+pub use encoded::{EncodedSession, EncodedSimulator};
 pub use engine::{ByteSession, Simulator};
 pub use frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 pub use interp::{InterpSession, InterpSimulator};

@@ -34,7 +34,7 @@ use crate::engine::sparse_clear;
 use crate::result::{Report, RunResult};
 use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
-use cama_core::compiled::ShardedAutomaton;
+use cama_core::compiled::{CompiledAutomaton, ExecutionPlan, ShardedAutomaton};
 use cama_core::{Nfa, SteId};
 
 /// One shard's mutable half of a stream: local enable/active vectors
@@ -118,7 +118,10 @@ impl ShardStats {
 /// sessions; the session owns only the per-shard lanes, the staging
 /// buffers, and the accumulated result. Multi-step (sub-symbol)
 /// execution is supported through `chain`, exactly as in
-/// [`ByteSession`](crate::ByteSession).
+/// [`ByteSession`](crate::ByteSession). Like the flat session, it is
+/// generic over the per-shard plan flavour: byte plans by default, or
+/// [`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton)
+/// shards for encoding-aware sharded execution.
 ///
 /// # Examples
 ///
@@ -136,8 +139,8 @@ impl ShardStats {
 /// # Ok::<(), cama_core::Error>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct ShardedSession<'p> {
-    plan: &'p ShardedAutomaton,
+pub struct ShardedSession<'p, P: ExecutionPlan = CompiledAutomaton> {
+    plan: &'p ShardedAutomaton<P>,
     chain: usize,
     skip_idle: bool,
     lanes: Vec<ShardLane>,
@@ -156,9 +159,9 @@ pub struct ShardedSession<'p> {
     flat_scratch: Option<Box<FlatViewScratch>>,
 }
 
-impl<'p> ShardedSession<'p> {
-    /// Starts a byte-per-cycle session over a shared sharded plan.
-    pub fn new(plan: &'p ShardedAutomaton) -> Self {
+impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
+    /// Starts a symbol-per-cycle session over a shared sharded plan.
+    pub fn new(plan: &'p ShardedAutomaton<P>) -> Self {
         Self::with_chain(plan, 1)
     }
 
@@ -168,7 +171,7 @@ impl<'p> ShardedSession<'p> {
     /// # Panics
     ///
     /// Panics if `chain` is zero.
-    pub fn with_chain(plan: &'p ShardedAutomaton, chain: usize) -> Self {
+    pub fn with_chain(plan: &'p ShardedAutomaton<P>, chain: usize) -> Self {
         assert!(chain > 0, "chain must be positive");
         ShardedSession {
             plan,
@@ -190,7 +193,7 @@ impl<'p> ShardedSession<'p> {
     }
 
     /// The shared sharded plan this session executes.
-    pub fn plan(&self) -> &'p ShardedAutomaton {
+    pub fn plan(&self) -> &'p ShardedAutomaton<P> {
         self.plan
     }
 
@@ -438,7 +441,7 @@ impl<'p> ShardedSession<'p> {
     }
 }
 
-impl Session for ShardedSession<'_> {
+impl<P: ExecutionPlan> Session for ShardedSession<'_, P> {
     fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
         // The global-sized scatter scratch is cached on the session so
         // per-chunk cost stays O(activity), not O(states) of fresh
@@ -482,7 +485,7 @@ impl Session for ShardedSession<'_> {
     }
 }
 
-impl FlowSession for ShardedSession<'_> {
+impl<P: ExecutionPlan> FlowSession for ShardedSession<'_, P> {
     fn suspend(&mut self) -> SuspendedFlow {
         let mut dynamic = Vec::new();
         for (shard, lane) in self.plan.shards().iter().zip(&self.lanes) {

@@ -12,15 +12,17 @@
 use cama::core::bitset::BitSet;
 use cama::core::bitwidth::{to_nibble_nfa, to_nibble_stream};
 use cama::core::compiled::{CompiledAutomaton, ShardedAutomaton};
+use cama::core::graph;
 use cama::core::regex::{self, reference};
 use cama::core::stride::StridedNfa;
 use cama::core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
-use cama::encoding::EncodingPlan;
+use cama::encoding::{EncodingPlan, Scheme};
 use cama::mem::{FullCrossbar, ReducedCrossbar, K_DIA};
 use cama::sim::frame::{encode_close, encode_frame};
 use cama::sim::{
-    AutomataEngine, BatchSimulator, ByteSession, FlowSession, FrameDecoder, InterpSimulator,
-    RunResult, Session, ShardedSimulator, Simulator, StreamId, StridedSimulator,
+    AutomataEngine, BatchSimulator, ByteSession, EncodedSession, EncodedSimulator, FlowSession,
+    FrameDecoder, InterpSimulator, RunResult, Session, ShardedSimulator, Simulator, StreamId,
+    StridedSimulator,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -621,6 +623,205 @@ fn encoding_is_exact_on_random_nfas() {
         assert!(plan.verify_exact(&nfa).is_ok(), "seed {seed}");
         // Entries are never fewer than states that need at least one.
         assert!(plan.total_entries() >= nfa.len(), "seed {seed}");
+    }
+}
+
+/// Every encoding configuration the toolchain can produce for a random
+/// NFA: the proposed pipeline (negation on), the negation-off baseline,
+/// and each explicit scheme with and without clustering (negation on).
+/// All four [`Scheme`] variants are sized to cover a full 256-symbol
+/// domain, which random negated classes force.
+fn all_encodings(nfa: &Nfa) -> Vec<(String, EncodingPlan)> {
+    let mut encodings = vec![
+        (
+            "proposed/negation-on".to_string(),
+            EncodingPlan::for_nfa(nfa),
+        ),
+        (
+            "raw/negation-off".to_string(),
+            EncodingPlan::without_negation(nfa),
+        ),
+    ];
+    let schemes = [
+        ("one_zero_256", Scheme::OneZero { len: 256 }),
+        ("multi_zeros_11", Scheme::MultiZeros { len: 11 }),
+        (
+            "two_zeros_prefix_32",
+            Scheme::TwoZerosPrefix {
+                prefix: 16,
+                suffix: 16,
+            },
+        ),
+        (
+            "one_zero_prefix_32",
+            Scheme::OneZeroPrefix {
+                prefix: 16,
+                suffix: 16,
+            },
+        ),
+    ];
+    for (name, scheme) in schemes {
+        for clustered in [true, false] {
+            encodings.push((
+                format!("{name}/clustered={clustered}"),
+                EncodingPlan::with_scheme(nfa, scheme, clustered),
+            ));
+        }
+    }
+    encodings
+}
+
+/// The encoding-aware tentpole invariant, flat one-shot path: for every
+/// scheme × clustering × negation configuration, executing on the
+/// compiled *encoded* plan (codebook lookup + encoded entry masks,
+/// inverters included) is bit-identical to the byte plan — reports,
+/// order, offsets, and activity statistics — with `verify_exact`
+/// cross-checking the static image on the same automata.
+#[test]
+fn encoded_execution_equals_byte_across_schemes() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE2C0_0000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let byte = Simulator::new(&nfa).run(&input);
+        for (label, encoding) in all_encodings(&nfa) {
+            encoding
+                .verify_exact(&nfa)
+                .unwrap_or_else(|e| panic!("seed {seed}, {label}: {e}"));
+            let mut sim = EncodedSimulator::with_encoding(&nfa, encoding);
+            assert_eq!(sim.run(&input), byte, "seed {seed}, {label}");
+        }
+    }
+}
+
+/// Chunked-session and framed-ingest paths of the encoded engine: both
+/// must equal byte one-shot runs for arbitrary chunk and frame
+/// boundaries, and the stream table must serve encoded flows unchanged.
+#[test]
+fn encoded_chunked_and_framed_equal_byte() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE2C0_1000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let chunks = random_chunks(&mut rng, &input);
+        let byte = Simulator::new(&nfa).run(&input);
+
+        let engine = EncodedSimulator::new(&nfa);
+        assert_eq!(
+            via_session(&engine, &chunks),
+            byte,
+            "seed {seed}: encoded session, chunks {chunks:?}"
+        );
+        let bytes: Vec<&[u8]> = input.chunks(1).collect();
+        assert_eq!(
+            via_session(&engine, &bytes),
+            byte,
+            "seed {seed}: encoded session, 1-byte chunks"
+        );
+
+        // Framed ingest over an encoded stream table.
+        let flows: Vec<Vec<u8>> = (0..rng.random_range(1..5usize))
+            .map(|_| random_input(&mut rng))
+            .collect();
+        let mut wire = Vec::new();
+        let mut remaining: Vec<&[u8]> = flows.iter().map(Vec::as_slice).collect();
+        while remaining.iter().any(|r| !r.is_empty()) {
+            for (id, rest) in remaining.iter_mut().enumerate() {
+                if rest.is_empty() {
+                    continue;
+                }
+                let take = rng.random_range(1..=rest.len().min(7));
+                let (frame, tail) = rest.split_at(take);
+                encode_frame(id as StreamId, frame, &mut wire);
+                *rest = tail;
+            }
+        }
+        for id in 0..flows.len() {
+            encode_close(id as StreamId, &mut wire);
+        }
+        let mut batch = BatchSimulator::new(engine.plan());
+        let mut decoder = FrameDecoder::new();
+        let mut closed: Vec<(StreamId, RunResult)> = Vec::new();
+        for piece in random_chunks(&mut rng, &wire) {
+            batch.ingest(&mut decoder, piece, &mut closed).unwrap();
+        }
+        assert_eq!(closed.len(), flows.len(), "seed {seed}");
+        let mut single = Simulator::new(&nfa);
+        for (stream, result) in closed {
+            assert_eq!(
+                result,
+                single.run(&flows[stream as usize]),
+                "seed {seed}, stream {stream}"
+            );
+        }
+    }
+}
+
+/// Sharded encoded execution — per-shard `CompiledEncodedAutomaton`s
+/// sharing one codebook — equals the flat byte engine for every
+/// assignment shape (single shard, split components, per-component),
+/// one-shot and chunked, and suspend/resume round-trips transparently
+/// through pooled sessions for both flat and sharded encoded flavours.
+#[test]
+fn encoded_sharded_and_suspend_resume_equal_byte() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE2C0_2000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let chunks = random_chunks(&mut rng, &input);
+        let byte = Simulator::new(&nfa).run(&input);
+        let encoding = EncodingPlan::for_nfa(&nfa);
+
+        let (component_ids, _) = graph::component_ids(&nfa);
+        let assignments: [Vec<u32>; 3] = [
+            vec![0; nfa.len()],
+            (0..nfa.len() as u32).map(|i| i % 2).collect(),
+            component_ids,
+        ];
+        for (kind, assignment) in assignments.iter().enumerate() {
+            let sharded = encoding.compile_sharded(&nfa, assignment);
+            let mut session = cama::sim::ShardedSession::new(&sharded);
+            session.feed(&input);
+            assert_eq!(
+                session.finish(),
+                byte,
+                "seed {seed}: sharded encoded one-shot, assignment {kind}"
+            );
+            for chunk in &chunks {
+                session.feed(chunk);
+            }
+            assert_eq!(
+                session.finish(),
+                byte,
+                "seed {seed}: sharded encoded chunked, assignment {kind}"
+            );
+        }
+
+        // Suspend/resume transparency, flat and sharded encoded.
+        let cut = rng.random_range(0..=input.len());
+        let flat_plan = encoding.compile(&nfa);
+        let mut a = EncodedSession::new(&flat_plan);
+        a.feed(&input[..cut]);
+        let parked = a.suspend();
+        a.feed(b"interloper traffic");
+        a.reset();
+        let mut b = EncodedSession::new(&flat_plan);
+        b.resume(parked);
+        b.feed(&input[cut..]);
+        assert_eq!(b.finish(), byte, "seed {seed}: flat encoded, cut {cut}");
+
+        let sharded_plan = encoding.compile_sharded(
+            &nfa,
+            &(0..nfa.len() as u32).map(|i| i % 2).collect::<Vec<_>>(),
+        );
+        let mut a = cama::sim::ShardedSession::new(&sharded_plan);
+        a.feed(&input[..cut]);
+        let parked = a.suspend();
+        a.reset();
+        let mut b = cama::sim::ShardedSession::new(&sharded_plan);
+        b.resume(parked);
+        b.feed(&input[cut..]);
+        assert_eq!(b.finish(), byte, "seed {seed}: sharded encoded, cut {cut}");
     }
 }
 
