@@ -340,6 +340,32 @@ impl<'a> EnergyObserver<'a> {
         Self::with_weights(design, mapping, lib, &starts, entry_weights)
     }
 
+    /// Convenience constructor for the encoded 2-stride path: start
+    /// flags from the [`StridedNfa`](cama_core::stride::StridedNfa),
+    /// slot weights from the executed encoded strided plan (`entry_weights()` of the flat or sharded
+    /// [`CompiledEncodedStridedAutomaton`](cama_core::compiled::CompiledEncodedStridedAutomaton)),
+    /// so per-half entry visits are charged off exactly the per-half
+    /// codebook image the functional engine searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_weights` does not cover every mapped strided
+    /// state.
+    pub fn for_encoded_strided(
+        design: DesignKind,
+        mapping: &'a Mapping,
+        lib: &CircuitLibrary,
+        strided: &cama_core::stride::StridedNfa,
+        entry_weights: Vec<u32>,
+    ) -> Self {
+        let starts: Vec<bool> = strided
+            .states()
+            .iter()
+            .map(|s| s.start == StartKind::AllInput)
+            .collect();
+        Self::with_weights(design, mapping, lib, &starts, entry_weights)
+    }
+
     fn partition_is_wide(&self, p: usize) -> bool {
         self.mapping.partitions[p].mode == PartitionMode::Wide
     }

@@ -47,6 +47,7 @@ pub use energy::{EnergyBreakdown, EnergyObserver};
 pub use hardware::{BankHardware, CamaHardware};
 pub use mapping::{map_design, map_strided, Mapping, Partition, PartitionMode};
 pub use report::{
-    evaluate, evaluate_serving, evaluate_strided, strided_weights, DesignReport, ServingReport,
+    evaluate, evaluate_serving, evaluate_serving_strided, evaluate_strided, strided_weights,
+    DesignReport, ServingReport,
 };
 pub use timing::{stage_delays, timing_report, StageDelays, TimingReport};

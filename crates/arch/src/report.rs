@@ -8,9 +8,9 @@ use crate::mapping::{map_design, map_strided, Mapping};
 use crate::timing::timing_report;
 use cama_core::stride::StridedNfa;
 use cama_core::{Nfa, StartKind};
-use cama_encoding::EncodingPlan;
+use cama_encoding::{EncodingPlan, StridedEncoding};
 use cama_mem::models::CircuitLibrary;
-use cama_sim::{EncodedSession, Session, Simulator, StridedSimulator};
+use cama_sim::{EncodedSession, EncodedStridedSession, Session, Simulator, StridedSimulator};
 
 /// Everything measured for one design on one workload.
 #[derive(Clone, Debug)]
@@ -116,6 +116,17 @@ pub fn evaluate_with_plan(
 ///
 /// `weights` are the per-strided-state slot counts (CAM entries for
 /// 2-stride CAMA, rectangle quads for 4-stride Impala).
+///
+/// 2-stride CAMA designs execute on the *encoded strided* engine: the
+/// functional run routes each half of every pair through its own
+/// codebook ([`StridedEncoding`]) and matches the per-half entry
+/// masks. Non-CAM strided designs run the byte-pair engine. Results
+/// are bit-identical either way. Energy is charged against the
+/// caller's `weights` in both cases — the Figure 13 convention, which
+/// keeps design columns comparable under one estimate; use
+/// [`evaluate_serving`] (or [`evaluate_serving_strided`]) when charges
+/// should come off the *executed* encoded plan's entry weights
+/// ([`EnergyObserver::for_encoded_strided`]).
 pub fn evaluate_strided(
     design: DesignKind,
     strided: &StridedNfa,
@@ -133,7 +144,14 @@ pub fn evaluate_strided(
         .map(|s| s.start == StartKind::AllInput)
         .collect();
     let mut observer = EnergyObserver::new(design, &mapping, &lib, &starts);
-    let result = StridedSimulator::new(strided).run_with(input, &mut observer);
+    let result = if design.is_cama() {
+        let compiled = EncodingPlan::compile_strided(strided);
+        let mut session = EncodedStridedSession::new(&compiled);
+        session.feed_with(input, &mut observer);
+        session.finish_with(&mut observer)
+    } else {
+        StridedSimulator::new(strided).run_with(input, &mut observer)
+    };
 
     DesignReport {
         design,
@@ -206,32 +224,17 @@ pub fn evaluate_serving(
     streams: &[&[u8]],
     plan: Option<&EncodingPlan>,
 ) -> ServingReport {
+    if design.bytes_per_cycle() == 2.0 {
+        // 2-stride designs serve through the strided sharded engines;
+        // the 1-stride encoding plan (if any) is not consulted — the
+        // per-half strided encodings are derived from the strided
+        // automaton itself.
+        return evaluate_serving_strided(design, &StridedNfa::from_nfa(nfa), streams);
+    }
     let lib = CircuitLibrary::tsmc28();
     let mapping = map_design(design, nfa, plan);
     let area = area_report(&mapping, &lib);
     let timing = timing_report(design, &lib);
-
-    /// Streams every flow through the table as an open→feed→close
-    /// session, energy accumulating across the whole batch.
-    fn serve<P>(
-        batch: &mut cama_sim::BatchSimulator<'_, cama_core::compiled::ShardedAutomaton<P>>,
-        streams: &[&[u8]],
-        observer: &mut EnergyObserver,
-    ) -> Vec<cama_sim::RunResult>
-    where
-        P: cama_core::compiled::ExecutionPlan + Clone + std::fmt::Debug,
-    {
-        streams
-            .iter()
-            .enumerate()
-            .map(|(id, stream)| {
-                let id = id as cama_sim::StreamId;
-                batch.open(id);
-                batch.feed_sharded_with(id, stream, observer);
-                batch.close(id)
-            })
-            .collect()
-    }
 
     let (results, energy) = if design.is_cama() {
         let encoding = plan.expect("CAMA serving requires an encoding plan");
@@ -252,6 +255,43 @@ pub fn evaluate_serving(
         (results, observer.breakdown)
     };
 
+    rollup(design, mapping, area, timing, results, energy, streams)
+}
+
+/// Streams every flow through the table as an open→feed→close session,
+/// energy accumulating across the whole batch (close-side flush cycles
+/// included — a strided flow's zero-padded final pair is charged like
+/// any other cycle).
+fn serve<P>(
+    batch: &mut cama_sim::BatchSimulator<'_, cama_core::compiled::ShardedAutomaton<P>>,
+    streams: &[&[u8]],
+    observer: &mut EnergyObserver,
+) -> Vec<cama_sim::RunResult>
+where
+    P: cama_sim::ShardedExecution + Clone + std::fmt::Debug,
+{
+    streams
+        .iter()
+        .enumerate()
+        .map(|(id, stream)| {
+            let id = id as cama_sim::StreamId;
+            batch.open(id);
+            batch.feed_sharded_with(id, stream, observer);
+            batch.close_sharded_with(id, observer)
+        })
+        .collect()
+}
+
+/// Assembles the [`ServingReport`] from one serving run's pieces.
+fn rollup(
+    design: DesignKind,
+    mapping: Mapping,
+    area: AreaReport,
+    timing: crate::timing::TimingReport,
+    results: Vec<cama_sim::RunResult>,
+    energy: EnergyBreakdown,
+    streams: &[&[u8]],
+) -> ServingReport {
     let reports_per_stream: Vec<usize> = results.iter().map(|r| r.reports.len()).collect();
     let total_reports = reports_per_stream.iter().sum();
     ServingReport {
@@ -266,6 +306,67 @@ pub fn evaluate_serving(
         reports_per_stream,
         total_bytes: streams.iter().map(|s| s.len()).sum(),
     }
+}
+
+/// The 2-stride serving path behind [`evaluate_serving`]: shards the
+/// strided automaton by the strided mapper's partitions and streams
+/// every flow through a strided sharded stream table.
+///
+/// 2-stride CAMA designs run the *encoded* strided shards
+/// ([`StridedEncoding::compile_sharded`]) with
+/// [`EnergyObserver::for_encoded_strided`] charging per-half entry
+/// visits off the executed plan's paired entry weights; non-CAM
+/// strided designs (4-stride Impala) run byte-pair shards with the
+/// [`strided_weights`] estimates. Reports are identical to the
+/// 1-stride engines on the same streams.
+pub fn evaluate_serving_strided(
+    design: DesignKind,
+    strided: &StridedNfa,
+    streams: &[&[u8]],
+) -> ServingReport {
+    assert_eq!(
+        design.bytes_per_cycle(),
+        2.0,
+        "{design} is not a 2-stride design"
+    );
+    let lib = CircuitLibrary::tsmc28();
+
+    let (results, energy, mapping) = if design.is_cama() {
+        let encoding = StridedEncoding::for_strided(strided);
+        let mapping = map_strided(design, strided, encoding.entry_weights());
+        let compiled = encoding.compile_sharded(strided, &mapping.partition_of);
+        // The executed shards' weights are the encoding's weights — one
+        // image, charged and searched alike.
+        let mut observer = EnergyObserver::for_encoded_strided(
+            design,
+            &mapping,
+            &lib,
+            strided,
+            compiled.entry_weights(),
+        );
+        let mut batch = cama_sim::BatchSimulator::new(&compiled);
+        let results = serve(&mut batch, streams, &mut observer);
+        (results, observer.breakdown, mapping)
+    } else {
+        let mapping = map_strided(design, strided, strided_weights(design, strided));
+        let compiled = cama_core::compiled::ShardedAutomaton::compile_strided_with_assignment(
+            strided,
+            &mapping.partition_of,
+        );
+        let starts: Vec<bool> = strided
+            .states()
+            .iter()
+            .map(|s| s.start == StartKind::AllInput)
+            .collect();
+        let mut observer = EnergyObserver::new(design, &mapping, &lib, &starts);
+        let mut batch = cama_sim::BatchSimulator::new(&compiled);
+        let results = serve(&mut batch, streams, &mut observer);
+        (results, observer.breakdown, mapping)
+    };
+
+    let area = area_report(&mapping, &lib);
+    let timing = timing_report(design, &lib);
+    rollup(design, mapping, area, timing, results, energy, streams)
 }
 
 /// Per-strided-state weights for the Figure 13 designs: the product of
@@ -429,6 +530,111 @@ mod tests {
             );
             assert!(close(got.encoder, want.encoder), "{design}");
         }
+    }
+
+    /// The acceptance bar of the strided rethreading: `evaluate_serving`
+    /// on the 2-stride reference designs (encoded strided sharded
+    /// engine, per-half codebooks, entry weights off the executed plan)
+    /// must agree with the byte-strided sharded path — same reports,
+    /// energy equal to 1e-9 — and with the 1-stride engines' reports.
+    #[test]
+    fn encoded_strided_serving_matches_byte_strided_serving() {
+        use crate::energy::EnergyObserver;
+        use cama_core::compiled::ShardedAutomaton;
+        use cama_encoding::StridedEncoding;
+        use cama_sim::{BatchSimulator, Simulator, StreamId};
+        let bench = Benchmark::Bro217;
+        let nfa = bench.generate(0.1);
+        // Mixed even and odd lengths: odd streams exercise the
+        // zero-padded flush pair on the serving path.
+        let streams: Vec<Vec<u8>> = (0..4)
+            .map(|seed| bench.input(&nfa, 256 + (seed as usize % 2), seed))
+            .collect();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let strided = StridedNfa::from_nfa(&nfa);
+        for design in [DesignKind::Cama2E, DesignKind::Cama2T] {
+            let serving = evaluate_serving(design, &nfa, &refs, None);
+
+            // The byte-strided path with the same (encoding-derived)
+            // weights and the same partition sharding.
+            let lib = CircuitLibrary::tsmc28();
+            let encoding = StridedEncoding::for_strided(&strided);
+            let mapping = map_strided(design, &strided, encoding.entry_weights());
+            let compiled =
+                ShardedAutomaton::compile_strided_with_assignment(&strided, &mapping.partition_of);
+            let starts: Vec<bool> = strided
+                .states()
+                .iter()
+                .map(|s| s.start == StartKind::AllInput)
+                .collect();
+            let mut observer = EnergyObserver::with_weights(
+                design,
+                &mapping,
+                &lib,
+                &starts,
+                encoding.entry_weights(),
+            );
+            let mut batch = BatchSimulator::new(&compiled);
+            let byte_results: Vec<cama_sim::RunResult> = refs
+                .iter()
+                .enumerate()
+                .map(|(id, stream)| {
+                    let id = id as StreamId;
+                    batch.open(id);
+                    batch.feed_sharded_with(id, stream, &mut observer);
+                    batch.close_sharded_with(id, &mut observer)
+                })
+                .collect();
+
+            // Identical functional results, also equal to the 1-stride
+            // engine's per-stream reports...
+            assert_eq!(
+                serving.reports_per_stream,
+                byte_results
+                    .iter()
+                    .map(|r| r.reports.len())
+                    .collect::<Vec<_>>(),
+                "{design}"
+            );
+            let mut single = Simulator::new(&nfa);
+            for (stream, &count) in refs.iter().zip(&serving.reports_per_stream) {
+                assert_eq!(single.run(stream).reports.len(), count, "{design}");
+            }
+            // ...and energy equal to 1e-9 relative.
+            let got = serving.design_report.energy;
+            let want = observer.breakdown;
+            assert_eq!(got.cycles, want.cycles, "{design}");
+            let close = |a: cama_mem::Energy, b: cama_mem::Energy| {
+                (a.value() - b.value()).abs() <= 1e-9 * a.value().abs().max(1.0)
+            };
+            assert!(
+                close(got.state_match, want.state_match),
+                "{design}: {got:?} vs {want:?}"
+            );
+            assert!(
+                close(got.switch_wire, want.switch_wire),
+                "{design}: {got:?} vs {want:?}"
+            );
+            assert!(close(got.encoder, want.encoder), "{design}");
+        }
+    }
+
+    /// 4-stride Impala serves through the byte-pair sharded engine;
+    /// report counts still match the 1-stride engine.
+    #[test]
+    fn non_cam_strided_serving_reports_match_flat_engine() {
+        use cama_sim::Simulator;
+        let bench = Benchmark::Brill;
+        let nfa = bench.generate(0.02);
+        let streams: Vec<Vec<u8>> = (0..3).map(|seed| bench.input(&nfa, 128, seed)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let serving = evaluate_serving(DesignKind::Impala4, &nfa, &refs, None);
+        let mut single = Simulator::new(&nfa);
+        for (stream, &count) in refs.iter().zip(&serving.reports_per_stream) {
+            assert_eq!(single.run(stream).reports.len(), count);
+        }
+        assert!(serving.energy_per_byte_nj() > 0.0);
+        assert_eq!(serving.design_report.design.bytes_per_cycle(), 2.0);
     }
 
     #[test]

@@ -8,15 +8,15 @@
 use cama_arch::designs::DesignKind;
 use cama_arch::energy::EnergyObserver;
 use cama_arch::mapping::map_design;
-use cama_core::compiled::{CompiledAutomaton, ShardedAutomaton};
+use cama_core::compiled::{CompiledAutomaton, CompiledStridedAutomaton, ShardedAutomaton};
 use cama_core::graph;
 use cama_core::stride::StridedNfa;
-use cama_encoding::{EncodingPlan, Scheme};
+use cama_encoding::{EncodingPlan, Scheme, StridedEncoding};
 use cama_mem::models::CircuitLibrary;
 use cama_sim::frame::{encode_close, encode_frame};
 use cama_sim::{
     AutomataEngine, BatchSimulator, EncodedSession, FrameDecoder, InterpSimulator, Session,
-    ShardedSession, Simulator, StreamId, StridedSimulator,
+    ShardedSession, Simulator, StreamId, StridedSession,
 };
 use cama_workloads::Benchmark;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -330,17 +330,144 @@ fn bench_with_energy(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 2-stride engines at parity with the byte datapath: naive scan
+/// (every word precharged) vs selective visitation vs sharded
+/// (idle arrays skipped), each in byte and encoded flavours. After the
+/// timed runs, one instrumented pass per configuration prints
+/// visited-word counts, like the `sharding` group.
 fn bench_strided(c: &mut Criterion) {
-    let nfa = Benchmark::Brill.generate(0.02);
-    let input = Benchmark::Brill.input(&nfa, INPUT_LEN, 1);
+    let nfa = Benchmark::Snort.generate(0.02);
+    let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
     let strided = StridedNfa::from_nfa(&nfa);
-    let mut group = c.benchmark_group("simulator");
+    let byte_plan = CompiledStridedAutomaton::compile(&strided);
+    let encoding = StridedEncoding::for_strided(&strided);
+    let encoded_plan = encoding.compile(&strided);
+    let (ids, components) = strided.component_ids();
+    let sharded_byte = ShardedAutomaton::compile_strided(&strided, 16);
+    let sharded_cc = ShardedAutomaton::compile_strided_per_component(&strided);
+    let sharded_encoded = encoding.compile_sharded(&strided, &ids);
+
+    let mut group = c.benchmark_group("strided");
     group.throughput(Throughput::Bytes(INPUT_LEN as u64));
-    group.bench_function("brill_two_stride", |b| {
-        let mut sim = StridedSimulator::new(&strided);
-        b.iter(|| black_box(sim.run(black_box(&input))))
+    group.bench_function("snort_byte_naive_scan", |b| {
+        let mut session = StridedSession::new(&byte_plan);
+        session.set_selective(false);
+        b.iter(|| {
+            session.feed(black_box(&input));
+            black_box(session.finish())
+        })
     });
+    group.bench_function("snort_byte_selective", |b| {
+        let mut session = StridedSession::new(&byte_plan);
+        b.iter(|| {
+            session.feed(black_box(&input));
+            black_box(session.finish())
+        })
+    });
+    group.bench_function("snort_encoded_naive_scan", |b| {
+        let mut session = StridedSession::new(&encoded_plan);
+        session.set_selective(false);
+        b.iter(|| {
+            session.feed(black_box(&input));
+            black_box(session.finish())
+        })
+    });
+    group.bench_function("snort_encoded_selective", |b| {
+        let mut session = StridedSession::new(&encoded_plan);
+        b.iter(|| {
+            session.feed(black_box(&input));
+            black_box(session.finish())
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("snort_byte_sharded", 16),
+        &sharded_byte,
+        |b, plan| {
+            let mut session = ShardedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&input));
+                black_box(session.finish())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("snort_byte_sharded", components),
+        &sharded_cc,
+        |b, plan| {
+            let mut session = ShardedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&input));
+                black_box(session.finish())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("snort_encoded_sharded", components),
+        &sharded_encoded,
+        |b, plan| {
+            let mut session = ShardedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&input));
+                black_box(session.finish())
+            })
+        },
+    );
     group.finish();
+
+    println!(
+        "strided visit counts (snort: {} strided states, {} components, {}-byte input, \
+         per-half codes {}+{} bits)",
+        strided.len(),
+        components,
+        input.len(),
+        encoding.first().code_len(),
+        encoding.second().code_len(),
+    );
+    for (label, selective) in [("naive_scan", false), ("selective ", true)] {
+        let mut session = StridedSession::new(&byte_plan);
+        session.set_selective(selective);
+        session.feed(&input);
+        session.finish();
+        let byte_words = session.words_visited();
+        let mut session = StridedSession::new(&encoded_plan);
+        session.set_selective(selective);
+        session.feed(&input);
+        session.finish();
+        println!(
+            "  flat {label}: {byte_words:>9} words visited (byte), {:>9} (encoded)",
+            session.words_visited()
+        );
+    }
+    for (label, plan_words) in [
+        ("sharded 16       ", {
+            let mut session = ShardedSession::new(&sharded_byte);
+            session.feed(&input);
+            session.finish();
+            session.take_stats()
+        }),
+        ("sharded per-comp ", {
+            let mut session = ShardedSession::new(&sharded_cc);
+            session.feed(&input);
+            session.finish();
+            session.take_stats()
+        }),
+        ("sharded enc comp ", {
+            let mut session = ShardedSession::new(&sharded_encoded);
+            session.feed(&input);
+            session.finish();
+            session.take_stats()
+        }),
+    ] {
+        let min = plan_words.shard_cycles.iter().min().copied().unwrap_or(0);
+        let max = plan_words.shard_cycles.iter().max().copied().unwrap_or(0);
+        println!(
+            "  {label}: {:>9} words visited, {:>8} shard-cycles run ({} skipped), \
+             per-shard visits {min}..{max}",
+            plan_words.words_visited,
+            plan_words.visited_shard_cycles(),
+            plan_words.skipped_shard_cycles,
+        );
+    }
 }
 
 criterion_group!(

@@ -209,6 +209,35 @@ impl BitSet {
         }
     }
 
+    /// Word-level three-way intersection into a destination:
+    /// `out = self & b & c`, 64 bits per operation. `out`'s previous
+    /// contents are overwritten.
+    ///
+    /// This is the materialized building-block form of the strided
+    /// engine's fused pair step (`active = first[a] & second[b] &
+    /// enabled`); the engine itself fuses the same AND with its
+    /// popcounts and scans per dirty word, while plan consumers that
+    /// want the three-way intersection materialized use this
+    /// combinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn and3_into(&self, b: &BitSet, c: &BitSet, out: &mut BitSet) {
+        assert_eq!(self.len, b.len, "bitset length mismatch");
+        assert_eq!(self.len, c.len, "bitset length mismatch");
+        assert_eq!(self.len, out.len, "bitset length mismatch");
+        for (((o, a), b), c) in out
+            .words
+            .iter_mut()
+            .zip(&self.words)
+            .zip(&b.words)
+            .zip(&c.words)
+        {
+            *o = a & b & c;
+        }
+    }
+
     /// Word-level union into a destination: `out = self | other`.
     ///
     /// # Panics
@@ -486,6 +515,39 @@ mod tests {
             out.iter().collect::<Vec<_>>(),
             vec![0, 63, 64, 99, 100, 129]
         );
+    }
+
+    #[test]
+    fn and3_into_matches_chained_intersections() {
+        let a = BitSet::from_indices(200, [0, 63, 64, 100, 128, 199]);
+        let b = BitSet::from_indices(200, [0, 63, 64, 99, 128, 199]);
+        let c = BitSet::from_indices(200, [0, 64, 100, 128, 199]);
+        let mut out = BitSet::full(200);
+        a.and3_into(&b, &c, &mut out);
+        let mut chained = a.clone();
+        chained.intersect_with(&b);
+        chained.intersect_with(&c);
+        assert_eq!(out, chained);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![0, 64, 128, 199]);
+        // Disjoint third operand empties the result.
+        let empty = BitSet::new(200);
+        a.and3_into(&b, &empty, &mut out);
+        assert!(out.is_empty());
+        // Zero-capacity sets are a no-op.
+        let zero = BitSet::new(0);
+        let mut zout = BitSet::new(0);
+        zero.and3_into(&zero, &zero, &mut zout);
+        assert!(zout.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and3_into_length_mismatch_panics() {
+        let a = BitSet::new(8);
+        let b = BitSet::new(8);
+        let c = BitSet::new(16);
+        let mut out = BitSet::new(8);
+        a.and3_into(&b, &c, &mut out);
     }
 
     #[test]

@@ -247,17 +247,12 @@ fn build_start_masks(nfa: &Nfa) -> (BitSet, BitSet) {
     (all_input, start_of_data)
 }
 
-/// The per-cycle row interface a byte-stream execution plan exposes to
-/// the engines: per-symbol match and start-match rows with their
-/// one-bit-per-word summaries, start masks, packed report metadata, and
-/// the CSR successor adjacency.
-///
-/// Implemented by [`CompiledAutomaton`] (rows indexed directly by the
-/// raw 8-bit symbol) and [`CompiledEncodedAutomaton`] (rows indexed by
-/// the encoded code the input encoder produces for the symbol), so a
-/// single stepping loop in `cama-sim` — and a single [`ShardedAutomaton`]
-/// shell — drives both layouts.
-pub trait ExecutionPlan: Sync {
+/// The plan shape every compiled flavour shares — state count, start
+/// masks, packed report mask, and the CSR successor adjacency — split
+/// out of [`ExecutionPlan`] so the [`ShardedAutomaton`] shell (and any
+/// other plan consumer that does not step cycles itself) can hold byte,
+/// encoded, and strided plans behind one bound.
+pub trait PlanBase: Sync {
     /// Number of states.
     fn len(&self) -> usize;
 
@@ -268,19 +263,6 @@ pub trait ExecutionPlan: Sync {
 
     /// Total number of activation edges.
     fn num_edges(&self) -> usize;
-
-    /// The match vector of `symbol`: every state accepting it.
-    fn match_vector(&self, symbol: u8) -> &BitSet;
-
-    /// The word-level summary of [`match_vector`](Self::match_vector).
-    fn match_any(&self, symbol: u8) -> &[u64];
-
-    /// The statically matched start states for `symbol`:
-    /// `match_vector(symbol) & all_input_mask()`.
-    fn start_match(&self, symbol: u8) -> &BitSet;
-
-    /// The word-level summary of [`start_match`](Self::start_match).
-    fn start_match_any(&self, symbol: u8) -> &[u64];
 
     /// States statically enabled on every cycle (`all-input` starts).
     fn all_input_mask(&self) -> &BitSet;
@@ -295,21 +277,93 @@ pub trait ExecutionPlan: Sync {
     /// The mask of reporting states.
     fn report_mask(&self) -> &BitSet;
 
-    /// The report code of a state known to report (O(1), packed).
-    ///
-    /// # Panics
-    ///
-    /// May panic or return an arbitrary code if `state` is not
-    /// reporting; callers must consult [`report_mask`](Self::report_mask)
-    /// first.
-    fn report_code_unchecked(&self, state: usize) -> u32;
-
     /// CSR successor slice of `state`.
     ///
     /// # Panics
     ///
     /// Panics if `state` is out of range.
     fn successors(&self, state: usize) -> &[u32];
+}
+
+/// The per-cycle row interface a byte-stream execution plan exposes to
+/// the engines: per-symbol match and start-match rows with their
+/// one-bit-per-word summaries, start masks, packed report metadata, and
+/// the CSR successor adjacency.
+///
+/// Implemented by [`CompiledAutomaton`] (rows indexed directly by the
+/// raw 8-bit symbol) and [`CompiledEncodedAutomaton`] (rows indexed by
+/// the encoded code the input encoder produces for the symbol), so a
+/// single stepping loop in `cama-sim` — and a single [`ShardedAutomaton`]
+/// shell — drives both layouts. The paired-symbol counterpart is
+/// [`StridedPlan`].
+pub trait ExecutionPlan: PlanBase {
+    /// The match vector of `symbol`: every state accepting it.
+    fn match_vector(&self, symbol: u8) -> &BitSet;
+
+    /// The word-level summary of [`match_vector`](Self::match_vector).
+    fn match_any(&self, symbol: u8) -> &[u64];
+
+    /// The statically matched start states for `symbol`:
+    /// `match_vector(symbol) & all_input_mask()`.
+    fn start_match(&self, symbol: u8) -> &BitSet;
+
+    /// The word-level summary of [`start_match`](Self::start_match).
+    fn start_match_any(&self, symbol: u8) -> &[u64];
+
+    /// The report code of a state known to report (O(1), packed).
+    ///
+    /// # Panics
+    ///
+    /// May panic or return an arbitrary code if `state` is not
+    /// reporting; callers must consult [`report_mask`](PlanBase::report_mask)
+    /// first.
+    fn report_code_unchecked(&self, state: usize) -> u32;
+}
+
+/// The paired-symbol flavour of [`ExecutionPlan`]: the per-cycle row
+/// interface of a 2-stride plan, factored per half. A pair cycle's
+/// activation is `first[a] & second[b] & enabled`, so the plan exposes
+/// each half's match rows (and the *first* half's precompiled
+/// start-match rows, `first[a] & all_input`) with their word summaries;
+/// the engines fuse the three-way AND per dirty word, skipping 64-state
+/// words either half's summary rules out — the strided form of CAMA's
+/// selective precharge.
+///
+/// Implemented by [`CompiledStridedAutomaton`] (halves indexed by raw
+/// bytes) and [`CompiledEncodedStridedAutomaton`] (each half routed
+/// through its own codebook), so a single paired stepping loop in
+/// `cama-sim` — and the same [`ShardedAutomaton`] shell — drives both.
+pub trait StridedPlan: PlanBase {
+    /// The first-half match vector: states whose first class accepts `a`.
+    fn first_vector(&self, a: u8) -> &BitSet;
+
+    /// The word-level summary of [`first_vector`](Self::first_vector).
+    fn first_any(&self, a: u8) -> &[u64];
+
+    /// The second-half match vector: states whose second class accepts
+    /// `b`.
+    fn second_vector(&self, b: u8) -> &BitSet;
+
+    /// The word-level summary of [`second_vector`](Self::second_vector).
+    fn second_any(&self, b: u8) -> &[u64];
+
+    /// The statically matched start states for first symbol `a`:
+    /// `first_vector(a) & all_input_mask()`. ANDed with
+    /// [`second_vector`](Self::second_vector) this is the pair cycle's
+    /// start injection.
+    fn first_start_match(&self, a: u8) -> &BitSet;
+
+    /// The word-level summary of
+    /// [`first_start_match`](Self::first_start_match).
+    fn first_start_match_any(&self, a: u8) -> &[u64];
+
+    /// The `(code, phase)` of a reporting state (O(1), packed).
+    ///
+    /// # Panics
+    ///
+    /// May panic or return arbitrary data if `state` is not reporting;
+    /// callers must consult [`report_mask`](PlanBase::report_mask) first.
+    fn report_pair_unchecked(&self, state: usize) -> (u32, ReportPhase);
 }
 
 impl CompiledAutomaton {
@@ -464,29 +518,13 @@ impl CompiledAutomaton {
     }
 }
 
-impl ExecutionPlan for CompiledAutomaton {
+impl PlanBase for CompiledAutomaton {
     fn len(&self) -> usize {
         CompiledAutomaton::len(self)
     }
 
     fn num_edges(&self) -> usize {
         CompiledAutomaton::num_edges(self)
-    }
-
-    fn match_vector(&self, symbol: u8) -> &BitSet {
-        CompiledAutomaton::match_vector(self, symbol)
-    }
-
-    fn match_any(&self, symbol: u8) -> &[u64] {
-        CompiledAutomaton::match_any(self, symbol)
-    }
-
-    fn start_match(&self, symbol: u8) -> &BitSet {
-        CompiledAutomaton::start_match(self, symbol)
-    }
-
-    fn start_match_any(&self, symbol: u8) -> &[u64] {
-        CompiledAutomaton::start_match_any(self, symbol)
     }
 
     fn all_input_mask(&self) -> &BitSet {
@@ -505,12 +543,30 @@ impl ExecutionPlan for CompiledAutomaton {
         CompiledAutomaton::report_mask(self)
     }
 
-    fn report_code_unchecked(&self, state: usize) -> u32 {
-        CompiledAutomaton::report_code_unchecked(self, state)
-    }
-
     fn successors(&self, state: usize) -> &[u32] {
         CompiledAutomaton::successors(self, state)
+    }
+}
+
+impl ExecutionPlan for CompiledAutomaton {
+    fn match_vector(&self, symbol: u8) -> &BitSet {
+        CompiledAutomaton::match_vector(self, symbol)
+    }
+
+    fn match_any(&self, symbol: u8) -> &[u64] {
+        CompiledAutomaton::match_any(self, symbol)
+    }
+
+    fn start_match(&self, symbol: u8) -> &BitSet {
+        CompiledAutomaton::start_match(self, symbol)
+    }
+
+    fn start_match_any(&self, symbol: u8) -> &[u64] {
+        CompiledAutomaton::start_match_any(self, symbol)
+    }
+
+    fn report_code_unchecked(&self, state: usize) -> u32 {
+        CompiledAutomaton::report_code_unchecked(self, state)
     }
 }
 
@@ -827,29 +883,13 @@ impl CompiledEncodedAutomaton {
     }
 }
 
-impl ExecutionPlan for CompiledEncodedAutomaton {
+impl PlanBase for CompiledEncodedAutomaton {
     fn len(&self) -> usize {
         CompiledEncodedAutomaton::len(self)
     }
 
     fn num_edges(&self) -> usize {
         CompiledEncodedAutomaton::num_edges(self)
-    }
-
-    fn match_vector(&self, symbol: u8) -> &BitSet {
-        CompiledEncodedAutomaton::match_vector(self, symbol)
-    }
-
-    fn match_any(&self, symbol: u8) -> &[u64] {
-        CompiledEncodedAutomaton::match_any(self, symbol)
-    }
-
-    fn start_match(&self, symbol: u8) -> &BitSet {
-        CompiledEncodedAutomaton::start_match(self, symbol)
-    }
-
-    fn start_match_any(&self, symbol: u8) -> &[u64] {
-        CompiledEncodedAutomaton::start_match_any(self, symbol)
     }
 
     fn all_input_mask(&self) -> &BitSet {
@@ -868,12 +908,30 @@ impl ExecutionPlan for CompiledEncodedAutomaton {
         CompiledEncodedAutomaton::report_mask(self)
     }
 
-    fn report_code_unchecked(&self, state: usize) -> u32 {
-        CompiledEncodedAutomaton::report_code_unchecked(self, state)
-    }
-
     fn successors(&self, state: usize) -> &[u32] {
         CompiledEncodedAutomaton::successors(self, state)
+    }
+}
+
+impl ExecutionPlan for CompiledEncodedAutomaton {
+    fn match_vector(&self, symbol: u8) -> &BitSet {
+        CompiledEncodedAutomaton::match_vector(self, symbol)
+    }
+
+    fn match_any(&self, symbol: u8) -> &[u64] {
+        CompiledEncodedAutomaton::match_any(self, symbol)
+    }
+
+    fn start_match(&self, symbol: u8) -> &BitSet {
+        CompiledEncodedAutomaton::start_match(self, symbol)
+    }
+
+    fn start_match_any(&self, symbol: u8) -> &[u64] {
+        CompiledEncodedAutomaton::start_match_any(self, symbol)
+    }
+
+    fn report_code_unchecked(&self, state: usize) -> u32 {
+        CompiledEncodedAutomaton::report_code_unchecked(self, state)
     }
 }
 
@@ -884,16 +942,33 @@ impl ExecutionPlan for CompiledEncodedAutomaton {
 /// vector factors into two 256-entry tables combined with one AND:
 /// `first_table[a] & second_table[b]`. This avoids the 64 Ki-entry
 /// squared-alphabet table while keeping the step word-level.
+///
+/// Like the byte plan, every table carries a one-bit-per-word summary
+/// hierarchy and the first half's start-match rows
+/// (`first_table[a] & all_input`) are precompiled, so the strided
+/// engines visit only 64-state words both halves *and* an enable source
+/// mark — the 2-stride form of CAMA's selective precharge
+/// ([`StridedPlan`] is the trait the engines consume).
 #[derive(Clone, Debug)]
 pub struct CompiledStridedAutomaton {
     len: usize,
     name: String,
     first_table: Vec<BitSet>,
     second_table: Vec<BitSet>,
+    /// Two-level hierarchies over the two tables: bit `j` of
+    /// `first_any[a]` is set iff word `j` of `first_table[a]` is nonzero.
+    first_any: Vec<Vec<u64>>,
+    second_any: Vec<Vec<u64>>,
+    /// `first_start_match[a] = first_table[a] & all_input`: the pair
+    /// cycle's start injection, pending the AND with `second_table[b]`.
+    first_start_match: Vec<BitSet>,
+    first_start_match_any: Vec<Vec<u64>>,
     succ_offsets: Vec<u32>,
     successors: Vec<u32>,
     all_input: BitSet,
+    all_input_any: Vec<u64>,
     start_of_data: BitSet,
+    start_of_data_any: Vec<u64>,
     reports: ReportTable,
     /// Phase of each reporting state, rank-indexed like the codes.
     phases: Vec<ReportPhase>,
@@ -941,15 +1016,27 @@ impl CompiledStridedAutomaton {
                 .filter_map(|(i, s)| s.report.map(|(code, _)| (i, code))),
         );
 
+        // The first half gets the same derived acceleration rows as a
+        // byte plan (start-match rows + summaries); the second half only
+        // needs its nonzero-word summaries.
+        let derived = derive_rows(&first_table, &all_input, &start_of_data);
+        let second_any = second_table.iter().map(word_summary).collect();
+
         CompiledStridedAutomaton {
             len: n,
             name: nfa.name().to_string(),
             first_table,
             second_table,
+            first_any: derived.match_any,
+            second_any,
+            first_start_match: derived.start_match,
+            first_start_match_any: derived.start_match_any,
             succ_offsets,
             successors,
             all_input,
+            all_input_any: derived.all_input_any,
             start_of_data,
+            start_of_data_any: derived.start_of_data_any,
             reports,
             phases,
         }
@@ -987,15 +1074,51 @@ impl CompiledStridedAutomaton {
         &self.second_table[symbol as usize]
     }
 
+    /// The word-level summary of [`first_table`](Self::first_table).
+    pub fn first_table_any(&self, symbol: u8) -> &[u64] {
+        &self.first_any[symbol as usize]
+    }
+
+    /// The word-level summary of [`second_table`](Self::second_table).
+    pub fn second_table_any(&self, symbol: u8) -> &[u64] {
+        &self.second_any[symbol as usize]
+    }
+
+    /// The word-level summary of [`all_input_mask`](Self::all_input_mask).
+    pub fn all_input_any(&self) -> &[u64] {
+        &self.all_input_any
+    }
+
     /// Computes the pair match vector `first_table[a] & second_table[b]`
     /// into `out` — the materialized form for plan consumers; the
     /// strided engine fuses the same AND into its per-word step.
     ///
+    /// `out` may have any capacity: it is resized (reallocated) to
+    /// [`len`](Self::len) when it does not match, so plan consumers can
+    /// reuse one scratch set across plans of different sizes without a
+    /// panic surfacing from deep inside the step. Pass a correctly
+    /// sized set to keep the call allocation-free.
+    pub fn match_pair_into(&self, a: u8, b: u8, out: &mut BitSet) {
+        if out.len() != self.len {
+            *out = BitSet::new(self.len);
+        }
+        self.first_table[a as usize].and_into(&self.second_table[b as usize], out);
+    }
+
+    /// Computes the pair cycle's *active* vector
+    /// `first_table[a] & second_table[b] & enabled` into `out` (the
+    /// materialized form of the engines' fused step, built on
+    /// [`BitSet::and3_into`]). `out` is resized like
+    /// [`match_pair_into`](Self::match_pair_into).
+    ///
     /// # Panics
     ///
-    /// Panics if `out`'s capacity differs from [`len`](Self::len).
-    pub fn match_pair_into(&self, a: u8, b: u8, out: &mut BitSet) {
-        self.first_table[a as usize].and_into(&self.second_table[b as usize], out);
+    /// Panics if `enabled`'s capacity differs from [`len`](Self::len).
+    pub fn match_pair_enabled_into(&self, a: u8, b: u8, enabled: &BitSet, out: &mut BitSet) {
+        if out.len() != self.len {
+            *out = BitSet::new(self.len);
+        }
+        self.first_table[a as usize].and3_into(&self.second_table[b as usize], enabled, out);
     }
 
     /// CSR successor slice of `state`.
@@ -1033,6 +1156,467 @@ impl CompiledStridedAutomaton {
     }
 }
 
+impl PlanBase for CompiledStridedAutomaton {
+    fn len(&self) -> usize {
+        CompiledStridedAutomaton::len(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CompiledStridedAutomaton::num_edges(self)
+    }
+
+    fn all_input_mask(&self) -> &BitSet {
+        CompiledStridedAutomaton::all_input_mask(self)
+    }
+
+    fn start_of_data_mask(&self) -> &BitSet {
+        CompiledStridedAutomaton::start_of_data_mask(self)
+    }
+
+    fn start_of_data_any(&self) -> &[u64] {
+        &self.start_of_data_any
+    }
+
+    fn report_mask(&self) -> &BitSet {
+        CompiledStridedAutomaton::report_mask(self)
+    }
+
+    fn successors(&self, state: usize) -> &[u32] {
+        CompiledStridedAutomaton::successors(self, state)
+    }
+}
+
+impl StridedPlan for CompiledStridedAutomaton {
+    fn first_vector(&self, a: u8) -> &BitSet {
+        &self.first_table[a as usize]
+    }
+
+    fn first_any(&self, a: u8) -> &[u64] {
+        &self.first_any[a as usize]
+    }
+
+    fn second_vector(&self, b: u8) -> &BitSet {
+        &self.second_table[b as usize]
+    }
+
+    fn second_any(&self, b: u8) -> &[u64] {
+        &self.second_any[b as usize]
+    }
+
+    fn first_start_match(&self, a: u8) -> &BitSet {
+        &self.first_start_match[a as usize]
+    }
+
+    fn first_start_match_any(&self, a: u8) -> &[u64] {
+        &self.first_start_match_any[a as usize]
+    }
+
+    fn report_pair_unchecked(&self, state: usize) -> (u32, ReportPhase) {
+        CompiledStridedAutomaton::report_unchecked(self, state)
+    }
+}
+
+/// One half of an encoded 2-stride codebook, described as closures —
+/// how [`CompiledEncodedStridedAutomaton::compile_with`] receives the
+/// encoding toolchain's output without `cama-core` depending on any
+/// concrete toolchain (mirroring
+/// [`CompiledEncodedAutomaton::compile_with`], once per half):
+///
+/// * `encode(symbol)` — the half's input-encoder lookup: the code row
+///   of a symbol (`0..num_codes`), or `None` for the reserved
+///   out-of-domain word;
+/// * `matches(state, row)` — the CAM search outcome of the half: does
+///   the state's stored entries for this half (inverter included)
+///   match the code of `row` (`None` = reserved word);
+/// * `entries(state)` — CAM entries the state stores for this half;
+/// * `negated(state)` — whether the half's row output is inverted.
+pub struct StridedHalfSpec<'a> {
+    /// Code width of this half in bits.
+    pub code_len: usize,
+    /// Number of in-domain code rows of this half.
+    pub num_codes: usize,
+    /// The input-encoder lookup.
+    pub encode: Box<dyn Fn(u8) -> Option<u16> + 'a>,
+    /// The per-(state, row) CAM search outcome.
+    pub matches: Box<dyn Fn(usize, Option<u16>) -> bool + 'a>,
+    /// Entries stored per state for this half.
+    pub entries: Box<dyn Fn(usize) -> u32 + 'a>,
+    /// Whether a state's row output is inverted for this half.
+    pub negated: Box<dyn Fn(usize) -> bool + 'a>,
+}
+
+/// One compiled half of a [`CompiledEncodedStridedAutomaton`]: the
+/// half's encoder image and its code-indexed match rows (last row
+/// reserved for out-of-domain symbols).
+#[derive(Clone, Debug)]
+struct EncodedStridedHalf {
+    code_len: usize,
+    num_codes: usize,
+    /// Symbol → row index (the half's input-encoder image).
+    encoder: Vec<u16>,
+    /// `match_table[row]`: states whose stored entries for this half
+    /// match the row's code (rows `0..num_codes`), or the reserved word.
+    match_table: Vec<BitSet>,
+    match_any: Vec<Vec<u64>>,
+    entries_of: Vec<u32>,
+    negated: BitSet,
+}
+
+impl EncodedStridedHalf {
+    fn build(n: usize, spec: &StridedHalfSpec<'_>) -> EncodedStridedHalf {
+        assert!(spec.num_codes < u16::MAX as usize, "too many codes");
+        let reserved = spec.num_codes as u16;
+        let encoder: Vec<u16> = (0..ALPHABET)
+            .map(|symbol| match (spec.encode)(symbol as u8) {
+                Some(row) => {
+                    assert!(
+                        (row as usize) < spec.num_codes,
+                        "code row {row} out of range (num_codes {})",
+                        spec.num_codes
+                    );
+                    row
+                }
+                None => reserved,
+            })
+            .collect();
+        let mut match_table = vec![BitSet::new(n); spec.num_codes + 1];
+        let mut entries_of = Vec::with_capacity(n);
+        let mut negated = BitSet::new(n);
+        for state in 0..n {
+            for (row, vector) in match_table.iter_mut().enumerate() {
+                let code = (row < spec.num_codes).then_some(row as u16);
+                if (spec.matches)(state, code) {
+                    vector.insert(state);
+                }
+            }
+            entries_of.push((spec.entries)(state));
+            if (spec.negated)(state) {
+                negated.insert(state);
+            }
+        }
+        let match_any = match_table.iter().map(word_summary).collect();
+        EncodedStridedHalf {
+            code_len: spec.code_len,
+            num_codes: spec.num_codes,
+            encoder,
+            match_table,
+            match_any,
+            entries_of,
+            negated,
+        }
+    }
+
+    fn row_of(&self, symbol: u8) -> usize {
+        self.encoder[symbol as usize] as usize
+    }
+}
+
+/// The encoding-aware 2-stride execution plan: each half of the pair
+/// datapath gets its own codebook (per-half input encoder and
+/// code-indexed match rows, with a reserved out-of-domain row per
+/// half), and a pair cycle ANDs the two halves' rows — the software
+/// form of CAMA's two-segment match CAM searching the concatenated
+/// per-half codes (cf. the banked arrays of Jarollahi et al.'s
+/// clustered low-power CAM).
+///
+/// Each half's rows are derived at compile time by searching that
+/// half's codes against every state's stored entries for the half —
+/// Negation Optimization inverters included — so the functional engine
+/// exercises exactly the per-half entry layout the energy model
+/// charges. Everything else (CSR adjacency, packed `(code, phase)`
+/// report metadata, precompiled first-half `start_match` rows, word
+/// summaries) has the same shape as [`CompiledStridedAutomaton`], so
+/// the identical paired stepping loop executes both — bit-identically
+/// whenever each half's encoding is exact, which the differential
+/// harnesses in `tests/property.rs` assert per scheme.
+///
+/// Construction is closure-based
+/// ([`compile_with`](CompiledEncodedStridedAutomaton::compile_with),
+/// one [`StridedHalfSpec`] per half);
+/// `cama_encoding::StridedEncoding::compile` is the canonical caller.
+#[derive(Clone, Debug)]
+pub struct CompiledEncodedStridedAutomaton {
+    len: usize,
+    name: String,
+    first: EncodedStridedHalf,
+    second: EncodedStridedHalf,
+    /// `first_start_match[row] = first.match_table[row] & all_input`.
+    first_start_match: Vec<BitSet>,
+    first_start_match_any: Vec<Vec<u64>>,
+    succ_offsets: Vec<u32>,
+    successors: Vec<u32>,
+    all_input: BitSet,
+    all_input_any: Vec<u64>,
+    start_of_data: BitSet,
+    start_of_data_any: Vec<u64>,
+    reports: ReportTable,
+    phases: Vec<ReportPhase>,
+}
+
+impl CompiledEncodedStridedAutomaton {
+    /// Compiles `nfa` against one codebook per half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a half's `encode` returns a row at or beyond its
+    /// `num_codes`, or if a half has more than `u16::MAX` codes.
+    pub fn compile_with(
+        nfa: &StridedNfa,
+        first: StridedHalfSpec<'_>,
+        second: StridedHalfSpec<'_>,
+    ) -> CompiledEncodedStridedAutomaton {
+        let n = nfa.len();
+        let first = EncodedStridedHalf::build(n, &first);
+        let second = EncodedStridedHalf::build(n, &second);
+
+        let mut all_input = BitSet::new(n);
+        let mut start_of_data = BitSet::new(n);
+        let mut phases = Vec::new();
+        for (i, state) in nfa.states().iter().enumerate() {
+            match state.start {
+                StartKind::AllInput => all_input.insert(i),
+                StartKind::StartOfData => start_of_data.insert(i),
+                StartKind::None => {}
+            }
+            if let Some((_, phase)) = state.report {
+                phases.push(phase);
+            }
+        }
+
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        let mut successors = Vec::with_capacity(nfa.num_edges());
+        succ_offsets.push(0);
+        for i in 0..n {
+            successors.extend_from_slice(nfa.successors(i));
+            succ_offsets.push(successors.len() as u32);
+        }
+
+        let reports = ReportTable::build(
+            n,
+            nfa.states()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.report.map(|(code, _)| (i, code))),
+        );
+
+        let derived = derive_rows(&first.match_table, &all_input, &start_of_data);
+
+        CompiledEncodedStridedAutomaton {
+            len: n,
+            name: nfa.name().to_string(),
+            first,
+            second,
+            first_start_match: derived.start_match,
+            first_start_match_any: derived.start_match_any,
+            succ_offsets,
+            successors,
+            all_input,
+            all_input_any: derived.all_input_any,
+            start_of_data,
+            start_of_data_any: derived.start_of_data_any,
+            reports,
+            phases,
+        }
+    }
+
+    /// Number of strided states.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan has no states.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The compiled automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of activation edges.
+    pub fn num_edges(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// The two halves' code lengths in bits (the simulated search word
+    /// is their concatenation).
+    pub fn code_lens(&self) -> (usize, usize) {
+        (self.first.code_len, self.second.code_len)
+    }
+
+    /// The two halves' in-domain code-row counts (each half has one
+    /// extra reserved out-of-domain row).
+    pub fn num_codes(&self) -> (usize, usize) {
+        (self.first.num_codes, self.second.num_codes)
+    }
+
+    /// The first half's input-encoder lookup: the code row `a` drives,
+    /// or `None` when `a` is outside the half's codebook domain.
+    pub fn encode_first(&self, a: u8) -> Option<u16> {
+        let row = self.first.encoder[a as usize];
+        ((row as usize) < self.first.num_codes).then_some(row)
+    }
+
+    /// The second half's input-encoder lookup.
+    pub fn encode_second(&self, b: u8) -> Option<u16> {
+        let row = self.second.encoder[b as usize];
+        ((row as usize) < self.second.num_codes).then_some(row)
+    }
+
+    /// CAM entries stored by `state`, per half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn half_entries_of(&self, state: usize) -> (u32, u32) {
+        (self.first.entries_of[state], self.second.entries_of[state])
+    }
+
+    /// CAM entries `state` occupies in the two-segment match CAM: one
+    /// concatenated entry per (first entry, second entry) combination,
+    /// capped at the 64-entry per-state budget the strided mapper packs
+    /// with (matching `cama_arch::strided_weights`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn entries_of(&self, state: usize) -> u32 {
+        let (f, s) = self.half_entries_of(state);
+        (f.max(1) * s.max(1)).min(64)
+    }
+
+    /// Per-state slot weights for the strided mapper/energy model: the
+    /// paired entry count of [`entries_of`](Self::entries_of), at least
+    /// 1 per state.
+    pub fn entry_weights(&self) -> Vec<u32> {
+        (0..self.len).map(|s| self.entries_of(s).max(1)).collect()
+    }
+
+    /// Total paired CAM entries across all states.
+    pub fn total_entries(&self) -> usize {
+        (0..self.len).map(|s| self.entries_of(s) as usize).sum()
+    }
+
+    /// Number of states whose row output is inverted, per half.
+    pub fn negated_states(&self) -> (usize, usize) {
+        (
+            self.first.negated.iter().count(),
+            self.second.negated.iter().count(),
+        )
+    }
+
+    /// Computes the pair match vector into `out`, resizing it like
+    /// [`CompiledStridedAutomaton::match_pair_into`] — both halves run
+    /// through their encoder lookups first.
+    pub fn match_pair_into(&self, a: u8, b: u8, out: &mut BitSet) {
+        if out.len() != self.len {
+            *out = BitSet::new(self.len);
+        }
+        self.first.match_table[self.first.row_of(a)]
+            .and_into(&self.second.match_table[self.second.row_of(b)], out);
+    }
+
+    /// CSR successor slice of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn successors(&self, state: usize) -> &[u32] {
+        &self.successors[self.succ_offsets[state] as usize..self.succ_offsets[state + 1] as usize]
+    }
+
+    /// Strided states statically enabled on every pair cycle.
+    pub fn all_input_mask(&self) -> &BitSet {
+        &self.all_input
+    }
+
+    /// The word-level summary of [`all_input_mask`](Self::all_input_mask).
+    pub fn all_input_any(&self) -> &[u64] {
+        &self.all_input_any
+    }
+
+    /// Strided states enabled only on the first pair cycle.
+    pub fn start_of_data_mask(&self) -> &BitSet {
+        &self.start_of_data
+    }
+
+    /// The mask of reporting states.
+    pub fn report_mask(&self) -> &BitSet {
+        self.reports.mask()
+    }
+
+    /// The `(code, phase)` of a reporting state (O(1), packed).
+    ///
+    /// # Panics
+    ///
+    /// May panic or return arbitrary data if `state` is not reporting.
+    pub fn report_unchecked(&self, state: usize) -> (u32, ReportPhase) {
+        let rank = self.reports.rank(state);
+        (self.reports.codes[rank], self.phases[rank])
+    }
+}
+
+impl PlanBase for CompiledEncodedStridedAutomaton {
+    fn len(&self) -> usize {
+        CompiledEncodedStridedAutomaton::len(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CompiledEncodedStridedAutomaton::num_edges(self)
+    }
+
+    fn all_input_mask(&self) -> &BitSet {
+        CompiledEncodedStridedAutomaton::all_input_mask(self)
+    }
+
+    fn start_of_data_mask(&self) -> &BitSet {
+        CompiledEncodedStridedAutomaton::start_of_data_mask(self)
+    }
+
+    fn start_of_data_any(&self) -> &[u64] {
+        &self.start_of_data_any
+    }
+
+    fn report_mask(&self) -> &BitSet {
+        CompiledEncodedStridedAutomaton::report_mask(self)
+    }
+
+    fn successors(&self, state: usize) -> &[u32] {
+        CompiledEncodedStridedAutomaton::successors(self, state)
+    }
+}
+
+impl StridedPlan for CompiledEncodedStridedAutomaton {
+    fn first_vector(&self, a: u8) -> &BitSet {
+        &self.first.match_table[self.first.row_of(a)]
+    }
+
+    fn first_any(&self, a: u8) -> &[u64] {
+        &self.first.match_any[self.first.row_of(a)]
+    }
+
+    fn second_vector(&self, b: u8) -> &BitSet {
+        &self.second.match_table[self.second.row_of(b)]
+    }
+
+    fn second_any(&self, b: u8) -> &[u64] {
+        &self.second.match_any[self.second.row_of(b)]
+    }
+
+    fn first_start_match(&self, a: u8) -> &BitSet {
+        &self.first_start_match[self.first.row_of(a)]
+    }
+
+    fn first_start_match_any(&self, a: u8) -> &[u64] {
+        &self.first_start_match_any[self.first.row_of(a)]
+    }
+
+    fn report_pair_unchecked(&self, state: usize) -> (u32, ReportPhase) {
+        CompiledEncodedStridedAutomaton::report_unchecked(self, state)
+    }
+}
+
 /// One end of a cross-shard activation edge: the receiving state,
 /// addressed shard-locally.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -1062,14 +1646,20 @@ pub struct Shard<P = CompiledAutomaton> {
     /// are `cross_targets[cross_offsets[i]..cross_offsets[i + 1]]`.
     cross_offsets: Vec<u32>,
     cross_targets: Vec<CrossTarget>,
-    /// Bit `sym` set iff `plan.start_match(sym)` is non-empty — the O(1)
-    /// "could a statically enabled state fire here" probe the engine's
-    /// idle-shard skip uses.
+    /// Byte plans: bit `sym` set iff `plan.start_match(sym)` is
+    /// non-empty. Strided plans: bit `a` set iff
+    /// `plan.first_start_match(a)` is non-empty. Either way the O(1)
+    /// "could injecting starts fire here" probe the engine's idle-shard
+    /// skip uses.
     start_match_possible: [u64; 4],
+    /// Strided plans: `pair_start_possible[a]` is the exact mask of
+    /// second symbols completing a start-injected pair beginning with
+    /// `a`. Empty for byte plans.
+    pair_start_possible: Vec<[u64; 4]>,
     has_start_of_data: bool,
 }
 
-impl<P: ExecutionPlan> Shard<P> {
+impl<P: PlanBase> Shard<P> {
     /// The shard's local execution plan (states renumbered `0..len`).
     pub fn plan(&self) -> &P {
         &self.plan
@@ -1107,9 +1697,24 @@ impl<P: ExecutionPlan> Shard<P> {
 
     /// `true` if any statically enabled (`all-input`) state of this shard
     /// matches `symbol` — i.e. injecting starts this cycle could activate
-    /// something even with an empty dynamic vector.
+    /// something even with an empty dynamic vector. For strided shards
+    /// `symbol` is the *first* symbol of the pair; use
+    /// [`pair_start_possible`](Shard::pair_start_possible) for the full
+    /// pair probe.
     pub fn start_match_possible(&self, symbol: u8) -> bool {
         self.start_match_possible[symbol as usize / 64] >> (symbol % 64) & 1 == 1
+    }
+
+    /// `true` if injecting starts could activate something on the pair
+    /// `(a, b)` — exact for strided shards
+    /// (`first_start_match(a) & second[b]` occupancy, precomputed), and
+    /// the [`start_match_possible`](Shard::start_match_possible) probe
+    /// for byte shards (where `b` is meaningless).
+    pub fn pair_start_possible(&self, a: u8, b: u8) -> bool {
+        match self.pair_start_possible.get(a as usize) {
+            Some(mask) => mask[b as usize / 64] >> (b % 64) & 1 == 1,
+            None => self.start_match_possible(a),
+        }
     }
 
     /// `true` if the shard holds any `start-of-data` state (which fires
@@ -1179,6 +1784,16 @@ pub struct ShardedAutomaton<P = CompiledAutomaton> {
 /// built with `cama_encoding::EncodingPlan::compile_sharded`.
 pub type ShardedEncodedAutomaton = ShardedAutomaton<CompiledEncodedAutomaton>;
 
+/// A [`ShardedAutomaton`] whose per-shard plans are 2-stride byte
+/// plans — per-CAM-array strided execution, built with
+/// [`ShardedAutomaton::compile_strided`] and friends.
+pub type ShardedStridedAutomaton = ShardedAutomaton<CompiledStridedAutomaton>;
+
+/// A [`ShardedAutomaton`] whose per-shard plans execute on per-half
+/// encoding codebooks — encoding-aware sharded 2-stride execution,
+/// built with `cama_encoding::StridedEncoding::compile_sharded`.
+pub type ShardedEncodedStridedAutomaton = ShardedAutomaton<CompiledEncodedStridedAutomaton>;
+
 impl ShardedAutomaton {
     /// Compiles `nfa` into at most `num_shards` shards by balancing
     /// connected components (largest first, onto the least-loaded shard).
@@ -1244,6 +1859,113 @@ impl ShardedAutomaton<CompiledEncodedAutomaton> {
     }
 }
 
+/// The O(1) idle-skip probes of one shard, derived from its local plan
+/// at build time.
+struct ShardProbes {
+    /// Bit `sym`: injecting starts on (first) symbol `sym` could fire.
+    start: [u64; 4],
+    /// Strided shards only: `pair[a]` is the exact mask of second
+    /// symbols `b` for which `first_start_match(a) & second[b]` is
+    /// non-empty — the per-pair start probe (the per-half probes alone
+    /// are too conservative once odd-entry states with FULL first
+    /// classes exist, which is every unanchored pattern). Empty for
+    /// byte shards.
+    pair_start: Vec<[u64; 4]>,
+}
+
+/// The per-shard plan compiler the shell builder drives:
+/// `(shard index, states in local order, local edge list) → plan`.
+type ShardCompiler<'a, P> = dyn FnMut(usize, &[u32], &[(u32, u32)]) -> P + 'a;
+
+/// Groups `assignment` into per-shard state lists (shard count is
+/// `max(assignment) + 1`, minimum 1).
+fn order_of_assignment(assignment: &[u32]) -> Vec<Vec<u32>> {
+    let num_shards = assignment
+        .iter()
+        .max()
+        .map_or(0, |&m| m as usize + 1)
+        .max(1);
+    let mut order: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+    for (state, &shard) in assignment.iter().enumerate() {
+        order[shard as usize].push(state as u32);
+    }
+    order
+}
+
+/// Balances components over at most `num_shards` per-shard state lists
+/// (largest component first, onto the least-loaded shard), given each
+/// state's component id numbered largest-component-first.
+fn balance_components(
+    component_of: &[u32],
+    num_components: usize,
+    num_shards: usize,
+) -> Vec<Vec<u32>> {
+    let num_shards = num_shards.clamp(1, num_components.max(1));
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_components];
+    for (state, &c) in component_of.iter().enumerate() {
+        members[c as usize].push(state as u32);
+    }
+    let mut loads = vec![0usize; num_shards];
+    let mut order: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+    for cc in members {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &load)| load)
+            .map(|(i, _)| i)
+            .unwrap();
+        loads[lightest] += cc.len();
+        order[lightest].extend(cc);
+    }
+    order
+}
+
+/// The idle-skip probes of a byte shard: start-match occupancy per
+/// symbol (byte cycles have no second symbol, so there is no pair
+/// table).
+fn byte_probes<P: ExecutionPlan>(plan: &P) -> ShardProbes {
+    let mut start = [0u64; 4];
+    for sym in 0..ALPHABET {
+        if plan.start_match(sym as u8).first_set().is_some() {
+            start[sym / 64] |= 1u64 << (sym % 64);
+        }
+    }
+    ShardProbes {
+        start,
+        pair_start: Vec::new(),
+    }
+}
+
+/// The idle-skip probes of a strided shard: first-half start-match
+/// occupancy plus the exact per-pair start table, built by folding
+/// every statically enabled state's (first class × second class)
+/// rectangle.
+fn strided_probes<P: StridedPlan>(plan: &P) -> ShardProbes {
+    let mut start = [0u64; 4];
+    for sym in 0..ALPHABET {
+        if plan.first_start_match(sym as u8).first_set().is_some() {
+            start[sym / 64] |= 1u64 << (sym % 64);
+        }
+    }
+    let mut pair_start = vec![[0u64; 4]; ALPHABET];
+    for s in plan.all_input_mask().iter() {
+        let mut second_mask = [0u64; 4];
+        for b in 0..ALPHABET {
+            if plan.second_vector(b as u8).contains(s) {
+                second_mask[b / 64] |= 1u64 << (b % 64);
+            }
+        }
+        for (a, pair) in pair_start.iter_mut().enumerate() {
+            if plan.first_vector(a as u8).contains(s) {
+                for (k, m) in second_mask.iter().enumerate() {
+                    pair[k] |= m;
+                }
+            }
+        }
+    }
+    ShardProbes { start, pair_start }
+}
+
 impl<P: ExecutionPlan> ShardedAutomaton<P> {
     /// Compiles with an explicit per-state shard id and a custom
     /// per-shard plan compiler. `compile_shard` receives each shard's
@@ -1265,28 +1987,178 @@ impl<P: ExecutionPlan> ShardedAutomaton<P> {
             nfa.len(),
             "shard assignment must cover every state"
         );
-        let num_shards = assignment
-            .iter()
-            .max()
-            .map_or(0, |&m| m as usize + 1)
-            .max(1);
-        let mut order: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
-        for (state, &shard) in assignment.iter().enumerate() {
-            order[shard as usize].push(state as u32);
-        }
-        Self::build(nfa, order, compile_shard)
+        Self::build(nfa, order_of_assignment(assignment), compile_shard)
     }
 
-    /// Builds the sharded plan from per-shard state lists (each list is
-    /// the shard's local order; together they cover every state once).
+    /// Builds a byte-flavoured sharded plan from per-shard state lists:
+    /// each shard's states become a renumbered local [`Nfa`] handed to
+    /// `compile_shard`, and the shared shell builder splits the edges.
     fn build(
         nfa: &Nfa,
         order: Vec<Vec<u32>>,
         compile_shard: impl Fn(&Nfa, &[u32]) -> P,
     ) -> ShardedAutomaton<P> {
-        let n = nfa.len();
-        let mut shard_of = vec![u32::MAX; n];
-        let mut local_of = vec![u32::MAX; n];
+        Self::build_with(
+            nfa.len(),
+            nfa.name().to_string(),
+            order,
+            &|state| {
+                nfa.successors(crate::nfa::SteId(state as u32))
+                    .iter()
+                    .map(|s| s.0)
+                    .collect()
+            },
+            &mut |shard, states, local_edges| {
+                let mut builder = NfaBuilder::with_name(format!("{}/shard{shard}", nfa.name()));
+                for &g in states {
+                    let ste = nfa.ste(crate::nfa::SteId(g));
+                    let id = builder.add_ste(ste.class);
+                    builder.set_start(id, ste.start);
+                    if let Some(code) = ste.report {
+                        builder.set_report(id, code);
+                    }
+                }
+                for &(from, to) in local_edges {
+                    builder.add_edge(crate::nfa::SteId(from), crate::nfa::SteId(to));
+                }
+                let local_nfa = builder
+                    .build_with_options(BuildOptions {
+                        reject_empty_classes: false,
+                        reject_unreachable: false,
+                    })
+                    .expect("lenient build cannot fail");
+                compile_shard(&local_nfa, states)
+            },
+            &byte_probes,
+        )
+    }
+}
+
+impl<P: StridedPlan> ShardedAutomaton<P> {
+    /// The 2-stride counterpart of
+    /// [`compile_shards_with`](ShardedAutomaton::compile_shards_with):
+    /// an explicit per-state shard id over a [`StridedNfa`], with a
+    /// custom per-shard plan compiler receiving each shard's renumbered
+    /// local strided automaton and its local → global table (how
+    /// `cama_encoding::StridedEncoding::compile_sharded` shares its two
+    /// per-half codebooks across every shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != nfa.len()`.
+    pub fn compile_strided_shards_with(
+        nfa: &StridedNfa,
+        assignment: &[u32],
+        compile_shard: impl Fn(&StridedNfa, &[u32]) -> P,
+    ) -> ShardedAutomaton<P> {
+        assert_eq!(
+            assignment.len(),
+            nfa.len(),
+            "shard assignment must cover every state"
+        );
+        Self::build_strided(nfa, order_of_assignment(assignment), compile_shard)
+    }
+
+    /// Builds a strided-flavoured sharded plan from per-shard state
+    /// lists, constructing each shard's renumbered local [`StridedNfa`].
+    fn build_strided(
+        nfa: &StridedNfa,
+        order: Vec<Vec<u32>>,
+        compile_shard: impl Fn(&StridedNfa, &[u32]) -> P,
+    ) -> ShardedAutomaton<P> {
+        Self::build_with(
+            nfa.len(),
+            nfa.name().to_string(),
+            order,
+            &|state| nfa.successors(state).to_vec(),
+            &mut |shard, states, local_edges| {
+                let local_states = states
+                    .iter()
+                    .map(|&g| nfa.state(g as usize).clone())
+                    .collect();
+                let mut local_succ: Vec<Vec<u32>> = vec![Vec::new(); states.len()];
+                for &(from, to) in local_edges {
+                    local_succ[from as usize].push(to);
+                }
+                let local = StridedNfa::from_parts(
+                    local_states,
+                    local_succ,
+                    format!("{}/shard{shard}", nfa.name()),
+                );
+                compile_shard(&local, states)
+            },
+            &strided_probes,
+        )
+    }
+}
+
+impl ShardedAutomaton<CompiledStridedAutomaton> {
+    /// Compiles a strided automaton into at most `num_shards` shards by
+    /// balancing connected components, mirroring
+    /// [`compile`](ShardedAutomaton::compile).
+    pub fn compile_strided(nfa: &StridedNfa, num_shards: usize) -> ShardedStridedAutomaton {
+        let (ids, count) = nfa.component_ids();
+        let order = balance_components(&ids, count, num_shards);
+        Self::build_strided(nfa, order, |local, _| {
+            CompiledStridedAutomaton::compile(local)
+        })
+    }
+
+    /// One shard per connected component of the strided automaton.
+    pub fn compile_strided_per_component(nfa: &StridedNfa) -> ShardedStridedAutomaton {
+        let (ids, _) = nfa.component_ids();
+        Self::compile_strided_with_assignment(nfa, &ids)
+    }
+
+    /// An explicit per-state shard id over the strided state space
+    /// (e.g. the strided mapper's `partition_of`, so functional shards
+    /// coincide with the energy model's partitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != nfa.len()`.
+    pub fn compile_strided_with_assignment(
+        nfa: &StridedNfa,
+        assignment: &[u32],
+    ) -> ShardedStridedAutomaton {
+        Self::compile_strided_shards_with(nfa, assignment, |local, _| {
+            CompiledStridedAutomaton::compile(local)
+        })
+    }
+}
+
+impl ShardedAutomaton<CompiledEncodedStridedAutomaton> {
+    /// Per-state slot weights taken from the actual encoded strided
+    /// shard plans (paired entry counts, at least 1 per state), indexed
+    /// by *global* state id — what the strided energy model charges per
+    /// enabled state.
+    pub fn entry_weights(&self) -> Vec<u32> {
+        let mut weights = vec![1u32; self.len];
+        for shard in &self.shards {
+            for (local, &global) in shard.global_states().iter().enumerate() {
+                weights[global as usize] = shard.plan().entries_of(local).max(1);
+            }
+        }
+        weights
+    }
+}
+
+impl<P: PlanBase> ShardedAutomaton<P> {
+    /// Shared shell builder: places states, splits edges into the
+    /// in-shard and cross-shard halves, compiles each shard's local
+    /// plan through `compile_shard` (which receives the shard index,
+    /// the shard's states in local order, and its local edge list), and
+    /// derives the idle-skip probes through `probes`.
+    fn build_with(
+        len: usize,
+        name: String,
+        order: Vec<Vec<u32>>,
+        successors_of: &dyn Fn(usize) -> Vec<u32>,
+        compile_shard: &mut ShardCompiler<'_, P>,
+        probes: &dyn Fn(&P) -> ShardProbes,
+    ) -> ShardedAutomaton<P> {
+        let mut shard_of = vec![u32::MAX; len];
+        let mut local_of = vec![u32::MAX; len];
         for (shard, states) in order.iter().enumerate() {
             for (local, &g) in states.iter().enumerate() {
                 debug_assert_eq!(shard_of[g as usize], u32::MAX, "state placed twice");
@@ -1301,26 +2173,15 @@ impl<P: ExecutionPlan> ShardedAutomaton<P> {
             .iter()
             .enumerate()
             .map(|(shard, states)| {
-                let mut builder = NfaBuilder::with_name(format!("{}/shard{shard}", nfa.name()));
-                for &g in states {
-                    let ste = nfa.ste(crate::nfa::SteId(g));
-                    let id = builder.add_ste(ste.class);
-                    builder.set_start(id, ste.start);
-                    if let Some(code) = ste.report {
-                        builder.set_report(id, code);
-                    }
-                }
+                let mut local_edges: Vec<(u32, u32)> = Vec::new();
                 let mut cross_offsets = Vec::with_capacity(states.len() + 1);
                 let mut cross_targets = Vec::new();
                 cross_offsets.push(0);
                 for (local, &g) in states.iter().enumerate() {
-                    for &succ in nfa.successors(crate::nfa::SteId(g)) {
-                        let t = succ.index();
+                    for succ in successors_of(g as usize) {
+                        let t = succ as usize;
                         if shard_of[t] as usize == shard {
-                            builder.add_edge(
-                                crate::nfa::SteId(local as u32),
-                                crate::nfa::SteId(local_of[t]),
-                            );
+                            local_edges.push((local as u32, local_of[t]));
                         } else {
                             cross_targets.push(CrossTarget {
                                 shard: shard_of[t],
@@ -1331,34 +2192,24 @@ impl<P: ExecutionPlan> ShardedAutomaton<P> {
                     cross_offsets.push(cross_targets.len() as u32);
                 }
                 num_cross_edges += cross_targets.len();
-                let local_nfa = builder
-                    .build_with_options(BuildOptions {
-                        reject_empty_classes: false,
-                        reject_unreachable: false,
-                    })
-                    .expect("lenient build cannot fail");
-                let plan = compile_shard(&local_nfa, states);
-                let mut start_match_possible = [0u64; 4];
-                for sym in 0..ALPHABET {
-                    if plan.start_match(sym as u8).first_set().is_some() {
-                        start_match_possible[sym / 64] |= 1u64 << (sym % 64);
-                    }
-                }
+                let plan = compile_shard(shard, states, &local_edges);
+                let probes = probes(&plan);
                 let has_start_of_data = !plan.start_of_data_mask().is_empty();
                 Shard {
                     plan,
                     global_states: states.clone(),
                     cross_offsets,
                     cross_targets,
-                    start_match_possible,
+                    start_match_possible: probes.start,
+                    pair_start_possible: probes.pair_start,
                     has_start_of_data,
                 }
             })
             .collect();
 
         ShardedAutomaton {
-            len: n,
-            name: nfa.name().to_string(),
+            len,
+            name,
             shards,
             shard_of,
             local_of,
@@ -1534,6 +2385,233 @@ mod tests {
                 .map(|(i, _)| i)
                 .collect();
             assert_eq!(out.iter().collect::<Vec<_>>(), expected, "pair {a},{b}");
+        }
+    }
+
+    #[test]
+    fn match_pair_into_resizes_any_capacity() {
+        let nfa = regex::compile("ab+c").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let plan = CompiledStridedAutomaton::compile(&strided);
+        // Wrong capacity in both directions: resized, never a panic.
+        for wrong in [0usize, 1, plan.len() + 100] {
+            let mut out = BitSet::new(wrong);
+            plan.match_pair_into(b'a', b'b', &mut out);
+            assert_eq!(out.len(), plan.len());
+            let mut expected = BitSet::new(plan.len());
+            plan.first_table(b'a')
+                .and_into(plan.second_table(b'b'), &mut expected);
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn match_pair_enabled_into_is_the_three_way_and() {
+        let nfa = regex::compile("ab+c").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let plan = CompiledStridedAutomaton::compile(&strided);
+        let enabled = BitSet::full(plan.len());
+        let mut out = BitSet::new(0);
+        plan.match_pair_enabled_into(b'a', b'b', &enabled, &mut out);
+        let mut pair = BitSet::new(plan.len());
+        plan.match_pair_into(b'a', b'b', &mut pair);
+        assert_eq!(out, pair, "full enable vector leaves the pair row");
+        let empty = BitSet::new(plan.len());
+        plan.match_pair_enabled_into(b'a', b'b', &empty, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn strided_summaries_track_tables() {
+        let nfa = regex::compile_set(&["ab+c", "x[0-9]+y"]).unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let plan = CompiledStridedAutomaton::compile(&strided);
+        for sym in [b'a', b'b', b'x', b'0', b'z', 0u8, 255u8] {
+            for (words, any) in [
+                (plan.first_table(sym).as_words(), plan.first_table_any(sym)),
+                (
+                    plan.second_table(sym).as_words(),
+                    plan.second_table_any(sym),
+                ),
+                (
+                    StridedPlan::first_start_match(&plan, sym).as_words(),
+                    StridedPlan::first_start_match_any(&plan, sym),
+                ),
+            ] {
+                for (w, &word) in words.iter().enumerate() {
+                    assert_eq!(
+                        any[w / 64] >> (w % 64) & 1 == 1,
+                        word != 0,
+                        "symbol {sym}, word {w}"
+                    );
+                }
+            }
+            // The start rows are first_table & all_input, exactly.
+            let mut expected = plan.first_table(sym).clone();
+            expected.intersect_with(plan.all_input_mask());
+            assert_eq!(StridedPlan::first_start_match(&plan, sym), &expected);
+        }
+    }
+
+    /// A toy per-half identity codebook over explicit domains: the
+    /// smallest exact strided encoding.
+    fn identity_encoded_strided(
+        nfa: &StridedNfa,
+        first_domain: &[u8],
+        second_domain: &[u8],
+    ) -> CompiledEncodedStridedAutomaton {
+        let half = |domain: &'static [u8], second: bool| StridedHalfSpec {
+            code_len: domain.len(),
+            num_codes: domain.len(),
+            encode: Box::new(move |symbol| {
+                domain
+                    .iter()
+                    .position(|&d| d == symbol)
+                    .map(|row| row as u16)
+            }),
+            matches: {
+                let states = nfa.states().to_vec();
+                Box::new(move |state, row| {
+                    row.is_some_and(|row| {
+                        let class = if second {
+                            &states[state].second
+                        } else {
+                            &states[state].first
+                        };
+                        class.contains(domain[row as usize])
+                    })
+                })
+            },
+            entries: Box::new(|_| 1),
+            negated: Box::new(|_| false),
+        };
+        // Domains are static in the tests below; leak-free via 'static.
+        CompiledEncodedStridedAutomaton::compile_with(
+            nfa,
+            half(Box::leak(first_domain.to_vec().into_boxed_slice()), false),
+            half(Box::leak(second_domain.to_vec().into_boxed_slice()), true),
+        )
+    }
+
+    #[test]
+    fn encoded_strided_rows_match_byte_rows_over_the_domain() {
+        let nfa = regex::compile("(a|b)c+d").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let byte = CompiledStridedAutomaton::compile(&strided);
+        // Odd-entry states have a FULL first class, so the first domain
+        // must cover every byte for exactness; use 0..=255.
+        let full: Vec<u8> = (0u8..=255).collect();
+        let encoded = identity_encoded_strided(&strided, &full, &full);
+        assert_eq!(encoded.len(), byte.len());
+        assert_eq!(encoded.num_edges(), byte.num_edges());
+        for sym in 0..=255u8 {
+            assert_eq!(
+                StridedPlan::first_vector(&encoded, sym),
+                StridedPlan::first_vector(&byte, sym),
+                "first, symbol {sym}"
+            );
+            assert_eq!(
+                StridedPlan::second_vector(&encoded, sym),
+                StridedPlan::second_vector(&byte, sym),
+                "second, symbol {sym}"
+            );
+            assert_eq!(
+                StridedPlan::first_start_match(&encoded, sym),
+                StridedPlan::first_start_match(&byte, sym),
+                "start, symbol {sym}"
+            );
+        }
+        for state in 0..byte.len() {
+            assert_eq!(encoded.successors(state), byte.successors(state));
+            if byte.report_mask().contains(state) {
+                assert_eq!(
+                    encoded.report_unchecked(state),
+                    byte.report_unchecked(state)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_strided_entry_accounting_is_the_capped_pair_product() {
+        let nfa = regex::compile("ab").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let n = strided.len();
+        let spec = |entries_per_state: u32| StridedHalfSpec {
+            code_len: 8,
+            num_codes: 256,
+            encode: Box::new(|symbol| Some(symbol as u16)),
+            matches: Box::new(|_, _| false),
+            entries: Box::new(move |_| entries_per_state),
+            negated: Box::new(|state| state == 0),
+        };
+        let encoded = CompiledEncodedStridedAutomaton::compile_with(&strided, spec(10), spec(9));
+        assert_eq!(encoded.code_lens(), (8, 8));
+        assert_eq!(encoded.num_codes(), (256, 256));
+        for state in 0..n {
+            assert_eq!(encoded.half_entries_of(state), (10, 9));
+            // 10 × 9 = 90, capped at the 64-entry per-state budget.
+            assert_eq!(encoded.entries_of(state), 64);
+        }
+        assert_eq!(encoded.entry_weights(), vec![64; n]);
+        assert_eq!(encoded.total_entries(), 64 * n);
+        assert_eq!(encoded.negated_states(), (1, 1));
+    }
+
+    #[test]
+    fn strided_sharding_covers_states_and_edges() {
+        let nfa = regex::compile_set(&["abc", "x[0-9]+y", "(ab)+z"]).unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        for shards in [1, 2, 3, usize::MAX] {
+            let sharded = ShardedAutomaton::compile_strided(&strided, shards);
+            assert_eq!(sharded.len(), strided.len());
+            let mut seen = vec![false; strided.len()];
+            for (si, shard) in sharded.shards().iter().enumerate() {
+                for (local, &g) in shard.global_states().iter().enumerate() {
+                    assert!(!seen[g as usize], "state {g} placed twice");
+                    seen[g as usize] = true;
+                    assert_eq!(sharded.placement_of(g as usize), (si as u32, local as u32));
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{shards} shards");
+            assert_eq!(
+                sharded.num_local_edges() + sharded.num_cross_edges(),
+                strided.num_edges(),
+                "{shards} shards"
+            );
+        }
+        // Per-component strided sharding keeps all edges local.
+        let per_cc = ShardedAutomaton::compile_strided_per_component(&strided);
+        assert_eq!(per_cc.num_cross_edges(), 0);
+        assert!(per_cc.num_shards() >= 3);
+    }
+
+    #[test]
+    fn strided_shard_probes_are_exact() {
+        let nfa = regex::compile_set(&["ab", "cd"]).unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let sharded = ShardedAutomaton::compile_strided_per_component(&strided);
+        for shard in sharded.shards() {
+            for sym in 0..=255u8 {
+                assert_eq!(
+                    shard.start_match_possible(sym),
+                    !StridedPlan::first_start_match(shard.plan(), sym).is_empty(),
+                    "first probe, symbol {sym}"
+                );
+            }
+            // The pair probe is exact: true iff the pair's start row
+            // intersects the second-half row.
+            for &a in &[b'a', b'b', b'c', b'z', 0u8] {
+                for &b in &[b'a', b'b', b'd', b'z', 255u8] {
+                    let expected = !StridedPlan::first_start_match(shard.plan(), a)
+                        .is_disjoint(StridedPlan::second_vector(shard.plan(), b));
+                    assert_eq!(
+                        shard.pair_start_possible(a, b),
+                        expected,
+                        "pair probe ({a}, {b})"
+                    );
+                }
+            }
         }
     }
 

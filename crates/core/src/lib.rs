@@ -45,7 +45,7 @@ pub mod stride;
 pub mod symbol;
 pub mod xml;
 
-pub use compiled::{CompiledAutomaton, CompiledStridedAutomaton};
+pub use compiled::{CompiledAutomaton, CompiledEncodedStridedAutomaton, CompiledStridedAutomaton};
 pub use error::{Error, Result};
 pub use nfa::{BuildOptions, Nfa, NfaBuilder, StartKind, Ste, SteId};
 pub use symbol::{SymbolClass, ALPHABET};

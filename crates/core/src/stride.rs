@@ -100,6 +100,82 @@ impl StridedNfa {
         &self.successors[index]
     }
 
+    /// Assembles a strided automaton from parts — used by the sharded
+    /// plan builder to construct each shard's renumbered local
+    /// automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successors` does not parallel `states` or references
+    /// a state out of range.
+    pub(crate) fn from_parts(
+        states: Vec<StridedSte>,
+        successors: Vec<Vec<u32>>,
+        name: String,
+    ) -> StridedNfa {
+        assert_eq!(states.len(), successors.len(), "successor table mismatch");
+        assert!(
+            successors
+                .iter()
+                .all(|succ| succ.iter().all(|&s| (s as usize) < states.len())),
+            "successor out of range"
+        );
+        StridedNfa {
+            states,
+            successors,
+            name,
+        }
+    }
+
+    /// The per-state connected-component index (undirected activation
+    /// connectivity) plus the component count, numbered largest
+    /// component first — the strided counterpart of
+    /// [`graph::component_ids`](crate::graph::component_ids), used by
+    /// the per-component shard strategy.
+    pub fn component_ids(&self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (from, succs) in self.successors.iter().enumerate() {
+            for &to in succs {
+                preds[to as usize].push(from as u32);
+            }
+        }
+        let mut component = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        for seed in 0..n {
+            if component[seed] != u32::MAX {
+                continue;
+            }
+            let id = sizes.len() as u32;
+            let mut size = 0usize;
+            let mut stack = vec![seed];
+            component[seed] = id;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                for &next in self.successors[v].iter().chain(&preds[v]) {
+                    if component[next as usize] == u32::MAX {
+                        component[next as usize] = id;
+                        stack.push(next as usize);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        // Renumber largest component first (ties broken by discovery
+        // order, i.e. lowest member id) so component-balanced sharding
+        // packs decreasing sizes, like the byte-side mapper does.
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&c| (usize::MAX - sizes[c], c));
+        let mut renumber = vec![0u32; sizes.len()];
+        for (rank, &c) in order.iter().enumerate() {
+            renumber[c] = rank as u32;
+        }
+        for c in &mut component {
+            *c = renumber[*c as usize];
+        }
+        (component, sizes.len())
+    }
+
     /// Builds the 2-stride automaton for `nfa`.
     ///
     /// The construction creates:

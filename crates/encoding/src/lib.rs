@@ -48,8 +48,10 @@ pub mod compress;
 pub mod negation;
 pub mod plan;
 pub mod scheme;
+pub mod strided;
 
 pub use code::{CamEntry, Code};
 pub use codebook::Codebook;
 pub use plan::{EncodedState, EncodingPlan};
 pub use scheme::Scheme;
+pub use strided::StridedEncoding;

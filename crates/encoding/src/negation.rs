@@ -46,10 +46,17 @@ pub fn stored_class(class: &SymbolClass) -> (SymbolClass, bool) {
 /// 256-symbol alphabet (the class and its complement together cover Σ),
 /// so no reserved-code corner cases arise for negated states.
 pub fn code_domain(nfa: &Nfa) -> SymbolClass {
+    code_domain_of(nfa.stes().iter().map(|ste| &ste.class))
+}
+
+/// [`code_domain`] over a bare sequence of classes — the per-half entry
+/// point the strided toolchain uses (each half of a 2-stride datapath
+/// has its own alphabet and therefore its own domain).
+pub fn code_domain_of<'a>(classes: impl IntoIterator<Item = &'a SymbolClass>) -> SymbolClass {
     let mut domain = SymbolClass::EMPTY;
-    for ste in nfa.stes() {
-        let (stored, _) = stored_class(&ste.class);
-        domain = domain | ste.class | stored;
+    for class in classes {
+        let (stored, _) = stored_class(class);
+        domain = domain | *class | stored;
     }
     domain
 }
@@ -57,9 +64,16 @@ pub fn code_domain(nfa: &Nfa) -> SymbolClass {
 /// The stored classes of every state under the by-size rule — the input
 /// to co-occurrence clustering.
 pub fn stored_classes(nfa: &Nfa) -> Vec<SymbolClass> {
-    nfa.stes()
-        .iter()
-        .map(|ste| stored_class(&ste.class).0)
+    stored_classes_of(nfa.stes().iter().map(|ste| &ste.class))
+}
+
+/// [`stored_classes`] over a bare sequence of classes.
+pub fn stored_classes_of<'a>(
+    classes: impl IntoIterator<Item = &'a SymbolClass>,
+) -> Vec<SymbolClass> {
+    classes
+        .into_iter()
+        .map(|class| stored_class(class).0)
         .collect()
 }
 

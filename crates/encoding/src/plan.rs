@@ -11,10 +11,15 @@ use crate::clustering::ClassUsage;
 use crate::code::{CamEntry, Code};
 use crate::codebook::Codebook;
 use crate::compress::{compress_class, verify_entries};
-use crate::negation::{code_domain, stored_class, stored_classes};
+use crate::negation::{code_domain_of, stored_class, stored_classes_of};
 use crate::scheme::{select, Scheme, Selection};
 use cama_core::{Nfa, SteId, SymbolClass, ALPHABET};
 use std::collections::HashMap;
+
+/// The per-state classes of an automaton, in STE order.
+fn nfa_classes(nfa: &Nfa) -> Vec<SymbolClass> {
+    nfa.stes().iter().map(|ste| ste.class).collect()
+}
 
 /// The CAM image of one STE.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,17 +62,25 @@ impl EncodingPlan {
     /// Runs the full proposed pipeline on an automaton: Table I/II's
     /// "proposed encoding" column.
     pub fn for_nfa(nfa: &Nfa) -> Self {
-        let domain = code_domain(nfa);
-        let stored = stored_classes(nfa);
-        let avg_no: f64 = if nfa.is_empty() {
+        Self::for_classes(&nfa_classes(nfa))
+    }
+
+    /// [`for_nfa`](Self::for_nfa) over a bare list of symbol classes,
+    /// one per state — the per-half entry point the strided toolchain
+    /// uses ([`StridedEncoding`](crate::StridedEncoding) runs it once
+    /// on the first classes and once on the second classes).
+    pub fn for_classes(classes: &[SymbolClass]) -> Self {
+        let domain = code_domain_of(classes);
+        let stored = stored_classes_of(classes);
+        let avg_no: f64 = if classes.is_empty() {
             0.0
         } else {
-            stored.iter().map(SymbolClass::len).sum::<usize>() as f64 / nfa.len() as f64
+            stored.iter().map(SymbolClass::len).sum::<usize>() as f64 / classes.len() as f64
         };
         let selection = select(domain.len(), avg_no);
         let usage = ClassUsage::from_classes(&stored);
         let codebook = Codebook::build(selection.scheme, &domain, &usage);
-        Self::encode_states(nfa, selection, codebook, true)
+        Self::encode_states(classes, selection, codebook, true)
     }
 
     /// Encodes with an explicit scheme; used for the Table II baselines.
@@ -75,18 +88,23 @@ impl EncodingPlan {
     /// `clustered` selects frequency-first clustering vs. plain symbol
     /// order; negation optimization is applied either way.
     pub fn with_scheme(nfa: &Nfa, scheme: Scheme, clustered: bool) -> Self {
-        let domain = code_domain(nfa);
+        Self::with_scheme_classes(&nfa_classes(nfa), scheme, clustered)
+    }
+
+    /// [`with_scheme`](Self::with_scheme) over a bare list of classes.
+    pub fn with_scheme_classes(classes: &[SymbolClass], scheme: Scheme, clustered: bool) -> Self {
+        let domain = code_domain_of(classes);
         let selection = Selection {
             scheme,
             wide: scheme.code_len() > 16,
         };
         let codebook = if clustered {
-            let usage = ClassUsage::from_classes(&stored_classes(nfa));
+            let usage = ClassUsage::from_classes(&stored_classes_of(classes));
             Codebook::build(scheme, &domain, &usage)
         } else {
             Codebook::build_unclustered(scheme, &domain)
         };
-        Self::encode_states(nfa, selection, codebook, true)
+        Self::encode_states(classes, selection, codebook, true)
     }
 
     /// Encodes every class raw (no negation optimization) — the
@@ -95,22 +113,33 @@ impl EncodingPlan {
     /// Uses One-Zero-Prefix sized for the raw classes so that even
     /// 255-symbol negated classes remain encodable.
     pub fn without_negation(nfa: &Nfa) -> Self {
-        let domain = code_domain(nfa);
-        let stored = stored_classes(nfa);
+        Self::without_negation_classes(&nfa_classes(nfa))
+    }
+
+    /// [`without_negation`](Self::without_negation) over a bare list of
+    /// classes.
+    pub fn without_negation_classes(classes: &[SymbolClass]) -> Self {
+        let domain = code_domain_of(classes);
+        let stored = stored_classes_of(classes);
         let usage = ClassUsage::from_classes(&stored);
         // Raw classes can be as large as the alphabet, so follow the
         // proposed selection computed from *raw* average sizes.
-        let avg_raw: f64 = if nfa.is_empty() {
+        let avg_raw: f64 = if classes.is_empty() {
             0.0
         } else {
-            nfa.stes().iter().map(|s| s.class.len()).sum::<usize>() as f64 / nfa.len() as f64
+            classes.iter().map(SymbolClass::len).sum::<usize>() as f64 / classes.len() as f64
         };
         let selection = select(domain.len(), avg_raw);
         let codebook = Codebook::build(selection.scheme, &domain, &usage);
-        Self::encode_states(nfa, selection, codebook, false)
+        Self::encode_states(classes, selection, codebook, false)
     }
 
-    fn encode_states(nfa: &Nfa, selection: Selection, codebook: Codebook, negation: bool) -> Self {
+    fn encode_states(
+        classes: &[SymbolClass],
+        selection: Selection,
+        codebook: Codebook,
+        negation: bool,
+    ) -> Self {
         let domain = codebook.domain();
         let full_domain = domain.len() == ALPHABET;
         // Compression is deterministic per (class, negated) pair; real
@@ -123,29 +152,28 @@ impl EncodingPlan {
                 .clone()
         };
 
-        let states = nfa
-            .stes()
+        let states = classes
             .iter()
-            .map(|ste| {
+            .map(|&class| {
                 if !negation {
                     return EncodedState {
-                        entries: compress_cached(ste.class, &codebook),
+                        entries: compress_cached(class, &codebook),
                         negated: false,
                     };
                 }
-                let (stored, negated_by_size) = stored_class(&ste.class);
+                let (stored, negated_by_size) = stored_class(&class);
                 if negated_by_size {
                     return EncodedState {
                         entries: compress_cached(stored, &codebook),
                         negated: true,
                     };
                 }
-                let raw = compress_cached(ste.class, &codebook);
+                let raw = compress_cached(class, &codebook);
                 // Refinement: also try the negated form when it is
                 // semantically safe (full domain — see `negation` docs)
                 // and could plausibly win.
-                if full_domain && ste.class.len() > 1 {
-                    let complement = !ste.class;
+                if full_domain && class.len() > 1 {
+                    let complement = !class;
                     let inverted = compress_cached(complement, &codebook);
                     if inverted.len() < raw.len() {
                         return EncodedState {
@@ -231,15 +259,26 @@ impl EncodingPlan {
     ///
     /// Returns a description of the first mismatching state.
     pub fn verify_exact(&self, nfa: &Nfa) -> Result<(), String> {
-        for (i, (ste, encoded)) in nfa.stes().iter().zip(&self.states).enumerate() {
+        self.verify_exact_classes(&nfa_classes(nfa))
+    }
+
+    /// [`verify_exact`](Self::verify_exact) against a bare list of
+    /// classes (one per encoded state) — used per half by the strided
+    /// toolchain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching state.
+    pub fn verify_exact_classes(&self, classes: &[SymbolClass]) -> Result<(), String> {
+        for (i, (class, encoded)) in classes.iter().zip(&self.states).enumerate() {
             for symbol in 0..=255u8 {
-                let expected = ste.class.contains(symbol);
+                let expected = class.contains(symbol);
                 let actual = encoded.matches(self.codebook.code(symbol));
                 if expected != actual {
                     return Err(format!(
                         "ste{i}: symbol {symbol:#04x} expected {expected}, got {actual} \
                          (class {}, {} entries, negated={})",
-                        ste.class,
+                        class,
                         encoded.entries.len(),
                         encoded.negated
                     ));
@@ -247,9 +286,9 @@ impl EncodingPlan {
             }
             // Spot-check the stored set against the compressor's oracle.
             let stored = if encoded.negated {
-                !ste.class & self.codebook.domain()
+                !*class & self.codebook.domain()
             } else {
-                ste.class
+                *class
             };
             if verify_entries(&encoded.entries, &stored, &self.codebook).is_err() {
                 return Err(format!("ste{i}: entries do not exactly cover {stored}"));

@@ -93,9 +93,11 @@ use crate::engine::ByteSession;
 use crate::frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 use crate::result::RunResult;
 use crate::session::{FlowSession, Session, SuspendedFlow};
-use crate::sharded::ShardedSession;
+use crate::sharded::{ShardedExecution, ShardedSession};
+use crate::strided::StridedSession;
 use cama_core::compiled::{
-    CompiledAutomaton, CompiledEncodedAutomaton, ExecutionPlan, ShardedAutomaton,
+    CompiledAutomaton, CompiledEncodedAutomaton, CompiledEncodedStridedAutomaton,
+    CompiledStridedAutomaton, ShardedAutomaton,
 };
 
 /// A compiled plan the stream table can serve: hands out sessions and
@@ -104,8 +106,11 @@ use cama_core::compiled::{
 /// Implemented by [`CompiledAutomaton`] (flat [`ByteSession`]s, a
 /// single logical shard), [`CompiledEncodedAutomaton`] (flat
 /// [`EncodedSession`](crate::EncodedSession)s executing on the encoding
-/// codebook), and [`ShardedAutomaton`] over either flavour
-/// ([`ShardedSession`]s, one shard per simulated CAM array).
+/// codebook), the two 2-stride plans ([`CompiledStridedAutomaton`] and
+/// [`CompiledEncodedStridedAutomaton`], flat [`StridedSession`]s
+/// consuming a byte pair per cycle), and [`ShardedAutomaton`] over any
+/// of those flavours ([`ShardedSession`]s, one shard per simulated CAM
+/// array).
 pub trait StreamPlan: Sync {
     /// The session type opened for each flow.
     type Session<'p>: FlowSession + Clone + fmt::Debug
@@ -120,6 +125,26 @@ pub trait StreamPlan: Sync {
     fn num_shards(&self) -> usize {
         1
     }
+
+    /// Finalizes a parked flow without a resident session, or hands the
+    /// flow back when this flavour needs one: a strided flow suspended
+    /// mid-pair must flush its carry byte through an engine cycle (and
+    /// pair reports need the end-of-stream (offset, state) sort, which
+    /// the sessionless path applies directly).
+    fn finalize_parked(flow: SuspendedFlow) -> Result<RunResult, SuspendedFlow> {
+        Ok(flow.into_result())
+    }
+}
+
+/// Shared [`StreamPlan::finalize_parked`] behaviour of the strided
+/// flavours: a pending carry needs a session; otherwise sort in place.
+fn finalize_parked_strided(flow: SuspendedFlow) -> Result<RunResult, SuspendedFlow> {
+    if flow.pending_carry().is_some() {
+        return Err(flow);
+    }
+    let mut result = flow.into_result();
+    result.reports.sort_by_key(|r| (r.offset, r.ste));
+    Ok(result)
 }
 
 impl StreamPlan for CompiledAutomaton {
@@ -138,7 +163,39 @@ impl StreamPlan for CompiledEncodedAutomaton {
     }
 }
 
-impl<P: ExecutionPlan + Clone + fmt::Debug> StreamPlan for ShardedAutomaton<P> {
+impl StreamPlan for CompiledStridedAutomaton {
+    type Session<'p> = StridedSession<'p>;
+
+    fn open_session(&self, chain: usize) -> StridedSession<'_> {
+        assert_eq!(
+            chain, 1,
+            "multi-step chains are a byte-plan concept; strided plans consume pairs"
+        );
+        StridedSession::new(self)
+    }
+
+    fn finalize_parked(flow: SuspendedFlow) -> Result<RunResult, SuspendedFlow> {
+        finalize_parked_strided(flow)
+    }
+}
+
+impl StreamPlan for CompiledEncodedStridedAutomaton {
+    type Session<'p> = StridedSession<'p, CompiledEncodedStridedAutomaton>;
+
+    fn open_session(&self, chain: usize) -> StridedSession<'_, CompiledEncodedStridedAutomaton> {
+        assert_eq!(
+            chain, 1,
+            "multi-step chains are a byte-plan concept; strided plans consume pairs"
+        );
+        StridedSession::new(self)
+    }
+
+    fn finalize_parked(flow: SuspendedFlow) -> Result<RunResult, SuspendedFlow> {
+        finalize_parked_strided(flow)
+    }
+}
+
+impl<P: ShardedExecution + Clone + fmt::Debug> StreamPlan for ShardedAutomaton<P> {
     type Session<'p>
         = ShardedSession<'p, P>
     where
@@ -150,6 +207,15 @@ impl<P: ExecutionPlan + Clone + fmt::Debug> StreamPlan for ShardedAutomaton<P> {
 
     fn num_shards(&self) -> usize {
         ShardedAutomaton::num_shards(self)
+    }
+
+    fn finalize_parked(flow: SuspendedFlow) -> Result<RunResult, SuspendedFlow> {
+        if flow.pending_carry().is_some() {
+            return Err(flow);
+        }
+        let mut result = flow.into_result();
+        P::sort_reports(&mut result.reports);
+        Ok(result)
     }
 }
 
@@ -324,9 +390,11 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
     }
 
     /// Closes a flow and returns its accumulated result; a resident
-    /// session returns to the pool for reuse (a parked flow needs no
-    /// session at all). Closing a flow that was never fed (or never
-    /// opened) yields the empty result, matching a zero-length stream.
+    /// session returns to the pool for reuse (a parked flow usually
+    /// needs no session at all — only a strided flow parked mid-pair
+    /// borrows one to flush its carry byte). Closing a flow that was
+    /// never fed (or never opened) yields the empty result, matching a
+    /// zero-length stream.
     pub fn close(&mut self, stream: StreamId) -> RunResult {
         match self.table.remove(&stream) {
             Some(Flow::Resident { mut session, .. }) => {
@@ -335,7 +403,19 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
                 self.pool.push(session);
                 result
             }
-            Some(Flow::Parked(flow)) => flow.into_result(),
+            Some(Flow::Parked(flow)) => match P::finalize_parked(flow) {
+                Ok(result) => result,
+                Err(flow) => {
+                    let mut session = self
+                        .pool
+                        .pop()
+                        .unwrap_or_else(|| self.plan.open_session(self.chain));
+                    session.resume(flow);
+                    let result = session.finish();
+                    self.pool.push(session);
+                    result
+                }
+            },
             None => RunResult::default(),
         }
     }
@@ -568,7 +648,7 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
     }
 }
 
-impl<'p, P: ExecutionPlan + Clone + fmt::Debug> BatchSimulator<'p, ShardedAutomaton<P>> {
+impl<'p, P: ShardedExecution + Clone + fmt::Debug> BatchSimulator<'p, ShardedAutomaton<P>> {
     /// [`feed`](Self::feed) delivering per-shard activity to a
     /// [`ShardObserver`] — the native observation path of the sharded
     /// engine, used by the energy models to charge exactly the arrays
@@ -580,6 +660,41 @@ impl<'p, P: ExecutionPlan + Clone + fmt::Debug> BatchSimulator<'p, ShardedAutoma
         observer: &mut impl ShardObserver,
     ) {
         self.session_mut(stream).feed_sharded_with(chunk, observer);
+    }
+
+    /// [`close`](Self::close) delivering flush-cycle activity (a
+    /// strided flow's zero-padded final pair) to a [`ShardObserver`] —
+    /// pairs with [`feed_sharded_with`](Self::feed_sharded_with) so an
+    /// energy observer sees every cycle of a flow, including the flush.
+    pub fn close_sharded_with(
+        &mut self,
+        stream: StreamId,
+        observer: &mut impl ShardObserver,
+    ) -> RunResult {
+        match self.table.remove(&stream) {
+            Some(Flow::Resident { mut session, .. }) => {
+                self.note_unresident(stream);
+                let result = session.finish_sharded_with(observer);
+                self.pool.push(session);
+                result
+            }
+            Some(Flow::Parked(flow)) => {
+                match <ShardedAutomaton<P> as StreamPlan>::finalize_parked(flow) {
+                    Ok(result) => result,
+                    Err(flow) => {
+                        let mut session = self
+                            .pool
+                            .pop()
+                            .unwrap_or_else(|| self.plan.open_session(self.chain));
+                        session.resume(flow);
+                        let result = session.finish_sharded_with(observer);
+                        self.pool.push(session);
+                        result
+                    }
+                }
+            }
+            None => RunResult::default(),
+        }
     }
 }
 

@@ -21,7 +21,8 @@
 use crate::activity::{CycleView, NullObserver, Observer};
 use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
-use cama_core::compiled::{CompiledAutomaton, ExecutionPlan};
+use cama_core::compiled::{CompiledAutomaton, ExecutionPlan, StridedPlan};
+use cama_core::stride::ReportPhase;
 use cama_core::{Nfa, SteId};
 
 pub use crate::result::{Report, RunResult};
@@ -56,6 +57,10 @@ pub(crate) struct CycleState {
     dynamic_any: Vec<u64>,
     next_any: Vec<u64>,
     active_any: Vec<u64>,
+    /// Scratch summary of words touched within one pair cycle, so the
+    /// strided kernel's visited-word count is per distinct word, not
+    /// per (word, enable source) pass.
+    touched_any: Vec<u64>,
     cycle: usize,
 }
 
@@ -69,6 +74,7 @@ impl CycleState {
             dynamic_any: vec![0; summary_words],
             next_any: vec![0; summary_words],
             active_any: vec![0; summary_words],
+            touched_any: vec![0; summary_words],
             cycle: 0,
         }
     }
@@ -217,6 +223,222 @@ impl CycleState {
 
         // The next vector becomes the dynamic vector; the old dynamic
         // storage is sparse-cleared and reused as next cycle's scratch.
+        std::mem::swap(&mut self.dynamic, &mut self.next);
+        std::mem::swap(&mut self.dynamic_any, &mut self.next_any);
+        sparse_clear(self.next.as_words_mut(), &mut self.next_any);
+        self.cycle += 1;
+    }
+
+    /// Executes one *pair* cycle against a [`StridedPlan`]: the strided
+    /// counterpart of [`step`](CycleState::step), consuming the symbol
+    /// pair `(a, b)`.
+    ///
+    /// Per 64-state word, `active = first[a] & second[b] & (dynamic ∪
+    /// all-input starts ∪ start-of-data on cycle 0)`; the cycle visits
+    /// only words where both halves' match summaries *and* an
+    /// enable-source summary are set — the 2-stride form of CAMA's
+    /// selective precharge. Reports map through each state's
+    /// [`ReportPhase`] to absolute byte offsets (`2·cycle` or
+    /// `2·cycle + 1`); `limit` suppresses reports at or past it (only
+    /// the final zero-padded flush pair passes a finite limit).
+    ///
+    /// Returns the number of 64-state words visited.
+    pub(crate) fn step_pair(
+        &mut self,
+        plan: &impl StridedPlan,
+        a: u8,
+        b: u8,
+        limit: usize,
+        result: &mut RunResult,
+        observer: &mut impl Observer,
+    ) -> u64 {
+        let first_cycle = self.cycle == 0;
+        let first_words = plan.first_vector(a).as_words();
+        let first_any = plan.first_any(a);
+        let second_words = plan.second_vector(b).as_words();
+        let second_any = plan.second_any(b);
+        let sod_words = plan.start_of_data_mask().as_words();
+        let sod_any = plan.start_of_data_any();
+
+        sparse_clear(self.active.as_words_mut(), &mut self.active_any);
+        let active_words = self.active.as_words_mut();
+        self.touched_any.iter_mut().for_each(|w| *w = 0);
+
+        // Phase 1: build the active vector from its enable sources,
+        // visiting only words both halves and a source summary mark.
+        // Start injection: first_start_match[a] & second[b]
+        // (= first[a] & all_input & second[b]).
+        let start_words = plan.first_start_match(a).as_words();
+        for (j, &any) in plan.first_start_match_any(a).iter().enumerate() {
+            let mut dirty = any & second_any[j];
+            self.touched_any[j] |= dirty;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let active = start_words[w] & second_words[w];
+                if active != 0 {
+                    active_words[w] |= active;
+                    self.active_any[j] |= 1u64 << (w % 64);
+                }
+            }
+        }
+        let dynamic_words = self.dynamic.as_words();
+        let mut num_dynamic = 0usize;
+        for (j, &dynamic_any) in self.dynamic_any.iter().enumerate() {
+            let mut dirty = first_any[j] & second_any[j] & dynamic_any;
+            self.touched_any[j] |= dirty;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let active = first_words[w] & second_words[w] & dynamic_words[w];
+                if active != 0 {
+                    active_words[w] |= active;
+                    self.active_any[j] |= 1u64 << (w % 64);
+                }
+            }
+            // Count dynamically enabled states from dirty words only.
+            let mut dirty = dynamic_any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                num_dynamic += dynamic_words[w].count_ones() as usize;
+                dirty &= dirty - 1;
+            }
+        }
+        if first_cycle {
+            for (j, &any) in sod_any.iter().enumerate() {
+                let mut dirty = first_any[j] & second_any[j] & any;
+                self.touched_any[j] |= dirty;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    let active = first_words[w] & second_words[w] & sod_words[w];
+                    if active != 0 {
+                        active_words[w] |= active;
+                        self.active_any[j] |= 1u64 << (w % 64);
+                    }
+                }
+            }
+        }
+
+        let visited: u64 = self
+            .touched_any
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+        self.finish_pair_cycle(plan, a, limit, num_dynamic, result, observer);
+        visited
+    }
+
+    /// The non-selective ("every word precharged") form of
+    /// [`step_pair`](CycleState::step_pair): materializes the enable
+    /// vector and the full three-way AND via [`BitSet::and3_into`],
+    /// touching every word — the baseline the `strided` bench group
+    /// compares selective visitation against. Results are identical.
+    ///
+    /// `enabled` is caller-provided scratch sized to the plan.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_pair_naive(
+        &mut self,
+        plan: &impl StridedPlan,
+        a: u8,
+        b: u8,
+        limit: usize,
+        enabled: &mut BitSet,
+        result: &mut RunResult,
+        observer: &mut impl Observer,
+    ) -> u64 {
+        let first_cycle = self.cycle == 0;
+        enabled.copy_from(&self.dynamic);
+        enabled.union_with(plan.all_input_mask());
+        if first_cycle {
+            enabled.union_with(plan.start_of_data_mask());
+        }
+        let num_dynamic = self.dynamic.count();
+        plan.first_vector(a)
+            .and3_into(plan.second_vector(b), enabled, &mut self.active);
+        // Rebuild the active summary the fused path maintains in place.
+        self.active_any.iter_mut().for_each(|w| *w = 0);
+        for (w, &word) in self.active.as_words().iter().enumerate() {
+            if word != 0 {
+                self.active_any[w / 64] |= 1u64 << (w % 64);
+            }
+        }
+        let visited = self.active.as_words().len() as u64;
+
+        self.finish_pair_cycle(plan, a, limit, num_dynamic, result, observer);
+        visited
+    }
+
+    /// Phase 2 of a pair cycle, shared by the selective and naive
+    /// forms: one ordered pass over the active words — popcounts, the
+    /// phase-mapped report scan, and the successor expansion while each
+    /// word is hot — then the per-cycle accounting and vector advance.
+    fn finish_pair_cycle(
+        &mut self,
+        plan: &impl StridedPlan,
+        a: u8,
+        limit: usize,
+        num_dynamic: usize,
+        result: &mut RunResult,
+        observer: &mut impl Observer,
+    ) {
+        let report_words = plan.report_mask().as_words();
+        let active_words = self.active.as_words();
+        let next_words = self.next.as_words_mut();
+        let mut num_active = 0usize;
+        let mut reports_this_cycle = 0usize;
+        for (j, &active_any) in self.active_any.iter().enumerate() {
+            let mut dirty = active_any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let active = active_words[w];
+                num_active += active.count_ones() as usize;
+
+                let mut reporting = active & report_words[w];
+                while reporting != 0 {
+                    let state = w * 64 + reporting.trailing_zeros() as usize;
+                    let (code, phase) = plan.report_pair_unchecked(state);
+                    let offset = match phase {
+                        ReportPhase::First => self.cycle * 2,
+                        ReportPhase::Second => self.cycle * 2 + 1,
+                    };
+                    // Suppress reports landing on the pad byte.
+                    if offset < limit {
+                        result.reports.push(Report {
+                            ste: SteId(state as u32),
+                            code,
+                            offset,
+                        });
+                        reports_this_cycle += 1;
+                    }
+                    reporting &= reporting - 1;
+                }
+
+                let mut remaining = active;
+                while remaining != 0 {
+                    let state = w * 64 + remaining.trailing_zeros() as usize;
+                    for &succ in plan.successors(state) {
+                        let succ = succ as usize;
+                        next_words[succ / 64] |= 1u64 << (succ % 64);
+                        self.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
+                    }
+                    remaining &= remaining - 1;
+                }
+            }
+        }
+
+        result
+            .activity
+            .record(num_active, num_dynamic, reports_this_cycle);
+        observer.on_cycle(&CycleView {
+            cycle: self.cycle,
+            symbol: a,
+            dynamic_enabled: &self.dynamic,
+            active: &self.active,
+            reports: reports_this_cycle,
+        });
+
         std::mem::swap(&mut self.dynamic, &mut self.next);
         std::mem::swap(&mut self.dynamic_any, &mut self.next_any);
         sparse_clear(self.next.as_words_mut(), &mut self.next_any);
@@ -373,6 +595,7 @@ impl<P: ExecutionPlan> FlowSession for ByteSession<'_, P> {
             cycle: self.state.cycle(),
             fed: self.fed,
             dynamic,
+            carry: None,
             result: std::mem::take(&mut self.result),
         };
         self.state.reset();
@@ -381,6 +604,7 @@ impl<P: ExecutionPlan> FlowSession for ByteSession<'_, P> {
     }
 
     fn resume(&mut self, flow: SuspendedFlow) {
+        debug_assert!(flow.carry.is_none(), "byte sessions carry no odd byte");
         self.state.restore(flow.cycle, &flow.dynamic);
         self.fed = flow.fed;
         self.result = flow.result;

@@ -31,7 +31,10 @@
 //!   structure-at-a-time engine, kept as the semantic baseline;
 //! * [`strided::StridedSimulator`] — two-bytes-per-cycle execution of a
 //!   [`StridedNfa`](cama_core::stride::StridedNfa) on a factored
-//!   pair-match plan;
+//!   pair-match plan, with the byte engine's selective word visitation;
+//!   [`strided::EncodedStridedSimulator`] runs the same pair loop on
+//!   per-half encoding codebooks, and the sharded engine and stream
+//!   table accept both strided plan flavours;
 //! * [`activity`] — the per-cycle observer interface and summary
 //!   statistics the energy models consume;
 //! * [`buffers`] — the 128-entry input / 64-entry output buffer
@@ -105,5 +108,7 @@ pub use frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 pub use interp::{InterpSession, InterpSimulator};
 pub use result::{Report, RunResult};
 pub use session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
-pub use sharded::{ShardStats, ShardedSession, ShardedSimulator};
-pub use strided::{StridedSession, StridedSimulator};
+pub use sharded::{ShardStats, ShardedExecution, ShardedSession, ShardedSimulator};
+pub use strided::{
+    EncodedStridedSession, EncodedStridedSimulator, StridedSession, StridedSimulator,
+};

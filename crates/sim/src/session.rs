@@ -114,6 +114,10 @@ pub struct SuspendedFlow {
     pub(crate) fed: usize,
     /// Global ids of dynamically enabled states at suspension.
     pub(crate) dynamic: Vec<u32>,
+    /// A strided stream's dangling odd byte (the first half of a pair
+    /// whose second byte had not arrived at suspension). Always `None`
+    /// for byte-per-cycle sessions.
+    pub(crate) carry: Option<u8>,
     pub(crate) result: RunResult,
 }
 
@@ -121,6 +125,11 @@ impl SuspendedFlow {
     /// Input positions consumed before suspension.
     pub fn bytes_fed(&self) -> usize {
         self.fed
+    }
+
+    /// A strided flow's pending odd byte, if it was suspended mid-pair.
+    pub fn pending_carry(&self) -> Option<u8> {
+        self.carry
     }
 
     /// Global ids of the dynamically enabled states captured at

@@ -34,7 +34,11 @@ use crate::engine::sparse_clear;
 use crate::result::{Report, RunResult};
 use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
-use cama_core::compiled::{CompiledAutomaton, ExecutionPlan, ShardedAutomaton};
+use cama_core::compiled::{
+    CompiledAutomaton, CompiledEncodedAutomaton, CompiledEncodedStridedAutomaton,
+    CompiledStridedAutomaton, ExecutionPlan, PlanBase, ShardedAutomaton, StridedPlan,
+};
+use cama_core::stride::ReportPhase;
 use cama_core::{Nfa, SteId};
 
 /// One shard's mutable half of a stream: local enable/active vectors
@@ -120,8 +124,9 @@ impl ShardStats {
 /// execution is supported through `chain`, exactly as in
 /// [`ByteSession`](crate::ByteSession). Like the flat session, it is
 /// generic over the per-shard plan flavour: byte plans by default, or
-/// [`CompiledEncodedAutomaton`](cama_core::compiled::CompiledEncodedAutomaton)
-/// shards for encoding-aware sharded execution.
+/// [`CompiledEncodedAutomaton`] / [`CompiledStridedAutomaton`] /
+/// [`CompiledEncodedStridedAutomaton`] shards for encoding-aware,
+/// 2-stride, and encoded 2-stride sharded execution.
 ///
 /// # Examples
 ///
@@ -139,7 +144,7 @@ impl ShardStats {
 /// # Ok::<(), cama_core::Error>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct ShardedSession<'p, P: ExecutionPlan = CompiledAutomaton> {
+pub struct ShardedSession<'p, P: PlanBase = CompiledAutomaton> {
     plan: &'p ShardedAutomaton<P>,
     chain: usize,
     skip_idle: bool,
@@ -151,6 +156,9 @@ pub struct ShardedSession<'p, P: ExecutionPlan = CompiledAutomaton> {
     /// report order matches the flat engine exactly.
     staged_reports: Vec<Report>,
     cycle: usize,
+    /// Strided plans: first byte of a pair whose second byte has not
+    /// arrived yet. Always `None` for byte plans.
+    carry: Option<u8>,
     result: RunResult,
     fed: usize,
     stats: ShardStats,
@@ -159,7 +167,7 @@ pub struct ShardedSession<'p, P: ExecutionPlan = CompiledAutomaton> {
     flat_scratch: Option<Box<FlatViewScratch>>,
 }
 
-impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
+impl<'p, P: PlanBase> ShardedSession<'p, P> {
     /// Starts a symbol-per-cycle session over a shared sharded plan.
     pub fn new(plan: &'p ShardedAutomaton<P>) -> Self {
         Self::with_chain(plan, 1)
@@ -185,6 +193,7 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
             exchange: Vec::new(),
             staged_reports: Vec::new(),
             cycle: 0,
+            carry: None,
             result: RunResult::default(),
             fed: 0,
             stats: ShardStats::new(plan.num_shards()),
@@ -220,24 +229,85 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
         std::mem::replace(&mut self.stats, ShardStats::new(self.plan.num_shards()))
     }
 
+    /// The once-per-cycle epilogue shared by the byte and pair kernels:
+    /// the cross-shard exchange, the lane advance, the per-cycle report
+    /// commit (in ascending (offset, state) order, matching the flat
+    /// engines' within-cycle order), and the cycle accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn end_cycle(
+        &mut self,
+        symbol: u8,
+        num_active: usize,
+        num_dynamic: usize,
+        cycle_reports: usize,
+        visited: usize,
+        skipped: usize,
+        observer: &mut impl ShardObserver,
+    ) {
+        // The once-per-cycle cross-shard exchange: apply staged
+        // activations to the target shards' next vectors.
+        self.stats.cross_activations += self.exchange.len() as u64;
+        for &packed in &self.exchange {
+            let lane = &mut self.lanes[(packed >> 32) as usize];
+            let local = (packed & u64::from(u32::MAX)) as usize;
+            lane.next.as_words_mut()[local / 64] |= 1u64 << (local % 64);
+            lane.next_any[local / 4096] |= 1u64 << ((local / 64) % 64);
+        }
+        self.exchange.clear();
+
+        // Advance every lane: next becomes dynamic; the old dynamic
+        // storage is sparse-cleared and becomes next cycle's scratch.
+        for lane in self.lanes.iter_mut() {
+            std::mem::swap(&mut lane.dynamic, &mut lane.next);
+            std::mem::swap(&mut lane.dynamic_any, &mut lane.next_any);
+            sparse_clear(lane.next.as_words_mut(), &mut lane.next_any);
+        }
+
+        // Emit this cycle's reports in ascending (offset, global state)
+        // order — for byte plans all of a cycle's offsets are equal, so
+        // this is exactly the flat engine's within-cycle state order.
+        self.staged_reports
+            .sort_unstable_by_key(|r| (r.offset, r.ste));
+        self.result.reports.append(&mut self.staged_reports);
+        self.result
+            .activity
+            .record(num_active, num_dynamic, cycle_reports);
+        observer.on_cycle_end(&ShardCycleSummary {
+            cycle: self.cycle,
+            symbol,
+            shards_visited: visited,
+            shards_skipped: skipped,
+            reports: cycle_reports,
+        });
+        self.cycle += 1;
+    }
+}
+
+impl<'p, P: ShardedExecution> ShardedSession<'p, P> {
     /// Consumes one chunk, delivering per-shard activity to `observer`
     /// — the native observation path of this engine (the [`Session`]
     /// `feed_with` materializes flat [`CycleView`]s for compatibility
-    /// instead).
+    /// instead). Byte plans consume one symbol per cycle; strided plans
+    /// consume a symbol pair, carrying a dangling odd byte across
+    /// chunk boundaries.
     pub fn feed_sharded_with(&mut self, chunk: &[u8], observer: &mut impl ShardObserver) {
-        if self.chain == 1 {
-            for &symbol in chunk {
-                self.step(symbol, true, observer);
-            }
-        } else {
-            for &symbol in chunk {
-                let inject = self.cycle.is_multiple_of(self.chain);
-                self.step(symbol, inject, observer);
-            }
-        }
+        P::drive(self, chunk, observer);
         self.fed += chunk.len();
     }
 
+    /// Flushes pending partial state (a strided carry byte), observing
+    /// flush cycles natively, and returns the accumulated result — the
+    /// [`ShardObserver`] counterpart of [`Session::finish_with`].
+    pub fn finish_sharded_with(&mut self, observer: &mut impl ShardObserver) -> RunResult {
+        P::flush(self, observer);
+        let mut result = std::mem::take(&mut self.result);
+        P::sort_reports(&mut result.reports);
+        self.reset_state();
+        result
+    }
+}
+
+impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
     /// Executes one cycle: per-shard match/transition over the visited
     /// shards, then the cross-shard exchange, then the global advance.
     fn step(&mut self, symbol: u8, inject_starts: bool, observer: &mut impl ShardObserver) {
@@ -255,7 +325,6 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
             exchange,
             staged_reports,
             cycle,
-            result,
             stats,
             ..
         } = self;
@@ -393,42 +462,363 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
             });
         }
 
-        // The once-per-cycle cross-shard exchange: apply staged
-        // activations to the target shards' next vectors.
-        stats.cross_activations += exchange.len() as u64;
-        for &packed in exchange.iter() {
-            let lane = &mut lanes[(packed >> 32) as usize];
-            let local = (packed & u64::from(u32::MAX)) as usize;
-            lane.next.as_words_mut()[local / 64] |= 1u64 << (local % 64);
-            lane.next_any[local / 4096] |= 1u64 << ((local / 64) % 64);
-        }
-        exchange.clear();
-
-        // Advance every lane: next becomes dynamic; the old dynamic
-        // storage is sparse-cleared and becomes next cycle's scratch.
-        for lane in lanes.iter_mut() {
-            std::mem::swap(&mut lane.dynamic, &mut lane.next);
-            std::mem::swap(&mut lane.dynamic_any, &mut lane.next_any);
-            sparse_clear(lane.next.as_words_mut(), &mut lane.next_any);
-        }
-
-        // Emit this cycle's reports in ascending global-state order,
-        // matching the flat engine's within-cycle order exactly.
-        staged_reports.sort_unstable_by_key(|r| r.ste);
-        result.reports.append(staged_reports);
-        result
-            .activity
-            .record(num_active, num_dynamic, cycle_reports);
-        observer.on_cycle_end(&ShardCycleSummary {
-            cycle: *cycle,
+        self.end_cycle(
             symbol,
-            shards_visited: visited,
-            shards_skipped: skipped,
-            reports: cycle_reports,
-        });
-        *cycle += 1;
+            num_active,
+            num_dynamic,
+            cycle_reports,
+            visited,
+            skipped,
+            observer,
+        );
+    }
+}
+
+impl<'p, P: StridedPlan> ShardedSession<'p, P> {
+    /// Executes one *pair* cycle: the strided counterpart of
+    /// [`step`](ShardedSession::step). Within a visited shard,
+    /// `active = first[a] & second[b] & enabled` per dirty 64-state
+    /// word (both halves' summaries fused into the visit filter);
+    /// shards with nothing enabled — empty dynamic vector, no
+    /// statically enabled state whose two halves could both match this
+    /// pair, no live start-of-data overlap on cycle 0 — are skipped
+    /// without touching a word. Reports map through each state's
+    /// [`ReportPhase`]; `limit` suppresses pad-byte reports exactly
+    /// like the flat strided session.
+    fn step_pair(&mut self, a: u8, b: u8, limit: usize, observer: &mut impl ShardObserver) {
+        let first_cycle = self.cycle == 0;
+        let mut num_active = 0usize;
+        let mut num_dynamic = 0usize;
+        let mut cycle_reports = 0usize;
+        let mut visited = 0usize;
+        let mut skipped = 0usize;
+
+        let ShardedSession {
+            plan,
+            skip_idle,
+            lanes,
+            exchange,
+            staged_reports,
+            cycle,
+            stats,
+            ..
+        } = self;
+
+        for (si, (shard, lane)) in plan.shards().iter().zip(lanes.iter_mut()).enumerate() {
+            let dynamic_empty = lane.dynamic_is_empty();
+            // Starts inject on every pair cycle; the precomputed pair
+            // probe answers exactly whether a statically enabled state
+            // matches `a` in its first half and `b` in its second.
+            let starts_matter = shard.pair_start_possible(a, b);
+            let splan = shard.plan();
+            // Cycle 0 only: a live start-of-data state must match both
+            // halves of this pair to fire.
+            let sod_matters = first_cycle && shard.has_start_of_data() && {
+                let sod = splan.start_of_data_mask().as_words();
+                let first = splan.first_vector(a).as_words();
+                let second = splan.second_vector(b).as_words();
+                sod.iter()
+                    .enumerate()
+                    .any(|(w, &m)| m & first[w] & second[w] != 0)
+            };
+            if shard.is_empty() || (*skip_idle && dynamic_empty && !starts_matter && !sod_matters) {
+                skipped += 1;
+                stats.skipped_shard_cycles += 1;
+                continue;
+            }
+            visited += 1;
+            stats.shard_cycles[si] += 1;
+            stats.words_visited += splan.len().div_ceil(64) as u64;
+
+            let first_words = splan.first_vector(a).as_words();
+            let first_any = splan.first_any(a);
+            let second_words = splan.second_vector(b).as_words();
+            let second_any = splan.second_any(b);
+            let sod_words = splan.start_of_data_mask().as_words();
+            let sod_any = splan.start_of_data_any();
+            let report_words = splan.report_mask().as_words();
+            let globals = shard.global_states();
+
+            // Sparse-clear the previous cycle's active words.
+            sparse_clear(lane.active.as_words_mut(), &mut lane.active_any);
+            let active_words = lane.active.as_words_mut();
+
+            // Phase 1: build the active vector from its enable sources,
+            // visiting only words both halves and a source mark.
+            let start_words = splan.first_start_match(a).as_words();
+            for (j, &any) in splan.first_start_match_any(a).iter().enumerate() {
+                let mut dirty = any & second_any[j];
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    let active = start_words[w] & second_words[w];
+                    if active != 0 {
+                        active_words[w] |= active;
+                        lane.active_any[j] |= 1u64 << (w % 64);
+                    }
+                }
+            }
+            let dynamic_words = lane.dynamic.as_words();
+            for (j, &dynamic_any) in lane.dynamic_any.iter().enumerate() {
+                let mut dirty = first_any[j] & second_any[j] & dynamic_any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    let active = first_words[w] & second_words[w] & dynamic_words[w];
+                    if active != 0 {
+                        active_words[w] |= active;
+                        lane.active_any[j] |= 1u64 << (w % 64);
+                    }
+                }
+                let mut dirty = dynamic_any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    num_dynamic += dynamic_words[w].count_ones() as usize;
+                    dirty &= dirty - 1;
+                }
+            }
+            if first_cycle {
+                for (j, &any) in sod_any.iter().enumerate() {
+                    let mut dirty = first_any[j] & second_any[j] & any;
+                    while dirty != 0 {
+                        let w = j * 64 + dirty.trailing_zeros() as usize;
+                        dirty &= dirty - 1;
+                        let active = first_words[w] & second_words[w] & sod_words[w];
+                        if active != 0 {
+                            active_words[w] |= active;
+                            lane.active_any[j] |= 1u64 << (w % 64);
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: one pass over the active words — popcounts,
+            // phase-mapped reports (with global ids), local successor
+            // expansion, and staging of cross-shard activations.
+            let next_words = lane.next.as_words_mut();
+            let mut shard_reports = 0usize;
+            for (j, &active_any) in lane.active_any.iter().enumerate() {
+                let mut dirty = active_any;
+                while dirty != 0 {
+                    let w = j * 64 + dirty.trailing_zeros() as usize;
+                    dirty &= dirty - 1;
+                    let active = active_words[w];
+                    num_active += active.count_ones() as usize;
+
+                    let mut reporting = active & report_words[w];
+                    while reporting != 0 {
+                        let local = w * 64 + reporting.trailing_zeros() as usize;
+                        let (code, phase) = splan.report_pair_unchecked(local);
+                        let offset = match phase {
+                            ReportPhase::First => *cycle * 2,
+                            ReportPhase::Second => *cycle * 2 + 1,
+                        };
+                        // Suppress reports landing on the pad byte.
+                        if offset < limit {
+                            staged_reports.push(Report {
+                                ste: SteId(globals[local]),
+                                code,
+                                offset,
+                            });
+                            shard_reports += 1;
+                        }
+                        reporting &= reporting - 1;
+                    }
+
+                    let mut remaining = active;
+                    while remaining != 0 {
+                        let local = w * 64 + remaining.trailing_zeros() as usize;
+                        for &succ in splan.successors(local) {
+                            let succ = succ as usize;
+                            next_words[succ / 64] |= 1u64 << (succ % 64);
+                            lane.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
+                        }
+                        for t in shard.cross_successors(local) {
+                            exchange.push(u64::from(t.shard) << 32 | u64::from(t.local));
+                        }
+                        remaining &= remaining - 1;
+                    }
+                }
+            }
+            cycle_reports += shard_reports;
+
+            observer.on_shard_cycle(&ShardCycleView {
+                cycle: *cycle,
+                symbol: a,
+                shard: si,
+                global_states: globals,
+                dynamic_enabled: &lane.dynamic,
+                active: &lane.active,
+                reports: shard_reports,
+            });
+        }
+
+        self.end_cycle(
+            a,
+            num_active,
+            num_dynamic,
+            cycle_reports,
+            visited,
+            skipped,
+            observer,
+        );
+    }
+}
+
+/// The flavour-specific driver half of a [`ShardedSession`]: how a
+/// concrete plan type maps a chunk of input bytes onto engine cycles.
+/// Byte and encoded plans ([`CompiledAutomaton`],
+/// [`CompiledEncodedAutomaton`]) consume one symbol per cycle; strided
+/// plans ([`CompiledStridedAutomaton`],
+/// [`CompiledEncodedStridedAutomaton`]) consume a symbol pair per
+/// cycle, carrying a dangling odd byte across chunk boundaries and
+/// flushing it (zero-padded, pad reports suppressed) at finish.
+///
+/// Implemented per concrete plan type — the kernels themselves stay
+/// generic over [`ExecutionPlan`] / [`StridedPlan`]; this trait only
+/// selects which kernel drives the session, which is what lets one
+/// [`ShardedSession`] (and [`StreamPlan`](crate::StreamPlan), and
+/// therefore [`BatchSimulator`](crate::BatchSimulator)) accept every
+/// plan flavour.
+pub trait ShardedExecution: PlanBase + Sized {
+    /// Consumes `chunk` through `session`, delivering per-shard
+    /// activity to `observer`.
+    fn drive<O: ShardObserver>(
+        session: &mut ShardedSession<'_, Self>,
+        chunk: &[u8],
+        observer: &mut O,
+    );
+
+    /// Flushes pending partial state at finish (a strided carry byte;
+    /// a no-op for byte plans).
+    fn flush<O: ShardObserver>(session: &mut ShardedSession<'_, Self>, observer: &mut O) {
+        let _ = (session, observer);
     }
 
+    /// End-of-stream report ordering: strided plans re-sort by
+    /// (offset, state) because a pair cycle emits two offsets; byte
+    /// plans are already in that order.
+    fn sort_reports(reports: &mut Vec<Report>) {
+        let _ = reports;
+    }
+}
+
+/// The byte kernel: one symbol per cycle, start injection gated by the
+/// multi-step chain.
+fn drive_byte<P: ExecutionPlan>(
+    session: &mut ShardedSession<'_, P>,
+    chunk: &[u8],
+    observer: &mut impl ShardObserver,
+) {
+    if session.chain == 1 {
+        for &symbol in chunk {
+            session.step(symbol, true, observer);
+        }
+    } else {
+        for &symbol in chunk {
+            let inject = session.cycle.is_multiple_of(session.chain);
+            session.step(symbol, inject, observer);
+        }
+    }
+}
+
+/// The paired kernel: two symbols per cycle with the carry byte.
+fn drive_pairs<P: StridedPlan>(
+    session: &mut ShardedSession<'_, P>,
+    chunk: &[u8],
+    observer: &mut impl ShardObserver,
+) {
+    assert_eq!(
+        session.chain, 1,
+        "multi-step chains are a byte-plan concept; strided plans consume pairs"
+    );
+    let mut chunk = chunk;
+    if let Some(a) = session.carry {
+        let Some((&b, rest)) = chunk.split_first() else {
+            return;
+        };
+        session.carry = None;
+        session.step_pair(a, b, usize::MAX, observer);
+        chunk = rest;
+    }
+    let mut pairs = chunk.chunks_exact(2);
+    for pair in pairs.by_ref() {
+        session.step_pair(pair[0], pair[1], usize::MAX, observer);
+    }
+    if let [last] = *pairs.remainder() {
+        session.carry = Some(last);
+    }
+}
+
+/// The paired flush: a pending carry byte becomes a zero-padded final
+/// pair whose pad-offset reports are suppressed.
+fn flush_pairs<P: StridedPlan>(
+    session: &mut ShardedSession<'_, P>,
+    observer: &mut impl ShardObserver,
+) {
+    if let Some(a) = session.carry.take() {
+        let limit = session.fed;
+        session.step_pair(a, 0, limit, observer);
+    }
+}
+
+impl ShardedExecution for CompiledAutomaton {
+    fn drive<O: ShardObserver>(
+        session: &mut ShardedSession<'_, Self>,
+        chunk: &[u8],
+        observer: &mut O,
+    ) {
+        drive_byte(session, chunk, observer);
+    }
+}
+
+impl ShardedExecution for CompiledEncodedAutomaton {
+    fn drive<O: ShardObserver>(
+        session: &mut ShardedSession<'_, Self>,
+        chunk: &[u8],
+        observer: &mut O,
+    ) {
+        drive_byte(session, chunk, observer);
+    }
+}
+
+impl ShardedExecution for CompiledStridedAutomaton {
+    fn drive<O: ShardObserver>(
+        session: &mut ShardedSession<'_, Self>,
+        chunk: &[u8],
+        observer: &mut O,
+    ) {
+        drive_pairs(session, chunk, observer);
+    }
+
+    fn flush<O: ShardObserver>(session: &mut ShardedSession<'_, Self>, observer: &mut O) {
+        flush_pairs(session, observer);
+    }
+
+    fn sort_reports(reports: &mut Vec<Report>) {
+        reports.sort_by_key(|r| (r.offset, r.ste));
+    }
+}
+
+impl ShardedExecution for CompiledEncodedStridedAutomaton {
+    fn drive<O: ShardObserver>(
+        session: &mut ShardedSession<'_, Self>,
+        chunk: &[u8],
+        observer: &mut O,
+    ) {
+        drive_pairs(session, chunk, observer);
+    }
+
+    fn flush<O: ShardObserver>(session: &mut ShardedSession<'_, Self>, observer: &mut O) {
+        flush_pairs(session, observer);
+    }
+
+    fn sort_reports(reports: &mut Vec<Report>) {
+        reports.sort_by_key(|r| (r.offset, r.ste));
+    }
+}
+
+impl<'p, P: PlanBase> ShardedSession<'p, P> {
     /// Restores power-on state (stats excepted), keeping capacity.
     fn reset_state(&mut self) {
         for lane in &mut self.lanes {
@@ -437,11 +827,12 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
         self.exchange.clear();
         self.staged_reports.clear();
         self.cycle = 0;
+        self.carry = None;
         self.fed = 0;
     }
 }
 
-impl<P: ExecutionPlan> Session for ShardedSession<'_, P> {
+impl<P: ShardedExecution> Session for ShardedSession<'_, P> {
     fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
         // The global-sized scatter scratch is cached on the session so
         // per-chunk cost stays O(activity), not O(states) of fresh
@@ -464,8 +855,24 @@ impl<P: ExecutionPlan> Session for ShardedSession<'_, P> {
         self.feed_sharded_with(chunk, &mut NullObserver);
     }
 
-    fn finish_with(&mut self, _observer: &mut impl Observer) -> RunResult {
-        let result = std::mem::take(&mut self.result);
+    fn finish_with(&mut self, observer: &mut impl Observer) -> RunResult {
+        if self.carry.is_some() {
+            // A strided carry byte flushes as one final pair cycle;
+            // route its activity through the flat-view adapter so the
+            // observer sees the flush exactly like fed cycles.
+            let mut scratch = self
+                .flat_scratch
+                .take()
+                .unwrap_or_else(|| Box::new(FlatViewScratch::new(self.plan.len())));
+            let mut adapter = GlobalViewAdapter {
+                observer,
+                scratch: &mut scratch,
+            };
+            P::flush(self, &mut adapter);
+            self.flat_scratch = Some(scratch);
+        }
+        let mut result = std::mem::take(&mut self.result);
+        P::sort_reports(&mut result.reports);
         self.reset_state();
         result
     }
@@ -485,7 +892,7 @@ impl<P: ExecutionPlan> Session for ShardedSession<'_, P> {
     }
 }
 
-impl<P: ExecutionPlan> FlowSession for ShardedSession<'_, P> {
+impl<P: ShardedExecution> FlowSession for ShardedSession<'_, P> {
     fn suspend(&mut self) -> SuspendedFlow {
         let mut dynamic = Vec::new();
         for (shard, lane) in self.plan.shards().iter().zip(&self.lanes) {
@@ -497,6 +904,7 @@ impl<P: ExecutionPlan> FlowSession for ShardedSession<'_, P> {
             cycle: self.cycle,
             fed: self.fed,
             dynamic,
+            carry: self.carry.take(),
             result: std::mem::take(&mut self.result),
         };
         self.reset_state();
@@ -507,6 +915,7 @@ impl<P: ExecutionPlan> FlowSession for ShardedSession<'_, P> {
         debug_assert!(self.cycle == 0 && self.is_idle());
         self.cycle = flow.cycle;
         self.fed = flow.fed;
+        self.carry = flow.carry;
         self.result = flow.result;
         for &global in &flow.dynamic {
             let (shard, local) = self.plan.placement_of(global as usize);
@@ -518,7 +927,7 @@ impl<P: ExecutionPlan> FlowSession for ShardedSession<'_, P> {
     }
 
     fn is_idle(&self) -> bool {
-        self.lanes.iter().all(ShardLane::dynamic_is_empty)
+        self.carry.is_none() && self.lanes.iter().all(ShardLane::dynamic_is_empty)
     }
 
     fn for_each_active_shard(&self, mut f: impl FnMut(usize)) {

@@ -2,28 +2,43 @@
 //! compiled strided plan.
 //!
 //! The pair match vector is computed word-level from the plan's two
-//! factored tables (`first_table[a] & second_table[b]` — the software
-//! form of a two-segment match CAM), so per-cycle cost no longer scans
-//! states one at a time. Report offsets are translated back to original
-//! byte offsets using the [`ReportPhase`] carried by each strided
-//! state, so a strided run is directly comparable with (and tested
-//! equivalent to) the 1-stride run of the original automaton.
+//! factored tables (`first[a] & second[b]` — the software form of a
+//! two-segment match CAM), and the stepping loop is the byte engine's
+//! generic loop in paired form: [`StridedSession`] is generic over any
+//! [`StridedPlan`], so the raw-byte plan
+//! ([`CompiledStridedAutomaton`]) and the encoding-aware plan
+//! ([`CompiledEncodedStridedAutomaton`], per-half codebooks) execute
+//! through one kernel. Like the byte engine, the kernel visits only
+//! 64-state words both halves' summaries *and* an enable source mark —
+//! the 2-stride form of CAMA's selective precharge — with a
+//! non-selective baseline ([`StridedSession::set_selective`]) that
+//! precharges every word, for the `strided` bench group's comparison.
 //!
-//! The stepping loop lives in [`StridedSession`]; a chunk that ends
-//! mid-pair leaves its odd byte in the session's carry slot, so feeding
-//! a stream in arbitrary chunks (including 1-byte chunks) produces the
-//! same pairs — and the same absolute report offsets — as a one-shot
-//! run.
+//! Report offsets are translated back to original byte offsets using
+//! the [`ReportPhase`](cama_core::stride::ReportPhase) carried by each
+//! strided state, so a strided run
+//! is directly comparable with (and tested equivalent to) the 1-stride
+//! run of the original automaton. A chunk that ends mid-pair leaves
+//! its odd byte in the session's carry slot, so feeding a stream in
+//! arbitrary chunks (including 1-byte chunks) produces the same pairs
+//! — and the same absolute report offsets — as a one-shot run; the
+//! carry also survives [`suspend`](crate::FlowSession::suspend) /
+//! [`resume`](crate::FlowSession::resume), so the stream table can
+//! park strided flows mid-pair.
 
-use crate::activity::{CycleView, NullObserver, Observer};
-use crate::result::{Report, RunResult};
-use crate::session::{AutomataEngine, Session};
+use crate::activity::{NullObserver, Observer};
+use crate::engine::CycleState;
+use crate::result::RunResult;
+use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
-use cama_core::compiled::CompiledStridedAutomaton;
-use cama_core::stride::{ReportPhase, StridedNfa};
-use cama_core::SteId;
+use cama_core::compiled::{CompiledEncodedStridedAutomaton, CompiledStridedAutomaton, StridedPlan};
+use cama_core::stride::StridedNfa;
+use cama_encoding::StridedEncoding;
 
-/// A streaming session over a [`CompiledStridedAutomaton`].
+/// A streaming session over a [`StridedPlan`] — by default the raw-byte
+/// [`CompiledStridedAutomaton`]; instantiate with
+/// [`CompiledEncodedStridedAutomaton`] (the [`EncodedStridedSession`]
+/// alias) to execute on per-half codebooks.
 ///
 /// The session owns the enable vectors, the pair-cycle offset, the
 /// report accumulation, and the *carry byte*: when a chunk ends on an
@@ -50,37 +65,63 @@ use cama_core::SteId;
 /// # Ok::<(), cama_core::Error>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct StridedSession<'p> {
-    plan: &'p CompiledStridedAutomaton,
-    dynamic: BitSet,
-    next: BitSet,
-    active: BitSet,
-    cycle: usize,
+pub struct StridedSession<'p, P: StridedPlan = CompiledStridedAutomaton> {
+    plan: &'p P,
+    state: CycleState,
     /// First byte of a pair whose second byte has not arrived yet.
     carry: Option<u8>,
     fed: usize,
+    /// Selective visitation on (default) or the precharge-everything
+    /// baseline.
+    selective: bool,
+    /// 64-state words visited, monotone across `finish`/`reset` (like
+    /// [`ShardStats`](crate::ShardStats), it describes the session's
+    /// lifetime).
+    words_visited: u64,
+    /// Scratch for the non-selective baseline's materialized enable
+    /// vector.
+    enabled_scratch: BitSet,
     result: RunResult,
 }
 
-impl<'p> StridedSession<'p> {
+/// A streaming session over a [`CompiledEncodedStridedAutomaton`]: the
+/// same paired stepping loop, with each half's symbol routed through
+/// its own input-encoder lookup.
+pub type EncodedStridedSession<'p> = StridedSession<'p, CompiledEncodedStridedAutomaton>;
+
+impl<'p, P: StridedPlan> StridedSession<'p, P> {
     /// Starts a session over a shared strided plan.
-    pub fn new(plan: &'p CompiledStridedAutomaton) -> Self {
-        let n = plan.len();
+    pub fn new(plan: &'p P) -> Self {
         StridedSession {
             plan,
-            dynamic: BitSet::new(n),
-            next: BitSet::new(n),
-            active: BitSet::new(n),
-            cycle: 0,
+            state: CycleState::new(plan.len()),
             carry: None,
             fed: 0,
+            selective: true,
+            words_visited: 0,
+            enabled_scratch: BitSet::new(plan.len()),
             result: RunResult::default(),
         }
     }
 
     /// The shared compiled plan this session executes.
-    pub fn plan(&self) -> &'p CompiledStridedAutomaton {
+    pub fn plan(&self) -> &'p P {
         self.plan
+    }
+
+    /// Enables or disables selective word visitation (on by default).
+    /// With it off every pair cycle precharges (visits) every 64-state
+    /// word — the "all words always searched" baseline the `strided`
+    /// bench group compares against. Results are identical either way.
+    pub fn set_selective(&mut self, on: bool) {
+        self.selective = on;
+    }
+
+    /// Total 64-state words visited by this session's pair cycles —
+    /// monotone across `finish`/`reset` (a lifetime counter, like
+    /// [`ShardStats`](crate::ShardStats)).
+    pub fn words_visited(&self) -> u64 {
+        self.words_visited
     }
 
     /// Executes one pair cycle. Reports map to absolute byte offsets
@@ -89,81 +130,24 @@ impl<'p> StridedSession<'p> {
     /// limit — every mid-stream pair's offsets are below the bytes
     /// already fed).
     fn step(&mut self, a: u8, b: u8, limit: usize, observer: &mut impl Observer) {
-        // One fused pass: active = first[a] & second[b] & (dynamic ∪
-        // injected starts), with popcounts, the phase-mapped report
-        // scan, and the successor expansion per 64-state word.
-        let first_cycle = self.cycle == 0;
-        let first_words = self.plan.first_table(a).as_words();
-        let second_words = self.plan.second_table(b).as_words();
-        let all_input_words = self.plan.all_input_mask().as_words();
-        let sod_words = self.plan.start_of_data_mask().as_words();
-        let report_words = self.plan.report_mask().as_words();
-
-        self.next.clear();
-        let mut num_active = 0usize;
-        let mut num_dynamic = 0usize;
-        let mut reports_this_cycle = 0usize;
-        let active_words = self.active.as_words_mut();
-        for (w, &dynamic_word) in self.dynamic.as_words().iter().enumerate() {
-            num_dynamic += dynamic_word.count_ones() as usize;
-            let mut enabled = dynamic_word | all_input_words[w];
-            if first_cycle {
-                enabled |= sod_words[w];
-            }
-            let active = first_words[w] & second_words[w] & enabled;
-            active_words[w] = active;
-            if active == 0 {
-                continue;
-            }
-            num_active += active.count_ones() as usize;
-
-            let mut reporting = active & report_words[w];
-            while reporting != 0 {
-                let state = w * 64 + reporting.trailing_zeros() as usize;
-                let (code, phase) = self.plan.report_unchecked(state);
-                let offset = match phase {
-                    ReportPhase::First => self.cycle * 2,
-                    ReportPhase::Second => self.cycle * 2 + 1,
-                };
-                // Suppress reports that land on the pad byte.
-                if offset < limit {
-                    self.result.reports.push(Report {
-                        ste: SteId(state as u32),
-                        code,
-                        offset,
-                    });
-                    reports_this_cycle += 1;
-                }
-                reporting &= reporting - 1;
-            }
-
-            let mut remaining = active;
-            while remaining != 0 {
-                let state = w * 64 + remaining.trailing_zeros() as usize;
-                for &succ in self.plan.successors(state) {
-                    self.next.insert(succ as usize);
-                }
-                remaining &= remaining - 1;
-            }
-        }
-
-        self.result
-            .activity
-            .record(num_active, num_dynamic, reports_this_cycle);
-        observer.on_cycle(&CycleView {
-            cycle: self.cycle,
-            symbol: a,
-            dynamic_enabled: &self.dynamic,
-            active: &self.active,
-            reports: reports_this_cycle,
-        });
-
-        std::mem::swap(&mut self.dynamic, &mut self.next);
-        self.cycle += 1;
+        self.words_visited += if self.selective {
+            self.state
+                .step_pair(self.plan, a, b, limit, &mut self.result, observer)
+        } else {
+            self.state.step_pair_naive(
+                self.plan,
+                a,
+                b,
+                limit,
+                &mut self.enabled_scratch,
+                &mut self.result,
+                observer,
+            )
+        };
     }
 }
 
-impl Session for StridedSession<'_> {
+impl<P: StridedPlan> Session for StridedSession<'_, P> {
     fn feed_with(&mut self, chunk: &[u8], observer: &mut impl Observer) {
         self.fed += chunk.len();
         let mut chunk = chunk;
@@ -195,10 +179,7 @@ impl Session for StridedSession<'_> {
     }
 
     fn reset(&mut self) {
-        self.dynamic.clear();
-        self.next.clear();
-        self.active.clear();
-        self.cycle = 0;
+        self.state.reset();
         self.carry = None;
         self.fed = 0;
         self.result.reports.clear();
@@ -211,6 +192,40 @@ impl Session for StridedSession<'_> {
 
     fn pending(&self) -> &RunResult {
         &self.result
+    }
+}
+
+impl<P: StridedPlan> FlowSession for StridedSession<'_, P> {
+    fn suspend(&mut self) -> SuspendedFlow {
+        let mut dynamic = Vec::new();
+        self.state.snapshot_dynamic(&mut dynamic);
+        let flow = SuspendedFlow {
+            cycle: self.state.cycle(),
+            fed: self.fed,
+            dynamic,
+            carry: self.carry.take(),
+            result: std::mem::take(&mut self.result),
+        };
+        self.state.reset();
+        self.fed = 0;
+        flow
+    }
+
+    fn resume(&mut self, flow: SuspendedFlow) {
+        self.state.restore(flow.cycle, &flow.dynamic);
+        self.carry = flow.carry;
+        self.fed = flow.fed;
+        self.result = flow.result;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.state.dynamic_is_empty() && self.carry.is_none()
+    }
+
+    fn for_each_active_shard(&self, mut f: impl FnMut(usize)) {
+        if !self.is_idle() {
+            f(0);
+        }
     }
 }
 
@@ -283,6 +298,95 @@ impl<'a> AutomataEngine for StridedSimulator<'a> {
     }
 }
 
+/// A cycle-by-cycle simulator executing a [`StridedNfa`] on its encoded
+/// plan: runs the per-half encoding toolchain
+/// ([`StridedEncoding::for_strided`], or an explicit encoding) and
+/// executes on the per-half codebooks — bit-identical to
+/// [`StridedSimulator`] because each half's encoding is exact.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::regex;
+/// use cama_core::stride::StridedNfa;
+/// use cama_sim::{EncodedStridedSimulator, StridedSimulator};
+///
+/// let nfa = regex::compile("ab+")?;
+/// let strided = StridedNfa::from_nfa(&nfa);
+/// let result = EncodedStridedSimulator::new(&strided).run(b"zabbz");
+/// assert_eq!(result, StridedSimulator::new(&strided).run(b"zabbz"));
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct EncodedStridedSimulator<'a> {
+    nfa: &'a StridedNfa,
+    encoding: StridedEncoding,
+    plan: CompiledEncodedStridedAutomaton,
+}
+
+impl<'a> EncodedStridedSimulator<'a> {
+    /// Runs the proposed per-half encoding pipeline on `nfa` and
+    /// compiles the executable plan.
+    pub fn new(nfa: &'a StridedNfa) -> Self {
+        Self::with_encoding(nfa, StridedEncoding::for_strided(nfa))
+    }
+
+    /// Uses an explicit per-half encoding (e.g. a
+    /// [`StridedEncoding::with_scheme`] baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding` does not cover `nfa`.
+    pub fn with_encoding(nfa: &'a StridedNfa, encoding: StridedEncoding) -> Self {
+        let plan = encoding.compile(nfa);
+        EncodedStridedSimulator {
+            nfa,
+            encoding,
+            plan,
+        }
+    }
+
+    /// The strided automaton being simulated.
+    pub fn nfa(&self) -> &'a StridedNfa {
+        self.nfa
+    }
+
+    /// The per-half encoding this simulator executes on.
+    pub fn encoding(&self) -> &StridedEncoding {
+        &self.encoding
+    }
+
+    /// The compiled encoded strided plan.
+    pub fn plan(&self) -> &CompiledEncodedStridedAutomaton {
+        &self.plan
+    }
+
+    /// Runs over `input` from a fresh state.
+    pub fn run(&mut self, input: &[u8]) -> RunResult {
+        self.run_with(input, &mut NullObserver)
+    }
+
+    /// [`run`](Self::run) with a per-cycle observer (used by the energy
+    /// models, which charge the per-half entry layout this engine
+    /// actually visits).
+    pub fn run_with(&mut self, input: &[u8], observer: &mut impl Observer) -> RunResult {
+        let mut session = self.start();
+        session.feed_with(input, observer);
+        session.finish_with(observer)
+    }
+}
+
+impl<'a> AutomataEngine for EncodedStridedSimulator<'a> {
+    type Session<'e>
+        = EncodedStridedSession<'e>
+    where
+        Self: 'e;
+
+    fn start(&self) -> EncodedStridedSession<'_> {
+        StridedSession::new(&self.plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +404,15 @@ mod tests {
                 strided_offsets,
                 base,
                 "pattern {pattern} on {:?}",
+                String::from_utf8_lossy(input)
+            );
+            let encoded_offsets = EncodedStridedSimulator::new(&strided)
+                .run(input)
+                .report_offsets();
+            assert_eq!(
+                encoded_offsets,
+                base,
+                "encoded, pattern {pattern} on {:?}",
                 String::from_utf8_lossy(input)
             );
         }
@@ -363,11 +476,76 @@ mod tests {
         assert_eq!(result.report_offsets(), vec![2]);
     }
 
-    impl<'p> StridedSession<'p> {
+    impl<'p, P: StridedPlan> StridedSession<'p, P> {
         fn feed_all(mut self, input: &[u8]) -> RunResult {
             self.feed(input);
             self.finish()
         }
+    }
+
+    #[test]
+    fn naive_scan_matches_selective_visitation() {
+        let nfa = regex::compile_set(&["ab+c", "x[0-9]+y", "q"]).unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let sim = StridedSimulator::new(&strided);
+        for input in [&b"zab bcx12y qabcx9y"[..], b"abcabc", b"", b"q"] {
+            let mut selective = sim.start();
+            selective.feed(input);
+            let mut naive = sim.start();
+            naive.set_selective(false);
+            naive.feed(input);
+            let (sw, nw) = (selective.words_visited(), naive.words_visited());
+            assert_eq!(selective.finish(), naive.finish(), "input {input:?}");
+            assert!(sw <= nw, "selective {sw} vs naive {nw}");
+        }
+    }
+
+    #[test]
+    fn selective_visitation_skips_idle_words() {
+        // Many independent patterns: most 64-state words are idle on a
+        // stream that only ever exercises one component.
+        let patterns: Vec<String> = (0..40).map(|i| format!("q{i:02}xyz")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = regex::compile_set(&refs).unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let sim = StridedSimulator::new(&strided);
+        let input = b"q00xyzq00xyzq00xyz";
+        let mut selective = sim.start();
+        selective.feed(input);
+        let mut naive = sim.start();
+        naive.set_selective(false);
+        naive.feed(input);
+        assert!(
+            selective.words_visited() < naive.words_visited(),
+            "selective {} vs naive {}",
+            selective.words_visited(),
+            naive.words_visited()
+        );
+        assert_eq!(selective.finish(), naive.finish());
+    }
+
+    #[test]
+    fn suspend_resume_carries_the_odd_byte() {
+        let nfa = regex::compile("abcd").unwrap();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let plan = CompiledStridedAutomaton::compile(&strided);
+        let flat = {
+            let mut s = StridedSession::new(&plan);
+            s.feed(b"zabcd");
+            s.finish()
+        };
+        // Suspend mid-pair: (z, a) consumed as a pair, 'b' carried.
+        let mut a = StridedSession::new(&plan);
+        a.feed(b"zab");
+        assert_eq!(a.bytes_fed(), 3);
+        let parked = a.suspend();
+        assert_eq!(parked.pending_carry(), Some(b'b'));
+        a.feed(b"interloper");
+        a.reset();
+        let mut b = StridedSession::new(&plan);
+        b.resume(parked);
+        b.feed(b"cd");
+        assert_eq!(b.finish(), flat);
     }
 
     #[test]

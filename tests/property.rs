@@ -16,13 +16,13 @@ use cama::core::graph;
 use cama::core::regex::{self, reference};
 use cama::core::stride::StridedNfa;
 use cama::core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
-use cama::encoding::{EncodingPlan, Scheme};
+use cama::encoding::{EncodingPlan, Scheme, StridedEncoding};
 use cama::mem::{FullCrossbar, ReducedCrossbar, K_DIA};
 use cama::sim::frame::{encode_close, encode_frame};
 use cama::sim::{
-    AutomataEngine, BatchSimulator, ByteSession, EncodedSession, EncodedSimulator, FlowSession,
-    FrameDecoder, InterpSimulator, RunResult, Session, ShardedSimulator, Simulator, StreamId,
-    StridedSimulator,
+    AutomataEngine, BatchSimulator, ByteSession, EncodedSession, EncodedSimulator,
+    EncodedStridedSimulator, FlowSession, FrameDecoder, InterpSimulator, RunResult, Session,
+    ShardedSimulator, Simulator, StreamId, StridedSimulator,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -835,6 +835,274 @@ fn stride_equivalence_on_random_nfas() {
         let strided = StridedNfa::from_nfa(&nfa);
         let strided_offsets = StridedSimulator::new(&strided).run(&input).report_offsets();
         assert_eq!(baseline, strided_offsets, "seed {seed}");
+    }
+}
+
+/// Every per-half encoding configuration the strided toolchain can
+/// produce: the proposed pipeline (negation on), the negation-off
+/// baseline, and each explicit scheme with and without clustering. All
+/// four [`Scheme`] variants are sized for a full 256-symbol domain,
+/// which random negated classes (and the FULL halves of odd-entry /
+/// even-report strided states) force.
+fn all_strided_encodings(strided: &StridedNfa) -> Vec<(String, StridedEncoding)> {
+    let mut encodings = vec![
+        (
+            "proposed/negation-on".to_string(),
+            StridedEncoding::for_strided(strided),
+        ),
+        (
+            "raw/negation-off".to_string(),
+            StridedEncoding::without_negation(strided),
+        ),
+    ];
+    let schemes = [
+        ("one_zero_256", Scheme::OneZero { len: 256 }),
+        ("multi_zeros_11", Scheme::MultiZeros { len: 11 }),
+        (
+            "two_zeros_prefix_32",
+            Scheme::TwoZerosPrefix {
+                prefix: 16,
+                suffix: 16,
+            },
+        ),
+        (
+            "one_zero_prefix_32",
+            Scheme::OneZeroPrefix {
+                prefix: 16,
+                suffix: 16,
+            },
+        ),
+    ];
+    for (name, scheme) in schemes {
+        for clustered in [true, false] {
+            encodings.push((
+                format!("{name}/clustered={clustered}"),
+                StridedEncoding::with_scheme(strided, scheme, clustered),
+            ));
+        }
+    }
+    encodings
+}
+
+/// The strided-parity tentpole invariant, flat one-shot path: for every
+/// per-half scheme × clustering × negation configuration, executing on
+/// the compiled *encoded strided* plan (per-half codebook lookups +
+/// per-half entry masks, inverters included) is bit-identical to the
+/// byte strided plan — reports, order, offsets, activity — whose
+/// offsets in turn equal the flat byte engine's, odd-length inputs
+/// (zero-padded flush pair) included. `verify_exact` cross-checks each
+/// half's static image on the same automata.
+#[test]
+fn encoded_strided_equals_byte_strided_across_schemes() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57_2E00 + seed);
+        let nfa = random_nfa(&mut rng);
+        // Force odd lengths on half the seeds so the pad path is hot.
+        let mut input = random_input(&mut rng);
+        if seed % 2 == 0 && input.len().is_multiple_of(2) {
+            input.push(b'a');
+        }
+        let flat_offsets = Simulator::new(&nfa).run(&input).report_offsets();
+        let strided = StridedNfa::from_nfa(&nfa);
+        let byte_strided = StridedSimulator::new(&strided).run(&input);
+        assert_eq!(
+            byte_strided.report_offsets(),
+            flat_offsets,
+            "seed {seed}: byte-strided vs flat-byte"
+        );
+        for (label, encoding) in all_strided_encodings(&strided) {
+            encoding
+                .verify_exact(&strided)
+                .unwrap_or_else(|e| panic!("seed {seed}, {label}: {e}"));
+            let mut sim = EncodedStridedSimulator::with_encoding(&strided, encoding);
+            assert_eq!(sim.run(&input), byte_strided, "seed {seed}, {label}");
+        }
+    }
+}
+
+/// Chunked-session path of both strided engines: arbitrary chunks and
+/// 1-byte chunks (every pair split, the carry byte crossing every
+/// boundary) equal the one-shot run and the flat byte engine.
+#[test]
+fn strided_chunked_sessions_equal_one_shot() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57_2F00 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let chunks = random_chunks(&mut rng, &input);
+        let bytes: Vec<&[u8]> = input.chunks(1).collect();
+
+        let strided = StridedNfa::from_nfa(&nfa);
+        let mut byte_engine = StridedSimulator::new(&strided);
+        let one_shot = byte_engine.run(&input);
+        assert_eq!(
+            via_session(&byte_engine, &chunks),
+            one_shot,
+            "seed {seed}: byte-strided session, chunks {chunks:?}"
+        );
+        assert_eq!(
+            via_session(&byte_engine, &bytes),
+            one_shot,
+            "seed {seed}: byte-strided session, 1-byte chunks"
+        );
+
+        let encoded_engine = EncodedStridedSimulator::new(&strided);
+        assert_eq!(
+            via_session(&encoded_engine, &chunks),
+            one_shot,
+            "seed {seed}: encoded-strided session, chunks {chunks:?}"
+        );
+        assert_eq!(
+            via_session(&encoded_engine, &bytes),
+            one_shot,
+            "seed {seed}: encoded-strided session, 1-byte chunks"
+        );
+    }
+}
+
+/// Sharded strided execution — byte and encoded shards over shard
+/// counts 1, 2, and per-component (plus split-component assignments for
+/// the encoded flavour) — is bit-identical to the flat strided engine,
+/// one-shot and chunked.
+#[test]
+fn sharded_strided_equals_flat_strided() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57_3000 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let chunks = random_chunks(&mut rng, &input);
+        let strided = StridedNfa::from_nfa(&nfa);
+        let flat = StridedSimulator::new(&strided).run(&input);
+
+        for shards in [1usize, 2, usize::MAX] {
+            let plan = ShardedAutomaton::compile_strided(&strided, shards);
+            let mut session = cama::sim::ShardedSession::new(&plan);
+            session.feed(&input);
+            assert_eq!(
+                session.finish_sharded_with(&mut cama::sim::activity::NullObserver),
+                flat,
+                "seed {seed}: sharded strided one-shot, {shards} shards"
+            );
+            for chunk in &chunks {
+                session.feed(chunk);
+            }
+            assert_eq!(
+                session.finish(),
+                flat,
+                "seed {seed}: sharded strided chunked, {shards} shards"
+            );
+        }
+        // Per-component sharding through the explicit-assignment path.
+        let (ids, _) = strided.component_ids();
+        let per_cc = ShardedAutomaton::compile_strided_with_assignment(&strided, &ids);
+        let mut session = cama::sim::ShardedSession::new(&per_cc);
+        session.feed(&input);
+        assert_eq!(session.finish(), flat, "seed {seed}: per-component");
+
+        // Encoded strided shards sharing one pair of codebooks.
+        let encoding = StridedEncoding::for_strided(&strided);
+        let assignments: [Vec<u32>; 3] = [
+            vec![0; strided.len()],
+            (0..strided.len() as u32).map(|i| i % 2).collect(),
+            ids,
+        ];
+        for (kind, assignment) in assignments.iter().enumerate() {
+            let sharded = encoding.compile_sharded(&strided, assignment);
+            let mut session = cama::sim::ShardedSession::new(&sharded);
+            session.feed(&input);
+            assert_eq!(
+                session.finish(),
+                flat,
+                "seed {seed}: sharded encoded strided one-shot, assignment {kind}"
+            );
+            for chunk in &chunks {
+                session.feed(chunk);
+            }
+            assert_eq!(
+                session.finish(),
+                flat,
+                "seed {seed}: sharded encoded strided chunked, assignment {kind}"
+            );
+        }
+    }
+}
+
+/// The strided stream table under `max_resident` caps: random
+/// interleavings of byte/encoded, flat/sharded strided flows (odd
+/// chunks park flows mid-pair, so the carry byte round-trips through
+/// `SuspendedFlow`) produce results bit-identical to an uncapped table
+/// and to flat one-shot runs.
+#[test]
+fn strided_batch_capped_equals_uncapped() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57_3100 + seed);
+        let nfa = random_nfa(&mut rng);
+        let strided = StridedNfa::from_nfa(&nfa);
+        let flows: Vec<Vec<u8>> = (0..rng.random_range(2..6usize))
+            .map(|_| random_input(&mut rng))
+            .collect();
+        let mut flat_engine = StridedSimulator::new(&strided);
+        let expected: Vec<RunResult> = flows.iter().map(|f| flat_engine.run(f)).collect();
+
+        // Random interleaved feeding schedule with odd chunk sizes.
+        let mut schedule: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        let mut cursors = vec![0usize; flows.len()];
+        loop {
+            let pending: Vec<usize> = (0..flows.len())
+                .filter(|&f| cursors[f] < flows[f].len())
+                .collect();
+            let Some(&flow) = pending.get(rng.random_range(0..pending.len().max(1))) else {
+                break;
+            };
+            let take = rng
+                .random_range(1..=3usize)
+                .min(flows[flow].len() - cursors[flow]);
+            schedule.push((flow, cursors[flow]..cursors[flow] + take));
+            cursors[flow] += take;
+        }
+
+        let byte_plan = cama::core::compiled::CompiledStridedAutomaton::compile(&strided);
+        let encoded_plan = StridedEncoding::for_strided(&strided).compile(&strided);
+        let sharded_plan = ShardedAutomaton::compile_strided(&strided, 2);
+
+        fn run_schedule<P: cama::sim::StreamPlan>(
+            plan: &P,
+            flows: &[Vec<u8>],
+            schedule: &[(usize, std::ops::Range<usize>)],
+            cap: Option<usize>,
+        ) -> Vec<RunResult> {
+            let mut batch = BatchSimulator::new(plan);
+            if let Some(cap) = cap {
+                batch = batch.max_resident(cap);
+            }
+            for (flow, range) in schedule {
+                batch.feed(*flow as StreamId, &flows[*flow][range.clone()]);
+                if let Some(cap) = cap {
+                    assert!(batch.resident_count() <= cap);
+                }
+            }
+            (0..flows.len())
+                .map(|f| batch.close(f as StreamId))
+                .collect()
+        }
+
+        for cap in [None, Some(1), Some(2)] {
+            assert_eq!(
+                run_schedule(&byte_plan, &flows, &schedule, cap),
+                expected,
+                "seed {seed}: byte strided table, cap {cap:?}"
+            );
+            assert_eq!(
+                run_schedule(&encoded_plan, &flows, &schedule, cap),
+                expected,
+                "seed {seed}: encoded strided table, cap {cap:?}"
+            );
+            assert_eq!(
+                run_schedule(&sharded_plan, &flows, &schedule, cap),
+                expected,
+                "seed {seed}: sharded strided table, cap {cap:?}"
+            );
+        }
     }
 }
 
