@@ -45,7 +45,9 @@ pub use area::{area_report, AreaReport};
 pub use designs::DesignKind;
 pub use energy::{EnergyBreakdown, EnergyObserver};
 pub use hardware::{BankHardware, CamaHardware};
-pub use mapping::{map_design, map_strided, Mapping, Partition, PartitionMode};
+pub use mapping::{
+    map_design, map_design_profiled, map_strided, Mapping, Partition, PartitionMode,
+};
 pub use report::{
     evaluate, evaluate_serving, evaluate_serving_strided, evaluate_strided, strided_weights,
     DesignReport, ServingReport,

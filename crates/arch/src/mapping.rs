@@ -22,6 +22,7 @@ use cama_core::{Nfa, SteId};
 use cama_encoding::EncodingPlan;
 use cama_mem::crossbar::ReducedCrossbar;
 use cama_mem::K_DIA;
+use cama_sim::ShardingProfile;
 
 /// eAP's reduced-crossbar group width (96×96 switch, §IV.B).
 pub const EAP_K_DIA: usize = 21;
@@ -214,6 +215,21 @@ impl MapInput {
     fn cc_weight(&self, cc: &[u32]) -> usize {
         cc.iter().map(|&s| self.weights[s as usize] as usize).sum()
     }
+
+    /// Re-sorts the packing order by measured per-state activity,
+    /// hottest component first (size decreasing within equal heat, the
+    /// static order).
+    fn order_by_heat(&mut self, activity: &[u64]) {
+        assert_eq!(
+            activity.len(),
+            self.n,
+            "profile was built for a different automaton"
+        );
+        self.ccs.sort_by_key(|cc| {
+            let heat: u64 = cc.iter().map(|&s| activity[s as usize]).sum();
+            (std::cmp::Reverse(heat), std::cmp::Reverse(cc.len()))
+        });
+    }
 }
 
 /// Builds the mapping of `nfa` for a (1-stride) design. CAMA designs
@@ -224,7 +240,40 @@ impl MapInput {
 /// Panics if a CAMA design is requested without a plan, or if a single
 /// state outweighs a partition.
 pub fn map_design(design: DesignKind, nfa: &Nfa, plan: Option<&EncodingPlan>) -> Mapping {
-    let (input, config) = match design {
+    let (input, config) = design_input(design, nfa, plan);
+    pack(design, input, config)
+}
+
+/// [`map_design`] with the packing order steered by a measured
+/// [`ShardingProfile`]: components pack hottest first, so the states
+/// that carry the workload's activity land in the same few partitions
+/// and the idle tail fills partitions of its own — the arrays the
+/// simulator's idle-shard skipping (and the hardware's array power
+/// gating) can then leave dark. The mapping is functionally equivalent
+/// to the unprofiled one; only which partitions wake per cycle moves.
+///
+/// # Panics
+///
+/// As [`map_design`], plus if the profile's state count differs from
+/// `nfa.len()`.
+pub fn map_design_profiled(
+    design: DesignKind,
+    nfa: &Nfa,
+    plan: Option<&EncodingPlan>,
+    profile: &ShardingProfile,
+) -> Mapping {
+    let (mut input, config) = design_input(design, nfa, plan);
+    input.order_by_heat(profile.state_activity());
+    pack(design, input, config)
+}
+
+/// The per-design packer input and configuration behind [`map_design`].
+fn design_input(
+    design: DesignKind,
+    nfa: &Nfa,
+    plan: Option<&EncodingPlan>,
+) -> (MapInput, PackerConfig) {
+    match design {
         DesignKind::CamaE | DesignKind::CamaT => {
             let plan = plan.expect("CAMA mapping requires an encoding plan");
             let weights: Vec<u32> = plan
@@ -303,8 +352,7 @@ pub fn map_design(design: DesignKind, nfa: &Nfa, plan: Option<&EncodingPlan>) ->
         DesignKind::Cama2E | DesignKind::Cama2T => {
             panic!("strided designs are mapped with map_strided")
         }
-    };
-    pack(design, input, config)
+    }
 }
 
 /// Builds the mapping of a 2-strided automaton for the Figure 13
@@ -631,6 +679,36 @@ mod tests {
         assert!(mapping.global_switches >= 1);
         // Every state is placed exactly once.
         assert!(mapping.partition_of.iter().all(|&p| p != u32::MAX));
+    }
+
+    #[test]
+    fn profiled_mapping_groups_hot_components() {
+        // Many equal-size components; the profile marks two of them
+        // hot. Unprofiled packing is size-ordered, so the hot pair
+        // lands wherever component discovery put it; profiled packing
+        // must co-locate the two hot components in partition 0.
+        let nfa = regex::compile_set(&[
+            "abcdefgh", "ijklmnop", "qrstuvwx", "01234567", "89abcdef", "ghijklmn",
+        ])
+        .unwrap();
+        let mut activity = vec![0u64; nfa.len()];
+        // Heat the third and sixth patterns (8 states each).
+        activity[16..24].fill(100);
+        activity[40..48].fill(90);
+        let profile = ShardingProfile::from_state_activity(activity.clone());
+        let mapping = map_design_profiled(DesignKind::CacheAutomaton, &nfa, None, &profile);
+        for (s, &heat) in activity.iter().enumerate() {
+            if heat > 0 {
+                assert_eq!(
+                    mapping.partition_of[s], 0,
+                    "hot state {s} not in partition 0"
+                );
+            }
+        }
+        // Same partition shape as the unprofiled mapping.
+        let baseline = map_design(DesignKind::CacheAutomaton, &nfa, None);
+        assert_eq!(mapping.partitions.len(), baseline.partitions.len());
+        assert_eq!(mapping.used_slots(), baseline.used_slots());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the [`cama_core::kernel`] word-slice kernels:
+//! the runtime-dispatched SIMD implementation against the forced-scalar
+//! fallback on the fused AND/AND3 + summary ops and popcount, at word
+//! counts matching a 256-state CAM array row (4), a mid-size flat plan
+//! (64), and a large design (1024). The detected dispatch tier is
+//! printed alongside the tables so bench artifacts record which kernel
+//! the timings describe.
+
+use cama_core::kernel::{self, Kernel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// 64-state words per operand.
+const WORD_COUNTS: [usize; 3] = [4, 64, 1024];
+
+/// Deterministic mixed-density operand (roughly half the bits set).
+fn operand(words: usize, salt: u64) -> Vec<u64> {
+    (0..words as u64)
+        .map(|i| (i + salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+        .collect()
+}
+
+/// The two dispatch choices under test: the portable scalar fallback
+/// and whatever the runtime dispatcher picked for this CPU.
+fn contenders() -> [(String, Option<Kernel>); 2] {
+    [
+        ("scalar".to_string(), Some(Kernel::Scalar)),
+        (kernel::active().name().to_string(), None),
+    ]
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    println!("{}", kernel::describe());
+
+    let mut group = c.benchmark_group("kernels");
+    for &words in &WORD_COUNTS {
+        let a = operand(words, 1);
+        let b2 = operand(words, 2);
+        let c3 = operand(words, 3);
+        let mut out = vec![0u64; words];
+        let mut summary = vec![0u64; words.div_ceil(64)];
+        group.throughput(Throughput::Bytes((words * 8) as u64));
+
+        for (label, forced) in contenders() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("and2_summarize_{label}"), words),
+                &words,
+                |bench, _| {
+                    kernel::force(forced);
+                    bench.iter(|| {
+                        black_box(kernel::and2_summarize(
+                            black_box(&a),
+                            black_box(&b2),
+                            &mut out,
+                            &mut summary,
+                        ))
+                    });
+                    kernel::force(None);
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("and3_summarize_{label}"), words),
+                &words,
+                |bench, _| {
+                    kernel::force(forced);
+                    bench.iter(|| {
+                        black_box(kernel::and3_summarize(
+                            black_box(&a),
+                            black_box(&b2),
+                            black_box(&c3),
+                            &mut out,
+                            &mut summary,
+                        ))
+                    });
+                    kernel::force(None);
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("popcount_{label}"), words),
+                &words,
+                |bench, _| {
+                    kernel::force(forced);
+                    bench.iter(|| black_box(kernel::popcount(black_box(&a))));
+                    kernel::force(None);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

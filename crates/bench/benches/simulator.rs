@@ -10,13 +10,15 @@ use cama_arch::energy::EnergyObserver;
 use cama_arch::mapping::map_design;
 use cama_core::compiled::{CompiledAutomaton, CompiledStridedAutomaton, ShardedAutomaton};
 use cama_core::graph;
+use cama_core::kernel::{self, Kernel};
 use cama_core::stride::StridedNfa;
+use cama_core::Nfa;
 use cama_encoding::{EncodingPlan, Scheme, StridedEncoding};
 use cama_mem::models::CircuitLibrary;
 use cama_sim::frame::{encode_close, encode_frame};
 use cama_sim::{
     AutomataEngine, BatchSimulator, EncodedSession, FrameDecoder, InterpSimulator, Session,
-    ShardedSession, Simulator, StreamId, StridedSession,
+    ShardedSession, ShardingProfile, Simulator, StreamId, StridedSession,
 };
 use cama_workloads::Benchmark;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -164,6 +166,21 @@ fn bench_batched(c: &mut Criterion) {
 /// idle-shard skipping, sweeping shard count. After the timed runs, one
 /// instrumented pass per configuration prints per-shard visit counts
 /// and the visited-word reduction idle-skipping buys.
+/// A skewed workload over `nfa`: a short trace walked out of one start
+/// state's component, repeated — a few components carry all of the
+/// activity while the rest only wake when their start classes happen to
+/// contain a trace symbol. The shape profile-guided sharding exploits.
+fn skewed_input(nfa: &Nfa, len: usize) -> Vec<u8> {
+    let start = nfa.start_states().next().expect("benchmark NFA has starts");
+    let mut trace = Vec::with_capacity(32);
+    let mut state = start;
+    for _ in 0..32 {
+        trace.push(nfa.ste(state).class.min_symbol().unwrap_or(b'a'));
+        state = nfa.successors(state).first().copied().unwrap_or(start);
+    }
+    trace.iter().copied().cycle().take(len).collect()
+}
+
 fn bench_sharding(c: &mut Criterion) {
     let nfa = Benchmark::Snort.generate(0.02);
     let input = Benchmark::Snort.input(&nfa, INPUT_LEN, 1);
@@ -202,6 +219,41 @@ fn bench_sharding(c: &mut Criterion) {
             },
         );
     }
+
+    // Profile-guided re-sharding on a skewed workload: one profiling
+    // run on the static size-balanced sharding, then re-shard along the
+    // measured heat so the cold mass lands in skippable shards.
+    let skewed = skewed_input(&nfa, INPUT_LEN);
+    let static_plan = ShardedAutomaton::compile(&nfa, 16);
+    let profile = {
+        let mut session = ShardedSession::new(&static_plan);
+        session.feed(&skewed);
+        session.finish();
+        ShardingProfile::from_stats(session.stats())
+    };
+    let tuned_plan = ShardedAutomaton::compile_with_assignment(&nfa, &profile.assignment(&nfa, 16));
+    group.bench_with_input(
+        BenchmarkId::new("skewed_static", 16),
+        &static_plan,
+        |b, plan| {
+            let mut session = ShardedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&skewed));
+                black_box(session.finish())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("skewed_profile_guided", 16),
+        &tuned_plan,
+        |b, plan| {
+            let mut session = ShardedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&skewed));
+                black_box(session.finish())
+            })
+        },
+    );
     group.finish();
 
     println!(
@@ -231,6 +283,29 @@ fn bench_sharding(c: &mut Criterion) {
             );
         }
     }
+
+    let skewed_stats = |plan: &ShardedAutomaton| {
+        let mut session = ShardedSession::new(plan);
+        session.feed(&skewed);
+        session.finish();
+        session.take_stats()
+    };
+    let base = skewed_stats(&static_plan);
+    let tuned = skewed_stats(&tuned_plan);
+    let reduction = 100.0 * base.words_visited.saturating_sub(tuned.words_visited) as f64
+        / base.words_visited.max(1) as f64;
+    println!(
+        "  profile-guided re-sharding (skewed {}-byte input, 16 shards): \
+         {} -> {} words visited ({reduction:.1}% fewer), \
+         shard-cycles {} -> {}, skipped {} -> {}",
+        skewed.len(),
+        base.words_visited,
+        tuned.words_visited,
+        base.visited_shard_cycles(),
+        tuned.visited_shard_cycles(),
+        base.skipped_shard_cycles,
+        tuned.skipped_shard_cycles,
+    );
 }
 
 /// Byte plan vs encoded plans, one per encoding scheme: the encoded
@@ -468,6 +543,46 @@ fn bench_strided(c: &mut Criterion) {
             plan_words.skipped_shard_cycles,
         );
     }
+
+    // Forced-scalar vs dispatched-SIMD wall clock on the full-sweep
+    // config (the kernels stream whole rows there, so the dispatch
+    // tier dominates). Measured directly so the delta lands in every
+    // bench artifact, including --test smoke runs. Trials alternate
+    // between the two kernels and the minimum is kept, so transient
+    // interference hits both sides equally instead of whichever ran
+    // second.
+    const ROUNDS: u32 = 10;
+    const TRIALS: u32 = 25;
+    let time_naive = |forced: Option<Kernel>| {
+        kernel::force(forced);
+        let mut session = StridedSession::new(&byte_plan);
+        session.set_selective(false);
+        session.feed(&input);
+        black_box(session.finish());
+        let start = std::time::Instant::now();
+        for _ in 0..ROUNDS {
+            session.feed(black_box(&input));
+            black_box(session.finish());
+        }
+        let elapsed = start.elapsed();
+        kernel::force(None);
+        elapsed
+    };
+    let mut scalar = std::time::Duration::MAX;
+    let mut simd = std::time::Duration::MAX;
+    for _ in 0..TRIALS {
+        scalar = scalar.min(time_naive(Some(Kernel::Scalar)));
+        simd = simd.min(time_naive(None));
+    }
+    let faster = 100.0 * (scalar.as_secs_f64() - simd.as_secs_f64()) / scalar.as_secs_f64();
+    println!(
+        "  kernel dispatch wall clock (snort_byte_naive_scan, {ROUNDS}x{INPUT_LEN}B): \
+         scalar {:.3} ms, {} {:.3} ms ({faster:.1}% faster); {}",
+        scalar.as_secs_f64() * 1e3,
+        kernel::active().name(),
+        simd.as_secs_f64() * 1e3,
+        kernel::describe(),
+    );
 }
 
 criterion_group!(

@@ -6,6 +6,7 @@
 //! mirrors the fixed-width registers of the modeled hardware (match
 //! vectors, next vectors, crossbar rows) and catches size mismatches early.
 
+use crate::kernel;
 use std::fmt;
 
 const BITS: usize = 64;
@@ -120,9 +121,7 @@ impl BitSet {
     /// Panics if the sets have different capacities.
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "bitset length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernel::or_into(&other.words, &mut self.words);
     }
 
     /// In-place intersection: `self &= other`.
@@ -156,7 +155,7 @@ impl BitSet {
     /// Panics if the sets have different capacities.
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset length mismatch");
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        kernel::intersects(&self.words, &other.words)
     }
 
     /// Returns `true` if `self` and `other` share no set bit.
@@ -204,9 +203,7 @@ impl BitSet {
     pub fn and_into(&self, other: &BitSet, out: &mut BitSet) {
         assert_eq!(self.len, other.len, "bitset length mismatch");
         assert_eq!(self.len, out.len, "bitset length mismatch");
-        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
-            *o = a & b;
-        }
+        kernel::and2_into(&self.words, &other.words, &mut out.words);
     }
 
     /// Word-level three-way intersection into a destination:
@@ -227,15 +224,7 @@ impl BitSet {
         assert_eq!(self.len, b.len, "bitset length mismatch");
         assert_eq!(self.len, c.len, "bitset length mismatch");
         assert_eq!(self.len, out.len, "bitset length mismatch");
-        for (((o, a), b), c) in out
-            .words
-            .iter_mut()
-            .zip(&self.words)
-            .zip(&b.words)
-            .zip(&c.words)
-        {
-            *o = a & b & c;
-        }
+        kernel::and3_into(&self.words, &b.words, &c.words, &mut out.words);
     }
 
     /// Word-level union into a destination: `out = self | other`.
@@ -246,17 +235,24 @@ impl BitSet {
     pub fn or_into(&self, other: &BitSet, out: &mut BitSet) {
         assert_eq!(self.len, other.len, "bitset length mismatch");
         assert_eq!(self.len, out.len, "bitset length mismatch");
-        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
-            *o = a | b;
-        }
+        out.words.copy_from_slice(&self.words);
+        kernel::or_into(&other.words, &mut out.words);
     }
 
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
-            set: self,
+            words: &self.words,
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// A borrowed [`Row`] view of this set's words.
+    pub fn as_row(&self) -> Row<'_> {
+        Row {
+            len: self.len,
+            words: &self.words,
         }
     }
 
@@ -329,10 +325,11 @@ impl Extend<usize> for BitSet {
     }
 }
 
-/// Iterator over set bit indices, created by [`BitSet::iter`].
+/// Iterator over set bit indices, created by [`BitSet::iter`] and
+/// [`Row::iter`].
 #[derive(Debug)]
 pub struct Iter<'a> {
-    set: &'a BitSet,
+    words: &'a [u64],
     word_idx: usize,
     current: u64,
 }
@@ -343,14 +340,154 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<usize> {
         while self.current == 0 {
             self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.set.words[self.word_idx];
+            self.current = self.words[self.word_idx];
         }
         let bit = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1;
         Some(self.word_idx * BITS + bit)
+    }
+}
+
+/// A borrowed, fixed-width row of bits — the view type returned by the
+/// compiled plans' per-symbol match-table accessors.
+///
+/// Rows live contiguously inside a flat cache-blocked
+/// [`RowTable`](crate::compiled) `Vec<u64>`, so unlike [`BitSet`] a row
+/// does not own its words; it is a `Copy` view that exposes the same
+/// read-side API (`contains`, `iter`, `count`, …) plus [`Row::words`]
+/// for the SIMD kernels in [`crate::kernel`]. Bits at positions
+/// `>= len()` are always zero.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::bitset::BitSet;
+///
+/// let set = BitSet::from_indices(100, [3, 77]);
+/// let row = set.as_row();
+/// assert!(row.contains(77));
+/// assert_eq!(row.iter().collect::<Vec<_>>(), vec![3, 77]);
+/// assert_eq!(row.count(), 2);
+/// ```
+#[derive(Clone, Copy)]
+pub struct Row<'a> {
+    len: usize,
+    words: &'a [u64],
+}
+
+impl<'a> Row<'a> {
+    /// Wraps a word slice as a row of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice does not hold exactly `len.div_ceil(64)`
+    /// words.
+    pub fn from_words(len: usize, words: &'a [u64]) -> Self {
+        assert_eq!(words.len(), len.div_ceil(BITS), "row word count mismatch");
+        Row { len, words }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        kernel::popcount(self.words) as usize
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / BITS] >> (i % BITS) & 1 == 1
+    }
+
+    /// The index of the lowest set bit, or `None` if the row is empty.
+    pub fn first_set(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| i * BITS + self.words[i].trailing_zeros() as usize)
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter(&self) -> Iter<'a> {
+        Iter {
+            words: self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The backing words — the contiguous slice the SIMD kernels stream.
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Returns `true` if the rows share any set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different capacities.
+    pub fn intersects(&self, other: Row<'_>) -> bool {
+        assert_eq!(self.len, other.len, "row length mismatch");
+        kernel::intersects(self.words, other.words)
+    }
+
+    /// Returns `true` if the rows share no set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different capacities.
+    pub fn is_disjoint(&self, other: Row<'_>) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Materializes the row as an owned [`BitSet`].
+    pub fn to_bitset(&self) -> BitSet {
+        BitSet {
+            len: self.len,
+            words: self.words.to_vec(),
+        }
+    }
+}
+
+impl PartialEq for Row<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for Row<'_> {}
+
+impl PartialEq<BitSet> for Row<'_> {
+    fn eq(&self, other: &BitSet) -> bool {
+        self.len == other.len && self.words == other.words.as_slice()
+    }
+}
+
+impl PartialEq<Row<'_>> for BitSet {
+    fn eq(&self, other: &Row<'_>) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Debug for Row<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
@@ -573,6 +710,46 @@ mod tests {
         let b = BitSet::new(8);
         let mut out = BitSet::new(16);
         a.and_into(&b, &mut out);
+    }
+
+    #[test]
+    fn row_view_mirrors_the_bitset() {
+        let set = BitSet::from_indices(130, [0, 63, 64, 129]);
+        let row = set.as_row();
+        assert_eq!(row.len(), 130);
+        assert!(row.contains(64));
+        assert!(!row.contains(1));
+        assert_eq!(row.count(), 4);
+        assert_eq!(row.first_set(), Some(0));
+        assert_eq!(row.iter().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        assert_eq!(row.to_bitset(), set);
+        assert_eq!(row, set);
+        assert_eq!(set, row);
+        assert_eq!(row.words(), set.as_words());
+        assert!(!row.is_empty());
+        assert!(BitSet::new(130).as_row().is_empty());
+        assert_eq!(BitSet::new(130).as_row().first_set(), None);
+    }
+
+    #[test]
+    fn row_intersection_and_from_words() {
+        let a = BitSet::from_indices(100, [5, 70]);
+        let b = BitSet::from_indices(100, [70, 99]);
+        let c = BitSet::from_indices(100, [6]);
+        assert!(a.as_row().intersects(b.as_row()));
+        assert!(a.as_row().is_disjoint(c.as_row()));
+        let row = Row::from_words(100, a.as_words());
+        assert_eq!(row, a);
+        let zero = Row::from_words(0, &[]);
+        assert!(zero.is_empty());
+        assert_eq!(zero.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn row_from_wrong_word_count_panics() {
+        let words = [0u64; 3];
+        let _ = Row::from_words(100, &words);
     }
 
     #[test]

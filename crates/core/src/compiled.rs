@@ -35,8 +35,9 @@
 //! flavours share, which is also what lets either act as the per-shard
 //! plan of a [`ShardedAutomaton`].
 
-use crate::bitset::BitSet;
+use crate::bitset::{BitSet, Row};
 use crate::graph::connected_components;
+use crate::kernel;
 use crate::nfa::{BuildOptions, Nfa, NfaBuilder, StartKind};
 use crate::stride::{ReportPhase, StridedNfa};
 use crate::symbol::ALPHABET;
@@ -129,21 +130,17 @@ impl ReportTable {
 pub struct CompiledAutomaton {
     len: usize,
     name: String,
-    /// `match_table[sym]`: all states whose class accepts `sym`.
-    match_table: Vec<BitSet>,
-    /// Two-level hierarchy over `match_table`: bit `j` of
-    /// `match_any[sym]` is set iff word `j` of `match_table[sym]` is
-    /// nonzero. The engine uses these the way CAMA uses selective
-    /// precharge: 64-state words that cannot match a symbol are never
-    /// visited.
-    match_any: Vec<Vec<u64>>,
-    /// `start_match[sym] = match_table[sym] & all_input`: the statically
+    /// `match_rows[sym]`: all states whose class accepts `sym`, one
+    /// flat cache-blocked row per symbol. Each row carries its
+    /// one-bit-per-word summary, which the engine uses the way CAMA
+    /// uses selective precharge: 64-state words that cannot match a
+    /// symbol are never visited.
+    match_rows: RowTable,
+    /// `start_rows[sym] = match_rows[sym] & all_input`: the statically
     /// enabled states that accept `sym`, precompiled so the per-cycle
     /// start injection touches only the (typically very few) words where
     /// a start state actually matches.
-    start_match: Vec<BitSet>,
-    /// Summary hierarchy over `start_match`.
-    start_match_any: Vec<Vec<u64>>,
+    start_rows: RowTable,
     /// CSR adjacency: successors of state `i` are
     /// `successors[succ_offsets[i]..succ_offsets[i + 1]]`.
     succ_offsets: Vec<u32>,
@@ -161,14 +158,76 @@ pub struct CompiledAutomaton {
 
 /// Builds the one-bit-per-word nonzero summary of a bit set.
 fn word_summary(set: &BitSet) -> Vec<u64> {
-    let words = set.as_words();
-    let mut summary = vec![0u64; words.len().div_ceil(64)];
-    for (j, &word) in words.iter().enumerate() {
-        if word != 0 {
-            summary[j / 64] |= 1u64 << (j % 64);
+    let mut summary = vec![0u64; set.as_words().len().div_ceil(64)];
+    kernel::summarize(set.as_words(), &mut summary);
+    summary
+}
+
+/// A flat, cache-blocked table of fixed-width bit rows — the storage
+/// layout of every per-symbol match table.
+///
+/// All rows live in one `Vec<u64>` at a constant stride padded to a
+/// multiple of 4 words (one 256-bit kernel lane), so consecutive rows
+/// never share a 32-byte group and [`row`](RowTable::row) is always a
+/// contiguous slice the SIMD kernels in [`crate::kernel`] can stream.
+/// Each row's one-bit-per-word nonzero summary (the selective-precharge
+/// analogue) is packed the same way in a second flat array.
+#[derive(Clone, Debug)]
+struct RowTable {
+    /// Bits per row.
+    len: usize,
+    /// Exact words per row (`len.div_ceil(64)`).
+    words_per_row: usize,
+    /// Padded row stride in words (multiple of 4).
+    stride: usize,
+    /// Words per row summary (`words_per_row.div_ceil(64)`).
+    summary_words: usize,
+    /// `num_rows * stride` words; padding words stay zero.
+    data: Vec<u64>,
+    /// `num_rows * summary_words` words.
+    summaries: Vec<u64>,
+}
+
+impl RowTable {
+    /// Packs `rows` (each of capacity `len` bits) into the flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's capacity differs from `len`.
+    fn from_rows(len: usize, rows: &[BitSet]) -> RowTable {
+        let words_per_row = len.div_ceil(64);
+        let stride = words_per_row.next_multiple_of(4);
+        let summary_words = words_per_row.div_ceil(64);
+        let mut data = vec![0u64; rows.len() * stride];
+        let mut summaries = vec![0u64; rows.len() * summary_words];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), len, "row capacity mismatch");
+            data[i * stride..i * stride + words_per_row].copy_from_slice(row.as_words());
+            kernel::summarize(
+                row.as_words(),
+                &mut summaries[i * summary_words..(i + 1) * summary_words],
+            );
+        }
+        RowTable {
+            len,
+            words_per_row,
+            stride,
+            summary_words,
+            data,
+            summaries,
         }
     }
-    summary
+
+    /// Row `i` as a borrowed exact-length view.
+    fn row(&self, i: usize) -> Row<'_> {
+        let start = i * self.stride;
+        Row::from_words(self.len, &self.data[start..start + self.words_per_row])
+    }
+
+    /// The one-bit-per-word nonzero summary of row `i`.
+    fn summary(&self, i: usize) -> &[u64] {
+        &self.summaries[i * self.summary_words..(i + 1) * self.summary_words]
+    }
 }
 
 /// Builds the CSR adjacency (offsets + flat successor array) of `nfa`.
@@ -204,9 +263,8 @@ fn build_reports(nfa: &Nfa) -> ReportTable {
 /// precharge acceleration structures shared by the byte and encoded
 /// plan layouts.
 struct DerivedRows {
-    match_any: Vec<Vec<u64>>,
-    start_match: Vec<BitSet>,
-    start_match_any: Vec<Vec<u64>>,
+    match_rows: RowTable,
+    start_rows: RowTable,
     all_input_any: Vec<u64>,
     start_of_data_any: Vec<u64>,
 }
@@ -214,7 +272,7 @@ struct DerivedRows {
 /// Derives [`DerivedRows`] from a match table (one row per symbol or
 /// per code) and the start masks.
 fn derive_rows(match_table: &[BitSet], all_input: &BitSet, start_of_data: &BitSet) -> DerivedRows {
-    let match_any = match_table.iter().map(word_summary).collect();
+    let len = all_input.len();
     let start_match: Vec<BitSet> = match_table
         .iter()
         .map(|row| {
@@ -223,11 +281,9 @@ fn derive_rows(match_table: &[BitSet], all_input: &BitSet, start_of_data: &BitSe
             statically_matched
         })
         .collect();
-    let start_match_any = start_match.iter().map(word_summary).collect();
     DerivedRows {
-        match_any,
-        start_match,
-        start_match_any,
+        match_rows: RowTable::from_rows(len, match_table),
+        start_rows: RowTable::from_rows(len, &start_match),
         all_input_any: word_summary(all_input),
         start_of_data_any: word_summary(start_of_data),
     }
@@ -297,15 +353,16 @@ pub trait PlanBase: Sync {
 /// shell — drives both layouts. The paired-symbol counterpart is
 /// [`StridedPlan`].
 pub trait ExecutionPlan: PlanBase {
-    /// The match vector of `symbol`: every state accepting it.
-    fn match_vector(&self, symbol: u8) -> &BitSet;
+    /// The match vector of `symbol`: every state accepting it, as a
+    /// contiguous [`Row`] into the flat match table.
+    fn match_vector(&self, symbol: u8) -> Row<'_>;
 
     /// The word-level summary of [`match_vector`](Self::match_vector).
     fn match_any(&self, symbol: u8) -> &[u64];
 
     /// The statically matched start states for `symbol`:
     /// `match_vector(symbol) & all_input_mask()`.
-    fn start_match(&self, symbol: u8) -> &BitSet;
+    fn start_match(&self, symbol: u8) -> Row<'_>;
 
     /// The word-level summary of [`start_match`](Self::start_match).
     fn start_match_any(&self, symbol: u8) -> &[u64];
@@ -334,15 +391,16 @@ pub trait ExecutionPlan: PlanBase {
 /// through its own codebook), so a single paired stepping loop in
 /// `cama-sim` — and the same [`ShardedAutomaton`] shell — drives both.
 pub trait StridedPlan: PlanBase {
-    /// The first-half match vector: states whose first class accepts `a`.
-    fn first_vector(&self, a: u8) -> &BitSet;
+    /// The first-half match vector: states whose first class accepts
+    /// `a`, as a contiguous [`Row`] into the flat table.
+    fn first_vector(&self, a: u8) -> Row<'_>;
 
     /// The word-level summary of [`first_vector`](Self::first_vector).
     fn first_any(&self, a: u8) -> &[u64];
 
     /// The second-half match vector: states whose second class accepts
     /// `b`.
-    fn second_vector(&self, b: u8) -> &BitSet;
+    fn second_vector(&self, b: u8) -> Row<'_>;
 
     /// The word-level summary of [`second_vector`](Self::second_vector).
     fn second_any(&self, b: u8) -> &[u64];
@@ -351,7 +409,7 @@ pub trait StridedPlan: PlanBase {
     /// `first_vector(a) & all_input_mask()`. ANDed with
     /// [`second_vector`](Self::second_vector) this is the pair cycle's
     /// start injection.
-    fn first_start_match(&self, a: u8) -> &BitSet;
+    fn first_start_match(&self, a: u8) -> Row<'_>;
 
     /// The word-level summary of
     /// [`first_start_match`](Self::first_start_match).
@@ -384,10 +442,8 @@ impl CompiledAutomaton {
         CompiledAutomaton {
             len: n,
             name: nfa.name().to_string(),
-            match_table,
-            match_any: derived.match_any,
-            start_match: derived.start_match,
-            start_match_any: derived.start_match_any,
+            match_rows: derived.match_rows,
+            start_rows: derived.start_rows,
             succ_offsets,
             successors,
             all_input,
@@ -418,26 +474,27 @@ impl CompiledAutomaton {
         self.successors.len()
     }
 
-    /// The match vector of `symbol`: every state accepting it.
-    pub fn match_vector(&self, symbol: u8) -> &BitSet {
-        &self.match_table[symbol as usize]
+    /// The match vector of `symbol`: every state accepting it, as a
+    /// contiguous row the SIMD kernels can stream.
+    pub fn match_vector(&self, symbol: u8) -> Row<'_> {
+        self.match_rows.row(symbol as usize)
     }
 
     /// The word-level summary of [`match_vector`](Self::match_vector):
     /// bit `j` set iff word `j` of the match vector is nonzero.
     pub fn match_any(&self, symbol: u8) -> &[u64] {
-        &self.match_any[symbol as usize]
+        self.match_rows.summary(symbol as usize)
     }
 
     /// The statically matched start states for `symbol`:
     /// `match_vector(symbol) & all_input_mask()`.
-    pub fn start_match(&self, symbol: u8) -> &BitSet {
-        &self.start_match[symbol as usize]
+    pub fn start_match(&self, symbol: u8) -> Row<'_> {
+        self.start_rows.row(symbol as usize)
     }
 
     /// The word-level summary of [`start_match`](Self::start_match).
     pub fn start_match_any(&self, symbol: u8) -> &[u64] {
-        &self.start_match_any[symbol as usize]
+        self.start_rows.summary(symbol as usize)
     }
 
     /// The word-level summary of [`all_input_mask`](Self::all_input_mask).
@@ -549,7 +606,7 @@ impl PlanBase for CompiledAutomaton {
 }
 
 impl ExecutionPlan for CompiledAutomaton {
-    fn match_vector(&self, symbol: u8) -> &BitSet {
+    fn match_vector(&self, symbol: u8) -> Row<'_> {
         CompiledAutomaton::match_vector(self, symbol)
     }
 
@@ -557,7 +614,7 @@ impl ExecutionPlan for CompiledAutomaton {
         CompiledAutomaton::match_any(self, symbol)
     }
 
-    fn start_match(&self, symbol: u8) -> &BitSet {
+    fn start_match(&self, symbol: u8) -> Row<'_> {
         CompiledAutomaton::start_match(self, symbol)
     }
 
@@ -610,13 +667,11 @@ pub struct CompiledEncodedAutomaton {
     num_codes: usize,
     /// Symbol → row index (the input-encoder image).
     encoder: Vec<u16>,
-    /// `match_table[row]`: all states whose CAM image matches the row's
+    /// `match_rows[row]`: all states whose CAM image matches the row's
     /// code (rows `0..num_codes`), or the reserved word (last row).
-    match_table: Vec<BitSet>,
-    match_any: Vec<Vec<u64>>,
-    /// `start_match[row] = match_table[row] & all_input`.
-    start_match: Vec<BitSet>,
-    start_match_any: Vec<Vec<u64>>,
+    match_rows: RowTable,
+    /// `start_rows[row] = match_rows[row] & all_input`.
+    start_rows: RowTable,
     succ_offsets: Vec<u32>,
     successors: Vec<u32>,
     all_input: BitSet,
@@ -701,10 +756,8 @@ impl CompiledEncodedAutomaton {
             code_len,
             num_codes,
             encoder,
-            match_table,
-            match_any: derived.match_any,
-            start_match: derived.start_match,
-            start_match_any: derived.start_match_any,
+            match_rows: derived.match_rows,
+            start_rows: derived.start_rows,
             succ_offsets,
             successors,
             all_input,
@@ -767,8 +820,8 @@ impl CompiledEncodedAutomaton {
     /// # Panics
     ///
     /// Panics if `row` is out of range.
-    pub fn row_match_vector(&self, row: usize) -> &BitSet {
-        &self.match_table[row]
+    pub fn row_match_vector(&self, row: usize) -> Row<'_> {
+        self.match_rows.row(row)
     }
 
     /// CAM entries stored by `state` — taken from the actual encoded
@@ -813,23 +866,25 @@ impl CompiledEncodedAutomaton {
     }
 
     /// The match vector of `symbol`, through the encoder lookup.
-    pub fn match_vector(&self, symbol: u8) -> &BitSet {
-        &self.match_table[self.encoder[symbol as usize] as usize]
+    pub fn match_vector(&self, symbol: u8) -> Row<'_> {
+        self.match_rows.row(self.encoder[symbol as usize] as usize)
     }
 
     /// The word-level summary of [`match_vector`](Self::match_vector).
     pub fn match_any(&self, symbol: u8) -> &[u64] {
-        &self.match_any[self.encoder[symbol as usize] as usize]
+        self.match_rows
+            .summary(self.encoder[symbol as usize] as usize)
     }
 
     /// The statically matched start states for `symbol`.
-    pub fn start_match(&self, symbol: u8) -> &BitSet {
-        &self.start_match[self.encoder[symbol as usize] as usize]
+    pub fn start_match(&self, symbol: u8) -> Row<'_> {
+        self.start_rows.row(self.encoder[symbol as usize] as usize)
     }
 
     /// The word-level summary of [`start_match`](Self::start_match).
     pub fn start_match_any(&self, symbol: u8) -> &[u64] {
-        &self.start_match_any[self.encoder[symbol as usize] as usize]
+        self.start_rows
+            .summary(self.encoder[symbol as usize] as usize)
     }
 
     /// States statically enabled on every cycle (`all-input` starts).
@@ -914,7 +969,7 @@ impl PlanBase for CompiledEncodedAutomaton {
 }
 
 impl ExecutionPlan for CompiledEncodedAutomaton {
-    fn match_vector(&self, symbol: u8) -> &BitSet {
+    fn match_vector(&self, symbol: u8) -> Row<'_> {
         CompiledEncodedAutomaton::match_vector(self, symbol)
     }
 
@@ -922,7 +977,7 @@ impl ExecutionPlan for CompiledEncodedAutomaton {
         CompiledEncodedAutomaton::match_any(self, symbol)
     }
 
-    fn start_match(&self, symbol: u8) -> &BitSet {
+    fn start_match(&self, symbol: u8) -> Row<'_> {
         CompiledEncodedAutomaton::start_match(self, symbol)
     }
 
@@ -953,16 +1008,13 @@ impl ExecutionPlan for CompiledEncodedAutomaton {
 pub struct CompiledStridedAutomaton {
     len: usize,
     name: String,
-    first_table: Vec<BitSet>,
-    second_table: Vec<BitSet>,
-    /// Two-level hierarchies over the two tables: bit `j` of
-    /// `first_any[a]` is set iff word `j` of `first_table[a]` is nonzero.
-    first_any: Vec<Vec<u64>>,
-    second_any: Vec<Vec<u64>>,
-    /// `first_start_match[a] = first_table[a] & all_input`: the pair
-    /// cycle's start injection, pending the AND with `second_table[b]`.
-    first_start_match: Vec<BitSet>,
-    first_start_match_any: Vec<Vec<u64>>,
+    /// Flat cache-blocked per-byte tables of the two halves, each row
+    /// carrying its one-bit-per-word nonzero summary.
+    first_rows: RowTable,
+    second_rows: RowTable,
+    /// `first_start_rows[a] = first_rows[a] & all_input`: the pair
+    /// cycle's start injection, pending the AND with `second_rows[b]`.
+    first_start_rows: RowTable,
     succ_offsets: Vec<u32>,
     successors: Vec<u32>,
     all_input: BitSet,
@@ -1018,19 +1070,16 @@ impl CompiledStridedAutomaton {
 
         // The first half gets the same derived acceleration rows as a
         // byte plan (start-match rows + summaries); the second half only
-        // needs its nonzero-word summaries.
+        // needs its rows and nonzero-word summaries.
         let derived = derive_rows(&first_table, &all_input, &start_of_data);
-        let second_any = second_table.iter().map(word_summary).collect();
+        let second_rows = RowTable::from_rows(n, &second_table);
 
         CompiledStridedAutomaton {
             len: n,
             name: nfa.name().to_string(),
-            first_table,
-            second_table,
-            first_any: derived.match_any,
-            second_any,
-            first_start_match: derived.start_match,
-            first_start_match_any: derived.start_match_any,
+            first_rows: derived.match_rows,
+            second_rows,
+            first_start_rows: derived.start_rows,
             succ_offsets,
             successors,
             all_input,
@@ -1064,24 +1113,24 @@ impl CompiledStridedAutomaton {
 
     /// The first-symbol match vector: states whose first class accepts
     /// `symbol`.
-    pub fn first_table(&self, symbol: u8) -> &BitSet {
-        &self.first_table[symbol as usize]
+    pub fn first_table(&self, symbol: u8) -> Row<'_> {
+        self.first_rows.row(symbol as usize)
     }
 
     /// The second-symbol match vector: states whose second class accepts
     /// `symbol`.
-    pub fn second_table(&self, symbol: u8) -> &BitSet {
-        &self.second_table[symbol as usize]
+    pub fn second_table(&self, symbol: u8) -> Row<'_> {
+        self.second_rows.row(symbol as usize)
     }
 
     /// The word-level summary of [`first_table`](Self::first_table).
     pub fn first_table_any(&self, symbol: u8) -> &[u64] {
-        &self.first_any[symbol as usize]
+        self.first_rows.summary(symbol as usize)
     }
 
     /// The word-level summary of [`second_table`](Self::second_table).
     pub fn second_table_any(&self, symbol: u8) -> &[u64] {
-        &self.second_any[symbol as usize]
+        self.second_rows.summary(symbol as usize)
     }
 
     /// The word-level summary of [`all_input_mask`](Self::all_input_mask).
@@ -1102,7 +1151,11 @@ impl CompiledStridedAutomaton {
         if out.len() != self.len {
             *out = BitSet::new(self.len);
         }
-        self.first_table[a as usize].and_into(&self.second_table[b as usize], out);
+        kernel::and2_into(
+            self.first_table(a).words(),
+            self.second_table(b).words(),
+            out.as_words_mut(),
+        );
     }
 
     /// Computes the pair cycle's *active* vector
@@ -1118,7 +1171,13 @@ impl CompiledStridedAutomaton {
         if out.len() != self.len {
             *out = BitSet::new(self.len);
         }
-        self.first_table[a as usize].and3_into(&self.second_table[b as usize], enabled, out);
+        assert_eq!(enabled.len(), self.len, "bitset length mismatch");
+        kernel::and3_into(
+            self.first_table(a).words(),
+            self.second_table(b).words(),
+            enabled.as_words(),
+            out.as_words_mut(),
+        );
     }
 
     /// CSR successor slice of `state`.
@@ -1187,28 +1246,28 @@ impl PlanBase for CompiledStridedAutomaton {
 }
 
 impl StridedPlan for CompiledStridedAutomaton {
-    fn first_vector(&self, a: u8) -> &BitSet {
-        &self.first_table[a as usize]
+    fn first_vector(&self, a: u8) -> Row<'_> {
+        self.first_rows.row(a as usize)
     }
 
     fn first_any(&self, a: u8) -> &[u64] {
-        &self.first_any[a as usize]
+        self.first_rows.summary(a as usize)
     }
 
-    fn second_vector(&self, b: u8) -> &BitSet {
-        &self.second_table[b as usize]
+    fn second_vector(&self, b: u8) -> Row<'_> {
+        self.second_rows.row(b as usize)
     }
 
     fn second_any(&self, b: u8) -> &[u64] {
-        &self.second_any[b as usize]
+        self.second_rows.summary(b as usize)
     }
 
-    fn first_start_match(&self, a: u8) -> &BitSet {
-        &self.first_start_match[a as usize]
+    fn first_start_match(&self, a: u8) -> Row<'_> {
+        self.first_start_rows.row(a as usize)
     }
 
     fn first_start_match_any(&self, a: u8) -> &[u64] {
-        &self.first_start_match_any[a as usize]
+        self.first_start_rows.summary(a as usize)
     }
 
     fn report_pair_unchecked(&self, state: usize) -> (u32, ReportPhase) {
@@ -1254,16 +1313,17 @@ struct EncodedStridedHalf {
     num_codes: usize,
     /// Symbol → row index (the half's input-encoder image).
     encoder: Vec<u16>,
-    /// `match_table[row]`: states whose stored entries for this half
+    /// `match_rows[row]`: states whose stored entries for this half
     /// match the row's code (rows `0..num_codes`), or the reserved word.
-    match_table: Vec<BitSet>,
-    match_any: Vec<Vec<u64>>,
+    match_rows: RowTable,
     entries_of: Vec<u32>,
     negated: BitSet,
 }
 
 impl EncodedStridedHalf {
-    fn build(n: usize, spec: &StridedHalfSpec<'_>) -> EncodedStridedHalf {
+    /// Builds the half, also returning the unpacked match rows so the
+    /// caller can derive the start-match table from the first half.
+    fn build(n: usize, spec: &StridedHalfSpec<'_>) -> (EncodedStridedHalf, Vec<BitSet>) {
         assert!(spec.num_codes < u16::MAX as usize, "too many codes");
         let reserved = spec.num_codes as u16;
         let encoder: Vec<u16> = (0..ALPHABET)
@@ -1294,16 +1354,15 @@ impl EncodedStridedHalf {
                 negated.insert(state);
             }
         }
-        let match_any = match_table.iter().map(word_summary).collect();
-        EncodedStridedHalf {
+        let half = EncodedStridedHalf {
             code_len: spec.code_len,
             num_codes: spec.num_codes,
             encoder,
-            match_table,
-            match_any,
+            match_rows: RowTable::from_rows(n, &match_table),
             entries_of,
             negated,
-        }
+        };
+        (half, match_table)
     }
 
     fn row_of(&self, symbol: u8) -> usize {
@@ -1340,9 +1399,8 @@ pub struct CompiledEncodedStridedAutomaton {
     name: String,
     first: EncodedStridedHalf,
     second: EncodedStridedHalf,
-    /// `first_start_match[row] = first.match_table[row] & all_input`.
-    first_start_match: Vec<BitSet>,
-    first_start_match_any: Vec<Vec<u64>>,
+    /// `first_start_rows[row] = first.match_rows[row] & all_input`.
+    first_start_rows: RowTable,
     succ_offsets: Vec<u32>,
     successors: Vec<u32>,
     all_input: BitSet,
@@ -1366,8 +1424,8 @@ impl CompiledEncodedStridedAutomaton {
         second: StridedHalfSpec<'_>,
     ) -> CompiledEncodedStridedAutomaton {
         let n = nfa.len();
-        let first = EncodedStridedHalf::build(n, &first);
-        let second = EncodedStridedHalf::build(n, &second);
+        let (first, first_table) = EncodedStridedHalf::build(n, &first);
+        let (second, _) = EncodedStridedHalf::build(n, &second);
 
         let mut all_input = BitSet::new(n);
         let mut start_of_data = BitSet::new(n);
@@ -1399,15 +1457,14 @@ impl CompiledEncodedStridedAutomaton {
                 .filter_map(|(i, s)| s.report.map(|(code, _)| (i, code))),
         );
 
-        let derived = derive_rows(&first.match_table, &all_input, &start_of_data);
+        let derived = derive_rows(&first_table, &all_input, &start_of_data);
 
         CompiledEncodedStridedAutomaton {
             len: n,
             name: nfa.name().to_string(),
             first,
             second,
-            first_start_match: derived.start_match,
-            first_start_match_any: derived.start_match_any,
+            first_start_rows: derived.start_rows,
             succ_offsets,
             successors,
             all_input,
@@ -1513,8 +1570,11 @@ impl CompiledEncodedStridedAutomaton {
         if out.len() != self.len {
             *out = BitSet::new(self.len);
         }
-        self.first.match_table[self.first.row_of(a)]
-            .and_into(&self.second.match_table[self.second.row_of(b)], out);
+        kernel::and2_into(
+            self.first.match_rows.row(self.first.row_of(a)).words(),
+            self.second.match_rows.row(self.second.row_of(b)).words(),
+            out.as_words_mut(),
+        );
     }
 
     /// CSR successor slice of `state`.
@@ -1588,28 +1648,28 @@ impl PlanBase for CompiledEncodedStridedAutomaton {
 }
 
 impl StridedPlan for CompiledEncodedStridedAutomaton {
-    fn first_vector(&self, a: u8) -> &BitSet {
-        &self.first.match_table[self.first.row_of(a)]
+    fn first_vector(&self, a: u8) -> Row<'_> {
+        self.first.match_rows.row(self.first.row_of(a))
     }
 
     fn first_any(&self, a: u8) -> &[u64] {
-        &self.first.match_any[self.first.row_of(a)]
+        self.first.match_rows.summary(self.first.row_of(a))
     }
 
-    fn second_vector(&self, b: u8) -> &BitSet {
-        &self.second.match_table[self.second.row_of(b)]
+    fn second_vector(&self, b: u8) -> Row<'_> {
+        self.second.match_rows.row(self.second.row_of(b))
     }
 
     fn second_any(&self, b: u8) -> &[u64] {
-        &self.second.match_any[self.second.row_of(b)]
+        self.second.match_rows.summary(self.second.row_of(b))
     }
 
-    fn first_start_match(&self, a: u8) -> &BitSet {
-        &self.first_start_match[self.first.row_of(a)]
+    fn first_start_match(&self, a: u8) -> Row<'_> {
+        self.first_start_rows.row(self.first.row_of(a))
     }
 
     fn first_start_match_any(&self, a: u8) -> &[u64] {
-        &self.first_start_match_any[self.first.row_of(a)]
+        self.first_start_rows.summary(self.first.row_of(a))
     }
 
     fn report_pair_unchecked(&self, state: usize) -> (u32, ReportPhase) {
@@ -2398,9 +2458,8 @@ mod tests {
             let mut out = BitSet::new(wrong);
             plan.match_pair_into(b'a', b'b', &mut out);
             assert_eq!(out.len(), plan.len());
-            let mut expected = BitSet::new(plan.len());
-            plan.first_table(b'a')
-                .and_into(plan.second_table(b'b'), &mut expected);
+            let mut expected = plan.first_table(b'a').to_bitset();
+            expected.intersect_with(&plan.second_table(b'b').to_bitset());
             assert_eq!(out, expected);
         }
     }
@@ -2428,13 +2487,10 @@ mod tests {
         let plan = CompiledStridedAutomaton::compile(&strided);
         for sym in [b'a', b'b', b'x', b'0', b'z', 0u8, 255u8] {
             for (words, any) in [
-                (plan.first_table(sym).as_words(), plan.first_table_any(sym)),
+                (plan.first_table(sym).words(), plan.first_table_any(sym)),
+                (plan.second_table(sym).words(), plan.second_table_any(sym)),
                 (
-                    plan.second_table(sym).as_words(),
-                    plan.second_table_any(sym),
-                ),
-                (
-                    StridedPlan::first_start_match(&plan, sym).as_words(),
+                    StridedPlan::first_start_match(&plan, sym).words(),
                     StridedPlan::first_start_match_any(&plan, sym),
                 ),
             ] {
@@ -2447,9 +2503,9 @@ mod tests {
                 }
             }
             // The start rows are first_table & all_input, exactly.
-            let mut expected = plan.first_table(sym).clone();
+            let mut expected = plan.first_table(sym).to_bitset();
             expected.intersect_with(plan.all_input_mask());
-            assert_eq!(StridedPlan::first_start_match(&plan, sym), &expected);
+            assert_eq!(StridedPlan::first_start_match(&plan, sym), expected);
         }
     }
 

@@ -10,6 +10,8 @@
 //! * [`regex`] — a regex parser and Glushkov compiler to homogeneous NFAs;
 //! * [`anml`] and [`mnrl`] — readers/writers for the interchange formats
 //!   used by ANMLZoo and the automata-processing toolchains;
+//! * [`kernel`] — runtime-dispatched SIMD word-slice kernels
+//!   (AVX2/SSE2/scalar) that the match/AND hot loops execute on;
 //! * [`graph`] — connected components and BFS orderings for mapping;
 //! * [`stats`] — the per-benchmark statistics reported in Table I;
 //! * [`stride`] — the 2-stride (alphabet-squaring) transform;
@@ -37,6 +39,7 @@ pub mod compiled;
 pub mod error;
 pub mod graph;
 pub mod json;
+pub mod kernel;
 pub mod mnrl;
 pub mod nfa;
 pub mod regex;

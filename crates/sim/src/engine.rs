@@ -22,6 +22,7 @@ use crate::activity::{CycleView, NullObserver, Observer};
 use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
 use cama_core::compiled::{CompiledAutomaton, ExecutionPlan, StridedPlan};
+use cama_core::kernel;
 use cama_core::stride::ReportPhase;
 use cama_core::{Nfa, SteId};
 
@@ -39,6 +40,20 @@ pub(crate) fn sparse_clear(words: &mut [u64], summary: &mut [u64]) {
         }
         *any = 0;
     }
+}
+
+/// Popcounts only the words the one-bit-per-word `summary` marks dirty —
+/// the sparse count shared by every engine's cached dynamic-state count.
+pub(crate) fn popcount_dirty(words: &[u64], summary: &[u64]) -> usize {
+    let mut count = 0usize;
+    for (j, &any) in summary.iter().enumerate() {
+        let mut dirty = any;
+        while dirty != 0 {
+            count += words[j * 64 + dirty.trailing_zeros() as usize].count_ones() as usize;
+            dirty &= dirty - 1;
+        }
+    }
+    count
 }
 
 /// The per-stream mutable half of a simulation: enable/active vectors
@@ -61,6 +76,9 @@ pub(crate) struct CycleState {
     /// strided kernel's visited-word count is per distinct word, not
     /// per (word, enable source) pass.
     touched_any: Vec<u64>,
+    /// Popcount of `dynamic`, maintained at vector-advance time so the
+    /// per-cycle activity accounting never re-counts the vector.
+    num_dynamic: usize,
     cycle: usize,
 }
 
@@ -75,6 +93,7 @@ impl CycleState {
             next_any: vec![0; summary_words],
             active_any: vec![0; summary_words],
             touched_any: vec![0; summary_words],
+            num_dynamic: 0,
             cycle: 0,
         }
     }
@@ -86,6 +105,7 @@ impl CycleState {
         self.dynamic_any.iter_mut().for_each(|w| *w = 0);
         self.next_any.iter_mut().for_each(|w| *w = 0);
         self.active_any.iter_mut().for_each(|w| *w = 0);
+        self.num_dynamic = 0;
         self.cycle = 0;
     }
 
@@ -110,7 +130,7 @@ impl CycleState {
         observer: &mut impl Observer,
     ) {
         let first_cycle = self.cycle == 0;
-        let match_words = plan.match_vector(symbol).as_words();
+        let match_words = plan.match_vector(symbol).words();
         let match_any = plan.match_any(symbol);
         let sod_words = plan.start_of_data_mask().as_words();
         let sod_any = plan.start_of_data_any();
@@ -124,7 +144,7 @@ impl CycleState {
         // visiting only words their summaries mark.
         if inject_starts {
             // Statically enabled starts that match: precompiled rows.
-            let start_words = plan.start_match(symbol).as_words();
+            let start_words = plan.start_match(symbol).words();
             for (j, &any) in plan.start_match_any(symbol).iter().enumerate() {
                 let mut dirty = any;
                 while dirty != 0 {
@@ -136,7 +156,7 @@ impl CycleState {
             }
         }
         let dynamic_words = self.dynamic.as_words();
-        let mut num_dynamic = 0usize;
+        let num_dynamic = self.num_dynamic;
         for (j, &dynamic_any) in self.dynamic_any.iter().enumerate() {
             let mut dirty = match_any[j] & dynamic_any;
             while dirty != 0 {
@@ -147,13 +167,6 @@ impl CycleState {
                     active_words[w] |= active;
                     self.active_any[j] |= 1u64 << (w % 64);
                 }
-            }
-            // Count dynamically enabled states from dirty words only.
-            let mut dirty = dynamic_any;
-            while dirty != 0 {
-                let w = j * 64 + dirty.trailing_zeros() as usize;
-                num_dynamic += dynamic_words[w].count_ones() as usize;
-                dirty &= dirty - 1;
             }
         }
         if first_cycle {
@@ -226,6 +239,7 @@ impl CycleState {
         std::mem::swap(&mut self.dynamic, &mut self.next);
         std::mem::swap(&mut self.dynamic_any, &mut self.next_any);
         sparse_clear(self.next.as_words_mut(), &mut self.next_any);
+        self.num_dynamic = popcount_dirty(self.dynamic.as_words(), &self.dynamic_any);
         self.cycle += 1;
     }
 
@@ -253,9 +267,9 @@ impl CycleState {
         observer: &mut impl Observer,
     ) -> u64 {
         let first_cycle = self.cycle == 0;
-        let first_words = plan.first_vector(a).as_words();
+        let first_words = plan.first_vector(a).words();
         let first_any = plan.first_any(a);
-        let second_words = plan.second_vector(b).as_words();
+        let second_words = plan.second_vector(b).words();
         let second_any = plan.second_any(b);
         let sod_words = plan.start_of_data_mask().as_words();
         let sod_any = plan.start_of_data_any();
@@ -268,7 +282,7 @@ impl CycleState {
         // visiting only words both halves and a source summary mark.
         // Start injection: first_start_match[a] & second[b]
         // (= first[a] & all_input & second[b]).
-        let start_words = plan.first_start_match(a).as_words();
+        let start_words = plan.first_start_match(a).words();
         for (j, &any) in plan.first_start_match_any(a).iter().enumerate() {
             let mut dirty = any & second_any[j];
             self.touched_any[j] |= dirty;
@@ -283,7 +297,7 @@ impl CycleState {
             }
         }
         let dynamic_words = self.dynamic.as_words();
-        let mut num_dynamic = 0usize;
+        let num_dynamic = self.num_dynamic;
         for (j, &dynamic_any) in self.dynamic_any.iter().enumerate() {
             let mut dirty = first_any[j] & second_any[j] & dynamic_any;
             self.touched_any[j] |= dirty;
@@ -295,13 +309,6 @@ impl CycleState {
                     active_words[w] |= active;
                     self.active_any[j] |= 1u64 << (w % 64);
                 }
-            }
-            // Count dynamically enabled states from dirty words only.
-            let mut dirty = dynamic_any;
-            while dirty != 0 {
-                let w = j * 64 + dirty.trailing_zeros() as usize;
-                num_dynamic += dynamic_words[w].count_ones() as usize;
-                dirty &= dirty - 1;
             }
         }
         if first_cycle {
@@ -325,17 +332,20 @@ impl CycleState {
             .iter()
             .map(|w| u64::from(w.count_ones()))
             .sum();
-        self.finish_pair_cycle(plan, a, limit, num_dynamic, result, observer);
+        self.finish_pair_cycle(plan, a, limit, None, num_dynamic, result, observer);
         visited
     }
 
     /// The non-selective ("every word precharged") form of
-    /// [`step_pair`](CycleState::step_pair): materializes the enable
-    /// vector and the full three-way AND via [`BitSet::and3_into`],
-    /// touching every word — the baseline the `strided` bench group
-    /// compares selective visitation against. Results are identical.
+    /// [`step_pair`](CycleState::step_pair): one fused
+    /// [`kernel::and2_or2_summarize`] sweep computing `first[a] &
+    /// second[b] & (dynamic | static starts)` over every word — the
+    /// baseline the `strided` bench group compares selective visitation
+    /// against. Results are identical.
     ///
-    /// `enabled` is caller-provided scratch sized to the plan.
+    /// `enabled` is caller-provided scratch sized to the plan; only the
+    /// first cycle uses it (to widen the static starts with the
+    /// start-of-data mask).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step_pair_naive(
         &mut self,
@@ -347,25 +357,33 @@ impl CycleState {
         result: &mut RunResult,
         observer: &mut impl Observer,
     ) -> u64 {
-        let first_cycle = self.cycle == 0;
-        enabled.copy_from(&self.dynamic);
-        enabled.union_with(plan.all_input_mask());
-        if first_cycle {
+        let static_mask: &[u64] = if self.cycle == 0 {
+            enabled.copy_from(plan.all_input_mask());
             enabled.union_with(plan.start_of_data_mask());
-        }
-        let num_dynamic = self.dynamic.count();
-        plan.first_vector(a)
-            .and3_into(plan.second_vector(b), enabled, &mut self.active);
-        // Rebuild the active summary the fused path maintains in place.
-        self.active_any.iter_mut().for_each(|w| *w = 0);
-        for (w, &word) in self.active.as_words().iter().enumerate() {
-            if word != 0 {
-                self.active_any[w / 64] |= 1u64 << (w % 64);
-            }
-        }
+            enabled.as_words()
+        } else {
+            plan.all_input_mask().as_words()
+        };
+        let num_dynamic = self.num_dynamic;
+        let num_active = kernel::and2_or2_summarize(
+            plan.first_vector(a).words(),
+            plan.second_vector(b).words(),
+            self.dynamic.as_words(),
+            static_mask,
+            self.active.as_words_mut(),
+            &mut self.active_any,
+        );
         let visited = self.active.as_words().len() as u64;
 
-        self.finish_pair_cycle(plan, a, limit, num_dynamic, result, observer);
+        self.finish_pair_cycle(
+            plan,
+            a,
+            limit,
+            Some(num_active as usize),
+            num_dynamic,
+            result,
+            observer,
+        );
         visited
     }
 
@@ -373,11 +391,17 @@ impl CycleState {
     /// forms: one ordered pass over the active words — popcounts, the
     /// phase-mapped report scan, and the successor expansion while each
     /// word is hot — then the per-cycle accounting and vector advance.
+    ///
+    /// `precounted` carries the active popcount when phase 1 already
+    /// produced it (the naive path's fused kernel returns it for free);
+    /// `None` makes this pass count during the walk.
+    #[allow(clippy::too_many_arguments)]
     fn finish_pair_cycle(
         &mut self,
         plan: &impl StridedPlan,
         a: u8,
         limit: usize,
+        precounted: Option<usize>,
         num_dynamic: usize,
         result: &mut RunResult,
         observer: &mut impl Observer,
@@ -385,7 +409,7 @@ impl CycleState {
         let report_words = plan.report_mask().as_words();
         let active_words = self.active.as_words();
         let next_words = self.next.as_words_mut();
-        let mut num_active = 0usize;
+        let mut num_active = precounted.unwrap_or(0);
         let mut reports_this_cycle = 0usize;
         for (j, &active_any) in self.active_any.iter().enumerate() {
             let mut dirty = active_any;
@@ -393,7 +417,9 @@ impl CycleState {
                 let w = j * 64 + dirty.trailing_zeros() as usize;
                 dirty &= dirty - 1;
                 let active = active_words[w];
-                num_active += active.count_ones() as usize;
+                if precounted.is_none() {
+                    num_active += active.count_ones() as usize;
+                }
 
                 let mut reporting = active & report_words[w];
                 while reporting != 0 {
@@ -442,6 +468,7 @@ impl CycleState {
         std::mem::swap(&mut self.dynamic, &mut self.next);
         std::mem::swap(&mut self.dynamic_any, &mut self.next_any);
         sparse_clear(self.next.as_words_mut(), &mut self.next_any);
+        self.num_dynamic = popcount_dirty(self.dynamic.as_words(), &self.dynamic_any);
         self.cycle += 1;
     }
 
@@ -469,6 +496,7 @@ impl CycleState {
             self.dynamic.insert(state);
             self.dynamic_any[state / 4096] |= 1u64 << ((state / 64) % 64);
         }
+        self.num_dynamic = self.dynamic.count();
     }
 }
 

@@ -35,6 +35,10 @@
 //!   [`strided::EncodedStridedSimulator`] runs the same pair loop on
 //!   per-half encoding codebooks, and the sharded engine and stream
 //!   table accept both strided plan flavours;
+//! * [`profile`] — profile-guided shard assignment: per-state activity
+//!   from a measured run ([`ShardStats::state_active`]) packed into a
+//!   heat-sorted sharding that concentrates hot states and leaves cold
+//!   arrays skippable;
 //! * [`activity`] — the per-cycle observer interface and summary
 //!   statistics the energy models consume;
 //! * [`buffers`] — the 128-entry input / 64-entry output buffer
@@ -92,6 +96,7 @@ pub mod encoded;
 pub mod engine;
 pub mod frame;
 pub mod interp;
+pub mod profile;
 pub mod result;
 pub mod session;
 pub mod sharded;
@@ -106,6 +111,7 @@ pub use encoded::{EncodedSession, EncodedSimulator};
 pub use engine::{ByteSession, Simulator};
 pub use frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 pub use interp::{InterpSession, InterpSimulator};
+pub use profile::ShardingProfile;
 pub use result::{Report, RunResult};
 pub use session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 pub use sharded::{ShardStats, ShardedExecution, ShardedSession, ShardedSimulator};

@@ -30,7 +30,7 @@
 use crate::activity::{
     CycleView, NullObserver, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,
 };
-use crate::engine::sparse_clear;
+use crate::engine::{popcount_dirty, sparse_clear};
 use crate::result::{Report, RunResult};
 use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
@@ -52,6 +52,9 @@ struct ShardLane {
     dynamic_any: Vec<u64>,
     next_any: Vec<u64>,
     active_any: Vec<u64>,
+    /// Popcount of `dynamic`, maintained at the cycle-end advance so
+    /// per-cycle accounting never re-counts the vector.
+    num_dynamic: usize,
 }
 
 impl ShardLane {
@@ -64,6 +67,7 @@ impl ShardLane {
             dynamic_any: vec![0; summary_words],
             next_any: vec![0; summary_words],
             active_any: vec![0; summary_words],
+            num_dynamic: 0,
         }
     }
 
@@ -74,6 +78,7 @@ impl ShardLane {
         self.dynamic_any.iter_mut().for_each(|w| *w = 0);
         self.next_any.iter_mut().for_each(|w| *w = 0);
         self.active_any.iter_mut().for_each(|w| *w = 0);
+        self.num_dynamic = 0;
     }
 
     fn dynamic_is_empty(&self) -> bool {
@@ -99,12 +104,18 @@ pub struct ShardStats {
     /// Activations carried across shards (simulated global-switch
     /// traffic).
     pub cross_activations: u64,
+    /// Per-state activation counts, indexed by *global* state id —
+    /// the activity histogram [`ShardingProfile`] is built from.
+    ///
+    /// [`ShardingProfile`]: crate::ShardingProfile
+    pub state_active: Vec<u64>,
 }
 
 impl ShardStats {
-    fn new(num_shards: usize) -> ShardStats {
+    fn new(num_shards: usize, num_states: usize) -> ShardStats {
         ShardStats {
             shard_cycles: vec![0; num_shards],
+            state_active: vec![0; num_states],
             ..ShardStats::default()
         }
     }
@@ -196,7 +207,7 @@ impl<'p, P: PlanBase> ShardedSession<'p, P> {
             carry: None,
             result: RunResult::default(),
             fed: 0,
-            stats: ShardStats::new(plan.num_shards()),
+            stats: ShardStats::new(plan.num_shards(), plan.len()),
             flat_scratch: None,
         }
     }
@@ -226,7 +237,10 @@ impl<'p, P: PlanBase> ShardedSession<'p, P> {
 
     /// Takes the counters, resetting them to zero.
     pub fn take_stats(&mut self) -> ShardStats {
-        std::mem::replace(&mut self.stats, ShardStats::new(self.plan.num_shards()))
+        std::mem::replace(
+            &mut self.stats,
+            ShardStats::new(self.plan.num_shards(), self.plan.len()),
+        )
     }
 
     /// The once-per-cycle epilogue shared by the byte and pair kernels:
@@ -261,6 +275,7 @@ impl<'p, P: PlanBase> ShardedSession<'p, P> {
             std::mem::swap(&mut lane.dynamic, &mut lane.next);
             std::mem::swap(&mut lane.dynamic_any, &mut lane.next_any);
             sparse_clear(lane.next.as_words_mut(), &mut lane.next_any);
+            lane.num_dynamic = popcount_dirty(lane.dynamic.as_words(), &lane.dynamic_any);
         }
 
         // Emit this cycle's reports in ascending (offset, global state)
@@ -330,6 +345,9 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
         } = self;
 
         for (si, (shard, lane)) in plan.shards().iter().zip(lanes.iter_mut()).enumerate() {
+            // Skipped shards hold no dynamically enabled state, so the
+            // cached per-lane counts sum to the flat engine's total.
+            num_dynamic += lane.num_dynamic;
             let dynamic_empty = lane.dynamic_is_empty();
             let starts_matter = inject_starts && shard.start_match_possible(symbol);
             // Cycle 0 only: a shard whose start-of-data states share no
@@ -338,8 +356,8 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
                 && shard.has_start_of_data()
                 && !shard
                     .plan()
-                    .start_of_data_mask()
-                    .is_disjoint(shard.plan().match_vector(symbol));
+                    .match_vector(symbol)
+                    .is_disjoint(shard.plan().start_of_data_mask().as_row());
             if shard.is_empty() || (*skip_idle && dynamic_empty && !starts_matter && !sod_matters) {
                 skipped += 1;
                 stats.skipped_shard_cycles += 1;
@@ -350,7 +368,7 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
             let splan = shard.plan();
             stats.words_visited += splan.len().div_ceil(64) as u64;
 
-            let match_words = splan.match_vector(symbol).as_words();
+            let match_words = splan.match_vector(symbol).words();
             let match_any = splan.match_any(symbol);
             let sod_words = splan.start_of_data_mask().as_words();
             let sod_any = splan.start_of_data_any();
@@ -364,7 +382,7 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
             // Phase 1: build the active vector from its enable sources,
             // visiting only words their summaries mark.
             if inject_starts {
-                let start_words = splan.start_match(symbol).as_words();
+                let start_words = splan.start_match(symbol).words();
                 for (j, &any) in splan.start_match_any(symbol).iter().enumerate() {
                     let mut dirty = any;
                     while dirty != 0 {
@@ -386,12 +404,6 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
                         active_words[w] |= active;
                         lane.active_any[j] |= 1u64 << (w % 64);
                     }
-                }
-                let mut dirty = dynamic_any;
-                while dirty != 0 {
-                    let w = j * 64 + dirty.trailing_zeros() as usize;
-                    num_dynamic += dynamic_words[w].count_ones() as usize;
-                    dirty &= dirty - 1;
                 }
             }
             if first_cycle {
@@ -437,6 +449,7 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
                     let mut remaining = active;
                     while remaining != 0 {
                         let local = w * 64 + remaining.trailing_zeros() as usize;
+                        stats.state_active[globals[local] as usize] += 1;
                         for &succ in splan.successors(local) {
                             let succ = succ as usize;
                             next_words[succ / 64] |= 1u64 << (succ % 64);
@@ -505,6 +518,9 @@ impl<'p, P: StridedPlan> ShardedSession<'p, P> {
         } = self;
 
         for (si, (shard, lane)) in plan.shards().iter().zip(lanes.iter_mut()).enumerate() {
+            // Skipped shards hold no dynamically enabled state, so the
+            // cached per-lane counts sum to the flat engine's total.
+            num_dynamic += lane.num_dynamic;
             let dynamic_empty = lane.dynamic_is_empty();
             // Starts inject on every pair cycle; the precomputed pair
             // probe answers exactly whether a statically enabled state
@@ -515,8 +531,8 @@ impl<'p, P: StridedPlan> ShardedSession<'p, P> {
             // halves of this pair to fire.
             let sod_matters = first_cycle && shard.has_start_of_data() && {
                 let sod = splan.start_of_data_mask().as_words();
-                let first = splan.first_vector(a).as_words();
-                let second = splan.second_vector(b).as_words();
+                let first = splan.first_vector(a).words();
+                let second = splan.second_vector(b).words();
                 sod.iter()
                     .enumerate()
                     .any(|(w, &m)| m & first[w] & second[w] != 0)
@@ -530,9 +546,9 @@ impl<'p, P: StridedPlan> ShardedSession<'p, P> {
             stats.shard_cycles[si] += 1;
             stats.words_visited += splan.len().div_ceil(64) as u64;
 
-            let first_words = splan.first_vector(a).as_words();
+            let first_words = splan.first_vector(a).words();
             let first_any = splan.first_any(a);
-            let second_words = splan.second_vector(b).as_words();
+            let second_words = splan.second_vector(b).words();
             let second_any = splan.second_any(b);
             let sod_words = splan.start_of_data_mask().as_words();
             let sod_any = splan.start_of_data_any();
@@ -545,7 +561,7 @@ impl<'p, P: StridedPlan> ShardedSession<'p, P> {
 
             // Phase 1: build the active vector from its enable sources,
             // visiting only words both halves and a source mark.
-            let start_words = splan.first_start_match(a).as_words();
+            let start_words = splan.first_start_match(a).words();
             for (j, &any) in splan.first_start_match_any(a).iter().enumerate() {
                 let mut dirty = any & second_any[j];
                 while dirty != 0 {
@@ -569,12 +585,6 @@ impl<'p, P: StridedPlan> ShardedSession<'p, P> {
                         active_words[w] |= active;
                         lane.active_any[j] |= 1u64 << (w % 64);
                     }
-                }
-                let mut dirty = dynamic_any;
-                while dirty != 0 {
-                    let w = j * 64 + dirty.trailing_zeros() as usize;
-                    num_dynamic += dynamic_words[w].count_ones() as usize;
-                    dirty &= dirty - 1;
                 }
             }
             if first_cycle {
@@ -628,6 +638,7 @@ impl<'p, P: StridedPlan> ShardedSession<'p, P> {
                     let mut remaining = active;
                     while remaining != 0 {
                         let local = w * 64 + remaining.trailing_zeros() as usize;
+                        stats.state_active[globals[local] as usize] += 1;
                         for &succ in splan.successors(local) {
                             let succ = succ as usize;
                             next_words[succ / 64] |= 1u64 << (succ % 64);
@@ -923,6 +934,9 @@ impl<P: ShardedExecution> FlowSession for ShardedSession<'_, P> {
             let local = local as usize;
             lane.dynamic.insert(local);
             lane.dynamic_any[local / 4096] |= 1u64 << ((local / 64) % 64);
+        }
+        for lane in &mut self.lanes {
+            lane.num_dynamic = popcount_dirty(lane.dynamic.as_words(), &lane.dynamic_any);
         }
     }
 

@@ -1195,3 +1195,61 @@ fn symbol_class_set_algebra() {
         }
     }
 }
+
+/// The kernel-dispatch invariant: every engine produces bit-identical
+/// `RunResult`s whether the word-slice kernels run forced-scalar or on
+/// whatever SIMD tier the runtime dispatcher picked for this CPU —
+/// one-shot and chunked, flat, sharded, strided (selective and naive),
+/// and encoded. The forced override is process-global and the results
+/// are identical on every tier by construction, so flipping it while
+/// sibling tests run concurrently is safe.
+#[test]
+fn kernels_scalar_and_dispatched_agree_across_engines() {
+    use cama::core::compiled::CompiledStridedAutomaton;
+    use cama::core::kernel::{self, Kernel};
+    use cama::sim::StridedSession;
+
+    fn collect(nfa: &Nfa, input: &[u8], chunks: &[&[u8]]) -> Vec<RunResult> {
+        let mut results = vec![Simulator::new(nfa).run(input)];
+        for shards in shard_counts() {
+            results.push(ShardedSimulator::new(nfa, shards).run(input));
+        }
+        let strided = StridedNfa::from_nfa(nfa);
+        results.push(StridedSimulator::new(&strided).run(input));
+        // The non-selective strided session is the heaviest kernel
+        // consumer (one fused sweep per pair cycle); feed it chunked.
+        let plan = CompiledStridedAutomaton::compile(&strided);
+        let mut naive = StridedSession::new(&plan);
+        naive.set_selective(false);
+        for chunk in chunks {
+            naive.feed(chunk);
+        }
+        results.push(naive.finish());
+        results.push(EncodedSimulator::new(nfa).run(input));
+        results.push(EncodedStridedSimulator::new(&strided).run(input));
+        results.push(via_session(&Simulator::new(nfa), chunks));
+        results.push(via_session(&ShardedSimulator::new(nfa, 2), chunks));
+        results
+    }
+
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51_3D00 + seed);
+        let nfa = random_nfa(&mut rng);
+        let input = random_input(&mut rng);
+        let chunks = random_chunks(&mut rng, &input);
+
+        kernel::force(Some(Kernel::Scalar));
+        let scalar = collect(&nfa, &input, &chunks);
+        kernel::force(None);
+        let dispatched = collect(&nfa, &input, &chunks);
+
+        for (i, (s, d)) in scalar.iter().zip(&dispatched).enumerate() {
+            assert_eq!(
+                s,
+                d,
+                "seed {seed}, engine {i}: forced-scalar vs dispatched {}",
+                kernel::active().name()
+            );
+        }
+    }
+}
