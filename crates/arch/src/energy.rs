@@ -68,6 +68,26 @@ impl EnergyBreakdown {
         self.per_cycle().value() * frequency_ghz / 1000.0
     }
 
+    /// The field-wise difference `self − earlier`: what accrued between
+    /// two snapshots of one accumulating observer. The tenant demux
+    /// uses this to attribute each flow's slice of a shared breakdown.
+    pub fn delta_since(&self, earlier: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            state_match: self.state_match - earlier.state_match,
+            switch_wire: self.switch_wire - earlier.switch_wire,
+            encoder: self.encoder - earlier.encoder,
+            cycles: self.cycles - earlier.cycles,
+        }
+    }
+
+    /// Field-wise accumulation of another breakdown into this one.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.state_match += other.state_match;
+        self.switch_wire += other.switch_wire;
+        self.encoder += other.encoder;
+        self.cycles += other.cycles;
+    }
+
     /// Fractions `(state match, switch+wire, encoder)` of the total.
     pub fn fractions(&self) -> (f64, f64, f64) {
         let total = self.total().value();

@@ -16,7 +16,10 @@
 //! * [`hardware`] — a functional model of the mapped hardware, tested
 //!   report-equivalent to the plain simulator;
 //! * [`report`] — per-(benchmark, design) rollups, including the strided
-//!   designs of Figure 13.
+//!   designs of Figure 13;
+//! * [`tenant`] — per-tenant accounting for serving: a tenant-demuxing
+//!   observer over the energy model whose slices sum to the table-wide
+//!   breakdown, plus [`evaluate_serving_by_tenant`].
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@ pub mod hardware;
 pub mod mapping;
 pub mod report;
 pub mod resources;
+pub mod tenant;
 pub mod timing;
 
 pub use area::{area_report, AreaReport};
@@ -51,5 +55,9 @@ pub use mapping::{
 pub use report::{
     evaluate, evaluate_serving, evaluate_serving_strided, evaluate_strided, strided_weights,
     DesignReport, ServingReport,
+};
+pub use tenant::{
+    evaluate_serving_by_tenant, evaluate_serving_strided_by_tenant, TenantAccountant, TenantEnergy,
+    TenantServingReport,
 };
 pub use timing::{stage_delays, timing_report, StageDelays, TimingReport};

@@ -262,10 +262,10 @@ pub fn evaluate_serving(
 /// energy accumulating across the whole batch (close-side flush cycles
 /// included — a strided flow's zero-padded final pair is charged like
 /// any other cycle).
-fn serve<P>(
+pub(crate) fn serve<P>(
     batch: &mut cama_sim::BatchSimulator<'_, cama_core::compiled::ShardedAutomaton<P>>,
     streams: &[&[u8]],
-    observer: &mut EnergyObserver,
+    observer: &mut impl cama_sim::ShardObserver,
 ) -> Vec<cama_sim::RunResult>
 where
     P: cama_sim::ShardedExecution + Clone + std::fmt::Debug,
@@ -283,7 +283,7 @@ where
 }
 
 /// Assembles the [`ServingReport`] from one serving run's pieces.
-fn rollup(
+pub(crate) fn rollup(
     design: DesignKind,
     mapping: Mapping,
     area: AreaReport,

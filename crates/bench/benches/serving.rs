@@ -1,0 +1,193 @@
+//! Criterion benchmarks for the serving control plane: the controlled
+//! table vs the raw stream table on the same interleaved flows (the
+//! admission/ledger overhead), park/resume churn under a tight
+//! residency cap per victim policy, token-bucket deferral with
+//! tick-driven draining, and open/feed/close flow churn through a
+//! sliding window.
+
+use cama_core::compiled::CompiledAutomaton;
+use cama_sim::control::{
+    ClassLruPolicy, ControlConfig, ControlledBatch, FlowSpec, LruPolicy, QosClass, QosPolicy,
+    RateLimit, VictimPolicy,
+};
+use cama_sim::{BatchSimulator, StreamId};
+use cama_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const INPUT_LEN: usize = 4096;
+const FLOWS: usize = 8;
+const CHUNK: usize = 256;
+
+fn workload() -> (cama_core::Nfa, Vec<Vec<u8>>) {
+    let nfa = Benchmark::Snort.generate(0.02);
+    let flows = (0..FLOWS)
+        .map(|i| Benchmark::Snort.input(&nfa, INPUT_LEN, i as u64 + 1))
+        .collect();
+    (nfa, flows)
+}
+
+fn spec_for(flow: usize) -> FlowSpec {
+    const CLASSES: [QosClass; 4] = [
+        QosClass::Background,
+        QosClass::Standard,
+        QosClass::Premium,
+        QosClass::Realtime,
+    ];
+    FlowSpec::new((flow % 3) as u32).with_class(CLASSES[flow % CLASSES.len()])
+}
+
+/// Feeds the flows round-robin in `CHUNK`-byte slices through a
+/// controlled table and closes them — the serving loop every variant
+/// below times.
+fn serve_controlled<V: VictimPolicy>(
+    mut ctl: ControlledBatch<'_, CompiledAutomaton, V>,
+    flows: &[Vec<u8>],
+    tick_every_round: bool,
+) -> usize {
+    for (i, _) in flows.iter().enumerate() {
+        ctl.open(i as StreamId, spec_for(i));
+    }
+    for pos in (0..INPUT_LEN).step_by(CHUNK) {
+        for (i, flow) in flows.iter().enumerate() {
+            ctl.feed(i as StreamId, &flow[pos..pos + CHUNK]);
+        }
+        if tick_every_round {
+            ctl.tick();
+        }
+    }
+    (0..flows.len())
+        .map(|i| ctl.close(i as StreamId).reports.len())
+        .sum()
+}
+
+/// The raw table vs the controlled table on identical traffic: the
+/// uncapped, unlimited control plane should price in only the
+/// admission check and the per-tenant ledger.
+fn bench_control_overhead(c: &mut Criterion) {
+    let (nfa, flows) = workload();
+    let plan = CompiledAutomaton::compile(&nfa);
+    let mut group = c.benchmark_group("serving");
+    group.throughput(Throughput::Bytes((INPUT_LEN * FLOWS) as u64));
+    group.bench_function("raw_table", |b| {
+        b.iter(|| {
+            let mut batch = BatchSimulator::new(&plan);
+            for pos in (0..INPUT_LEN).step_by(CHUNK) {
+                for (i, flow) in flows.iter().enumerate() {
+                    batch.feed(i as StreamId, black_box(&flow[pos..pos + CHUNK]));
+                }
+            }
+            let reports: usize = (0..FLOWS)
+                .map(|i| batch.close(i as StreamId).reports.len())
+                .sum();
+            black_box(reports)
+        })
+    });
+    group.bench_function("controlled_unlimited", |b| {
+        b.iter(|| {
+            let ctl = ControlledBatch::new(&plan, ControlConfig::new());
+            black_box(serve_controlled(ctl, &flows, false))
+        })
+    });
+    group.finish();
+}
+
+/// Park/resume churn: a residency cap of 2 under 8 round-robin flows
+/// forces a park and a resume on nearly every chunk, once per victim
+/// policy (the policies rank candidates differently but all scan the
+/// same resident set).
+fn bench_policy_churn(c: &mut Criterion) {
+    let (nfa, flows) = workload();
+    let plan = CompiledAutomaton::compile(&nfa);
+    let capped = || ControlConfig::new().max_resident(2);
+    let mut group = c.benchmark_group("serving");
+    group.throughput(Throughput::Bytes((INPUT_LEN * FLOWS) as u64));
+    group.bench_function("capped_policy_lru", |b| {
+        b.iter(|| {
+            let ctl = ControlledBatch::with_policy(&plan, capped(), LruPolicy);
+            black_box(serve_controlled(ctl, &flows, false))
+        })
+    });
+    group.bench_function("capped_policy_class_lru", |b| {
+        b.iter(|| {
+            let ctl = ControlledBatch::with_policy(&plan, capped(), ClassLruPolicy);
+            black_box(serve_controlled(ctl, &flows, false))
+        })
+    });
+    group.bench_function("capped_policy_qos", |b| {
+        b.iter(|| {
+            let ctl = ControlledBatch::with_policy(&plan, capped(), QosPolicy);
+            black_box(serve_controlled(ctl, &flows, false))
+        })
+    });
+    group.finish();
+}
+
+/// Token-bucket deferral: per-flow and per-tenant budgets sized so
+/// roughly half of each round's bytes detour through the deferral
+/// buffer and drain on the tick, measuring the buffer-and-drain path
+/// against the grant-everything fast path above.
+fn bench_rate_limited(c: &mut Criterion) {
+    let (nfa, flows) = workload();
+    let plan = CompiledAutomaton::compile(&nfa);
+    let mut group = c.benchmark_group("serving");
+    group.throughput(Throughput::Bytes((INPUT_LEN * FLOWS) as u64));
+    group.bench_function("rate_limited_deferral", |b| {
+        b.iter(|| {
+            let config = ControlConfig::new()
+                .flow_rate(RateLimit::new(CHUNK as u64 / 2, CHUNK as u64 / 2))
+                .default_tenant_rate(RateLimit::new(
+                    (CHUNK * FLOWS) as u64 / 4,
+                    (CHUNK * FLOWS) as u64 / 4,
+                ))
+                .defer_capacity(INPUT_LEN * FLOWS);
+            let ctl = ControlledBatch::new(&plan, config);
+            black_box(serve_controlled(ctl, &flows, true))
+        })
+    });
+    group.finish();
+}
+
+/// Flow churn: 1024 short flows opened, fed, and closed through a
+/// 64-flow window with a 16-session residency cap — the steady-state
+/// serving shape where table slots turn over constantly.
+fn bench_flow_churn(c: &mut Criterion) {
+    const CHURN_FLOWS: usize = 1024;
+    const WINDOW: usize = 64;
+    const BYTES: usize = 64;
+    let (nfa, flows) = workload();
+    let plan = CompiledAutomaton::compile(&nfa);
+    let mut group = c.benchmark_group("serving");
+    group.throughput(Throughput::Bytes((CHURN_FLOWS * BYTES) as u64));
+    group.bench_function("flow_churn_1024", |b| {
+        b.iter(|| {
+            let config = ControlConfig::new().max_open(WINDOW + 1).max_resident(16);
+            let mut ctl = ControlledBatch::new(&plan, config);
+            let mut reports = 0usize;
+            for flow in 0..CHURN_FLOWS {
+                if flow >= WINDOW {
+                    reports += ctl.close((flow - WINDOW) as StreamId).reports.len();
+                }
+                let id = flow as StreamId;
+                ctl.open(id, spec_for(flow));
+                let source = &flows[flow % FLOWS];
+                let at = (flow * 31) % (INPUT_LEN - BYTES);
+                ctl.feed(id, black_box(&source[at..at + BYTES]));
+            }
+            for flow in CHURN_FLOWS - WINDOW..CHURN_FLOWS {
+                reports += ctl.close(flow as StreamId).reports.len();
+            }
+            black_box(reports)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_control_overhead,
+    bench_policy_churn,
+    bench_rate_limited,
+    bench_flow_churn
+);
+criterion_main!(benches);

@@ -323,13 +323,24 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
     ///
     /// # Panics
     ///
-    /// Panics if the stream is already open.
+    /// Panics if the stream is already open. A front-end treating
+    /// duplicate opens as a policy decision rather than a bug should
+    /// use [`try_open`](Self::try_open).
     pub fn open(&mut self, stream: StreamId) {
-        assert!(
-            !self.table.contains_key(&stream),
-            "stream {stream} is already open"
-        );
+        assert!(self.try_open(stream), "stream {stream} is already open");
+    }
+
+    /// Non-panicking [`open`](Self::open): opens the flow and returns
+    /// `true`, or returns `false` if the stream is already open
+    /// (resident or parked), leaving the existing flow untouched. This
+    /// is the admission-control entry point — a duplicate open is a
+    /// verdict for the caller, not a crash.
+    pub fn try_open(&mut self, stream: StreamId) -> bool {
+        if self.table.contains_key(&stream) {
+            return false;
+        }
         let _ = self.session_mut(stream);
+        true
     }
 
     /// `true` if `stream` is currently open (resident or parked).
@@ -352,12 +363,94 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
         self.table.len() - self.resident
     }
 
+    /// The residency cap set via [`max_resident`](Self::max_resident)
+    /// (`None` = unlimited).
+    pub fn resident_cap(&self) -> Option<usize> {
+        self.max_resident
+    }
+
+    /// `true` if `stream` currently holds a resident session (open and
+    /// not parked).
+    pub fn is_resident(&self, stream: StreamId) -> bool {
+        matches!(self.table.get(&stream), Some(Flow::Resident { .. }))
+    }
+
+    /// Visits every resident flow as `(stream, idle, last_touch)` — the
+    /// raw victim-candidate signal an external scheduling policy ranks:
+    /// `idle` is the session's powered-down state (no dynamic
+    /// activity), `last_touch` the monotone feed-clock value of the
+    /// flow's most recent chunk. O(cap) on a capped table.
+    pub fn for_each_resident(&self, mut f: impl FnMut(StreamId, bool, u64)) {
+        let mut visit = |id: StreamId, flow: &Flow<P::Session<'p>>| {
+            if let Flow::Resident {
+                session,
+                last_touch,
+            } = flow
+            {
+                f(id, session.is_idle(), *last_touch);
+            }
+        };
+        if self.max_resident.is_some() {
+            for &id in &self.resident_ids {
+                visit(id, &self.table[&id]);
+            }
+        } else {
+            for (&id, flow) in &self.table {
+                visit(id, flow);
+            }
+        }
+    }
+
+    /// Visits the shard indices a resident flow currently has dynamic
+    /// activity on (nothing for parked or unknown flows). Combined with
+    /// [`shard_load_into`](Self::shard_load_into) this tells a fairness
+    /// policy which flows are loading the hot shards.
+    pub fn for_each_active_shard_of(&self, stream: StreamId, f: impl FnMut(usize)) {
+        if let Some(Flow::Resident { session, .. }) = self.table.get(&stream) {
+            session.for_each_active_shard(f);
+        }
+    }
+
+    /// Parks a specific resident flow — suspends it to a sparse
+    /// [`SuspendedFlow`] and returns its session to the pool — so an
+    /// external policy can choose the victim instead of the built-in
+    /// idle-then-LRU rule. Returns `false` (and does nothing) if the
+    /// flow is not resident. The flow stays open and resumes
+    /// transparently on its next feed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an uncapped table: without a residency cap every open
+    /// flow is assumed resident and nothing ever needs parking.
+    pub fn park(&mut self, stream: StreamId) -> bool {
+        assert!(
+            self.max_resident.is_some(),
+            "parking requires a residency cap (max_resident)"
+        );
+        if !self.is_resident(stream) {
+            return false;
+        }
+        self.park_flow(stream);
+        true
+    }
+
     /// For each shard of the plan, how many resident flows currently
     /// have dynamic activity on it — the observed-activity signal the
     /// scheduler's placement policy reads (always a single entry for
     /// flat plans).
     pub fn shard_load(&self) -> Vec<usize> {
-        let mut load = vec![0usize; self.plan.num_shards()];
+        let mut load = Vec::new();
+        self.shard_load_into(&mut load);
+        load
+    }
+
+    /// [`shard_load`](Self::shard_load) into a caller-owned buffer, so
+    /// per-admission placement decisions don't allocate a fresh `Vec`
+    /// on every call. The buffer is cleared and resized to
+    /// [`num_shards`](StreamPlan::num_shards) entries.
+    pub fn shard_load_into(&self, load: &mut Vec<usize>) {
+        load.clear();
+        load.resize(self.plan.num_shards(), 0);
         let mut count = |flow: &Flow<P::Session<'p>>| {
             if let Flow::Resident { session, .. } = flow {
                 session.for_each_active_shard(|shard| load[shard] += 1);
@@ -374,7 +467,6 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
                 count(flow);
             }
         }
-        load
     }
 
     /// Feeds one chunk to a flow, opening it implicitly if unknown.
@@ -515,6 +607,11 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
             .min_by_key(|&(_, idle, touch)| (!idle, touch))
             .map(|(id, ..)| id);
         let Some(id) = victim else { return };
+        self.park_flow(id);
+    }
+
+    /// Suspends a known-resident flow into a parked snapshot.
+    fn park_flow(&mut self, id: StreamId) {
         if let Some(Flow::Resident { mut session, .. }) = self.table.remove(&id) {
             let parked = session.suspend();
             self.pool.push(session);
@@ -875,6 +972,80 @@ mod tests {
         let mut batch = BatchSimulator::new(&plan);
         batch.open(1);
         batch.open(1);
+    }
+
+    #[test]
+    fn try_open_reports_duplicates_without_panicking() {
+        let nfa = regex::compile("ab").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        assert!(batch.try_open(1));
+        assert!(!batch.try_open(1));
+        // The duplicate attempt must not disturb the existing flow.
+        batch.feed(1, b"a");
+        assert!(!batch.try_open(1));
+        batch.feed(1, b"b");
+        assert_eq!(batch.close(1).report_offsets(), vec![1]);
+        // A parked flow is still open: try_open must refuse it too.
+        let mut capped = BatchSimulator::new(&plan).max_resident(1);
+        capped.feed(2, b"a");
+        capped.feed(3, b"a"); // parks flow 2
+        assert!(!capped.is_resident(2));
+        assert!(!capped.try_open(2));
+    }
+
+    #[test]
+    fn shard_load_into_reuses_the_buffer_and_matches_shard_load() {
+        let nfa = regex::compile_set(&["ab+c", "xy+z"]).unwrap();
+        let plan = ShardedAutomaton::compile_per_component(&nfa);
+        let mut batch = BatchSimulator::new(&plan);
+        batch.feed(0, b"ab");
+        batch.feed(1, b"xy");
+        let mut buf = vec![99usize; 17]; // stale, wrongly sized
+        batch.shard_load_into(&mut buf);
+        assert_eq!(buf, batch.shard_load());
+        assert_eq!(buf.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn explicit_park_hands_victim_choice_to_the_caller() {
+        let nfa = regex::compile("ab+x").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan).max_resident(2);
+        batch.feed(0, b"ab"); // active
+        batch.feed(1, b"zz"); // idle — built-in rule would park this one
+                              // The caller overrides the built-in choice and parks flow 0.
+        assert!(batch.park(0));
+        assert!(!batch.is_resident(0));
+        assert!(batch.is_open(0));
+        assert!(!batch.park(0), "already parked");
+        assert!(!batch.park(42), "unknown flow");
+        // Flow 0 resumes transparently and still matches.
+        batch.feed(2, b"zz");
+        batch.feed(0, b"bx");
+        assert_eq!(batch.close(0).report_offsets(), vec![3]);
+    }
+
+    #[test]
+    fn for_each_resident_reports_idle_and_touch_order() {
+        let nfa = regex::compile("ab+x").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let mut batch = BatchSimulator::new(&plan).max_resident(3);
+        batch.feed(5, b"ab"); // active, oldest touch
+        batch.feed(6, b"zz"); // idle
+        batch.feed(7, b"ab"); // active, newest touch
+        let mut seen = Vec::new();
+        batch.for_each_resident(|id, idle, touch| seen.push((id, idle, touch)));
+        seen.sort_by_key(|&(_, _, touch)| touch);
+        assert_eq!(seen.len(), 3);
+        assert_eq!(
+            seen.iter().map(|&(id, ..)| id).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert_eq!(
+            seen.iter().map(|&(_, idle, _)| idle).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
     }
 
     #[test]

@@ -224,6 +224,33 @@ impl FrameDecoder {
         self.header_len == 0 && self.remaining == 0 && self.poisoned.is_none()
     }
 
+    /// The stream of the frame currently in flight — `Some` while
+    /// payload bytes of a started frame are still outstanding, `None`
+    /// at a frame boundary (or mid-header, where the stream id may not
+    /// be complete yet). This is the attribution hook a serving control
+    /// plane needs: at the moment of a backpressure verdict the
+    /// partially-decoded frame is chargeable to a tenant without
+    /// waiting for its tail to arrive.
+    pub fn current_stream(&self) -> Option<StreamId> {
+        (self.remaining > 0).then_some(self.stream)
+    }
+
+    /// Payload bytes of the in-flight frame not yet seen on the wire
+    /// (0 at a frame boundary). Together with
+    /// [`current_stream`](Self::current_stream) this quantifies exactly
+    /// how much already-committed traffic a mid-frame cutoff strands.
+    pub fn payload_remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// The in-flight frame as `(stream, payload bytes still
+    /// outstanding)`, or `None` at a frame boundary — the one-call form
+    /// of [`current_stream`](Self::current_stream) +
+    /// [`payload_remaining`](Self::payload_remaining).
+    pub fn in_flight(&self) -> Option<(StreamId, u32)> {
+        self.current_stream().map(|s| (s, self.remaining))
+    }
+
     /// Discards all partial-frame state (and any poison), returning the
     /// decoder to a frame boundary. Use after a malformed wire was
     /// abandoned and a fresh, trusted one begins.
@@ -410,6 +437,33 @@ mod tests {
         decoder.feed(&good, |_| events += 1).unwrap();
         assert_eq!(events, 1);
         assert!(decoder.is_idle());
+    }
+
+    #[test]
+    fn in_flight_attribution_tracks_the_partial_frame() {
+        let mut wire = Vec::new();
+        encode_frame(12, b"abcdef", &mut wire);
+        let mut decoder = FrameDecoder::new();
+        assert_eq!(decoder.in_flight(), None);
+        // Header complete, 2 of 6 payload bytes seen.
+        decoder
+            .feed(&wire[..FRAME_HEADER_BYTES + 2], |_| {})
+            .unwrap();
+        assert_eq!(decoder.current_stream(), Some(12));
+        assert_eq!(decoder.payload_remaining(), 4);
+        assert_eq!(decoder.in_flight(), Some((12, 4)));
+        // Mid-header of the next frame: nothing attributable yet.
+        decoder
+            .feed(&wire[FRAME_HEADER_BYTES + 2..], |_| {})
+            .unwrap();
+        encode_frame(13, b"x", &mut wire);
+        let header_start = wire.len() - FRAME_HEADER_BYTES - 1;
+        decoder
+            .feed(&wire[header_start..header_start + 3], |_| {})
+            .unwrap();
+        assert_eq!(decoder.current_stream(), None);
+        assert_eq!(decoder.payload_remaining(), 0);
+        assert!(decoder.in_flight().is_none());
     }
 
     #[test]

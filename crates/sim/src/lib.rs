@@ -27,6 +27,10 @@
 //!   and threaded whole-batch runs;
 //! * [`frame`] — length-prefixed wire framing ([`FrameDecoder`]) for
 //!   demuxing interleaved flows out of one buffer;
+//! * [`control`] — the serving control plane over the stream table:
+//!   admission verdicts, per-flow/per-tenant token-bucket rate limits
+//!   with bounded deferral, QoS-aware victim policies
+//!   ([`ControlledBatch`]), and a per-tenant usage ledger;
 //! * [`interp::InterpSimulator`] — the pre-compilation
 //!   structure-at-a-time engine, kept as the semantic baseline;
 //! * [`strided::StridedSimulator`] — two-bytes-per-cycle execution of a
@@ -92,6 +96,7 @@
 pub mod activity;
 pub mod batch;
 pub mod buffers;
+pub mod control;
 pub mod encoded;
 pub mod engine;
 pub mod frame;
@@ -107,6 +112,11 @@ pub use activity::{
 };
 pub use batch::{BatchSimulator, ShardedBatch, StreamPlan};
 pub use buffers::BufferStats;
+pub use control::{
+    Admission, ClassLruPolicy, ControlConfig, ControlledBatch, FeedVerdict, FlowSpec, LruPolicy,
+    QosClass, QosPolicy, RateLimit, RejectReason, TenantId, TenantUsage, VictimCandidate,
+    VictimPolicy,
+};
 pub use encoded::{EncodedSession, EncodedSimulator};
 pub use engine::{ByteSession, Simulator};
 pub use frame::{FrameDecoder, FrameError, FrameEvent, StreamId};

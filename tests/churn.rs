@@ -1,0 +1,162 @@
+//! Flow-churn stress for the serving control plane: millions of
+//! open/feed/close events through a [`ControlledBatch`] with a tight
+//! residency cap, verifying that every control-plane structure stays
+//! bounded by its configured limit (no growth proportional to total
+//! flows served) and that the per-tenant ledger conserves every byte
+//! and every flow.
+//!
+//! The always-run test pushes 50 000 flows (≥ 100 000 open/close
+//! events plus feeds and ticks); the million-flow test is the §VI.B
+//! serving-scale figure and runs in the release lane
+//! (`--include-ignored`).
+
+use cama::core::compiled::ShardedAutomaton;
+use cama::core::regex;
+use cama::sim::control::{ControlConfig, ControlledBatch, FlowSpec, QosClass, RateLimit};
+use cama::sim::StreamId;
+
+/// The sliding window of concurrently open flows.
+const WINDOW: usize = 256;
+/// The residency cap — far below the window, so parking churns.
+const RESIDENT_CAP: usize = 64;
+/// Per-flow payload source (reports on every `ab+c`).
+const CORPUS: &[u8] = b"zabcqabbbcxxabcyabbcabcz";
+
+fn spec_for(flow: usize) -> FlowSpec {
+    const CLASSES: [QosClass; 4] = [
+        QosClass::Background,
+        QosClass::Standard,
+        QosClass::Premium,
+        QosClass::Realtime,
+    ];
+    let mut spec = FlowSpec::new((flow % 16) as u32).with_class(CLASSES[flow % CLASSES.len()]);
+    if flow.is_multiple_of(3) {
+        spec = spec.with_deadline((flow / 3) as u64 % 512);
+    }
+    spec
+}
+
+/// Serves `total` flows through a sliding window, asserting the
+/// bounded-memory invariants as it goes and the ledger conservation
+/// laws at the end.
+fn churn(total: usize) {
+    let nfa = regex::compile("ab+c").expect("churn pattern");
+    let plan = ShardedAutomaton::compile(&nfa, 4);
+    let config = ControlConfig::new()
+        .max_open(WINDOW + 1)
+        .max_resident(RESIDENT_CAP)
+        .flow_rate(RateLimit::new(8, 8))
+        .defer_capacity(64 * 1024);
+    let mut ctl = ControlledBatch::new(&plan, config);
+
+    let mut offered = 0u64;
+    let mut closed_flows = 0u64;
+    let mut closed_cycles = 0u64;
+    let mut closed_reports = 0u64;
+    let mut max_deferred = 0usize;
+    for flow in 0..total {
+        // Keep the window: retire the oldest flow first, so admission
+        // never sees the table full.
+        if flow >= WINDOW {
+            let retiree = (flow - WINDOW) as StreamId;
+            let result = ctl.close(retiree);
+            closed_flows += 1;
+            closed_cycles += result.activity.cycles as u64;
+            closed_reports += result.reports.len() as u64;
+        }
+        let id = flow as StreamId;
+        assert!(
+            ctl.open(id, spec_for(flow)).is_admitted(),
+            "flow {flow} refused with the window below max_open"
+        );
+        // Two chunks per flow, lengths varying with the flow id.
+        let payload = &CORPUS[..8 + flow % (CORPUS.len() - 8)];
+        let split = 1 + flow % (payload.len() - 1);
+        let first = ctl.feed(id, &payload[..split]);
+        let second = ctl.feed(id, &payload[split..]);
+        assert_eq!(
+            first.rejected + second.rejected,
+            0,
+            "flow {flow}: deferral buffer overflowed"
+        );
+        offered += payload.len() as u64;
+        if flow.is_multiple_of(7) {
+            ctl.tick();
+        }
+
+        max_deferred = max_deferred.max(ctl.deferred_total());
+        // The bounded-memory invariants: nothing in the control plane
+        // or the table scales with `total`, only with the window.
+        assert!(
+            ctl.open_count() <= WINDOW + 1,
+            "flow {flow}: open flows leak"
+        );
+        assert!(
+            ctl.resident_count() <= RESIDENT_CAP,
+            "flow {flow}: residency cap violated"
+        );
+        assert!(
+            ctl.parked_count() <= WINDOW + 1,
+            "flow {flow}: parked flows leak"
+        );
+        assert!(
+            ctl.deferred_total() <= 64 * 1024,
+            "flow {flow}: deferral bound violated"
+        );
+    }
+    for flow in total.saturating_sub(WINDOW)..total {
+        let result = ctl.close(flow as StreamId);
+        closed_flows += 1;
+        closed_cycles += result.activity.cycles as u64;
+        closed_reports += result.reports.len() as u64;
+    }
+    assert_eq!(ctl.open_count(), 0);
+    assert_eq!(ctl.deferred_total(), 0);
+    // The tight budgets really did defer traffic along the way.
+    assert!(max_deferred > 0, "rate limits never engaged");
+
+    // Ledger conservation: summed across tenants, every flow and every
+    // byte is accounted for exactly once.
+    let mut opened = 0u64;
+    let mut closed = 0u64;
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    let mut cycles = 0u64;
+    let mut reports = 0u64;
+    for (_, usage) in ctl.usages() {
+        opened += usage.flows_opened;
+        closed += usage.flows_closed;
+        admitted += usage.bytes_admitted;
+        rejected += usage.bytes_rejected;
+        cycles += usage.cycles;
+        reports += usage.reports;
+    }
+    assert_eq!(opened, total as u64);
+    assert_eq!(closed, closed_flows);
+    assert_eq!(closed, total as u64);
+    assert_eq!(rejected, 0);
+    // Every offered byte reached the datapath (deferred bytes count as
+    // admitted when they drain), and ran exactly one cycle.
+    assert_eq!(admitted, offered);
+    assert_eq!(cycles, closed_cycles);
+    assert_eq!(cycles, offered);
+    assert_eq!(reports, closed_reports);
+    assert!(reports > 0, "the corpus reports on every flow");
+}
+
+/// ≥ 100 000 open/close events (50 000 flows), always run.
+#[test]
+fn hundred_thousand_event_churn_is_bounded() {
+    churn(50_000);
+}
+
+/// The million-flow serving scale of §VI.B. Ignored under debug builds;
+/// the CI release lane runs it with `--include-ignored`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "million-flow churn runs in the release lane"
+)]
+fn million_flow_churn_is_bounded() {
+    churn(1_000_000);
+}

@@ -18,6 +18,10 @@ use cama::core::stride::StridedNfa;
 use cama::core::{Nfa, NfaBuilder, StartKind, SteId, SymbolClass};
 use cama::encoding::{EncodingPlan, Scheme, StridedEncoding};
 use cama::mem::{FullCrossbar, ReducedCrossbar, K_DIA};
+use cama::sim::control::{
+    ClassLruPolicy, ControlConfig, ControlledBatch, FlowSpec, LruPolicy, QosClass, QosPolicy,
+    RateLimit, VictimPolicy,
+};
 use cama::sim::frame::{encode_close, encode_frame};
 use cama::sim::{
     AutomataEngine, BatchSimulator, ByteSession, EncodedSession, EncodedSimulator,
@@ -1103,6 +1107,176 @@ fn strided_batch_capped_equals_uncapped() {
                 "seed {seed}: sharded strided table, cap {cap:?}"
             );
         }
+    }
+}
+
+/// The serving control plane is execution-transparent: under every
+/// shipped victim policy (LRU, class-then-LRU, full QoS), tight
+/// residency caps, starvation-level token-bucket budgets with deferral,
+/// and tick-driven QoS draining, admitted traffic computes
+/// bit-identically to an uncapped, policy-free stream table. Policies
+/// decide *when* flows run, never *what* they compute.
+#[test]
+fn controlled_batch_policies_equal_uncapped_table() {
+    const CLASSES: [QosClass; 4] = [
+        QosClass::Background,
+        QosClass::Standard,
+        QosClass::Premium,
+        QosClass::Realtime,
+    ];
+
+    fn run_controlled<P: cama::sim::StreamPlan, V: VictimPolicy>(
+        plan: &P,
+        policy: V,
+        config: ControlConfig,
+        flows: &[Vec<u8>],
+        specs: &[FlowSpec],
+        schedule: &[(usize, std::ops::Range<usize>)],
+        tick_every: Option<usize>,
+    ) -> Vec<RunResult> {
+        let mut ctl = ControlledBatch::with_policy(plan, config, policy);
+        for (i, spec) in specs.iter().enumerate() {
+            assert!(ctl.open(i as StreamId, *spec).is_admitted());
+        }
+        for (step, (flow, range)) in schedule.iter().enumerate() {
+            let verdict = ctl.feed(*flow as StreamId, &flows[*flow][range.clone()]);
+            // The deferral buffer absorbs everything the budgets
+            // refuse: nothing is dropped, only delayed.
+            assert_eq!(verdict.rejected, 0, "deferral must absorb the whole chunk");
+            if let Some(every) = tick_every {
+                if (step + 1) % every == 0 {
+                    ctl.tick();
+                }
+            }
+        }
+        (0..flows.len()).map(|f| ctl.close(f as StreamId)).collect()
+    }
+
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC7_2200 + seed);
+        let nfa = random_nfa(&mut rng);
+        let flows: Vec<Vec<u8>> = (0..rng.random_range(2..6usize))
+            .map(|_| random_input(&mut rng))
+            .collect();
+        let specs: Vec<FlowSpec> = (0..flows.len())
+            .map(|_| {
+                let mut spec = FlowSpec::new(rng.random_range(0..3u32))
+                    .with_class(CLASSES[rng.random_range(0..CLASSES.len())]);
+                if rng.random_bool(0.5) {
+                    spec = spec.with_deadline(rng.random_range(0..32u64));
+                }
+                spec
+            })
+            .collect();
+
+        // Random interleaved feeding schedule, as in the capped-table
+        // harness above.
+        let mut schedule: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        let mut cursors = vec![0usize; flows.len()];
+        loop {
+            let pending: Vec<usize> = (0..flows.len())
+                .filter(|&f| cursors[f] < flows[f].len())
+                .collect();
+            let Some(&flow) = pending.get(rng.random_range(0..pending.len().max(1))) else {
+                break;
+            };
+            let take = rng
+                .random_range(1..=3usize)
+                .min(flows[flow].len() - cursors[flow]);
+            schedule.push((flow, cursors[flow]..cursors[flow] + take));
+            cursors[flow] += take;
+        }
+
+        let plan = CompiledAutomaton::compile(&nfa);
+        let sharded = ShardedAutomaton::compile(&nfa, 2);
+
+        // Baseline: the raw, uncapped, policy-free table.
+        let expected: Vec<RunResult> = {
+            let mut batch = BatchSimulator::new(&plan);
+            for (flow, range) in &schedule {
+                batch.feed(*flow as StreamId, &flows[*flow][range.clone()]);
+            }
+            (0..flows.len())
+                .map(|f| batch.close(f as StreamId))
+                .collect()
+        };
+
+        // Every victim policy under tight residency caps, on flat and
+        // sharded plans.
+        for cap in [1usize, 2] {
+            let config = || ControlConfig::new().max_resident(cap);
+            assert_eq!(
+                run_controlled(&plan, LruPolicy, config(), &flows, &specs, &schedule, None),
+                expected,
+                "seed {seed}: lru, cap {cap}"
+            );
+            assert_eq!(
+                run_controlled(
+                    &plan,
+                    ClassLruPolicy,
+                    config(),
+                    &flows,
+                    &specs,
+                    &schedule,
+                    None
+                ),
+                expected,
+                "seed {seed}: class-lru, cap {cap}"
+            );
+            assert_eq!(
+                run_controlled(&plan, QosPolicy, config(), &flows, &specs, &schedule, None),
+                expected,
+                "seed {seed}: qos, cap {cap}"
+            );
+            assert_eq!(
+                run_controlled(
+                    &sharded,
+                    QosPolicy,
+                    config(),
+                    &flows,
+                    &specs,
+                    &schedule,
+                    None
+                ),
+                expected,
+                "seed {seed}: qos sharded, cap {cap}"
+            );
+        }
+
+        // Admission with deferral: starvation-tight flow and tenant
+        // budgets push most bytes through the deferral buffer and the
+        // tick-driven QoS drain; close flushes whatever is left. The
+        // results are still bit-identical — budgets only ever delay.
+        let starved = ControlConfig::new()
+            .max_resident(2)
+            .flow_rate(RateLimit::new(2, 1))
+            .default_tenant_rate(RateLimit::new(3, 2));
+        assert_eq!(
+            run_controlled(
+                &plan,
+                QosPolicy,
+                starved.clone(),
+                &flows,
+                &specs,
+                &schedule,
+                Some(3)
+            ),
+            expected,
+            "seed {seed}: qos with deferral, flat"
+        );
+        assert_eq!(
+            run_controlled(
+                &sharded,
+                LruPolicy,
+                starved,
+                &flows,
+                &specs,
+                &schedule,
+                Some(2)
+            ),
+            expected,
+            "seed {seed}: lru with deferral, sharded"
+        );
     }
 }
 
