@@ -53,8 +53,9 @@ pub use mapping::{
     map_design, map_design_profiled, map_strided, Mapping, Partition, PartitionMode,
 };
 pub use report::{
-    evaluate, evaluate_serving, evaluate_serving_strided, evaluate_strided, strided_weights,
-    DesignReport, ServingReport,
+    evaluate, evaluate_serving, evaluate_serving_parallel, evaluate_serving_strided,
+    evaluate_serving_strided_parallel, evaluate_strided, strided_weights, DesignReport,
+    ServingReport,
 };
 pub use tenant::{
     evaluate_serving_by_tenant, evaluate_serving_strided_by_tenant, TenantAccountant, TenantEnergy,

@@ -282,6 +282,164 @@ where
         .collect()
 }
 
+/// The multi-core counterpart of [`serve`]: `workers` threads claim
+/// streams from a shared atomic cursor (work-stealing, so skewed
+/// stream lengths don't idle threads), each with its own stream table
+/// and [`EnergyObserver`]. Results return in stream order; the
+/// per-worker breakdowns are summed ([`EnergyBreakdown::accumulate`]).
+/// Execution is bit-identical to the sequential path, so the rollup
+/// differs only by floating-point summation order (asserted within
+/// 1e-9 in this module's tests).
+pub(crate) fn serve_parallel<'a, P>(
+    compiled: &cama_core::compiled::ShardedAutomaton<P>,
+    streams: &[&[u8]],
+    workers: usize,
+    make_observer: &(impl Fn() -> EnergyObserver<'a> + Sync),
+) -> (Vec<cama_sim::RunResult>, EnergyBreakdown)
+where
+    P: cama_sim::ShardedExecution + Clone + std::fmt::Debug,
+{
+    let workers = cama_sim::worker_count(workers).min(streams.len());
+    if workers <= 1 {
+        let mut observer = make_observer();
+        let mut batch = cama_sim::BatchSimulator::new(compiled);
+        let results = serve(&mut batch, streams, &mut observer);
+        return (results, observer.breakdown);
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    type Indexed = Vec<(usize, cama_sim::RunResult)>;
+    let merged: std::sync::Mutex<(Indexed, EnergyBreakdown)> =
+        std::sync::Mutex::new((Vec::new(), EnergyBreakdown::default()));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let merged = &merged;
+                scope.spawn(move || {
+                    let mut observer = make_observer();
+                    let mut batch = cama_sim::BatchSimulator::new(compiled);
+                    let mut mine: Indexed = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(stream) = streams.get(i) else { break };
+                        let id = i as cama_sim::StreamId;
+                        batch.open(id);
+                        batch.feed_sharded_with(id, stream, &mut observer);
+                        mine.push((i, batch.close_sharded_with(id, &mut observer)));
+                    }
+                    let mut lock = merged.lock().expect("serving merge mutex poisoned");
+                    lock.0.append(&mut mine);
+                    lock.1.accumulate(&observer.breakdown);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("serving worker thread panicked");
+        }
+    });
+    let (mut indexed, energy) = merged.into_inner().expect("serving merge mutex poisoned");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    (indexed.into_iter().map(|(_, r)| r).collect(), energy)
+}
+
+/// [`evaluate_serving`] fanned out across `workers` OS threads (`0` =
+/// auto-detect via `CAMA_WORKERS`, then available parallelism): the
+/// compile/map/area/timing work is done once, then streams are served
+/// by work-stealing threads with per-thread energy observers whose
+/// breakdowns are summed. Same report as the sequential path to
+/// floating-point summation order.
+///
+/// # Panics
+///
+/// Panics if a CAMA design is evaluated without a plan.
+pub fn evaluate_serving_parallel(
+    design: DesignKind,
+    nfa: &Nfa,
+    streams: &[&[u8]],
+    plan: Option<&EncodingPlan>,
+    workers: usize,
+) -> ServingReport {
+    if design.bytes_per_cycle() == 2.0 {
+        return evaluate_serving_strided_parallel(
+            design,
+            &StridedNfa::from_nfa(nfa),
+            streams,
+            workers,
+        );
+    }
+    let lib = CircuitLibrary::tsmc28();
+    let mapping = map_design(design, nfa, plan);
+    let area = area_report(&mapping, &lib);
+    let timing = timing_report(design, &lib);
+
+    let (results, energy) = if design.is_cama() {
+        let encoding = plan.expect("CAMA serving requires an encoding plan");
+        let compiled = encoding.compile_sharded(nfa, &mapping.partition_of);
+        let weights = compiled.entry_weights();
+        serve_parallel(&compiled, streams, workers, &|| {
+            EnergyObserver::for_encoded(design, &mapping, &lib, nfa, weights.clone())
+        })
+    } else {
+        let compiled = cama_core::compiled::ShardedAutomaton::compile_with_assignment(
+            nfa,
+            &mapping.partition_of,
+        );
+        serve_parallel(&compiled, streams, workers, &|| {
+            EnergyObserver::for_nfa(design, &mapping, &lib, nfa)
+        })
+    };
+
+    rollup(design, mapping, area, timing, results, energy, streams)
+}
+
+/// The 2-stride serving path behind [`evaluate_serving_parallel`] —
+/// [`evaluate_serving_strided`] with work-stealing serving threads.
+pub fn evaluate_serving_strided_parallel(
+    design: DesignKind,
+    strided: &StridedNfa,
+    streams: &[&[u8]],
+    workers: usize,
+) -> ServingReport {
+    assert_eq!(
+        design.bytes_per_cycle(),
+        2.0,
+        "{design} is not a 2-stride design"
+    );
+    let lib = CircuitLibrary::tsmc28();
+
+    let (results, energy, mapping) = if design.is_cama() {
+        let encoding = StridedEncoding::for_strided(strided);
+        let mapping = map_strided(design, strided, encoding.entry_weights());
+        let compiled = encoding.compile_sharded(strided, &mapping.partition_of);
+        let weights = compiled.entry_weights();
+        let (results, energy) = serve_parallel(&compiled, streams, workers, &|| {
+            EnergyObserver::for_encoded_strided(design, &mapping, &lib, strided, weights.clone())
+        });
+        (results, energy, mapping)
+    } else {
+        let mapping = map_strided(design, strided, strided_weights(design, strided));
+        let compiled = cama_core::compiled::ShardedAutomaton::compile_strided_with_assignment(
+            strided,
+            &mapping.partition_of,
+        );
+        let starts: Vec<bool> = strided
+            .states()
+            .iter()
+            .map(|s| s.start == StartKind::AllInput)
+            .collect();
+        let (results, energy) = serve_parallel(&compiled, streams, workers, &|| {
+            EnergyObserver::new(design, &mapping, &lib, &starts)
+        });
+        (results, energy, mapping)
+    };
+
+    let area = area_report(&mapping, &lib);
+    let timing = timing_report(design, &lib);
+    rollup(design, mapping, area, timing, results, energy, streams)
+}
+
 /// Assembles the [`ServingReport`] from one serving run's pieces.
 pub(crate) fn rollup(
     design: DesignKind,
@@ -460,6 +618,47 @@ mod tests {
         }
         assert_eq!(serving.total_reports(), serving.design_report.reports);
         assert!(serving.energy_per_byte_nj() > 0.0);
+    }
+
+    /// The parallel serving fan-out must reproduce the sequential
+    /// rollup: identical per-stream reports, and an energy breakdown
+    /// equal to 1e-9 relative (only floating-point summation order
+    /// differs — per-worker partials are summed at the merge).
+    #[test]
+    fn parallel_serving_matches_sequential_within_tolerance() {
+        let bench = Benchmark::Bro217;
+        let nfa = bench.generate(0.1);
+        let streams: Vec<Vec<u8>> = (0..5).map(|seed| bench.input(&nfa, 256, seed)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let close = |a: cama_mem::Energy, b: cama_mem::Energy| {
+            (a.value() - b.value()).abs() <= 1e-9 * a.value().abs().max(1.0)
+        };
+        for design in [
+            DesignKind::CamaE,
+            DesignKind::Eap,
+            DesignKind::Cama2E,
+            DesignKind::Impala4,
+        ] {
+            let plan_opt = design.is_cama().then_some(&plan);
+            let sequential = evaluate_serving(design, &nfa, &refs, plan_opt);
+            for workers in [1, 3] {
+                let parallel = evaluate_serving_parallel(design, &nfa, &refs, plan_opt, workers);
+                assert_eq!(
+                    parallel.reports_per_stream, sequential.reports_per_stream,
+                    "{design} with {workers} workers"
+                );
+                let got = parallel.design_report.energy;
+                let want = sequential.design_report.energy;
+                assert_eq!(got.cycles, want.cycles, "{design} with {workers} workers");
+                assert!(
+                    close(got.state_match, want.state_match)
+                        && close(got.switch_wire, want.switch_wire)
+                        && close(got.encoder, want.encoder),
+                    "{design} with {workers} workers: {got:?} vs {want:?}"
+                );
+            }
+        }
     }
 
     /// The acceptance bar of the encoded rethreading: `evaluate_serving`

@@ -87,13 +87,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::activity::{Observer, ShardObserver};
 use crate::engine::ByteSession;
 use crate::frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 use crate::result::RunResult;
 use crate::session::{FlowSession, Session, SuspendedFlow};
-use crate::sharded::{ShardedExecution, ShardedSession};
+use crate::sharded::{ShardStats, ShardedExecution, ShardedSession};
 use crate::strided::StridedSession;
 use cama_core::compiled::{
     CompiledAutomaton, CompiledEncodedAutomaton, CompiledEncodedStridedAutomaton,
@@ -706,46 +708,122 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
     }
 
     /// Runs the streams across `threads` OS threads (scoped), returning
-    /// results in stream order. `threads` is clamped to the number of
-    /// streams; `0` selects [`std::thread::available_parallelism`].
+    /// results in stream order.
+    ///
+    /// `threads == 0` auto-detects: the `CAMA_WORKERS` environment
+    /// variable if set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`] (see
+    /// [`worker_count`](crate::parallel::worker_count)). The resolved
+    /// count is clamped to the number of streams — no thread is ever
+    /// spawned without work — and a count of 1 (or an empty batch)
+    /// runs on the caller's thread.
+    ///
+    /// Streams are dispatched by work-stealing: threads claim the next
+    /// unclaimed stream from a shared atomic cursor, so skewed stream
+    /// lengths don't idle threads the way contiguous chunking would.
+    /// Each thread writes results into pre-sized per-stream slots, so
+    /// ordering is positional, not concatenation-based.
     pub fn run_parallel(&self, streams: &[&[u8]], threads: usize) -> Vec<RunResult> {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
-        let threads = threads.min(streams.len()).max(1);
+        self.run_parallel_collect(streams, threads, |_| {})
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with a per-thread close
+    /// hook: after a thread runs out of streams to claim, `at_close`
+    /// sees its session once (stats harvesting, pool teardown checks).
+    fn run_parallel_collect(
+        &self,
+        streams: &[&[u8]],
+        threads: usize,
+        at_close: impl Fn(&mut P::Session<'p>) + Sync,
+    ) -> Vec<RunResult> {
+        let threads = crate::parallel::worker_count(threads).min(streams.len());
         if threads <= 1 {
-            return self.run_all(streams.iter().copied());
+            let mut session = self.session();
+            let results = streams
+                .iter()
+                .map(|input| {
+                    session.feed(input);
+                    session.finish()
+                })
+                .collect();
+            at_close(&mut session);
+            return results;
         }
 
-        // Contiguous chunks, sized so every thread gets within one
-        // stream of the same count.
-        let chunk = streams.len().div_ceil(threads);
         let (plan, chain) = (self.plan, self.chain);
-        let mut results: Vec<Vec<RunResult>> = Vec::new();
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<RunResult>> = Vec::new();
+        slots.resize_with(streams.len(), || None);
+        let writer = SlotWriter(slots.as_mut_ptr());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = streams
-                .chunks(chunk)
-                .map(|part| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let at_close = &at_close;
                     scope.spawn(move || {
+                        // Capture the whole `Send` wrapper, not its
+                        // raw-pointer field (disjoint closure capture).
+                        let writer = writer;
                         let mut session = plan.open_session(chain);
-                        part.iter()
-                            .map(|input| {
-                                session.feed(input);
-                                session.finish()
-                            })
-                            .collect::<Vec<_>>()
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(input) = streams.get(i) else { break };
+                            session.feed(input);
+                            let result = session.finish();
+                            // SAFETY: index `i` was claimed from the
+                            // cursor exactly once, so no other thread
+                            // writes this slot; the scope joins before
+                            // `slots` is read or dropped.
+                            unsafe { *writer.0.add(i) = Some(result) };
+                        }
+                        at_close(&mut session);
                     })
                 })
                 .collect();
-            results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for handle in handles {
+                handle.join().expect("parallel stream thread panicked");
+            }
         });
-        results.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every stream slot filled by a claiming thread"))
+            .collect()
     }
 }
 
+/// A raw slot-array pointer the work-stealing threads write results
+/// through. Copied into each scoped thread; index-disjointness (each
+/// slot written by exactly one cursor claim) makes the shared `*mut`
+/// sound.
+#[derive(Clone, Copy)]
+struct SlotWriter(*mut Option<RunResult>);
+
+// SAFETY: dereferenced only at indices claimed uniquely via the atomic
+// cursor, within the scope that owns the allocation.
+unsafe impl Send for SlotWriter {}
+unsafe impl Sync for SlotWriter {}
+
 impl<'p, P: ShardedExecution + Clone + fmt::Debug> BatchSimulator<'p, ShardedAutomaton<P>> {
+    /// [`run_parallel`](Self::run_parallel) that also returns the
+    /// batch's execution counters: each thread's session stats are
+    /// harvested at close and summed via [`ShardStats::merge`], so the
+    /// rollup equals what one sequential session over all streams
+    /// would have counted (asserted in `tests/property.rs`).
+    pub fn run_parallel_stats(
+        &self,
+        streams: &[&[u8]],
+        threads: usize,
+    ) -> (Vec<RunResult>, ShardStats) {
+        let stats = Mutex::new(ShardStats::default());
+        let results = self.run_parallel_collect(streams, threads, |session| {
+            stats
+                .lock()
+                .expect("stats mutex poisoned")
+                .merge(&session.take_stats());
+        });
+        (results, stats.into_inner().expect("stats mutex poisoned"))
+    }
+
     /// [`feed`](Self::feed) delivering per-shard activity to a
     /// [`ShardObserver`] — the native observation path of the sharded
     /// engine, used by the energy models to charge exactly the arrays

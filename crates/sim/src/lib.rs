@@ -25,6 +25,11 @@
 //! * [`BatchSimulator`] — the multi-stream stream table: open/feed/close
 //!   interleaved flows over one shared compiled plan, plus sequential
 //!   and threaded whole-batch runs;
+//! * [`parallel`] — the multi-core shard-parallel runtime:
+//!   [`ParallelShardedSession`] pins disjoint shard subsets to worker
+//!   threads and executes one stream cycle-synchronously (lock-free
+//!   mailbox exchange, per-cycle barrier), bit-identical to
+//!   [`ShardedSession`];
 //! * [`frame`] — length-prefixed wire framing ([`FrameDecoder`]) for
 //!   demuxing interleaved flows out of one buffer;
 //! * [`control`] — the serving control plane over the stream table:
@@ -101,6 +106,7 @@ pub mod encoded;
 pub mod engine;
 pub mod frame;
 pub mod interp;
+pub mod parallel;
 pub mod profile;
 pub mod result;
 pub mod session;
@@ -121,6 +127,10 @@ pub use encoded::{EncodedSession, EncodedSimulator};
 pub use engine::{ByteSession, Simulator};
 pub use frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 pub use interp::{InterpSession, InterpSimulator};
+pub use parallel::{
+    detected_parallelism, worker_count, ParallelShardedPlan, ParallelShardedSession,
+    ParallelShardedSimulator,
+};
 pub use profile::ShardingProfile;
 pub use result::{Report, RunResult};
 pub use session::{AutomataEngine, FlowSession, Session, SuspendedFlow};

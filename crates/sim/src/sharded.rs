@@ -36,7 +36,7 @@ use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
 use cama_core::compiled::{
     CompiledAutomaton, CompiledEncodedAutomaton, CompiledEncodedStridedAutomaton,
-    CompiledStridedAutomaton, ExecutionPlan, PlanBase, ShardedAutomaton, StridedPlan,
+    CompiledStridedAutomaton, ExecutionPlan, PlanBase, Shard, ShardedAutomaton, StridedPlan,
 };
 use cama_core::stride::ReportPhase;
 use cama_core::{Nfa, SteId};
@@ -44,17 +44,21 @@ use cama_core::{Nfa, SteId};
 /// One shard's mutable half of a stream: local enable/active vectors
 /// plus their one-bit-per-word summaries (kept in lockstep so clears
 /// and scans only touch dirty words).
+///
+/// Public only because it appears in the `#[doc(hidden)]` parallel
+/// hooks of [`ShardedExecution`]; not part of the supported API.
+#[doc(hidden)]
 #[derive(Clone, Debug)]
-struct ShardLane {
-    dynamic: BitSet,
-    next: BitSet,
-    active: BitSet,
-    dynamic_any: Vec<u64>,
-    next_any: Vec<u64>,
-    active_any: Vec<u64>,
+pub struct ShardLane {
+    pub(crate) dynamic: BitSet,
+    pub(crate) next: BitSet,
+    pub(crate) active: BitSet,
+    pub(crate) dynamic_any: Vec<u64>,
+    pub(crate) next_any: Vec<u64>,
+    pub(crate) active_any: Vec<u64>,
     /// Popcount of `dynamic`, maintained at the cycle-end advance so
     /// per-cycle accounting never re-counts the vector.
-    num_dynamic: usize,
+    pub(crate) num_dynamic: usize,
 }
 
 impl ShardLane {
@@ -86,6 +90,359 @@ impl ShardLane {
     }
 }
 
+/// Sets a staged activation in a lane's next vector (with its word
+/// summary) — the single write both the sequential exchange and the
+/// parallel mailbox drain perform per cross-shard activation.
+#[inline]
+pub(crate) fn apply_activation(lane: &mut ShardLane, local: usize) {
+    lane.next.as_words_mut()[local / 64] |= 1u64 << (local % 64);
+    lane.next_any[local / 4096] |= 1u64 << ((local / 64) % 64);
+}
+
+/// Advances one lane at cycle end: next becomes dynamic; the old
+/// dynamic storage is sparse-cleared and becomes next cycle's scratch.
+#[inline]
+pub(crate) fn advance_lane(lane: &mut ShardLane) {
+    std::mem::swap(&mut lane.dynamic, &mut lane.next);
+    std::mem::swap(&mut lane.dynamic_any, &mut lane.next_any);
+    sparse_clear(lane.next.as_words_mut(), &mut lane.next_any);
+    lane.num_dynamic = popcount_dirty(lane.dynamic.as_words(), &lane.dynamic_any);
+}
+
+/// One engine cycle lowered to data: the symbol(s), whether starts
+/// inject, and the report-offset limit (pad suppression on a strided
+/// flush, `usize::MAX` otherwise). The parallel runtime plans a chunk
+/// into these once ([`ShardedExecution::plan_steps`]) and hands the
+/// slice to every worker, so all workers agree on cycle boundaries.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug)]
+pub struct CycleStep {
+    pub(crate) a: u8,
+    pub(crate) b: u8,
+    pub(crate) inject: bool,
+    pub(crate) limit: usize,
+}
+
+/// The sinks one shard-cycle writes outside its own lane: staged
+/// reports, staged cross-shard activations (packed
+/// `shard << 32 | local`), and the per-state activity histogram.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct StepSinks<'a> {
+    pub(crate) staged_reports: &'a mut Vec<Report>,
+    pub(crate) exchange: &'a mut Vec<u64>,
+    pub(crate) state_active: &'a mut [u64],
+}
+
+/// What one shard-cycle contributed to the cycle's totals.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug)]
+pub struct StepOut {
+    pub(crate) num_active: usize,
+    pub(crate) reports: usize,
+}
+
+/// The byte-plan idle probe: `true` when the shard can be skipped this
+/// cycle without changing results — nothing dynamically enabled, no
+/// start state matching this symbol (if starts inject), and no live
+/// start-of-data overlap on cycle 0.
+#[inline]
+pub(crate) fn byte_shard_idle<P: ExecutionPlan>(
+    shard: &Shard<P>,
+    lane: &ShardLane,
+    symbol: u8,
+    inject_starts: bool,
+    first_cycle: bool,
+) -> bool {
+    let starts_matter = inject_starts && shard.start_match_possible(symbol);
+    // Cycle 0 only: a shard whose start-of-data states share no bit
+    // with this symbol's match vector has nothing to fire.
+    let sod_matters = first_cycle
+        && shard.has_start_of_data()
+        && !shard
+            .plan()
+            .match_vector(symbol)
+            .is_disjoint(shard.plan().start_of_data_mask().as_row());
+    lane.dynamic_is_empty() && !starts_matter && !sod_matters
+}
+
+/// The strided idle probe: starts inject on every pair cycle; the
+/// precomputed pair probe answers exactly whether a statically enabled
+/// state matches `a` in its first half and `b` in its second, and a
+/// cycle-0 start-of-data state must match both halves to fire.
+#[inline]
+pub(crate) fn pair_shard_idle<P: StridedPlan>(
+    shard: &Shard<P>,
+    lane: &ShardLane,
+    a: u8,
+    b: u8,
+    first_cycle: bool,
+) -> bool {
+    let starts_matter = shard.pair_start_possible(a, b);
+    let splan = shard.plan();
+    let sod_matters = first_cycle && shard.has_start_of_data() && {
+        let sod = splan.start_of_data_mask().as_words();
+        let first = splan.first_vector(a).words();
+        let second = splan.second_vector(b).words();
+        sod.iter()
+            .enumerate()
+            .any(|(w, &m)| m & first[w] & second[w] != 0)
+    };
+    lane.dynamic_is_empty() && !starts_matter && !sod_matters
+}
+
+/// One visited shard-cycle of the byte kernel: build the active vector
+/// from its enable sources (phase 1), then one pass over the active
+/// words — popcounts, reports with global ids, local successor
+/// expansion, and staging of cross-shard activations (phase 2). Both
+/// the sequential [`ShardedSession::step`] loop and the parallel
+/// workers execute exactly this function, which is what makes their
+/// results bit-identical by construction.
+pub(crate) fn step_shard_byte<P: ExecutionPlan>(
+    shard: &Shard<P>,
+    lane: &mut ShardLane,
+    symbol: u8,
+    inject_starts: bool,
+    first_cycle: bool,
+    cycle: usize,
+    sinks: StepSinks<'_>,
+) -> StepOut {
+    let splan = shard.plan();
+    let match_words = splan.match_vector(symbol).words();
+    let match_any = splan.match_any(symbol);
+    let sod_words = splan.start_of_data_mask().as_words();
+    let sod_any = splan.start_of_data_any();
+    let report_words = splan.report_mask().as_words();
+    let globals = shard.global_states();
+    let mut num_active = 0usize;
+
+    // Sparse-clear the previous cycle's active words.
+    sparse_clear(lane.active.as_words_mut(), &mut lane.active_any);
+    let active_words = lane.active.as_words_mut();
+
+    // Phase 1: build the active vector from its enable sources,
+    // visiting only words their summaries mark.
+    if inject_starts {
+        let start_words = splan.start_match(symbol).words();
+        for (j, &any) in splan.start_match_any(symbol).iter().enumerate() {
+            let mut dirty = any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                active_words[w] |= start_words[w];
+                lane.active_any[j] |= 1u64 << (w % 64);
+            }
+        }
+    }
+    let dynamic_words = lane.dynamic.as_words();
+    for (j, &dynamic_any) in lane.dynamic_any.iter().enumerate() {
+        let mut dirty = match_any[j] & dynamic_any;
+        while dirty != 0 {
+            let w = j * 64 + dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let active = match_words[w] & dynamic_words[w];
+            if active != 0 {
+                active_words[w] |= active;
+                lane.active_any[j] |= 1u64 << (w % 64);
+            }
+        }
+    }
+    if first_cycle {
+        for (j, &any) in sod_any.iter().enumerate() {
+            let mut dirty = match_any[j] & any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let active = match_words[w] & sod_words[w];
+                if active != 0 {
+                    active_words[w] |= active;
+                    lane.active_any[j] |= 1u64 << (w % 64);
+                }
+            }
+        }
+    }
+
+    // Phase 2: one pass over the active words — popcounts, reports
+    // (emitted with global ids), local successor expansion, and
+    // staging of cross-shard activations.
+    let next_words = lane.next.as_words_mut();
+    let mut shard_reports = 0usize;
+    for (j, &active_any) in lane.active_any.iter().enumerate() {
+        let mut dirty = active_any;
+        while dirty != 0 {
+            let w = j * 64 + dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let active = active_words[w];
+            num_active += active.count_ones() as usize;
+
+            let mut reporting = active & report_words[w];
+            while reporting != 0 {
+                let local = w * 64 + reporting.trailing_zeros() as usize;
+                sinks.staged_reports.push(Report {
+                    ste: SteId(globals[local]),
+                    code: splan.report_code_unchecked(local),
+                    offset: cycle,
+                });
+                shard_reports += 1;
+                reporting &= reporting - 1;
+            }
+
+            let mut remaining = active;
+            while remaining != 0 {
+                let local = w * 64 + remaining.trailing_zeros() as usize;
+                sinks.state_active[globals[local] as usize] += 1;
+                for &succ in splan.successors(local) {
+                    let succ = succ as usize;
+                    next_words[succ / 64] |= 1u64 << (succ % 64);
+                    lane.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
+                }
+                for t in shard.cross_successors(local) {
+                    sinks
+                        .exchange
+                        .push(u64::from(t.shard) << 32 | u64::from(t.local));
+                }
+                remaining &= remaining - 1;
+            }
+        }
+    }
+    StepOut {
+        num_active,
+        reports: shard_reports,
+    }
+}
+
+/// One visited shard-cycle of the paired kernel: the strided
+/// counterpart of [`step_shard_byte`]. Within the shard,
+/// `active = first[a] & second[b] & enabled` per dirty 64-state word
+/// (both halves' summaries fused into the visit filter); reports map
+/// through each state's [`ReportPhase`], and `limit` suppresses
+/// pad-byte reports exactly like the flat strided session.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_shard_pair<P: StridedPlan>(
+    shard: &Shard<P>,
+    lane: &mut ShardLane,
+    a: u8,
+    b: u8,
+    limit: usize,
+    first_cycle: bool,
+    cycle: usize,
+    sinks: StepSinks<'_>,
+) -> StepOut {
+    let splan = shard.plan();
+    let first_words = splan.first_vector(a).words();
+    let first_any = splan.first_any(a);
+    let second_words = splan.second_vector(b).words();
+    let second_any = splan.second_any(b);
+    let sod_words = splan.start_of_data_mask().as_words();
+    let sod_any = splan.start_of_data_any();
+    let report_words = splan.report_mask().as_words();
+    let globals = shard.global_states();
+    let mut num_active = 0usize;
+
+    // Sparse-clear the previous cycle's active words.
+    sparse_clear(lane.active.as_words_mut(), &mut lane.active_any);
+    let active_words = lane.active.as_words_mut();
+
+    // Phase 1: build the active vector from its enable sources,
+    // visiting only words both halves and a source mark.
+    let start_words = splan.first_start_match(a).words();
+    for (j, &any) in splan.first_start_match_any(a).iter().enumerate() {
+        let mut dirty = any & second_any[j];
+        while dirty != 0 {
+            let w = j * 64 + dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let active = start_words[w] & second_words[w];
+            if active != 0 {
+                active_words[w] |= active;
+                lane.active_any[j] |= 1u64 << (w % 64);
+            }
+        }
+    }
+    let dynamic_words = lane.dynamic.as_words();
+    for (j, &dynamic_any) in lane.dynamic_any.iter().enumerate() {
+        let mut dirty = first_any[j] & second_any[j] & dynamic_any;
+        while dirty != 0 {
+            let w = j * 64 + dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let active = first_words[w] & second_words[w] & dynamic_words[w];
+            if active != 0 {
+                active_words[w] |= active;
+                lane.active_any[j] |= 1u64 << (w % 64);
+            }
+        }
+    }
+    if first_cycle {
+        for (j, &any) in sod_any.iter().enumerate() {
+            let mut dirty = first_any[j] & second_any[j] & any;
+            while dirty != 0 {
+                let w = j * 64 + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let active = first_words[w] & second_words[w] & sod_words[w];
+                if active != 0 {
+                    active_words[w] |= active;
+                    lane.active_any[j] |= 1u64 << (w % 64);
+                }
+            }
+        }
+    }
+
+    // Phase 2: one pass over the active words — popcounts,
+    // phase-mapped reports (with global ids), local successor
+    // expansion, and staging of cross-shard activations.
+    let next_words = lane.next.as_words_mut();
+    let mut shard_reports = 0usize;
+    for (j, &active_any) in lane.active_any.iter().enumerate() {
+        let mut dirty = active_any;
+        while dirty != 0 {
+            let w = j * 64 + dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let active = active_words[w];
+            num_active += active.count_ones() as usize;
+
+            let mut reporting = active & report_words[w];
+            while reporting != 0 {
+                let local = w * 64 + reporting.trailing_zeros() as usize;
+                let (code, phase) = splan.report_pair_unchecked(local);
+                let offset = match phase {
+                    ReportPhase::First => cycle * 2,
+                    ReportPhase::Second => cycle * 2 + 1,
+                };
+                // Suppress reports landing on the pad byte.
+                if offset < limit {
+                    sinks.staged_reports.push(Report {
+                        ste: SteId(globals[local]),
+                        code,
+                        offset,
+                    });
+                    shard_reports += 1;
+                }
+                reporting &= reporting - 1;
+            }
+
+            let mut remaining = active;
+            while remaining != 0 {
+                let local = w * 64 + remaining.trailing_zeros() as usize;
+                sinks.state_active[globals[local] as usize] += 1;
+                for &succ in splan.successors(local) {
+                    let succ = succ as usize;
+                    next_words[succ / 64] |= 1u64 << (succ % 64);
+                    lane.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
+                }
+                for t in shard.cross_successors(local) {
+                    sinks
+                        .exchange
+                        .push(u64::from(t.shard) << 32 | u64::from(t.local));
+                }
+                remaining &= remaining - 1;
+            }
+        }
+    }
+    StepOut {
+        num_active,
+        reports: shard_reports,
+    }
+}
+
 /// Cumulative execution counters of a [`ShardedSession`] — the numbers
 /// behind the idle-array power argument.
 ///
@@ -112,7 +469,7 @@ pub struct ShardStats {
 }
 
 impl ShardStats {
-    fn new(num_shards: usize, num_states: usize) -> ShardStats {
+    pub(crate) fn new(num_shards: usize, num_states: usize) -> ShardStats {
         ShardStats {
             shard_cycles: vec![0; num_shards],
             state_active: vec![0; num_states],
@@ -123,6 +480,30 @@ impl ShardStats {
     /// Total executed shard-cycles across all shards.
     pub fn visited_shard_cycles(&self) -> u64 {
         self.shard_cycles.iter().sum()
+    }
+
+    /// Accumulates another session's (or worker's) counters into this
+    /// one. Every field is a sum, so merging per-worker stats in any
+    /// order is lossless — the parallel runtime and multi-session
+    /// rollups produce exactly the counters one sequential session
+    /// would have. Shorter per-shard/per-state vectors are extended
+    /// (merging into a `ShardStats::default()` accumulator works).
+    pub fn merge(&mut self, other: &ShardStats) {
+        if self.shard_cycles.len() < other.shard_cycles.len() {
+            self.shard_cycles.resize(other.shard_cycles.len(), 0);
+        }
+        for (mine, theirs) in self.shard_cycles.iter_mut().zip(&other.shard_cycles) {
+            *mine += theirs;
+        }
+        if self.state_active.len() < other.state_active.len() {
+            self.state_active.resize(other.state_active.len(), 0);
+        }
+        for (mine, theirs) in self.state_active.iter_mut().zip(&other.state_active) {
+            *mine += theirs;
+        }
+        self.skipped_shard_cycles += other.skipped_shard_cycles;
+        self.words_visited += other.words_visited;
+        self.cross_activations += other.cross_activations;
     }
 }
 
@@ -157,22 +538,22 @@ impl ShardStats {
 #[derive(Clone, Debug)]
 pub struct ShardedSession<'p, P: PlanBase = CompiledAutomaton> {
     plan: &'p ShardedAutomaton<P>,
-    chain: usize,
-    skip_idle: bool,
-    lanes: Vec<ShardLane>,
+    pub(crate) chain: usize,
+    pub(crate) skip_idle: bool,
+    pub(crate) lanes: Vec<ShardLane>,
     /// Cross-shard activations staged during the per-shard pass,
     /// exchanged once per cycle (packed `shard << 32 | local`).
     exchange: Vec<u64>,
     /// This cycle's reports, sorted by global state before appending so
     /// report order matches the flat engine exactly.
     staged_reports: Vec<Report>,
-    cycle: usize,
+    pub(crate) cycle: usize,
     /// Strided plans: first byte of a pair whose second byte has not
     /// arrived yet. Always `None` for byte plans.
-    carry: Option<u8>,
-    result: RunResult,
-    fed: usize,
-    stats: ShardStats,
+    pub(crate) carry: Option<u8>,
+    pub(crate) result: RunResult,
+    pub(crate) fed: usize,
+    pub(crate) stats: ShardStats,
     /// Cached scatter scratch for the flat-[`Observer`] compatibility
     /// path ([`Session::feed_with`]); `None` until first used.
     flat_scratch: Option<Box<FlatViewScratch>>,
@@ -263,19 +644,14 @@ impl<'p, P: PlanBase> ShardedSession<'p, P> {
         self.stats.cross_activations += self.exchange.len() as u64;
         for &packed in &self.exchange {
             let lane = &mut self.lanes[(packed >> 32) as usize];
-            let local = (packed & u64::from(u32::MAX)) as usize;
-            lane.next.as_words_mut()[local / 64] |= 1u64 << (local % 64);
-            lane.next_any[local / 4096] |= 1u64 << ((local / 64) % 64);
+            apply_activation(lane, (packed & u64::from(u32::MAX)) as usize);
         }
         self.exchange.clear();
 
         // Advance every lane: next becomes dynamic; the old dynamic
         // storage is sparse-cleared and becomes next cycle's scratch.
         for lane in self.lanes.iter_mut() {
-            std::mem::swap(&mut lane.dynamic, &mut lane.next);
-            std::mem::swap(&mut lane.dynamic_any, &mut lane.next_any);
-            sparse_clear(lane.next.as_words_mut(), &mut lane.next_any);
-            lane.num_dynamic = popcount_dirty(lane.dynamic.as_words(), &lane.dynamic_any);
+            advance_lane(lane);
         }
 
         // Emit this cycle's reports in ascending (offset, global state)
@@ -348,130 +724,41 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
             // Skipped shards hold no dynamically enabled state, so the
             // cached per-lane counts sum to the flat engine's total.
             num_dynamic += lane.num_dynamic;
-            let dynamic_empty = lane.dynamic_is_empty();
-            let starts_matter = inject_starts && shard.start_match_possible(symbol);
-            // Cycle 0 only: a shard whose start-of-data states share no
-            // bit with this symbol's match vector has nothing to fire.
-            let sod_matters = first_cycle
-                && shard.has_start_of_data()
-                && !shard
-                    .plan()
-                    .match_vector(symbol)
-                    .is_disjoint(shard.plan().start_of_data_mask().as_row());
-            if shard.is_empty() || (*skip_idle && dynamic_empty && !starts_matter && !sod_matters) {
+            if shard.is_empty()
+                || (*skip_idle && byte_shard_idle(shard, lane, symbol, inject_starts, first_cycle))
+            {
                 skipped += 1;
                 stats.skipped_shard_cycles += 1;
                 continue;
             }
             visited += 1;
             stats.shard_cycles[si] += 1;
-            let splan = shard.plan();
-            stats.words_visited += splan.len().div_ceil(64) as u64;
+            stats.words_visited += shard.plan().len().div_ceil(64) as u64;
 
-            let match_words = splan.match_vector(symbol).words();
-            let match_any = splan.match_any(symbol);
-            let sod_words = splan.start_of_data_mask().as_words();
-            let sod_any = splan.start_of_data_any();
-            let report_words = splan.report_mask().as_words();
-            let globals = shard.global_states();
-
-            // Sparse-clear the previous cycle's active words.
-            sparse_clear(lane.active.as_words_mut(), &mut lane.active_any);
-            let active_words = lane.active.as_words_mut();
-
-            // Phase 1: build the active vector from its enable sources,
-            // visiting only words their summaries mark.
-            if inject_starts {
-                let start_words = splan.start_match(symbol).words();
-                for (j, &any) in splan.start_match_any(symbol).iter().enumerate() {
-                    let mut dirty = any;
-                    while dirty != 0 {
-                        let w = j * 64 + dirty.trailing_zeros() as usize;
-                        dirty &= dirty - 1;
-                        active_words[w] |= start_words[w];
-                        lane.active_any[j] |= 1u64 << (w % 64);
-                    }
-                }
-            }
-            let dynamic_words = lane.dynamic.as_words();
-            for (j, &dynamic_any) in lane.dynamic_any.iter().enumerate() {
-                let mut dirty = match_any[j] & dynamic_any;
-                while dirty != 0 {
-                    let w = j * 64 + dirty.trailing_zeros() as usize;
-                    dirty &= dirty - 1;
-                    let active = match_words[w] & dynamic_words[w];
-                    if active != 0 {
-                        active_words[w] |= active;
-                        lane.active_any[j] |= 1u64 << (w % 64);
-                    }
-                }
-            }
-            if first_cycle {
-                for (j, &any) in sod_any.iter().enumerate() {
-                    let mut dirty = match_any[j] & any;
-                    while dirty != 0 {
-                        let w = j * 64 + dirty.trailing_zeros() as usize;
-                        dirty &= dirty - 1;
-                        let active = match_words[w] & sod_words[w];
-                        if active != 0 {
-                            active_words[w] |= active;
-                            lane.active_any[j] |= 1u64 << (w % 64);
-                        }
-                    }
-                }
-            }
-
-            // Phase 2: one pass over the active words — popcounts,
-            // reports (emitted with global ids), local successor
-            // expansion, and staging of cross-shard activations.
-            let next_words = lane.next.as_words_mut();
-            let mut shard_reports = 0usize;
-            for (j, &active_any) in lane.active_any.iter().enumerate() {
-                let mut dirty = active_any;
-                while dirty != 0 {
-                    let w = j * 64 + dirty.trailing_zeros() as usize;
-                    dirty &= dirty - 1;
-                    let active = active_words[w];
-                    num_active += active.count_ones() as usize;
-
-                    let mut reporting = active & report_words[w];
-                    while reporting != 0 {
-                        let local = w * 64 + reporting.trailing_zeros() as usize;
-                        staged_reports.push(Report {
-                            ste: SteId(globals[local]),
-                            code: splan.report_code_unchecked(local),
-                            offset: *cycle,
-                        });
-                        shard_reports += 1;
-                        reporting &= reporting - 1;
-                    }
-
-                    let mut remaining = active;
-                    while remaining != 0 {
-                        let local = w * 64 + remaining.trailing_zeros() as usize;
-                        stats.state_active[globals[local] as usize] += 1;
-                        for &succ in splan.successors(local) {
-                            let succ = succ as usize;
-                            next_words[succ / 64] |= 1u64 << (succ % 64);
-                            lane.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
-                        }
-                        for t in shard.cross_successors(local) {
-                            exchange.push(u64::from(t.shard) << 32 | u64::from(t.local));
-                        }
-                        remaining &= remaining - 1;
-                    }
-                }
-            }
-            cycle_reports += shard_reports;
+            let out = step_shard_byte(
+                shard,
+                lane,
+                symbol,
+                inject_starts,
+                first_cycle,
+                *cycle,
+                StepSinks {
+                    staged_reports,
+                    exchange,
+                    state_active: &mut stats.state_active,
+                },
+            );
+            num_active += out.num_active;
+            cycle_reports += out.reports;
 
             observer.on_shard_cycle(&ShardCycleView {
                 cycle: *cycle,
                 symbol,
                 shard: si,
-                global_states: globals,
+                global_states: shard.global_states(),
                 dynamic_enabled: &lane.dynamic,
                 active: &lane.active,
-                reports: shard_reports,
+                reports: out.reports,
             });
         }
 
@@ -521,146 +808,40 @@ impl<'p, P: StridedPlan> ShardedSession<'p, P> {
             // Skipped shards hold no dynamically enabled state, so the
             // cached per-lane counts sum to the flat engine's total.
             num_dynamic += lane.num_dynamic;
-            let dynamic_empty = lane.dynamic_is_empty();
-            // Starts inject on every pair cycle; the precomputed pair
-            // probe answers exactly whether a statically enabled state
-            // matches `a` in its first half and `b` in its second.
-            let starts_matter = shard.pair_start_possible(a, b);
-            let splan = shard.plan();
-            // Cycle 0 only: a live start-of-data state must match both
-            // halves of this pair to fire.
-            let sod_matters = first_cycle && shard.has_start_of_data() && {
-                let sod = splan.start_of_data_mask().as_words();
-                let first = splan.first_vector(a).words();
-                let second = splan.second_vector(b).words();
-                sod.iter()
-                    .enumerate()
-                    .any(|(w, &m)| m & first[w] & second[w] != 0)
-            };
-            if shard.is_empty() || (*skip_idle && dynamic_empty && !starts_matter && !sod_matters) {
+            if shard.is_empty() || (*skip_idle && pair_shard_idle(shard, lane, a, b, first_cycle)) {
                 skipped += 1;
                 stats.skipped_shard_cycles += 1;
                 continue;
             }
             visited += 1;
             stats.shard_cycles[si] += 1;
-            stats.words_visited += splan.len().div_ceil(64) as u64;
+            stats.words_visited += shard.plan().len().div_ceil(64) as u64;
 
-            let first_words = splan.first_vector(a).words();
-            let first_any = splan.first_any(a);
-            let second_words = splan.second_vector(b).words();
-            let second_any = splan.second_any(b);
-            let sod_words = splan.start_of_data_mask().as_words();
-            let sod_any = splan.start_of_data_any();
-            let report_words = splan.report_mask().as_words();
-            let globals = shard.global_states();
-
-            // Sparse-clear the previous cycle's active words.
-            sparse_clear(lane.active.as_words_mut(), &mut lane.active_any);
-            let active_words = lane.active.as_words_mut();
-
-            // Phase 1: build the active vector from its enable sources,
-            // visiting only words both halves and a source mark.
-            let start_words = splan.first_start_match(a).words();
-            for (j, &any) in splan.first_start_match_any(a).iter().enumerate() {
-                let mut dirty = any & second_any[j];
-                while dirty != 0 {
-                    let w = j * 64 + dirty.trailing_zeros() as usize;
-                    dirty &= dirty - 1;
-                    let active = start_words[w] & second_words[w];
-                    if active != 0 {
-                        active_words[w] |= active;
-                        lane.active_any[j] |= 1u64 << (w % 64);
-                    }
-                }
-            }
-            let dynamic_words = lane.dynamic.as_words();
-            for (j, &dynamic_any) in lane.dynamic_any.iter().enumerate() {
-                let mut dirty = first_any[j] & second_any[j] & dynamic_any;
-                while dirty != 0 {
-                    let w = j * 64 + dirty.trailing_zeros() as usize;
-                    dirty &= dirty - 1;
-                    let active = first_words[w] & second_words[w] & dynamic_words[w];
-                    if active != 0 {
-                        active_words[w] |= active;
-                        lane.active_any[j] |= 1u64 << (w % 64);
-                    }
-                }
-            }
-            if first_cycle {
-                for (j, &any) in sod_any.iter().enumerate() {
-                    let mut dirty = first_any[j] & second_any[j] & any;
-                    while dirty != 0 {
-                        let w = j * 64 + dirty.trailing_zeros() as usize;
-                        dirty &= dirty - 1;
-                        let active = first_words[w] & second_words[w] & sod_words[w];
-                        if active != 0 {
-                            active_words[w] |= active;
-                            lane.active_any[j] |= 1u64 << (w % 64);
-                        }
-                    }
-                }
-            }
-
-            // Phase 2: one pass over the active words — popcounts,
-            // phase-mapped reports (with global ids), local successor
-            // expansion, and staging of cross-shard activations.
-            let next_words = lane.next.as_words_mut();
-            let mut shard_reports = 0usize;
-            for (j, &active_any) in lane.active_any.iter().enumerate() {
-                let mut dirty = active_any;
-                while dirty != 0 {
-                    let w = j * 64 + dirty.trailing_zeros() as usize;
-                    dirty &= dirty - 1;
-                    let active = active_words[w];
-                    num_active += active.count_ones() as usize;
-
-                    let mut reporting = active & report_words[w];
-                    while reporting != 0 {
-                        let local = w * 64 + reporting.trailing_zeros() as usize;
-                        let (code, phase) = splan.report_pair_unchecked(local);
-                        let offset = match phase {
-                            ReportPhase::First => *cycle * 2,
-                            ReportPhase::Second => *cycle * 2 + 1,
-                        };
-                        // Suppress reports landing on the pad byte.
-                        if offset < limit {
-                            staged_reports.push(Report {
-                                ste: SteId(globals[local]),
-                                code,
-                                offset,
-                            });
-                            shard_reports += 1;
-                        }
-                        reporting &= reporting - 1;
-                    }
-
-                    let mut remaining = active;
-                    while remaining != 0 {
-                        let local = w * 64 + remaining.trailing_zeros() as usize;
-                        stats.state_active[globals[local] as usize] += 1;
-                        for &succ in splan.successors(local) {
-                            let succ = succ as usize;
-                            next_words[succ / 64] |= 1u64 << (succ % 64);
-                            lane.next_any[succ / 4096] |= 1u64 << ((succ / 64) % 64);
-                        }
-                        for t in shard.cross_successors(local) {
-                            exchange.push(u64::from(t.shard) << 32 | u64::from(t.local));
-                        }
-                        remaining &= remaining - 1;
-                    }
-                }
-            }
-            cycle_reports += shard_reports;
+            let out = step_shard_pair(
+                shard,
+                lane,
+                a,
+                b,
+                limit,
+                first_cycle,
+                *cycle,
+                StepSinks {
+                    staged_reports,
+                    exchange,
+                    state_active: &mut stats.state_active,
+                },
+            );
+            num_active += out.num_active;
+            cycle_reports += out.reports;
 
             observer.on_shard_cycle(&ShardCycleView {
                 cycle: *cycle,
                 symbol: a,
                 shard: si,
-                global_states: globals,
+                global_states: shard.global_states(),
                 dynamic_enabled: &lane.dynamic,
                 active: &lane.active,
-                reports: shard_reports,
+                reports: out.reports,
             });
         }
 
@@ -712,6 +893,55 @@ pub trait ShardedExecution: PlanBase + Sized {
     fn sort_reports(reports: &mut Vec<Report>) {
         let _ = reports;
     }
+
+    /// Maps a chunk of input bytes onto per-cycle step descriptors —
+    /// the chunk-level half of [`drive`](ShardedExecution::drive),
+    /// factored out so the parallel runtime can plan a chunk once and
+    /// hand the same step list to every worker. Byte plans emit one
+    /// step per symbol (start injection gated by `chain`); strided
+    /// plans emit one step per symbol pair, threading the dangling odd
+    /// byte through `carry`.
+    #[doc(hidden)]
+    fn plan_steps(
+        chunk: &[u8],
+        carry: &mut Option<u8>,
+        chain: usize,
+        start_cycle: usize,
+        out: &mut Vec<CycleStep>,
+    );
+
+    /// The finish-time counterpart of
+    /// [`plan_steps`](ShardedExecution::plan_steps): a pending strided
+    /// carry byte becomes one zero-padded final step whose pad-offset
+    /// reports are suppressed via `limit = fed`. Byte plans have no
+    /// carry and return `None`.
+    #[doc(hidden)]
+    fn flush_step(carry: &mut Option<u8>, fed: usize) -> Option<CycleStep> {
+        let _ = (carry, fed);
+        None
+    }
+
+    /// The per-shard idle probe for one step — `true` when the shard
+    /// can be skipped without touching a state word.
+    #[doc(hidden)]
+    fn shard_idle(
+        shard: &Shard<Self>,
+        lane: &ShardLane,
+        step: CycleStep,
+        first_cycle: bool,
+    ) -> bool;
+
+    /// Executes one step on one shard, writing reports, cross-shard
+    /// activations, and per-state tallies into `sinks`.
+    #[doc(hidden)]
+    fn step_shard(
+        shard: &Shard<Self>,
+        lane: &mut ShardLane,
+        step: CycleStep,
+        first_cycle: bool,
+        cycle: usize,
+        sinks: StepSinks<'_>,
+    ) -> StepOut;
 }
 
 /// The byte kernel: one symbol per cycle, start injection gated by the
@@ -773,6 +1003,155 @@ fn flush_pairs<P: StridedPlan>(
     }
 }
 
+/// Step planning for byte plans: one step per symbol, start injection
+/// gated by the multi-step chain exactly like [`drive_byte`].
+fn plan_steps_byte(chunk: &[u8], chain: usize, start_cycle: usize, out: &mut Vec<CycleStep>) {
+    for (i, &symbol) in chunk.iter().enumerate() {
+        let inject = chain == 1 || (start_cycle + i).is_multiple_of(chain);
+        out.push(CycleStep {
+            a: symbol,
+            b: 0,
+            inject,
+            limit: usize::MAX,
+        });
+    }
+}
+
+/// Step planning for strided plans: one step per symbol pair with the
+/// carry byte threaded across chunk boundaries, exactly like
+/// [`drive_pairs`].
+fn plan_steps_pairs(chunk: &[u8], carry: &mut Option<u8>, chain: usize, out: &mut Vec<CycleStep>) {
+    assert_eq!(
+        chain, 1,
+        "multi-step chains are a byte-plan concept; strided plans consume pairs"
+    );
+    let mut chunk = chunk;
+    if let Some(a) = *carry {
+        let Some((&b, rest)) = chunk.split_first() else {
+            return;
+        };
+        *carry = None;
+        out.push(CycleStep {
+            a,
+            b,
+            inject: true,
+            limit: usize::MAX,
+        });
+        chunk = rest;
+    }
+    let mut pairs = chunk.chunks_exact(2);
+    for pair in pairs.by_ref() {
+        out.push(CycleStep {
+            a: pair[0],
+            b: pair[1],
+            inject: true,
+            limit: usize::MAX,
+        });
+    }
+    if let [last] = *pairs.remainder() {
+        *carry = Some(last);
+    }
+}
+
+/// The strided flush step: the carry byte, zero-padded, with the pad
+/// offset suppressed by `limit = fed`.
+fn flush_step_pairs(carry: &mut Option<u8>, fed: usize) -> Option<CycleStep> {
+    carry.take().map(|a| CycleStep {
+        a,
+        b: 0,
+        inject: true,
+        limit: fed,
+    })
+}
+
+/// The byte-plan hook set, shared by [`CompiledAutomaton`] and
+/// [`CompiledEncodedAutomaton`] via a macro so the delegation stays
+/// literal.
+macro_rules! byte_execution_hooks {
+    () => {
+        fn plan_steps(
+            chunk: &[u8],
+            carry: &mut Option<u8>,
+            chain: usize,
+            start_cycle: usize,
+            out: &mut Vec<CycleStep>,
+        ) {
+            let _ = carry;
+            plan_steps_byte(chunk, chain, start_cycle, out);
+        }
+
+        fn shard_idle(
+            shard: &Shard<Self>,
+            lane: &ShardLane,
+            step: CycleStep,
+            first_cycle: bool,
+        ) -> bool {
+            byte_shard_idle(shard, lane, step.a, step.inject, first_cycle)
+        }
+
+        fn step_shard(
+            shard: &Shard<Self>,
+            lane: &mut ShardLane,
+            step: CycleStep,
+            first_cycle: bool,
+            cycle: usize,
+            sinks: StepSinks<'_>,
+        ) -> StepOut {
+            step_shard_byte(shard, lane, step.a, step.inject, first_cycle, cycle, sinks)
+        }
+    };
+}
+
+/// The strided-plan hook set, shared by [`CompiledStridedAutomaton`]
+/// and [`CompiledEncodedStridedAutomaton`].
+macro_rules! pair_execution_hooks {
+    () => {
+        fn plan_steps(
+            chunk: &[u8],
+            carry: &mut Option<u8>,
+            chain: usize,
+            start_cycle: usize,
+            out: &mut Vec<CycleStep>,
+        ) {
+            let _ = start_cycle;
+            plan_steps_pairs(chunk, carry, chain, out);
+        }
+
+        fn flush_step(carry: &mut Option<u8>, fed: usize) -> Option<CycleStep> {
+            flush_step_pairs(carry, fed)
+        }
+
+        fn shard_idle(
+            shard: &Shard<Self>,
+            lane: &ShardLane,
+            step: CycleStep,
+            first_cycle: bool,
+        ) -> bool {
+            pair_shard_idle(shard, lane, step.a, step.b, first_cycle)
+        }
+
+        fn step_shard(
+            shard: &Shard<Self>,
+            lane: &mut ShardLane,
+            step: CycleStep,
+            first_cycle: bool,
+            cycle: usize,
+            sinks: StepSinks<'_>,
+        ) -> StepOut {
+            step_shard_pair(
+                shard,
+                lane,
+                step.a,
+                step.b,
+                step.limit,
+                first_cycle,
+                cycle,
+                sinks,
+            )
+        }
+    };
+}
+
 impl ShardedExecution for CompiledAutomaton {
     fn drive<O: ShardObserver>(
         session: &mut ShardedSession<'_, Self>,
@@ -781,6 +1160,8 @@ impl ShardedExecution for CompiledAutomaton {
     ) {
         drive_byte(session, chunk, observer);
     }
+
+    byte_execution_hooks!();
 }
 
 impl ShardedExecution for CompiledEncodedAutomaton {
@@ -791,6 +1172,8 @@ impl ShardedExecution for CompiledEncodedAutomaton {
     ) {
         drive_byte(session, chunk, observer);
     }
+
+    byte_execution_hooks!();
 }
 
 impl ShardedExecution for CompiledStridedAutomaton {
@@ -809,6 +1192,8 @@ impl ShardedExecution for CompiledStridedAutomaton {
     fn sort_reports(reports: &mut Vec<Report>) {
         reports.sort_by_key(|r| (r.offset, r.ste));
     }
+
+    pair_execution_hooks!();
 }
 
 impl ShardedExecution for CompiledEncodedStridedAutomaton {
@@ -827,6 +1212,8 @@ impl ShardedExecution for CompiledEncodedStridedAutomaton {
     fn sort_reports(reports: &mut Vec<Report>) {
         reports.sort_by_key(|r| (r.offset, r.ste));
     }
+
+    pair_execution_hooks!();
 }
 
 impl<'p, P: PlanBase> ShardedSession<'p, P> {
@@ -1145,6 +1532,75 @@ mod tests {
     use super::*;
     use crate::Simulator;
     use cama_core::regex;
+
+    #[test]
+    fn shard_stats_merge_sums_every_field() {
+        let mut a = ShardStats::new(2, 3);
+        a.shard_cycles = vec![1, 2];
+        a.state_active = vec![10, 0, 3];
+        a.skipped_shard_cycles = 4;
+        a.words_visited = 7;
+        a.cross_activations = 5;
+        let mut b = ShardStats::new(2, 3);
+        b.shard_cycles = vec![100, 200];
+        b.state_active = vec![1, 2, 3];
+        b.skipped_shard_cycles = 40;
+        b.words_visited = 70;
+        b.cross_activations = 50;
+        a.merge(&b);
+        assert_eq!(a.shard_cycles, vec![101, 202]);
+        assert_eq!(a.state_active, vec![11, 2, 6]);
+        assert_eq!(a.skipped_shard_cycles, 44);
+        assert_eq!(a.words_visited, 77);
+        assert_eq!(a.cross_activations, 55);
+        // The argument is untouched.
+        assert_eq!(b.shard_cycles, vec![100, 200]);
+    }
+
+    #[test]
+    fn shard_stats_merge_grows_to_the_wider_operand() {
+        let mut narrow = ShardStats::new(1, 1);
+        narrow.shard_cycles = vec![5];
+        narrow.state_active = vec![9];
+        let mut wide = ShardStats::new(3, 2);
+        wide.shard_cycles = vec![1, 2, 3];
+        wide.state_active = vec![4, 5];
+        narrow.merge(&wide);
+        assert_eq!(narrow.shard_cycles, vec![6, 2, 3]);
+        assert_eq!(narrow.state_active, vec![13, 5]);
+    }
+
+    #[test]
+    fn shard_stats_merge_matches_split_session_rollup() {
+        // Feeding one input in two sessions and merging their stats
+        // equals feeding it twice in one session (state resets between
+        // runs, so the counters are independent and additive).
+        let nfa = regex::compile_set(&["ab+c", "x[0-9]+y"]).unwrap();
+        let input = b"zab bcx12y qabcx9y";
+        let sim = ShardedSimulator::new(&nfa, 3);
+
+        let mut once = sim.start();
+        once.feed(input);
+        once.finish();
+        let mut twice = sim.start();
+        twice.feed(input);
+        twice.finish();
+        let mut both = once.take_stats();
+        both.merge(twice.stats());
+
+        let mut double = sim.start();
+        double.feed(input);
+        double.finish();
+        double.feed(input);
+        double.finish();
+        let expect = double.take_stats();
+
+        assert_eq!(both.shard_cycles, expect.shard_cycles);
+        assert_eq!(both.state_active, expect.state_active);
+        assert_eq!(both.skipped_shard_cycles, expect.skipped_shard_cycles);
+        assert_eq!(both.words_visited, expect.words_visited);
+        assert_eq!(both.cross_activations, expect.cross_activations);
+    }
 
     #[test]
     fn sharded_matches_flat_on_multi_component_set() {
