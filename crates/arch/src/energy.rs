@@ -13,6 +13,31 @@
 //! states, whose match energy is a per-cycle constant computed once) and
 //! the small dynamic Next Vector (walked per cycle), so observation cost
 //! scales with actual activity.
+//!
+//! Across ruleset hot-swaps, [`SwapEpochEnergy`] keeps one labeled
+//! [`EnergyBreakdown`] per plan epoch; its [`SwapEpochEnergy::total`]
+//! conserves every joule and cycle of the epochs it sums.
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_arch::designs::DesignKind;
+//! use cama_arch::energy::EnergyObserver;
+//! use cama_arch::mapping::map_design;
+//! use cama_core::regex;
+//! use cama_mem::models::CircuitLibrary;
+//! use cama_sim::Simulator;
+//!
+//! let nfa = regex::compile("ab+c")?;
+//! let lib = CircuitLibrary::tsmc28();
+//! let mapping = map_design(DesignKind::CacheAutomaton, &nfa, None);
+//! let mut observer = EnergyObserver::for_nfa(DesignKind::CacheAutomaton, &mapping, &lib, &nfa);
+//! Simulator::new(&nfa).run_with(b"zabbc", &mut observer);
+//! let breakdown = observer.breakdown;
+//! assert_eq!(breakdown.cycles, 5);
+//! assert!(breakdown.total().value() > 0.0);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
 
 use crate::designs::DesignKind;
 use crate::mapping::{Mapping, PartitionMode};
@@ -99,6 +124,78 @@ impl EnergyBreakdown {
             self.switch_wire.value() / total,
             self.encoder.value() / total,
         )
+    }
+}
+
+/// Energy accounting across the epochs of a live plan-swap session.
+///
+/// A hot ruleset swap ([`cama_sim::BatchSimulator::swap_plan`])
+/// replaces the compiled plan — and with it the [`Mapping`] the
+/// [`EnergyObserver`] borrows — so one observer cannot span a swap.
+/// `SwapEpochEnergy` is the across-epoch ledger: finish each epoch's
+/// observer, [`record`](SwapEpochEnergy::record) its breakdown under a
+/// label, and read per-epoch entries or the conserved
+/// [`total`](SwapEpochEnergy::total) (field-wise
+/// [`accumulate`](EnergyBreakdown::accumulate) over every epoch — the
+/// invariant `tests/churn.rs` asserts across swap epochs).
+///
+/// # Examples
+///
+/// ```
+/// use cama_arch::energy::SwapEpochEnergy;
+/// use cama_arch::EnergyBreakdown;
+///
+/// let mut epochs = SwapEpochEnergy::new();
+/// let mut a = EnergyBreakdown::default();
+/// a.cycles = 120;
+/// epochs.record("ruleset-v1", a);
+/// let mut b = EnergyBreakdown::default();
+/// b.cycles = 80;
+/// epochs.record("ruleset-v2", b);
+/// assert_eq!(epochs.len(), 2);
+/// assert_eq!(epochs.total().cycles, 200);
+/// assert_eq!(epochs.epochs().next().unwrap().0, "ruleset-v1");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SwapEpochEnergy {
+    epochs: Vec<(String, EnergyBreakdown)>,
+}
+
+impl SwapEpochEnergy {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one epoch's finished breakdown under a label (e.g. the
+    /// ruleset version the epoch served).
+    pub fn record(&mut self, label: impl Into<String>, breakdown: EnergyBreakdown) {
+        self.epochs.push((label.into(), breakdown));
+    }
+
+    /// Epochs recorded so far.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// `true` before the first epoch is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The per-epoch entries, in recording order.
+    pub fn epochs(&self) -> impl Iterator<Item = (&str, &EnergyBreakdown)> {
+        self.epochs.iter().map(|(label, b)| (label.as_str(), b))
+    }
+
+    /// The field-wise sum over every epoch: total cycles and energy of
+    /// the whole session, conserved across swaps.
+    pub fn total(&self) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for (_, breakdown) in &self.epochs {
+            total.accumulate(breakdown);
+        }
+        total
     }
 }
 
@@ -719,5 +816,27 @@ mod tests {
         assert_eq!(b.cycles, 0);
         assert_eq!(b.per_cycle(), Energy::ZERO);
         assert_eq!(b.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn swap_epoch_ledger_conserves_totals() {
+        // Two swap epochs on different ruleset versions (each with its
+        // own mapping and observer): the ledger's total must be the
+        // field-wise sum of what each epoch's observer accumulated.
+        let v1 = regex::compile("ab+c").unwrap();
+        let v2 = regex::compile_set(&["ab+c", "xy"]).unwrap();
+        let e1 = measure(DesignKind::CamaE, &v1, b"zabbbcz");
+        let e2 = measure(DesignKind::CamaE, &v2, b"xyabcz");
+        let mut epochs = SwapEpochEnergy::new();
+        assert!(epochs.is_empty());
+        epochs.record("v1", e1);
+        epochs.record("v2", e2);
+        assert_eq!(epochs.len(), 2);
+        let total = epochs.total();
+        assert_eq!(total.cycles, e1.cycles + e2.cycles);
+        let sum: f64 = epochs.epochs().map(|(_, b)| b.total().value()).sum();
+        assert!((total.total().value() - sum).abs() < 1e-9);
+        let labels: Vec<&str> = epochs.epochs().map(|(label, _)| label).collect();
+        assert_eq!(labels, ["v1", "v2"]);
     }
 }

@@ -1,0 +1,122 @@
+//! Criterion benchmarks for ruleset-scale compilation: cold compiles,
+//! structure-hash-cached recompiles of a one-pattern-changed ruleset,
+//! and parallel cold compiles across the worker pool, at 1×/10×/50×
+//! ruleset scales. After the timed runs, an instrumented pass prints
+//! the cache hit/miss/eviction counters and asserts the headline
+//! property of the plan cache: recompiling a ruleset with exactly one
+//! changed pattern hits the cache once per *unchanged* component.
+
+use cama_core::compile::{compile_ruleset, PlanCache};
+use cama_core::graph;
+use cama_core::regex;
+use cama_core::Nfa;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Ruleset scales: (label, pattern count).
+const SCALES: [(&str, usize); 3] = [("1x", 40), ("10x", 400), ("50x", 2000)];
+/// Worker count for the parallel cold compile.
+const WORKERS: usize = 4;
+
+/// A synthetic ruleset of `n` linear patterns — one connected component
+/// each, structurally distinct thanks to the varying literals and tail
+/// repeat. With `changed = Some(i)`, pattern `i` is replaced in place
+/// (same report code, different structure), modelling a one-rule update.
+fn ruleset(n: usize, changed: Option<usize>) -> Vec<String> {
+    const LETTERS: [char; 5] = ['a', 'b', 'c', 'd', 'e'];
+    (0..n)
+        .map(|i| {
+            if changed == Some(i) {
+                return format!("x{}y+z", LETTERS[i % 5]);
+            }
+            let first = LETTERS[i % 5];
+            let second = LETTERS[(i / 5) % 5];
+            let third = LETTERS[(i / 25) % 5];
+            format!("{first}{second}+{third}{}", "w".repeat(i % 3 + 1))
+        })
+        .collect()
+}
+
+fn compile_patterns(patterns: &[String]) -> Nfa {
+    let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+    regex::compile_set(&refs).expect("bench ruleset compiles")
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for (label, n) in SCALES {
+        let nfa = compile_patterns(&ruleset(n, None));
+        let changed_nfa = compile_patterns(&ruleset(n, Some(n / 2)));
+
+        // Cold: every component missing from a fresh cache.
+        group.bench_with_input(BenchmarkId::new("cold", label), &nfa, |b, nfa| {
+            b.iter(|| {
+                let mut cache = PlanCache::default();
+                black_box(compile_ruleset(black_box(nfa), 1, &mut cache))
+            })
+        });
+        // Cached: recompile a one-pattern-changed ruleset against a
+        // warm cache — only the changed component pays compilation.
+        group.bench_with_input(
+            BenchmarkId::new("cached", label),
+            &changed_nfa,
+            |b, changed| {
+                let mut cache = PlanCache::default();
+                compile_ruleset(&nfa, 1, &mut cache);
+                b.iter(|| black_box(compile_ruleset(black_box(changed), 1, &mut cache)))
+            },
+        );
+        // Parallel: the same cold compile fanned across the worker pool.
+        group.bench_with_input(BenchmarkId::new("parallel", label), &nfa, |b, nfa| {
+            b.iter(|| {
+                let mut cache = PlanCache::default();
+                black_box(compile_ruleset(black_box(nfa), WORKERS, &mut cache))
+            })
+        });
+    }
+    group.finish();
+
+    // Instrumented pass: cache counters per scale, plus the acceptance
+    // property — a one-changed recompile hits once per unchanged
+    // component — and a bounded cache showing eviction under pressure.
+    for (label, n) in SCALES {
+        let nfa = compile_patterns(&ruleset(n, None));
+        let changed_nfa = compile_patterns(&ruleset(n, Some(n / 2)));
+        let components = graph::connected_components(&nfa).len();
+
+        let mut cache = PlanCache::default();
+        let (_, cold) = compile_ruleset(&nfa, 1, &mut cache);
+        let (_, warm) = compile_ruleset(&changed_nfa, 1, &mut cache);
+        assert_eq!(cold.cache_hits, 0, "cold compile must miss everywhere");
+        assert_eq!(
+            warm.cache_hits,
+            components - 1,
+            "one-changed recompile must hit once per unchanged component"
+        );
+        let stats = cache.cache_stats();
+
+        let mut bounded = PlanCache::new(components / 2);
+        compile_ruleset(&nfa, 1, &mut bounded);
+        let bounded_stats = bounded.cache_stats();
+
+        println!(
+            "compile {label}: {n} patterns, {} states, {components} components; \
+             cold misses {}, one-changed recompile hits {} / misses {}; \
+             cache {} hits / {} misses / {} evictions / {} entries (cap {}); \
+             half-capacity cache evicts {}",
+            nfa.len(),
+            cold.cache_misses,
+            warm.cache_hits,
+            warm.cache_misses,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.entries,
+            stats.capacity,
+            bounded_stats.evictions,
+        );
+    }
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

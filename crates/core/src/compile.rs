@@ -1,0 +1,1138 @@
+//! Ruleset-scale compilation: per-component compilation units, a
+//! structure-hashed [`PlanCache`], parallel compilation across a worker
+//! pool, and the old→new [`PlanRemap`] that live hot swap rides on.
+//!
+//! [`ShardedAutomaton::compile_per_component`] compiles a whole ruleset
+//! monolithically: every connected component is recompiled on every
+//! call, serially, even when an updated ruleset changed one pattern out
+//! of thousands. At production scale (tens of thousands of Snort-class
+//! patterns) compilation becomes a serve-blocking step, so this module
+//! splits it along the natural cache boundary — the connected component,
+//! which shares no activation edge with any other component:
+//!
+//! * [`split_components`] extracts one [`ComponentUnit`] per connected
+//!   component: the component's states (BFS order), a renumbered local
+//!   [`Nfa`] under a canonical name, and a [`StructureHash`] over the
+//!   *local* structure (symbol classes, start kinds, report codes, and
+//!   edges) — so two structurally identical components hash equal no
+//!   matter where their states sit in the global id space;
+//! * [`PlanCache`] memoizes compiled per-component plans by structure
+//!   hash (plus a caller-provided salt for context such as an encoding
+//!   codebook identity). Recompiling an updated ruleset pays only for
+//!   the components that actually changed;
+//! * [`compile_ruleset`] drives cache misses across a worker pool
+//!   ([`worker_count`] resolves the pool size exactly like the parallel
+//!   runtime: explicit request → `CAMA_WORKERS` → detected parallelism)
+//!   and assembles the per-component shards into a
+//!   [`ShardedAutomaton`] bit-identical to
+//!   [`compile_per_component`](ShardedAutomaton::compile_per_component)
+//!   execution;
+//! * [`PlanRemap`] matches an old ruleset's components to a new one's by
+//!   structure hash, yielding the old→new global-state-id translation
+//!   that lets a live stream table swap plans without draining (see
+//!   `cama_sim`'s `swap_plan`): a suspended flow's dynamic state ids
+//!   survive on every unchanged component and are dropped (with an
+//!   explicit verdict) on removed ones.
+//!
+//! # Examples
+//!
+//! Cached recompilation pays only for the changed component:
+//!
+//! ```
+//! use cama_core::compile::{compile_ruleset, PlanCache};
+//! use cama_core::regex;
+//!
+//! let v1 = regex::compile_set(&["ab+c", "xy+z"])?;
+//! let mut cache = PlanCache::default();
+//! let (_, report) = compile_ruleset(&v1, 1, &mut cache);
+//! assert_eq!((report.cache_hits, report.cache_misses), (0, 2));
+//!
+//! // One pattern changed, one unchanged: one hit, one miss.
+//! let v2 = regex::compile_set(&["ab+c", "xy+w"])?;
+//! let (plan, report) = compile_ruleset(&v2, 1, &mut cache);
+//! assert_eq!((report.cache_hits, report.cache_misses), (1, 1));
+//! assert_eq!(plan.num_shards(), 2);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+//!
+//! A remap between ruleset versions translates surviving state ids:
+//!
+//! ```
+//! use cama_core::compile::PlanRemap;
+//! use cama_core::regex;
+//!
+//! let old = regex::compile_set(&["ab+c", "xy+z"])?;
+//! let new = regex::compile_set(&["ab+d", "xy+z"])?; // pattern 0 changed
+//! let remap = PlanRemap::between(&old, &new);
+//! assert_eq!(remap.translate(0), None);    // ab+c state: component changed
+//! assert_eq!(remap.translate(3), Some(3)); // xy+z's first state survives
+//! # Ok::<(), cama_core::Error>(())
+//! ```
+//!
+//! Report codes are part of a component's structure (a report *is*
+//! semantics), and `regex::compile_set` assigns pattern-index codes —
+//! so the cache-friendly ways to update a ruleset are appending
+//! patterns and replacing patterns in place; reordering renumbers
+//! report codes and recompiles everything downstream of the
+//! reordering, as it must.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::compiled::{
+    byte_probes, strided_probes, CompiledAutomaton, CompiledStridedAutomaton, ExecutionPlan, Shard,
+    ShardProbes, ShardedAutomaton, ShardedStridedAutomaton, StridedPlan,
+};
+use crate::graph::connected_components;
+use crate::nfa::{BuildOptions, Nfa, NfaBuilder, StartKind, SteId};
+use crate::stride::{ReportPhase, StridedNfa};
+
+/// The canonical name every compilation unit's local automaton carries,
+/// so compiled plans (and their hashes) are independent of the ruleset
+/// name and of where the component sits in it.
+const UNIT_NAME: &str = "unit";
+
+/// Resolves a requested worker count for parallel compilation: an
+/// explicit positive request wins; `0` consults the `CAMA_WORKERS`
+/// environment variable and falls back to
+/// [`std::thread::available_parallelism`] (minimum 1). The same
+/// resolution order the shard-parallel runtime uses
+/// (`cama_sim::parallel::worker_count` delegates here).
+pub fn worker_count(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var("CAMA_WORKERS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A 128-bit structural fingerprint of one compilation unit, computed
+/// over the component's *local renumbered* form: state count, per-state
+/// (symbol-class words, start kind, report code), and the local edge
+/// list. Independent of global state ids, ruleset name, and component
+/// position, so identical patterns collide on purpose — that collision
+/// is the cache hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructureHash([u64; 2]);
+
+impl std::fmt::Display for StructureHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// Two independent FNV-1a-style 64-bit lanes fed word-at-a-time. Not
+/// cryptographic — a cache key, where an adversarial collision costs a
+/// recompile at worst (`PlanCache` never serves a wrong plan for a
+/// *different* structure unless both lanes collide simultaneously).
+struct StructureHasher {
+    a: u64,
+    b: u64,
+}
+
+impl StructureHasher {
+    fn new() -> Self {
+        StructureHasher {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.a = (self.a ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        self.b = (self.b ^ w.rotate_left(32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(mut self) -> StructureHash {
+        // One final avalanche round so short inputs still diffuse.
+        let (a, b) = (self.a, self.b);
+        self.word(a ^ b.rotate_left(17));
+        StructureHash([self.a, self.b])
+    }
+}
+
+/// One connected component of a byte NFA, extracted as a self-contained
+/// compilation unit by [`split_components`].
+#[derive(Clone, Debug)]
+pub struct ComponentUnit {
+    /// Global state ids in local order (the component's BFS order).
+    states: Vec<u32>,
+    /// The renumbered local automaton under the canonical unit name.
+    local: Nfa,
+    hash: StructureHash,
+}
+
+impl ComponentUnit {
+    /// Global state ids in local order.
+    pub fn states(&self) -> &[u32] {
+        &self.states
+    }
+
+    /// The renumbered local automaton.
+    pub fn local(&self) -> &Nfa {
+        &self.local
+    }
+
+    /// The unit's structural fingerprint.
+    pub fn hash(&self) -> StructureHash {
+        self.hash
+    }
+
+    /// Number of states in the unit.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` for a unit holding no states (never produced by
+    /// [`split_components`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// The strided counterpart of [`ComponentUnit`], extracted by
+/// [`split_strided_components`].
+#[derive(Clone, Debug)]
+pub struct StridedComponentUnit {
+    states: Vec<u32>,
+    local: StridedNfa,
+    hash: StructureHash,
+}
+
+impl StridedComponentUnit {
+    /// Global strided-state ids in local order.
+    pub fn states(&self) -> &[u32] {
+        &self.states
+    }
+
+    /// The renumbered local strided automaton.
+    pub fn local(&self) -> &StridedNfa {
+        &self.local
+    }
+
+    /// The unit's structural fingerprint.
+    pub fn hash(&self) -> StructureHash {
+        self.hash
+    }
+
+    /// Number of strided states in the unit.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` for a unit holding no states (never produced by
+    /// [`split_strided_components`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+fn start_code(start: StartKind) -> u64 {
+    match start {
+        StartKind::None => 0,
+        StartKind::AllInput => 1,
+        StartKind::StartOfData => 2,
+    }
+}
+
+/// Splits `nfa` into one [`ComponentUnit`] per connected component, in
+/// the deterministic largest-component-first order the sharding
+/// strategies use. Covers every state exactly once.
+pub fn split_components(nfa: &Nfa) -> Vec<ComponentUnit> {
+    let mut local_of = vec![u32::MAX; nfa.len()];
+    connected_components(nfa)
+        .into_iter()
+        .map(|cc| {
+            let states: Vec<u32> = cc.states.iter().map(|s| s.0).collect();
+            for (local, &g) in states.iter().enumerate() {
+                local_of[g as usize] = local as u32;
+            }
+            let mut builder = NfaBuilder::with_name(UNIT_NAME.to_string());
+            let mut hasher = StructureHasher::new();
+            hasher.word(states.len() as u64);
+            for &g in &states {
+                let ste = nfa.ste(SteId(g));
+                let id = builder.add_ste(ste.class);
+                builder.set_start(id, ste.start);
+                if let Some(code) = ste.report {
+                    builder.set_report(id, code);
+                }
+                for &w in ste.class.as_words() {
+                    hasher.word(w);
+                }
+                hasher.word(start_code(ste.start));
+                hasher.word(ste.report.map_or(0, |code| u64::from(code) + 1));
+            }
+            let mut edges = 0u64;
+            for (local, &g) in states.iter().enumerate() {
+                for succ in nfa.successors(SteId(g)) {
+                    // Components are closed under activation edges, so
+                    // every successor is in this unit.
+                    let to = local_of[succ.0 as usize];
+                    builder.add_edge(SteId(local as u32), SteId(to));
+                    hasher.word((local as u64) << 32 | u64::from(to));
+                    edges += 1;
+                }
+            }
+            hasher.word(edges);
+            let local = builder
+                .build_with_options(BuildOptions {
+                    reject_empty_classes: false,
+                    reject_unreachable: false,
+                })
+                .expect("lenient build cannot fail");
+            ComponentUnit {
+                states,
+                local,
+                hash: hasher.finish(),
+            }
+        })
+        .collect()
+}
+
+/// Splits a strided automaton into one [`StridedComponentUnit`] per
+/// connected component — the 2-stride counterpart of
+/// [`split_components`].
+pub fn split_strided_components(nfa: &StridedNfa) -> Vec<StridedComponentUnit> {
+    let (ids, count) = nfa.component_ids();
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); count];
+    for (state, &c) in ids.iter().enumerate() {
+        members[c as usize].push(state as u32);
+    }
+    let mut local_of = vec![u32::MAX; nfa.len()];
+    members
+        .into_iter()
+        .map(|states| {
+            for (local, &g) in states.iter().enumerate() {
+                local_of[g as usize] = local as u32;
+            }
+            let mut hasher = StructureHasher::new();
+            hasher.word(states.len() as u64);
+            let local_states = states
+                .iter()
+                .map(|&g| {
+                    let ste = nfa.state(g as usize);
+                    for &w in ste.first.as_words() {
+                        hasher.word(w);
+                    }
+                    for &w in ste.second.as_words() {
+                        hasher.word(w);
+                    }
+                    hasher.word(start_code(ste.start));
+                    hasher.word(ste.report.map_or(0, |(code, phase)| {
+                        (u64::from(code) + 1) << 2
+                            | match phase {
+                                ReportPhase::First => 1,
+                                ReportPhase::Second => 2,
+                            }
+                    }));
+                    ste.clone()
+                })
+                .collect();
+            let mut local_succ: Vec<Vec<u32>> = vec![Vec::new(); states.len()];
+            let mut edges = 0u64;
+            for (local, &g) in states.iter().enumerate() {
+                for &succ in nfa.successors(g as usize) {
+                    let to = local_of[succ as usize];
+                    local_succ[local].push(to);
+                    hasher.word((local as u64) << 32 | u64::from(to));
+                    edges += 1;
+                }
+            }
+            hasher.word(edges);
+            let local = StridedNfa::from_parts(local_states, local_succ, UNIT_NAME.to_string());
+            StridedComponentUnit {
+                states,
+                local,
+                hash: hasher.finish(),
+            }
+        })
+        .collect()
+}
+
+/// Lifetime counters of a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries evicted to stay within the capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// The capacity bound (entries never exceed it).
+    pub capacity: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    hash: StructureHash,
+    salt: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry<P> {
+    shard: Shard<P>,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of compiled per-component shards, keyed by
+/// [`StructureHash`] plus a caller-provided salt.
+///
+/// The salt distinguishes compilation *contexts* that produce different
+/// plans from the same structure — e.g. two encoding codebooks. Byte
+/// and strided plans compiled without extra context use salt `0` (what
+/// [`compile_ruleset`] / [`compile_strided_ruleset`] pass).
+///
+/// **Eviction bound:** the cache holds at most
+/// [`capacity`](PlanCache::capacity) compiled components
+/// ([`DEFAULT_CAPACITY`](PlanCache::DEFAULT_CAPACITY) = 4096 unless set
+/// via [`new`](PlanCache::new)); inserting into a full cache evicts the
+/// least-recently-used entry first (deterministic key-order tie-break),
+/// and every eviction is counted in
+/// [`cache_stats`](PlanCache::cache_stats). Memory therefore stays
+/// proportional to `capacity × (largest component plan)`, never to the
+/// number of distinct rulesets ever compiled.
+#[derive(Clone, Debug)]
+pub struct PlanCache<P = CompiledAutomaton> {
+    capacity: usize,
+    entries: HashMap<CacheKey, CacheEntry<P>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<P> Default for PlanCache<P> {
+    fn default() -> Self {
+        PlanCache::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl<P> PlanCache<P> {
+    /// The default capacity bound (compiled components held at once).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A cache bounded to `capacity` compiled components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a cache that cannot hold an entry
+    /// would miss forever while still paying the bookkeeping).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Compiled components currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no components are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit/miss/eviction counters plus the current occupancy.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters are kept — they are lifetime
+    /// totals).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn lookup(&mut self, key: CacheKey) -> Option<&Shard<P>> {
+        self.clock += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                Some(&entry.shard)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: CacheKey, shard: Shard<P>) {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .map(|(&k, e)| (e.last_used, k.hash, k.salt))
+                .min()
+                .map(|(_, hash, salt)| CacheKey { hash, salt })
+                .expect("eviction scan over a non-empty cache");
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                shard,
+                last_used: self.clock,
+            },
+        );
+    }
+}
+
+/// What one ruleset compilation did: unit counts, cache outcome, and
+/// the resolved worker-pool size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileReport {
+    /// Connected components in the ruleset (== shards of the plan).
+    pub components: usize,
+    /// Components served from the [`PlanCache`] without compiling.
+    pub cache_hits: usize,
+    /// Components compiled (and inserted into the cache).
+    pub cache_misses: usize,
+    /// Worker threads the misses were compiled across.
+    pub workers: usize,
+}
+
+/// A borrowed view of one unit, so the byte and strided drivers share
+/// one implementation.
+struct RawUnit<'a, A> {
+    states: &'a [u32],
+    local: &'a A,
+    hash: StructureHash,
+}
+
+/// The shared cached-parallel driver: resolve cache hits serially,
+/// compile the misses across a worker pool, publish them back to the
+/// cache, and assemble the per-component shards in unit order.
+#[allow(clippy::too_many_arguments)] // internal driver behind the two typed entry points
+fn compile_cached<P, A>(
+    len: usize,
+    name: &str,
+    units: &[RawUnit<'_, A>],
+    cache: &mut PlanCache<P>,
+    salt: u64,
+    workers: usize,
+    compile: &(impl Fn(&A) -> P + Sync),
+    probes: &(impl Fn(&P) -> ShardProbes + Sync),
+) -> (ShardedAutomaton<P>, CompileReport)
+where
+    P: crate::compiled::PlanBase + Clone + Send,
+    A: Sync,
+{
+    let workers = worker_count(workers);
+    let mut slots: Vec<Option<Shard<P>>> = Vec::with_capacity(units.len());
+    let mut miss_indices: Vec<usize> = Vec::new();
+    for unit in units {
+        let key = CacheKey {
+            hash: unit.hash,
+            salt,
+        };
+        match cache.lookup(key) {
+            Some(template) => slots.push(Some(template.retarget(unit.states.to_vec()))),
+            None => {
+                miss_indices.push(slots.len());
+                slots.push(None);
+            }
+        }
+    }
+
+    let report = CompileReport {
+        components: units.len(),
+        cache_hits: units.len() - miss_indices.len(),
+        cache_misses: miss_indices.len(),
+        workers,
+    };
+
+    let compile_one = |index: usize| {
+        let unit = &units[index];
+        let plan = compile(unit.local);
+        let probes = probes(&plan);
+        Shard::from_component(plan, probes, unit.states.to_vec())
+    };
+
+    let threads = workers.min(miss_indices.len());
+    if threads <= 1 {
+        for &index in &miss_indices {
+            slots[index] = Some(compile_one(index));
+        }
+    } else {
+        // Work-stealing over the miss list: each worker claims the next
+        // unclaimed unit off an atomic cursor, so one giant component
+        // doesn't idle the pool the way contiguous chunking would.
+        let cursor = AtomicUsize::new(0);
+        let compiled: Mutex<Vec<(usize, Shard<P>)>> =
+            Mutex::new(Vec::with_capacity(miss_indices.len()));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let compiled = &compiled;
+                    let miss_indices = &miss_indices;
+                    let compile_one = &compile_one;
+                    scope.spawn(move || loop {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = miss_indices.get(next) else {
+                            break;
+                        };
+                        let shard = compile_one(index);
+                        compiled
+                            .lock()
+                            .expect("compile worker poisoned the result lock")
+                            .push((index, shard));
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("compile worker panicked");
+            }
+        });
+        for (index, shard) in compiled
+            .into_inner()
+            .expect("compile worker poisoned the result lock")
+        {
+            slots[index] = Some(shard);
+        }
+    }
+
+    // Publish the fresh compilations so the next ruleset version hits.
+    for &index in &miss_indices {
+        let key = CacheKey {
+            hash: units[index].hash,
+            salt,
+        };
+        let shard = slots[index].as_ref().expect("miss slot filled above");
+        cache.store(key, shard.clone());
+    }
+
+    let shards: Vec<Shard<P>> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every unit slot filled"))
+        .collect();
+    (
+        ShardedAutomaton::assemble(len, name.to_string(), shards),
+        report,
+    )
+}
+
+/// Compiles a byte ruleset per-component through `cache`, compiling
+/// misses across `workers` threads (`0` = auto, see [`worker_count`]).
+/// The plan executes bit-identically to
+/// [`ShardedAutomaton::compile_per_component`] (asserted differentially
+/// in `tests/property.rs`); the [`CompileReport`] says how much of it
+/// was paid for.
+pub fn compile_ruleset(
+    nfa: &Nfa,
+    workers: usize,
+    cache: &mut PlanCache<CompiledAutomaton>,
+) -> (ShardedAutomaton, CompileReport) {
+    let units = split_components(nfa);
+    compile_ruleset_with(
+        nfa.name(),
+        nfa.len(),
+        &units,
+        cache,
+        0,
+        workers,
+        CompiledAutomaton::compile,
+    )
+}
+
+/// [`compile_ruleset`] generalized over the plan flavour and the
+/// compilation context: `compile` builds one component's plan from its
+/// *local* automaton (it must not depend on global state ids — that is
+/// what makes the cache sound), and `salt` distinguishes contexts whose
+/// plans differ for identical structures (e.g. an encoding codebook
+/// identity; pass `0` when there is none).
+///
+/// # Panics
+///
+/// Panics if `units` does not cover `0..len` exactly once (debug
+/// builds; release builds produce an unspecified plan).
+pub fn compile_ruleset_with<P: ExecutionPlan + Clone + Send>(
+    name: &str,
+    len: usize,
+    units: &[ComponentUnit],
+    cache: &mut PlanCache<P>,
+    salt: u64,
+    workers: usize,
+    compile: impl Fn(&Nfa) -> P + Sync,
+) -> (ShardedAutomaton<P>, CompileReport) {
+    if units.is_empty() {
+        // Mirror compile_per_component on the empty ruleset: one empty
+        // shard, so downstream shard-indexed consumers see a shard.
+        let empty = split_components(&empty_nfa());
+        debug_assert!(empty.is_empty());
+        let plan = compile(&empty_nfa());
+        let probes = byte_probes(&plan);
+        let shard = Shard::from_component(plan, probes, Vec::new());
+        return (
+            ShardedAutomaton::assemble(len, name.to_string(), vec![shard]),
+            CompileReport {
+                workers: worker_count(workers),
+                ..CompileReport::default()
+            },
+        );
+    }
+    let raw: Vec<RawUnit<'_, Nfa>> = units
+        .iter()
+        .map(|u| RawUnit {
+            states: &u.states,
+            local: &u.local,
+            hash: u.hash,
+        })
+        .collect();
+    compile_cached(
+        len,
+        name,
+        &raw,
+        cache,
+        salt,
+        workers,
+        &compile,
+        &byte_probes,
+    )
+}
+
+fn empty_nfa() -> Nfa {
+    NfaBuilder::with_name(UNIT_NAME.to_string())
+        .build_with_options(BuildOptions {
+            reject_empty_classes: false,
+            reject_unreachable: false,
+        })
+        .expect("empty lenient build cannot fail")
+}
+
+/// The 2-stride counterpart of [`compile_ruleset`].
+pub fn compile_strided_ruleset(
+    nfa: &StridedNfa,
+    workers: usize,
+    cache: &mut PlanCache<CompiledStridedAutomaton>,
+) -> (ShardedStridedAutomaton, CompileReport) {
+    let units = split_strided_components(nfa);
+    compile_strided_ruleset_with(
+        nfa.name(),
+        nfa.len(),
+        &units,
+        cache,
+        0,
+        workers,
+        CompiledStridedAutomaton::compile,
+    )
+}
+
+/// [`compile_ruleset_with`] for strided plan flavours.
+pub fn compile_strided_ruleset_with<P: StridedPlan + Clone + Send>(
+    name: &str,
+    len: usize,
+    units: &[StridedComponentUnit],
+    cache: &mut PlanCache<P>,
+    salt: u64,
+    workers: usize,
+    compile: impl Fn(&StridedNfa) -> P + Sync,
+) -> (ShardedAutomaton<P>, CompileReport) {
+    if units.is_empty() {
+        let local = StridedNfa::from_parts(Vec::new(), Vec::new(), UNIT_NAME.to_string());
+        let plan = compile(&local);
+        let probes = strided_probes(&plan);
+        let shard = Shard::from_component(plan, probes, Vec::new());
+        return (
+            ShardedAutomaton::assemble(len, name.to_string(), vec![shard]),
+            CompileReport {
+                workers: worker_count(workers),
+                ..CompileReport::default()
+            },
+        );
+    }
+    let raw: Vec<RawUnit<'_, StridedNfa>> = units
+        .iter()
+        .map(|u| RawUnit {
+            states: &u.states,
+            local: &u.local,
+            hash: u.hash,
+        })
+        .collect();
+    compile_cached(
+        len,
+        name,
+        &raw,
+        cache,
+        salt,
+        workers,
+        &compile,
+        &strided_probes,
+    )
+}
+
+/// The sentinel for a state with no image in the new plan.
+const REMOVED: u32 = u32::MAX;
+
+/// An old→new global-state-id translation between two ruleset versions,
+/// built by matching connected components by [`StructureHash`].
+///
+/// This is the migration vehicle of live hot swap: a suspended flow's
+/// dynamic state ids (and its reports' state ids) are rewritten through
+/// [`translate`](PlanRemap::translate); states on components absent
+/// from the new ruleset translate to `None` and are dropped by the
+/// stream table with an explicit verdict. States on unchanged
+/// components map positionally — both sides list a component's states
+/// in the same deterministic BFS order, so position `i` of the old
+/// component *is* position `i` of the structurally identical new one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanRemap {
+    /// Old global id → new global id ([`REMOVED`] = dropped).
+    map: Vec<u32>,
+    new_len: usize,
+}
+
+impl PlanRemap {
+    /// The identity remap for a plan of `len` states (swap to a
+    /// recompiled but structurally identical ruleset — or literally the
+    /// same plan).
+    pub fn identity(len: usize) -> PlanRemap {
+        PlanRemap {
+            map: (0..len as u32).collect(),
+            new_len: len,
+        }
+    }
+
+    /// An explicit remap: `map[old] = Some(new)` keeps a state,
+    /// `None` drops it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kept target is `>= new_len`.
+    pub fn from_map(map: Vec<Option<u32>>, new_len: usize) -> PlanRemap {
+        let map = map
+            .into_iter()
+            .map(|entry| match entry {
+                Some(new) => {
+                    assert!(
+                        (new as usize) < new_len,
+                        "remap target {new} out of range for a {new_len}-state plan"
+                    );
+                    new
+                }
+                None => REMOVED,
+            })
+            .collect();
+        PlanRemap { map, new_len }
+    }
+
+    /// Matches `old`'s components to `new`'s by structure hash (ties
+    /// broken in component order, so duplicated patterns pair
+    /// first-to-first) and derives the state translation. Components of
+    /// `old` with no structurally identical partner in `new` translate
+    /// to `None`.
+    pub fn between(old: &Nfa, new: &Nfa) -> PlanRemap {
+        Self::between_units(
+            old.len(),
+            new.len(),
+            split_components(old)
+                .iter()
+                .map(|u| (u.hash, u.states.as_slice())),
+            split_components(new)
+                .iter()
+                .map(|u| (u.hash, u.states.as_slice())),
+        )
+    }
+
+    /// [`between`](PlanRemap::between) over the strided state space —
+    /// the remap to use with strided plan flavours (strided global ids
+    /// are unrelated to byte global ids).
+    pub fn between_strided(old: &StridedNfa, new: &StridedNfa) -> PlanRemap {
+        Self::between_units(
+            old.len(),
+            new.len(),
+            split_strided_components(old)
+                .iter()
+                .map(|u| (u.hash, u.states.as_slice())),
+            split_strided_components(new)
+                .iter()
+                .map(|u| (u.hash, u.states.as_slice())),
+        )
+    }
+
+    fn between_units<'a>(
+        old_len: usize,
+        new_len: usize,
+        old_units: impl Iterator<Item = (StructureHash, &'a [u32])>,
+        new_units: impl Iterator<Item = (StructureHash, &'a [u32])>,
+    ) -> PlanRemap {
+        let mut unmatched: HashMap<StructureHash, std::collections::VecDeque<&[u32]>> =
+            HashMap::new();
+        for (hash, states) in new_units {
+            unmatched.entry(hash).or_default().push_back(states);
+        }
+        let mut map = vec![REMOVED; old_len];
+        for (hash, old_states) in old_units {
+            let Some(new_states) = unmatched.get_mut(&hash).and_then(|q| q.pop_front()) else {
+                continue;
+            };
+            debug_assert_eq!(old_states.len(), new_states.len(), "hash-equal unit sizes");
+            for (&old, &new) in old_states.iter().zip(new_states) {
+                map[old as usize] = new;
+            }
+        }
+        PlanRemap { map, new_len }
+    }
+
+    /// The new global id of an old state, or `None` if its component
+    /// was removed.
+    pub fn translate(&self, old: u32) -> Option<u32> {
+        match self.map.get(old as usize) {
+            Some(&REMOVED) | None => None,
+            Some(&new) => Some(new),
+        }
+    }
+
+    /// States in the old plan.
+    pub fn old_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// States in the new plan.
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// Old states with an image in the new plan.
+    pub fn surviving(&self) -> usize {
+        self.map.iter().filter(|&&new| new != REMOVED).count()
+    }
+
+    /// `true` when every old state maps to itself (same-size plans,
+    /// nothing moved — the swap translation is a no-op).
+    pub fn is_identity(&self) -> bool {
+        self.map.len() == self.new_len
+            && self.map.iter().enumerate().all(|(i, &new)| new == i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex;
+
+    fn ruleset(patterns: &[&str]) -> Nfa {
+        regex::compile_set(patterns).expect("test ruleset compiles")
+    }
+
+    #[test]
+    fn units_cover_every_state_exactly_once() {
+        let nfa = ruleset(&["ab+c", "xy+z", "q"]);
+        let units = split_components(&nfa);
+        assert_eq!(units.len(), 3);
+        let mut seen = vec![false; nfa.len()];
+        for unit in &units {
+            assert_eq!(unit.len(), unit.local().len());
+            for &g in unit.states() {
+                assert!(!seen[g as usize], "state {g} in two units");
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "state missing from every unit");
+    }
+
+    #[test]
+    fn structure_hash_ignores_global_placement() {
+        // "xy+z" sits at global offset 2 in one set and offset 4 in the
+        // other, with the same report code both times: its unit hash
+        // must be the one hash the two sets share.
+        let a: Vec<StructureHash> = split_components(&ruleset(&["zz", "xy+z"]))
+            .iter()
+            .map(ComponentUnit::hash)
+            .collect();
+        let b: Vec<StructureHash> = split_components(&ruleset(&["ab+cd", "xy+z"]))
+            .iter()
+            .map(ComponentUnit::hash)
+            .collect();
+        let common: Vec<_> = a.iter().filter(|h| b.contains(h)).collect();
+        assert_eq!(common.len(), 1);
+        // A report-code change alone is a structural change: the same
+        // pattern at a different set position hashes differently.
+        let moved = split_components(&ruleset(&["zz", "qq", "xy+z"]));
+        assert!(!a.contains(&moved[0].hash()));
+    }
+
+    #[test]
+    fn cached_recompile_pays_only_for_the_changed_component() {
+        let v1 = ruleset(&["ab+c", "xy+z", "pq*r", "m[a-c]n"]);
+        let mut cache = PlanCache::default();
+        let (_, cold) = compile_ruleset(&v1, 1, &mut cache);
+        assert_eq!(cold.components, 4);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 4);
+
+        // One component changed: hits == unchanged component count.
+        let v2 = ruleset(&["ab+c", "xy+z", "pq*r", "m[a-d]n"]);
+        let (_, warm) = compile_ruleset(&v2, 1, &mut cache);
+        assert_eq!(warm.cache_hits, 3);
+        assert_eq!(warm.cache_misses, 1);
+        let stats = cache.cache_stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.entries, 5);
+    }
+
+    #[test]
+    fn cached_and_parallel_compiles_execute_identically() {
+        let nfa = ruleset(&["ab+c", "xy+z", "a[bc]d", "zz+"]);
+        let reference = ShardedAutomaton::compile_per_component(&nfa);
+        let mut cache = PlanCache::default();
+        let (cold, _) = compile_ruleset(&nfa, 1, &mut cache);
+        let (cached, report) = compile_ruleset(&nfa, 4, &mut cache);
+        assert_eq!(report.cache_hits, 4);
+        for plan in [&cold, &cached] {
+            assert_eq!(plan.len(), reference.len());
+            assert_eq!(plan.num_shards(), reference.num_shards());
+            assert_eq!(plan.num_cross_edges(), 0);
+            for (shard, ref_shard) in plan.shards().iter().zip(reference.shards()) {
+                assert_eq!(shard.global_states(), ref_shard.global_states());
+            }
+        }
+    }
+
+    #[test]
+    fn strided_ruleset_compiles_and_caches() {
+        let nfa = ruleset(&["ab+c", "xy+z"]);
+        let strided = StridedNfa::from_nfa(&nfa);
+        let mut cache = PlanCache::default();
+        let (plan, cold) = compile_strided_ruleset(&strided, 2, &mut cache);
+        assert_eq!(plan.len(), strided.len());
+        assert_eq!(cold.cache_hits, 0);
+        let (_, warm) = compile_strided_ruleset(&strided, 2, &mut cache);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, cold.components);
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded_and_counted() {
+        let mut cache: PlanCache<CompiledAutomaton> = PlanCache::new(2);
+        for pattern in ["a", "b", "c", "d"] {
+            let nfa = ruleset(&[pattern]);
+            compile_ruleset(&nfa, 1, &mut cache);
+        }
+        let stats = cache.cache_stats();
+        assert_eq!(stats.entries, 2, "capacity bound held");
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn empty_ruleset_compiles_to_one_empty_shard() {
+        let nfa = empty_nfa();
+        let mut cache = PlanCache::default();
+        let (plan, report) = compile_ruleset(&nfa, 1, &mut cache);
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(report.components, 0);
+    }
+
+    #[test]
+    fn remap_between_grown_ruleset_is_identity_on_the_prefix() {
+        let old = ruleset(&["ab+c", "xy+z"]);
+        let new = ruleset(&["ab+c", "xy+z", "q+r"]);
+        let remap = PlanRemap::between(&old, &new);
+        assert_eq!(remap.old_len(), old.len());
+        assert_eq!(remap.new_len(), new.len());
+        assert_eq!(remap.surviving(), old.len());
+        for state in 0..old.len() as u32 {
+            assert_eq!(remap.translate(state), Some(state));
+        }
+        assert!(!remap.is_identity(), "sizes differ");
+    }
+
+    #[test]
+    fn remap_drops_removed_components_and_tracks_moves() {
+        // Pattern 0 replaced in place by a smaller one: "xy+z" keeps its
+        // report code but its states shift down the global id space.
+        let old = ruleset(&["ab+c", "xy+z"]);
+        let new = ruleset(&["qq", "xy+z"]);
+        let remap = PlanRemap::between(&old, &new);
+        let old_xy: Vec<u32> = split_components(&old)
+            .iter()
+            .find(|u| u.states().iter().all(|&g| remap.translate(g).is_some()))
+            .expect("xy+z survives")
+            .states()
+            .to_vec();
+        let new_xy: Vec<u32> = split_components(&new)
+            .iter()
+            .find(|u| u.len() == old_xy.len())
+            .expect("xy+z in the new set")
+            .states()
+            .to_vec();
+        assert_ne!(old_xy, new_xy, "the component moved");
+        for (&old_g, &new_g) in old_xy.iter().zip(&new_xy) {
+            assert_eq!(remap.translate(old_g), Some(new_g));
+        }
+        for g in 0..old.len() as u32 {
+            if !old_xy.contains(&g) {
+                assert_eq!(remap.translate(g), None, "state {g} dropped");
+            }
+        }
+        assert_eq!(remap.surviving(), old_xy.len());
+    }
+
+    #[test]
+    fn remap_identity_detection() {
+        let nfa = ruleset(&["ab+c", "xy+z"]);
+        assert!(PlanRemap::identity(nfa.len()).is_identity());
+        assert!(PlanRemap::between(&nfa, &nfa).is_identity());
+        let strided = StridedNfa::from_nfa(&nfa);
+        assert!(PlanRemap::between_strided(&strided, &strided).is_identity());
+    }
+
+    #[test]
+    fn duplicate_patterns_pair_first_to_first() {
+        let old = ruleset(&["ab", "ab"]);
+        let new = ruleset(&["ab", "ab"]);
+        let remap = PlanRemap::between(&old, &new);
+        assert!(remap.is_identity());
+    }
+
+    #[test]
+    fn from_map_round_trips() {
+        let remap = PlanRemap::from_map(vec![Some(1), None, Some(0)], 2);
+        assert_eq!(remap.translate(0), Some(1));
+        assert_eq!(remap.translate(1), None);
+        assert_eq!(remap.translate(2), Some(0));
+        assert_eq!(remap.translate(99), None, "out of range is removed");
+        assert_eq!(remap.surviving(), 2);
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(worker_count(3), 3);
+        assert!(worker_count(0) >= 1);
+    }
+}

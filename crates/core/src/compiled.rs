@@ -34,6 +34,25 @@
 //! [`ExecutionPlan`] trait abstracts the per-symbol row interface both
 //! flavours share, which is also what lets either act as the per-shard
 //! plan of a [`ShardedAutomaton`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::compiled::{CompiledAutomaton, ShardedAutomaton};
+//! use cama_core::regex;
+//!
+//! let nfa = regex::compile_set(&["ab+c", "xy+z"])?;
+//! // The flat plan: one dense layout over the whole automaton.
+//! let flat = CompiledAutomaton::compile(&nfa);
+//! assert_eq!(flat.len(), nfa.len());
+//! // The same states split across two simulated CAM arrays (shards
+//! // never split a connected component); the engines produce
+//! // bit-identical results on either.
+//! let sharded = ShardedAutomaton::compile(&nfa, 2);
+//! assert_eq!(sharded.num_shards(), 2);
+//! assert_eq!(sharded.len(), nfa.len());
+//! # Ok::<(), cama_core::Error>(())
+//! ```
 
 use crate::bitset::{BitSet, Row};
 use crate::graph::connected_components;
@@ -1782,6 +1801,47 @@ impl<P: PlanBase> Shard<P> {
     pub fn has_start_of_data(&self) -> bool {
         self.has_start_of_data
     }
+
+    /// Builds the shard of one self-contained compilation unit (a
+    /// connected component): no activation edge leaves a component, so
+    /// its cross table is empty by construction. Used by
+    /// `crate::compile`'s cached per-component driver.
+    pub(crate) fn from_component(
+        plan: P,
+        probes: ShardProbes,
+        global_states: Vec<u32>,
+    ) -> Shard<P> {
+        debug_assert_eq!(plan.len(), global_states.len());
+        let has_start_of_data = !plan.start_of_data_mask().is_empty();
+        Shard {
+            cross_offsets: vec![0; global_states.len() + 1],
+            cross_targets: Vec::new(),
+            global_states,
+            start_match_possible: probes.start,
+            pair_start_possible: probes.pair_start,
+            has_start_of_data,
+            plan,
+        }
+    }
+
+    /// Clones this shard with a different local → global table — how a
+    /// cached component plan is re-targeted at the global ids it holds
+    /// in the ruleset currently being compiled. Only valid for
+    /// component shards (empty cross table), whose execution cannot
+    /// observe global ids.
+    pub(crate) fn retarget(&self, global_states: Vec<u32>) -> Shard<P>
+    where
+        P: Clone,
+    {
+        debug_assert!(
+            self.cross_targets.is_empty(),
+            "only component shards are cacheable"
+        );
+        debug_assert_eq!(self.global_states.len(), global_states.len());
+        let mut shard = self.clone();
+        shard.global_states = global_states;
+        shard
+    }
 }
 
 /// A compiled plan partitioned across simulated CAM arrays: per-shard
@@ -1920,17 +1980,17 @@ impl ShardedAutomaton<CompiledEncodedAutomaton> {
 }
 
 /// The O(1) idle-skip probes of one shard, derived from its local plan
-/// at build time.
-struct ShardProbes {
+/// at build time (shared with `crate::compile`'s per-unit builder).
+pub(crate) struct ShardProbes {
     /// Bit `sym`: injecting starts on (first) symbol `sym` could fire.
-    start: [u64; 4],
+    pub(crate) start: [u64; 4],
     /// Strided shards only: `pair[a]` is the exact mask of second
     /// symbols `b` for which `first_start_match(a) & second[b]` is
     /// non-empty — the per-pair start probe (the per-half probes alone
     /// are too conservative once odd-entry states with FULL first
     /// classes exist, which is every unanchored pattern). Empty for
     /// byte shards.
-    pair_start: Vec<[u64; 4]>,
+    pub(crate) pair_start: Vec<[u64; 4]>,
 }
 
 /// The per-shard plan compiler the shell builder drives:
@@ -1983,7 +2043,7 @@ fn balance_components(
 /// The idle-skip probes of a byte shard: start-match occupancy per
 /// symbol (byte cycles have no second symbol, so there is no pair
 /// table).
-fn byte_probes<P: ExecutionPlan>(plan: &P) -> ShardProbes {
+pub(crate) fn byte_probes<P: ExecutionPlan>(plan: &P) -> ShardProbes {
     let mut start = [0u64; 4];
     for sym in 0..ALPHABET {
         if plan.start_match(sym as u8).first_set().is_some() {
@@ -2000,7 +2060,7 @@ fn byte_probes<P: ExecutionPlan>(plan: &P) -> ShardProbes {
 /// occupancy plus the exact per-pair start table, built by folding
 /// every statically enabled state's (first class × second class)
 /// rectangle.
-fn strided_probes<P: StridedPlan>(plan: &P) -> ShardProbes {
+pub(crate) fn strided_probes<P: StridedPlan>(plan: &P) -> ShardProbes {
     let mut start = [0u64; 4];
     for sym in 0..ALPHABET {
         if plan.first_start_match(sym as u8).first_set().is_some() {
@@ -2267,6 +2327,38 @@ impl<P: PlanBase> ShardedAutomaton<P> {
             })
             .collect();
 
+        ShardedAutomaton {
+            len,
+            name,
+            shards,
+            shard_of,
+            local_of,
+            num_cross_edges,
+        }
+    }
+
+    /// Assembles a sharded plan from pre-built shards (one per
+    /// compilation unit, in shard-id order), recomputing the global
+    /// placement tables from each shard's local → global table. The
+    /// cached-compilation counterpart of the shell builder.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the shards do not cover `0..len` exactly
+    /// once.
+    pub(crate) fn assemble(len: usize, name: String, shards: Vec<Shard<P>>) -> ShardedAutomaton<P> {
+        let mut shard_of = vec![u32::MAX; len];
+        let mut local_of = vec![u32::MAX; len];
+        let mut num_cross_edges = 0;
+        for (shard, s) in shards.iter().enumerate() {
+            num_cross_edges += s.num_cross_edges();
+            for (local, &g) in s.global_states().iter().enumerate() {
+                debug_assert_eq!(shard_of[g as usize], u32::MAX, "state placed twice");
+                shard_of[g as usize] = shard as u32;
+                local_of[g as usize] = local as u32;
+            }
+        }
+        debug_assert!(shard_of.iter().all(|&s| s != u32::MAX), "state unplaced");
         ShardedAutomaton {
             len,
             name,

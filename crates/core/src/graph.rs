@@ -5,6 +5,26 @@
 //! decompose into many small *connected components* (CCs) with no edges
 //! between them, and a breadth-first ordering of each CC places most
 //! transitions near the diagonal of the crossbar.
+//!
+//! Components are also the unit of plan caching and hot swap: with no
+//! edges between them they compile, hash, and execute independently
+//! (see [`crate::compile`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::{graph, regex};
+//!
+//! // Two patterns share no states, so they form two components.
+//! let nfa = regex::compile_set(&["ab+c", "xy+z"])?;
+//! let components = graph::connected_components(&nfa);
+//! assert_eq!(components.len(), 2);
+//! // The inverse view: each state's component id.
+//! let (ids, count) = graph::component_ids(&nfa);
+//! assert_eq!(count, 2);
+//! assert_eq!(ids.len(), nfa.len());
+//! # Ok::<(), cama_core::Error>(())
+//! ```
 
 use crate::nfa::{Nfa, SteId};
 use std::collections::VecDeque;

@@ -22,6 +22,23 @@
 //! assumption beyond `u64` (loads are unaligned); the compiled row
 //! tables pad rows to a multiple of 4 words purely so that consecutive
 //! rows do not share cache lines.
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::kernel;
+//!
+//! // The fused row AND of the per-cycle step: which enabled states
+//! // accept this symbol. Dispatches to the widest tier the CPU has.
+//! let match_row = [0b1010_u64];
+//! let enabled = [0b0110_u64];
+//! let mut active = [0_u64];
+//! kernel::and2_into(&match_row, &enabled, &mut active);
+//! assert_eq!(active, [0b0010]);
+//! assert_eq!(kernel::popcount(&active), 1);
+//! // Which implementation ran, e.g. "avx2 (detected)".
+//! println!("{}", kernel::describe());
+//! ```
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

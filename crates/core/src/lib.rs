@@ -12,6 +12,9 @@
 //!   used by ANMLZoo and the automata-processing toolchains;
 //! * [`kernel`] — runtime-dispatched SIMD word-slice kernels
 //!   (AVX2/SSE2/scalar) that the match/AND hot loops execute on;
+//! * [`compile`] — ruleset-scale compilation: per-component units,
+//!   structure-hashed plan caching, parallel compile drivers, and the
+//!   [`PlanRemap`] that live hot swap translates state ids through;
 //! * [`graph`] — connected components and BFS orderings for mapping;
 //! * [`stats`] — the per-benchmark statistics reported in Table I;
 //! * [`stride`] — the 2-stride (alphabet-squaring) transform;
@@ -35,6 +38,7 @@
 pub mod anml;
 pub mod bitset;
 pub mod bitwidth;
+pub mod compile;
 pub mod compiled;
 pub mod error;
 pub mod graph;
@@ -48,6 +52,7 @@ pub mod stride;
 pub mod symbol;
 pub mod xml;
 
+pub use compile::{CacheStats, CompileReport, PlanCache, PlanRemap, StructureHash};
 pub use compiled::{CompiledAutomaton, CompiledEncodedStridedAutomaton, CompiledStridedAutomaton};
 pub use error::{Error, Result};
 pub use nfa::{BuildOptions, Nfa, NfaBuilder, StartKind, Ste, SteId};

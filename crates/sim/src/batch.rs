@@ -101,6 +101,49 @@ use cama_core::compiled::{
     CompiledAutomaton, CompiledEncodedAutomaton, CompiledEncodedStridedAutomaton,
     CompiledStridedAutomaton, ShardedAutomaton,
 };
+use cama_core::PlanRemap;
+
+/// The per-flow outcome of a live plan swap (see
+/// [`BatchSimulator::swap_plan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwapVerdict {
+    /// The flow had no dynamic activity at the swap — nothing to
+    /// translate (any pending strided carry byte is kept).
+    Idle,
+    /// Some of the flow's active states survived onto the new plan.
+    Migrated {
+        /// Dynamic states translated onto the new plan.
+        kept: usize,
+        /// Dynamic states dropped (their components were removed).
+        dropped: usize,
+    },
+    /// Every active state sat on a removed component: the flow's match
+    /// progress is gone. It stays open and continues on the new plan
+    /// (its accumulated reports are kept — they are historical facts).
+    Displaced {
+        /// Dynamic states dropped with the removed components.
+        dropped: usize,
+    },
+}
+
+/// What one [`swap_plan`](BatchSimulator::swap_plan) did, flow by flow.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Open flows carried across the swap.
+    pub flows: usize,
+    /// Flows with at least one surviving active state.
+    pub migrated: usize,
+    /// Flows whose entire live activity was on removed components.
+    pub displaced: usize,
+    /// Flows with no dynamic activity at the swap.
+    pub idle: usize,
+    /// Dynamic states translated onto the new plan, summed over flows.
+    pub states_kept: usize,
+    /// Dynamic states dropped with removed components, summed.
+    pub states_dropped: usize,
+    /// The per-flow verdicts, in ascending stream-id order.
+    pub verdicts: Vec<(StreamId, SwapVerdict)>,
+}
 
 /// A compiled plan the stream table can serve: hands out sessions and
 /// tells the scheduler its shard structure.
@@ -377,6 +420,65 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
         matches!(self.table.get(&stream), Some(Flow::Resident { .. }))
     }
 
+    /// Hot ruleset swap: replaces the compiled plan under every live
+    /// flow without draining the table.
+    ///
+    /// Every flow is parked as a sparse [`SuspendedFlow`] snapshot, its
+    /// global state ids (active set and accumulated reports) are
+    /// translated through `remap`
+    /// ([`SuspendedFlow::translate`]), and the table switches to
+    /// `new_plan`; flows resume on the new plan transparently at their
+    /// next feed. All sessions — resident and pooled — are dropped:
+    /// they execute the *old* plan. For flows whose live states all sit
+    /// on unchanged components the swap is unobservable — reports,
+    /// order, and byte positions are bit-identical to a run that never
+    /// swapped (asserted differentially in `tests/property.rs`); flows
+    /// whose components were removed lose their match progress and get
+    /// a [`Displaced`](SwapVerdict::Displaced) verdict.
+    ///
+    /// `remap` must be the old→new mapping for exactly this plan pair
+    /// (`PlanRemap::between` on the source NFAs, `between_strided` for
+    /// strided flavours, or `identity` when the plan was merely
+    /// recompiled). Swapping with [`PlanRemap::identity`] and the same
+    /// plan is a valid no-op-shaped stress test: it round-trips every
+    /// flow through suspend/translate/resume.
+    pub fn swap_plan(&mut self, new_plan: &'p P, remap: &PlanRemap) -> SwapReport {
+        let mut report = SwapReport::default();
+        // HashMap iteration order is nondeterministic: fix the verdict
+        // order (and the suspend order, for reproducibility) by id.
+        let mut streams: Vec<StreamId> = self.table.keys().copied().collect();
+        streams.sort_unstable();
+        for &stream in &streams {
+            let mut flow = match self.table.remove(&stream).expect("listed stream open") {
+                // The session borrows the old plan; snapshot and drop it.
+                Flow::Resident { mut session, .. } => session.suspend(),
+                Flow::Parked(flow) => flow,
+            };
+            let live_before = flow.dynamic_states().len();
+            let (kept, dropped) = flow.translate(remap);
+            let verdict = if live_before == 0 {
+                report.idle += 1;
+                SwapVerdict::Idle
+            } else if kept > 0 {
+                report.migrated += 1;
+                SwapVerdict::Migrated { kept, dropped }
+            } else {
+                report.displaced += 1;
+                SwapVerdict::Displaced { dropped }
+            };
+            report.states_kept += kept;
+            report.states_dropped += dropped;
+            report.verdicts.push((stream, verdict));
+            self.table.insert(stream, Flow::Parked(flow));
+        }
+        report.flows = streams.len();
+        self.plan = new_plan;
+        self.resident = 0;
+        self.resident_ids.clear();
+        self.pool.clear();
+        report
+    }
+
     /// Visits every resident flow as `(stream, idle, last_touch)` — the
     /// raw victim-candidate signal an external scheduling policy ranks:
     /// `idle` is the session's powered-down state (no dynamic
@@ -626,8 +728,28 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
         self.touch_clock += 1;
         let clock = self.touch_clock;
         if self.max_resident.is_none() {
-            // Uncapped tables never park, so every open flow is
-            // resident: single hash lookup on the per-chunk hot path.
+            // Uncapped tables never park on their own, but a plan swap
+            // parks every flow: resume those off the fast path first.
+            if matches!(self.table.get(&stream), Some(Flow::Parked(_))) {
+                let Some(Flow::Parked(parked)) = self.table.remove(&stream) else {
+                    unreachable!("matched a parked flow above")
+                };
+                let mut session = self
+                    .pool
+                    .pop()
+                    .unwrap_or_else(|| self.plan.open_session(self.chain));
+                session.resume(parked);
+                self.resident += 1;
+                self.table.insert(
+                    stream,
+                    Flow::Resident {
+                        session,
+                        last_touch: 0,
+                    },
+                );
+            }
+            // Every remaining open flow is resident: single hash lookup
+            // on the per-chunk hot path.
             let (plan, chain, pool, resident) =
                 (self.plan, self.chain, &mut self.pool, &mut self.resident);
             let flow = self.table.entry(stream).or_insert_with(|| {
@@ -642,7 +764,7 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
                 last_touch,
             } = flow
             else {
-                unreachable!("uncapped tables never park")
+                unreachable!("swap-parked flows were resumed above")
             };
             *last_touch = clock;
             return session;
@@ -1271,5 +1393,93 @@ mod tests {
                 single.run_multistep(stream, nibble.chain)
             );
         }
+    }
+
+    #[test]
+    fn identity_swap_is_unobservable_mid_flow() {
+        // Same plan, identity remap: the swap round-trips every flow
+        // through suspend/translate/resume and must change nothing —
+        // including on an uncapped table, whose fast path never parks.
+        let nfa = regex::compile_set(&["ab+c", "xy+z"]).unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let remap = PlanRemap::identity(nfa.len());
+        let inputs = streams();
+
+        let mut undisturbed = BatchSimulator::new(&plan);
+        let mut swapped = BatchSimulator::new(&plan);
+        for (id, input) in inputs.iter().enumerate() {
+            let (head, tail) = input.split_at(input.len() / 2);
+            undisturbed.feed(id as StreamId, head);
+            swapped.feed(id as StreamId, head);
+            undisturbed.feed(id as StreamId, tail);
+            let report = swapped.swap_plan(&plan, &remap);
+            assert_eq!(report.flows, id + 1);
+            assert_eq!(report.states_dropped, 0);
+            swapped.feed(id as StreamId, tail);
+        }
+        for id in 0..inputs.len() as StreamId {
+            assert_eq!(swapped.close(id), undisturbed.close(id));
+        }
+    }
+
+    #[test]
+    fn swap_verdicts_classify_flows() {
+        let old_nfa = regex::compile_set(&["ab+c", "xy+z"]).unwrap();
+        let new_nfa = regex::compile_set(&["qb+c", "xy+z"]).unwrap();
+        let old_plan = CompiledAutomaton::compile(&old_nfa);
+        let new_plan = CompiledAutomaton::compile(&new_nfa);
+        let remap = PlanRemap::between(&old_nfa, &new_nfa);
+
+        let mut batch = BatchSimulator::new(&old_plan).max_resident(2);
+        batch.feed(0, b"ab"); // live inside the removed ab+c component
+        batch.feed(1, b"xy"); // live inside the surviving xy+z component
+        batch.feed(2, b"zz"); // no dynamic activity at all
+        let report = batch.swap_plan(&new_plan, &remap);
+        assert_eq!(report.flows, 3);
+        assert_eq!(
+            report.verdicts,
+            vec![
+                (0, SwapVerdict::Displaced { dropped: 2 }),
+                (
+                    1,
+                    SwapVerdict::Migrated {
+                        kept: 2,
+                        dropped: 0
+                    }
+                ),
+                (2, SwapVerdict::Idle),
+            ]
+        );
+        assert_eq!(batch.resident_count(), 0);
+        assert_eq!(batch.parked_count(), 3);
+
+        // The surviving flow completes its match on the new plan; the
+        // displaced flow lost its progress and needs a fresh start.
+        batch.feed(1, b"z");
+        assert_eq!(batch.close(1).report_offsets(), vec![2]);
+        batch.feed(0, b"c");
+        assert!(batch.close(0).reports.is_empty());
+    }
+
+    #[test]
+    fn swap_translates_report_ids_of_surviving_components() {
+        // xy+z moves down the id space when pattern 0 shrinks; a report
+        // already accumulated before the swap must be renumbered so the
+        // closed result is indistinguishable from a pure new-plan run.
+        let old_nfa = regex::compile_set(&["ab+c", "xy+z"]).unwrap();
+        let new_nfa = regex::compile_set(&["qq", "xy+z"]).unwrap();
+        let old_plan = CompiledAutomaton::compile(&old_nfa);
+        let new_plan = CompiledAutomaton::compile(&new_nfa);
+        let remap = PlanRemap::between(&old_nfa, &new_nfa);
+
+        let mut batch = BatchSimulator::new(&old_plan);
+        batch.feed(7, b"xyz"); // reports on the old plan's ids
+        batch.swap_plan(&new_plan, &remap);
+        batch.feed(7, b"xyz"); // reports on the new plan's ids
+        let swapped = batch.close(7);
+
+        let mut pure = BatchSimulator::new(&new_plan);
+        pure.feed(7, b"xyzxyz");
+        assert_eq!(swapped.reports, pure.close(7).reports);
     }
 }

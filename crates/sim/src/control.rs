@@ -69,7 +69,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 use crate::activity::{NullObserver, Observer};
-use crate::batch::{BatchSimulator, StreamPlan};
+use crate::batch::{BatchSimulator, StreamPlan, SwapReport};
 use crate::frame::{FrameDecoder, FrameError, FrameEvent, StreamId};
 use crate::result::RunResult;
 use cama_core::compiled::CompiledAutomaton;
@@ -554,6 +554,26 @@ impl<'p, P: StreamPlan, V: VictimPolicy> ControlledBatch<'p, P, V> {
     /// The victim policy in force.
     pub fn policy(&self) -> &V {
         &self.policy
+    }
+
+    /// Hot ruleset swap through the control plane: delegates to
+    /// [`BatchSimulator::swap_plan`] and returns its per-flow
+    /// [`SwapReport`] verdicts.
+    ///
+    /// The control-plane state survives the swap untouched: every flow
+    /// stays open under its [`FlowSpec`], token buckets keep their
+    /// levels, deferred bytes stay queued (they will feed into the
+    /// *new* plan on the next [`advance`](Self::advance)), and the
+    /// per-tenant ledgers keep accumulating across the epoch — a swap
+    /// changes what the flows match, not what the tenants are owed.
+    /// Flows the report marks
+    /// [`Displaced`](crate::SwapVerdict::Displaced)
+    /// lost their match progress with their removed components; the
+    /// caller decides whether to keep serving or close them (closing
+    /// folds their accumulated pre-swap reports into the ledger as
+    /// usual).
+    pub fn swap_plan(&mut self, new_plan: &'p P, remap: &cama_core::PlanRemap) -> SwapReport {
+        self.batch.swap_plan(new_plan, remap)
     }
 
     /// The logical tick clock ([`advance`](Self::advance) moves it).

@@ -116,7 +116,7 @@ pub mod strided;
 pub use activity::{
     ActivitySummary, CycleView, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,
 };
-pub use batch::{BatchSimulator, ShardedBatch, StreamPlan};
+pub use batch::{BatchSimulator, ShardedBatch, StreamPlan, SwapReport, SwapVerdict};
 pub use buffers::BufferStats;
 pub use control::{
     Admission, ClassLruPolicy, ControlConfig, ControlledBatch, FeedVerdict, FlowSpec, LruPolicy,

@@ -94,18 +94,12 @@ pub fn detected_parallelism() -> usize {
 /// `0` consults the `CAMA_WORKERS` environment variable (a positive
 /// integer), then falls back to [`detected_parallelism`]. Always
 /// returns at least 1.
+///
+/// The resolution itself lives in [`cama_core::compile::worker_count`]
+/// so the parallel ruleset compiler and the execution runtime size
+/// their pools identically; this is the same function.
 pub fn worker_count(requested: usize) -> usize {
-    if requested > 0 {
-        return requested;
-    }
-    if let Ok(value) = std::env::var("CAMA_WORKERS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    detected_parallelism()
+    cama_core::compile::worker_count(requested)
 }
 
 /// A sense-reversing spin barrier for a fixed set of participants — the

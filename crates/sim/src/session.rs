@@ -148,6 +148,43 @@ impl SuspendedFlow {
     pub fn into_result(self) -> RunResult {
         self.result
     }
+
+    /// Rewrites the snapshot's global state ids through an old→new
+    /// [`PlanRemap`](cama_core::PlanRemap) so the flow can resume on
+    /// the new plan — the per-flow half of a live hot swap.
+    ///
+    /// Dynamic states on removed components are dropped (the match
+    /// progress they carried cannot continue — the pattern is gone);
+    /// surviving states are renumbered and kept in sorted order, which
+    /// resume paths rely on. Accumulated reports are renumbered too
+    /// when their state survives, so a flow on an unchanged component
+    /// is indistinguishable from one that ran on the new plan all
+    /// along; reports from removed states keep their old ids — they
+    /// are historical facts about the plan that emitted them. Report
+    /// *order* is never disturbed. The pending carry byte, cycle
+    /// offset, and activity totals are untouched.
+    ///
+    /// Returns `(kept, dropped)` dynamic-state counts.
+    pub fn translate(&mut self, remap: &cama_core::PlanRemap) -> (usize, usize) {
+        let before = self.dynamic.len();
+        let mut kept: Vec<u32> = self
+            .dynamic
+            .iter()
+            .filter_map(|&old| remap.translate(old))
+            .collect();
+        // Component images are disjoint and per-component mapping is a
+        // bijection, so translation preserves distinctness; only the
+        // order needs re-establishing.
+        kept.sort_unstable();
+        let dropped = before - kept.len();
+        self.dynamic = kept;
+        for report in &mut self.result.reports {
+            if let Some(new) = remap.translate(report.ste.0) {
+                report.ste = cama_core::SteId(new);
+            }
+        }
+        (self.dynamic.len(), dropped)
+    }
 }
 
 /// A [`Session`] the batch scheduler can park and resume: its stream

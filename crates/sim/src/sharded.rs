@@ -26,6 +26,23 @@
 //! Per-shard activity is surfaced to
 //! [`ShardObserver`]s, which is how the
 //! `cama-arch` energy model charges exactly the arrays that powered up.
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::compiled::ShardedAutomaton;
+//! use cama_core::regex;
+//! use cama_sim::{Session, ShardedSession};
+//!
+//! let nfa = regex::compile("ab+c")?;
+//! let plan = ShardedAutomaton::compile(&nfa, 2);
+//! let mut session = ShardedSession::new(&plan);
+//! session.feed(b"zabbc");
+//! let result = session.finish();
+//! assert_eq!(result.reports.len(), 1);
+//! assert_eq!(result.reports[0].offset, 4);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
 
 use crate::activity::{
     CycleView, NullObserver, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,

@@ -25,6 +25,27 @@
 //! carry also survives [`suspend`](crate::FlowSession::suspend) /
 //! [`resume`](crate::FlowSession::resume), so the stream table can
 //! park strided flows mid-pair.
+//!
+//! # Examples
+//!
+//! ```
+//! use cama_core::compiled::CompiledStridedAutomaton;
+//! use cama_core::regex;
+//! use cama_core::stride::StridedNfa;
+//! use cama_sim::{Session, StridedSession};
+//!
+//! let nfa = regex::compile("ab+c")?;
+//! let strided = StridedNfa::from_nfa(&nfa);
+//! let plan = CompiledStridedAutomaton::compile(&strided);
+//! let mut session = StridedSession::new(&plan);
+//! session.feed(b"zab"); // odd chunk: the trailing byte is carried
+//! session.feed(b"bc");
+//! let result = session.finish();
+//! // Reports land on original byte offsets, same as the 1-stride run.
+//! assert_eq!(result.reports.len(), 1);
+//! assert_eq!(result.reports[0].offset, 4);
+//! # Ok::<(), cama_core::Error>(())
+//! ```
 
 use crate::activity::{NullObserver, Observer};
 use crate::engine::CycleState;

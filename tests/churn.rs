@@ -9,7 +9,14 @@
 //! events plus feeds and ticks); the million-flow test is the §VI.B
 //! serving-scale figure and runs in the release lane
 //! (`--include-ignored`).
+//!
+//! The run also hot-swaps the ruleset every [`SWAP_EVERY`] flows,
+//! alternating between a one-pattern and a two-pattern version, so the
+//! bounded-memory and ledger-conservation invariants are asserted
+//! *across swap epochs*: a swap parks every open flow but loses no
+//! bytes, no cycles, and no reports.
 
+use cama::core::compile::PlanRemap;
 use cama::core::compiled::ShardedAutomaton;
 use cama::core::regex;
 use cama::sim::control::{ControlConfig, ControlledBatch, FlowSpec, QosClass, RateLimit};
@@ -19,7 +26,11 @@ use cama::sim::StreamId;
 const WINDOW: usize = 256;
 /// The residency cap — far below the window, so parking churns.
 const RESIDENT_CAP: usize = 64;
-/// Per-flow payload source (reports on every `ab+c`).
+/// Flows between ruleset hot-swaps.
+const SWAP_EVERY: usize = 5_000;
+/// Per-flow payload source (reports on every `ab+c`; the second
+/// ruleset's `xy+z` never fires — `y` never follows `x` — so totals
+/// stay deterministic across swap epochs).
 const CORPUS: &[u8] = b"zabcqabbbcxxabcyabbcabcz";
 
 fn spec_for(flow: usize) -> FlowSpec {
@@ -40,8 +51,15 @@ fn spec_for(flow: usize) -> FlowSpec {
 /// bounded-memory invariants as it goes and the ledger conservation
 /// laws at the end.
 fn churn(total: usize) {
-    let nfa = regex::compile("ab+c").expect("churn pattern");
+    // Two ruleset versions: `ab+c` keeps report code 0 in both, so the
+    // remap carries its flows across every swap; `xy+z` is added and
+    // removed each epoch.
+    let nfa = regex::compile_set(&["ab+c"]).expect("churn pattern");
+    let nfa_b = regex::compile_set(&["ab+c", "xy+z"]).expect("churn patterns");
     let plan = ShardedAutomaton::compile(&nfa, 4);
+    let plan_b = ShardedAutomaton::compile(&nfa_b, 4);
+    let grow = PlanRemap::between(&nfa, &nfa_b);
+    let shrink = PlanRemap::between(&nfa_b, &nfa);
     let config = ControlConfig::new()
         .max_open(WINDOW + 1)
         .max_resident(RESIDENT_CAP)
@@ -50,6 +68,7 @@ fn churn(total: usize) {
     let mut ctl = ControlledBatch::new(&plan, config);
 
     let mut offered = 0u64;
+    let mut swaps = 0usize;
     let mut closed_flows = 0u64;
     let mut closed_cycles = 0u64;
     let mut closed_reports = 0u64;
@@ -83,6 +102,38 @@ fn churn(total: usize) {
         if flow.is_multiple_of(7) {
             ctl.tick();
         }
+        // Hot-swap the ruleset mid-churn: odd epochs run the grown
+        // two-pattern plan, even epochs swap back. Every open flow is
+        // parked; growing drops nothing, and shrinking drops only
+        // doomed `xy+z` states, so reports and cycles are unaffected.
+        if flow > 0 && flow.is_multiple_of(SWAP_EVERY) {
+            let open_before = ctl.open_count();
+            let report = if (flow / SWAP_EVERY).is_multiple_of(2) {
+                ctl.swap_plan(&plan, &shrink)
+            } else {
+                let report = ctl.swap_plan(&plan_b, &grow);
+                assert_eq!(
+                    report.states_dropped, 0,
+                    "flow {flow}: a growing swap dropped states"
+                );
+                report
+            };
+            swaps += 1;
+            assert_eq!(
+                report.flows, open_before,
+                "flow {flow}: flow missed by swap"
+            );
+            assert_eq!(
+                ctl.resident_count(),
+                0,
+                "flow {flow}: swap left a resident session"
+            );
+            assert_eq!(
+                ctl.open_count(),
+                open_before,
+                "flow {flow}: swap changed the open-flow count"
+            );
+        }
 
         max_deferred = max_deferred.max(ctl.deferred_total());
         // The bounded-memory invariants: nothing in the control plane
@@ -112,8 +163,10 @@ fn churn(total: usize) {
     }
     assert_eq!(ctl.open_count(), 0);
     assert_eq!(ctl.deferred_total(), 0);
-    // The tight budgets really did defer traffic along the way.
+    // The tight budgets really did defer traffic along the way, and
+    // the run really did cross swap epochs.
     assert!(max_deferred > 0, "rate limits never engaged");
+    assert_eq!(swaps, (total - 1) / SWAP_EVERY, "swap cadence drifted");
 
     // Ledger conservation: summed across tenants, every flow and every
     // byte is accounted for exactly once.

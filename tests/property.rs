@@ -11,7 +11,8 @@
 
 use cama::core::bitset::BitSet;
 use cama::core::bitwidth::{to_nibble_nfa, to_nibble_stream};
-use cama::core::compiled::{CompiledAutomaton, ShardedAutomaton};
+use cama::core::compile::{compile_ruleset, PlanCache, PlanRemap};
+use cama::core::compiled::{CompiledAutomaton, CompiledStridedAutomaton, ShardedAutomaton};
 use cama::core::graph;
 use cama::core::regex::{self, reference};
 use cama::core::stride::StridedNfa;
@@ -26,7 +27,7 @@ use cama::sim::frame::{encode_close, encode_frame};
 use cama::sim::{
     AutomataEngine, BatchSimulator, ByteSession, EncodedSession, EncodedSimulator,
     EncodedStridedSimulator, FlowSession, FrameDecoder, InterpSimulator, ParallelShardedPlan,
-    ParallelShardedSession, RunResult, Session, ShardedSimulator, Simulator, StreamId,
+    ParallelShardedSession, RunResult, Session, ShardedSimulator, Simulator, StreamId, StreamPlan,
     StridedSimulator,
 };
 use rand::rngs::StdRng;
@@ -1618,5 +1619,267 @@ fn work_stealing_batch_and_stats_merge_agree() {
             assert_eq!(results, sequential, "seed {seed}, {threads} threads");
             assert_eq!(stats, expected_stats, "seed {seed}, {threads} threads");
         }
+    }
+}
+
+/// Feeds the head of every flow, hot-swaps the plan mid-stream, feeds
+/// the tails, and compares each closed flow against an undisturbed run
+/// on the *new* plan. The caller guarantees the two rulesets differ
+/// only in components that can never fire on the test alphabet, so for
+/// every flow the swap must be unobservable: identical reports (state
+/// ids, codes, offsets, order) and identical cycle counts. Per-cycle
+/// word statistics are excluded from the comparison — the pre-swap
+/// cycles were accounted against the old plan's state space, which may
+/// be a different size.
+fn assert_swap_transparent<P: StreamPlan>(
+    old_plan: &P,
+    new_plan: &P,
+    remap: &PlanRemap,
+    flows: &[(Vec<u8>, usize)],
+    cap: Option<usize>,
+    label: &str,
+    seed: u64,
+) {
+    let mut swapped = BatchSimulator::new(old_plan);
+    if let Some(cap) = cap {
+        swapped = swapped.max_resident(cap);
+    }
+    let mut oracle = BatchSimulator::new(new_plan);
+    for (id, (input, cut)) in flows.iter().enumerate() {
+        swapped.feed(id as StreamId, &input[..*cut]);
+    }
+    let report = swapped.swap_plan(new_plan, remap);
+    assert_eq!(report.flows, flows.len(), "seed {seed}: {label}");
+    for (id, (input, cut)) in flows.iter().enumerate() {
+        swapped.feed(id as StreamId, &input[*cut..]);
+        oracle.feed(id as StreamId, input);
+    }
+    for (id, (_, cut)) in flows.iter().enumerate() {
+        let s = swapped.close(id as StreamId);
+        let o = oracle.close(id as StreamId);
+        assert_eq!(
+            s.reports, o.reports,
+            "seed {seed}: {label}, flow {id}, cut {cut}"
+        );
+        assert_eq!(
+            s.activity.cycles, o.activity.cycles,
+            "seed {seed}: {label}, flow {id}, cut {cut}"
+        );
+    }
+}
+
+/// The strongest form, for a swap onto the *same* plan with the
+/// identity remap: the whole [`RunResult`] — reports, order, and every
+/// activity statistic — must equal an undisturbed table fed the same
+/// chunks.
+fn assert_identity_swap_exact<P: StreamPlan>(
+    plan: &P,
+    remap: &PlanRemap,
+    flows: &[(Vec<u8>, usize)],
+    cap: Option<usize>,
+    label: &str,
+    seed: u64,
+) {
+    let mut swapped = BatchSimulator::new(plan);
+    if let Some(cap) = cap {
+        swapped = swapped.max_resident(cap);
+    }
+    let mut oracle = BatchSimulator::new(plan);
+    for (id, (input, cut)) in flows.iter().enumerate() {
+        swapped.feed(id as StreamId, &input[..*cut]);
+        oracle.feed(id as StreamId, &input[..*cut]);
+    }
+    let report = swapped.swap_plan(plan, remap);
+    assert_eq!(report.states_dropped, 0, "seed {seed}: {label}");
+    for (id, (input, cut)) in flows.iter().enumerate() {
+        swapped.feed(id as StreamId, &input[*cut..]);
+        oracle.feed(id as StreamId, &input[*cut..]);
+    }
+    for (id, (_, cut)) in flows.iter().enumerate() {
+        assert_eq!(
+            swapped.close(id as StreamId),
+            oracle.close(id as StreamId),
+            "seed {seed}: {label}, flow {id}, cut {cut}"
+        );
+    }
+}
+
+/// The hot-swap differential harness: across flat / sharded / encoded /
+/// strided plan flavours and capped tables, a mid-stream
+/// [`BatchSimulator::swap_plan`] between two ruleset versions is
+/// bit-identical — for flows on unchanged components — to a run that
+/// never swapped. The changed components are built over symbols the
+/// random inputs never contain, so *every* flow lives on unchanged
+/// components and the swap must be fully unobservable; the changed
+/// components still exercise the remap machinery (dropped states,
+/// shifted global ids, grown rulesets).
+#[test]
+fn hot_swap_differential_across_flavours() {
+    // Patterns over {j, q, w} only — symbols `random_input` never
+    // emits, so these components never fire on test traffic. Distinct
+    // entries are structurally distinct and differ in state count,
+    // forcing the surviving components' global ids to move.
+    const DISJOINT: [&str; 3] = ["q+j", "jj", "q?jqj"];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5A4B_7000 + seed);
+        // Redraw any all-optional pattern: a homogeneous NFA cannot
+        // report the empty string, so `compile_set` rejects it.
+        let shared: Vec<String> = (0..rng.random_range(2..5usize))
+            .map(|_| loop {
+                let pattern = random_pattern(&mut rng);
+                if regex::compile(&pattern).is_ok() {
+                    break pattern;
+                }
+            })
+            .collect();
+        // Insert the swap-target pattern at the same position in both
+        // versions so the shared patterns keep their report codes.
+        let changed_pos = rng.random_range(0..=shared.len());
+        let old_changed = rng.random_range(0..DISJOINT.len());
+        let mut new_changed = rng.random_range(0..DISJOINT.len());
+        if new_changed == old_changed {
+            new_changed = (new_changed + 1) % DISJOINT.len();
+        }
+        let mut old_pats: Vec<&str> = shared.iter().map(String::as_str).collect();
+        let mut new_pats = old_pats.clone();
+        old_pats.insert(changed_pos, DISJOINT[old_changed]);
+        new_pats.insert(changed_pos, DISJOINT[new_changed]);
+        if rng.random_bool(0.5) {
+            // A grown ruleset: the appended pattern takes a fresh
+            // report code, leaving every existing code untouched.
+            new_pats.push("[qw]+j");
+        }
+        let old_nfa = regex::compile_set(&old_pats).unwrap();
+        let new_nfa = regex::compile_set(&new_pats).unwrap();
+        let remap = PlanRemap::between(&old_nfa, &new_nfa);
+        // Exactly the changed component's states are dropped.
+        let changed_len = regex::compile(DISJOINT[old_changed]).unwrap().len();
+        assert_eq!(
+            remap.surviving(),
+            old_nfa.len() - changed_len,
+            "seed {seed}"
+        );
+
+        let flows: Vec<(Vec<u8>, usize)> = (0..rng.random_range(2..6usize))
+            .map(|_| {
+                let input = random_input(&mut rng);
+                let cut = rng.random_range(0..=input.len());
+                (input, cut)
+            })
+            .collect();
+
+        // Flat byte plans.
+        let old_flat = CompiledAutomaton::compile(&old_nfa);
+        let new_flat = CompiledAutomaton::compile(&new_nfa);
+        assert_swap_transparent(&old_flat, &new_flat, &remap, &flows, None, "flat", seed);
+        let identity = PlanRemap::identity(old_nfa.len());
+        assert_identity_swap_exact(&old_flat, &identity, &flows, None, "flat identity", seed);
+
+        // Sharded byte plans, uncapped and capped (every flow
+        // round-trips through SuspendedFlow between feeds at cap 2) —
+        // including one built by the cached parallel ruleset compiler.
+        let old_sharded = ShardedAutomaton::compile(&old_nfa, 3);
+        let mut cache = PlanCache::default();
+        let (new_sharded, _) = compile_ruleset(&new_nfa, 2, &mut cache);
+        assert_swap_transparent(
+            &old_sharded,
+            &new_sharded,
+            &remap,
+            &flows,
+            None,
+            "sharded",
+            seed,
+        );
+        assert_swap_transparent(
+            &old_sharded,
+            &new_sharded,
+            &remap,
+            &flows,
+            Some(2),
+            "sharded capped",
+            seed,
+        );
+        assert_identity_swap_exact(
+            &old_sharded,
+            &identity,
+            &flows,
+            Some(1),
+            "sharded identity capped",
+            seed,
+        );
+
+        // Encoded sharded plans: each version has its own codebook —
+        // encoded execution is byte-exact, so the swap must still be
+        // transparent across codebooks.
+        let (old_components, _) = graph::component_ids(&old_nfa);
+        let (new_components, _) = graph::component_ids(&new_nfa);
+        let old_encoded =
+            EncodingPlan::for_nfa(&old_nfa).compile_sharded(&old_nfa, &old_components);
+        let new_encoded =
+            EncodingPlan::for_nfa(&new_nfa).compile_sharded(&new_nfa, &new_components);
+        assert_swap_transparent(
+            &old_encoded,
+            &new_encoded,
+            &remap,
+            &flows,
+            Some(2),
+            "encoded sharded",
+            seed,
+        );
+
+        // Strided plans (flat and sharded) over the strided state
+        // space and its own remap; odd cuts park a pending carry byte
+        // across the swap.
+        let old_strided_nfa = StridedNfa::from_nfa(&old_nfa);
+        let new_strided_nfa = StridedNfa::from_nfa(&new_nfa);
+        let strided_remap = PlanRemap::between_strided(&old_strided_nfa, &new_strided_nfa);
+        let old_strided = CompiledStridedAutomaton::compile(&old_strided_nfa);
+        let new_strided = CompiledStridedAutomaton::compile(&new_strided_nfa);
+        assert_swap_transparent(
+            &old_strided,
+            &new_strided,
+            &strided_remap,
+            &flows,
+            None,
+            "strided flat",
+            seed,
+        );
+        let old_strided_sharded = ShardedAutomaton::compile_strided(&old_strided_nfa, 2);
+        let new_strided_sharded = ShardedAutomaton::compile_strided(&new_strided_nfa, 2);
+        assert_swap_transparent(
+            &old_strided_sharded,
+            &new_strided_sharded,
+            &strided_remap,
+            &flows,
+            Some(2),
+            "strided sharded capped",
+            seed,
+        );
+        let strided_identity = PlanRemap::identity(old_strided_nfa.len());
+        assert_identity_swap_exact(
+            &old_strided,
+            &strided_identity,
+            &flows,
+            None,
+            "strided identity",
+            seed,
+        );
+
+        // Encoded strided sharded: per-half codebooks per version.
+        let (old_sc, _) = old_strided_nfa.component_ids();
+        let (new_sc, _) = new_strided_nfa.component_ids();
+        let old_es = StridedEncoding::for_strided(&old_strided_nfa)
+            .compile_sharded(&old_strided_nfa, &old_sc);
+        let new_es = StridedEncoding::for_strided(&new_strided_nfa)
+            .compile_sharded(&new_strided_nfa, &new_sc);
+        assert_swap_transparent(
+            &old_es,
+            &new_es,
+            &strided_remap,
+            &flows,
+            Some(2),
+            "encoded strided sharded",
+            seed,
+        );
     }
 }
