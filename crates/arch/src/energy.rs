@@ -46,7 +46,9 @@ use crate::timing::timing_report;
 use cama_core::{Nfa, StartKind};
 use cama_mem::models::{ArrayKind, CircuitLibrary};
 use cama_mem::{Delay, Energy};
-use cama_sim::{CycleView, Observer, ShardCycleSummary, ShardCycleView, ShardObserver};
+use cama_sim::{
+    CycleView, DfaShardCycleView, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,
+};
 
 /// Wire energy per global-switch hop for CA, scaled to other designs by
 /// their state-match area exactly as the wire delay is (§VIII.A). A
@@ -582,6 +584,109 @@ impl<'a> EnergyObserver<'a> {
     }
 }
 
+/// Execution-style-aware per-shard energy accounting for hybrid
+/// DFA/NFA plans
+/// ([`compile_hybrid_ruleset`](cama_core::compile::compile_hybrid_ruleset)).
+///
+/// The partition-level [`EnergyObserver`] is execution-style agnostic:
+/// the DFA kernel writes the same activity bits the NFA kernel would,
+/// so it charges hybrid runs identically to pure-NFA runs.
+/// `HybridShardEnergy` instead charges what the engine *did* per
+/// visited shard-cycle:
+///
+/// * an **NFA shard-cycle** sweeps the shard's 64-state match words —
+///   charged `word_energy × ⌈states/64⌉`;
+/// * a **DFA shard-cycle** is charged as **one row search of its
+///   transition table**, regardless of how many states the landed DFA
+///   state represents. This is a modeling choice: the dense table read
+///   replaces the CAM sweep entirely, mirroring the 1-word
+///   `words_visited` charge the engine's own counters use.
+///
+/// Charges accrue in both a running [`total`](HybridShardEnergy::total)
+/// and a [`per_shard`](HybridShardEnergy::per_shard) ledger at every
+/// hook call, so conservation — `total == Σ per-shard charges` — holds
+/// by construction and is asserted (within 1e-9) in this module's
+/// tests.
+#[derive(Clone, Debug)]
+pub struct HybridShardEnergy {
+    /// Energy charged per 64-state match word an NFA shard-cycle
+    /// sweeps.
+    word_energy: Energy,
+    /// Energy charged per DFA shard-cycle (one transition-table row
+    /// search).
+    row_energy: Energy,
+    per_shard: Vec<Energy>,
+    total: Energy,
+    /// Visited shard-cycles stepped through a DFA table.
+    pub dfa_shard_cycles: u64,
+    /// Visited shard-cycles stepped through the NFA kernel.
+    pub nfa_shard_cycles: u64,
+    /// Cycles observed.
+    pub cycles: usize,
+}
+
+impl HybridShardEnergy {
+    /// An observer with explicit per-access energies.
+    pub fn new(word_energy: Energy, row_energy: Energy) -> Self {
+        HybridShardEnergy {
+            word_energy,
+            row_energy,
+            per_shard: Vec::new(),
+            total: Energy::ZERO,
+            dfa_shard_cycles: 0,
+            nfa_shard_cycles: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Per-access energies derived from a [`CircuitLibrary`]: a
+    /// 64-state word costs a quarter of a 256-entry CAM sub-array
+    /// search; a DFA table row costs one narrow SRAM row read (the same
+    /// array shape as the input-encoder lookup).
+    pub fn with_library(lib: &CircuitLibrary) -> Self {
+        Self::new(
+            lib.model(ArrayKind::Cam8T, 16, 256).energy / 4.0,
+            lib.model(ArrayKind::Sram6T, 256, 32).energy,
+        )
+    }
+
+    fn charge(&mut self, shard: usize, energy: Energy) {
+        if self.per_shard.len() <= shard {
+            self.per_shard.resize(shard + 1, Energy::ZERO);
+        }
+        self.per_shard[shard] += energy;
+        self.total += energy;
+    }
+
+    /// The per-shard charge ledger (indexed by shard).
+    pub fn per_shard(&self) -> &[Energy] {
+        &self.per_shard
+    }
+
+    /// The running total, accumulated charge by charge alongside the
+    /// per-shard ledger.
+    pub fn total(&self) -> Energy {
+        self.total
+    }
+}
+
+impl ShardObserver for HybridShardEnergy {
+    fn on_shard_cycle(&mut self, view: &ShardCycleView<'_>) {
+        let words = view.global_states.len().div_ceil(64);
+        self.charge(view.shard, self.word_energy * words as f64);
+        self.nfa_shard_cycles += 1;
+    }
+
+    fn on_dfa_shard_cycle(&mut self, view: &DfaShardCycleView<'_>) {
+        self.charge(view.shard_view.shard, self.row_energy);
+        self.dfa_shard_cycles += 1;
+    }
+
+    fn on_cycle_end(&mut self, _summary: &ShardCycleSummary) {
+        self.cycles += 1;
+    }
+}
+
 /// Physical local switches accessed per partition: CAMA's FCB/Wide tiles
 /// drive both 128×128 arrays; everything else has one switch per
 /// partition.
@@ -816,6 +921,92 @@ mod tests {
         assert_eq!(b.cycles, 0);
         assert_eq!(b.per_cycle(), Energy::ZERO);
         assert_eq!(b.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    /// The hybrid DFA fast path must be invisible to energy accounting:
+    /// per-shard charges conserve into the total within 1e-9, reports
+    /// stay bit-identical to the pure-NFA plan, and the hybrid run
+    /// charges no more than the pure-NFA run (a DFA row search replaces
+    /// a word sweep).
+    #[test]
+    fn hybrid_shard_energy_conserves_and_wins() {
+        use cama_core::compile::PlanCache;
+        use cama_core::compile::{compile_hybrid_ruleset, compile_ruleset, dfa_enabled, DfaPolicy};
+        use cama_sim::{Session, ShardedSession};
+
+        let nfa = regex::compile_set(&["ab+c", "mn+p", "uv+w"]).unwrap();
+        let input: Vec<u8> = b"zabbcabcz".repeat(64);
+        let lib = CircuitLibrary::tsmc28();
+
+        let mut cache = PlanCache::new(16);
+        let (nfa_plan, _) = compile_ruleset(&nfa, 8, &mut cache);
+        let (hybrid, _) = compile_hybrid_ruleset(&nfa, 8, &mut cache, &DfaPolicy::default());
+
+        let mut nfa_energy = HybridShardEnergy::with_library(&lib);
+        let mut session = ShardedSession::new(&nfa_plan);
+        session.feed_sharded_with(&input, &mut nfa_energy);
+        let nfa_result = session.finish();
+
+        let mut hybrid_energy = HybridShardEnergy::with_library(&lib);
+        let mut session = ShardedSession::new(&hybrid);
+        session.feed_sharded_with(&input, &mut hybrid_energy);
+        let hybrid_result = session.finish();
+
+        assert_eq!(nfa_result, hybrid_result, "hybrid must be bit-identical");
+        for energy in [&nfa_energy, &hybrid_energy] {
+            let per_shard: f64 = energy.per_shard().iter().map(|e| e.value()).sum();
+            let total = energy.total().value();
+            assert!(
+                (total - per_shard).abs() <= 1e-9 * total.abs().max(1.0),
+                "total {total} != per-shard sum {per_shard}"
+            );
+        }
+        if dfa_enabled() {
+            assert!(hybrid.num_dfa_shards() > 0, "no shard determinized");
+            assert!(hybrid_energy.dfa_shard_cycles > 0, "no DFA shard-cycles");
+            assert!(
+                hybrid_energy.total().value() <= nfa_energy.total().value(),
+                "hybrid {:?} charged more than NFA {:?}",
+                hybrid_energy.total(),
+                nfa_energy.total()
+            );
+        }
+    }
+
+    /// The partition-level [`EnergyObserver`] must charge a hybrid run
+    /// exactly like the pure-NFA run — the DFA kernel writes through
+    /// the same activity bits, so the default hook forwarding makes the
+    /// fast path invisible to the Figure-12 breakdowns.
+    #[test]
+    fn partition_observer_is_execution_style_agnostic() {
+        use cama_core::compile::{compile_hybrid_ruleset, compile_ruleset, DfaPolicy, PlanCache};
+        use cama_sim::{Session, ShardedSession};
+
+        let nfa = regex::compile_set(&["ab+c", "mn+p"]).unwrap();
+        let input: Vec<u8> = b"zabbcabcmnpz".repeat(32);
+        let lib = CircuitLibrary::tsmc28();
+        let design = DesignKind::CamaE;
+        let plan = EncodingPlan::for_nfa(&nfa);
+        let mapping = map_design(design, &nfa, Some(&plan));
+
+        let mut cache = PlanCache::new(16);
+        let (nfa_plan, _) = compile_ruleset(&nfa, 8, &mut cache);
+        let (hybrid, _) = compile_hybrid_ruleset(&nfa, 8, &mut cache, &DfaPolicy::default());
+
+        // The flat-observer compatibility path: per-shard activity is
+        // scattered into global cycle views (DFA shards through the
+        // defaulted forwarding hook), so the observer never needs the
+        // shard ↔ partition correspondence.
+        let measure = |sharded| {
+            let mut observer = EnergyObserver::for_nfa(design, &mapping, &lib, &nfa);
+            let mut session = ShardedSession::new(sharded);
+            session.feed_with(&input, &mut observer);
+            (session.finish(), observer.breakdown)
+        };
+        let (nfa_result, nfa_breakdown) = measure(&nfa_plan);
+        let (hybrid_result, hybrid_breakdown) = measure(&hybrid);
+        assert_eq!(nfa_result, hybrid_result);
+        assert_eq!(nfa_breakdown, hybrid_breakdown);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod timing;
 
 pub use area::{area_report, AreaReport};
 pub use designs::DesignKind;
-pub use energy::{EnergyBreakdown, EnergyObserver, SwapEpochEnergy};
+pub use energy::{EnergyBreakdown, EnergyObserver, HybridShardEnergy, SwapEpochEnergy};
 pub use hardware::{BankHardware, CamaHardware};
 pub use mapping::{
     map_design, map_design_profiled, map_strided, Mapping, Partition, PartitionMode,

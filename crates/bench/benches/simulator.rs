@@ -8,9 +8,13 @@
 use cama_arch::designs::DesignKind;
 use cama_arch::energy::EnergyObserver;
 use cama_arch::mapping::map_design;
-use cama_core::compiled::{CompiledAutomaton, CompiledStridedAutomaton, ShardedAutomaton};
+use cama_core::compile::{compile_hybrid_ruleset, compile_ruleset, dfa_enabled, PlanCache};
+use cama_core::compiled::{
+    CompiledAutomaton, CompiledStridedAutomaton, DfaBudget, ShardedAutomaton,
+};
 use cama_core::graph;
 use cama_core::kernel::{self, Kernel};
+use cama_core::regex;
 use cama_core::stride::StridedNfa;
 use cama_core::Nfa;
 use cama_encoding::{EncodingPlan, Scheme, StridedEncoding};
@@ -254,6 +258,58 @@ fn bench_sharding(c: &mut Criterion) {
             })
         },
     );
+
+    // Hybrid DFA fast path on a skewed hot-component ruleset: one long
+    // chain component (a single-symbol repeat whose active set grows to
+    // ~448 states — seven 64-bit words of NFA sweep per cycle) takes
+    // all of the input activity while a tail of short literal patterns
+    // idles in skippable shards. A profiling run nominates the hot
+    // component; determinizing it collapses the multi-word sweep into
+    // one dense-table row load per cycle. The baseline is the identical
+    // per-component sharding with every shard on the NFA word kernels.
+    let hot_rules: Vec<String> = std::iter::once(format!("{}b", "a".repeat(447)))
+        .chain((0..8).map(|i| format!("cold{i:02}literal")))
+        .collect();
+    let hot_refs: Vec<&str> = hot_rules.iter().map(String::as_str).collect();
+    let hot_nfa = regex::compile_set(&hot_refs).expect("hot ruleset compiles");
+    let hot_input = vec![b'a'; INPUT_LEN];
+    let mut plan_cache = PlanCache::default();
+    let (hot_nfa_plan, _) = compile_ruleset(&hot_nfa, 1, &mut plan_cache);
+    let hybrid_policy = {
+        let mut session = ShardedSession::new(&hot_nfa_plan);
+        session.feed(&hot_input);
+        session.finish();
+        ShardingProfile::from_stats(session.stats()).dfa_policy(
+            DfaBudget {
+                max_states: 512,
+                max_table_bytes: 1 << 20,
+            },
+            2 << 20,
+        )
+    };
+    let (hybrid_plan, _) = compile_hybrid_ruleset(&hot_nfa, 1, &mut plan_cache, &hybrid_policy);
+    group.bench_with_input(
+        BenchmarkId::new("skewed_hot_nfa", hot_nfa_plan.num_shards()),
+        &hot_nfa_plan,
+        |b, plan| {
+            let mut session = ShardedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&hot_input));
+                black_box(session.finish())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("skewed_hybrid_dfa", hybrid_plan.num_shards()),
+        &hybrid_plan,
+        |b, plan| {
+            let mut session = ShardedSession::new(plan);
+            b.iter(|| {
+                session.feed(black_box(&hot_input));
+                black_box(session.finish())
+            })
+        },
+    );
     group.finish();
 
     println!(
@@ -305,6 +361,55 @@ fn bench_sharding(c: &mut Criterion) {
         tuned.visited_shard_cycles(),
         base.skipped_shard_cycles,
         tuned.skipped_shard_cycles,
+    );
+
+    // Hot-component NFA vs hybrid DFA on the chain ruleset: visited
+    // words (a DFA shard charges one word per visited cycle, so the
+    // reduction is the fast path's working-set win) plus a directly
+    // measured wall clock — trials alternate between the two plans and
+    // keep the minimum, so transient interference hits both sides
+    // equally instead of whichever ran second.
+    let hot_stats = |plan: &ShardedAutomaton| {
+        let mut session = ShardedSession::new(plan);
+        session.feed(&hot_input);
+        session.finish();
+        session.take_stats()
+    };
+    let hot = hot_stats(&hot_nfa_plan);
+    let hybrid = hot_stats(&hybrid_plan);
+    const ROUNDS: u32 = 10;
+    const TRIALS: u32 = 25;
+    let time_plan = |plan: &ShardedAutomaton| {
+        let mut session = ShardedSession::new(plan);
+        session.feed(&hot_input);
+        black_box(session.finish());
+        let start = std::time::Instant::now();
+        for _ in 0..ROUNDS {
+            session.feed(black_box(&hot_input));
+            black_box(session.finish());
+        }
+        start.elapsed()
+    };
+    let mut nfa_wall = std::time::Duration::MAX;
+    let mut hybrid_wall = std::time::Duration::MAX;
+    for _ in 0..TRIALS {
+        nfa_wall = nfa_wall.min(time_plan(&hot_nfa_plan));
+        hybrid_wall = hybrid_wall.min(time_plan(&hybrid_plan));
+    }
+    let faster =
+        100.0 * (nfa_wall.as_secs_f64() - hybrid_wall.as_secs_f64()) / nfa_wall.as_secs_f64();
+    println!(
+        "  hybrid DFA fast path (hot-chain {}-byte input, {} of {} shards determinized{}): \
+         {} -> {} words visited, wall clock {ROUNDS}x: NFA {:.3} ms, hybrid {:.3} ms \
+         ({faster:.1}% faster)",
+        hot_input.len(),
+        hybrid_plan.num_dfa_shards(),
+        hybrid_plan.num_shards(),
+        if dfa_enabled() { "" } else { "; CAMA_DFA=off" },
+        hot.words_visited,
+        hybrid.words_visited,
+        nfa_wall.as_secs_f64() * 1e3,
+        hybrid_wall.as_secs_f64() * 1e3,
     );
 }
 

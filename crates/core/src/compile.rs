@@ -81,8 +81,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::compiled::{
-    byte_probes, strided_probes, CompiledAutomaton, CompiledStridedAutomaton, ExecutionPlan, Shard,
-    ShardProbes, ShardedAutomaton, ShardedStridedAutomaton, StridedPlan,
+    byte_probes, strided_probes, CompiledAutomaton, CompiledStridedAutomaton, DfaBudget,
+    ExecutionPlan, Shard, ShardProbes, ShardedAutomaton, ShardedStridedAutomaton, StridedPlan,
 };
 use crate::graph::connected_components;
 use crate::nfa::{BuildOptions, Nfa, NfaBuilder, StartKind, SteId};
@@ -540,7 +540,7 @@ fn compile_cached<P, A>(
     name: &str,
     units: &[RawUnit<'_, A>],
     cache: &mut PlanCache<P>,
-    salt: u64,
+    salt_of: &dyn Fn(usize) -> u64,
     workers: usize,
     compile: &(impl Fn(&A) -> P + Sync),
     probes: &(impl Fn(&P) -> ShardProbes + Sync),
@@ -552,10 +552,10 @@ where
     let workers = worker_count(workers);
     let mut slots: Vec<Option<Shard<P>>> = Vec::with_capacity(units.len());
     let mut miss_indices: Vec<usize> = Vec::new();
-    for unit in units {
+    for (index, unit) in units.iter().enumerate() {
         let key = CacheKey {
             hash: unit.hash,
-            salt,
+            salt: salt_of(index),
         };
         match cache.lookup(key) {
             Some(template) => slots.push(Some(template.retarget(unit.states.to_vec()))),
@@ -628,7 +628,7 @@ where
     for &index in &miss_indices {
         let key = CacheKey {
             hash: units[index].hash,
-            salt,
+            salt: salt_of(index),
         };
         let shard = slots[index].as_ref().expect("miss slot filled above");
         cache.store(key, shard.clone());
@@ -664,6 +664,212 @@ pub fn compile_ruleset(
         0,
         workers,
         CompiledAutomaton::compile,
+    )
+}
+
+/// The profile-guided determinization policy [`compile_hybrid_ruleset`]
+/// applies: which components become [`CompiledDfa`](crate::compiled::CompiledDfa) fast paths and
+/// under what blow-up caps.
+///
+/// Nomination is hottest-first — components ranked by summed observed
+/// per-state heat (`cama_sim::profile::ShardingProfile::dfa_policy`
+/// fills `heat` from measured `state_active` counters) — within a
+/// global `memory_budget` over the accepted tables. The per-component
+/// [`DfaBudget`] caps are separate and *are* part of the cache salt
+/// ([`salt`](DfaPolicy::salt)): a cached determinization outcome is a
+/// deterministic function of (structure, caps), while the global
+/// budget only governs which outcomes this particular compilation
+/// accepts — so cache entries never depend on what happened to be
+/// accepted before them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfaPolicy {
+    /// Per-component subset-construction caps.
+    pub budget: DfaBudget,
+    /// Global cap over accepted DFA table bytes across the ruleset.
+    pub memory_budget: usize,
+    /// Observed per-global-state activity (index = global state id of
+    /// the ruleset being compiled). Empty = no profile: every component
+    /// is considered hot, nominated in unit order.
+    pub heat: Vec<u64>,
+}
+
+impl Default for DfaPolicy {
+    fn default() -> Self {
+        DfaPolicy {
+            budget: DfaBudget::default(),
+            memory_budget: 4 * 1024 * 1024,
+            heat: Vec::new(),
+        }
+    }
+}
+
+impl DfaPolicy {
+    /// The [`PlanCache`] salt for units determinized under this
+    /// policy's *caps*. Only `budget` participates — never the global
+    /// memory budget or the heat profile, which affect acceptance, not
+    /// the constructed artifact. Always non-zero, so determinized
+    /// entries can never collide with plain-NFA entries (salt 0).
+    pub fn salt(&self) -> u64 {
+        let mut salt = 0xD7A5_EED1_u64
+            ^ (self.budget.max_states as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            ^ (self.budget.max_table_bytes as u64).wrapping_mul(0xC6A4_A793_5BD1_E995);
+        salt ^= salt >> 29;
+        if salt == 0 {
+            salt = 1;
+        }
+        salt
+    }
+}
+
+/// `false` when the `CAMA_DFA` environment variable is `off` or `0`:
+/// the pure-NFA override lane ([`compile_hybrid_ruleset`] then compiles
+/// exactly what [`compile_ruleset`] compiles), mirroring
+/// `CAMA_KERNEL=scalar` for the word-slice kernels.
+pub fn dfa_enabled() -> bool {
+    match std::env::var("CAMA_DFA") {
+        Ok(value) => {
+            let value = value.trim();
+            !(value.eq_ignore_ascii_case("off") || value == "0")
+        }
+        Err(_) => true,
+    }
+}
+
+/// [`compile_ruleset`] with a profile-guided DFA fast path: components
+/// `policy` nominates (hottest observed heat first) are subset-
+/// constructed under the per-component [`DfaBudget`] caps, and the ones
+/// that stay within budget — per-component *and* the running global
+/// memory budget — carry a [`CompiledDfa`](crate::compiled::CompiledDfa) the engines step with one
+/// table load per cycle. Everything else (blown budgets, cold
+/// components, components with cross edges) keeps the NFA kernels.
+/// Execution of the hybrid plan is report-bit-identical to the pure-NFA
+/// plan (asserted differentially in `tests/property.rs`).
+///
+/// Determinized units are cached under a kind-salted [`StructureHash`]
+/// ([`DfaPolicy::salt`]), so a recompile under the same caps hits both
+/// the NFA and DFA artifacts. With `CAMA_DFA=off` (see [`dfa_enabled`])
+/// this is exactly [`compile_ruleset`].
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::compile::{compile_hybrid_ruleset, DfaPolicy, PlanCache};
+/// use cama_core::regex;
+///
+/// let nfa = regex::compile_set(&["ab+c", "xy+z"])?;
+/// let mut cache = PlanCache::default();
+/// // No profile: every in-budget component is determinized.
+/// let (plan, _) = compile_hybrid_ruleset(&nfa, 1, &mut cache, &DfaPolicy::default());
+/// if cama_core::compile::dfa_enabled() {
+///     assert_eq!(plan.num_dfa_shards(), 2);
+/// }
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+pub fn compile_hybrid_ruleset(
+    nfa: &Nfa,
+    workers: usize,
+    cache: &mut PlanCache<CompiledAutomaton>,
+    policy: &DfaPolicy,
+) -> (ShardedAutomaton, CompileReport) {
+    if !dfa_enabled() {
+        return compile_ruleset(nfa, workers, cache);
+    }
+    let units = split_components(nfa);
+    if units.is_empty() {
+        return compile_ruleset(nfa, workers, cache);
+    }
+
+    // Nomination: rank units hottest-first by summed observed state
+    // heat (ties and the no-profile case fall back to unit order —
+    // split_components orders largest component first).
+    let heats: Vec<u64> = units
+        .iter()
+        .map(|unit| {
+            unit.states
+                .iter()
+                .map(|&g| policy.heat.get(g as usize).copied().unwrap_or(0))
+                .sum()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(heats[i]), i));
+
+    // Resolve each nominated unit against the kind-salted cache —
+    // determinizing misses now, serially (hot components are few) —
+    // and meter accepted tables against the global memory budget.
+    // Declined constructions are cached too (as plain shards under the
+    // DFA salt), so the decline is also paid for only once.
+    let dfa_salt = policy.salt();
+    let mut remaining = policy.memory_budget;
+    let mut salts = vec![0u64; units.len()];
+    for &i in &order {
+        // A measured profile marks never-active components cold; they
+        // stay NFA (their shards are skipped wholesale anyway).
+        if !policy.heat.is_empty() && heats[i] == 0 {
+            continue;
+        }
+        let unit = &units[i];
+        let key = CacheKey {
+            hash: unit.hash,
+            salt: dfa_salt,
+        };
+        let cached = cache.lookup(key).map(|template| {
+            template
+                .dfa()
+                .map(crate::compiled::CompiledDfa::table_bytes)
+        });
+        let table_bytes = match cached {
+            Some(Some(bytes)) => Some(bytes),
+            // Cached decline under these caps: the unit stays NFA but
+            // uses the salted entry (0 bytes of table).
+            Some(None) => None,
+            None => {
+                let plan = CompiledAutomaton::compile(&unit.local);
+                let dfa = crate::compiled::CompiledDfa::determinize(&plan, &policy.budget);
+                let bytes = dfa.as_ref().map(crate::compiled::CompiledDfa::table_bytes);
+                let probes = byte_probes(&plan);
+                let mut shard = Shard::from_component(plan, probes, unit.states.to_vec());
+                if let Some(dfa) = dfa {
+                    shard = shard.with_dfa(std::sync::Arc::new(dfa));
+                }
+                cache.store(key, shard);
+                bytes
+            }
+        };
+        match table_bytes {
+            // In per-component budget; accept if the global budget
+            // still covers it (structurally identical duplicates each
+            // meter the shared table — conservative, and keeps
+            // acceptance independent of Arc sharing).
+            Some(bytes) if bytes <= remaining => {
+                remaining -= bytes;
+                salts[i] = dfa_salt;
+            }
+            // Over the remaining global budget: the DFA stays cached
+            // for future compilations, this one keeps the NFA shard.
+            Some(_) => {}
+            // Declined under the caps: use the salted NFA entry.
+            None => salts[i] = dfa_salt,
+        }
+    }
+
+    let raw: Vec<RawUnit<'_, Nfa>> = units
+        .iter()
+        .map(|u| RawUnit {
+            states: &u.states,
+            local: &u.local,
+            hash: u.hash,
+        })
+        .collect();
+    compile_cached(
+        nfa.len(),
+        nfa.name(),
+        &raw,
+        cache,
+        &|i| salts[i],
+        workers,
+        &CompiledAutomaton::compile,
+        &byte_probes,
     )
 }
 
@@ -716,7 +922,7 @@ pub fn compile_ruleset_with<P: ExecutionPlan + Clone + Send>(
         name,
         &raw,
         cache,
-        salt,
+        &|_| salt,
         workers,
         &compile,
         &byte_probes,
@@ -786,7 +992,7 @@ pub fn compile_strided_ruleset_with<P: StridedPlan + Clone + Send>(
         name,
         &raw,
         cache,
-        salt,
+        &|_| salt,
         workers,
         &compile,
         &strided_probes,
@@ -864,6 +1070,58 @@ impl PlanRemap {
                 .iter()
                 .map(|u| (u.hash, u.states.as_slice())),
         )
+    }
+
+    /// [`between`](PlanRemap::between) specialized for append-only
+    /// ruleset updates: instead of hash-matching every component, the
+    /// shared *prefix* of components — equal structure hash at equal
+    /// global placement, the common case when patterns are only
+    /// appended — is reused as identity entries without touching the
+    /// matcher, and only the tail beyond the first divergence goes
+    /// through the full FIFO hash match. Semantically always equal to
+    /// [`between`](PlanRemap::between) (asserted in this module's
+    /// tests); the win is the construction cost on tens-of-thousands-
+    /// component rulesets where an append leaves almost everything in
+    /// place.
+    pub fn extend_append(old: &Nfa, new: &Nfa) -> PlanRemap {
+        let old_units = split_components(old);
+        let new_units = split_components(new);
+        // The shared prefix: units whose structure AND global placement
+        // are unchanged (split_components orders largest-first, so an
+        // append can reorder the tail — placement equality is what
+        // makes the identity reuse sound).
+        let prefix = old_units
+            .iter()
+            .zip(&new_units)
+            .take_while(|(o, n)| o.hash == n.hash && o.states == n.states)
+            .count();
+        let mut map = vec![REMOVED; old.len()];
+        for unit in &old_units[..prefix] {
+            for &g in &unit.states {
+                map[g as usize] = g;
+            }
+        }
+        // Tail: the full matcher over what remains on both sides.
+        let tail = Self::between_units(
+            old.len(),
+            new.len(),
+            old_units[prefix..]
+                .iter()
+                .map(|u| (u.hash, u.states.as_slice())),
+            new_units[prefix..]
+                .iter()
+                .map(|u| (u.hash, u.states.as_slice())),
+        );
+        for (old_state, &new_state) in tail.map.iter().enumerate() {
+            if new_state != REMOVED {
+                debug_assert_eq!(map[old_state], REMOVED, "state matched twice");
+                map[old_state] = new_state;
+            }
+        }
+        PlanRemap {
+            map,
+            new_len: new.len(),
+        }
     }
 
     /// [`between`](PlanRemap::between) over the strided state space —
@@ -1118,6 +1376,49 @@ mod tests {
         let new = ruleset(&["ab", "ab"]);
         let remap = PlanRemap::between(&old, &new);
         assert!(remap.is_identity());
+    }
+
+    #[test]
+    fn extend_append_matches_between_on_append_only_updates() {
+        let old = ruleset(&["ab+c", "xy+z", "pq*r"]);
+        for appended in [
+            &["ab+c", "xy+z", "pq*r", "mm+n"][..],
+            // The appended component is the largest, so the size-ordered
+            // unit list reorders and the shared prefix shrinks to
+            // nothing — the tail matcher must recover everything.
+            &["ab+c", "xy+z", "pq*r", "a[bc]defgh+klm", "k"][..],
+            &["ab+c", "xy+z", "pq*r", "ab", "ab"][..],
+        ] {
+            let new = ruleset(appended);
+            let fast = PlanRemap::extend_append(&old, &new);
+            assert_eq!(fast, PlanRemap::between(&old, &new), "{appended:?}");
+            assert_eq!(
+                fast.surviving(),
+                old.len(),
+                "append-only updates keep every state"
+            );
+        }
+        assert!(PlanRemap::extend_append(&old, &old).is_identity());
+    }
+
+    #[test]
+    fn extend_append_matches_between_when_the_prefix_changes() {
+        // Not actually append-only: extend_append must still agree with
+        // the full matcher when the head of the ruleset was edited.
+        let old = ruleset(&["ab+c", "xy+z", "pq*r"]);
+        for changed in [
+            &["qb+c", "xy+z", "pq*r", "mm+n"][..], // head replaced
+            &["xy+z", "pq*r"][..],                 // head removed
+            &["pq*r", "xy+z", "ab+c"][..],         // reordered (codes move)
+            &["zz"][..],                           // nothing survives
+        ] {
+            let new = ruleset(changed);
+            assert_eq!(
+                PlanRemap::extend_append(&old, &new),
+                PlanRemap::between(&old, &new),
+                "{changed:?}"
+            );
+        }
     }
 
     #[test]

@@ -394,6 +394,23 @@ pub trait ExecutionPlan: PlanBase {
     /// reporting; callers must consult [`report_mask`](PlanBase::report_mask)
     /// first.
     fn report_code_unchecked(&self, state: usize) -> u32;
+
+    /// The match-row index of an input symbol: `symbol` itself for byte
+    /// plans, the encoder's code for encoded plans. Two symbols with
+    /// equal row indices are indistinguishable to the plan, which is
+    /// what [`CompiledDfa::determinize`] exploits to build one
+    /// transition column per *row*, not per raw byte.
+    fn row_of_symbol(&self, symbol: u8) -> u32 {
+        u32::from(symbol)
+    }
+
+    /// Number of distinct match-row indices
+    /// ([`row_of_symbol`](Self::row_of_symbol) is always `< alphabet_rows`):
+    /// 256 for byte plans, `num_codes + 1` for encoded plans (one extra
+    /// row for out-of-codebook symbols).
+    fn alphabet_rows(&self) -> usize {
+        ALPHABET
+    }
 }
 
 /// The paired-symbol flavour of [`ExecutionPlan`]: the per-cycle row
@@ -1006,6 +1023,15 @@ impl ExecutionPlan for CompiledEncodedAutomaton {
 
     fn report_code_unchecked(&self, state: usize) -> u32 {
         CompiledEncodedAutomaton::report_code_unchecked(self, state)
+    }
+
+    fn row_of_symbol(&self, symbol: u8) -> u32 {
+        u32::from(self.encoder[symbol as usize])
+    }
+
+    fn alphabet_rows(&self) -> usize {
+        // Codes 0..num_codes plus the reserved out-of-codebook row.
+        self.num_codes + 1
     }
 }
 
@@ -1696,6 +1722,383 @@ impl StridedPlan for CompiledEncodedStridedAutomaton {
     }
 }
 
+/// The blow-up guard of [`CompiledDfa::determinize`]: subset
+/// construction aborts — and the component stays NFA — the moment
+/// either cap is exceeded. Both caps bound the *per-component* table;
+/// a global cross-component memory budget is a selection-policy
+/// concern (`crate::compile::DfaPolicy`), not a construction one, so
+/// cached determinization outcomes stay deterministic under one budget
+/// pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DfaBudget {
+    /// Maximum subset states (the classic exponential-blow-up guard).
+    pub max_states: usize,
+    /// Maximum bytes of next-state table (`states × alphabet_rows × 4`),
+    /// guarding wide-alphabet small-state blow-up too.
+    pub max_table_bytes: usize,
+}
+
+impl Default for DfaBudget {
+    fn default() -> Self {
+        DfaBudget {
+            max_states: 128,
+            max_table_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// A per-component deterministic fast path: the subset construction of
+/// one self-contained [`Shard`]'s [`ExecutionPlan`], stepped with one
+/// table load per input symbol instead of fused multi-word BitSet
+/// sweeps.
+///
+/// A DFA state is an NFA *active set* under the sharded engine's exact
+/// cycle semantics with starts injected every cycle (`chain == 1`):
+/// state 0 is the empty set, and
+/// `δ(S, row) = (succ(S) ∪ all_input) ∩ match[row]`. Cycle 0 — where
+/// `start-of-data` states also inject — uses the separate
+/// [`first`](CompiledDfa::first) column; it is only ever taken out of
+/// state 0, because nothing has been fed yet. Each state carries its
+/// precomputed member list (the active set — activity accounting),
+/// report list (reporting members with codes — emitted verbatim, so
+/// hybrid reports are bit-identical to NFA stepping), and dynamic list
+/// (`succ(S)`, the enable set the *next* cycle sees — what the engine
+/// writes through to its lane bitsets so suspend/resume, idle probes,
+/// and observers keep reading truthful state).
+///
+/// Transition columns are indexed by *match row*
+/// ([`ExecutionPlan::row_of_symbol`]): raw bytes for byte plans, encoder
+/// codes for encoded plans, so an encoded component's table is
+/// `states × (num_codes + 1)`, not `states × 256`.
+///
+/// # Examples
+///
+/// ```
+/// use cama_core::compiled::{CompiledAutomaton, CompiledDfa, DfaBudget};
+/// use cama_core::regex;
+///
+/// let nfa = regex::compile("ab+c")?;
+/// let plan = CompiledAutomaton::compile(&nfa);
+/// let dfa = CompiledDfa::determinize(&plan, &DfaBudget::default()).unwrap();
+/// // State 0 is the empty active set; stepping is one table load.
+/// let after_a = dfa.next(0, u32::from(b'a'));
+/// assert_eq!(dfa.members(after_a).len(), 1);
+/// # Ok::<(), cama_core::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledDfa {
+    /// Transition-table row width ([`ExecutionPlan::alphabet_rows`]).
+    alphabet: usize,
+    /// Dense next-state table, `num_states × alphabet`.
+    next: Vec<u32>,
+    /// Cycle-0 transitions (start-of-data states inject), one per row.
+    /// Only taken out of state 0: at cycle 0 nothing has been fed, so
+    /// the lane is necessarily in state 0.
+    first: Vec<u32>,
+    /// CSR over states: members (the active set, sorted local ids).
+    member_offsets: Vec<u32>,
+    members: Vec<u32>,
+    /// CSR over states: reporting members with their codes.
+    report_offsets: Vec<u32>,
+    report_locals: Vec<u32>,
+    report_codes: Vec<u32>,
+    /// CSR over states: `succ(S)`, sorted — the dynamic set the next
+    /// cycle's enable vector contains.
+    dynamic_offsets: Vec<u32>,
+    dynamics: Vec<u32>,
+    /// Sorted dynamic set → first constructed state with that `succ`
+    /// set. Two states with equal `succ` sets are forward-equivalent
+    /// (their own members/reports were already emitted), which is all a
+    /// resumed suspended flow needs.
+    resume: std::collections::HashMap<Vec<u32>, u32>,
+    /// 64-state words spanned by the component (`ceil(len / 64)`).
+    words: usize,
+    /// Word-occupancy summary words (`ceil(words / 64)`).
+    any_words: usize,
+    /// Per-state packed active-set bits, `num_states × words` — the
+    /// write-through fast path ORs these into the lane instead of
+    /// looping over members, so a dense active set costs O(words), not
+    /// O(states), per cycle.
+    active_bits: Vec<u64>,
+    /// Per-state occupancy summaries for `active_bits`,
+    /// `num_states × any_words` (bit `w % 64` of summary word `w / 64`
+    /// set iff active word `w` is non-zero).
+    active_any: Vec<u64>,
+    /// Per-state packed `succ(S)` bits, `num_states × words` — the
+    /// next-cycle enable words the engine writes through to its lane.
+    dynamic_bits: Vec<u64>,
+    /// Occupancy summaries for `dynamic_bits`.
+    dynamic_any: Vec<u64>,
+}
+
+impl CompiledDfa {
+    /// Subset-constructs `plan` under `budget`, or `None` when the
+    /// construction would exceed either cap (the component then stays
+    /// on the NFA kernels) or the plan is empty.
+    pub fn determinize<P: ExecutionPlan>(plan: &P, budget: &DfaBudget) -> Option<CompiledDfa> {
+        let n = plan.len();
+        if n == 0 {
+            return None;
+        }
+        let rows = plan.alphabet_rows();
+        let words = n.div_ceil(64);
+
+        // One representative byte per reachable match row; rows no byte
+        // maps to are unreachable at runtime (the engine always indexes
+        // through `row_of_symbol`) and keep next-state 0.
+        let mut rep_of_row: Vec<Option<u8>> = vec![None; rows];
+        for byte in 0..=255u8 {
+            let row = plan.row_of_symbol(byte) as usize;
+            debug_assert!(row < rows, "row_of_symbol out of alphabet_rows");
+            rep_of_row[row].get_or_insert(byte);
+        }
+        let reachable: Vec<(usize, Vec<u64>)> = rep_of_row
+            .iter()
+            .enumerate()
+            .filter_map(|(row, rep)| {
+                rep.map(|byte| (row, plan.match_vector(byte).words().to_vec()))
+            })
+            .collect();
+
+        let all_input = plan.all_input_mask().as_words();
+        let start_of_data = plan.start_of_data_mask().as_words();
+        let report_mask = plan.report_mask();
+
+        let set_of = |set_words: &[u64]| -> Vec<u32> {
+            let mut out = Vec::new();
+            for (w, &word) in set_words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    out.push((w * 64 + bits.trailing_zeros() as usize) as u32);
+                    bits &= bits - 1;
+                }
+            }
+            out
+        };
+
+        let mut states: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut interned: std::collections::HashMap<Vec<u32>, u32> =
+            std::collections::HashMap::new();
+        interned.insert(Vec::new(), 0);
+        let mut next: Vec<u32> = Vec::new();
+        let mut first: Vec<u32> = vec![0; rows];
+
+        let intern = |members: Vec<u32>,
+                      states: &mut Vec<Vec<u32>>,
+                      interned: &mut std::collections::HashMap<Vec<u32>, u32>|
+         -> Option<u32> {
+            if let Some(&id) = interned.get(&members) {
+                return Some(id);
+            }
+            if states.len() >= budget.max_states
+                || (states.len() + 1) * rows * size_of::<u32>() > budget.max_table_bytes
+            {
+                return None;
+            }
+            let id = states.len() as u32;
+            states.push(members.clone());
+            interned.insert(members, id);
+            Some(id)
+        };
+
+        // Cycle-0 transitions: (all_input ∪ start_of_data) ∩ match[row].
+        let mut scratch = vec![0u64; words];
+        for (row, match_words) in &reachable {
+            for w in 0..words {
+                scratch[w] = (all_input[w] | start_of_data[w]) & match_words[w];
+            }
+            first[*row] = intern(set_of(&scratch), &mut states, &mut interned)?;
+        }
+
+        // Breadth of construction order: process states as they are
+        // interned; every processed state gets its full transition row.
+        let mut member_offsets = vec![0u32];
+        let mut members_flat = Vec::new();
+        let mut report_offsets = vec![0u32];
+        let mut report_locals = Vec::new();
+        let mut report_codes = Vec::new();
+        let mut dynamic_offsets = vec![0u32];
+        let mut dynamics_flat = Vec::new();
+        let mut resume: std::collections::HashMap<Vec<u32>, u32> = std::collections::HashMap::new();
+
+        let mut s = 0usize;
+        while s < states.len() {
+            // succ(S): the union of the members' successor lists.
+            let mut succ = vec![0u64; words];
+            for &m in &states[s] {
+                for &t in plan.successors(m as usize) {
+                    succ[t as usize / 64] |= 1 << (t % 64);
+                }
+            }
+
+            // The dense transition row of S, appended at offset
+            // `s × rows`; unreachable rows keep next-state 0.
+            next.resize((s + 1) * rows, 0);
+            for (row, match_words) in &reachable {
+                for w in 0..words {
+                    scratch[w] = (succ[w] | all_input[w]) & match_words[w];
+                }
+                next[s * rows + row] = intern(set_of(&scratch), &mut states, &mut interned)?;
+            }
+
+            // Per-state precomputed lists.
+            for &m in &states[s] {
+                members_flat.push(m);
+                if report_mask.contains(m as usize) {
+                    report_locals.push(m);
+                    report_codes.push(plan.report_code_unchecked(m as usize));
+                }
+            }
+            member_offsets.push(members_flat.len() as u32);
+            report_offsets.push(report_locals.len() as u32);
+            let dyn_set = set_of(&succ);
+            resume.entry(dyn_set.clone()).or_insert(s as u32);
+            dynamics_flat.extend_from_slice(&dyn_set);
+            dynamic_offsets.push(dynamics_flat.len() as u32);
+            s += 1;
+        }
+
+        // Packed word bitmaps per state, so the engine's write-through
+        // is a word-level OR-copy rather than a per-member loop.
+        let any_words = words.div_ceil(64).max(1);
+        let num_states = member_offsets.len() - 1;
+        let mut active_bits = vec![0u64; num_states * words];
+        let mut active_any = vec![0u64; num_states * any_words];
+        let mut dynamic_bits = vec![0u64; num_states * words];
+        let mut dynamic_any = vec![0u64; num_states * any_words];
+        let pack = |flat: &[u32], offsets: &[u32], bits: &mut [u64], any: &mut [u64]| {
+            for state in 0..num_states {
+                let span = offsets[state] as usize..offsets[state + 1] as usize;
+                for &local in &flat[span] {
+                    let w = local as usize / 64;
+                    bits[state * words + w] |= 1u64 << (local % 64);
+                    any[state * any_words + w / 64] |= 1u64 << (w % 64);
+                }
+            }
+        };
+        pack(
+            &members_flat,
+            &member_offsets,
+            &mut active_bits,
+            &mut active_any,
+        );
+        pack(
+            &dynamics_flat,
+            &dynamic_offsets,
+            &mut dynamic_bits,
+            &mut dynamic_any,
+        );
+
+        Some(CompiledDfa {
+            alphabet: rows,
+            next,
+            first,
+            member_offsets,
+            members: members_flat,
+            report_offsets,
+            report_locals,
+            report_codes,
+            dynamic_offsets,
+            dynamics: dynamics_flat,
+            resume,
+            words,
+            any_words,
+            active_bits,
+            active_any,
+            dynamic_bits,
+            dynamic_any,
+        })
+    }
+
+    /// Number of subset states (state 0 is the empty active set).
+    pub fn num_states(&self) -> usize {
+        self.member_offsets.len() - 1
+    }
+
+    /// Transition-table row width (256 for byte plans, `num_codes + 1`
+    /// for encoded plans).
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Bytes held by the dense next-state table (the quantity a global
+    /// DFA memory budget meters).
+    pub fn table_bytes(&self) -> usize {
+        (self.next.len() + self.first.len()) * size_of::<u32>()
+    }
+
+    /// One table load: the state after consuming a symbol whose match
+    /// row is `row`, from `state`, on any cycle after the first.
+    #[inline]
+    pub fn next(&self, state: u32, row: u32) -> u32 {
+        self.next[state as usize * self.alphabet + row as usize]
+    }
+
+    /// The cycle-0 transition for match row `row` (start-of-data states
+    /// inject only there). Only meaningful out of state 0.
+    #[inline]
+    pub fn first(&self, row: u32) -> u32 {
+        self.first[row as usize]
+    }
+
+    /// The active set of `state`: sorted local state ids.
+    #[inline]
+    pub fn members(&self, state: u32) -> &[u32] {
+        let s = state as usize;
+        &self.members[self.member_offsets[s] as usize..self.member_offsets[s + 1] as usize]
+    }
+
+    /// The reporting members of `state` with their codes, as parallel
+    /// slices `(locals, codes)` in ascending local order.
+    #[inline]
+    pub fn reports(&self, state: u32) -> (&[u32], &[u32]) {
+        let s = state as usize;
+        let span = self.report_offsets[s] as usize..self.report_offsets[s + 1] as usize;
+        (&self.report_locals[span.clone()], &self.report_codes[span])
+    }
+
+    /// `succ(state)`: the sorted dynamic set the next cycle's enable
+    /// vector contains — what the engine writes through to its lane.
+    #[inline]
+    pub fn dynamics(&self, state: u32) -> &[u32] {
+        let s = state as usize;
+        &self.dynamics[self.dynamic_offsets[s] as usize..self.dynamic_offsets[s + 1] as usize]
+    }
+
+    /// The active set of `state` as packed 64-state words plus its
+    /// occupancy summary (`bits`, `any`) — OR these into a lane's
+    /// active words/summary for an O(words) write-through.
+    #[inline]
+    pub fn active_words(&self, state: u32) -> (&[u64], &[u64]) {
+        let s = state as usize;
+        (
+            &self.active_bits[s * self.words..(s + 1) * self.words],
+            &self.active_any[s * self.any_words..(s + 1) * self.any_words],
+        )
+    }
+
+    /// `succ(state)` as packed words plus occupancy summary — the
+    /// next-cycle enable words a lane's write-through ORs in.
+    #[inline]
+    pub fn dynamic_words(&self, state: u32) -> (&[u64], &[u64]) {
+        let s = state as usize;
+        (
+            &self.dynamic_bits[s * self.words..(s + 1) * self.words],
+            &self.dynamic_any[s * self.any_words..(s + 1) * self.any_words],
+        )
+    }
+
+    /// The state a suspended flow resumes into, given its sorted dynamic
+    /// set — some state whose `succ` set equals it (forward-equivalent:
+    /// everything the flow can still do depends only on the dynamic
+    /// set). `None` if no constructed state has that `succ` set (e.g.
+    /// the snapshot came from a different plan); the caller falls back
+    /// to NFA stepping for the lane.
+    pub fn resume_state(&self, dynamics: &[u32]) -> Option<u32> {
+        self.resume.get(dynamics).copied()
+    }
+}
+
 /// One end of a cross-shard activation edge: the receiving state,
 /// addressed shard-locally.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -1736,6 +2139,12 @@ pub struct Shard<P = CompiledAutomaton> {
     /// `a`. Empty for byte plans.
     pair_start_possible: Vec<[u64; 4]>,
     has_start_of_data: bool,
+    /// The determinized fast path, when this component was nominated
+    /// and subset construction stayed within budget. `Arc` so cached
+    /// retargets share one table. Always `None` for shards with cross
+    /// edges (a DFA state is a *whole-component* active set) and for
+    /// strided plans.
+    dfa: Option<std::sync::Arc<CompiledDfa>>,
 }
 
 impl<P: PlanBase> Shard<P> {
@@ -1802,6 +2211,31 @@ impl<P: PlanBase> Shard<P> {
         self.has_start_of_data
     }
 
+    /// The shard's determinized fast path, if one was compiled — the
+    /// engine then steps this shard with one table load per cycle
+    /// instead of the NFA word sweeps (hybrid execution; results are
+    /// bit-identical either way).
+    pub fn dfa(&self) -> Option<&CompiledDfa> {
+        self.dfa.as_deref()
+    }
+
+    /// Attaches a determinized fast path to a self-contained component
+    /// shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard has cross-shard edges: a [`CompiledDfa`]
+    /// state is the component's whole active set, which cross traffic
+    /// would invalidate.
+    pub(crate) fn with_dfa(mut self, dfa: std::sync::Arc<CompiledDfa>) -> Shard<P> {
+        assert!(
+            self.cross_targets.is_empty(),
+            "DFA fast paths require self-contained component shards"
+        );
+        self.dfa = Some(dfa);
+        self
+    }
+
     /// Builds the shard of one self-contained compilation unit (a
     /// connected component): no activation edge leaves a component, so
     /// its cross table is empty by construction. Used by
@@ -1820,6 +2254,7 @@ impl<P: PlanBase> Shard<P> {
             start_match_possible: probes.start,
             pair_start_possible: probes.pair_start,
             has_start_of_data,
+            dfa: None,
             plan,
         }
     }
@@ -2323,6 +2758,7 @@ impl<P: PlanBase> ShardedAutomaton<P> {
                     start_match_possible: probes.start,
                     pair_start_possible: probes.pair_start,
                     has_start_of_data,
+                    dfa: None,
                 }
             })
             .collect();
@@ -2416,6 +2852,11 @@ impl<P: PlanBase> ShardedAutomaton<P> {
     /// (the traffic the simulated global switch carries).
     pub fn num_cross_edges(&self) -> usize {
         self.num_cross_edges
+    }
+
+    /// Shards carrying a determinized fast path (see [`Shard::dfa`]).
+    pub fn num_dfa_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.dfa().is_some()).count()
     }
 
     /// Total activation edges resolved inside shards.
@@ -3105,5 +3546,170 @@ mod tests {
         let pin = plan.pin_shards(2);
         assert_eq!(pin.len(), 5);
         assert!(pin.iter().all(|&w| w < 2));
+    }
+
+    /// Walks a [`CompiledDfa`] over `input` collecting `(code, offset)`
+    /// reports — the chain == 1 engine loop reduced to its essence.
+    fn dfa_reports<P: ExecutionPlan>(
+        dfa: &CompiledDfa,
+        plan: &P,
+        input: &[u8],
+    ) -> Vec<(u32, usize)> {
+        let mut state = 0u32;
+        let mut out = Vec::new();
+        for (offset, &byte) in input.iter().enumerate() {
+            let row = plan.row_of_symbol(byte);
+            state = if offset == 0 {
+                dfa.first(row)
+            } else {
+                dfa.next(state, row)
+            };
+            let (_, codes) = dfa.reports(state);
+            out.extend(codes.iter().map(|&code| (code, offset)));
+        }
+        out
+    }
+
+    #[test]
+    fn determinize_declines_when_either_budget_cap_is_exceeded() {
+        let nfa = regex::compile("(a|b)e*cd+").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let full = CompiledDfa::determinize(&plan, &DfaBudget::default()).expect("fits");
+        assert!(full.num_states() > 2);
+        assert!(full.table_bytes() <= DfaBudget::default().max_table_bytes);
+
+        let tight_states = DfaBudget {
+            max_states: 2,
+            ..DfaBudget::default()
+        };
+        assert!(
+            CompiledDfa::determinize(&plan, &tight_states).is_none(),
+            "state cap must decline the construction"
+        );
+        let tight_bytes = DfaBudget {
+            max_table_bytes: 64,
+            ..DfaBudget::default()
+        };
+        assert!(
+            CompiledDfa::determinize(&plan, &tight_bytes).is_none(),
+            "table-byte cap must decline the construction"
+        );
+        // The empty plan has nothing to determinize.
+        let empty_nfa = NfaBuilder::new()
+            .build_with_options(crate::BuildOptions {
+                reject_empty_classes: false,
+                reject_unreachable: false,
+            })
+            .unwrap();
+        let empty = CompiledAutomaton::compile(&empty_nfa);
+        assert!(CompiledDfa::determinize(&empty, &DfaBudget::default()).is_none());
+    }
+
+    #[test]
+    fn determinize_all_input_starts_make_first_equal_next_from_empty() {
+        // No start-of-data states: cycle 0 injects exactly what every
+        // other cycle injects, so the first column is redundant with
+        // stepping out of the empty state.
+        let nfa = regex::compile("ab+c").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let dfa = CompiledDfa::determinize(&plan, &DfaBudget::default()).unwrap();
+        for byte in 0..=255u8 {
+            let row = plan.row_of_symbol(byte);
+            assert_eq!(dfa.first(row), dfa.next(0, row), "byte {byte}");
+        }
+    }
+
+    #[test]
+    fn determinize_start_of_data_states_inject_only_in_the_first_column() {
+        // Anchored `^ab`: the `a` state is start-of-data, enabled at
+        // cycle 0 only; re-entering the empty state later must not
+        // resurrect it.
+        let mut builder = NfaBuilder::new();
+        let a = builder.add_ste(SymbolClass::singleton(b'a'));
+        let b = builder.add_ste(SymbolClass::singleton(b'b'));
+        builder.set_start(a, crate::StartKind::StartOfData);
+        builder.add_edge(a, b);
+        builder.set_report(b, 7);
+        let nfa = builder.build().unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let dfa = CompiledDfa::determinize(&plan, &DfaBudget::default()).unwrap();
+
+        let row_a = plan.row_of_symbol(b'a');
+        assert_eq!(dfa.members(dfa.first(row_a)), &[0], "anchored start fires");
+        assert_eq!(dfa.next(0, row_a), 0, "mid-stream `a` enables nothing");
+        assert_eq!(dfa_reports(&dfa, &plan, b"ab"), vec![(7, 1)]);
+        assert_eq!(dfa_reports(&dfa, &plan, b"xab"), vec![]);
+    }
+
+    #[test]
+    fn determinize_reports_on_start_state_at_cycle_zero() {
+        let nfa = regex::compile_set(&["a", "ab+c"]).unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let dfa = CompiledDfa::determinize(&plan, &DfaBudget::default()).unwrap();
+        // `a` is a reporting start state: its report must surface on the
+        // very first byte, and again on every later `a`.
+        assert_eq!(
+            dfa_reports(&dfa, &plan, b"abca"),
+            vec![(0, 0), (1, 2), (0, 3)]
+        );
+    }
+
+    #[test]
+    fn determinize_handles_negated_classes() {
+        let nfa = regex::compile("[^a]b").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let dfa = CompiledDfa::determinize(&plan, &DfaBudget::default()).unwrap();
+        assert_eq!(dfa_reports(&dfa, &plan, b"xb"), vec![(0, 1)]);
+        // `a` fails the negated class, so no enable reaches `b`.
+        assert_eq!(dfa_reports(&dfa, &plan, b"ab"), vec![]);
+        // `b` itself satisfies `[^a]`, so `bb` matches at offset 1.
+        assert_eq!(dfa_reports(&dfa, &plan, b"bb"), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn determinize_encoded_plan_indexes_by_code_row() {
+        let nfa = regex::compile("ab").unwrap();
+        let encoded = identity_encoded(&nfa, b"ab");
+        let dfa = CompiledDfa::determinize(&encoded, &DfaBudget::default()).unwrap();
+        // Columns are code rows plus the reserved out-of-domain row —
+        // three, not 256.
+        assert_eq!(dfa.alphabet(), encoded.num_codes() + 1);
+        // next table plus the cycle-0 first column, all u32 entries.
+        assert_eq!(
+            dfa.table_bytes(),
+            (dfa.num_states() + 1) * dfa.alphabet() * 4
+        );
+        assert_eq!(dfa_reports(&dfa, &encoded, b"ab"), vec![(0, 1)]);
+        // Out-of-domain symbols all collapse onto the empty reserved
+        // row: no state matches, so the walk stays in state 0.
+        assert_eq!(dfa_reports(&dfa, &encoded, b"zb"), vec![]);
+        let reserved = encoded.row_of_symbol(b'z');
+        assert_eq!(reserved, encoded.num_codes() as u32);
+        assert_eq!(dfa.next(0, reserved), 0);
+        assert_eq!(dfa.first(reserved), 0);
+    }
+
+    #[test]
+    fn determinize_resume_state_round_trips_dynamic_sets() {
+        let nfa = regex::compile("ab+c").unwrap();
+        let plan = CompiledAutomaton::compile(&nfa);
+        let dfa = CompiledDfa::determinize(&plan, &DfaBudget::default()).unwrap();
+        // Every constructed state's dynamic set must resolve back to a
+        // forward-equivalent state.
+        for state in 0..dfa.num_states() as u32 {
+            let resumed = dfa
+                .resume_state(dfa.dynamics(state))
+                .expect("constructed dynamic sets are resumable");
+            assert_eq!(
+                dfa.dynamics(resumed),
+                dfa.dynamics(state),
+                "state {state} resumed to a different enable set"
+            );
+        }
+        // A set the construction never produced is not resumable: no
+        // edge targets the start state `a`, so `{a}` is never a
+        // reachable `succ` set and such a snapshot must fall back to
+        // NFA stepping.
+        assert_eq!(dfa.resume_state(&[0]), None);
     }
 }

@@ -69,6 +69,31 @@ pub struct ShardCycleView<'a> {
     pub reports: usize,
 }
 
+/// A read-only view of one visited *DFA-stepped* shard's cycle, valid
+/// only during the [`ShardObserver::on_dfa_shard_cycle`] call.
+///
+/// Hybrid plans step determinized shards through a single dense table
+/// row instead of the word-sliced NFA kernel, so an energy model may
+/// want to charge them differently (one row search of the transition
+/// table rather than per-state CAM activity). The embedded
+/// [`ShardCycleView`] is fully populated — the DFA kernel writes the
+/// same active/next bit sets the NFA kernel would — so observers that
+/// don't care about the execution style can ignore this hook entirely:
+/// the default forwards to
+/// [`on_shard_cycle`](ShardObserver::on_shard_cycle).
+#[derive(Debug)]
+pub struct DfaShardCycleView<'a> {
+    /// The ordinary per-shard view (local bit sets, reports, …).
+    pub shard_view: ShardCycleView<'a>,
+    /// The DFA state the shard landed in this cycle.
+    pub dfa_state: u32,
+    /// Total states in the shard's DFA (table rows).
+    pub dfa_states: usize,
+    /// Transition-table row count per state (256 for byte plans, the
+    /// codebook size for encoded plans).
+    pub alphabet: usize,
+}
+
 /// End-of-cycle rollup across all shards, delivered once per cycle
 /// after every visited shard's [`ShardCycleView`].
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +123,14 @@ pub trait ShardObserver {
     /// Called for each visited shard after its matching and transition
     /// resolution.
     fn on_shard_cycle(&mut self, view: &ShardCycleView<'_>);
+
+    /// Called instead of [`on_shard_cycle`](ShardObserver::on_shard_cycle)
+    /// for shards stepped through their compiled DFA. Defaults to
+    /// forwarding the embedded shard view, so observers unaware of the
+    /// hybrid fast path see identical activity either way.
+    fn on_dfa_shard_cycle(&mut self, view: &DfaShardCycleView<'_>) {
+        self.on_shard_cycle(&view.shard_view);
+    }
 
     /// Called once per cycle after all shards (and the cross-shard
     /// exchange) completed.

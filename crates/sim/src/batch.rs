@@ -124,6 +124,12 @@ pub enum SwapVerdict {
         /// Dynamic states dropped with the removed components.
         dropped: usize,
     },
+    /// The flow was already parked (cold) at the swap: its snapshot was
+    /// left untouched and the remap stashed instead. Translation
+    /// happens lazily when the flow next resumes or closes, so a swap
+    /// over a mostly-parked table costs O(resident), not O(open flows).
+    /// Results are identical to eager translation.
+    Deferred,
 }
 
 /// What one [`swap_plan`](BatchSimulator::swap_plan) did, flow by flow.
@@ -137,6 +143,9 @@ pub struct SwapReport {
     pub displaced: usize,
     /// Flows with no dynamic activity at the swap.
     pub idle: usize,
+    /// Parked flows whose translation was deferred to their next
+    /// resume/close.
+    pub deferred: usize,
     /// Dynamic states translated onto the new plan, summed over flows.
     pub states_kept: usize,
     /// Dynamic states dropped with removed components, summed.
@@ -176,6 +185,10 @@ pub trait StreamPlan: Sync {
     /// mid-pair must flush its carry byte through an engine cycle (and
     /// pair reports need the end-of-stream (offset, state) sort, which
     /// the sessionless path applies directly).
+    ///
+    /// `Err` is the hand-back, not a failure — the flow moves by value
+    /// either way, so boxing it would only add an allocation.
+    #[allow(clippy::result_large_err)]
     fn finalize_parked(flow: SuspendedFlow) -> Result<RunResult, SuspendedFlow> {
         Ok(flow.into_result())
     }
@@ -183,6 +196,7 @@ pub trait StreamPlan: Sync {
 
 /// Shared [`StreamPlan::finalize_parked`] behaviour of the strided
 /// flavours: a pending carry needs a session; otherwise sort in place.
+#[allow(clippy::result_large_err)]
 fn finalize_parked_strided(flow: SuspendedFlow) -> Result<RunResult, SuspendedFlow> {
     if flow.pending_carry().is_some() {
         return Err(flow);
@@ -273,8 +287,20 @@ enum Flow<S> {
         /// Scheduler clock value of the last feed (victim ordering).
         last_touch: u64,
     },
-    Parked(SuspendedFlow),
+    Parked {
+        flow: SuspendedFlow,
+        /// Swap epoch the snapshot's state ids belong to: an index into
+        /// the table's stashed remap chain. Remaps `epoch..` are
+        /// applied lazily when the flow resumes or closes.
+        epoch: usize,
+    },
 }
+
+/// Remap-chain length that triggers compaction at the next swap (see
+/// [`BatchSimulator`]'s `compact_remaps`): small enough that the chain
+/// never holds more than a handful of remaps, large enough that the
+/// O(open flows) rebase is amortised over several swaps.
+const REMAP_COMPACT_THRESHOLD: usize = 8;
 
 /// A stream table running many independent input streams over one
 /// shared compiled plan (flat by default; see [`ShardedBatch`] for the
@@ -298,6 +324,11 @@ pub struct BatchSimulator<'p, P: StreamPlan = CompiledAutomaton> {
     resident_ids: Vec<StreamId>,
     /// Monotone feed clock driving least-recently-fed victim choice.
     touch_clock: u64,
+    /// The remap chain of past plan swaps: parked flows skipped by a
+    /// lazy swap carry an epoch index into this chain and translate
+    /// through `pending_remaps[epoch..]` when they next resume or
+    /// close. Cleared whenever no parked flow remains.
+    pending_remaps: Vec<PlanRemap>,
 }
 
 /// A [`BatchSimulator`] over a [`ShardedAutomaton`]: the stream table
@@ -328,6 +359,7 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
             resident: 0,
             resident_ids: Vec::new(),
             touch_clock: 0,
+            pending_remaps: Vec::new(),
         }
     }
 
@@ -408,6 +440,13 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
         self.table.len() - self.resident
     }
 
+    /// Remaps stashed for lazily-translated (deferred) parked flows.
+    /// Bounded by the compaction threshold plus one swap's worth of
+    /// slack regardless of how many swaps the table lives through.
+    pub fn pending_remap_count(&self) -> usize {
+        self.pending_remaps.len()
+    }
+
     /// The residency cap set via [`max_resident`](Self::max_resident)
     /// (`None` = unlimited).
     pub fn resident_cap(&self) -> Option<usize> {
@@ -423,24 +462,32 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
     /// Hot ruleset swap: replaces the compiled plan under every live
     /// flow without draining the table.
     ///
-    /// Every flow is parked as a sparse [`SuspendedFlow`] snapshot, its
-    /// global state ids (active set and accumulated reports) are
-    /// translated through `remap`
-    /// ([`SuspendedFlow::translate`]), and the table switches to
-    /// `new_plan`; flows resume on the new plan transparently at their
-    /// next feed. All sessions — resident and pooled — are dropped:
-    /// they execute the *old* plan. For flows whose live states all sit
-    /// on unchanged components the swap is unobservable — reports,
-    /// order, and byte positions are bit-identical to a run that never
-    /// swapped (asserted differentially in `tests/property.rs`); flows
-    /// whose components were removed lose their match progress and get
-    /// a [`Displaced`](SwapVerdict::Displaced) verdict.
+    /// Every *resident* flow is parked as a sparse [`SuspendedFlow`]
+    /// snapshot and its global state ids (active set and accumulated
+    /// reports) are translated through `remap`
+    /// ([`SuspendedFlow::translate`]) eagerly. Flows that were already
+    /// parked — the cold majority of a capped table — are left
+    /// untouched with a [`Deferred`](SwapVerdict::Deferred) verdict:
+    /// the remap is stashed and applied lazily when each flow next
+    /// resumes or closes (chaining across multiple swaps if the flow
+    /// stays cold that long), so swap latency scales with the resident
+    /// set, not the open-flow count. Either way the table switches to
+    /// `new_plan` and flows resume on it transparently at their next
+    /// feed. All sessions — resident and pooled — are dropped: they
+    /// execute the *old* plan. For flows whose live states all sit on
+    /// unchanged components the swap is unobservable — reports, order,
+    /// and byte positions are bit-identical to a run that never swapped
+    /// (asserted differentially in `tests/property.rs`); flows whose
+    /// components were removed lose their match progress and get a
+    /// [`Displaced`](SwapVerdict::Displaced) verdict (resident flows
+    /// report it at the swap, deferred flows silently at translation).
     ///
     /// `remap` must be the old→new mapping for exactly this plan pair
     /// (`PlanRemap::between` on the source NFAs, `between_strided` for
-    /// strided flavours, or `identity` when the plan was merely
-    /// recompiled). Swapping with [`PlanRemap::identity`] and the same
-    /// plan is a valid no-op-shaped stress test: it round-trips every
+    /// strided flavours, [`PlanRemap::extend_append`] for append-only
+    /// updates, or `identity` when the plan was merely recompiled).
+    /// Swapping with [`PlanRemap::identity`] and the same plan is a
+    /// valid no-op-shaped stress test: it round-trips every resident
     /// flow through suspend/translate/resume.
     pub fn swap_plan(&mut self, new_plan: &'p P, remap: &PlanRemap) -> SwapReport {
         let mut report = SwapReport::default();
@@ -448,11 +495,32 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
         // order (and the suspend order, for reproducibility) by id.
         let mut streams: Vec<StreamId> = self.table.keys().copied().collect();
         streams.sort_unstable();
+        // Already-parked (cold) flows defer; the remap is stashed only
+        // when at least one flow will still reference it. Residents are
+        // eagerly translated and re-parked at the post-stash epoch, so
+        // they skip the whole chain on resume.
+        if self.table.len() > self.resident {
+            self.pending_remaps.push(remap.clone());
+        } else {
+            debug_assert!(
+                self.pending_remaps.is_empty(),
+                "remap chain must be cleared once every flow is resident"
+            );
+        }
+        let current_epoch = self.pending_remaps.len();
         for &stream in &streams {
-            let mut flow = match self.table.remove(&stream).expect("listed stream open") {
+            let mut flow = match self.table.remove(&stream).expect("stream open") {
                 // The session borrows the old plan; snapshot and drop it.
                 Flow::Resident { mut session, .. } => session.suspend(),
-                Flow::Parked(flow) => flow,
+                Flow::Parked { flow, epoch } => {
+                    // Lazy cold-flow path: keep the snapshot as-is at
+                    // its old epoch; the stashed remap chain catches it
+                    // up on resume/close.
+                    report.deferred += 1;
+                    report.verdicts.push((stream, SwapVerdict::Deferred));
+                    self.table.insert(stream, Flow::Parked { flow, epoch });
+                    continue;
+                }
             };
             let live_before = flow.dynamic_states().len();
             let (kept, dropped) = flow.translate(remap);
@@ -469,14 +537,50 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
             report.states_kept += kept;
             report.states_dropped += dropped;
             report.verdicts.push((stream, verdict));
-            self.table.insert(stream, Flow::Parked(flow));
+            self.table.insert(
+                stream,
+                Flow::Parked {
+                    flow,
+                    epoch: current_epoch,
+                },
+            );
         }
         report.flows = streams.len();
         self.plan = new_plan;
         self.resident = 0;
         self.resident_ids.clear();
         self.pool.clear();
+        if self.pending_remaps.len() >= REMAP_COMPACT_THRESHOLD {
+            self.compact_remaps();
+        }
         report
+    }
+
+    /// Drops the remap-chain prefix no parked flow references any more
+    /// and rebases the surviving epochs. A table whose flows churn
+    /// (park, then resume or close within a few swaps) would otherwise
+    /// grow the chain by one remap per swap forever; compaction keeps
+    /// it bounded by the deepest *live* deferral, amortised O(open
+    /// flows) once per [`REMAP_COMPACT_THRESHOLD`] swaps.
+    fn compact_remaps(&mut self) {
+        let min_epoch = self
+            .table
+            .values()
+            .filter_map(|flow| match flow {
+                Flow::Parked { epoch, .. } => Some(*epoch),
+                Flow::Resident { .. } => None,
+            })
+            .min()
+            .unwrap_or(self.pending_remaps.len());
+        if min_epoch == 0 {
+            return;
+        }
+        self.pending_remaps.drain(..min_epoch);
+        for flow in self.table.values_mut() {
+            if let Flow::Parked { epoch, .. } = flow {
+                *epoch -= min_epoch;
+            }
+        }
     }
 
     /// Visits every resident flow as `(stream, idle, last_touch)` — the
@@ -599,20 +703,43 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
                 self.pool.push(session);
                 result
             }
-            Some(Flow::Parked(flow)) => match P::finalize_parked(flow) {
-                Ok(result) => result,
-                Err(flow) => {
-                    let mut session = self
-                        .pool
-                        .pop()
-                        .unwrap_or_else(|| self.plan.open_session(self.chain));
-                    session.resume(flow);
-                    let result = session.finish();
-                    self.pool.push(session);
-                    result
+            Some(Flow::Parked { mut flow, epoch }) => {
+                Self::translate_deferred(&self.pending_remaps, &mut flow, epoch);
+                self.maybe_clear_remaps();
+                match P::finalize_parked(flow) {
+                    Ok(result) => result,
+                    Err(flow) => {
+                        let mut session = self
+                            .pool
+                            .pop()
+                            .unwrap_or_else(|| self.plan.open_session(self.chain));
+                        session.resume(flow);
+                        let result = session.finish();
+                        self.pool.push(session);
+                        result
+                    }
                 }
-            },
+            }
             None => RunResult::default(),
+        }
+    }
+
+    /// Catches a deferred (cold-parked) snapshot up with every plan
+    /// swap it slept through: applies the stashed remaps from the
+    /// flow's park epoch forward, in swap order. Eagerly-translated
+    /// flows carry `epoch == pending.len()` and the slice is empty.
+    fn translate_deferred(pending: &[PlanRemap], flow: &mut SuspendedFlow, epoch: usize) {
+        for remap in &pending[epoch..] {
+            flow.translate(remap);
+        }
+    }
+
+    /// Drops the stashed remap chain once no parked flow can still
+    /// reference it (every open flow is resident), so a long-lived
+    /// table does not accumulate remaps across many swaps.
+    fn maybe_clear_remaps(&mut self) {
+        if !self.pending_remaps.is_empty() && self.table.len() == self.resident {
+            self.pending_remaps.clear();
         }
     }
 
@@ -657,7 +784,8 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
             .pool
             .pop()
             .unwrap_or_else(|| self.plan.open_session(self.chain));
-        if let Some(Flow::Parked(flow)) = self.table.remove(&stream) {
+        if let Some(Flow::Parked { mut flow, epoch }) = self.table.remove(&stream) {
+            Self::translate_deferred(&self.pending_remaps, &mut flow, epoch);
             session.resume(flow);
         }
         self.table.insert(
@@ -668,6 +796,7 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
             },
         );
         self.note_resident(stream);
+        self.maybe_clear_remaps();
     }
 
     fn note_resident(&mut self, stream: StreamId) {
@@ -706,7 +835,7 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
                     session,
                     last_touch,
                 } => (id, session.is_idle(), *last_touch),
-                Flow::Parked(_) => unreachable!("parked flow in resident index"),
+                Flow::Parked { .. } => unreachable!("parked flow in resident index"),
             })
             .min_by_key(|&(_, idle, touch)| (!idle, touch))
             .map(|(id, ..)| id);
@@ -720,7 +849,16 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
             let parked = session.suspend();
             self.pool.push(session);
             self.note_unresident(id);
-            self.table.insert(id, Flow::Parked(parked));
+            // A freshly-parked snapshot is current with the live plan:
+            // its epoch is the full chain length, so resume applies
+            // only remaps stashed by *later* swaps.
+            self.table.insert(
+                id,
+                Flow::Parked {
+                    flow: parked,
+                    epoch: self.pending_remaps.len(),
+                },
+            );
         }
     }
 
@@ -730,10 +868,15 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
         if self.max_resident.is_none() {
             // Uncapped tables never park on their own, but a plan swap
             // parks every flow: resume those off the fast path first.
-            if matches!(self.table.get(&stream), Some(Flow::Parked(_))) {
-                let Some(Flow::Parked(parked)) = self.table.remove(&stream) else {
+            if matches!(self.table.get(&stream), Some(Flow::Parked { .. })) {
+                let Some(Flow::Parked {
+                    flow: mut parked,
+                    epoch,
+                }) = self.table.remove(&stream)
+                else {
                     unreachable!("matched a parked flow above")
                 };
+                Self::translate_deferred(&self.pending_remaps, &mut parked, epoch);
                 let mut session = self
                     .pool
                     .pop()
@@ -747,6 +890,7 @@ impl<'p, P: StreamPlan> BatchSimulator<'p, P> {
                         last_touch: 0,
                     },
                 );
+                self.maybe_clear_remaps();
             }
             // Every remaining open flow is resident: single hash lookup
             // on the per-chunk hot path.
@@ -975,7 +1119,9 @@ impl<'p, P: ShardedExecution + Clone + fmt::Debug> BatchSimulator<'p, ShardedAut
                 self.pool.push(session);
                 result
             }
-            Some(Flow::Parked(flow)) => {
+            Some(Flow::Parked { mut flow, epoch }) => {
+                Self::translate_deferred(&self.pending_remaps, &mut flow, epoch);
+                self.maybe_clear_remaps();
                 match <ShardedAutomaton<P> as StreamPlan>::finalize_parked(flow) {
                     Ok(result) => result,
                     Err(flow) => {
@@ -1123,7 +1269,7 @@ mod tests {
         batch.feed(0, b"ab"); // active: mid-match
         batch.feed(1, b"zz"); // idle: nothing enabled
         batch.feed(2, b"b"); // needs a slot -> flow 1 is the victim
-        assert!(matches!(batch.table.get(&1), Some(Flow::Parked(_))));
+        assert!(matches!(batch.table.get(&1), Some(Flow::Parked { .. })));
         assert!(matches!(batch.table.get(&0), Some(Flow::Resident { .. })));
         batch.feed(0, b"bx");
         assert_eq!(batch.close(0).report_offsets(), vec![3]);
@@ -1433,13 +1579,15 @@ mod tests {
         let mut batch = BatchSimulator::new(&old_plan).max_resident(2);
         batch.feed(0, b"ab"); // live inside the removed ab+c component
         batch.feed(1, b"xy"); // live inside the surviving xy+z component
-        batch.feed(2, b"zz"); // no dynamic activity at all
+        batch.feed(2, b"zz"); // evicts flow 0 (LRU); no dynamic activity
         let report = batch.swap_plan(&new_plan, &remap);
         assert_eq!(report.flows, 3);
         assert_eq!(
             report.verdicts,
             vec![
-                (0, SwapVerdict::Displaced { dropped: 2 }),
+                // Flow 0 was already parked when the swap landed: its
+                // snapshot is left cold and translated lazily.
+                (0, SwapVerdict::Deferred),
                 (
                     1,
                     SwapVerdict::Migrated {
@@ -1450,11 +1598,14 @@ mod tests {
                 (2, SwapVerdict::Idle),
             ]
         );
+        assert_eq!(report.deferred, 1);
         assert_eq!(batch.resident_count(), 0);
         assert_eq!(batch.parked_count(), 3);
 
         // The surviving flow completes its match on the new plan; the
-        // displaced flow lost its progress and needs a fresh start.
+        // deferred flow's live states sat on the removed component, so
+        // the lazy translation at resume drops its progress exactly as
+        // an eager swap would have.
         batch.feed(1, b"z");
         assert_eq!(batch.close(1).report_offsets(), vec![2]);
         batch.feed(0, b"c");

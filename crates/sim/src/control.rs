@@ -596,6 +596,12 @@ impl<'p, P: StreamPlan, V: VictimPolicy> ControlledBatch<'p, P, V> {
         self.batch.parked_count()
     }
 
+    /// Remaps stashed for lazily-translated parked flows (bounded; see
+    /// [`BatchSimulator::pending_remap_count`]).
+    pub fn pending_remap_count(&self) -> usize {
+        self.batch.pending_remap_count()
+    }
+
     /// Bytes currently buffered across all deferral queues.
     pub fn deferred_total(&self) -> usize {
         self.deferred_total

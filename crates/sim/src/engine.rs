@@ -625,6 +625,7 @@ impl<P: ExecutionPlan> FlowSession for ByteSession<'_, P> {
             dynamic,
             carry: None,
             result: std::mem::take(&mut self.result),
+            dfa: Vec::new(),
         };
         self.state.reset();
         self.fed = 0;

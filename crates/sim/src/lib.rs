@@ -114,7 +114,8 @@ pub mod sharded;
 pub mod strided;
 
 pub use activity::{
-    ActivitySummary, CycleView, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,
+    ActivitySummary, CycleView, DfaShardCycleView, Observer, ShardCycleSummary, ShardCycleView,
+    ShardObserver,
 };
 pub use batch::{BatchSimulator, ShardedBatch, StreamPlan, SwapReport, SwapVerdict};
 pub use buffers::BufferStats;

@@ -356,7 +356,13 @@ fn run_chunk<P: ShardedExecution + 'static>(
                 continue;
             }
             stats.shard_cycles[si] += 1;
-            stats.words_visited += shard.plan().len().div_ceil(64) as u64;
+            // DFA-stepped shards charge one table-row search per
+            // visited cycle, matching the sequential loop exactly.
+            stats.words_visited += if lane.is_dfa {
+                1
+            } else {
+                shard.plan().len().div_ceil(64) as u64
+            };
             let out = P::step_shard(
                 shard,
                 lane,

@@ -98,6 +98,25 @@ impl ShardingProfile {
         }
     }
 
+    /// Turns the measured heat into a determinization policy for
+    /// [`compile_hybrid_ruleset`](cama_core::compile::compile_hybrid_ruleset):
+    /// components are nominated for DFA conversion hottest-first,
+    /// within `memory_budget` bytes of transition tables, each capped
+    /// by the per-component `budget`. The profile → hybrid loop
+    /// mirrors the profile → re-shard loop in the module docs — run a
+    /// representative sample, then recompile with the policy.
+    pub fn dfa_policy(
+        &self,
+        budget: cama_core::compiled::DfaBudget,
+        memory_budget: usize,
+    ) -> cama_core::compile::DfaPolicy {
+        cama_core::compile::DfaPolicy {
+            budget,
+            memory_budget,
+            heat: self.state_activity.clone(),
+        }
+    }
+
     /// Derives a per-state shard assignment for `nfa` over at most
     /// `num_shards` shards, for
     /// [`ShardedAutomaton::compile_with_assignment`](cama_core::compiled::ShardedAutomaton::compile_with_assignment).

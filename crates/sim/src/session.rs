@@ -119,6 +119,13 @@ pub struct SuspendedFlow {
     /// for byte-per-cycle sessions.
     pub(crate) carry: Option<u8>,
     pub(crate) result: RunResult,
+    /// DFA resume hints from a hybrid sharded session: `(shard index,
+    /// DFA state id)` per DFA-stepped shard that was live at
+    /// suspension. Purely an optimization — resume validates each hint
+    /// against the captured dynamic set and recovers through
+    /// `CompiledDfa::resume_state` (or NFA fallback) without it, so a
+    /// translated or cross-plan snapshot simply clears the hints.
+    pub(crate) dfa: Vec<(u32, u32)>,
 }
 
 impl SuspendedFlow {
@@ -166,6 +173,11 @@ impl SuspendedFlow {
     ///
     /// Returns `(kept, dropped)` dynamic-state counts.
     pub fn translate(&mut self, remap: &cama_core::PlanRemap) -> (usize, usize) {
+        // Hints describe (shard, DFA state) coordinates of the plan
+        // that produced the snapshot; they are meaningless on the swap
+        // target. Resume re-derives the DFA states from the translated
+        // dynamic set instead.
+        self.dfa.clear();
         let before = self.dynamic.len();
         let mut kept: Vec<u32> = self
             .dynamic

@@ -45,14 +45,15 @@
 //! ```
 
 use crate::activity::{
-    CycleView, NullObserver, Observer, ShardCycleSummary, ShardCycleView, ShardObserver,
+    CycleView, DfaShardCycleView, NullObserver, Observer, ShardCycleSummary, ShardCycleView,
+    ShardObserver,
 };
 use crate::engine::{popcount_dirty, sparse_clear};
 use crate::result::{Report, RunResult};
 use crate::session::{AutomataEngine, FlowSession, Session, SuspendedFlow};
 use cama_core::bitset::BitSet;
 use cama_core::compiled::{
-    CompiledAutomaton, CompiledEncodedAutomaton, CompiledEncodedStridedAutomaton,
+    CompiledAutomaton, CompiledDfa, CompiledEncodedAutomaton, CompiledEncodedStridedAutomaton,
     CompiledStridedAutomaton, ExecutionPlan, PlanBase, Shard, ShardedAutomaton, StridedPlan,
 };
 use cama_core::stride::ReportPhase;
@@ -76,10 +77,19 @@ pub struct ShardLane {
     /// Popcount of `dynamic`, maintained at the cycle-end advance so
     /// per-cycle accounting never re-counts the vector.
     pub(crate) num_dynamic: usize,
+    /// The shard ships a [`CompiledDfa`] and this session's stepping
+    /// mode (byte plan, chain 1) can use it. Fixed at construction.
+    pub(crate) dfa_capable: bool,
+    /// Step this lane through the DFA table this cycle. Starts equal to
+    /// `dfa_capable`; resume clears it (NFA fallback) when a restored
+    /// dynamic set has no corresponding DFA state.
+    pub(crate) is_dfa: bool,
+    /// Current DFA state (0 = empty set) when `is_dfa`.
+    pub(crate) dfa_state: u32,
 }
 
 impl ShardLane {
-    fn new(len: usize) -> ShardLane {
+    fn new(len: usize, dfa_capable: bool) -> ShardLane {
         let summary_words = len.div_ceil(64).div_ceil(64);
         ShardLane {
             dynamic: BitSet::new(len),
@@ -89,6 +99,9 @@ impl ShardLane {
             next_any: vec![0; summary_words],
             active_any: vec![0; summary_words],
             num_dynamic: 0,
+            dfa_capable,
+            is_dfa: dfa_capable,
+            dfa_state: 0,
         }
     }
 
@@ -100,6 +113,8 @@ impl ShardLane {
         self.next_any.iter_mut().for_each(|w| *w = 0);
         self.active_any.iter_mut().for_each(|w| *w = 0);
         self.num_dynamic = 0;
+        self.is_dfa = self.dfa_capable;
+        self.dfa_state = 0;
     }
 
     fn dynamic_is_empty(&self) -> bool {
@@ -325,6 +340,96 @@ pub(crate) fn step_shard_byte<P: ExecutionPlan>(
     StepOut {
         num_active,
         reports: shard_reports,
+    }
+}
+
+/// One visited shard-cycle of the hybrid DFA fast path: the whole
+/// active-set computation collapses into a single dense-table lookup —
+/// `first[row]` on cycle 0 (start-of-data folded in), `next[state,
+/// row]` afterwards — followed by O(|active| + |next|) precomputed
+/// writes.
+///
+/// The kernel *writes through* to the lane's active/next bit sets
+/// (members and dynamics of the landed DFA state), so everything
+/// downstream — idle probes, suspend/resume, `is_idle`, observers, the
+/// cycle-end advance — sees exactly the state the NFA kernel would
+/// have produced and needs no DFA awareness. Reports use the same
+/// staging path (sorted by (offset, global state) at cycle end), so
+/// output is bit-identical to [`step_shard_byte`] by construction.
+///
+/// DFAs are only attached to zero-cross-edge component shards and only
+/// stepped when `chain == 1` (starts inject every cycle — the
+/// `all_input` fold baked into the transition table assumes it), which
+/// the dispatch sites guarantee.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_shard_dfa<P: ExecutionPlan>(
+    shard: &Shard<P>,
+    dfa: &CompiledDfa,
+    lane: &mut ShardLane,
+    symbol: u8,
+    inject_starts: bool,
+    first_cycle: bool,
+    cycle: usize,
+    sinks: StepSinks<'_>,
+) -> StepOut {
+    debug_assert!(inject_starts, "DFA stepping requires chain == 1");
+    let _ = inject_starts;
+    let row = shard.plan().row_of_symbol(symbol);
+    // A suspended-at-cycle-0 flow has no dynamic state, so on the first
+    // cycle the lane is necessarily in the empty state and the
+    // start-of-data column applies.
+    debug_assert!(!first_cycle || lane.dfa_state == 0);
+    let state = if first_cycle {
+        dfa.first(row)
+    } else {
+        dfa.next(lane.dfa_state, row)
+    };
+    lane.dfa_state = state;
+    let globals = shard.global_states();
+
+    // Word-level write-through: OR the state's precomputed active and
+    // next-enable bitmaps into the lane — O(words) per cycle even for
+    // dense active sets, where the member-at-a-time loop the bitmaps
+    // replace was O(states).
+    sparse_clear(lane.active.as_words_mut(), &mut lane.active_any);
+    let (bits, any) = dfa.active_words(state);
+    let active_words = lane.active.as_words_mut();
+    for (w, &word) in bits.iter().enumerate() {
+        active_words[w] |= word;
+    }
+    for (j, &word) in any.iter().enumerate() {
+        lane.active_any[j] |= word;
+    }
+
+    // Per-state activity heat stays exact (the profile and the energy
+    // model read it) — the member list is the one remaining
+    // O(active-set) walk.
+    let members = dfa.members(state);
+    for &local in members {
+        sinks.state_active[globals[local as usize] as usize] += 1;
+    }
+
+    let (report_locals, report_codes) = dfa.reports(state);
+    for (&local, &code) in report_locals.iter().zip(report_codes) {
+        sinks.staged_reports.push(Report {
+            ste: SteId(globals[local as usize]),
+            code,
+            offset: cycle,
+        });
+    }
+
+    let (next_bits, next_any) = dfa.dynamic_words(state);
+    let next_words = lane.next.as_words_mut();
+    for (w, &word) in next_bits.iter().enumerate() {
+        next_words[w] |= word;
+    }
+    for (j, &word) in next_any.iter().enumerate() {
+        lane.next_any[j] |= word;
+    }
+
+    StepOut {
+        num_active: members.len(),
+        reports: report_locals.len(),
     }
 }
 
@@ -597,7 +702,10 @@ impl<'p, P: PlanBase> ShardedSession<'p, P> {
             lanes: plan
                 .shards()
                 .iter()
-                .map(|s| ShardLane::new(s.len()))
+                // DFA stepping folds "starts inject every cycle" into
+                // the transition table, so only chain-1 sessions may
+                // use an attached DFA.
+                .map(|s| ShardLane::new(s.len(), s.dfa().is_some() && chain == 1))
                 .collect(),
             exchange: Vec::new(),
             staged_reports: Vec::new(),
@@ -750,25 +858,45 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
             }
             visited += 1;
             stats.shard_cycles[si] += 1;
-            stats.words_visited += shard.plan().len().div_ceil(64) as u64;
+            // A DFA-stepped shard searches one transition-table row
+            // instead of sweeping its state words — the modeling choice
+            // behind the hybrid visited-words win.
+            stats.words_visited += if lane.is_dfa {
+                1
+            } else {
+                shard.plan().len().div_ceil(64) as u64
+            };
 
-            let out = step_shard_byte(
-                shard,
-                lane,
-                symbol,
-                inject_starts,
-                first_cycle,
-                *cycle,
-                StepSinks {
-                    staged_reports,
-                    exchange,
-                    state_active: &mut stats.state_active,
-                },
-            );
+            let sinks = StepSinks {
+                staged_reports,
+                exchange,
+                state_active: &mut stats.state_active,
+            };
+            let out = match shard.dfa().filter(|_| lane.is_dfa) {
+                Some(dfa) => step_shard_dfa(
+                    shard,
+                    dfa,
+                    lane,
+                    symbol,
+                    inject_starts,
+                    first_cycle,
+                    *cycle,
+                    sinks,
+                ),
+                None => step_shard_byte(
+                    shard,
+                    lane,
+                    symbol,
+                    inject_starts,
+                    first_cycle,
+                    *cycle,
+                    sinks,
+                ),
+            };
             num_active += out.num_active;
             cycle_reports += out.reports;
 
-            observer.on_shard_cycle(&ShardCycleView {
+            let shard_view = ShardCycleView {
                 cycle: *cycle,
                 symbol,
                 shard: si,
@@ -776,7 +904,16 @@ impl<'p, P: ExecutionPlan> ShardedSession<'p, P> {
                 dynamic_enabled: &lane.dynamic,
                 active: &lane.active,
                 reports: out.reports,
-            });
+            };
+            match shard.dfa().filter(|_| lane.is_dfa) {
+                Some(dfa) => observer.on_dfa_shard_cycle(&DfaShardCycleView {
+                    shard_view,
+                    dfa_state: lane.dfa_state,
+                    dfa_states: dfa.num_states(),
+                    alphabet: dfa.alphabet(),
+                }),
+                None => observer.on_shard_cycle(&shard_view),
+            }
         }
 
         self.end_cycle(
@@ -1114,7 +1251,21 @@ macro_rules! byte_execution_hooks {
             cycle: usize,
             sinks: StepSinks<'_>,
         ) -> StepOut {
-            step_shard_byte(shard, lane, step.a, step.inject, first_cycle, cycle, sinks)
+            match shard.dfa().filter(|_| lane.is_dfa) {
+                Some(dfa) => step_shard_dfa(
+                    shard,
+                    dfa,
+                    lane,
+                    step.a,
+                    step.inject,
+                    first_cycle,
+                    cycle,
+                    sinks,
+                ),
+                None => {
+                    step_shard_byte(shard, lane, step.a, step.inject, first_cycle, cycle, sinks)
+                }
+            }
         }
     };
 }
@@ -1310,9 +1461,16 @@ impl<P: ShardedExecution> Session for ShardedSession<'_, P> {
 impl<P: ShardedExecution> FlowSession for ShardedSession<'_, P> {
     fn suspend(&mut self) -> SuspendedFlow {
         let mut dynamic = Vec::new();
-        for (shard, lane) in self.plan.shards().iter().zip(&self.lanes) {
+        let mut dfa = Vec::new();
+        for (si, (shard, lane)) in self.plan.shards().iter().zip(&self.lanes).enumerate() {
             for local in lane.dynamic.iter() {
                 dynamic.push(shard.global_states()[local]);
+            }
+            // Record a resume hint for every live DFA-stepped lane so
+            // same-plan resume skips the set-to-state lookup. Idle DFA
+            // lanes are implicitly in state 0 and need no hint.
+            if lane.is_dfa && !lane.dynamic_is_empty() {
+                dfa.push((si as u32, lane.dfa_state));
             }
         }
         let flow = SuspendedFlow {
@@ -1321,6 +1479,7 @@ impl<P: ShardedExecution> FlowSession for ShardedSession<'_, P> {
             dynamic,
             carry: self.carry.take(),
             result: std::mem::take(&mut self.result),
+            dfa,
         };
         self.reset_state();
         flow
@@ -1339,8 +1498,42 @@ impl<P: ShardedExecution> FlowSession for ShardedSession<'_, P> {
             lane.dynamic.insert(local);
             lane.dynamic_any[local / 4096] |= 1u64 << ((local / 64) % 64);
         }
-        for lane in &mut self.lanes {
+        let mut locals = Vec::new();
+        for (si, (shard, lane)) in self.plan.shards().iter().zip(&mut self.lanes).enumerate() {
             lane.num_dynamic = popcount_dirty(lane.dynamic.as_words(), &lane.dynamic_any);
+            if !lane.dfa_capable {
+                continue;
+            }
+            // Re-derive the DFA state from the restored dynamic set. A
+            // hint from the suspending session short-circuits the
+            // lookup once validated; a set with no interned state (the
+            // flow was translated from another plan, or ran NFA-style
+            // before suspension) drops this lane to NFA stepping — the
+            // kernels are report-equivalent, only the cost differs.
+            locals.clear();
+            locals.extend(lane.dynamic.iter().map(|l| l as u32));
+            let dfa = shard.dfa().expect("dfa_capable lane has a DFA");
+            if locals.is_empty() {
+                lane.is_dfa = true;
+                lane.dfa_state = 0;
+                continue;
+            }
+            let hinted = flow
+                .dfa
+                .iter()
+                .find(|&&(s, _)| s as usize == si)
+                .map(|&(_, state)| state)
+                .filter(|&state| dfa.dynamics(state) == locals.as_slice());
+            match hinted.or_else(|| dfa.resume_state(&locals)) {
+                Some(state) => {
+                    lane.is_dfa = true;
+                    lane.dfa_state = state;
+                }
+                None => {
+                    lane.is_dfa = false;
+                    lane.dfa_state = 0;
+                }
+            }
         }
     }
 

@@ -226,6 +226,7 @@ impl<P: StridedPlan> FlowSession for StridedSession<'_, P> {
             dynamic,
             carry: self.carry.take(),
             result: std::mem::take(&mut self.result),
+            dfa: Vec::new(),
         };
         self.state.reset();
         self.fed = 0;

@@ -14,7 +14,11 @@
 //! alternating between a one-pattern and a two-pattern version, so the
 //! bounded-memory and ledger-conservation invariants are asserted
 //! *across swap epochs*: a swap parks every open flow but loses no
-//! bytes, no cycles, and no reports.
+//! bytes, no cycles, and no reports. With the residency cap far below
+//! the window most flows are already parked when each swap lands, so
+//! the lazy cold-flow path gets real coverage: those flows take a
+//! `Deferred` verdict, translate only when they next resume or close,
+//! and the stashed remap chain must stay bounded across all epochs.
 
 use cama::core::compile::PlanRemap;
 use cama::core::compiled::ShardedAutomaton;
@@ -73,6 +77,7 @@ fn churn(total: usize) {
     let mut closed_cycles = 0u64;
     let mut closed_reports = 0u64;
     let mut max_deferred = 0usize;
+    let mut deferred_verdicts = 0u64;
     for flow in 0..total {
         // Keep the window: retire the oldest flow first, so admission
         // never sees the table full.
@@ -123,6 +128,14 @@ fn churn(total: usize) {
                 report.flows, open_before,
                 "flow {flow}: flow missed by swap"
             );
+            // Every flow gets exactly one verdict, and the cold
+            // majority (parked under the tight cap) defers.
+            assert_eq!(
+                report.migrated + report.displaced + report.idle + report.deferred,
+                report.flows,
+                "flow {flow}: verdicts do not partition the table"
+            );
+            deferred_verdicts += report.deferred as u64;
             assert_eq!(
                 ctl.resident_count(),
                 0,
@@ -154,6 +167,12 @@ fn churn(total: usize) {
             ctl.deferred_total() <= 64 * 1024,
             "flow {flow}: deferral bound violated"
         );
+        // The lazy-swap remap chain compacts: O(live deferral depth),
+        // never O(swaps survived).
+        assert!(
+            ctl.pending_remap_count() <= 8,
+            "flow {flow}: stashed remap chain leaks"
+        );
     }
     for flow in total.saturating_sub(WINDOW)..total {
         let result = ctl.close(flow as StreamId);
@@ -163,10 +182,19 @@ fn churn(total: usize) {
     }
     assert_eq!(ctl.open_count(), 0);
     assert_eq!(ctl.deferred_total(), 0);
+    // Draining the table retires the last deferred snapshot, so the
+    // remap chain is released with it.
+    assert_eq!(ctl.pending_remap_count(), 0, "remap chain outlived flows");
     // The tight budgets really did defer traffic along the way, and
     // the run really did cross swap epochs.
     assert!(max_deferred > 0, "rate limits never engaged");
     assert_eq!(swaps, (total - 1) / SWAP_EVERY, "swap cadence drifted");
+    // With the cap far below the window, most open flows were parked at
+    // every swap: the lazy path must have actually deferred them.
+    assert!(
+        deferred_verdicts >= swaps as u64,
+        "swaps never exercised deferred translation"
+    );
 
     // Ledger conservation: summed across tenants, every flow and every
     // byte is accounted for exactly once.

@@ -11,8 +11,12 @@
 
 use cama::core::bitset::BitSet;
 use cama::core::bitwidth::{to_nibble_nfa, to_nibble_stream};
-use cama::core::compile::{compile_ruleset, PlanCache, PlanRemap};
-use cama::core::compiled::{CompiledAutomaton, CompiledStridedAutomaton, ShardedAutomaton};
+use cama::core::compile::{
+    compile_hybrid_ruleset, compile_ruleset, dfa_enabled, DfaPolicy, PlanCache, PlanRemap,
+};
+use cama::core::compiled::{
+    CompiledAutomaton, CompiledStridedAutomaton, DfaBudget, ShardedAutomaton,
+};
 use cama::core::graph;
 use cama::core::regex::{self, reference};
 use cama::core::stride::StridedNfa;
@@ -1879,6 +1883,173 @@ fn hot_swap_differential_across_flavours() {
             &flows,
             Some(2),
             "encoded strided sharded",
+            seed,
+        );
+    }
+}
+
+/// The hybrid-DFA differential harness: a profile-free
+/// [`compile_hybrid_ruleset`] plan — per-component subset-constructed
+/// fast paths under both generous and deliberately tight blow-up caps
+/// (the tight caps make some components decline and stay NFA, so the
+/// plan mixes execution styles) — is report-bit-identical (content and
+/// order) to the pure-NFA sharded plan, the flat engine, and the
+/// encoded sharded flavour, across one-shot runs, random chunked feeds,
+/// capped tables (cap 1 round-trips every DFA lane through
+/// [`SuspendedFlow`](cama::sim::SuspendedFlow) between feeds), and
+/// identity hot-swaps in both directions *across execution styles*
+/// (hybrid⇄pure), which parks DFA lanes mid-flow and resumes them on a
+/// plan with — or without — a DFA for the same component.
+#[test]
+fn hybrid_dfa_differential_equals_pure_nfa() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDFAD_0000 + seed);
+        let patterns: Vec<String> = (0..rng.random_range(2..6usize))
+            .map(|_| loop {
+                let pattern = random_pattern(&mut rng);
+                if regex::compile(&pattern).is_ok() {
+                    break pattern;
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = regex::compile_set(&refs).unwrap();
+
+        let mut cache = PlanCache::default();
+        let (pure, _) = compile_ruleset(&nfa, 1, &mut cache);
+        // Even seeds: default caps, everything reachable determinizes.
+        // Odd seeds: tight caps, so bigger components decline and the
+        // plan genuinely mixes DFA and NFA shards.
+        let policy = if seed % 2 == 0 {
+            DfaPolicy::default()
+        } else {
+            DfaPolicy {
+                budget: DfaBudget {
+                    max_states: 6,
+                    max_table_bytes: 8 * 1024,
+                },
+                memory_budget: 12 * 1024,
+                heat: Vec::new(),
+            }
+        };
+        let (hybrid, _) = compile_hybrid_ruleset(&nfa, 2, &mut cache, &policy);
+        if dfa_enabled() && seed % 2 == 0 {
+            assert!(
+                hybrid.num_dfa_shards() > 0,
+                "seed {seed}: default caps determinized nothing"
+            );
+        }
+
+        // The encoded sharded flavour as a third, codebook-indexed
+        // pure-NFA oracle.
+        let (components, _) = graph::component_ids(&nfa);
+        let encoded = EncodingPlan::for_nfa(&nfa).compile_sharded(&nfa, &components);
+
+        let mut input = random_input(&mut rng);
+        input.extend(random_input(&mut rng));
+        input.extend(random_input(&mut rng));
+        let flat = Simulator::new(&nfa).run(&input);
+        let one_pure = BatchSimulator::new(&pure).run_stream(&input);
+        let one_hybrid = BatchSimulator::new(&hybrid).run_stream(&input);
+        let one_encoded = BatchSimulator::new(&encoded).run_stream(&input);
+        assert_eq!(one_pure.reports, flat.reports, "seed {seed}: pure vs flat");
+        assert_eq!(
+            one_hybrid.reports, one_pure.reports,
+            "seed {seed}: hybrid vs pure"
+        );
+        assert_eq!(
+            one_hybrid.reports, one_encoded.reports,
+            "seed {seed}: hybrid vs encoded"
+        );
+        assert_eq!(
+            one_hybrid.activity.cycles, one_pure.activity.cycles,
+            "seed {seed}: cycle counts"
+        );
+
+        // Random chunked feeds round-robined across flows through
+        // uncapped and capped tables.
+        let flows: Vec<Vec<u8>> = (0..rng.random_range(2..5usize))
+            .map(|_| random_input(&mut rng))
+            .collect();
+        let chunked: Vec<Vec<&[u8]>> = flows
+            .iter()
+            .map(|flow| random_chunks(&mut rng, flow))
+            .collect();
+        for cap in [None, Some(1), Some(2)] {
+            let mut hybrid_batch = BatchSimulator::new(&hybrid);
+            let mut pure_batch = BatchSimulator::new(&pure);
+            if let Some(cap) = cap {
+                hybrid_batch = hybrid_batch.max_resident(cap);
+                pure_batch = pure_batch.max_resident(cap);
+            }
+            let rounds = chunked.iter().map(Vec::len).max().unwrap_or(0);
+            for round in 0..rounds {
+                for (id, chunks) in chunked.iter().enumerate() {
+                    if let Some(chunk) = chunks.get(round) {
+                        hybrid_batch.feed(id as StreamId, chunk);
+                        pure_batch.feed(id as StreamId, chunk);
+                    }
+                }
+            }
+            for id in 0..flows.len() {
+                let h = hybrid_batch.close(id as StreamId);
+                let p = pure_batch.close(id as StreamId);
+                assert_eq!(
+                    h.reports, p.reports,
+                    "seed {seed}, cap {cap:?}, flow {id}: reports"
+                );
+                assert_eq!(
+                    h.activity.cycles, p.activity.cycles,
+                    "seed {seed}, cap {cap:?}, flow {id}: cycles"
+                );
+            }
+        }
+
+        // Identity hot-swaps across execution styles: flows park on one
+        // style mid-stream and resume on the other.
+        let cut_flows: Vec<(Vec<u8>, usize)> = flows
+            .iter()
+            .map(|flow| {
+                let cut = rng.random_range(0..=flow.len());
+                (flow.clone(), cut)
+            })
+            .collect();
+        let identity = PlanRemap::identity(nfa.len());
+        assert_swap_transparent(
+            &hybrid,
+            &pure,
+            &identity,
+            &cut_flows,
+            Some(2),
+            "hybrid→pure swap",
+            seed,
+        );
+        assert_swap_transparent(
+            &pure,
+            &hybrid,
+            &identity,
+            &cut_flows,
+            Some(2),
+            "pure→hybrid swap",
+            seed,
+        );
+        // Same-plan identity swap: the full RunResult — every activity
+        // statistic included — survives the DFA lanes' suspend /
+        // translate / resume round-trip.
+        assert_identity_swap_exact(
+            &hybrid,
+            &identity,
+            &cut_flows,
+            Some(1),
+            "hybrid identity capped",
+            seed,
+        );
+        assert_identity_swap_exact(
+            &hybrid,
+            &identity,
+            &cut_flows,
+            None,
+            "hybrid identity",
             seed,
         );
     }
